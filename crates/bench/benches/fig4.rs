@@ -1,0 +1,56 @@
+//! Criterion benches over the Fig. 4 experiment harness: one benchmark
+//! group per sub-figure, measuring the wall-clock cost of regenerating
+//! each system's series point (the virtual-time results themselves are
+//! printed by the `fig4a/b/c` binaries).
+
+use bf_bench::{Fig4Rig, System};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_rw_rtt");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for system in System::all() {
+        for total in [1u64 << 20, 1 << 30] {
+            let rig = Fig4Rig::new(system);
+            group.bench_with_input(
+                BenchmarkId::new(system.label(), format!("{}MB", total >> 20)),
+                &total,
+                |b, &total| b.iter(|| rig.write_read_rtt(total)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_sobel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for system in System::all() {
+        let rig = Fig4Rig::new(system);
+        group.bench_function(BenchmarkId::new(system.label(), "1920x1080"), |b| {
+            b.iter(|| rig.sobel_rtt(1920, 1080))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c_mm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for system in System::all() {
+        let rig = Fig4Rig::new(system);
+        group.bench_function(BenchmarkId::new(system.label(), "1024"), |b| {
+            b.iter(|| rig.mm_rtt(1024))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig4, bench_fig4a, bench_fig4b, bench_fig4c);
+criterion_main!(fig4);

@@ -1,0 +1,77 @@
+//! Criterion benches over the multi-tenant cluster scenarios (one per
+//! paper table), measuring how fast the DES regenerates each table row
+//! group. Short (5 s) measurement windows keep the benchmark itself quick;
+//! the table binaries use the full 60 s windows.
+
+use bf_model::{DataPathKind, VirtualDuration};
+use bf_serverless::{LoadLevel, UseCase};
+use bf_sim::{run_scenario, Deployment, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn short(use_case: UseCase, level: LoadLevel, deployment: Deployment) -> ScenarioConfig {
+    ScenarioConfig::new(use_case, level, deployment)
+        .with_duration(VirtualDuration::from_secs(5))
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_sobel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (label, deployment) in [
+        ("blastfunction", Deployment::BlastFunction { data_path: DataPathKind::SharedMemory }),
+        ("native", Deployment::Native),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, "high"),
+            &deployment,
+            |b, &deployment| {
+                b.iter(|| run_scenario(&short(UseCase::Sobel, LoadLevel::High, deployment)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_mm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (label, deployment) in [
+        ("blastfunction", Deployment::BlastFunction { data_path: DataPathKind::SharedMemory }),
+        ("native", Deployment::Native),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, "high"),
+            &deployment,
+            |b, &deployment| {
+                b.iter(|| run_scenario(&short(UseCase::Mm, LoadLevel::High, deployment)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_alexnet");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (label, deployment) in [
+        ("blastfunction", Deployment::BlastFunction { data_path: DataPathKind::SharedMemory }),
+        ("native", Deployment::Native),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, "medium"),
+            &deployment,
+            |b, &deployment| {
+                b.iter(|| run_scenario(&short(UseCase::AlexNet, LoadLevel::Medium, deployment)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(tables, bench_table2, bench_table3, bench_table4);
+criterion_main!(tables);

@@ -1,0 +1,13 @@
+//! Ablation: how much the registry's allocation policy matters.
+
+use bf_bench::{ablation_alloc, render_ablation, save_json};
+
+fn main() {
+    let rows = ablation_alloc();
+    print!(
+        "{}",
+        render_ablation("Allocation-policy ablation — Sobel, high load, BlastFunction shm", &rows)
+    );
+    let path = save_json("ablation_alloc", &rows);
+    println!("\nJSON artifact: {}", path.display());
+}

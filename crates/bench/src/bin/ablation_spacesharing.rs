@@ -1,0 +1,19 @@
+//! Ablation: time-sharing vs space-sharing (the paper's future work).
+
+use bf_bench::{ablation_spacesharing, render_ablation, save_json};
+
+fn main() {
+    let rows = ablation_spacesharing();
+    print!(
+        "{}",
+        render_ablation(
+            "Space-sharing ablation — AlexNet, high load, BlastFunction shm",
+            &rows
+        )
+    );
+    println!("\nSmaller parallel regions trade per-request latency (slower kernels)");
+    println!("for parallel capacity; whether that wins depends on how much the");
+    println!("workload queues — exactly the trade-off the paper defers to future work.");
+    let path = save_json("ablation_spacesharing", &rows);
+    println!("JSON artifact: {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Ablation: PipeCNN's per-layer synchronization vs one batched task.
+
+use bf_bench::{ablation_taskgrain, render_ablation, save_json};
+
+fn main() {
+    let rows = ablation_taskgrain();
+    print!(
+        "{}",
+        render_ablation("Task-granularity ablation — AlexNet, medium load", &rows)
+    );
+    println!("\nBatching the layer launches into one task removes the per-layer");
+    println!("control RTTs — the future-work direction Table IV motivates.");
+    let path = save_json("ablation_taskgrain", &rows);
+    println!("JSON artifact: {}", path.display());
+}

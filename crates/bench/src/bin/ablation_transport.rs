@@ -1,0 +1,13 @@
+//! Ablation: shared-memory vs pure-gRPC data path under real load.
+
+use bf_bench::{ablation_transport, render_ablation, save_json};
+
+fn main() {
+    let rows = ablation_transport();
+    print!(
+        "{}",
+        render_ablation("Data-path ablation — medium load, per use case", &rows)
+    );
+    let path = save_json("ablation_transport", &rows);
+    println!("\nJSON artifact: {}", path.display());
+}

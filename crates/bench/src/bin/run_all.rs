@@ -1,0 +1,62 @@
+//! Runs every figure, table and ablation in sequence, writing all JSON
+//! artifacts (the data behind EXPERIMENTS.md).
+
+use bf_bench::*;
+
+fn main() {
+    println!("=== Fig. 4(a) ===");
+    let rows = fig4a_rows();
+    print!("{}", render_sweep("R/W RTT vs total size", &rows));
+    save_json("fig4a", &rows);
+
+    println!("\n=== Fig. 4(b) ===");
+    let rows = fig4b_rows();
+    print!("{}", render_sweep("Sobel latency vs image size", &rows));
+    save_json("fig4b", &rows);
+
+    println!("\n=== Fig. 4(c) ===");
+    let rows = fig4c_rows();
+    print!("{}", render_sweep("MM latency vs matrix size", &rows));
+    save_json("fig4c", &rows);
+
+    println!("\n=== Table I ===");
+    save_json("table1", &table1_rows());
+    println!("(written)");
+
+    println!("\n=== Table II (Sobel) ===");
+    let results = table2_results();
+    for r in &results {
+        print!("{}", r.render_per_function());
+    }
+    save_json("table2", &results);
+
+    println!("\n=== Table III (MM) ===");
+    let results = table3_results();
+    for r in &results {
+        print!("{}", r.render_aggregate());
+    }
+    save_json("table3", &results);
+
+    println!("\n=== Table IV (AlexNet) ===");
+    let results = table4_results();
+    for r in &results {
+        print!("{}", r.render_aggregate());
+    }
+    save_json("table4", &results);
+
+    println!("\n=== Ablations ===");
+    let rows = ablation_alloc();
+    print!("{}", render_ablation("allocation policy", &rows));
+    save_json("ablation_alloc", &rows);
+    let rows = ablation_transport();
+    print!("{}", render_ablation("data path", &rows));
+    save_json("ablation_transport", &rows);
+    let rows = ablation_taskgrain();
+    print!("{}", render_ablation("task granularity", &rows));
+    save_json("ablation_taskgrain", &rows);
+    let rows = ablation_spacesharing();
+    print!("{}", render_ablation("space sharing", &rows));
+    save_json("ablation_spacesharing", &rows);
+
+    println!("\nAll artifacts in target/experiments/.");
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table I: the test-configuration matrix.
+
+use bf_bench::{save_json, table1_rows};
+
+fn main() {
+    println!("Table I — requests per second sent to each function\n");
+    println!(
+        "{:<10} {:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Use-Case", "Configuration", "1st", "2nd", "3rd", "4th", "5th"
+    );
+    let rows = table1_rows();
+    for row in &rows {
+        println!(
+            "{:<10} {:<14} {:>5} rq/s {:>4} rq/s {:>4} rq/s {:>4} rq/s {:>4} rq/s",
+            row.use_case,
+            row.configuration,
+            row.rates[0],
+            row.rates[1],
+            row.rates[2],
+            row.rates[3],
+            row.rates[4]
+        );
+    }
+    println!("\n(The Native scenario uses only the first 3 columns.)");
+    let path = save_json("table1", &rows);
+    println!("JSON artifact: {}", path.display());
+}

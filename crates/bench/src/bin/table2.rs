@@ -1,0 +1,21 @@
+//! Regenerates Table II: Sobel multi-function results (per function).
+
+use bf_bench::{save_json, table2_results};
+
+fn main() {
+    println!("Table II — Sobel multi-function results (utilization max 300% overall)\n");
+    let results = table2_results();
+    for result in &results {
+        print!("{}", result.render_per_function());
+        println!(
+            "  -> aggregate: {:.2}% util, {:.2} ms, {:.2}/{:.0} rq/s (miss {:.2}%)\n",
+            result.aggregate.utilization_pct,
+            result.aggregate.mean_latency_ms,
+            result.aggregate.processed_rps,
+            result.aggregate.target_rps,
+            result.aggregate.target_miss_pct()
+        );
+    }
+    let path = save_json("table2", &results);
+    println!("JSON artifact: {}", path.display());
+}

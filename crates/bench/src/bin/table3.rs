@@ -1,0 +1,17 @@
+//! Regenerates Table III: MM multi-function aggregate results.
+
+use bf_bench::{save_json, table3_results};
+
+fn main() {
+    println!("Table III — MM aggregates (utilization max 300%)\n");
+    println!(
+        "{:<16} {:<12} {:>12} {:>11} {:>12} {:>12}",
+        "Type", "Config", "Utilization", "Latency", "Processed", "Target"
+    );
+    let results = table3_results();
+    for result in &results {
+        print!("{}", result.render_aggregate());
+    }
+    let path = save_json("table3", &results);
+    println!("\nJSON artifact: {}", path.display());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table IV: PipeCNN (AlexNet) aggregate results.
+
+use bf_bench::{save_json, table4_results};
+
+fn main() {
+    println!("Table IV — PipeCNN/AlexNet aggregates (utilization max 300%)\n");
+    println!(
+        "{:<16} {:<12} {:>12} {:>11} {:>12} {:>12}",
+        "Type", "Config", "Utilization", "Latency", "Processed", "Target"
+    );
+    let results = table4_results();
+    for result in &results {
+        print!("{}", result.render_aggregate());
+    }
+    println!("\nThe BlastFunction latency gap is the per-layer control RTTs of");
+    println!("PipeCNN's host loop (~30 synchronized kernel invocations/inference).");
+    let path = save_json("table4", &results);
+    println!("JSON artifact: {}", path.display());
+}

@@ -1,0 +1,29 @@
+//! Exports a Chrome-trace (Perfetto) timeline of one multi-tenant scenario:
+//! every task every tenant ran on every board, on the virtual timeline.
+//!
+//! Open the resulting JSON in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use bf_model::{DataPathKind, VirtualDuration};
+use bf_serverless::{LoadLevel, UseCase};
+use bf_sim::{run_scenario, Deployment, ScenarioConfig};
+
+fn main() {
+    let cfg = ScenarioConfig::new(
+        UseCase::Sobel,
+        LoadLevel::High,
+        Deployment::BlastFunction { data_path: DataPathKind::SharedMemory },
+    )
+    .with_duration(VirtualDuration::from_secs(10));
+    let result = run_scenario(&cfg);
+    let dir = std::path::PathBuf::from("target").join("experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join("trace_sobel_high_bf.json");
+    std::fs::write(&path, result.to_chrome_trace()).expect("write trace");
+    println!(
+        "Wrote {} spans across {} devices to {}",
+        result.timeline.len(),
+        result.device_utilization.len(),
+        path.display()
+    );
+    println!("Open it in chrome://tracing or https://ui.perfetto.dev");
+}

@@ -1,0 +1,451 @@
+#![warn(missing_docs)]
+
+//! # bf-cluster — the Kubernetes substrate
+//!
+//! The Accelerators Registry integrates with a cloud orchestrator
+//! (Kubernetes in the paper) to intercept function-instance creation,
+//! patch the instance (environment variables, shared-memory volumes,
+//! forced host allocation) and migrate instances between nodes with
+//! Kubernetes' create-before-delete semantics. This crate provides exactly
+//! that surface:
+//!
+//! * [`Cluster`] — nodes plus the instance store;
+//! * a **mutating admission hook** ([`Cluster::set_admission_hook`]) called
+//!   synchronously on every creation, which is how the registry's
+//!   allocation algorithm patches instances;
+//! * **watch streams** ([`Cluster::watch`]) delivering
+//!   [`WatchEvent`]s;
+//! * [`Cluster::replace_instance`] — the migration primitive: the
+//!   replacement is created (and re-admitted, hence re-allocated) *before*
+//!   the old instance is deleted.
+//!
+//! ```
+//! use bf_cluster::{Cluster, InstanceTemplate};
+//! use bf_model::paper_cluster;
+//!
+//! # fn main() -> Result<(), bf_cluster::ClusterError> {
+//! let cluster = Cluster::new(paper_cluster());
+//! let events = cluster.watch();
+//! let inst = cluster.create_instance(InstanceTemplate::new("sobel-1"))?;
+//! assert!(inst.node.is_some(), "the scheduler places every instance");
+//! assert!(matches!(
+//!     events.try_recv(),
+//!     Ok(bf_cluster::WatchEvent::Created(_))
+//! ));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use bf_model::{NodeId, NodeSpec};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Identifier of a function instance (pod).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pod-{}", self.0)
+    }
+}
+
+/// Errors raised by the cluster API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The instance id is unknown (deleted or never created).
+    UnknownInstance(InstanceId),
+    /// A node name did not match any cluster node.
+    UnknownNode(String),
+    /// The admission hook rejected the instance.
+    AdmissionDenied(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownInstance(id) => write!(f, "instance {id} not found"),
+            ClusterError::UnknownNode(n) => write!(f, "node {n:?} not in the cluster"),
+            ClusterError::AdmissionDenied(m) => write!(f, "admission denied: {m}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// What a deployment asks for: the pod template of a function instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstanceTemplate {
+    /// Function (deployment) name, e.g. `"sobel-1"`.
+    pub function: String,
+    /// Requested environment.
+    pub env: BTreeMap<String, String>,
+    /// Labels/annotations (the registry reads the device query from here).
+    pub labels: BTreeMap<String, String>,
+}
+
+impl InstanceTemplate {
+    /// A template for `function` with empty env/labels.
+    pub fn new(function: impl Into<String>) -> Self {
+        InstanceTemplate { function: function.into(), ..Default::default() }
+    }
+
+    /// Adds a label.
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds an environment variable.
+    pub fn with_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.env.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// A scheduled (or about-to-be-scheduled) function instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceSpec {
+    /// Unique id.
+    pub id: InstanceId,
+    /// Function (deployment) name.
+    pub function: String,
+    /// Host allocation; the admission hook may force it, otherwise the
+    /// scheduler fills it in.
+    pub node: Option<NodeId>,
+    /// Environment (the registry injects `DEVICE_MANAGER_ADDRESS` here).
+    pub env: BTreeMap<String, String>,
+    /// Mounted volumes (the registry injects the shared-memory volume).
+    pub volumes: Vec<String>,
+    /// Labels/annotations.
+    pub labels: BTreeMap<String, String>,
+}
+
+/// Events delivered on watch streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchEvent {
+    /// An instance was created (post-admission, post-scheduling).
+    Created(InstanceSpec),
+    /// An instance was patched.
+    Patched(InstanceSpec),
+    /// An instance was deleted.
+    Deleted(InstanceId),
+}
+
+/// The mutating admission hook: may patch the instance (env, volumes,
+/// forced node) or reject it with a message.
+pub type AdmissionHook = Arc<dyn Fn(&mut InstanceSpec) -> Result<(), String> + Send + Sync>;
+
+struct ClusterInner {
+    nodes: Vec<NodeSpec>,
+    instances: BTreeMap<InstanceId, InstanceSpec>,
+    watchers: Vec<Sender<WatchEvent>>,
+    admission: Option<AdmissionHook>,
+    next_id: u64,
+    round_robin: usize,
+}
+
+/// The cluster control plane.
+///
+/// Cloning yields another handle to the same cluster.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Arc<Mutex<ClusterInner>>,
+}
+
+impl Cluster {
+    /// Creates a cluster over `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty — a cluster needs somewhere to schedule.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "a cluster needs at least one node");
+        Cluster {
+            inner: Arc::new(Mutex::new(ClusterInner {
+                nodes,
+                instances: BTreeMap::new(),
+                watchers: Vec::new(),
+                admission: None,
+                next_id: 1,
+                round_robin: 0,
+            })),
+        }
+    }
+
+    /// The cluster's nodes.
+    pub fn nodes(&self) -> Vec<NodeSpec> {
+        self.inner.lock().nodes.clone()
+    }
+
+    /// Looks a node up by id.
+    pub fn node(&self, id: &NodeId) -> Option<NodeSpec> {
+        self.inner.lock().nodes.iter().find(|n| n.id() == id).cloned()
+    }
+
+    /// Installs the mutating admission hook (the registry's interception
+    /// point). Replaces any previous hook.
+    pub fn set_admission_hook(&self, hook: AdmissionHook) {
+        self.inner.lock().admission = Some(hook);
+    }
+
+    /// Opens a watch stream; events from now on are delivered in order.
+    pub fn watch(&self) -> Receiver<WatchEvent> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().watchers.push(tx);
+        rx
+    }
+
+    /// Creates an instance from `template`: runs admission, schedules it
+    /// onto a node (round robin unless admission forced one), stores it and
+    /// notifies watchers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::AdmissionDenied`] when the hook rejects, or
+    /// [`ClusterError::UnknownNode`] when admission forced a bogus node.
+    pub fn create_instance(&self, template: InstanceTemplate) -> Result<InstanceSpec, ClusterError> {
+        // Run admission without holding the lock (the hook may call back).
+        let (mut spec, hook) = {
+            let mut inner = self.inner.lock();
+            let id = InstanceId(inner.next_id);
+            inner.next_id += 1;
+            (
+                InstanceSpec {
+                    id,
+                    function: template.function,
+                    node: None,
+                    env: template.env,
+                    volumes: Vec::new(),
+                    labels: template.labels,
+                },
+                inner.admission.clone(),
+            )
+        };
+        if let Some(hook) = hook {
+            hook(&mut spec).map_err(ClusterError::AdmissionDenied)?;
+        }
+        let mut inner = self.inner.lock();
+        match &spec.node {
+            Some(node) => {
+                if !inner.nodes.iter().any(|n| n.id() == node) {
+                    return Err(ClusterError::UnknownNode(node.to_string()));
+                }
+            }
+            None => {
+                let idx = inner.round_robin % inner.nodes.len();
+                inner.round_robin += 1;
+                spec.node = Some(inner.nodes[idx].id().clone());
+            }
+        }
+        inner.instances.insert(spec.id, spec.clone());
+        notify(&mut inner, WatchEvent::Created(spec.clone()));
+        Ok(spec)
+    }
+
+    /// Deletes an instance and notifies watchers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownInstance`] if it does not exist.
+    pub fn delete_instance(&self, id: InstanceId) -> Result<(), ClusterError> {
+        let mut inner = self.inner.lock();
+        inner.instances.remove(&id).ok_or(ClusterError::UnknownInstance(id))?;
+        notify(&mut inner, WatchEvent::Deleted(id));
+        Ok(())
+    }
+
+    /// Applies `patch` to an instance and notifies watchers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownInstance`] if it does not exist.
+    pub fn patch_instance(
+        &self,
+        id: InstanceId,
+        patch: impl FnOnce(&mut InstanceSpec),
+    ) -> Result<InstanceSpec, ClusterError> {
+        let mut inner = self.inner.lock();
+        let spec = inner.instances.get_mut(&id).ok_or(ClusterError::UnknownInstance(id))?;
+        patch(spec);
+        let spec = spec.clone();
+        notify(&mut inner, WatchEvent::Patched(spec.clone()));
+        Ok(spec)
+    }
+
+    /// Fetches an instance.
+    pub fn instance(&self, id: InstanceId) -> Option<InstanceSpec> {
+        self.inner.lock().instances.get(&id).cloned()
+    }
+
+    /// All instances, ordered by id.
+    pub fn instances(&self) -> Vec<InstanceSpec> {
+        self.inner.lock().instances.values().cloned().collect()
+    }
+
+    /// Instances scheduled on `node`.
+    pub fn instances_on(&self, node: &NodeId) -> Vec<InstanceSpec> {
+        self.inner
+            .lock()
+            .instances
+            .values()
+            .filter(|i| i.node.as_ref() == Some(node))
+            .cloned()
+            .collect()
+    }
+
+    /// Migrates an instance with Kubernetes' create-before-delete
+    /// semantics: a replacement with the same template is created (running
+    /// admission again, so the registry can re-allocate and force a new
+    /// node) and only then is the old instance deleted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownInstance`] for stale ids, or any
+    /// admission failure for the replacement.
+    pub fn replace_instance(&self, id: InstanceId) -> Result<InstanceSpec, ClusterError> {
+        let old = self.instance(id).ok_or(ClusterError::UnknownInstance(id))?;
+        let template = InstanceTemplate {
+            function: old.function.clone(),
+            env: BTreeMap::new(), // registry-injected env is re-derived at admission
+            labels: old.labels.clone(),
+        };
+        let replacement = self.create_instance(template)?;
+        self.delete_instance(id)?;
+        Ok(replacement)
+    }
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Cluster")
+            .field("nodes", &inner.nodes.len())
+            .field("instances", &inner.instances.len())
+            .finish()
+    }
+}
+
+fn notify(inner: &mut ClusterInner, event: WatchEvent) {
+    inner.watchers.retain(|w| w.send(event.clone()).is_ok());
+}
+
+#[cfg(test)]
+mod tests {
+    use bf_model::paper_cluster;
+
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(paper_cluster())
+    }
+
+    #[test]
+    fn scheduler_round_robins_without_admission() {
+        let c = cluster();
+        let nodes: Vec<_> = (0..6)
+            .map(|i| {
+                c.create_instance(InstanceTemplate::new(format!("f{i}")))
+                    .expect("create")
+                    .node
+                    .expect("scheduled")
+            })
+            .collect();
+        assert_eq!(nodes[0], nodes[3]);
+        assert_eq!(nodes[1], nodes[4]);
+        assert_eq!(nodes[2], nodes[5]);
+        assert_ne!(nodes[0], nodes[1]);
+    }
+
+    #[test]
+    fn admission_hook_patches_and_forces_node() {
+        let c = cluster();
+        c.set_admission_hook(Arc::new(|spec| {
+            spec.env.insert("DEVICE_MANAGER_ADDRESS".into(), "fpga-b".into());
+            spec.volumes.push("/dev/shm/bf".into());
+            spec.node = Some(NodeId::new("B"));
+            Ok(())
+        }));
+        let inst = c.create_instance(InstanceTemplate::new("sobel-1")).expect("create");
+        assert_eq!(inst.node, Some(NodeId::new("B")));
+        assert_eq!(inst.env.get("DEVICE_MANAGER_ADDRESS").map(String::as_str), Some("fpga-b"));
+        assert_eq!(inst.volumes, vec!["/dev/shm/bf".to_string()]);
+    }
+
+    #[test]
+    fn admission_can_reject() {
+        let c = cluster();
+        c.set_admission_hook(Arc::new(|_spec| Err("no device available".to_string())));
+        let err = c.create_instance(InstanceTemplate::new("f")).expect_err("denied");
+        assert_eq!(err, ClusterError::AdmissionDenied("no device available".to_string()));
+        assert!(c.instances().is_empty());
+    }
+
+    #[test]
+    fn admission_forcing_unknown_node_fails() {
+        let c = cluster();
+        c.set_admission_hook(Arc::new(|spec| {
+            spec.node = Some(NodeId::new("Z"));
+            Ok(())
+        }));
+        let err = c.create_instance(InstanceTemplate::new("f")).expect_err("bad node");
+        assert_eq!(err, ClusterError::UnknownNode("Z".to_string()));
+    }
+
+    #[test]
+    fn watch_delivers_lifecycle_events() {
+        let c = cluster();
+        let rx = c.watch();
+        let inst = c.create_instance(InstanceTemplate::new("f")).expect("create");
+        c.patch_instance(inst.id, |s| {
+            s.env.insert("K".into(), "V".into());
+        })
+        .expect("patch");
+        c.delete_instance(inst.id).expect("delete");
+        assert!(matches!(rx.try_recv(), Ok(WatchEvent::Created(_))));
+        assert!(matches!(rx.try_recv(), Ok(WatchEvent::Patched(_))));
+        assert_eq!(rx.try_recv(), Ok(WatchEvent::Deleted(inst.id)));
+    }
+
+    #[test]
+    fn replace_creates_before_deleting() {
+        let c = cluster();
+        let rx = c.watch();
+        let inst = c.create_instance(InstanceTemplate::new("f")).expect("create");
+        let _ = rx.try_recv();
+        let replacement = c.replace_instance(inst.id).expect("replace");
+        assert_ne!(replacement.id, inst.id);
+        // Create-before-delete ordering on the watch stream:
+        assert!(matches!(rx.try_recv(), Ok(WatchEvent::Created(spec)) if spec.id == replacement.id));
+        assert_eq!(rx.try_recv(), Ok(WatchEvent::Deleted(inst.id)));
+        assert!(c.instance(inst.id).is_none());
+        assert!(c.instance(replacement.id).is_some());
+    }
+
+    #[test]
+    fn instances_on_filters_by_node() {
+        let c = cluster();
+        let a = c.create_instance(InstanceTemplate::new("f1")).expect("create");
+        let _b = c.create_instance(InstanceTemplate::new("f2")).expect("create");
+        let node = a.node.clone().expect("scheduled");
+        let on_node = c.instances_on(&node);
+        assert_eq!(on_node.len(), 1);
+        assert_eq!(on_node[0].id, a.id);
+    }
+
+    #[test]
+    fn stale_ids_error() {
+        let c = cluster();
+        assert_eq!(
+            c.delete_instance(InstanceId(42)),
+            Err(ClusterError::UnknownInstance(InstanceId(42)))
+        );
+        assert!(c.patch_instance(InstanceId(42), |_| {}).is_err());
+        assert!(c.replace_instance(InstanceId(42)).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! The Device Manager service (paper §III-B, Fig. 3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bf_fpga::Board;
+use bf_metrics::MetricsRegistry;
+use bf_model::{NodeId, NodeSpec, VirtualTime};
+use bf_ocl::BitstreamCatalog;
+use bf_rpc::{duplex, ClientChannel, ClientId, PathCosts, ShmSegment};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::session::{run_session, SessionCtx};
+use crate::task::Task;
+use crate::worker::run_worker;
+
+/// Who may trigger a board reconfiguration through this manager.
+///
+/// In a full BlastFunction deployment the Accelerators Registry validates
+/// reconfiguration requests (§III-C); standalone managers can simply allow
+/// or deny them.
+#[derive(Clone)]
+pub enum ReconfigPolicy {
+    /// Any client may reconfigure (standalone/dev deployments).
+    Allow,
+    /// Nobody may reconfigure through the client API (the registry drives
+    /// reconfiguration out-of-band via [`DeviceManager::program`]).
+    Deny,
+    /// Ask a validator (the registry hook).
+    Validate(Arc<dyn Fn(&ReconfigRequest) -> bool + Send + Sync>),
+}
+
+impl std::fmt::Debug for ReconfigPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigPolicy::Allow => write!(f, "ReconfigPolicy::Allow"),
+            ReconfigPolicy::Deny => write!(f, "ReconfigPolicy::Deny"),
+            ReconfigPolicy::Validate(_) => write!(f, "ReconfigPolicy::Validate(..)"),
+        }
+    }
+}
+
+/// A reconfiguration attempt submitted to the policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigRequest {
+    /// Requesting client (function instance) name.
+    pub client_name: String,
+    /// Bitstream the client wants configured.
+    pub bitstream: String,
+    /// The device being reconfigured.
+    pub device_id: String,
+}
+
+/// Configuration of one Device Manager.
+#[derive(Debug, Clone)]
+pub struct DeviceManagerConfig {
+    /// Cluster-unique device id (e.g. `"fpga-b"`).
+    pub device_id: String,
+    /// Capacity of each client's shared-memory segment.
+    pub shm_capacity: u64,
+    /// Reconfiguration policy.
+    pub reconfig_policy: ReconfigPolicy,
+}
+
+impl DeviceManagerConfig {
+    /// A standalone manager: 512 MiB shm segments, reconfiguration allowed.
+    pub fn standalone(device_id: impl Into<String>) -> Self {
+        DeviceManagerConfig {
+            device_id: device_id.into(),
+            shm_capacity: 512 << 20,
+            reconfig_policy: ReconfigPolicy::Allow,
+        }
+    }
+
+    /// Overrides the reconfiguration policy.
+    pub fn with_policy(mut self, policy: ReconfigPolicy) -> Self {
+        self.reconfig_policy = policy;
+        self
+    }
+
+    /// Overrides the shared-memory segment capacity.
+    pub fn with_shm_capacity(mut self, capacity: u64) -> Self {
+        self.shm_capacity = capacity;
+        self
+    }
+}
+
+pub(crate) struct Shared {
+    pub config: DeviceManagerConfig,
+    pub node: NodeSpec,
+    pub board: Arc<Mutex<Board>>,
+    pub catalog: BitstreamCatalog,
+    pub metrics: MetricsRegistry,
+    pub connected: AtomicU64,
+}
+
+/// What [`DeviceManager::connect`] hands to a client: everything the
+/// Remote OpenCL Library needs to talk to this manager.
+#[derive(Debug, Clone)]
+pub struct ManagerEndpoint {
+    /// The manager's device id.
+    pub device_id: String,
+    /// Node hosting the device.
+    pub node: NodeId,
+    /// Session id assigned to this client.
+    pub client: ClientId,
+    /// The gRPC-like connection (requests out, completion stream in).
+    pub channel: ClientChannel,
+    /// Shared-memory segment, when the shm data path is in use.
+    pub shm: Option<ShmSegment>,
+    /// The connection's cost profile.
+    pub costs: PathCosts,
+}
+
+/// A Device Manager: fronts one FPGA board, multiplexing isolated client
+/// sessions onto it through multi-operation tasks and a central FIFO queue
+/// drained by a worker thread.
+///
+/// Cloning yields another handle to the same manager.
+#[derive(Clone)]
+pub struct DeviceManager {
+    shared: Arc<Shared>,
+    task_tx: Sender<Task>,
+    next_client: Arc<AtomicU64>,
+}
+
+impl DeviceManager {
+    /// Starts a manager for `board` on `node`, spawning the board worker
+    /// thread.
+    pub fn new(
+        config: DeviceManagerConfig,
+        node: NodeSpec,
+        board: Arc<Mutex<Board>>,
+        catalog: BitstreamCatalog,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            config,
+            node,
+            board,
+            catalog,
+            metrics: MetricsRegistry::new(),
+            connected: AtomicU64::new(0),
+        });
+        let (task_tx, task_rx) = unbounded();
+        {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("bf-devmgr-worker".to_string())
+                .spawn(move || run_worker(task_rx, shared))
+                .expect("spawn device-manager worker");
+        }
+        DeviceManager { shared, task_tx, next_client: Arc::new(AtomicU64::new(1)) }
+    }
+
+    /// The manager's device id.
+    pub fn device_id(&self) -> &str {
+        &self.shared.config.device_id
+    }
+
+    /// The node hosting the device.
+    pub fn node(&self) -> &NodeSpec {
+        &self.shared.node
+    }
+
+    /// The board behind the manager.
+    pub fn board(&self) -> &Arc<Mutex<Board>> {
+        &self.shared.board
+    }
+
+    /// The manager's metrics registry (what Prometheus would scrape).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// Prometheus text scrape of the manager's metrics.
+    pub fn scrape(&self) -> String {
+        self.refresh_gauges();
+        self.shared.metrics.scrape()
+    }
+
+    /// Currently configured bitstream id.
+    pub fn bitstream_id(&self) -> Option<String> {
+        self.shared.board.lock().bitstream_id().map(str::to_string)
+    }
+
+    /// Number of connected client sessions.
+    pub fn connected_clients(&self) -> u64 {
+        self.shared.connected.load(Ordering::SeqCst)
+    }
+
+    /// FPGA time utilization since the start of the run: busy time over the
+    /// board's current virtual horizon.
+    pub fn utilization(&self) -> f64 {
+        let board = self.shared.board.lock();
+        let horizon = board.available_at();
+        board.busy_tracker().utilization(VirtualTime::ZERO, horizon)
+    }
+
+    /// Utilization attributed to one function over `[from, to)`.
+    pub fn utilization_of(&self, from: VirtualTime, to: VirtualTime, owner: &str) -> f64 {
+        self.shared.board.lock().busy_tracker().utilization_of(from, to, owner)
+    }
+
+    /// Directly (re)programs the board — the registry-driven path, which
+    /// bypasses the client-facing policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown bitstream id when it is absent from the catalog.
+    pub fn program(&self, bitstream: &str) -> Result<(), String> {
+        let image = self
+            .shared
+            .catalog
+            .get(bitstream)
+            .ok_or_else(|| format!("unknown bitstream {bitstream:?}"))?;
+        let mut board = self.shared.board.lock();
+        if board.bitstream_id() != Some(bitstream) {
+            let now = board.available_at();
+            board.program(image, now, "registry");
+        }
+        Ok(())
+    }
+
+    /// Opens a client session, spawning its handler thread, and returns the
+    /// endpoint the Remote OpenCL Library connects with.
+    ///
+    /// The shared-memory data path is granted only when `costs` asks for it
+    /// and the client is co-located (not cross-node), mirroring §III-B.
+    pub fn connect(&self, client_name: &str, costs: PathCosts) -> ManagerEndpoint {
+        let client = ClientId(self.next_client.fetch_add(1, Ordering::SeqCst));
+        let (client_chan, server_chan) = duplex();
+        let use_shm =
+            costs.data_path() == bf_model::DataPathKind::SharedMemory && !costs.is_cross_node();
+        let shm = use_shm.then(|| ShmSegment::new(self.shared.config.shm_capacity));
+        self.shared.connected.fetch_add(1, Ordering::SeqCst);
+        let ctx = SessionCtx {
+            shared: self.shared.clone(),
+            task_tx: self.task_tx.clone(),
+            server: server_chan,
+            client,
+            name: client_name.to_string(),
+            costs,
+            shm: shm.clone(),
+        };
+        std::thread::Builder::new()
+            .name(format!("bf-devmgr-session-{}", client.0))
+            .spawn(move || run_session(ctx))
+            .expect("spawn device-manager session");
+        ManagerEndpoint {
+            device_id: self.shared.config.device_id.clone(),
+            node: self.shared.node.id().clone(),
+            client,
+            channel: client_chan,
+            shm,
+            costs,
+        }
+    }
+
+    fn refresh_gauges(&self) {
+        let device = self.shared.config.device_id.clone();
+        let util = self.utilization();
+        self.shared
+            .metrics
+            .gauge("bf_fpga_utilization", &[("device", device.as_str())])
+            .set(util);
+        self.shared
+            .metrics
+            .gauge("bf_manager_connected_clients", &[("device", device.as_str())])
+            .set(self.connected_clients() as f64);
+        let board = self.shared.board.lock();
+        self.shared
+            .metrics
+            .gauge("bf_fpga_busy_seconds", &[("device", device.as_str())])
+            .set(board.busy_tracker().total_busy().as_secs_f64());
+        self.shared
+            .metrics
+            .gauge("bf_fpga_reconfigurations", &[("device", device.as_str())])
+            .set(board.reconfigurations() as f64);
+    }
+}
+
+impl std::fmt::Debug for DeviceManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceManager")
+            .field("device_id", &self.shared.config.device_id)
+            .field("node", self.shared.node.id())
+            .field("connected", &self.connected_clients())
+            .finish()
+    }
+}

@@ -1,0 +1,354 @@
+//! Per-client session handling.
+//!
+//! Each connected client gets its own session thread and its own resource
+//! pool — the isolation mechanism of §III-B: handles are session-scoped, so
+//! a client can never name (let alone touch) another tenant's buffers,
+//! kernels or queues.
+//!
+//! *Context & information methods* are answered synchronously by this
+//! thread. *Command-queue methods* accumulate in the open task of the
+//! target queue; `Flush`/`Finish` seal the task and push it onto the
+//! manager's central queue.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use bf_fpga::{KernelArg, KernelInvocation};
+use bf_model::VirtualTime;
+use bf_rpc::{
+    ClientId, ErrorCode, PathCosts, Request, RequestEnvelope, Response, ResponseEnvelope,
+    ServerChannel, ShmSegment, WireArg,
+};
+use crossbeam::channel::Sender;
+
+use crate::manager::{ReconfigPolicy, ReconfigRequest, Shared};
+use crate::task::{Operation, Task};
+
+pub(crate) struct SessionCtx {
+    pub shared: Arc<Shared>,
+    pub task_tx: Sender<Task>,
+    pub server: ServerChannel,
+    pub client: ClientId,
+    pub name: String,
+    pub costs: PathCosts,
+    pub shm: Option<ShmSegment>,
+}
+
+#[derive(Debug, Default)]
+struct KernelSlot {
+    name: String,
+    args: BTreeMap<u32, WireArg>,
+}
+
+#[derive(Default)]
+struct SessionState {
+    next_handle: u64,
+    contexts: HashSet<u64>,
+    programs: HashMap<u64, String>,
+    kernels: HashMap<u64, KernelSlot>,
+    buffers: HashMap<u64, (bf_fpga::BufferId, u64)>,
+    queues: HashMap<u64, Vec<Operation>>,
+}
+
+impl SessionState {
+    fn fresh(&mut self) -> u64 {
+        self.next_handle += 1;
+        self.next_handle
+    }
+}
+
+type ReqResult = Result<(Response, VirtualTime), (ErrorCode, String)>;
+
+pub(crate) fn run_session(ctx: SessionCtx) {
+    let mut state = SessionState::default();
+    // Loop until the client hangs up or disconnects.
+    while let Ok(env) = ctx.server.recv() {
+        let disconnect = matches!(env.body, Request::Disconnect);
+        let arrival = env.sent_at + ctx.costs.control_hop();
+        let outcome = handle_request(&ctx, &mut state, &env, arrival);
+        let (body, sent_at) = match outcome {
+            Ok((body, at)) => (body, at),
+            Err((code, message)) => (Response::Error { code, message }, arrival),
+        };
+        // Best effort: a vanished client just ends the session.
+        if ctx.server.send(&ResponseEnvelope { tag: env.tag, sent_at, body }).is_err() {
+            break;
+        }
+        if disconnect {
+            break;
+        }
+    }
+    cleanup(&ctx, &mut state);
+    ctx.shared.connected.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+}
+
+fn cleanup(ctx: &SessionCtx, state: &mut SessionState) {
+    let mut board = ctx.shared.board.lock();
+    for (fpga, _) in state.buffers.values() {
+        let _ = board.free_buffer(*fpga);
+    }
+    state.buffers.clear();
+}
+
+fn handle_request(
+    ctx: &SessionCtx,
+    state: &mut SessionState,
+    env: &RequestEnvelope,
+    arrival: VirtualTime,
+) -> ReqResult {
+    match &env.body {
+        Request::Hello { .. } => Ok((Response::Handle { id: ctx.client.0 }, arrival)),
+        Request::GetDeviceInfo => {
+            let board = ctx.shared.board.lock();
+            Ok((
+                Response::DeviceInfo {
+                    name: board.spec().model.clone(),
+                    vendor: "Intel".to_string(),
+                    platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
+                    memory_bytes: board.spec().memory_bytes,
+                    node: ctx.shared.node.id().to_string(),
+                    bitstream: board.bitstream_id().map(str::to_string),
+                },
+                arrival,
+            ))
+        }
+        Request::CreateContext => {
+            let id = state.fresh();
+            state.contexts.insert(id);
+            Ok((Response::Handle { id }, arrival))
+        }
+        Request::BuildProgram { bitstream } => {
+            let done = ensure_bitstream(ctx, bitstream, arrival)?;
+            let id = state.fresh();
+            state.programs.insert(id, bitstream.clone());
+            Ok((Response::Handle { id }, done))
+        }
+        Request::Reconfigure { bitstream } => {
+            let done = ensure_bitstream(ctx, bitstream, arrival)?;
+            Ok((Response::Ack, done))
+        }
+        Request::CreateKernel { program, name } => {
+            let bitstream = state
+                .programs
+                .get(program)
+                .ok_or((ErrorCode::InvalidHandle, format!("program {program} not found")))?;
+            let image = ctx.shared.catalog.get(bitstream).ok_or((
+                ErrorCode::BuildFailure,
+                format!("bitstream {bitstream:?} missing from catalog"),
+            ))?;
+            if image.kernel(name).is_none() {
+                return Err((
+                    ErrorCode::BuildFailure,
+                    format!("kernel {name:?} not in bitstream {bitstream:?}"),
+                ));
+            }
+            let id = state.fresh();
+            state.kernels.insert(id, KernelSlot { name: name.clone(), args: BTreeMap::new() });
+            Ok((Response::Handle { id }, arrival))
+        }
+        Request::SetKernelArg { kernel, index, arg } => {
+            let slot = state
+                .kernels
+                .get_mut(kernel)
+                .ok_or((ErrorCode::InvalidHandle, format!("kernel {kernel} not found")))?;
+            slot.args.insert(*index, *arg);
+            Ok((Response::Ack, arrival))
+        }
+        Request::CreateBuffer { context, len } => {
+            if !state.contexts.contains(context) {
+                return Err((ErrorCode::InvalidHandle, format!("context {context} not found")));
+            }
+            let fpga = ctx
+                .shared
+                .board
+                .lock()
+                .alloc_buffer(*len)
+                .map_err(|e| (ErrorCode::OutOfResources, e.to_string()))?;
+            let id = state.fresh();
+            state.buffers.insert(id, (fpga, *len));
+            Ok((Response::Handle { id }, arrival))
+        }
+        Request::ReleaseBuffer { buffer } => {
+            let (fpga, _) = state
+                .buffers
+                .remove(buffer)
+                .ok_or((ErrorCode::AccessDenied, format!("buffer {buffer} is not yours")))?;
+            ctx.shared
+                .board
+                .lock()
+                .free_buffer(fpga)
+                .map_err(|e| (ErrorCode::Internal, e.to_string()))?;
+            Ok((Response::Ack, arrival))
+        }
+        Request::CreateQueue { context } => {
+            if !state.contexts.contains(context) {
+                return Err((ErrorCode::InvalidHandle, format!("context {context} not found")));
+            }
+            let id = state.fresh();
+            state.queues.insert(id, Vec::new());
+            Ok((Response::Handle { id }, arrival))
+        }
+        Request::EnqueueWrite { queue, buffer, offset, data } => {
+            let (fpga, _) = *state
+                .buffers
+                .get(buffer)
+                .ok_or((ErrorCode::AccessDenied, format!("buffer {buffer} is not yours")))?;
+            let ops = state
+                .queues
+                .get_mut(queue)
+                .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+            ops.push(Operation::Write { tag: env.tag, buffer: fpga, offset: *offset, data: data.clone() });
+            Ok((Response::Enqueued, arrival))
+        }
+        Request::EnqueueRead { queue, buffer, offset, len } => {
+            let (fpga, _) = *state
+                .buffers
+                .get(buffer)
+                .ok_or((ErrorCode::AccessDenied, format!("buffer {buffer} is not yours")))?;
+            let ops = state
+                .queues
+                .get_mut(queue)
+                .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+            ops.push(Operation::Read { tag: env.tag, buffer: fpga, offset: *offset, len: *len });
+            Ok((Response::Enqueued, arrival))
+        }
+        Request::EnqueueCopy { queue, src, dst, src_offset, dst_offset, len } => {
+            let (src_fpga, _) = *state
+                .buffers
+                .get(src)
+                .ok_or((ErrorCode::AccessDenied, format!("buffer {src} is not yours")))?;
+            let (dst_fpga, _) = *state
+                .buffers
+                .get(dst)
+                .ok_or((ErrorCode::AccessDenied, format!("buffer {dst} is not yours")))?;
+            let ops = state
+                .queues
+                .get_mut(queue)
+                .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+            ops.push(Operation::Copy {
+                tag: env.tag,
+                src: src_fpga,
+                dst: dst_fpga,
+                src_offset: *src_offset,
+                dst_offset: *dst_offset,
+                len: *len,
+            });
+            Ok((Response::Enqueued, arrival))
+        }
+        Request::EnqueueKernel { queue, kernel, work } => {
+            let invocation = resolve_invocation(state, *kernel, *work)?;
+            let name = state.kernels[kernel].name.clone();
+            let ops = state
+                .queues
+                .get_mut(queue)
+                .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+            ops.push(Operation::Kernel { tag: env.tag, name, invocation });
+            Ok((Response::Enqueued, arrival))
+        }
+        Request::Flush { queue } => {
+            submit_task(ctx, state, *queue, arrival, None)?;
+            Ok((Response::Ack, arrival))
+        }
+        Request::Finish { queue } => {
+            // The worker answers this tag once the task (and everything
+            // before it in the central queue) has drained; the Ack below
+            // only confirms submission.
+            submit_task(ctx, state, *queue, arrival, Some(env.tag))?;
+            Ok((Response::Enqueued, arrival))
+        }
+        Request::Disconnect => Ok((Response::Ack, arrival)),
+    }
+}
+
+fn ensure_bitstream(ctx: &SessionCtx, bitstream: &str, arrival: VirtualTime) -> Result<VirtualTime, (ErrorCode, String)> {
+    let image = ctx.shared.catalog.get(bitstream).ok_or((
+        ErrorCode::BuildFailure,
+        format!("unknown bitstream {bitstream:?}"),
+    ))?;
+    let mut board = ctx.shared.board.lock();
+    if board.bitstream_id() == Some(bitstream) {
+        return Ok(arrival);
+    }
+    let allowed = match &ctx.shared.config.reconfig_policy {
+        ReconfigPolicy::Allow => true,
+        ReconfigPolicy::Deny => false,
+        ReconfigPolicy::Validate(f) => f(&ReconfigRequest {
+            client_name: ctx.name.clone(),
+            bitstream: bitstream.to_string(),
+            device_id: ctx.shared.config.device_id.clone(),
+        }),
+    };
+    if !allowed {
+        return Err((
+            ErrorCode::ReconfigurationRefused,
+            format!("reconfiguration to {bitstream:?} refused by policy"),
+        ));
+    }
+    // Reconfiguration blocks every other operation (§III-B): it occupies
+    // the board itself, so queued tasks simply serialize around it.
+    let timing = board.program(image, arrival, &ctx.name);
+    Ok(timing.ended_at)
+}
+
+fn resolve_invocation(
+    state: &SessionState,
+    kernel: u64,
+    work: [u64; 3],
+) -> Result<KernelInvocation, (ErrorCode, String)> {
+    let slot = state
+        .kernels
+        .get(&kernel)
+        .ok_or((ErrorCode::InvalidHandle, format!("kernel {kernel} not found")))?;
+    let mut args = Vec::new();
+    if let Some(max) = slot.args.keys().next_back().copied() {
+        for i in 0..=max {
+            let arg = slot.args.get(&i).ok_or((
+                ErrorCode::InvalidLaunch,
+                format!("kernel argument {i} was never set"),
+            ))?;
+            args.push(match *arg {
+                WireArg::Buffer(handle) => {
+                    let (fpga, _) = state.buffers.get(&handle).ok_or((
+                        ErrorCode::AccessDenied,
+                        format!("buffer {handle} is not yours"),
+                    ))?;
+                    KernelArg::Buffer(*fpga)
+                }
+                WireArg::U32(v) => KernelArg::U32(v),
+                WireArg::I32(v) => KernelArg::I32(v),
+                WireArg::U64(v) => KernelArg::U64(v),
+                WireArg::F32(v) => KernelArg::F32(v),
+            });
+        }
+    }
+    Ok(KernelInvocation { args, global_work: work })
+}
+
+fn submit_task(
+    ctx: &SessionCtx,
+    state: &mut SessionState,
+    queue: u64,
+    arrival: VirtualTime,
+    finish_tag: Option<u64>,
+) -> Result<(), (ErrorCode, String)> {
+    let ops = state
+        .queues
+        .get_mut(&queue)
+        .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+    let ops = std::mem::take(ops);
+    if ops.is_empty() && finish_tag.is_none() {
+        return Ok(()); // nothing to flush
+    }
+    let task = Task {
+        client: ctx.client,
+        owner: ctx.name.clone(),
+        ops,
+        arrival,
+        responder: ctx.server.clone(),
+        shm: ctx.shm.clone(),
+        finish_tag,
+    };
+    ctx.task_tx.send(task).map_err(|_| {
+        (ErrorCode::Internal, "device manager worker is gone".to_string())
+    })
+}

@@ -1,0 +1,148 @@
+//! Multi-operation tasks: the atomic unit of execution (paper §III-B).
+//!
+//! Command-queue methods accumulate in the client's *open task*; a flush
+//! (explicit `clFlush`/`clFinish` or a blocking call) seals the task and
+//! sends it to the manager's central queue, where a worker executes its
+//! operations back-to-back on the board. Atomicity is what keeps one
+//! client's write→kernel→read sequence from interleaving with another
+//! tenant's operations and corrupting results.
+
+use bf_fpga::{BufferId, KernelInvocation};
+use bf_model::VirtualTime;
+use bf_rpc::{ClientId, DataRef, ServerChannel, ShmSegment};
+
+/// One operation inside a task, with the resolved board-level resources and
+/// the client event tag to notify on completion.
+#[derive(Debug, Clone)]
+pub enum Operation {
+    /// DMA data into a device buffer.
+    Write {
+        /// Client event tag.
+        tag: u64,
+        /// Resolved board buffer.
+        buffer: BufferId,
+        /// Destination offset.
+        offset: u64,
+        /// Payload reference (inline, shm region, or synthetic).
+        data: DataRef,
+    },
+    /// DMA data out of a device buffer.
+    Read {
+        /// Client event tag.
+        tag: u64,
+        /// Resolved board buffer.
+        buffer: BufferId,
+        /// Source offset.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// DDR-to-DDR copy between two device buffers.
+    Copy {
+        /// Client event tag.
+        tag: u64,
+        /// Resolved source buffer.
+        src: BufferId,
+        /// Resolved destination buffer.
+        dst: BufferId,
+        /// Source offset.
+        src_offset: u64,
+        /// Destination offset.
+        dst_offset: u64,
+        /// Bytes to copy.
+        len: u64,
+    },
+    /// Launch a kernel.
+    Kernel {
+        /// Client event tag.
+        tag: u64,
+        /// Kernel name inside the configured bitstream.
+        name: String,
+        /// Snapshot of the launch (arguments resolved at enqueue time).
+        invocation: KernelInvocation,
+    },
+}
+
+impl Operation {
+    /// The client event tag this operation notifies.
+    pub fn tag(&self) -> u64 {
+        match self {
+            Operation::Write { tag, .. }
+            | Operation::Read { tag, .. }
+            | Operation::Copy { tag, .. }
+            | Operation::Kernel { tag, .. } => *tag,
+        }
+    }
+}
+
+/// A sealed multi-operation task queued for the board worker.
+#[derive(Debug)]
+pub struct Task {
+    /// Owning client session.
+    pub client: ClientId,
+    /// Function-instance name for utilization attribution.
+    pub owner: String,
+    /// Operations to execute back-to-back, in order.
+    pub ops: Vec<Operation>,
+    /// Virtual instant the task reached the manager (flush arrival).
+    pub arrival: VirtualTime,
+    /// Channel for per-operation completion notifications.
+    pub responder: ServerChannel,
+    /// The client's shared-memory segment, when the shm data path is used.
+    pub shm: Option<ShmSegment>,
+    /// When set, a `Finish` waits on this task: the worker sends a
+    /// completion for this tag after the last operation.
+    pub finish_tag: Option<u64>,
+}
+
+impl Task {
+    /// Number of operations in the task.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the task carries no operations (a bare `Finish` fence).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_tags_are_extractable() {
+        let w = Operation::Write {
+            tag: 1,
+            buffer: BufferId(1),
+            offset: 0,
+            data: DataRef::Synthetic(8),
+        };
+        let r = Operation::Read { tag: 2, buffer: BufferId(1), offset: 0, len: 8 };
+        let k = Operation::Kernel {
+            tag: 3,
+            name: "k".into(),
+            invocation: KernelInvocation::new(vec![], 1),
+        };
+        assert_eq!(w.tag(), 1);
+        assert_eq!(r.tag(), 2);
+        assert_eq!(k.tag(), 3);
+    }
+
+    #[test]
+    fn empty_task_is_a_fence() {
+        let (_, server) = bf_rpc::duplex();
+        let task = Task {
+            client: ClientId(1),
+            owner: "f".into(),
+            ops: vec![],
+            arrival: VirtualTime::ZERO,
+            responder: server,
+            shm: None,
+            finish_tag: Some(9),
+        };
+        assert!(task.is_empty());
+        assert_eq!(task.len(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The board worker: drains the central task queue in FIFO order
+//! (paper Fig. 3, step 4) and notifies each operation's event punctually
+//! (step 5).
+
+use std::sync::Arc;
+
+use bf_fpga::{FpgaError, Payload};
+use bf_rpc::{DataRef, ErrorCode, Response, ResponseEnvelope};
+use crossbeam::channel::Receiver;
+
+use crate::manager::Shared;
+use crate::task::{Operation, Task};
+
+pub(crate) fn run_worker(task_rx: Receiver<Task>, shared: Arc<Shared>) {
+    while let Ok(task) = task_rx.recv() {
+        execute_task(&shared, task);
+    }
+}
+
+fn execute_task(shared: &Arc<Shared>, task: Task) {
+    let device = shared.config.device_id.clone();
+    let mut last_end = task.arrival;
+    for op in &task.ops {
+        let tag = op.tag();
+        let response = execute_op(shared, &task, op);
+        let (sent_at, body) = match response {
+            Ok((started, ended, data)) => {
+                last_end = last_end.max(ended);
+                shared
+                    .metrics
+                    .histogram("bf_manager_op_latency_ms", &[("device", device.as_str())])
+                    .observe((ended - started).as_millis_f64());
+                (ended, Response::Completed { started_at: started, ended_at: ended, data })
+            }
+            Err((code, message)) => (last_end, Response::Error { code, message }),
+        };
+        // A vanished client cannot receive notifications; keep executing so
+        // the board timeline and utilization stay consistent.
+        let _ = task.responder.send(&ResponseEnvelope { tag, sent_at, body });
+        shared.metrics.counter("bf_manager_ops_total", &[("device", device.as_str())]).inc();
+    }
+    if let Some(finish_tag) = task.finish_tag {
+        // A finish fence drains everything ahead of it in the central
+        // queue: its completion instant is the board's drain point, which
+        // (by FIFO) covers every earlier task — including an empty fence's
+        // predecessors.
+        let drain = shared.board.lock().available_at();
+        let ended = last_end.max(drain).max(task.arrival);
+        let _ = task.responder.send(&ResponseEnvelope {
+            tag: finish_tag,
+            sent_at: ended,
+            body: Response::Completed { started_at: task.arrival, ended_at: ended, data: None },
+        });
+    }
+    shared.metrics.counter("bf_manager_tasks_total", &[("device", device.as_str())]).inc();
+}
+
+type OpOutcome = Result<(bf_model::VirtualTime, bf_model::VirtualTime, Option<DataRef>), (ErrorCode, String)>;
+
+fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
+    let mut board = shared.board.lock();
+    match op {
+        Operation::Write { buffer, offset, data, .. } => {
+            let payload = resolve_payload(task, data)?;
+            let timing = board
+                .write_buffer(*buffer, *offset, &payload, task.arrival, &task.owner)
+                .map_err(map_fpga_err)?;
+            Ok((timing.started_at, timing.ended_at, None))
+        }
+        Operation::Read { buffer, offset, len, .. } => {
+            let (timing, payload) = board
+                .read_buffer(*buffer, *offset, *len, task.arrival, &task.owner)
+                .map_err(map_fpga_err)?;
+            let data = stage_read_result(task, payload);
+            Ok((timing.started_at, timing.ended_at, Some(data)))
+        }
+        Operation::Copy { src, dst, src_offset, dst_offset, len, .. } => {
+            let timing = board
+                .copy_buffer(*src, *dst, *src_offset, *dst_offset, *len, task.arrival, &task.owner)
+                .map_err(map_fpga_err)?;
+            Ok((timing.started_at, timing.ended_at, None))
+        }
+        Operation::Kernel { name, invocation, .. } => {
+            let timing = board
+                .launch_kernel(name, invocation, task.arrival, &task.owner)
+                .map_err(map_fpga_err)?;
+            Ok((timing.started_at, timing.ended_at, None))
+        }
+    }
+}
+
+/// Materializes a write payload from its wire reference: inline bytes pass
+/// through, shm references are read out of the client's segment, synthetic
+/// sizes stay synthetic.
+fn resolve_payload(task: &Task, data: &DataRef) -> Result<Payload, (ErrorCode, String)> {
+    match data {
+        DataRef::Inline(bytes) => Ok(Payload::Data(bytes.clone())),
+        DataRef::Synthetic(len) => Ok(Payload::Synthetic(*len)),
+        DataRef::Shm { offset, len } => {
+            let shm = task.shm.as_ref().ok_or((
+                ErrorCode::InvalidLaunch,
+                "shm payload on a connection without a segment".to_string(),
+            ))?;
+            let bytes = shm
+                .read(*offset, *len)
+                .map_err(|e| (ErrorCode::OutOfBounds, e.to_string()))?;
+            Ok(Payload::Data(bytes))
+        }
+    }
+}
+
+/// Ships a read result back: through the shm segment when available (the
+/// client copies it out — the single retained copy), inline otherwise.
+fn stage_read_result(task: &Task, payload: Payload) -> DataRef {
+    match payload {
+        Payload::Synthetic(len) => DataRef::Synthetic(len),
+        Payload::Data(bytes) => {
+            if let Some(shm) = &task.shm {
+                if let Ok(offset) = shm.alloc(bytes.len() as u64) {
+                    if shm.write(offset, &bytes).is_ok() {
+                        return DataRef::Shm { offset, len: bytes.len() as u64 };
+                    }
+                    let _ = shm.free(offset);
+                }
+                // Segment exhausted: fall back to the inline path rather
+                // than failing the read.
+            }
+            DataRef::Inline(bytes)
+        }
+    }
+}
+
+fn map_fpga_err(e: FpgaError) -> (ErrorCode, String) {
+    let code = match &e {
+        FpgaError::BufferNotFound(_) => ErrorCode::InvalidHandle,
+        FpgaError::OutOfMemory { .. } => ErrorCode::OutOfResources,
+        FpgaError::OutOfBounds { .. } => ErrorCode::OutOfBounds,
+        FpgaError::NoBitstream | FpgaError::KernelNotFound(_) => ErrorCode::BuildFailure,
+        FpgaError::InvalidKernelArgs(_) => ErrorCode::InvalidLaunch,
+    };
+    (code, e.to_string())
+}

@@ -1,0 +1,256 @@
+//! Bitstreams and the kernels they implement.
+//!
+//! A [`Bitstream`] is the unit of board (re)configuration: a named FPGA
+//! image carrying one or more kernels. Each kernel couples a
+//! [`KernelBehavior`] — its functional semantics plus a deterministic
+//! latency model — with launch-argument validation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bf_model::VirtualDuration;
+
+use crate::error::FpgaError;
+use crate::memory::{BufferId, DeviceMemory};
+
+/// One argument of a kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelArg {
+    /// A device buffer handle.
+    Buffer(BufferId),
+    /// A 32-bit unsigned scalar.
+    U32(u32),
+    /// A 32-bit signed scalar.
+    I32(i32),
+    /// A 64-bit unsigned scalar.
+    U64(u64),
+    /// A 32-bit float scalar.
+    F32(f32),
+}
+
+impl KernelArg {
+    /// Extracts a buffer handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidKernelArgs`] when the argument is a
+    /// scalar.
+    pub fn as_buffer(&self) -> Result<BufferId, FpgaError> {
+        match self {
+            KernelArg::Buffer(id) => Ok(*id),
+            other => Err(FpgaError::InvalidKernelArgs(format!("expected buffer, got {other:?}"))),
+        }
+    }
+
+    /// Extracts a `u32` scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidKernelArgs`] for any other variant.
+    pub fn as_u32(&self) -> Result<u32, FpgaError> {
+        match self {
+            KernelArg::U32(v) => Ok(*v),
+            other => Err(FpgaError::InvalidKernelArgs(format!("expected u32, got {other:?}"))),
+        }
+    }
+}
+
+/// A kernel launch: its arguments and NDRange size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelInvocation {
+    /// Positional launch arguments.
+    pub args: Vec<KernelArg>,
+    /// Global work size (OpenCL NDRange, up to 3 dimensions).
+    pub global_work: [u64; 3],
+}
+
+impl KernelInvocation {
+    /// Creates an invocation over a 1-D NDRange.
+    pub fn new(args: Vec<KernelArg>, items: u64) -> Self {
+        KernelInvocation { args, global_work: [items, 1, 1] }
+    }
+
+    /// Total number of work items.
+    pub fn work_items(&self) -> u64 {
+        self.global_work.iter().product()
+    }
+
+    /// Fetches argument `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::InvalidKernelArgs`] when out of range.
+    pub fn arg(&self, idx: usize) -> Result<&KernelArg, FpgaError> {
+        self.args
+            .get(idx)
+            .ok_or_else(|| FpgaError::InvalidKernelArgs(format!("missing argument {idx}")))
+    }
+}
+
+/// Functional semantics and latency model of one synthesized kernel.
+///
+/// Implementations must be deterministic: the same invocation against the
+/// same memory state produces the same output and the same duration —
+/// hardware kernels are fixed-function pipelines.
+pub trait KernelBehavior: Send + Sync {
+    /// Latency of the launch on the configured device.
+    fn duration(&self, invocation: &KernelInvocation) -> VirtualDuration;
+
+    /// Runs the kernel functionally against device memory.
+    ///
+    /// Called only when every referenced buffer is materialized; timing-only
+    /// launches (virtual buffers) skip it.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`FpgaError::InvalidKernelArgs`] for malformed
+    /// launches and may surface memory errors.
+    fn execute(
+        &self,
+        invocation: &KernelInvocation,
+        memory: &mut DeviceMemory,
+    ) -> Result<(), FpgaError>;
+}
+
+/// A named kernel inside a bitstream.
+#[derive(Clone)]
+pub struct KernelDescriptor {
+    name: String,
+    behavior: Arc<dyn KernelBehavior>,
+}
+
+impl KernelDescriptor {
+    /// Couples a kernel name with its behavior.
+    pub fn new(name: impl Into<String>, behavior: Arc<dyn KernelBehavior>) -> Self {
+        KernelDescriptor { name: name.into(), behavior }
+    }
+
+    /// The kernel's name (as `clCreateKernel` would look it up).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel's behavior.
+    pub fn behavior(&self) -> &Arc<dyn KernelBehavior> {
+        &self.behavior
+    }
+}
+
+impl fmt::Debug for KernelDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelDescriptor").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// A synthesized FPGA image: the unit of (re)configuration.
+#[derive(Debug, Clone)]
+pub struct Bitstream {
+    id: String,
+    kernels: Vec<KernelDescriptor>,
+}
+
+impl Bitstream {
+    /// Creates a bitstream named `id` with the given kernels.
+    pub fn new(id: impl Into<String>, kernels: Vec<KernelDescriptor>) -> Self {
+        Bitstream { id: id.into(), kernels }
+    }
+
+    /// The bitstream identifier (e.g. `"spector-sobel"`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The kernels the image contains.
+    pub fn kernels(&self) -> &[KernelDescriptor] {
+        &self.kernels
+    }
+
+    /// Looks up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelDescriptor> {
+        self.kernels.iter().find(|k| k.name() == name)
+    }
+}
+
+/// A [`KernelBehavior`] built from closures — convenient for tests and
+/// simple accelerators.
+pub struct FnKernel<D, E> {
+    duration: D,
+    execute: E,
+}
+
+impl<D, E> FnKernel<D, E>
+where
+    D: Fn(&KernelInvocation) -> VirtualDuration + Send + Sync,
+    E: Fn(&KernelInvocation, &mut DeviceMemory) -> Result<(), FpgaError> + Send + Sync,
+{
+    /// Couples a duration closure with an execution closure.
+    pub fn new(duration: D, execute: E) -> Self {
+        FnKernel { duration, execute }
+    }
+}
+
+impl<D, E> KernelBehavior for FnKernel<D, E>
+where
+    D: Fn(&KernelInvocation) -> VirtualDuration + Send + Sync,
+    E: Fn(&KernelInvocation, &mut DeviceMemory) -> Result<(), FpgaError> + Send + Sync,
+{
+    fn duration(&self, invocation: &KernelInvocation) -> VirtualDuration {
+        (self.duration)(invocation)
+    }
+
+    fn execute(
+        &self,
+        invocation: &KernelInvocation,
+        memory: &mut DeviceMemory,
+    ) -> Result<(), FpgaError> {
+        (self.execute)(invocation, memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_kernel(name: &str) -> KernelDescriptor {
+        KernelDescriptor::new(
+            name,
+            Arc::new(FnKernel::new(
+                |_inv| VirtualDuration::from_micros(10),
+                |_inv, _mem| Ok(()),
+            )),
+        )
+    }
+
+    #[test]
+    fn bitstream_lookup_by_name() {
+        let bs = Bitstream::new("img", vec![noop_kernel("a"), noop_kernel("b")]);
+        assert_eq!(bs.kernel("a").map(|k| k.name()), Some("a"));
+        assert!(bs.kernel("missing").is_none());
+        assert_eq!(bs.kernels().len(), 2);
+    }
+
+    #[test]
+    fn invocation_counts_work_items() {
+        let inv = KernelInvocation { args: vec![], global_work: [4, 3, 2] };
+        assert_eq!(inv.work_items(), 24);
+    }
+
+    #[test]
+    fn arg_extraction_is_typed() {
+        let inv = KernelInvocation::new(vec![KernelArg::U32(7), KernelArg::Buffer(BufferId(1))], 1);
+        assert_eq!(inv.arg(0).and_then(KernelArg::as_u32), Ok(7));
+        assert_eq!(inv.arg(1).and_then(KernelArg::as_buffer), Ok(BufferId(1)));
+        assert!(inv.arg(0).and_then(KernelArg::as_buffer).is_err());
+        assert!(inv.arg(9).is_err());
+    }
+
+    #[test]
+    fn fn_kernel_delegates() {
+        let k = FnKernel::new(
+            |inv: &KernelInvocation| VirtualDuration::from_nanos(inv.work_items()),
+            |_inv, _mem| Ok(()),
+        );
+        let inv = KernelInvocation::new(vec![], 42);
+        assert_eq!(k.duration(&inv), VirtualDuration::from_nanos(42));
+    }
+}

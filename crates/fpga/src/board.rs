@@ -1,0 +1,432 @@
+//! The board itself: a single-accelerator FPGA that executes operations one
+//! at a time on a virtual timeline.
+
+use std::sync::Arc;
+
+use bf_metrics::BusyTracker;
+use bf_model::{PcieLink, VirtualDuration, VirtualTime};
+
+use crate::bitstream::{Bitstream, KernelInvocation};
+use crate::error::FpgaError;
+use crate::memory::{BufferId, DeviceMemory, Payload};
+
+/// Static characteristics of a board model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardSpec {
+    /// Marketing name of the board.
+    pub model: String,
+    /// DDR capacity in bytes.
+    pub memory_bytes: u64,
+    /// Logic-element count (informational, surfaced via device info).
+    pub logic_elements: u64,
+    /// Time to program a full bitstream over PCIe.
+    pub reconfiguration_time: VirtualDuration,
+}
+
+impl BoardSpec {
+    /// The Terasic DE5a-Net used in the paper: Intel Arria 10 GX, 1150K
+    /// logic elements, 8 GB DDR over two SODIMM sockets; full
+    /// reconfiguration over PCIe takes a couple of seconds.
+    pub fn de5a_net() -> Self {
+        BoardSpec {
+            model: "Terasic DE5a-Net (Intel Arria 10 GX)".to_string(),
+            memory_bytes: 8 << 30,
+            logic_elements: 1_150_000,
+            reconfiguration_time: VirtualDuration::from_millis(2_200),
+        }
+    }
+}
+
+impl Default for BoardSpec {
+    fn default() -> Self {
+        Self::de5a_net()
+    }
+}
+
+/// Timing of one completed device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTiming {
+    /// When the operation was handed to the board.
+    pub issued_at: VirtualTime,
+    /// When the board actually started it (>= `issued_at`; the board is
+    /// serial, so a busy board delays the start).
+    pub started_at: VirtualTime,
+    /// When the operation finished.
+    pub ended_at: VirtualTime,
+}
+
+impl OpTiming {
+    /// Time spent waiting for the board.
+    pub fn queue_delay(&self) -> VirtualDuration {
+        self.started_at - self.issued_at
+    }
+
+    /// Time the board was busy with this operation.
+    pub fn service_time(&self) -> VirtualDuration {
+        self.ended_at - self.started_at
+    }
+}
+
+/// A simulated PCIe-attached FPGA board.
+///
+/// The board is *serial*: operations execute one at a time in issue order,
+/// exactly like a single compute-unit OpenCL accelerator fed by the Device
+/// Manager's central queue. Every data movement charges the PCIe link and
+/// every kernel launch charges its [`KernelBehavior`] duration; busy time
+/// is attributed to the issuing owner for utilization accounting.
+///
+/// [`KernelBehavior`]: crate::KernelBehavior
+#[derive(Debug)]
+pub struct Board {
+    spec: BoardSpec,
+    pcie: PcieLink,
+    bitstream: Option<Arc<Bitstream>>,
+    memory: DeviceMemory,
+    available_at: VirtualTime,
+    busy: BusyTracker,
+    reconfigurations: u64,
+}
+
+impl Board {
+    /// Creates a board with the given spec behind the given PCIe link.
+    pub fn new(spec: BoardSpec, pcie: PcieLink) -> Self {
+        let memory = DeviceMemory::new(spec.memory_bytes);
+        Board {
+            spec,
+            pcie,
+            bitstream: None,
+            memory,
+            available_at: VirtualTime::ZERO,
+            busy: BusyTracker::new(),
+            reconfigurations: 0,
+        }
+    }
+
+    /// The board spec.
+    pub fn spec(&self) -> &BoardSpec {
+        &self.spec
+    }
+
+    /// The PCIe link to the host.
+    pub fn pcie(&self) -> &PcieLink {
+        &self.pcie
+    }
+
+    /// The currently configured bitstream, if any.
+    pub fn bitstream(&self) -> Option<&Arc<Bitstream>> {
+        self.bitstream.as_ref()
+    }
+
+    /// Identifier of the configured bitstream, if any.
+    pub fn bitstream_id(&self) -> Option<&str> {
+        self.bitstream.as_ref().map(|b| b.id())
+    }
+
+    /// Number of reconfigurations performed.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// The device memory (for tests and kernels).
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Busy-time accounting for utilization metrics.
+    pub fn busy_tracker(&self) -> &BusyTracker {
+        &self.busy
+    }
+
+    /// The instant the board becomes idle.
+    pub fn available_at(&self) -> VirtualTime {
+        self.available_at
+    }
+
+    fn occupy(&mut self, now: VirtualTime, d: VirtualDuration, owner: &str) -> OpTiming {
+        let started_at = now.max(self.available_at);
+        let ended_at = started_at + d;
+        self.busy.record(started_at, ended_at, owner);
+        self.available_at = ended_at;
+        OpTiming { issued_at: now, started_at, ended_at }
+    }
+
+    /// Programs `bitstream` onto the board, wiping DDR content.
+    ///
+    /// Programming blocks the board for [`BoardSpec::reconfiguration_time`];
+    /// the busy interval is attributed to `owner` (usually the registry or
+    /// the requesting function).
+    pub fn program(
+        &mut self,
+        bitstream: Arc<Bitstream>,
+        now: VirtualTime,
+        owner: &str,
+    ) -> OpTiming {
+        let timing = self.occupy(now, self.spec.reconfiguration_time, owner);
+        self.memory.clear();
+        self.bitstream = Some(bitstream);
+        self.reconfigurations += 1;
+        timing
+    }
+
+    /// Allocates a device buffer (no board time is charged; `clCreateBuffer`
+    /// is a host-side bookkeeping call until data moves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::OutOfMemory`] when DDR is exhausted.
+    pub fn alloc_buffer(&mut self, len: u64) -> Result<BufferId, FpgaError> {
+        self.memory.alloc(len)
+    }
+
+    /// Frees a device buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] on a stale handle.
+    pub fn free_buffer(&mut self, id: BufferId) -> Result<(), FpgaError> {
+        self.memory.free(id)
+    }
+
+    /// Size of a device buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] on a stale handle.
+    pub fn buffer_len(&self, id: BufferId) -> Result<u64, FpgaError> {
+        self.memory.len_of(id)
+    }
+
+    /// DMA of `payload` into `buffer` at `offset`, charging the PCIe link.
+    ///
+    /// # Errors
+    ///
+    /// Returns memory errors; no board time is consumed on failure.
+    pub fn write_buffer(
+        &mut self,
+        buffer: BufferId,
+        offset: u64,
+        payload: &Payload,
+        now: VirtualTime,
+        owner: &str,
+    ) -> Result<OpTiming, FpgaError> {
+        self.memory.write(buffer, offset, payload)?;
+        let d = self.pcie.transfer_time(payload.len());
+        Ok(self.occupy(now, d, owner))
+    }
+
+    /// DMA of `len` bytes out of `buffer` at `offset`, charging the PCIe
+    /// link. Returns real bytes when the buffer is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns memory errors; no board time is consumed on failure.
+    pub fn read_buffer(
+        &mut self,
+        buffer: BufferId,
+        offset: u64,
+        len: u64,
+        now: VirtualTime,
+        owner: &str,
+    ) -> Result<(OpTiming, Payload), FpgaError> {
+        let payload = self.memory.read(buffer, offset, len)?;
+        let d = self.pcie.transfer_time(len);
+        Ok((self.occupy(now, d, owner), payload))
+    }
+
+    /// DDR-to-DDR copy between two device buffers (`clEnqueueCopyBuffer`):
+    /// no PCIe traversal, charged at the board's DDR bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns memory errors; no board time is consumed on failure.
+    #[allow(clippy::too_many_arguments)] // mirrors clEnqueueCopyBuffer's signature
+    pub fn copy_buffer(
+        &mut self,
+        src: BufferId,
+        dst: BufferId,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+        now: VirtualTime,
+        owner: &str,
+    ) -> Result<OpTiming, FpgaError> {
+        self.memory.copy(src, dst, src_offset, dst_offset, len)?;
+        // Two DDR2 SODIMM channels: ~10 GB/s effective read+write.
+        let d = VirtualDuration::from_micros(20)
+            + VirtualDuration::from_secs_f64(len as f64 / 10.0e9);
+        Ok(self.occupy(now, d, owner))
+    }
+
+    /// Launches a kernel from the configured bitstream.
+    ///
+    /// The launch charges the kernel's deterministic duration. Functional
+    /// execution happens only when every buffer argument is materialized;
+    /// otherwise the launch is timing-only (used by the large-transfer and
+    /// DES experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::NoBitstream`], [`FpgaError::KernelNotFound`],
+    /// or any error raised by the kernel itself. On failure no board time
+    /// is consumed.
+    pub fn launch_kernel(
+        &mut self,
+        name: &str,
+        invocation: &KernelInvocation,
+        now: VirtualTime,
+        owner: &str,
+    ) -> Result<OpTiming, FpgaError> {
+        let bitstream = self.bitstream.clone().ok_or(FpgaError::NoBitstream)?;
+        let kernel =
+            bitstream.kernel(name).ok_or_else(|| FpgaError::KernelNotFound(name.to_string()))?;
+        // Functional execution requires real input data. Output buffers are
+        // legitimately unwritten before the launch, so the gate is: run the
+        // kernel's math when *some* referenced buffer holds real bytes (the
+        // kernel materializes its outputs itself); an all-virtual launch is
+        // timing-only.
+        let buffer_args: Vec<_> = invocation
+            .args
+            .iter()
+            .filter_map(|arg| match arg {
+                crate::bitstream::KernelArg::Buffer(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let functional =
+            buffer_args.is_empty() || buffer_args.iter().any(|id| self.memory.is_materialized(*id));
+        if functional {
+            kernel.behavior().execute(invocation, &mut self.memory)?;
+        }
+        let d = kernel.behavior().duration(invocation);
+        Ok(self.occupy(now, d, owner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use bf_model::{PcieGeneration, VirtualDuration};
+
+    use super::*;
+    use crate::bitstream::{FnKernel, KernelArg, KernelDescriptor};
+
+    fn test_board() -> Board {
+        Board::new(BoardSpec::de5a_net(), PcieLink::new(PcieGeneration::Gen3, 8))
+    }
+
+    fn incr_bitstream() -> Arc<Bitstream> {
+        // A kernel that adds 1 to every byte of its single buffer argument.
+        let behavior = FnKernel::new(
+            |_inv: &KernelInvocation| VirtualDuration::from_micros(50),
+            |inv: &KernelInvocation, mem: &mut DeviceMemory| {
+                let buf = inv.arg(0)?.as_buffer()?;
+                for b in mem.bytes_mut(buf)? {
+                    *b = b.wrapping_add(1);
+                }
+                Ok(())
+            },
+        );
+        Arc::new(Bitstream::new("incr", vec![KernelDescriptor::new("incr", Arc::new(behavior))]))
+    }
+
+    #[test]
+    fn operations_serialize_on_the_board() {
+        let mut board = test_board();
+        let buf = board.alloc_buffer(1 << 20).expect("alloc");
+        let t0 = VirtualTime::ZERO;
+        let w1 = board
+            .write_buffer(buf, 0, &Payload::Synthetic(1 << 20), t0, "f1")
+            .expect("write 1");
+        let w2 = board
+            .write_buffer(buf, 0, &Payload::Synthetic(1 << 20), t0, "f2")
+            .expect("write 2");
+        assert_eq!(w2.started_at, w1.ended_at, "second op waits for the first");
+        assert!(w2.queue_delay() > VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn kernel_launch_is_functional_when_data_present() {
+        let mut board = test_board();
+        board.program(incr_bitstream(), VirtualTime::ZERO, "registry");
+        let buf = board.alloc_buffer(4).expect("alloc");
+        let now = board.available_at();
+        board.write_buffer(buf, 0, &Payload::Data(vec![1, 2, 3, 4]), now, "f").expect("write");
+        let inv = KernelInvocation::new(vec![KernelArg::Buffer(buf)], 4);
+        let now = board.available_at();
+        board.launch_kernel("incr", &inv, now, "f").expect("launch");
+        let now = board.available_at();
+        let (_, out) = board.read_buffer(buf, 0, 4, now, "f").expect("read");
+        assert_eq!(out, Payload::Data(vec![2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn kernel_launch_is_timing_only_on_virtual_buffers() {
+        let mut board = test_board();
+        board.program(incr_bitstream(), VirtualTime::ZERO, "registry");
+        let buf = board.alloc_buffer(1 << 10).expect("alloc");
+        let inv = KernelInvocation::new(vec![KernelArg::Buffer(buf)], 1 << 10);
+        let now = board.available_at();
+        let timing = board.launch_kernel("incr", &inv, now, "f").expect("launch");
+        assert_eq!(timing.service_time(), VirtualDuration::from_micros(50));
+        assert!(!board.memory().is_materialized(buf));
+    }
+
+    #[test]
+    fn launch_without_bitstream_fails() {
+        let mut board = test_board();
+        let inv = KernelInvocation::new(vec![], 1);
+        assert_eq!(
+            board.launch_kernel("x", &inv, VirtualTime::ZERO, "f"),
+            Err(FpgaError::NoBitstream)
+        );
+    }
+
+    #[test]
+    fn unknown_kernel_fails() {
+        let mut board = test_board();
+        board.program(incr_bitstream(), VirtualTime::ZERO, "r");
+        let inv = KernelInvocation::new(vec![], 1);
+        assert_eq!(
+            board.launch_kernel("nope", &inv, board.available_at(), "f"),
+            Err(FpgaError::KernelNotFound("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn reprogramming_wipes_memory_and_blocks_the_board() {
+        let mut board = test_board();
+        board.program(incr_bitstream(), VirtualTime::ZERO, "r");
+        let buf = board.alloc_buffer(128).expect("alloc");
+        let before = board.available_at();
+        let timing = board.program(incr_bitstream(), before, "r");
+        assert_eq!(timing.service_time(), board.spec().reconfiguration_time);
+        assert_eq!(board.buffer_len(buf), Err(FpgaError::BufferNotFound(buf.0)));
+        assert_eq!(board.reconfigurations(), 2);
+    }
+
+    #[test]
+    fn busy_time_is_attributed_per_owner() {
+        let mut board = test_board();
+        let buf = board.alloc_buffer(1 << 20).expect("alloc");
+        board
+            .write_buffer(buf, 0, &Payload::Synthetic(1 << 20), VirtualTime::ZERO, "f1")
+            .expect("w1");
+        let now = board.available_at();
+        board.write_buffer(buf, 0, &Payload::Synthetic(1 << 20), now, "f2").expect("w2");
+        let t = board.busy_tracker();
+        assert!(t.busy_of("f1") > VirtualDuration::ZERO);
+        assert_eq!(t.busy_of("f1"), t.busy_of("f2"));
+        assert_eq!(t.total_busy(), t.busy_of("f1") + t.busy_of("f2"));
+    }
+
+    #[test]
+    fn failed_ops_consume_no_board_time() {
+        let mut board = test_board();
+        let before = board.available_at();
+        let err = board.read_buffer(BufferId(99), 0, 4, VirtualTime::ZERO, "f");
+        assert!(err.is_err());
+        assert_eq!(board.available_at(), before);
+        assert!(board.busy_tracker().is_empty());
+    }
+}

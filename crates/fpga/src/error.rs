@@ -1,0 +1,77 @@
+//! Error type for board operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulated FPGA board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaError {
+    /// The referenced buffer does not exist on the device.
+    BufferNotFound(u64),
+    /// An allocation would exceed the board's DDR capacity.
+    OutOfMemory {
+        /// Bytes requested by the allocation.
+        requested: u64,
+        /// Bytes still available on the board.
+        available: u64,
+    },
+    /// A read or write touched bytes outside the buffer.
+    OutOfBounds {
+        /// The buffer that was accessed.
+        buffer: u64,
+        /// First byte of the access.
+        offset: u64,
+        /// Length of the access.
+        len: u64,
+        /// Allocated size of the buffer.
+        size: u64,
+    },
+    /// An operation needs a configured bitstream but the board is blank.
+    NoBitstream,
+    /// The configured bitstream does not contain the requested kernel.
+    KernelNotFound(String),
+    /// The kernel rejected its launch arguments.
+    InvalidKernelArgs(String),
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::BufferNotFound(id) => write!(f, "device buffer {id} not found"),
+            FpgaError::OutOfMemory { requested, available } => {
+                write!(f, "device out of memory: requested {requested} bytes, {available} free")
+            }
+            FpgaError::OutOfBounds { buffer, offset, len, size } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for buffer {buffer} of {size} bytes",
+                offset + len
+            ),
+            FpgaError::NoBitstream => write!(f, "no bitstream configured on the board"),
+            FpgaError::KernelNotFound(name) => {
+                write!(f, "kernel {name:?} not present in the configured bitstream")
+            }
+            FpgaError::InvalidKernelArgs(msg) => write!(f, "invalid kernel arguments: {msg}"),
+        }
+    }
+}
+
+impl Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FpgaError::OutOfBounds { buffer: 3, offset: 10, len: 20, size: 16 };
+        let msg = e.to_string();
+        assert!(msg.contains("buffer 3"));
+        assert!(msg.contains("16 bytes"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FpgaError>();
+    }
+}

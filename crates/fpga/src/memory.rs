@@ -1,0 +1,338 @@
+//! The board's on-card DDR memory.
+//!
+//! Buffers can be *materialized* (backed by real bytes so kernels execute
+//! functionally) or *virtual* (size-only, used when only timing matters —
+//! e.g. the 2 GB transfers of Fig. 4(a), which would be wasteful to
+//! allocate for every sweep point). A virtual buffer is materialized lazily
+//! the first time real data is written into it.
+
+use std::collections::HashMap;
+
+use crate::error::FpgaError;
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(pub u64);
+
+impl std::fmt::Display for BufferId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "buf#{}", self.0)
+    }
+}
+
+/// Payload of a transfer: real bytes or a size-only placeholder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Real data; kernels operating on it run functionally.
+    Data(Vec<u8>),
+    /// Size-only placeholder; the transfer is timed but carries no bytes.
+    Synthetic(u64),
+}
+
+impl Payload {
+    /// Number of bytes this payload represents.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Data(d) => d.len() as u64,
+            Payload::Synthetic(n) => *n,
+        }
+    }
+
+    /// Whether the payload represents zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the real bytes, if any.
+    pub fn as_data(&self) -> Option<&[u8]> {
+        match self {
+            Payload::Data(d) => Some(d),
+            Payload::Synthetic(_) => None,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(d: Vec<u8>) -> Self {
+        Payload::Data(d)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(d: &[u8]) -> Self {
+        Payload::Data(d.to_vec())
+    }
+}
+
+#[derive(Debug)]
+enum Storage {
+    Virtual,
+    Materialized(Vec<u8>),
+}
+
+#[derive(Debug)]
+struct Allocation {
+    len: u64,
+    storage: Storage,
+}
+
+/// The DDR memory banks of one board.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    allocations: HashMap<u64, Allocation>,
+}
+
+impl DeviceMemory {
+    /// Creates a memory pool of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { capacity, used: 0, next_id: 1, allocations: HashMap::new() }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Allocates a buffer of `len` bytes (virtual until data is written).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::OutOfMemory`] when `len` exceeds the free space.
+    pub fn alloc(&mut self, len: u64) -> Result<BufferId, FpgaError> {
+        if len > self.available() {
+            return Err(FpgaError::OutOfMemory { requested: len, available: self.available() });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.used += len;
+        self.allocations.insert(id, Allocation { len, storage: Storage::Virtual });
+        Ok(BufferId(id))
+    }
+
+    /// Frees a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] if the handle is stale.
+    pub fn free(&mut self, id: BufferId) -> Result<(), FpgaError> {
+        match self.allocations.remove(&id.0) {
+            Some(alloc) => {
+                self.used -= alloc.len;
+                Ok(())
+            }
+            None => Err(FpgaError::BufferNotFound(id.0)),
+        }
+    }
+
+    /// Size of a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] if the handle is stale.
+    pub fn len_of(&self, id: BufferId) -> Result<u64, FpgaError> {
+        self.allocations.get(&id.0).map(|a| a.len).ok_or(FpgaError::BufferNotFound(id.0))
+    }
+
+    /// Writes `payload` into the buffer at `offset`. Real data materializes
+    /// the buffer; synthetic payloads only validate bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] or [`FpgaError::OutOfBounds`].
+    pub fn write(&mut self, id: BufferId, offset: u64, payload: &Payload) -> Result<(), FpgaError> {
+        let alloc = self.allocations.get_mut(&id.0).ok_or(FpgaError::BufferNotFound(id.0))?;
+        let len = payload.len();
+        check_bounds(id, offset, len, alloc.len)?;
+        if let Payload::Data(data) = payload {
+            let backing = match &mut alloc.storage {
+                Storage::Materialized(v) => v,
+                storage @ Storage::Virtual => {
+                    *storage = Storage::Materialized(vec![0; alloc.len as usize]);
+                    match storage {
+                        Storage::Materialized(v) => v,
+                        Storage::Virtual => unreachable!("just materialized"),
+                    }
+                }
+            };
+            backing[offset as usize..(offset + len) as usize].copy_from_slice(data);
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `offset`. Returns real bytes if the
+    /// buffer is materialized, a synthetic placeholder otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] or [`FpgaError::OutOfBounds`].
+    pub fn read(&self, id: BufferId, offset: u64, len: u64) -> Result<Payload, FpgaError> {
+        let alloc = self.allocations.get(&id.0).ok_or(FpgaError::BufferNotFound(id.0))?;
+        check_bounds(id, offset, len, alloc.len)?;
+        Ok(match &alloc.storage {
+            Storage::Materialized(v) => {
+                Payload::Data(v[offset as usize..(offset + len) as usize].to_vec())
+            }
+            Storage::Virtual => Payload::Synthetic(len),
+        })
+    }
+
+    /// Whether a buffer currently holds real bytes.
+    pub fn is_materialized(&self, id: BufferId) -> bool {
+        matches!(
+            self.allocations.get(&id.0).map(|a| &a.storage),
+            Some(Storage::Materialized(_))
+        )
+    }
+
+    /// Mutable access to a materialized buffer's bytes (for kernels). The
+    /// buffer is materialized (zero-filled) if it was virtual.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] if the handle is stale.
+    pub fn bytes_mut(&mut self, id: BufferId) -> Result<&mut [u8], FpgaError> {
+        let alloc = self.allocations.get_mut(&id.0).ok_or(FpgaError::BufferNotFound(id.0))?;
+        if matches!(alloc.storage, Storage::Virtual) {
+            alloc.storage = Storage::Materialized(vec![0; alloc.len as usize]);
+        }
+        match &mut alloc.storage {
+            Storage::Materialized(v) => Ok(v.as_mut_slice()),
+            Storage::Virtual => unreachable!("materialized above"),
+        }
+    }
+
+    /// Immutable access to a buffer's bytes, or `None` while it is virtual.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] if the handle is stale.
+    pub fn bytes(&self, id: BufferId) -> Result<Option<&[u8]>, FpgaError> {
+        let alloc = self.allocations.get(&id.0).ok_or(FpgaError::BufferNotFound(id.0))?;
+        Ok(match &alloc.storage {
+            Storage::Materialized(v) => Some(v.as_slice()),
+            Storage::Virtual => None,
+        })
+    }
+
+    /// Copies `len` bytes between two device buffers (DDR-to-DDR). When
+    /// the source is virtual the destination region is left as-is for
+    /// materialized buffers (timing-only copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BufferNotFound`] or [`FpgaError::OutOfBounds`].
+    pub fn copy(
+        &mut self,
+        src: BufferId,
+        dst: BufferId,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+    ) -> Result<(), FpgaError> {
+        let payload = self.read(src, src_offset, len)?;
+        // Validate destination bounds even for synthetic payloads.
+        let dst_len = self.len_of(dst)?;
+        check_bounds(dst, dst_offset, len, dst_len)?;
+        if let Payload::Data(_) = &payload {
+            self.write(dst, dst_offset, &payload)?;
+        }
+        Ok(())
+    }
+
+    /// Drops every allocation (a board reconfiguration wipes DDR content).
+    pub fn clear(&mut self) {
+        self.allocations.clear();
+        self.used = 0;
+    }
+}
+
+fn check_bounds(id: BufferId, offset: u64, len: u64, size: u64) -> Result<(), FpgaError> {
+    if offset.checked_add(len).is_none_or(|end| end > size) {
+        return Err(FpgaError::OutOfBounds { buffer: id.0, offset, len, size });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let buf = mem.alloc(16).expect("alloc");
+        mem.write(buf, 4, &Payload::Data(vec![1, 2, 3])).expect("write");
+        let got = mem.read(buf, 4, 3).expect("read");
+        assert_eq!(got, Payload::Data(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn virtual_buffers_stay_virtual_under_synthetic_io() {
+        let mut mem = DeviceMemory::new(1 << 30);
+        let buf = mem.alloc(1 << 20).expect("alloc");
+        mem.write(buf, 0, &Payload::Synthetic(1 << 20)).expect("write");
+        assert!(!mem.is_materialized(buf));
+        let got = mem.read(buf, 0, 128).expect("read");
+        assert_eq!(got, Payload::Synthetic(128));
+    }
+
+    #[test]
+    fn materialization_zero_fills() {
+        let mut mem = DeviceMemory::new(64);
+        let buf = mem.alloc(8).expect("alloc");
+        mem.write(buf, 6, &Payload::Data(vec![9, 9])).expect("write");
+        assert_eq!(mem.read(buf, 0, 8).expect("read"), Payload::Data(vec![0, 0, 0, 0, 0, 0, 9, 9]));
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut mem = DeviceMemory::new(10);
+        assert!(mem.alloc(8).is_ok());
+        let err = mem.alloc(8).expect_err("should be OOM");
+        assert_eq!(err, FpgaError::OutOfMemory { requested: 8, available: 2 });
+    }
+
+    #[test]
+    fn free_releases_space() {
+        let mut mem = DeviceMemory::new(10);
+        let buf = mem.alloc(8).expect("alloc");
+        mem.free(buf).expect("free");
+        assert_eq!(mem.available(), 10);
+        assert_eq!(mem.free(buf), Err(FpgaError::BufferNotFound(buf.0)));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut mem = DeviceMemory::new(100);
+        let buf = mem.alloc(10).expect("alloc");
+        assert!(matches!(
+            mem.write(buf, 8, &Payload::Data(vec![0; 4])),
+            Err(FpgaError::OutOfBounds { .. })
+        ));
+        assert!(matches!(mem.read(buf, 0, 11), Err(FpgaError::OutOfBounds { .. })));
+        // Offset overflow must not wrap.
+        assert!(matches!(mem.read(buf, u64::MAX, 2), Err(FpgaError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let mut mem = DeviceMemory::new(100);
+        let buf = mem.alloc(10).expect("alloc");
+        mem.clear();
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.len_of(buf), Err(FpgaError::BufferNotFound(buf.0)));
+    }
+}

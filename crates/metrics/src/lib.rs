@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+
+//! # bf-metrics — Prometheus substrate + FPGA time-utilization accounting
+//!
+//! The paper's Accelerators Registry consumes runtime metrics (device
+//! utilization, connected functions, latencies) scraped by a Prometheus
+//! service from each Device Manager. This crate provides that substrate:
+//!
+//! * [`MetricsRegistry`] with [`Counter`], [`Gauge`] and [`Histogram`]
+//!   series and the Prometheus *text exposition format* ([`MetricsRegistry::scrape`]);
+//! * [`BusyTracker`] implementing the paper's definition of FPGA time
+//!   utilization ("time spent computing OpenCL calls in a given amount of
+//!   time"), with per-tenant attribution.
+//!
+//! ```
+//! use bf_metrics::{BusyTracker, MetricsRegistry};
+//! use bf_model::VirtualTime;
+//!
+//! let registry = MetricsRegistry::new();
+//! let mut busy = BusyTracker::new();
+//! busy.record(VirtualTime::ZERO, VirtualTime::from_nanos(300), "sobel-1");
+//! let util = busy.utilization(VirtualTime::ZERO, VirtualTime::from_nanos(1_000));
+//! registry.gauge("bf_fpga_utilization", &[("device", "fpga-a")]).set(util);
+//! assert!(registry.scrape().contains("bf_fpga_utilization"));
+//! ```
+
+mod core;
+mod utilization;
+
+pub use crate::core::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
+pub use crate::utilization::{BusyInterval, BusyTracker};
+
+#[cfg(test)]
+mod proptests {
+    use bf_model::VirtualTime;
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Busy fraction can never exceed 1 for any window, no matter how
+        /// the (non-overlapping) intervals are laid out.
+        #[test]
+        fn utilization_is_bounded(
+            gaps in proptest::collection::vec((0u64..1_000, 0u64..1_000), 1..50),
+            from in 0u64..100_000,
+            span in 1u64..100_000,
+        ) {
+            let mut tracker = BusyTracker::new();
+            let mut cursor = 0u64;
+            for (gap, busy) in gaps {
+                cursor += gap;
+                let start = cursor;
+                cursor += busy;
+                tracker.record(
+                    VirtualTime::from_nanos(start),
+                    VirtualTime::from_nanos(cursor),
+                    "f",
+                );
+            }
+            let u = tracker.utilization(
+                VirtualTime::from_nanos(from),
+                VirtualTime::from_nanos(from + span),
+            );
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+
+        /// Per-owner busy times always sum to the total.
+        #[test]
+        fn owner_attribution_sums_to_total(
+            segments in proptest::collection::vec((0u64..500, 1u64..500, 0u8..4), 1..50),
+        ) {
+            let mut tracker = BusyTracker::new();
+            let mut cursor = 0u64;
+            for (gap, busy, owner) in &segments {
+                cursor += gap;
+                let start = cursor;
+                cursor += busy;
+                tracker.record(
+                    VirtualTime::from_nanos(start),
+                    VirtualTime::from_nanos(cursor),
+                    &format!("f{owner}"),
+                );
+            }
+            let sum: u64 = (0u8..4)
+                .map(|o| tracker.busy_of(&format!("f{o}")).as_nanos())
+                .sum();
+            prop_assert_eq!(sum, tracker.total_busy().as_nanos());
+        }
+
+        /// Histogram quantiles are monotone in q.
+        #[test]
+        fn quantiles_are_monotone(values in proptest::collection::vec(0.0f64..5_000.0, 1..200)) {
+            let h = Histogram::latency_ms();
+            for v in &values {
+                h.observe(*v);
+            }
+            let q25 = h.quantile(0.25).expect("non-empty");
+            let q50 = h.quantile(0.50).expect("non-empty");
+            let q99 = h.quantile(0.99).expect("non-empty");
+            prop_assert!(q25 <= q50 + 1e-9);
+            prop_assert!(q50 <= q99 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! FPGA time-utilization accounting.
+//!
+//! The paper defines FPGA time utilization as *"the time spent by the device
+//! computing OpenCL calls in a given amount of time"*. [`BusyTracker`]
+//! records busy intervals on the virtual timeline — attributed to the
+//! client/function that caused them — and answers utilization queries over
+//! arbitrary windows.
+
+use std::collections::BTreeMap;
+
+use bf_model::{VirtualDuration, VirtualTime};
+use serde::{Deserialize, Serialize};
+
+/// One recorded busy interval with the tenant that caused it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusyInterval {
+    /// Start of the interval.
+    pub start: VirtualTime,
+    /// End of the interval (`end >= start`).
+    pub end: VirtualTime,
+    /// Owner attribution (function/client name).
+    pub owner: String,
+}
+
+/// Accumulates device busy time attributed per owner.
+///
+/// Intervals must not overlap: the device executes one operation at a time
+/// (the whole point of the Device Manager's central FIFO queue), and the
+/// tracker enforces it.
+///
+/// ```
+/// use bf_metrics::BusyTracker;
+/// use bf_model::VirtualTime;
+///
+/// let mut t = BusyTracker::new();
+/// t.record(VirtualTime::from_nanos(0), VirtualTime::from_nanos(500), "sobel-1");
+/// t.record(VirtualTime::from_nanos(500), VirtualTime::from_nanos(1_000), "sobel-2");
+/// let u = t.utilization(VirtualTime::from_nanos(0), VirtualTime::from_nanos(2_000));
+/// assert_eq!(u, 0.5);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BusyTracker {
+    intervals: Vec<BusyInterval>,
+    last_end: VirtualTime,
+    total: VirtualDuration,
+    per_owner: BTreeMap<String, VirtualDuration>,
+}
+
+impl BusyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a busy interval `[start, end)` attributed to `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or the interval overlaps a previously
+    /// recorded one (the device cannot execute two operations at once).
+    pub fn record(&mut self, start: VirtualTime, end: VirtualTime, owner: &str) {
+        assert!(end >= start, "busy interval ends before it starts");
+        assert!(
+            start >= self.last_end,
+            "busy intervals must not overlap: {} < {}",
+            start,
+            self.last_end
+        );
+        if end > start {
+            let d = end - start;
+            self.total += d;
+            *self.per_owner.entry(owner.to_string()).or_default() += d;
+            self.intervals.push(BusyInterval { start, end, owner: owner.to_string() });
+        }
+        self.last_end = self.last_end.max(end);
+    }
+
+    /// Total busy time over the whole recorded history.
+    pub fn total_busy(&self) -> VirtualDuration {
+        self.total
+    }
+
+    /// Busy time attributed to `owner` over the whole history.
+    pub fn busy_of(&self, owner: &str) -> VirtualDuration {
+        self.per_owner.get(owner).copied().unwrap_or(VirtualDuration::ZERO)
+    }
+
+    /// All owners that contributed busy time.
+    pub fn owners(&self) -> impl Iterator<Item = &str> {
+        self.per_owner.keys().map(String::as_str)
+    }
+
+    /// Busy time that falls inside the window `[from, to)`.
+    pub fn busy_in_window(&self, from: VirtualTime, to: VirtualTime) -> VirtualDuration {
+        self.busy_in_window_filtered(from, to, None)
+    }
+
+    /// Busy time inside `[from, to)` attributed to `owner`.
+    pub fn busy_in_window_of(
+        &self,
+        from: VirtualTime,
+        to: VirtualTime,
+        owner: &str,
+    ) -> VirtualDuration {
+        self.busy_in_window_filtered(from, to, Some(owner))
+    }
+
+    fn busy_in_window_filtered(
+        &self,
+        from: VirtualTime,
+        to: VirtualTime,
+        owner: Option<&str>,
+    ) -> VirtualDuration {
+        let mut acc = VirtualDuration::ZERO;
+        for iv in &self.intervals {
+            if let Some(owner) = owner {
+                if iv.owner != owner {
+                    continue;
+                }
+            }
+            let s = iv.start.max(from);
+            let e = iv.end.min(to);
+            if e > s {
+                acc += e - s;
+            }
+        }
+        acc
+    }
+
+    /// Utilization (busy fraction in `[0, 1]`) over the window `[from, to)`.
+    ///
+    /// Returns `0.0` for an empty window.
+    pub fn utilization(&self, from: VirtualTime, to: VirtualTime) -> f64 {
+        let window = to.saturating_since(from);
+        if window == VirtualDuration::ZERO {
+            return 0.0;
+        }
+        self.busy_in_window(from, to).as_secs_f64() / window.as_secs_f64()
+    }
+
+    /// Utilization fraction of `owner` over the window `[from, to)`.
+    pub fn utilization_of(&self, from: VirtualTime, to: VirtualTime, owner: &str) -> f64 {
+        let window = to.saturating_since(from);
+        if window == VirtualDuration::ZERO {
+            return 0.0;
+        }
+        self.busy_in_window_of(from, to, owner).as_secs_f64() / window.as_secs_f64()
+    }
+
+    /// The recorded intervals, in chronological order.
+    pub fn intervals(&self) -> &[BusyInterval] {
+        &self.intervals
+    }
+
+    /// Number of recorded intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether no intervals are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> VirtualTime {
+        VirtualTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn utilization_over_full_window() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(250), "f1");
+        b.record(t(500), t(750), "f2");
+        assert_eq!(b.utilization(t(0), t(1_000)), 0.5);
+        assert_eq!(b.utilization_of(t(0), t(1_000), "f1"), 0.25);
+        assert_eq!(b.utilization_of(t(0), t(1_000), "f2"), 0.25);
+        assert_eq!(b.utilization_of(t(0), t(1_000), "nope"), 0.0);
+    }
+
+    #[test]
+    fn window_clips_partial_intervals() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(1_000), "f");
+        assert_eq!(b.busy_in_window(t(250), t(750)).as_nanos(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_intervals_are_rejected() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(100), "f");
+        b.record(t(50), t(150), "f");
+    }
+
+    #[test]
+    fn zero_length_interval_is_a_noop() {
+        let mut b = BusyTracker::new();
+        b.record(t(10), t(10), "f");
+        assert!(b.is_empty());
+        assert_eq!(b.total_busy(), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn per_owner_totals_accumulate() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(100), "f1");
+        b.record(t(100), t(300), "f2");
+        b.record(t(300), t(350), "f1");
+        assert_eq!(b.busy_of("f1").as_nanos(), 150);
+        assert_eq!(b.busy_of("f2").as_nanos(), 200);
+        assert_eq!(b.total_busy().as_nanos(), 350);
+        assert_eq!(b.owners().count(), 2);
+    }
+
+    #[test]
+    fn empty_window_yields_zero() {
+        let b = BusyTracker::new();
+        assert_eq!(b.utilization(t(5), t(5)), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! A shared, monotonically advancing virtual clock.
+//!
+//! In *direct mode* the BlastFunction components run on real threads while
+//! latencies are computed on the virtual timeline. Each participant (client
+//! application, device manager worker, …) observes completion timestamps and
+//! advances a shared [`VirtualClock`]; the clock only ever moves forward, so
+//! concurrent advances from several threads are safe and deterministic given
+//! a deterministic set of observed timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{VirtualDuration, VirtualTime};
+
+/// A thread-safe monotonic virtual clock.
+///
+/// Cloning a `VirtualClock` yields a handle to the *same* timeline.
+///
+/// ```
+/// use bf_model::{VirtualClock, VirtualDuration};
+///
+/// let clock = VirtualClock::new();
+/// let handle = clock.clone();
+/// clock.advance_by(VirtualDuration::from_millis(5));
+/// assert_eq!(handle.now().as_millis_f64(), 5.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock positioned at the timeline origin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock positioned at `start`.
+    pub fn starting_at(start: VirtualTime) -> Self {
+        VirtualClock { nanos: Arc::new(AtomicU64::new(start.as_nanos())) }
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> VirtualTime {
+        VirtualTime::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    /// Moves the clock forward to `t` if `t` is later than the current
+    /// instant; otherwise leaves it unchanged. Returns the new current
+    /// instant.
+    pub fn advance_to(&self, t: VirtualTime) -> VirtualTime {
+        self.nanos.fetch_max(t.as_nanos(), Ordering::SeqCst);
+        self.now()
+    }
+
+    /// Moves the clock forward by `d` relative to the instant observed at
+    /// the start of the call and returns the new instant.
+    ///
+    /// Note that under concurrent use the clock may end up further ahead
+    /// than `now + d` if another thread advanced it in the meantime; the
+    /// clock never moves backwards.
+    pub fn advance_by(&self, d: VirtualDuration) -> VirtualTime {
+        let target = self.now() + d;
+        self.advance_to(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = VirtualClock::new();
+        clock.advance_to(VirtualTime::from_nanos(100));
+        clock.advance_to(VirtualTime::from_nanos(50));
+        assert_eq!(clock.now(), VirtualTime::from_nanos(100));
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let clock = VirtualClock::new();
+        let other = clock.clone();
+        other.advance_by(VirtualDuration::from_micros(7));
+        assert_eq!(clock.now(), VirtualTime::from_nanos(7_000));
+    }
+
+    #[test]
+    fn starting_at_offsets_origin() {
+        let clock = VirtualClock::starting_at(VirtualTime::from_nanos(42));
+        assert_eq!(clock.now().as_nanos(), 42);
+    }
+
+    #[test]
+    fn concurrent_advances_never_go_backwards() {
+        let clock = VirtualClock::new();
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let c = clock.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..1_000u64 {
+                    c.advance_to(VirtualTime::from_nanos(i * 1_000 + j));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("thread panicked");
+        }
+        assert_eq!(clock.now(), VirtualTime::from_nanos(7_999));
+    }
+}

@@ -1,0 +1,194 @@
+//! Node descriptions for the paper's three-machine cluster.
+//!
+//! * **Node A** (master): Xeon W3530 @ 2.80 GHz, DDR3, PCIe **gen2** x8 to
+//!   its DE5a-Net board — the slowest machine; the paper observes it
+//!   saturating first under high load.
+//! * **Nodes B, C** (workers): Core i7-6700 @ 3.40 GHz, DDR4, PCIe **gen3**
+//!   x8 — identical.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::{MemcpyModel, PcieGeneration, PcieLink};
+use crate::time::VirtualDuration;
+
+/// Identifier of a cluster node.
+///
+/// ```
+/// use bf_model::NodeId;
+///
+/// let a = NodeId::new("A");
+/// assert_eq!(a.to_string(), "A");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(String);
+
+impl NodeId {
+    /// Creates a node id from any string-like value.
+    pub fn new(id: impl Into<String>) -> Self {
+        NodeId(id.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for NodeId {
+    fn from(s: &str) -> Self {
+        NodeId::new(s)
+    }
+}
+
+/// Static description of a cluster node: its host CPU/memory performance and
+/// the PCIe link to its FPGA board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    id: NodeId,
+    pcie: PcieLink,
+    memcpy: MemcpyModel,
+    /// Multiplier on host-side (CPU) processing costs relative to a worker
+    /// node; >1 means slower.
+    cpu_factor: f64,
+    /// Base host-side request handling cost on this node (function wrapper +
+    /// gateway fan-in), before the `cpu_factor` multiplier.
+    base_host_overhead: VirtualDuration,
+}
+
+impl NodeSpec {
+    /// Creates a node spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_factor` is not strictly positive.
+    pub fn new(
+        id: NodeId,
+        pcie: PcieLink,
+        memcpy: MemcpyModel,
+        cpu_factor: f64,
+        base_host_overhead: VirtualDuration,
+    ) -> Self {
+        assert!(cpu_factor > 0.0, "cpu_factor must be positive");
+        NodeSpec { id, pcie, memcpy, cpu_factor, base_host_overhead }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> &NodeId {
+        &self.id
+    }
+
+    /// The PCIe link to the node's FPGA board.
+    pub fn pcie(&self) -> &PcieLink {
+        &self.pcie
+    }
+
+    /// The node's host-memory copy model.
+    pub fn memcpy(&self) -> &MemcpyModel {
+        &self.memcpy
+    }
+
+    /// CPU slowness multiplier relative to a worker node.
+    pub fn cpu_factor(&self) -> f64 {
+        self.cpu_factor
+    }
+
+    /// Host-side request overhead (function wrapper + gateway processing)
+    /// on this node, with the CPU factor applied.
+    pub fn host_overhead(&self) -> VirtualDuration {
+        self.base_host_overhead.mul_f64(self.cpu_factor)
+    }
+
+    /// Scales an arbitrary CPU-bound cost by this node's CPU factor.
+    pub fn scale_cpu(&self, d: VirtualDuration) -> VirtualDuration {
+        d.mul_f64(self.cpu_factor)
+    }
+}
+
+/// The paper's master node A: gen2 x8 PCIe, DDR3, older Xeon.
+pub fn node_a() -> NodeSpec {
+    NodeSpec::new(
+        NodeId::new("A"),
+        PcieLink::new(PcieGeneration::Gen2, 8),
+        MemcpyModel::new(8.0e9),
+        2.2,
+        VirtualDuration::from_millis_f64(3.5),
+    )
+}
+
+/// The paper's worker node B: gen3 x8 PCIe, DDR4, i7-6700.
+pub fn node_b() -> NodeSpec {
+    worker_node("B")
+}
+
+/// The paper's worker node C: identical to B.
+pub fn node_c() -> NodeSpec {
+    worker_node("C")
+}
+
+fn worker_node(id: &str) -> NodeSpec {
+    NodeSpec::new(
+        NodeId::new(id),
+        PcieLink::new(PcieGeneration::Gen3, 8),
+        MemcpyModel::paper(),
+        1.0,
+        VirtualDuration::from_millis_f64(3.5),
+    )
+}
+
+/// The full three-node testbed of Section IV, in the paper's order A, B, C.
+pub fn paper_cluster() -> Vec<NodeSpec> {
+    vec![node_a(), node_b(), node_c()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_has_one_master_and_two_workers() {
+        let nodes = paper_cluster();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0].id().as_str(), "A");
+        assert_eq!(nodes[0].pcie().generation(), PcieGeneration::Gen2);
+        for n in &nodes[1..] {
+            assert_eq!(n.pcie().generation(), PcieGeneration::Gen3);
+            assert!((n.cpu_factor() - 1.0).abs() < f64::EPSILON);
+        }
+    }
+
+    #[test]
+    fn node_a_is_slower_everywhere() {
+        let a = node_a();
+        let b = node_b();
+        assert!(a.host_overhead() > b.host_overhead());
+        assert!(a.pcie().effective_bandwidth() < b.pcie().effective_bandwidth());
+        assert!(
+            a.memcpy().copy_time(1 << 20) > b.memcpy().copy_time(1 << 20),
+            "DDR3 should copy slower than DDR4"
+        );
+    }
+
+    #[test]
+    fn workers_are_identical_up_to_id() {
+        let b = node_b();
+        let c = node_c();
+        assert_ne!(b.id(), c.id());
+        assert_eq!(b.pcie(), c.pcie());
+        assert_eq!(b.host_overhead(), c.host_overhead());
+    }
+
+    #[test]
+    fn scale_cpu_applies_factor() {
+        let a = node_a();
+        let d = VirtualDuration::from_millis(10);
+        assert_eq!(a.scale_cpu(d), d.mul_f64(a.cpu_factor()));
+    }
+}

@@ -1,0 +1,315 @@
+//! Virtual time primitives.
+//!
+//! Every latency reported by this repository is a *virtual-time* quantity:
+//! the FPGA hardware, PCIe links and network of the paper's testbed are
+//! simulated, so wall-clock time would be meaningless. [`VirtualTime`] is an
+//! absolute instant (nanoseconds since the start of a scenario) and
+//! [`VirtualDuration`] is a span between two instants.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the virtual timeline, in nanoseconds since the
+/// start of the scenario.
+///
+/// ```
+/// use bf_model::{VirtualDuration, VirtualTime};
+///
+/// let t = VirtualTime::ZERO + VirtualDuration::from_millis(3);
+/// assert_eq!(t.as_nanos(), 3_000_000);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// ```
+/// use bf_model::VirtualDuration;
+///
+/// let d = VirtualDuration::from_micros(1500);
+/// assert_eq!(d.as_millis_f64(), 1.5);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualDuration(u64);
+
+impl VirtualTime {
+    /// The origin of the virtual timeline.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// The largest representable instant.
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        VirtualTime(nanos)
+    }
+
+    /// Creates an instant `secs` seconds after the origin.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        VirtualTime((secs * 1e9).round().max(0.0) as u64)
+    }
+
+    /// Raw nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since the origin as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.min(other.0))
+    }
+}
+
+impl VirtualDuration {
+    /// The zero-length span.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        VirtualDuration(nanos)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualDuration(micros * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        VirtualDuration(millis * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, saturating negative values
+    /// to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        VirtualDuration((secs * 1e9).round().max(0.0) as u64)
+    }
+
+    /// Creates a span from fractional milliseconds, saturating negative
+    /// values to zero.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        Self::from_secs_f64(millis / 1e3)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The longer of two spans.
+    pub fn max(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.max(other.0))
+    }
+
+    /// The shorter of two spans.
+    pub fn min(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction of two spans.
+    pub fn saturating_sub(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a non-negative float, saturating at zero.
+    pub fn mul_f64(self, factor: f64) -> VirtualDuration {
+        VirtualDuration((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+impl Add<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for VirtualDuration {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for VirtualDuration {
+    fn sub_assign(&mut self, rhs: VirtualDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn mul(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn div(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for VirtualDuration {
+    fn sum<I: Iterator<Item = VirtualDuration>>(iter: I) -> Self {
+        iter.fold(VirtualDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = VirtualTime::from_nanos(5_000);
+        let d = VirtualDuration::from_micros(3);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).as_nanos(), 8_000);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(VirtualDuration::from_millis(2), VirtualDuration::from_micros(2_000));
+        assert_eq!(VirtualDuration::from_secs(1), VirtualDuration::from_millis(1_000));
+        assert_eq!(VirtualDuration::from_secs_f64(0.5), VirtualDuration::from_millis(500));
+        assert_eq!(VirtualDuration::from_millis_f64(1.5), VirtualDuration::from_micros(1_500));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let early = VirtualTime::from_nanos(10);
+        let late = VirtualTime::from_nanos(20);
+        assert_eq!(early.saturating_since(late), VirtualDuration::ZERO);
+        assert_eq!(late.saturating_since(early).as_nanos(), 10);
+        assert_eq!(early - late, VirtualDuration::ZERO);
+        assert_eq!(
+            VirtualDuration::from_nanos(1).saturating_sub(VirtualDuration::from_nanos(5)),
+            VirtualDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn negative_float_inputs_clamp_to_zero() {
+        assert_eq!(VirtualDuration::from_secs_f64(-1.0), VirtualDuration::ZERO);
+        assert_eq!(VirtualTime::from_secs_f64(-2.0), VirtualTime::ZERO);
+        assert_eq!(VirtualDuration::from_millis(3).mul_f64(-1.0), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(VirtualDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(VirtualDuration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(VirtualDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(VirtualDuration::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = VirtualTime::from_nanos(1);
+        let b = VirtualTime::from_nanos(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let da = VirtualDuration::from_nanos(1);
+        let db = VirtualDuration::from_nanos(2);
+        assert_eq!(da.max(db), db);
+        assert_eq!(da.min(db), da);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: VirtualDuration =
+            (1..=4).map(VirtualDuration::from_millis).sum();
+        assert_eq!(total, VirtualDuration::from_millis(10));
+    }
+}

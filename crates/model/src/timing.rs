@@ -1,0 +1,144 @@
+//! Generic kernel timing models.
+//!
+//! An FPGA accelerator's latency is a deterministic function of its launch
+//! parameters (once the bitstream is fixed), so each workload attaches a
+//! [`KernelTiming`] to its kernels. Workload crates fit the constants to the
+//! paper's published single-node measurements (Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::VirtualDuration;
+
+/// Deterministic kernel latency model evaluated against a work descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelTiming {
+    /// A constant latency regardless of launch size.
+    Fixed {
+        /// The latency of every launch.
+        latency: VirtualDuration,
+    },
+    /// `base + per_item * items`, e.g. a streaming kernel over pixels.
+    LinearItems {
+        /// Fixed launch overhead.
+        base: VirtualDuration,
+        /// Per-item cost in nanoseconds (fractional allowed).
+        per_item_ns: f64,
+    },
+    /// `base + coeff * n^3`, e.g. dense matrix multiply on an `n × n` tile.
+    CubicN {
+        /// Fixed launch overhead.
+        base: VirtualDuration,
+        /// Cost per `n^3` unit, in nanoseconds.
+        coeff_ns: f64,
+    },
+}
+
+impl KernelTiming {
+    /// Evaluates the model: `items` is interpreted per variant (ignored for
+    /// `Fixed`, item count for `LinearItems`, the dimension `n` for
+    /// `CubicN`).
+    pub fn evaluate(&self, items: u64) -> VirtualDuration {
+        match *self {
+            KernelTiming::Fixed { latency } => latency,
+            KernelTiming::LinearItems { base, per_item_ns } => {
+                base + VirtualDuration::from_nanos((items as f64 * per_item_ns).round() as u64)
+            }
+            KernelTiming::CubicN { base, coeff_ns } => {
+                let n = items as f64;
+                base + VirtualDuration::from_nanos((n * n * n * coeff_ns).round() as u64)
+            }
+        }
+    }
+
+    /// Fits a `LinearItems` model through two measured points
+    /// `(items_lo, t_lo)` and `(items_hi, t_hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two item counts coincide or the fit would produce a
+    /// negative per-item cost.
+    pub fn fit_linear(
+        items_lo: u64,
+        t_lo: VirtualDuration,
+        items_hi: u64,
+        t_hi: VirtualDuration,
+    ) -> Self {
+        assert!(items_hi > items_lo, "need two distinct sizes to fit a line");
+        let slope = (t_hi.as_nanos() as f64 - t_lo.as_nanos() as f64)
+            / (items_hi - items_lo) as f64;
+        assert!(slope >= 0.0, "latency must not decrease with size");
+        let base_ns = t_lo.as_nanos() as f64 - slope * items_lo as f64;
+        KernelTiming::LinearItems {
+            base: VirtualDuration::from_nanos(base_ns.max(0.0) as u64),
+            per_item_ns: slope,
+        }
+    }
+
+    /// Fits a `CubicN` model through two measured points `(n_lo, t_lo)` and
+    /// `(n_hi, t_hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two dimensions coincide.
+    pub fn fit_cubic(n_lo: u64, t_lo: VirtualDuration, n_hi: u64, t_hi: VirtualDuration) -> Self {
+        assert!(n_hi > n_lo, "need two distinct sizes to fit a cubic");
+        let cube = |n: u64| (n as f64).powi(3);
+        let coeff = (t_hi.as_nanos() as f64 - t_lo.as_nanos() as f64)
+            / (cube(n_hi) - cube(n_lo));
+        let coeff = coeff.max(0.0);
+        let base_ns = t_lo.as_nanos() as f64 - coeff * cube(n_lo);
+        KernelTiming::CubicN {
+            base: VirtualDuration::from_nanos(base_ns.max(0.0) as u64),
+            coeff_ns: coeff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_items() {
+        let t = KernelTiming::Fixed { latency: VirtualDuration::from_millis(3) };
+        assert_eq!(t.evaluate(0), t.evaluate(1 << 30));
+    }
+
+    #[test]
+    fn linear_fit_passes_through_both_points() {
+        let lo = VirtualDuration::from_micros(270);
+        let hi = VirtualDuration::from_micros(14_530);
+        let fit = KernelTiming::fit_linear(100, lo, 2_073_600, hi);
+        let got_lo = fit.evaluate(100);
+        let got_hi = fit.evaluate(2_073_600);
+        assert!((got_lo.as_nanos() as i64 - lo.as_nanos() as i64).abs() < 100);
+        assert!((got_hi.as_nanos() as i64 - hi.as_nanos() as i64).abs() < 100);
+    }
+
+    #[test]
+    fn cubic_fit_passes_through_both_points() {
+        let lo = VirtualDuration::from_micros(450);
+        let hi = VirtualDuration::from_secs_f64(3.571);
+        let fit = KernelTiming::fit_cubic(16, lo, 4096, hi);
+        let got_hi = fit.evaluate(4096);
+        let err = (got_hi.as_secs_f64() - hi.as_secs_f64()).abs();
+        assert!(err < 1e-3, "cubic fit error {err}");
+    }
+
+    #[test]
+    fn cubic_grows_superlinearly() {
+        let t = KernelTiming::CubicN { base: VirtualDuration::ZERO, coeff_ns: 1.0 };
+        assert!(t.evaluate(200) > t.evaluate(100) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct sizes")]
+    fn degenerate_linear_fit_panics() {
+        let _ = KernelTiming::fit_linear(
+            10,
+            VirtualDuration::ZERO,
+            10,
+            VirtualDuration::from_millis(1),
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! The pluggable runtime behind the OpenCL-style API.
+//!
+//! BlastFunction's headline property is *transparency*: the same host code
+//! runs against a directly attached board or against a remote shared board,
+//! with only the platform selection changing. [`Backend`] is the seam that
+//! makes this true in the reproduction — `bf-ocl` ships the native
+//! implementation and the `bf-remote` crate ships the Remote OpenCL Library
+//! implementation of the same trait.
+
+use bf_fpga::Payload;
+use bf_model::VirtualClock;
+
+use crate::error::ClResult;
+use crate::event::Event;
+use crate::types::{ArgValue, ContextId, DeviceInfo, KernelId, MemId, NdRange, ProgramId, QueueId};
+
+/// Object-safe runtime interface implemented by the native executor and by
+/// the Remote OpenCL Library.
+pub trait Backend: Send + Sync {
+    /// `clGetDeviceInfo` for the device this backend fronts.
+    fn device_info(&self) -> DeviceInfo;
+
+    /// The virtual clock on which this backend's host thread lives.
+    fn clock(&self) -> &VirtualClock;
+
+    /// `clCreateContext`.
+    ///
+    /// # Errors
+    ///
+    /// Backends may reject new contexts when the session was refused.
+    fn create_context(&self) -> ClResult<ContextId>;
+
+    /// `clCreateProgramWithBinary` + `clBuildProgram`: resolves `bitstream`
+    /// and (re)programs the board when it is configured differently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::BuildProgramFailure`] for unknown bitstreams.
+    ///
+    /// [`ClError::BuildProgramFailure`]: crate::ClError::BuildProgramFailure
+    fn build_program(&self, ctx: ContextId, bitstream: &str) -> ClResult<ProgramId>;
+
+    /// `clCreateKernel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the kernel is absent from the program's bitstream.
+    fn create_kernel(&self, program: ProgramId, name: &str) -> ClResult<KernelId>;
+
+    /// `clSetKernelArg`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale kernel handles.
+    fn set_kernel_arg(&self, kernel: KernelId, index: u32, arg: ArgValue) -> ClResult<()>;
+
+    /// `clCreateBuffer`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when device memory is exhausted.
+    fn create_buffer(&self, ctx: ContextId, len: u64) -> ClResult<MemId>;
+
+    /// `clReleaseMemObject`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale or foreign buffer handles.
+    fn release_buffer(&self, buffer: MemId) -> ClResult<()>;
+
+    /// `clCreateCommandQueue`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale context handles.
+    fn create_queue(&self, ctx: ContextId) -> ClResult<QueueId>;
+
+    /// `clEnqueueWriteBuffer`. Blocking calls return with the event already
+    /// terminal and the host clock advanced past the transfer.
+    ///
+    /// # Errors
+    ///
+    /// Fails synchronously on invalid handles; asynchronous failures are
+    /// reported through the returned [`Event`].
+    fn enqueue_write(
+        &self,
+        queue: QueueId,
+        buffer: MemId,
+        offset: u64,
+        payload: Payload,
+        blocking: bool,
+    ) -> ClResult<Event>;
+
+    /// `clEnqueueReadBuffer`. The read bytes travel on the completed event
+    /// ([`Event::take_payload`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails synchronously on invalid handles; asynchronous failures are
+    /// reported through the returned [`Event`].
+    fn enqueue_read(
+        &self,
+        queue: QueueId,
+        buffer: MemId,
+        offset: u64,
+        len: u64,
+        blocking: bool,
+    ) -> ClResult<Event>;
+
+    /// `clEnqueueNDRangeKernel` with the arguments set so far.
+    ///
+    /// # Errors
+    ///
+    /// Fails when arguments are missing or handles are stale.
+    fn enqueue_kernel(&self, queue: QueueId, kernel: KernelId, work: NdRange) -> ClResult<Event>;
+
+    /// `clEnqueueCopyBuffer`: DDR-to-DDR copy between two device buffers
+    /// (no PCIe traversal).
+    ///
+    /// # Errors
+    ///
+    /// Fails synchronously on invalid handles; asynchronous failures are
+    /// reported through the returned [`Event`].
+    fn enqueue_copy(
+        &self,
+        queue: QueueId,
+        src: MemId,
+        dst: MemId,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+    ) -> ClResult<Event>;
+
+    /// `clEnqueueMarker`: returns an event that completes once every
+    /// command enqueued so far on `queue` has completed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale queue handles.
+    fn enqueue_marker(&self, queue: QueueId) -> ClResult<Event>;
+
+    /// `clEnqueueBarrier`: a synchronization point. On the remote backend
+    /// this *seals the current multi-operation task* — the paper lists
+    /// `clEnqueueBarrier` alongside `clFinish`/`clFlush` as a task
+    /// boundary (§III-B).
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale queue handles.
+    fn enqueue_barrier(&self, queue: QueueId) -> ClResult<Event>;
+
+    /// `clFlush`: submits buffered commands to the device (for the remote
+    /// backend this closes the current multi-operation task).
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale queue handles.
+    fn flush(&self, queue: QueueId) -> ClResult<()>;
+
+    /// `clFinish`: flushes and blocks until every command in the queue has
+    /// completed, advancing the host clock.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale queue handles or when a queued command failed.
+    fn finish(&self, queue: QueueId) -> ClResult<()>;
+}

@@ -1,0 +1,111 @@
+//! OpenCL-style error codes.
+
+use std::error::Error;
+use std::fmt;
+
+use bf_fpga::FpgaError;
+
+/// Result alias used across the OpenCL-style API.
+pub type ClResult<T> = Result<T, ClError>;
+
+/// Errors surfaced by the OpenCL-style host API, mirroring the error codes
+/// host code would see from a real runtime (`CL_INVALID_CONTEXT`,
+/// `CL_OUT_OF_RESOURCES`, …) plus remoting-specific failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClError {
+    /// No device matched the requested platform/device query.
+    DeviceNotFound,
+    /// The context handle is stale or foreign.
+    InvalidContext,
+    /// The program handle is stale or foreign.
+    InvalidProgram,
+    /// The kernel handle is stale or foreign.
+    InvalidKernel,
+    /// The buffer handle is stale, foreign, or owned by another client.
+    InvalidBuffer,
+    /// The command-queue handle is stale or foreign.
+    InvalidQueue,
+    /// A kernel launch was attempted with unset arguments.
+    MissingKernelArg(u32),
+    /// Program build (bitstream lookup / board programming) failed.
+    BuildProgramFailure(String),
+    /// Device resources (DDR) exhausted.
+    OutOfResources(String),
+    /// A transfer touched bytes outside a buffer.
+    OutOfBounds(String),
+    /// The kernel rejected its launch configuration.
+    InvalidKernelLaunch(String),
+    /// The remoting layer failed (connection dropped, manager gone).
+    TransportFailure(String),
+    /// The device manager refused the session or operation.
+    AccessDenied(String),
+    /// An asynchronous command failed; the original failure is embedded.
+    EventFailed(String),
+    /// Catch-all for operations invalid in the current state.
+    InvalidOperation(String),
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::DeviceNotFound => write!(f, "no matching device found"),
+            ClError::InvalidContext => write!(f, "invalid context handle"),
+            ClError::InvalidProgram => write!(f, "invalid program handle"),
+            ClError::InvalidKernel => write!(f, "invalid kernel handle"),
+            ClError::InvalidBuffer => write!(f, "invalid buffer handle"),
+            ClError::InvalidQueue => write!(f, "invalid command-queue handle"),
+            ClError::MissingKernelArg(i) => write!(f, "kernel argument {i} was never set"),
+            ClError::BuildProgramFailure(m) => write!(f, "program build failure: {m}"),
+            ClError::OutOfResources(m) => write!(f, "out of device resources: {m}"),
+            ClError::OutOfBounds(m) => write!(f, "buffer access out of bounds: {m}"),
+            ClError::InvalidKernelLaunch(m) => write!(f, "invalid kernel launch: {m}"),
+            ClError::TransportFailure(m) => write!(f, "transport failure: {m}"),
+            ClError::AccessDenied(m) => write!(f, "access denied: {m}"),
+            ClError::EventFailed(m) => write!(f, "asynchronous command failed: {m}"),
+            ClError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl Error for ClError {}
+
+impl From<FpgaError> for ClError {
+    fn from(e: FpgaError) -> Self {
+        match e {
+            FpgaError::BufferNotFound(_) => ClError::InvalidBuffer,
+            FpgaError::OutOfMemory { .. } => ClError::OutOfResources(e.to_string()),
+            FpgaError::OutOfBounds { .. } => ClError::OutOfBounds(e.to_string()),
+            FpgaError::NoBitstream => {
+                ClError::BuildProgramFailure("no bitstream configured".to_string())
+            }
+            FpgaError::KernelNotFound(name) => {
+                ClError::BuildProgramFailure(format!("kernel {name:?} not in bitstream"))
+            }
+            FpgaError::InvalidKernelArgs(m) => ClError::InvalidKernelLaunch(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_errors_map_to_cl_codes() {
+        assert_eq!(ClError::from(FpgaError::BufferNotFound(1)), ClError::InvalidBuffer);
+        assert!(matches!(
+            ClError::from(FpgaError::OutOfMemory { requested: 1, available: 0 }),
+            ClError::OutOfResources(_)
+        ));
+        assert!(matches!(
+            ClError::from(FpgaError::KernelNotFound("k".into())),
+            ClError::BuildProgramFailure(_)
+        ));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<ClError>();
+    }
+}

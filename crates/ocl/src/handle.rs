@@ -1,0 +1,423 @@
+//! Ergonomic, RAII-ish wrappers over a [`Backend`] — what application host
+//! code actually uses.
+
+use std::sync::Arc;
+
+use bf_fpga::Payload;
+use bf_model::VirtualClock;
+
+use crate::backend::Backend;
+use crate::error::{ClError, ClResult};
+use crate::event::Event;
+use crate::types::{ArgValue, ContextId, DeviceInfo, KernelId, MemId, NdRange, ProgramId, QueueId};
+
+/// A platform groups the devices reachable through one runtime — the
+/// analogue of `clGetPlatformIDs` returning the vendor ICD (native) or the
+/// Remote OpenCL Library's router.
+#[derive(Clone)]
+pub struct Platform {
+    name: String,
+    devices: Vec<Device>,
+}
+
+impl Platform {
+    /// Creates a platform from its devices.
+    pub fn new(name: impl Into<String>, devices: Vec<Device>) -> Self {
+        Platform { name: name.into(), devices }
+    }
+
+    /// Platform display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All devices on the platform.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The `index`-th device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::DeviceNotFound`] when the index is out of range.
+    pub fn device(&self, index: usize) -> ClResult<Device> {
+        self.devices.get(index).cloned().ok_or(ClError::DeviceNotFound)
+    }
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("name", &self.name)
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}
+
+/// A device handle: an `Arc` around whichever [`Backend`] fronts it.
+#[derive(Clone)]
+pub struct Device {
+    backend: Arc<dyn Backend>,
+}
+
+impl Device {
+    /// Wraps a backend.
+    pub fn new(backend: Arc<dyn Backend>) -> Self {
+        Device { backend }
+    }
+
+    /// `clGetDeviceInfo`.
+    pub fn info(&self) -> DeviceInfo {
+        self.backend.device_info()
+    }
+
+    /// The virtual clock of this device's host thread.
+    pub fn clock(&self) -> &VirtualClock {
+        self.backend.clock()
+    }
+
+    /// The raw backend (for runtime integration).
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// `clCreateContext`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend session errors.
+    pub fn create_context(&self) -> ClResult<Context> {
+        let id = self.backend.create_context()?;
+        Ok(Context { backend: self.backend.clone(), id })
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device").field("info", &self.info().name).finish()
+    }
+}
+
+/// An OpenCL context.
+#[derive(Clone)]
+pub struct Context {
+    backend: Arc<dyn Backend>,
+    id: ContextId,
+}
+
+impl Context {
+    /// The raw context id.
+    pub fn id(&self) -> ContextId {
+        self.id
+    }
+
+    /// `clCreateProgramWithBinary` + `clBuildProgram` for a named
+    /// bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::BuildProgramFailure`] for unknown bitstreams.
+    pub fn build_program(&self, bitstream: &str) -> ClResult<Program> {
+        let id = self.backend.build_program(self.id, bitstream)?;
+        Ok(Program { backend: self.backend.clone(), id })
+    }
+
+    /// `clCreateBuffer` of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::OutOfResources`] when device memory is exhausted.
+    pub fn create_buffer(&self, len: u64) -> ClResult<Buffer> {
+        let id = self.backend.create_buffer(self.id, len)?;
+        Ok(Buffer { backend: self.backend.clone(), id, len })
+    }
+
+    /// `clCreateCommandQueue`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale contexts.
+    pub fn create_queue(&self) -> ClResult<Queue> {
+        let id = self.backend.create_queue(self.id)?;
+        Ok(Queue { backend: self.backend.clone(), id })
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context").field("id", &self.id).finish()
+    }
+}
+
+/// A built program (configured bitstream).
+#[derive(Clone)]
+pub struct Program {
+    backend: Arc<dyn Backend>,
+    id: ProgramId,
+}
+
+impl Program {
+    /// The raw program id.
+    pub fn id(&self) -> ProgramId {
+        self.id
+    }
+
+    /// `clCreateKernel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the kernel is absent from the bitstream.
+    pub fn create_kernel(&self, name: &str) -> ClResult<Kernel> {
+        let id = self.backend.create_kernel(self.id, name)?;
+        Ok(Kernel { backend: self.backend.clone(), id })
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program").field("id", &self.id).finish()
+    }
+}
+
+/// A kernel handle with `clSetKernelArg`-style mutable argument state.
+#[derive(Clone)]
+pub struct Kernel {
+    backend: Arc<dyn Backend>,
+    id: KernelId,
+}
+
+impl Kernel {
+    /// The raw kernel id.
+    pub fn id(&self) -> KernelId {
+        self.id
+    }
+
+    /// `clSetKernelArg`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale kernel handles.
+    pub fn set_arg(&self, index: u32, arg: ArgValue) -> ClResult<()> {
+        self.backend.set_kernel_arg(self.id, index, arg)
+    }
+
+    /// Sets a buffer argument.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale kernel handles.
+    pub fn set_arg_buffer(&self, index: u32, buffer: &Buffer) -> ClResult<()> {
+        self.set_arg(index, ArgValue::Buffer(buffer.mem_id()))
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").field("id", &self.id).finish()
+    }
+}
+
+/// A device buffer. Dropping the handle releases the device allocation
+/// (best effort — release errors in `Drop` are ignored, per the OpenCL
+/// reference-counting model; call [`Buffer::release`] to observe them).
+pub struct Buffer {
+    backend: Arc<dyn Backend>,
+    id: MemId,
+    len: u64,
+}
+
+impl Buffer {
+    /// The raw mem-object id.
+    pub fn mem_id(&self) -> MemId {
+        self.id
+    }
+
+    /// Allocated size in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the buffer has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Explicitly releases the buffer, surfacing any error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if the handle was already stale.
+    pub fn release(self) -> ClResult<()> {
+        let result = self.backend.release_buffer(self.id);
+        std::mem::forget(self);
+        result
+    }
+}
+
+impl Drop for Buffer {
+    fn drop(&mut self) {
+        let _ = self.backend.release_buffer(self.id);
+    }
+}
+
+impl std::fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Buffer").field("id", &self.id).field("len", &self.len).finish()
+    }
+}
+
+/// An in-order command queue.
+#[derive(Clone)]
+pub struct Queue {
+    backend: Arc<dyn Backend>,
+    id: QueueId,
+}
+
+impl Queue {
+    /// The raw queue id.
+    pub fn id(&self) -> QueueId {
+        self.id
+    }
+
+    /// Blocking `clEnqueueWriteBuffer` of the whole payload at offset 0.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid handles or out-of-bounds writes.
+    pub fn write(&self, buffer: &Buffer, payload: impl Into<Payload>) -> ClResult<()> {
+        self.backend.enqueue_write(self.id, buffer.mem_id(), 0, payload.into(), true)?;
+        Ok(())
+    }
+
+    /// Non-blocking `clEnqueueWriteBuffer`.
+    ///
+    /// # Errors
+    ///
+    /// Fails synchronously on invalid handles.
+    pub fn write_async(
+        &self,
+        buffer: &Buffer,
+        offset: u64,
+        payload: impl Into<Payload>,
+    ) -> ClResult<Event> {
+        self.backend.enqueue_write(self.id, buffer.mem_id(), offset, payload.into(), false)
+    }
+
+    /// Blocking whole-buffer read returning real bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid handles, or with [`ClError::InvalidOperation`] when
+    /// the buffer was never materialized (timing-only runs).
+    pub fn read_vec(&self, buffer: &Buffer) -> ClResult<Vec<u8>> {
+        let ev =
+            self.backend.enqueue_read(self.id, buffer.mem_id(), 0, buffer.len(), true)?;
+        ev.wait()?;
+        match ev.take_payload()? {
+            Payload::Data(d) => Ok(d),
+            Payload::Synthetic(_) => Err(ClError::InvalidOperation(
+                "buffer holds no materialized data (timing-only run)".to_string(),
+            )),
+        }
+    }
+
+    /// Blocking whole-buffer read returning the payload (synthetic allowed).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid handles.
+    pub fn read_payload(&self, buffer: &Buffer) -> ClResult<Payload> {
+        let ev =
+            self.backend.enqueue_read(self.id, buffer.mem_id(), 0, buffer.len(), true)?;
+        ev.wait()?;
+        ev.take_payload()
+    }
+
+    /// Non-blocking `clEnqueueReadBuffer`; bytes arrive on the event.
+    ///
+    /// # Errors
+    ///
+    /// Fails synchronously on invalid handles.
+    pub fn read_async(&self, buffer: &Buffer, offset: u64, len: u64) -> ClResult<Event> {
+        self.backend.enqueue_read(self.id, buffer.mem_id(), offset, len, false)
+    }
+
+    /// `clEnqueueNDRangeKernel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when kernel arguments are missing or handles are stale.
+    pub fn launch(&self, kernel: &Kernel, work: NdRange) -> ClResult<Event> {
+        self.backend.enqueue_kernel(self.id, kernel.id(), work)
+    }
+
+    /// `clEnqueueCopyBuffer`: device-to-device copy (no PCIe traversal).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid handles or out-of-bounds regions.
+    pub fn copy(&self, src: &Buffer, dst: &Buffer, len: u64) -> ClResult<Event> {
+        self.backend.enqueue_copy(self.id, src.mem_id(), dst.mem_id(), 0, 0, len)
+    }
+
+    /// `clEnqueueCopyBuffer` with explicit offsets.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid handles or out-of-bounds regions.
+    pub fn copy_region(
+        &self,
+        src: &Buffer,
+        dst: &Buffer,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+    ) -> ClResult<Event> {
+        self.backend.enqueue_copy(self.id, src.mem_id(), dst.mem_id(), src_offset, dst_offset, len)
+    }
+
+    /// `clEnqueueMarker`: an event that completes when everything enqueued
+    /// so far has completed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale queue handles.
+    pub fn enqueue_marker(&self) -> ClResult<Event> {
+        self.backend.enqueue_marker(self.id)
+    }
+
+    /// `clEnqueueBarrier`: a synchronization point that also seals the
+    /// current multi-operation task on the remote backend.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale queue handles.
+    pub fn enqueue_barrier(&self) -> ClResult<Event> {
+        self.backend.enqueue_barrier(self.id)
+    }
+
+    /// `clFlush`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale queue handles.
+    pub fn flush(&self) -> ClResult<()> {
+        self.backend.flush(self.id)
+    }
+
+    /// `clFinish`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale queue handles or when a queued command failed.
+    pub fn finish(&self) -> ClResult<()> {
+        self.backend.finish(self.id)
+    }
+}
+
+impl std::fmt::Debug for Queue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Queue").field("id", &self.id).finish()
+    }
+}

@@ -1,0 +1,532 @@
+//! The native backend: direct PCIe access to a board, as in the paper's
+//! "Native" baseline (one function per device, no sharing layer).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use bf_fpga::{Board, KernelArg, KernelInvocation, Payload};
+use bf_model::{NodeSpec, VirtualClock, VirtualTime};
+use parking_lot::Mutex;
+
+use crate::backend::Backend;
+use crate::error::{ClError, ClResult};
+use crate::event::{CommandType, Event};
+use crate::types::{
+    ArgValue, BitstreamCatalog, ContextId, DeviceInfo, KernelId, MemId, NdRange, ProgramId,
+    QueueId,
+};
+
+#[derive(Debug, Default)]
+struct KernelState {
+    name: String,
+    args: BTreeMap<u32, ArgValue>,
+}
+
+#[derive(Debug)]
+struct BufferState {
+    fpga: bf_fpga::BufferId,
+    len: u64,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    last_end: VirtualTime,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_id: u64,
+    contexts: HashSet<u64>,
+    programs: HashMap<u64, String>,
+    kernels: HashMap<u64, KernelState>,
+    buffers: HashMap<u64, BufferState>,
+    queues: HashMap<u64, QueueState>,
+}
+
+impl State {
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+}
+
+/// Direct (unshared) access to a [`Board`], used by the paper's Native
+/// baseline and internally by the Device Manager's executor.
+///
+/// Commands are timed eagerly on the virtual timeline: the board resolves
+/// start/end instants immediately, the returned [`Event`] is already
+/// terminal, and the host [`VirtualClock`] advances only on blocking calls
+/// and `finish` — which models host/device overlap exactly for a
+/// single-threaded client.
+pub struct NativeBackend {
+    node: NodeSpec,
+    board: Arc<Mutex<Board>>,
+    clock: VirtualClock,
+    catalog: BitstreamCatalog,
+    owner: String,
+    state: Mutex<State>,
+}
+
+impl NativeBackend {
+    /// Creates a backend fronting `board` on `node`, resolving program
+    /// builds against `catalog`. `owner` labels busy time for utilization
+    /// attribution.
+    pub fn new(
+        node: NodeSpec,
+        board: Arc<Mutex<Board>>,
+        catalog: BitstreamCatalog,
+        clock: VirtualClock,
+        owner: impl Into<String>,
+    ) -> Self {
+        NativeBackend {
+            node,
+            board,
+            clock,
+            catalog,
+            owner: owner.into(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// The board behind this backend (shared with other components).
+    pub fn board(&self) -> &Arc<Mutex<Board>> {
+        &self.board
+    }
+
+    /// The node the board is attached to.
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    fn queue_touch(&self, queue: QueueId, end: VirtualTime) -> ClResult<()> {
+        let mut state = self.state.lock();
+        let q = state.queues.get_mut(&queue.0).ok_or(ClError::InvalidQueue)?;
+        q.last_end = q.last_end.max(end);
+        Ok(())
+    }
+
+    fn resolve_buffer(&self, buffer: MemId) -> ClResult<(bf_fpga::BufferId, u64)> {
+        let state = self.state.lock();
+        let b = state.buffers.get(&buffer.0).ok_or(ClError::InvalidBuffer)?;
+        Ok((b.fpga, b.len))
+    }
+
+    fn snapshot_invocation(&self, kernel: KernelId, work: NdRange) -> ClResult<KernelInvocation> {
+        let state = self.state.lock();
+        let k = state.kernels.get(&kernel.0).ok_or(ClError::InvalidKernel)?;
+        let max_index = k.args.keys().next_back().copied();
+        let mut args = Vec::new();
+        if let Some(max) = max_index {
+            for i in 0..=max {
+                let v = k.args.get(&i).ok_or(ClError::MissingKernelArg(i))?;
+                args.push(match *v {
+                    ArgValue::Buffer(mem) => {
+                        let b = state.buffers.get(&mem.0).ok_or(ClError::InvalidBuffer)?;
+                        KernelArg::Buffer(b.fpga)
+                    }
+                    ArgValue::U32(v) => KernelArg::U32(v),
+                    ArgValue::I32(v) => KernelArg::I32(v),
+                    ArgValue::U64(v) => KernelArg::U64(v),
+                    ArgValue::F32(v) => KernelArg::F32(v),
+                });
+            }
+        }
+        Ok(KernelInvocation { args, global_work: work.0 })
+    }
+}
+
+impl std::fmt::Debug for NativeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeBackend")
+            .field("node", self.node.id())
+            .field("owner", &self.owner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Backend for NativeBackend {
+    fn device_info(&self) -> DeviceInfo {
+        let board = self.board.lock();
+        DeviceInfo {
+            name: board.spec().model.clone(),
+            vendor: "Intel".to_string(),
+            platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
+            memory_bytes: board.spec().memory_bytes,
+            node: self.node.id().clone(),
+            bitstream: board.bitstream_id().map(str::to_string),
+        }
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn create_context(&self) -> ClResult<ContextId> {
+        let mut state = self.state.lock();
+        let id = state.fresh_id();
+        state.contexts.insert(id);
+        Ok(ContextId(id))
+    }
+
+    fn build_program(&self, ctx: ContextId, bitstream: &str) -> ClResult<ProgramId> {
+        {
+            let state = self.state.lock();
+            if !state.contexts.contains(&ctx.0) {
+                return Err(ClError::InvalidContext);
+            }
+        }
+        let image = self.catalog.get(bitstream).ok_or_else(|| {
+            ClError::BuildProgramFailure(format!("unknown bitstream {bitstream:?}"))
+        })?;
+        {
+            let mut board = self.board.lock();
+            if board.bitstream_id() != Some(bitstream) {
+                // clBuildProgram blocks while the board is (re)programmed.
+                let timing = board.program(image, self.clock.now(), &self.owner);
+                self.clock.advance_to(timing.ended_at);
+            }
+        }
+        let mut state = self.state.lock();
+        let id = state.fresh_id();
+        state.programs.insert(id, bitstream.to_string());
+        Ok(ProgramId(id))
+    }
+
+    fn create_kernel(&self, program: ProgramId, name: &str) -> ClResult<KernelId> {
+        let mut state = self.state.lock();
+        let bitstream = state.programs.get(&program.0).ok_or(ClError::InvalidProgram)?.clone();
+        let image = self
+            .catalog
+            .get(&bitstream)
+            .ok_or_else(|| ClError::BuildProgramFailure(format!("bitstream {bitstream:?} gone")))?;
+        if image.kernel(name).is_none() {
+            return Err(ClError::BuildProgramFailure(format!(
+                "kernel {name:?} not in bitstream {bitstream:?}"
+            )));
+        }
+        let id = state.fresh_id();
+        state
+            .kernels
+            .insert(id, KernelState { name: name.to_string(), args: BTreeMap::new() });
+        Ok(KernelId(id))
+    }
+
+    fn set_kernel_arg(&self, kernel: KernelId, index: u32, arg: ArgValue) -> ClResult<()> {
+        let mut state = self.state.lock();
+        let k = state.kernels.get_mut(&kernel.0).ok_or(ClError::InvalidKernel)?;
+        k.args.insert(index, arg);
+        Ok(())
+    }
+
+    fn create_buffer(&self, ctx: ContextId, len: u64) -> ClResult<MemId> {
+        {
+            let state = self.state.lock();
+            if !state.contexts.contains(&ctx.0) {
+                return Err(ClError::InvalidContext);
+            }
+        }
+        let fpga = self.board.lock().alloc_buffer(len)?;
+        let mut state = self.state.lock();
+        let id = state.fresh_id();
+        state.buffers.insert(id, BufferState { fpga, len });
+        Ok(MemId(id))
+    }
+
+    fn release_buffer(&self, buffer: MemId) -> ClResult<()> {
+        let fpga = {
+            let mut state = self.state.lock();
+            let b = state.buffers.remove(&buffer.0).ok_or(ClError::InvalidBuffer)?;
+            b.fpga
+        };
+        self.board.lock().free_buffer(fpga)?;
+        Ok(())
+    }
+
+    fn create_queue(&self, ctx: ContextId) -> ClResult<QueueId> {
+        let mut state = self.state.lock();
+        if !state.contexts.contains(&ctx.0) {
+            return Err(ClError::InvalidContext);
+        }
+        let id = state.fresh_id();
+        state.queues.insert(id, QueueState::default());
+        Ok(QueueId(id))
+    }
+
+    fn enqueue_write(
+        &self,
+        queue: QueueId,
+        buffer: MemId,
+        offset: u64,
+        payload: Payload,
+        blocking: bool,
+    ) -> ClResult<Event> {
+        let (fpga, _) = self.resolve_buffer(buffer)?;
+        let now = self.clock.now();
+        let event = Event::new(CommandType::WriteBuffer, now);
+        event.attach_clock(self.clock.clone());
+        let timing = {
+            let mut board = self.board.lock();
+            board.write_buffer(fpga, offset, &payload, now, &self.owner)
+        };
+        match timing {
+            Ok(t) => {
+                event.mark_submitted(now);
+                event.complete(t.started_at, t.ended_at, None);
+                self.queue_touch(queue, t.ended_at)?;
+                if blocking {
+                    self.clock.advance_to(t.ended_at);
+                }
+                Ok(event)
+            }
+            Err(e) => {
+                let cl: ClError = e.into();
+                event.fail(cl.clone());
+                Err(cl)
+            }
+        }
+    }
+
+    fn enqueue_read(
+        &self,
+        queue: QueueId,
+        buffer: MemId,
+        offset: u64,
+        len: u64,
+        blocking: bool,
+    ) -> ClResult<Event> {
+        let (fpga, _) = self.resolve_buffer(buffer)?;
+        let now = self.clock.now();
+        let event = Event::new(CommandType::ReadBuffer, now);
+        event.attach_clock(self.clock.clone());
+        let result = {
+            let mut board = self.board.lock();
+            board.read_buffer(fpga, offset, len, now, &self.owner)
+        };
+        match result {
+            Ok((t, payload)) => {
+                event.mark_submitted(now);
+                event.complete(t.started_at, t.ended_at, Some(payload));
+                self.queue_touch(queue, t.ended_at)?;
+                if blocking {
+                    self.clock.advance_to(t.ended_at);
+                }
+                Ok(event)
+            }
+            Err(e) => {
+                let cl: ClError = e.into();
+                event.fail(cl.clone());
+                Err(cl)
+            }
+        }
+    }
+
+    fn enqueue_kernel(&self, queue: QueueId, kernel: KernelId, work: NdRange) -> ClResult<Event> {
+        let invocation = self.snapshot_invocation(kernel, work)?;
+        let name = {
+            let state = self.state.lock();
+            state.kernels.get(&kernel.0).ok_or(ClError::InvalidKernel)?.name.clone()
+        };
+        let now = self.clock.now();
+        let event = Event::new(CommandType::NdRangeKernel, now);
+        event.attach_clock(self.clock.clone());
+        let timing = {
+            let mut board = self.board.lock();
+            board.launch_kernel(&name, &invocation, now, &self.owner)
+        };
+        match timing {
+            Ok(t) => {
+                event.mark_submitted(now);
+                event.complete(t.started_at, t.ended_at, None);
+                self.queue_touch(queue, t.ended_at)?;
+                Ok(event)
+            }
+            Err(e) => {
+                let cl: ClError = e.into();
+                event.fail(cl.clone());
+                Err(cl)
+            }
+        }
+    }
+
+    fn enqueue_copy(
+        &self,
+        queue: QueueId,
+        src: MemId,
+        dst: MemId,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+    ) -> ClResult<Event> {
+        let (src_fpga, _) = self.resolve_buffer(src)?;
+        let (dst_fpga, _) = self.resolve_buffer(dst)?;
+        let now = self.clock.now();
+        let event = Event::new(CommandType::CopyBuffer, now);
+        event.attach_clock(self.clock.clone());
+        let timing = {
+            let mut board = self.board.lock();
+            board.copy_buffer(src_fpga, dst_fpga, src_offset, dst_offset, len, now, &self.owner)
+        };
+        match timing {
+            Ok(t) => {
+                event.mark_submitted(now);
+                event.complete(t.started_at, t.ended_at, None);
+                self.queue_touch(queue, t.ended_at)?;
+                Ok(event)
+            }
+            Err(e) => {
+                let cl: ClError = e.into();
+                event.fail(cl.clone());
+                Err(cl)
+            }
+        }
+    }
+
+    fn enqueue_marker(&self, queue: QueueId) -> ClResult<Event> {
+        // Native commands are executed eagerly, so the marker's completion
+        // is simply the queue's current drain point.
+        let last_end = {
+            let state = self.state.lock();
+            state.queues.get(&queue.0).ok_or(ClError::InvalidQueue)?.last_end
+        };
+        let now = self.clock.now();
+        let event = Event::new(CommandType::Marker, now);
+        event.attach_clock(self.clock.clone());
+        event.mark_submitted(now);
+        event.complete(last_end.max(now), last_end.max(now), None);
+        Ok(event)
+    }
+
+    fn enqueue_barrier(&self, queue: QueueId) -> ClResult<Event> {
+        // In-order eager execution: a barrier is equivalent to a marker.
+        self.enqueue_marker(queue)
+    }
+
+    fn flush(&self, queue: QueueId) -> ClResult<()> {
+        // Native commands are submitted eagerly; flush only validates.
+        let state = self.state.lock();
+        state.queues.get(&queue.0).map(|_| ()).ok_or(ClError::InvalidQueue)
+    }
+
+    fn finish(&self, queue: QueueId) -> ClResult<()> {
+        let last_end = {
+            let state = self.state.lock();
+            state.queues.get(&queue.0).ok_or(ClError::InvalidQueue)?.last_end
+        };
+        self.clock.advance_to(last_end);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bf_fpga::{Bitstream, BoardSpec, FnKernel, KernelDescriptor};
+    use bf_model::{node_b, PcieGeneration, PcieLink, VirtualDuration};
+
+    use super::*;
+
+    fn backend() -> NativeBackend {
+        let board = Arc::new(Mutex::new(Board::new(
+            BoardSpec::de5a_net(),
+            PcieLink::new(PcieGeneration::Gen3, 8),
+        )));
+        let double = FnKernel::new(
+            |_inv: &KernelInvocation| VirtualDuration::from_micros(100),
+            |inv: &KernelInvocation, mem: &mut bf_fpga::DeviceMemory| {
+                let buf = inv.arg(0)?.as_buffer()?;
+                for b in mem.bytes_mut(buf)? {
+                    *b = b.wrapping_mul(2);
+                }
+                Ok(())
+            },
+        );
+        let mut catalog = BitstreamCatalog::new();
+        catalog.register(Arc::new(Bitstream::new(
+            "double",
+            vec![KernelDescriptor::new("double", Arc::new(double))],
+        )));
+        NativeBackend::new(node_b(), board, catalog, VirtualClock::new(), "test")
+    }
+
+    #[test]
+    fn full_native_round_trip() {
+        let be = backend();
+        let ctx = be.create_context().expect("ctx");
+        let prog = be.build_program(ctx, "double").expect("program");
+        let kernel = be.create_kernel(prog, "double").expect("kernel");
+        let buf = be.create_buffer(ctx, 4).expect("buffer");
+        let q = be.create_queue(ctx).expect("queue");
+        be.enqueue_write(q, buf, 0, Payload::Data(vec![1, 2, 3, 4]), true).expect("write");
+        be.set_kernel_arg(kernel, 0, ArgValue::Buffer(buf)).expect("arg");
+        be.enqueue_kernel(q, kernel, NdRange::d1(4)).expect("kernel");
+        be.finish(q).expect("finish");
+        let ev = be.enqueue_read(q, buf, 0, 4, true).expect("read");
+        assert_eq!(ev.take_payload().expect("payload"), Payload::Data(vec![2, 4, 6, 8]));
+    }
+
+    #[test]
+    fn blocking_ops_advance_the_clock() {
+        let be = backend();
+        let ctx = be.create_context().expect("ctx");
+        let buf = be.create_buffer(ctx, 1 << 20).expect("buffer");
+        let q = be.create_queue(ctx).expect("queue");
+        let t0 = be.clock().now();
+        be.enqueue_write(q, buf, 0, Payload::Synthetic(1 << 20), true).expect("write");
+        assert!(be.clock().now() > t0, "blocking write must advance time");
+    }
+
+    #[test]
+    fn async_ops_do_not_advance_until_finish() {
+        let be = backend();
+        let ctx = be.create_context().expect("ctx");
+        let buf = be.create_buffer(ctx, 1 << 20).expect("buffer");
+        let q = be.create_queue(ctx).expect("queue");
+        let t0 = be.clock().now();
+        let ev = be.enqueue_write(q, buf, 0, Payload::Synthetic(1 << 20), false).expect("write");
+        assert_eq!(be.clock().now(), t0, "async write must not advance host time");
+        be.finish(q).expect("finish");
+        assert_eq!(Some(be.clock().now()), ev.profile().ended);
+    }
+
+    #[test]
+    fn build_program_reconfigures_once() {
+        let be = backend();
+        let ctx = be.create_context().expect("ctx");
+        be.build_program(ctx, "double").expect("first build");
+        let reconfigs = be.board().lock().reconfigurations();
+        be.build_program(ctx, "double").expect("second build");
+        assert_eq!(be.board().lock().reconfigurations(), reconfigs, "no reprogram when same");
+    }
+
+    #[test]
+    fn unknown_bitstream_is_a_build_failure() {
+        let be = backend();
+        let ctx = be.create_context().expect("ctx");
+        assert!(matches!(
+            be.build_program(ctx, "missing"),
+            Err(ClError::BuildProgramFailure(_))
+        ));
+    }
+
+    #[test]
+    fn missing_kernel_arg_fails_launch() {
+        let be = backend();
+        let ctx = be.create_context().expect("ctx");
+        let prog = be.build_program(ctx, "double").expect("program");
+        let kernel = be.create_kernel(prog, "double").expect("kernel");
+        let q = be.create_queue(ctx).expect("queue");
+        be.set_kernel_arg(kernel, 1, ArgValue::U32(3)).expect("arg 1");
+        assert!(matches!(
+            be.enqueue_kernel(q, kernel, NdRange::d1(1)),
+            Err(ClError::MissingKernelArg(0))
+        ));
+    }
+
+    #[test]
+    fn stale_handles_are_rejected() {
+        let be = backend();
+        assert_eq!(be.create_buffer(ContextId(99), 4), Err(ClError::InvalidContext));
+        assert_eq!(be.release_buffer(MemId(99)), Err(ClError::InvalidBuffer));
+        assert_eq!(be.flush(QueueId(99)), Err(ClError::InvalidQueue));
+        assert_eq!(be.finish(QueueId(99)), Err(ClError::InvalidQueue));
+    }
+}

@@ -1,0 +1,135 @@
+//! The Metrics Gatherer: scrapes each Device Manager's Prometheus text
+//! exposition and extracts the gauges the allocator consumes.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line: metric name, labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapeSample {
+    /// Metric name.
+    pub name: String,
+    /// Label set.
+    pub labels: BTreeMap<String, String>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses the Prometheus text exposition format (the subset our managers
+/// emit: `name{label="v",...} value` lines, `#` comments, blank lines).
+/// Malformed lines are skipped — a scraper must tolerate partial garbage.
+pub fn parse_scrape(text: &str) -> Vec<ScrapeSample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(sample) = parse_line(line) {
+            out.push(sample);
+        }
+    }
+    out
+}
+
+fn parse_line(line: &str) -> Option<ScrapeSample> {
+    let (series, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let (name, labels) = match series.find('{') {
+        None => (series.to_string(), BTreeMap::new()),
+        Some(open) => {
+            let name = series[..open].to_string();
+            let body = series[open + 1..].strip_suffix('}')?;
+            let mut labels = BTreeMap::new();
+            if !body.is_empty() {
+                for pair in split_label_pairs(body) {
+                    let (k, v) = pair.split_once('=')?;
+                    let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                    labels.insert(k.to_string(), v.to_string());
+                }
+            }
+            (name, labels)
+        }
+    };
+    if name.is_empty() {
+        return None;
+    }
+    Some(ScrapeSample { name, labels, value })
+}
+
+/// Splits `a="x",b="y"` on commas outside quotes.
+fn split_label_pairs(body: &str) -> Vec<&str> {
+    let mut pairs = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => depth_quote = !depth_quote,
+            ',' if !depth_quote => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pairs.push(&body[start..]);
+    pairs
+}
+
+/// Extracts a gauge value by name and device label from parsed samples.
+pub fn gauge_for_device(samples: &[ScrapeSample], name: &str, device: &str) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.get("device").map(String::as_str) == Some(device))
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_labelled_series() {
+        let text = "\
+# HELP bf_fpga_utilization busy fraction
+bf_fpga_utilization{device=\"fpga-b\"} 0.42
+bf_manager_tasks_total 17
+
+garbage line without value x
+bf_fpga_busy_seconds{device=\"fpga-b\",window=\"all\"} 1.5
+";
+        let samples = parse_scrape(text);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "bf_fpga_utilization");
+        assert_eq!(samples[0].labels.get("device").map(String::as_str), Some("fpga-b"));
+        assert_eq!(samples[0].value, 0.42);
+        assert_eq!(samples[1].labels.len(), 0);
+        assert_eq!(samples[2].labels.len(), 2);
+    }
+
+    #[test]
+    fn labels_with_commas_inside_quotes_survive() {
+        let samples = parse_scrape("m{k=\"a,b\"} 1");
+        assert_eq!(samples[0].labels.get("k").map(String::as_str), Some("a,b"));
+    }
+
+    #[test]
+    fn gauge_lookup_by_device() {
+        let samples = parse_scrape(
+            "bf_fpga_utilization{device=\"fpga-a\"} 0.1\nbf_fpga_utilization{device=\"fpga-b\"} 0.9\n",
+        );
+        assert_eq!(gauge_for_device(&samples, "bf_fpga_utilization", "fpga-b"), Some(0.9));
+        assert_eq!(gauge_for_device(&samples, "bf_fpga_utilization", "fpga-z"), None);
+        assert_eq!(gauge_for_device(&samples, "nope", "fpga-b"), None);
+    }
+
+    #[test]
+    fn round_trips_a_real_manager_scrape() {
+        // The format written by bf-metrics must parse back.
+        let reg = bf_metrics::MetricsRegistry::new();
+        reg.gauge("bf_fpga_utilization", &[("device", "fpga-x")]).set(0.25);
+        reg.counter("bf_manager_ops_total", &[("device", "fpga-x")]).inc_by(3.0);
+        let samples = parse_scrape(&reg.scrape());
+        assert_eq!(gauge_for_device(&samples, "bf_fpga_utilization", "fpga-x"), Some(0.25));
+        assert_eq!(gauge_for_device(&samples, "bf_manager_ops_total", "fpga-x"), Some(3.0));
+    }
+}

@@ -1,0 +1,475 @@
+//! The Accelerators Registry (paper §III-C): the master component that
+//! registers functions and devices, aggregates performance metrics,
+//! allocates devices to function instances and validates reconfigurations.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use bf_cluster::{Cluster, WatchEvent};
+use bf_devmgr::{DeviceManager, ReconfigRequest};
+use bf_model::NodeId;
+use parking_lot::Mutex;
+
+use crate::allocation::{allocate, Allocation, AllocateError, AllocationPolicy, DeviceView};
+use crate::gatherer::{gauge_for_device, parse_scrape};
+use crate::query::DeviceQuery;
+
+/// Environment variable the registry injects with the allocated manager's
+/// address.
+pub const ENV_DEVICE_MANAGER: &str = "DEVICE_MANAGER_ADDRESS";
+/// Volume name injected for the shared-memory data path.
+pub const SHM_VOLUME_PREFIX: &str = "/dev/shm/blastfunction-";
+
+/// A function known to the Functions Service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionRecord {
+    /// Function (deployment) name.
+    pub name: String,
+    /// Its device requirements.
+    pub query: DeviceQuery,
+    /// Live instance names.
+    pub instances: Vec<String>,
+}
+
+struct ManagedDevice {
+    manager: DeviceManager,
+    utilization: f64,
+    mean_op_latency_ms: f64,
+    pending_reconfiguration: Option<String>,
+}
+
+struct RegistryInner {
+    devices: BTreeMap<String, ManagedDevice>,
+    functions: BTreeMap<String, FunctionRecord>,
+    /// instance name → (function name, device id)
+    bindings: BTreeMap<String, (String, String)>,
+    policy: AllocationPolicy,
+}
+
+/// Errors surfaced by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The function was never registered.
+    UnknownFunction(String),
+    /// The device was never registered.
+    UnknownDevice(String),
+    /// Allocation failed.
+    Allocate(AllocateError),
+    /// A cluster operation failed during migration.
+    Cluster(String),
+    /// Reprogramming failed (bitstream missing from the catalog).
+    Program(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownFunction(n) => write!(f, "function {n:?} is not registered"),
+            RegistryError::UnknownDevice(d) => write!(f, "device {d:?} is not registered"),
+            RegistryError::Allocate(e) => write!(f, "{e}"),
+            RegistryError::Cluster(m) => write!(f, "cluster operation failed: {m}"),
+            RegistryError::Program(m) => write!(f, "reprogramming failed: {m}"),
+        }
+    }
+}
+
+impl Error for RegistryError {}
+
+impl From<AllocateError> for RegistryError {
+    fn from(e: AllocateError) -> Self {
+        RegistryError::Allocate(e)
+    }
+}
+
+/// The central controller. Cloning yields another handle to the same
+/// registry.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+    cluster: Arc<Mutex<Option<Cluster>>>,
+}
+
+impl Registry {
+    /// Creates a registry with the given allocation policy.
+    pub fn new(policy: AllocationPolicy) -> Self {
+        Registry {
+            inner: Arc::new(Mutex::new(RegistryInner {
+                devices: BTreeMap::new(),
+                functions: BTreeMap::new(),
+                bindings: BTreeMap::new(),
+                policy,
+            })),
+            cluster: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Registers a device (Devices Service).
+    pub fn register_device(&self, manager: DeviceManager) {
+        let id = manager.device_id().to_string();
+        self.inner.lock().devices.insert(
+            id,
+            ManagedDevice {
+                manager,
+                utilization: 0.0,
+                mean_op_latency_ms: 0.0,
+                pending_reconfiguration: None,
+            },
+        );
+    }
+
+    /// Registers a function and its device query (Functions Service).
+    pub fn register_function(&self, name: impl Into<String>, query: DeviceQuery) {
+        let name = name.into();
+        self.inner
+            .lock()
+            .functions
+            .insert(name.clone(), FunctionRecord { name, query, instances: Vec::new() });
+    }
+
+    /// Fetches a function record.
+    pub fn function(&self, name: &str) -> Option<FunctionRecord> {
+        self.inner.lock().functions.get(name).cloned()
+    }
+
+    /// The manager handle for a device id (what a function instance dials
+    /// after reading `DEVICE_MANAGER_ADDRESS`).
+    pub fn manager(&self, device_id: &str) -> Option<DeviceManager> {
+        self.inner.lock().devices.get(device_id).map(|d| d.manager.clone())
+    }
+
+    /// All registered device ids.
+    pub fn device_ids(&self) -> Vec<String> {
+        self.inner.lock().devices.keys().cloned().collect()
+    }
+
+    /// The device an instance is bound to.
+    pub fn binding(&self, instance: &str) -> Option<String> {
+        self.inner.lock().bindings.get(instance).map(|(_, d)| d.clone())
+    }
+
+    /// Metrics Gatherer: scrapes every manager's Prometheus text and
+    /// refreshes the utilization the allocator orders by.
+    pub fn gather_metrics(&self) {
+        // Scrape outside the lock (scrapes take the managers' locks).
+        let scrapes: Vec<(String, String)> = {
+            let inner = self.inner.lock();
+            inner.devices.values().map(|d| (d.manager.device_id().to_string(), d.manager.scrape())).collect()
+        };
+        let mut inner = self.inner.lock();
+        for (id, text) in scrapes {
+            let samples = parse_scrape(&text);
+            if let Some(util) = gauge_for_device(&samples, "bf_fpga_utilization", &id) {
+                if let Some(dev) = inner.devices.get_mut(&id) {
+                    dev.utilization = util;
+                }
+            }
+            // Mean op latency from the histogram's _sum/_count pair.
+            let sum = gauge_for_device(&samples, "bf_manager_op_latency_ms_sum", &id);
+            let count = gauge_for_device(&samples, "bf_manager_op_latency_ms_count", &id);
+            if let (Some(sum), Some(count)) = (sum, count) {
+                if count > 0.0 {
+                    if let Some(dev) = inner.devices.get_mut(&id) {
+                        dev.mean_op_latency_ms = sum / count;
+                    }
+                }
+            }
+        }
+    }
+
+    fn views(inner: &RegistryInner) -> Vec<DeviceView> {
+        inner
+            .devices
+            .values()
+            .map(|d| {
+                let id = d.manager.device_id().to_string();
+                let info = {
+                    let board = d.manager.board().lock();
+                    (board.bitstream_id().map(str::to_string),)
+                };
+                let pending = d.pending_reconfiguration.is_some();
+                let effective_bitstream = d.pending_reconfiguration.clone().or(info.0);
+                let connected = inner
+                    .bindings
+                    .iter()
+                    .filter(|(_, (_, dev))| *dev == id)
+                    .map(|(instance, (function, _))| {
+                        let needs = inner
+                            .functions
+                            .get(function)
+                            .and_then(|f| f.query.accelerator.clone());
+                        (instance.clone(), needs)
+                    })
+                    .collect();
+                DeviceView {
+                    id,
+                    node: d.manager.node().id().clone(),
+                    vendor: "Intel".to_string(),
+                    platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
+                    bitstream: effective_bitstream,
+                    connected,
+                    utilization: d.utilization,
+                    mean_op_latency_ms: d.mean_op_latency_ms,
+                    pending_reconfiguration: pending,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs Algorithm 1 for a new instance of `function` and applies the
+    /// decision: binds the instance, and — when the chosen device needs a
+    /// different bitstream — migrates the displaced tenants (through the
+    /// cluster when attached) and reprograms the board.
+    ///
+    /// Returns the applied allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the function is unknown, no device survives Algorithm 1,
+    /// or the reprogramming/migration fails.
+    pub fn place_instance(
+        &self,
+        instance: &str,
+        function: &str,
+    ) -> Result<Allocation, RegistryError> {
+        let (decision, manager) = {
+            let mut inner = self.inner.lock();
+            let query = inner
+                .functions
+                .get(function)
+                .ok_or_else(|| RegistryError::UnknownFunction(function.to_string()))?
+                .query
+                .clone();
+            let views = Self::views(&inner);
+            let decision = allocate(&query, &views, &inner.policy)?;
+            // Bookkeeping: bind the new instance, unbind the displaced,
+            // mark the pending reconfiguration so concurrent allocations
+            // see the device's future bitstream.
+            inner
+                .bindings
+                .insert(instance.to_string(), (function.to_string(), decision.device_id.clone()));
+            if let Some(rec) = inner.functions.get_mut(function) {
+                rec.instances.push(instance.to_string());
+            }
+            for displaced in &decision.displaced {
+                if let Some((func, _)) = inner.bindings.remove(displaced) {
+                    if let Some(rec) = inner.functions.get_mut(&func) {
+                        rec.instances.retain(|i| i != displaced);
+                    }
+                }
+            }
+            if let Some(bitstream) = &decision.reconfigure {
+                if let Some(dev) = inner.devices.get_mut(&decision.device_id) {
+                    dev.pending_reconfiguration = Some(bitstream.clone());
+                }
+            }
+            let manager = inner.devices[&decision.device_id].manager.clone();
+            (decision, manager)
+        };
+
+        if let Some(bitstream) = &decision.reconfigure {
+            // Migrate displaced tenants with create-before-delete (§III-C).
+            let cluster = self.cluster.lock().clone();
+            if let Some(cluster) = cluster {
+                for displaced in &decision.displaced {
+                    if let Some(id) = parse_pod_id(displaced) {
+                        cluster
+                            .replace_instance(bf_cluster::InstanceId(id))
+                            .map_err(|e| RegistryError::Cluster(e.to_string()))?;
+                    }
+                }
+            }
+            manager.program(bitstream).map_err(RegistryError::Program)?;
+            self.inner.lock().devices.get_mut(&decision.device_id).expect("registered").pending_reconfiguration = None;
+        }
+        Ok(decision)
+    }
+
+    /// Removes an instance's binding (called when its pod is deleted).
+    pub fn release_instance(&self, instance: &str) {
+        let mut inner = self.inner.lock();
+        if let Some((function, _)) = inner.bindings.remove(instance) {
+            if let Some(rec) = inner.functions.get_mut(&function) {
+                rec.instances.retain(|i| i != instance);
+            }
+        }
+    }
+
+    /// Registry-driven reconfiguration of a whole device: migrates every
+    /// bound tenant away (create-before-delete through the cluster when
+    /// attached), then reprograms the board.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown devices or when reprogramming fails.
+    pub fn reconfigure_device(
+        &self,
+        device_id: &str,
+        bitstream: &str,
+    ) -> Result<(), RegistryError> {
+        let (manager, tenants) = {
+            let mut inner = self.inner.lock();
+            let dev = inner
+                .devices
+                .get_mut(device_id)
+                .ok_or_else(|| RegistryError::UnknownDevice(device_id.to_string()))?;
+            dev.pending_reconfiguration = Some(bitstream.to_string());
+            let manager = dev.manager.clone();
+            let tenants: Vec<String> = inner
+                .bindings
+                .iter()
+                .filter(|(_, (_, d))| d == device_id)
+                .map(|(i, _)| i.clone())
+                .collect();
+            for t in &tenants {
+                if let Some((func, _)) = inner.bindings.remove(t) {
+                    if let Some(rec) = inner.functions.get_mut(&func) {
+                        rec.instances.retain(|i| i != t);
+                    }
+                }
+            }
+            (manager, tenants)
+        };
+        let cluster = self.cluster.lock().clone();
+        if let Some(cluster) = cluster {
+            for t in &tenants {
+                if let Some(id) = parse_pod_id(t) {
+                    cluster
+                        .replace_instance(bf_cluster::InstanceId(id))
+                        .map_err(|e| RegistryError::Cluster(e.to_string()))?;
+                }
+            }
+        }
+        manager.program(bitstream).map_err(RegistryError::Program)?;
+        self.inner.lock().devices.get_mut(device_id).expect("registered").pending_reconfiguration =
+            None;
+        Ok(())
+    }
+
+    /// Handles a device failure (node crash, board fault): the device is
+    /// removed from the Devices Service and every bound instance is
+    /// migrated with create-before-delete semantics — re-admission places
+    /// the replacements on the surviving devices.
+    ///
+    /// Returns the names of the instances that were migrated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownDevice`] for unregistered ids, or a
+    /// cluster/allocation failure when a tenant cannot be rehomed (the
+    /// device stays deregistered either way — it is gone).
+    pub fn handle_device_failure(&self, device_id: &str) -> Result<Vec<String>, RegistryError> {
+        let tenants = {
+            let mut inner = self.inner.lock();
+            if inner.devices.remove(device_id).is_none() {
+                return Err(RegistryError::UnknownDevice(device_id.to_string()));
+            }
+            let tenants: Vec<String> = inner
+                .bindings
+                .iter()
+                .filter(|(_, (_, d))| d == device_id)
+                .map(|(i, _)| i.clone())
+                .collect();
+            for t in &tenants {
+                if let Some((func, _)) = inner.bindings.remove(t) {
+                    if let Some(rec) = inner.functions.get_mut(&func) {
+                        rec.instances.retain(|i| i != t);
+                    }
+                }
+            }
+            tenants
+        };
+        let cluster = self.cluster.lock().clone();
+        if let Some(cluster) = cluster {
+            for t in &tenants {
+                if let Some(id) = parse_pod_id(t) {
+                    cluster
+                        .replace_instance(bf_cluster::InstanceId(id))
+                        .map_err(|e| RegistryError::Cluster(e.to_string()))?;
+                }
+            }
+        }
+        Ok(tenants)
+    }
+
+    /// The validator Device Managers consult for client-initiated
+    /// reconfiguration requests: approved only when the requesting
+    /// instance is actually allocated to that device.
+    pub fn reconfig_validator(&self) -> Arc<dyn Fn(&ReconfigRequest) -> bool + Send + Sync> {
+        let registry = self.clone();
+        Arc::new(move |req: &ReconfigRequest| {
+            registry.binding(&req.client_name).as_deref() == Some(req.device_id.as_str())
+        })
+    }
+
+    /// Wires the registry into a cluster: installs the admission hook that
+    /// intercepts instance creation (allocating a device, injecting
+    /// `DEVICE_MANAGER_ADDRESS` and the shm volume, forcing the host) and
+    /// spawns a watcher that releases bindings on pod deletion.
+    pub fn attach_cluster(&self, cluster: &Cluster) {
+        *self.cluster.lock() = Some(cluster.clone());
+        let registry = self.clone();
+        cluster.set_admission_hook(Arc::new(move |spec| {
+            let instance = spec.id.to_string();
+            let placement = registry
+                .place_instance(&instance, &spec.function)
+                .map_err(|e| e.to_string())?;
+            spec.env.insert(ENV_DEVICE_MANAGER.to_string(), placement.device_id.clone());
+            spec.volumes.push(format!("{SHM_VOLUME_PREFIX}{}", placement.device_id));
+            spec.node = Some(placement.node.clone());
+            Ok(())
+        }));
+        let registry = self.clone();
+        let watch = cluster.watch();
+        std::thread::Builder::new()
+            .name("bf-registry-watch".to_string())
+            .spawn(move || {
+                while let Ok(event) = watch.recv() {
+                    if let WatchEvent::Deleted(id) = event {
+                        registry.release_instance(&id.to_string());
+                    }
+                }
+            })
+            .expect("spawn registry watch thread");
+    }
+
+    /// Snapshot of the allocator's device views (diagnostics, tests).
+    pub fn device_views(&self) -> Vec<DeviceView> {
+        Self::views(&self.inner.lock())
+    }
+
+    /// Nodes currently hosting at least one registered device.
+    pub fn device_nodes(&self) -> Vec<NodeId> {
+        self.inner.lock().devices.values().map(|d| d.manager.node().id().clone()).collect()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Registry")
+            .field("devices", &inner.devices.len())
+            .field("functions", &inner.functions.len())
+            .field("bindings", &inner.bindings.len())
+            .finish()
+    }
+}
+
+/// Instance names produced by the cluster integration are pod ids
+/// (`pod-N`); parse the numeric part back.
+fn parse_pod_id(instance: &str) -> Option<u64> {
+    instance.strip_prefix("pod-").and_then(|s| s.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_id_round_trip() {
+        assert_eq!(parse_pod_id("pod-17"), Some(17));
+        assert_eq!(parse_pod_id("sobel-1"), None);
+        assert_eq!(parse_pod_id(&bf_cluster::InstanceId(3).to_string()), Some(3));
+    }
+}

@@ -1,0 +1,348 @@
+//! The Remote OpenCL Library's [`Backend`] implementation — the transparent
+//! layer that lets unmodified host code drive a shared remote board.
+
+use bf_fpga::Payload;
+use bf_model::{NodeId, VirtualClock, VirtualTime};
+use bf_ocl::{
+    ArgValue, Backend, ClError, ClResult, CommandType, ContextId, DeviceInfo, Event, KernelId,
+    MemId, NdRange, ProgramId, QueueId,
+};
+use bf_rpc::{DataRef, Request, Response, WireArg};
+use parking_lot::Mutex;
+
+use crate::connection::Connection;
+
+/// OpenCL backend that remotes every call to a Device Manager over the
+/// connection's gRPC-like channel, using the shared-memory data path when
+/// granted.
+///
+/// Virtual-time behaviour mirrors the paper's measurements: synchronous
+/// (context/information) methods cost one control round trip; asynchronous
+/// command-queue methods are pipelined — the client pays payload staging
+/// (serialization + copies, or the single shm copy) and observes
+/// completions one control hop after the device finishes.
+pub struct RemoteBackend {
+    device_id: String,
+    node: NodeId,
+    conn: Connection,
+    clock: VirtualClock,
+    /// Client-side virtual instant when the last staged payload finished
+    /// copying/serializing; keeps pipelined writes from time-travelling.
+    staging_cursor: Mutex<VirtualTime>,
+    info: Mutex<DeviceInfo>,
+}
+
+impl RemoteBackend {
+    /// Connects to a manager endpoint and primes the device-info cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the manager is unreachable.
+    pub fn connect(endpoint: bf_devmgr::ManagerEndpoint, clock: VirtualClock) -> ClResult<Self> {
+        let device_id = endpoint.device_id.clone();
+        let node = endpoint.node.clone();
+        let conn = Connection::new(endpoint);
+        let (resp, observed) = conn.call(
+            Request::Hello { client_name: String::new(), shm: conn.shm().is_some() },
+            clock.now(),
+        )?;
+        clock.advance_to(observed);
+        let Response::Handle { .. } = resp else {
+            return Err(ClError::TransportFailure(format!("bad hello response: {resp:?}")));
+        };
+        let backend = RemoteBackend {
+            device_id,
+            node: node.clone(),
+            conn,
+            clock,
+            staging_cursor: Mutex::new(VirtualTime::ZERO),
+            info: Mutex::new(DeviceInfo {
+                name: String::new(),
+                vendor: String::new(),
+                platform: String::new(),
+                memory_bytes: 0,
+                node,
+                bitstream: None,
+            }),
+        };
+        backend.refresh_info()?;
+        Ok(backend)
+    }
+
+    /// The manager's device id.
+    pub fn device_id(&self) -> &str {
+        &self.device_id
+    }
+
+    /// The underlying connection (for tests and instrumentation).
+    pub fn connection(&self) -> &Connection {
+        &self.conn
+    }
+
+    fn refresh_info(&self) -> ClResult<()> {
+        let (resp, observed) = self.conn.call(Request::GetDeviceInfo, self.clock.now())?;
+        self.clock.advance_to(observed);
+        if let Response::DeviceInfo { name, vendor, platform, memory_bytes, node, bitstream } =
+            resp
+        {
+            *self.info.lock() = DeviceInfo {
+                name,
+                vendor,
+                platform,
+                memory_bytes,
+                node: NodeId::new(node),
+                bitstream,
+            };
+            Ok(())
+        } else {
+            Err(ClError::TransportFailure("bad device info response".to_string()))
+        }
+    }
+
+    fn sync_handle(&self, body: Request) -> ClResult<u64> {
+        let (resp, observed) = self.conn.call(body, self.clock.now())?;
+        self.clock.advance_to(observed);
+        match resp {
+            Response::Handle { id } => Ok(id),
+            other => Err(ClError::TransportFailure(format!("expected handle, got {other:?}"))),
+        }
+    }
+
+    fn sync_ack(&self, body: Request) -> ClResult<()> {
+        let (resp, observed) = self.conn.call(body, self.clock.now())?;
+        self.clock.advance_to(observed);
+        match resp {
+            Response::Ack | Response::Handle { .. } => Ok(()),
+            other => Err(ClError::TransportFailure(format!("expected ack, got {other:?}"))),
+        }
+    }
+
+    /// Requests a board reconfiguration to `bitstream`, subject to the
+    /// manager's [`ReconfigPolicy`] (in a full deployment the Accelerators
+    /// Registry validates this, §III-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::AccessDenied`] when the policy refuses.
+    ///
+    /// [`ReconfigPolicy`]: bf_devmgr::ReconfigPolicy
+    pub fn reconfigure(&self, bitstream: &str) -> ClResult<()> {
+        self.sync_ack(Request::Reconfigure { bitstream: bitstream.to_string() })
+    }
+
+    /// Stages a write payload onto the data path: real bytes are copied
+    /// into the shm segment (one copy) or shipped inline (gRPC); the
+    /// staging cursor advances by the payload cost either way. Returns the
+    /// wire reference, the shm region to free on completion, and the
+    /// instant the payload is ready to send.
+    fn stage_payload(&self, payload: Payload) -> ClResult<(DataRef, Option<u64>, VirtualTime)> {
+        let len = payload.len();
+        let mut cursor = self.staging_cursor.lock();
+        let start = self.clock.now().max(*cursor);
+        let ready = start + self.conn.costs().outbound_payload_cost(len);
+        *cursor = ready;
+        drop(cursor);
+
+        let (data, region) = match (self.conn.shm(), payload) {
+            (Some(shm), Payload::Data(bytes)) => match shm.alloc(len) {
+                Ok(offset) => {
+                    shm.write(offset, &bytes)
+                        .map_err(|e| ClError::TransportFailure(e.to_string()))?;
+                    (DataRef::Shm { offset, len }, Some(offset))
+                }
+                // Segment exhausted: degrade to the inline path.
+                Err(_) => (DataRef::Inline(bytes), None),
+            },
+            (_, Payload::Data(bytes)) => (DataRef::Inline(bytes), None),
+            (_, Payload::Synthetic(n)) => (DataRef::Synthetic(n), None),
+        };
+        Ok((data, region, ready))
+    }
+
+    fn pipeline_now(&self) -> VirtualTime {
+        self.clock.now().max(*self.staging_cursor.lock())
+    }
+}
+
+impl std::fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("device_id", &self.device_id)
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Backend for RemoteBackend {
+    fn device_info(&self) -> DeviceInfo {
+        let _ = self.refresh_info();
+        self.info.lock().clone()
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn create_context(&self) -> ClResult<ContextId> {
+        self.sync_handle(Request::CreateContext).map(ContextId)
+    }
+
+    fn build_program(&self, _ctx: ContextId, bitstream: &str) -> ClResult<ProgramId> {
+        self.sync_handle(Request::BuildProgram { bitstream: bitstream.to_string() })
+            .map(ProgramId)
+    }
+
+    fn create_kernel(&self, program: ProgramId, name: &str) -> ClResult<KernelId> {
+        self.sync_handle(Request::CreateKernel { program: program.0, name: name.to_string() })
+            .map(KernelId)
+    }
+
+    fn set_kernel_arg(&self, kernel: KernelId, index: u32, arg: ArgValue) -> ClResult<()> {
+        let wire = match arg {
+            ArgValue::Buffer(mem) => WireArg::Buffer(mem.0),
+            ArgValue::U32(v) => WireArg::U32(v),
+            ArgValue::I32(v) => WireArg::I32(v),
+            ArgValue::U64(v) => WireArg::U64(v),
+            ArgValue::F32(v) => WireArg::F32(v),
+        };
+        // Fire-and-forget: channel FIFO guarantees the argument lands
+        // before any subsequent launch; errors surface at launch time.
+        self.conn.cast(
+            Request::SetKernelArg { kernel: kernel.0, index, arg: wire },
+            self.clock.now(),
+        )
+    }
+
+    fn create_buffer(&self, ctx: ContextId, len: u64) -> ClResult<MemId> {
+        self.sync_handle(Request::CreateBuffer { context: ctx.0, len }).map(MemId)
+    }
+
+    fn release_buffer(&self, buffer: MemId) -> ClResult<()> {
+        // Fire-and-forget so dropping a Buffer never blocks (C-DTOR-BLOCK).
+        self.conn.cast(Request::ReleaseBuffer { buffer: buffer.0 }, self.clock.now())
+    }
+
+    fn create_queue(&self, ctx: ContextId) -> ClResult<QueueId> {
+        self.sync_handle(Request::CreateQueue { context: ctx.0 }).map(QueueId)
+    }
+
+    fn enqueue_write(
+        &self,
+        queue: QueueId,
+        buffer: MemId,
+        offset: u64,
+        payload: Payload,
+        blocking: bool,
+    ) -> ClResult<Event> {
+        let event = Event::new(CommandType::WriteBuffer, self.clock.now());
+        event.attach_clock(self.clock.clone());
+        let (data, region, ready) = self.stage_payload(payload)?;
+        self.conn.submit_op(
+            Request::EnqueueWrite { queue: queue.0, buffer: buffer.0, offset, data },
+            ready,
+            event.clone(),
+            region,
+            None,
+        )?;
+        if blocking {
+            self.conn.cast(Request::Flush { queue: queue.0 }, ready)?;
+            event.wait()?;
+        }
+        Ok(event)
+    }
+
+    fn enqueue_read(
+        &self,
+        queue: QueueId,
+        buffer: MemId,
+        offset: u64,
+        len: u64,
+        blocking: bool,
+    ) -> ClResult<Event> {
+        let event = Event::new(CommandType::ReadBuffer, self.clock.now());
+        event.attach_clock(self.clock.clone());
+        let sent = self.pipeline_now();
+        self.conn.submit_op(
+            Request::EnqueueRead { queue: queue.0, buffer: buffer.0, offset, len },
+            sent,
+            event.clone(),
+            None,
+            Some(len),
+        )?;
+        if blocking {
+            self.conn.cast(Request::Flush { queue: queue.0 }, sent)?;
+            event.wait()?;
+        }
+        Ok(event)
+    }
+
+    fn enqueue_kernel(&self, queue: QueueId, kernel: KernelId, work: NdRange) -> ClResult<Event> {
+        let event = Event::new(CommandType::NdRangeKernel, self.clock.now());
+        event.attach_clock(self.clock.clone());
+        let sent = self.pipeline_now();
+        self.conn.submit_op(
+            Request::EnqueueKernel { queue: queue.0, kernel: kernel.0, work: work.0 },
+            sent,
+            event.clone(),
+            None,
+            None,
+        )?;
+        Ok(event)
+    }
+
+    fn enqueue_copy(
+        &self,
+        queue: QueueId,
+        src: MemId,
+        dst: MemId,
+        src_offset: u64,
+        dst_offset: u64,
+        len: u64,
+    ) -> ClResult<Event> {
+        let event = Event::new(CommandType::CopyBuffer, self.clock.now());
+        event.attach_clock(self.clock.clone());
+        let sent = self.pipeline_now();
+        self.conn.submit_op(
+            Request::EnqueueCopy {
+                queue: queue.0,
+                src: src.0,
+                dst: dst.0,
+                src_offset,
+                dst_offset,
+                len,
+            },
+            sent,
+            event.clone(),
+            None,
+            None,
+        )?;
+        Ok(event)
+    }
+
+    fn enqueue_marker(&self, queue: QueueId) -> ClResult<Event> {
+        // A non-blocking fence: the manager answers the tag once the
+        // sealed task (and everything before it in the central queue) has
+        // drained.
+        let event = Event::new(CommandType::Marker, self.clock.now());
+        event.attach_clock(self.clock.clone());
+        let sent = self.pipeline_now();
+        self.conn.submit_op(Request::Finish { queue: queue.0 }, sent, event.clone(), None, None)?;
+        Ok(event)
+    }
+
+    fn enqueue_barrier(&self, queue: QueueId) -> ClResult<Event> {
+        // The paper lists clEnqueueBarrier with clFinish/clFlush as a task
+        // boundary: it seals the open task (the fence request does both).
+        self.enqueue_marker(queue)
+    }
+
+    fn flush(&self, queue: QueueId) -> ClResult<()> {
+        self.conn.cast(Request::Flush { queue: queue.0 }, self.pipeline_now())
+    }
+
+    fn finish(&self, queue: QueueId) -> ClResult<()> {
+        let observed = self.conn.fence(queue.0, self.pipeline_now())?;
+        self.clock.advance_to(observed);
+        Ok(())
+    }
+}

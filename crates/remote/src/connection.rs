@@ -1,0 +1,335 @@
+//! The client-side connection: request sending, the completion-queue
+//! puller thread, and tag → event dispatch (paper Fig. 2, steps 3–6).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bf_fpga::Payload;
+use bf_model::{VirtualDuration, VirtualTime};
+use bf_ocl::{ClError, ClResult, Event};
+use bf_rpc::{
+    ClientId, DataRef, ErrorCode, PathCosts, Request, RequestEnvelope, Response, ResponseEnvelope,
+    ShmSegment, TransportError,
+};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use crate::state_machine::OpStateMachine;
+
+/// What the connection thread should do with a tagged response.
+enum Pending {
+    /// Forward the first response to a blocked caller (sync methods).
+    Sync(Sender<ResponseEnvelope>),
+    /// Forward the first `Completed`/`Error`, swallowing the `Enqueued`
+    /// submission ack (`Finish` fences).
+    Fence(Sender<ResponseEnvelope>),
+    /// Drive an asynchronous operation's state machine and OpenCL event.
+    Op(Box<OpPending>),
+    /// Drop the response (fire-and-forget `Flush` acks).
+    Discard,
+}
+
+struct OpPending {
+    event: Event,
+    machine: OpStateMachine,
+    /// Shm region to release once the manager consumed a write payload.
+    write_region: Option<u64>,
+    /// Expected read length (reads only), for cost accounting.
+    read_len: Option<u64>,
+}
+
+struct ConnectionInner {
+    client: ClientId,
+    channel: bf_rpc::ClientChannel,
+    costs: PathCosts,
+    shm: Option<ShmSegment>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    next_tag: AtomicU64,
+}
+
+/// A live connection to one Device Manager.
+///
+/// Cloning shares the connection. A background *connection thread* pulls
+/// tagged responses from the completion stream and either wakes a blocked
+/// synchronous caller or advances the matching operation's state machine
+/// and OpenCL event.
+#[derive(Clone)]
+pub struct Connection {
+    inner: Arc<ConnectionInner>,
+}
+
+impl Connection {
+    /// Wraps an endpoint handed out by
+    /// [`bf_devmgr::DeviceManager::connect`] and spawns the connection
+    /// thread.
+    pub fn new(endpoint: bf_devmgr::ManagerEndpoint) -> Self {
+        let inner = Arc::new(ConnectionInner {
+            client: endpoint.client,
+            channel: endpoint.channel,
+            costs: endpoint.costs,
+            shm: endpoint.shm,
+            pending: Mutex::new(HashMap::new()),
+            next_tag: AtomicU64::new(1),
+        });
+        {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name(format!("bf-remote-conn-{}", inner.client.0))
+                .spawn(move || connection_thread(inner))
+                .expect("spawn remote connection thread");
+        }
+        Connection { inner }
+    }
+
+    /// The session id on the manager.
+    pub fn client(&self) -> ClientId {
+        self.inner.client
+    }
+
+    /// This connection's cost profile.
+    pub fn costs(&self) -> &PathCosts {
+        &self.inner.costs
+    }
+
+    /// The shared-memory segment, when granted.
+    pub fn shm(&self) -> Option<&ShmSegment> {
+        self.inner.shm.as_ref()
+    }
+
+    fn fresh_tag(&self) -> u64 {
+        self.inner.next_tag.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Sends a synchronous (context/information) request and blocks for its
+    /// response. Returns the response body and the virtual instant the
+    /// client observes it (manager completion + return hop).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and manager-side errors map to [`ClError`].
+    pub fn call(&self, body: Request, sent_at: VirtualTime) -> ClResult<(Response, VirtualTime)> {
+        let tag = self.fresh_tag();
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(tag, Pending::Sync(tx));
+        self.send(tag, body, sent_at)?;
+        let resp = rx
+            .recv()
+            .map_err(|_| ClError::TransportFailure("connection thread gone".to_string()))?;
+        let observed = resp.sent_at + self.inner.costs.control_hop();
+        match resp.body {
+            Response::Error { code, message } => Err(map_error(code, message)),
+            body => Ok((body, observed)),
+        }
+    }
+
+    /// Sends a `Finish` fence and blocks until the task drains. Returns the
+    /// observed completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and manager-side errors map to [`ClError`].
+    pub fn fence(&self, queue: u64, sent_at: VirtualTime) -> ClResult<VirtualTime> {
+        let tag = self.fresh_tag();
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(tag, Pending::Fence(tx));
+        self.send(tag, Request::Finish { queue }, sent_at)?;
+        let resp = rx
+            .recv()
+            .map_err(|_| ClError::TransportFailure("connection thread gone".to_string()))?;
+        let observed = resp.sent_at + self.inner.costs.control_hop();
+        match resp.body {
+            Response::Error { code, message } => Err(map_error(code, message)),
+            _ => Ok(observed),
+        }
+    }
+
+    /// Sends a fire-and-forget request (e.g. `Flush`) whose ack is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport failure if the manager is gone.
+    pub fn cast(&self, body: Request, sent_at: VirtualTime) -> ClResult<()> {
+        let tag = self.fresh_tag();
+        self.inner.pending.lock().insert(tag, Pending::Discard);
+        self.send(tag, body, sent_at)
+    }
+
+    /// Sends an asynchronous command-queue operation tracked by `event`.
+    /// The connection thread drives the event through the Fig. 2 state
+    /// machine as responses arrive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport failure if the manager is gone.
+    pub fn submit_op(
+        &self,
+        body: Request,
+        sent_at: VirtualTime,
+        event: Event,
+        write_region: Option<u64>,
+        read_len: Option<u64>,
+    ) -> ClResult<()> {
+        let tag = self.fresh_tag();
+        let machine = OpStateMachine::new(event.command());
+        self.inner.pending.lock().insert(
+            tag,
+            Pending::Op(Box::new(OpPending { event, machine, write_region, read_len })),
+        );
+        self.send(tag, body, sent_at)
+    }
+
+    fn send(&self, tag: u64, body: Request, sent_at: VirtualTime) -> ClResult<()> {
+        self.inner
+            .channel
+            .send(&RequestEnvelope { tag, client: self.inner.client, sent_at, body })
+            .map_err(|e| {
+                self.inner.pending.lock().remove(&tag);
+                ClError::TransportFailure(e.to_string())
+            })
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("client", &self.inner.client)
+            .field("pending", &self.inner.pending.lock().len())
+            .finish()
+    }
+}
+
+/// The connection thread: pulls tags from the completion queue and
+/// retrieves the corresponding event (Fig. 2 step 5), then advances its
+/// state machine and OpenCL status (step 6).
+fn connection_thread(inner: Arc<ConnectionInner>) {
+    loop {
+        let resp = match inner.channel.recv() {
+            Ok(resp) => resp,
+            Err(TransportError::Closed) => break,
+            Err(_) => continue, // malformed frame: drop, keep the connection up
+        };
+        let mut pending = inner.pending.lock();
+        match pending.remove(&resp.tag) {
+            None => {} // stale tag (already failed locally)
+            Some(Pending::Discard) => {}
+            Some(Pending::Sync(tx)) => {
+                let _ = tx.send(resp);
+            }
+            Some(Pending::Fence(tx)) => match resp.body {
+                Response::Enqueued | Response::Ack => {
+                    pending.insert(resp.tag, Pending::Fence(tx));
+                }
+                _ => {
+                    let _ = tx.send(resp);
+                }
+            },
+            Some(Pending::Op(mut op)) => {
+                let tag = resp.tag;
+                let keep = advance_op(&inner, &mut op, resp);
+                if keep {
+                    pending.insert(tag, Pending::Op(op));
+                }
+            }
+        }
+    }
+    // Manager gone: fail every outstanding operation.
+    let mut pending = inner.pending.lock();
+    for (_, entry) in pending.drain() {
+        if let Pending::Op(op) = entry {
+            op.event.fail(ClError::TransportFailure("connection closed".to_string()));
+        }
+    }
+}
+
+/// Applies one response to an in-flight operation. Returns whether the
+/// entry should stay registered (i.e. more responses are expected).
+fn advance_op(inner: &Arc<ConnectionInner>, op: &mut OpPending, resp: ResponseEnvelope) -> bool {
+    match resp.body {
+        Response::Enqueued => {
+            op.machine.on_enqueued();
+            // Submission instant at the manager, observed locally.
+            op.event.mark_submitted(resp.sent_at);
+            true
+        }
+        Response::Completed { started_at, ended_at, data } => {
+            let mut observed = ended_at + inner.costs.control_hop();
+            let payload = match data {
+                None => None,
+                Some(DataRef::Synthetic(len)) => {
+                    op.machine.on_buffer();
+                    observed += inner.costs.inbound_payload_cost(len);
+                    Some(Payload::Synthetic(len))
+                }
+                Some(DataRef::Inline(bytes)) => {
+                    op.machine.on_buffer();
+                    observed += inner.costs.inbound_payload_cost(bytes.len() as u64);
+                    Some(Payload::Data(bytes))
+                }
+                Some(DataRef::Shm { offset, len }) => {
+                    op.machine.on_buffer();
+                    observed += inner.costs.inbound_payload_cost(len);
+                    match inner.shm.as_ref() {
+                        Some(shm) => match shm.read(offset, len) {
+                            Ok(bytes) => {
+                                let _ = shm.free(offset);
+                                Some(Payload::Data(bytes))
+                            }
+                            Err(e) => {
+                                op.machine.on_error();
+                                op.event.fail(ClError::TransportFailure(e.to_string()));
+                                return false;
+                            }
+                        },
+                        None => {
+                            op.machine.on_error();
+                            op.event.fail(ClError::TransportFailure(
+                                "manager sent shm data on a grpc connection".to_string(),
+                            ));
+                            return false;
+                        }
+                    }
+                }
+            };
+            let _ = op.read_len;
+            if let Some(region) = op.write_region.take() {
+                if let Some(shm) = inner.shm.as_ref() {
+                    let _ = shm.free(region);
+                }
+            }
+            op.machine.on_completed();
+            op.event.complete_at(started_at, ended_at, observed, payload);
+            false
+        }
+        Response::Error { code, message } => {
+            if let (Some(region), Some(shm)) = (op.write_region.take(), inner.shm.as_ref()) {
+                let _ = shm.free(region);
+            }
+            op.machine.on_error();
+            op.event.fail(map_error(code, message));
+            false
+        }
+        // Control responses never target op tags.
+        _ => true,
+    }
+}
+
+/// Maps manager error codes onto OpenCL error classes.
+pub fn map_error(code: ErrorCode, message: String) -> ClError {
+    match code {
+        ErrorCode::InvalidHandle => ClError::InvalidOperation(message),
+        ErrorCode::AccessDenied => ClError::AccessDenied(message),
+        ErrorCode::OutOfResources => ClError::OutOfResources(message),
+        ErrorCode::OutOfBounds => ClError::OutOfBounds(message),
+        ErrorCode::BuildFailure => ClError::BuildProgramFailure(message),
+        ErrorCode::InvalidLaunch => ClError::InvalidKernelLaunch(message),
+        ErrorCode::ReconfigurationRefused => ClError::AccessDenied(message),
+        ErrorCode::Internal => ClError::TransportFailure(message),
+    }
+}
+
+/// Convenience: total control-plane round trip for a synchronous call on
+/// `costs` (request hop + response hop).
+pub fn sync_rtt(costs: &PathCosts) -> VirtualDuration {
+    costs.control_hop() * 2
+}

@@ -1,0 +1,135 @@
+//! The Remote Library's central router: keeps the list of available
+//! platforms (Device Managers) and opens connections on demand
+//! (paper §III-A).
+
+use std::sync::Arc;
+
+use bf_devmgr::DeviceManager;
+use bf_model::VirtualClock;
+use bf_ocl::{ClError, ClResult, Device, Platform};
+use bf_rpc::PathCosts;
+
+use crate::backend::RemoteBackend;
+
+/// Keeps the addresses (in this reproduction: handles) of the Device
+/// Managers a client may use, and builds [`Platform`]s of remote devices.
+#[derive(Debug, Clone, Default)]
+pub struct Router {
+    managers: Vec<DeviceManager>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a Device Manager (one per `DEVICE_MANAGER_ADDRESSES` entry
+    /// in the real system).
+    pub fn add_manager(&mut self, manager: DeviceManager) -> &mut Self {
+        self.managers.push(manager);
+        self
+    }
+
+    /// The registered managers.
+    pub fn managers(&self) -> &[DeviceManager] {
+        &self.managers
+    }
+
+    /// Number of reachable devices.
+    pub fn len(&self) -> usize {
+        self.managers.len()
+    }
+
+    /// Whether no manager is registered.
+    pub fn is_empty(&self) -> bool {
+        self.managers.is_empty()
+    }
+
+    /// Connects `client_name` to the `index`-th manager, producing an
+    /// OpenCL [`Device`] whose backend is the Remote Library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::DeviceNotFound`] for an out-of-range index, or a
+    /// transport failure if the manager is unreachable.
+    pub fn connect(
+        &self,
+        index: usize,
+        client_name: &str,
+        costs: PathCosts,
+        clock: VirtualClock,
+    ) -> ClResult<Device> {
+        let manager = self.managers.get(index).ok_or(ClError::DeviceNotFound)?;
+        let endpoint = manager.connect(client_name, costs);
+        let backend = RemoteBackend::connect(endpoint, clock)?;
+        Ok(Device::new(Arc::new(backend)))
+    }
+
+    /// Builds a [`Platform`] exposing every registered manager as a device,
+    /// all sharing `clock` (one client application = one host timeline).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any manager is unreachable.
+    pub fn platform(
+        &self,
+        client_name: &str,
+        costs: PathCosts,
+        clock: VirtualClock,
+    ) -> ClResult<Platform> {
+        let mut devices = Vec::with_capacity(self.managers.len());
+        for i in 0..self.managers.len() {
+            devices.push(self.connect(i, client_name, costs, clock.clone())?);
+        }
+        Ok(Platform::new("BlastFunction Remote OpenCL", devices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use bf_devmgr::DeviceManagerConfig;
+    use bf_fpga::{Board, BoardSpec};
+    use bf_model::{node_a, node_b, node_c};
+    use bf_ocl::BitstreamCatalog;
+    use parking_lot::Mutex;
+
+    use super::*;
+
+    #[test]
+    fn platform_exposes_every_manager_as_a_device() {
+        let mut router = Router::new();
+        for node in [node_a(), node_b(), node_c()] {
+            let id = format!("fpga-{}", node.id().as_str().to_lowercase());
+            let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node.pcie())));
+            router.add_manager(DeviceManager::new(
+                DeviceManagerConfig::standalone(id),
+                node,
+                board,
+                BitstreamCatalog::new(),
+            ));
+        }
+        assert_eq!(router.len(), 3);
+        let clock = VirtualClock::new();
+        let platform = router
+            .platform("multi-fn", PathCosts::local_grpc(), clock)
+            .expect("all managers reachable");
+        assert_eq!(platform.devices().len(), 3);
+        let nodes: Vec<String> =
+            platform.devices().iter().map(|d| d.info().node.to_string()).collect();
+        assert_eq!(nodes, vec!["A", "B", "C"], "devices in registration order");
+        assert!(platform.device(3).is_err(), "out-of-range index");
+    }
+
+    #[test]
+    fn empty_router_finds_no_device() {
+        let router = Router::new();
+        assert!(router.is_empty());
+        let err = router
+            .connect(0, "f", PathCosts::local_grpc(), VirtualClock::new())
+            .expect_err("no device");
+        assert_eq!(err, ClError::DeviceNotFound);
+    }
+}

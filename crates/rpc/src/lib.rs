@@ -1,0 +1,137 @@
+#![warn(missing_docs)]
+
+//! # bf-rpc — the API-remoting transport substrate
+//!
+//! BlastFunction remotes the OpenCL host API over gRPC for control and
+//! either gRPC or POSIX shared memory for bulk data. This crate is the
+//! from-scratch stand-in for that plumbing:
+//!
+//! * [`codec`] — a protobuf-like binary wire format ([`WireEncode`] /
+//!   [`WireDecode`]); every message really is encoded to bytes so encoded
+//!   sizes drive the serialization cost model;
+//! * the protocol module — the Device Manager service messages: tagged
+//!   [`RequestEnvelope`] / [`ResponseEnvelope`] pairs covering every
+//!   remoted OpenCL call, with the paper's split between synchronous
+//!   *context & information methods* and asynchronous *command-queue
+//!   methods*;
+//! * [`ShmSegment`] — the shared-memory data path (single retained copy);
+//! * [`duplex`] — an in-process connection whose response stream is the
+//!   Remote Library's completion queue (Fig. 2).
+//!
+//! ```
+//! use bf_model::VirtualTime;
+//! use bf_rpc::{duplex, ClientId, Request, RequestEnvelope};
+//!
+//! # fn main() -> Result<(), bf_rpc::TransportError> {
+//! let (client, server) = duplex();
+//! client.send(&RequestEnvelope {
+//!     tag: 1,
+//!     client: ClientId(7),
+//!     sent_at: VirtualTime::ZERO,
+//!     body: Request::GetDeviceInfo,
+//! })?;
+//! let seen = server.recv()?;
+//! assert_eq!(seen.body, Request::GetDeviceInfo);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codec;
+mod costs;
+mod proto;
+mod shm;
+mod transport;
+
+pub use codec::{CodecError, WireDecode, WireEncode};
+pub use costs::PathCosts;
+pub use proto::{
+    ClientId, DataRef, ErrorCode, Request, RequestEnvelope, Response, ResponseEnvelope, WireArg,
+};
+pub use shm::{ShmError, ShmSegment};
+pub use transport::{duplex, ClientChannel, ServerChannel, TransportError};
+
+#[cfg(test)]
+mod proptests {
+    use bf_model::VirtualTime;
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::codec::{WireDecode, WireEncode};
+
+    fn arb_dataref() -> impl Strategy<Value = DataRef> {
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..128).prop_map(DataRef::Inline),
+            (any::<u64>(), any::<u64>()).prop_map(|(offset, len)| DataRef::Shm { offset, len }),
+            any::<u64>().prop_map(DataRef::Synthetic),
+        ]
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            (".*", any::<bool>())
+                .prop_map(|(client_name, shm)| Request::Hello { client_name, shm }),
+            Just(Request::GetDeviceInfo),
+            Just(Request::CreateContext),
+            ".*".prop_map(|bitstream| Request::BuildProgram { bitstream }),
+            (any::<u64>(), ".*").prop_map(|(program, name)| Request::CreateKernel { program, name }),
+            (any::<u64>(), any::<u64>())
+                .prop_map(|(context, len)| Request::CreateBuffer { context, len }),
+            (any::<u64>(), any::<u64>(), any::<u64>(), arb_dataref()).prop_map(
+                |(queue, buffer, offset, data)| Request::EnqueueWrite {
+                    queue,
+                    buffer,
+                    offset,
+                    data
+                }
+            ),
+            (any::<u64>(), any::<u64>(), any::<[u64; 3]>())
+                .prop_map(|(queue, kernel, work)| Request::EnqueueKernel { queue, kernel, work }),
+            any::<u64>().prop_map(|queue| Request::Flush { queue }),
+            any::<u64>().prop_map(|queue| Request::Finish { queue }),
+            Just(Request::Disconnect),
+        ]
+    }
+
+    proptest! {
+        /// Every request envelope decodes back to itself.
+        #[test]
+        fn request_envelopes_round_trip(
+            tag in any::<u64>(),
+            client in any::<u64>(),
+            at in any::<u64>(),
+            body in arb_request(),
+        ) {
+            let env = RequestEnvelope {
+                tag,
+                client: ClientId(client),
+                sent_at: VirtualTime::from_nanos(at),
+                body,
+            };
+            let decoded = RequestEnvelope::from_bytes(env.to_bytes()).expect("decode");
+            prop_assert_eq!(decoded, env);
+        }
+
+        /// Decoding arbitrary garbage never panics.
+        #[test]
+        fn decoder_is_total(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = RequestEnvelope::from_bytes(bytes::Bytes::from(garbage.clone()));
+            let _ = ResponseEnvelope::from_bytes(bytes::Bytes::from(garbage));
+        }
+
+        /// Shm allocation never hands out overlapping regions.
+        #[test]
+        fn shm_regions_never_overlap(sizes in proptest::collection::vec(1u64..512, 1..32)) {
+            let shm = ShmSegment::new(1 << 16);
+            let mut regions: Vec<(u64, u64)> = Vec::new();
+            for len in sizes {
+                if let Ok(offset) = shm.alloc(len) {
+                    for (o, l) in &regions {
+                        let disjoint = offset + len <= *o || o + l <= offset;
+                        prop_assert!(disjoint, "[{offset},+{len}) overlaps [{o},+{l})");
+                    }
+                    regions.push((offset, len));
+                }
+            }
+        }
+    }
+}

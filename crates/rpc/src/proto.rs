@@ -1,0 +1,768 @@
+//! The Device Manager service protocol.
+//!
+//! One message pair per OpenCL remoting operation, split into the paper's
+//! two method groups (§III-B):
+//!
+//! * **context & information methods** — synchronous request/response
+//!   (`Hello`, `CreateContext`, `BuildProgram`, `CreateKernel`,
+//!   `CreateBuffer`, `CreateQueue`, `GetDeviceInfo`, `Reconfigure`, …);
+//! * **command-queue methods** — asynchronous, correlated by *tag* (the
+//!   client-side event pointer): `EnqueueWrite`, `EnqueueRead`,
+//!   `EnqueueKernel`, `Flush`, `Finish`.
+//!
+//! Bulk payloads travel either inline (gRPC data path) or as offsets into a
+//! shared-memory segment ([`DataRef::Shm`]).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use bf_model::VirtualTime;
+
+use crate::codec::{get_varint, put_varint, CodecError, WireDecode, WireEncode};
+
+/// Identifies one client (function instance) session on a Device Manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u64);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+/// How a bulk payload travels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataRef {
+    /// Inline in the message (the gRPC data path).
+    Inline(Vec<u8>),
+    /// A region of the client's shared-memory segment.
+    Shm {
+        /// Byte offset inside the segment.
+        offset: u64,
+        /// Region length.
+        len: u64,
+    },
+    /// Size-only placeholder for timing-only runs.
+    Synthetic(u64),
+}
+
+impl DataRef {
+    /// Payload size in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            DataRef::Inline(d) => d.len() as u64,
+            DataRef::Shm { len, .. } | DataRef::Synthetic(len) => *len,
+        }
+    }
+
+    /// Whether the payload is zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A kernel argument on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireArg {
+    /// Remote buffer handle.
+    Buffer(u64),
+    /// 32-bit unsigned scalar.
+    U32(u32),
+    /// 32-bit signed scalar.
+    I32(i32),
+    /// 64-bit unsigned scalar.
+    U64(u64),
+    /// 32-bit float scalar.
+    F32(f32),
+}
+
+/// Request bodies of the Device Manager service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens a session.
+    Hello {
+        /// Human-readable client (function instance) name.
+        client_name: String,
+        /// Whether the client can map the manager's shared-memory segment.
+        shm: bool,
+    },
+    /// `clGetDeviceInfo`.
+    GetDeviceInfo,
+    /// `clCreateContext`.
+    CreateContext,
+    /// `clCreateProgramWithBinary` + `clBuildProgram`.
+    BuildProgram {
+        /// Bitstream id the client wants configured.
+        bitstream: String,
+    },
+    /// `clCreateKernel`.
+    CreateKernel {
+        /// Remote program handle.
+        program: u64,
+        /// Kernel name.
+        name: String,
+    },
+    /// `clSetKernelArg`.
+    SetKernelArg {
+        /// Remote kernel handle.
+        kernel: u64,
+        /// Argument index.
+        index: u32,
+        /// Argument value.
+        arg: WireArg,
+    },
+    /// `clCreateBuffer`.
+    CreateBuffer {
+        /// Remote context handle.
+        context: u64,
+        /// Buffer length in bytes.
+        len: u64,
+    },
+    /// `clReleaseMemObject`.
+    ReleaseBuffer {
+        /// Remote buffer handle.
+        buffer: u64,
+    },
+    /// `clCreateCommandQueue`.
+    CreateQueue {
+        /// Remote context handle.
+        context: u64,
+    },
+    /// `clEnqueueWriteBuffer` (command-queue method).
+    EnqueueWrite {
+        /// Remote queue handle.
+        queue: u64,
+        /// Remote buffer handle.
+        buffer: u64,
+        /// Destination offset.
+        offset: u64,
+        /// The payload.
+        data: DataRef,
+    },
+    /// `clEnqueueReadBuffer` (command-queue method).
+    EnqueueRead {
+        /// Remote queue handle.
+        queue: u64,
+        /// Remote buffer handle.
+        buffer: u64,
+        /// Source offset.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// `clEnqueueNDRangeKernel` (command-queue method).
+    EnqueueKernel {
+        /// Remote queue handle.
+        queue: u64,
+        /// Remote kernel handle.
+        kernel: u64,
+        /// Global work size.
+        work: [u64; 3],
+    },
+    /// `clFlush`: seals the current multi-operation task.
+    Flush {
+        /// Remote queue handle.
+        queue: u64,
+    },
+    /// `clFinish`: flush + wait for the queue to drain.
+    Finish {
+        /// Remote queue handle.
+        queue: u64,
+    },
+    /// Asks the manager to reprogram the board (validated by the registry).
+    Reconfigure {
+        /// Bitstream id to program.
+        bitstream: String,
+    },
+    /// Closes the session, releasing every resource the client owns.
+    Disconnect,
+    /// `clEnqueueCopyBuffer` (command-queue method).
+    EnqueueCopy {
+        /// Remote queue handle.
+        queue: u64,
+        /// Source buffer handle.
+        src: u64,
+        /// Destination buffer handle.
+        dst: u64,
+        /// Source offset.
+        src_offset: u64,
+        /// Destination offset.
+        dst_offset: u64,
+        /// Bytes to copy.
+        len: u64,
+    },
+}
+
+impl Request {
+    /// Whether this is a command-queue method (asynchronous, ordered,
+    /// executed through the central task queue) as opposed to a context or
+    /// information method (synchronous).
+    pub fn is_command_queue_method(&self) -> bool {
+        matches!(
+            self,
+            Request::EnqueueWrite { .. }
+                | Request::EnqueueRead { .. }
+                | Request::EnqueueKernel { .. }
+                | Request::EnqueueCopy { .. }
+                | Request::Flush { .. }
+                | Request::Finish { .. }
+        )
+    }
+}
+
+/// Why a request failed, mirroring OpenCL error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Stale/foreign handle.
+    InvalidHandle,
+    /// Client touched a resource it does not own.
+    AccessDenied,
+    /// Device memory exhausted.
+    OutOfResources,
+    /// Transfer out of buffer bounds.
+    OutOfBounds,
+    /// Bitstream/kernel resolution failed.
+    BuildFailure,
+    /// Kernel launch rejected.
+    InvalidLaunch,
+    /// Reconfiguration refused (e.g. not validated by the registry).
+    ReconfigurationRefused,
+    /// Internal manager failure.
+    Internal,
+}
+
+/// Response bodies of the Device Manager service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Generic success for fire-and-forget methods.
+    Ack,
+    /// A freshly created remote handle.
+    Handle {
+        /// The handle value.
+        id: u64,
+    },
+    /// Device information.
+    DeviceInfo {
+        /// Board name.
+        name: String,
+        /// Vendor string.
+        vendor: String,
+        /// Platform string.
+        platform: String,
+        /// DDR capacity.
+        memory_bytes: u64,
+        /// Hosting node id.
+        node: String,
+        /// Configured bitstream, if any.
+        bitstream: Option<String>,
+    },
+    /// A command-queue method was accepted into the client's open task
+    /// (the FIRST step of the event state machine).
+    Enqueued,
+    /// A command-queue operation finished on the device.
+    Completed {
+        /// Device-side start instant.
+        started_at: VirtualTime,
+        /// Device-side end instant.
+        ended_at: VirtualTime,
+        /// Read payload, for `EnqueueRead`.
+        data: Option<DataRef>,
+    },
+    /// The request failed.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A tagged request as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Correlation tag — the pointer to the client-side event (Fig. 2).
+    pub tag: u64,
+    /// The session the request belongs to.
+    pub client: ClientId,
+    /// Virtual send instant at the client.
+    pub sent_at: VirtualTime,
+    /// The request body.
+    pub body: Request,
+}
+
+/// A tagged response as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseEnvelope {
+    /// Correlation tag copied from the request.
+    pub tag: u64,
+    /// Virtual send instant at the manager.
+    pub sent_at: VirtualTime,
+    /// The response body.
+    pub body: Response,
+}
+
+// ---- wire encodings -----------------------------------------------------
+
+impl WireEncode for DataRef {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            DataRef::Inline(d) => {
+                buf.put_u8(0);
+                d.encode(buf);
+            }
+            DataRef::Shm { offset, len } => {
+                buf.put_u8(1);
+                put_varint(buf, *offset);
+                put_varint(buf, *len);
+            }
+            DataRef::Synthetic(len) => {
+                buf.put_u8(2);
+                put_varint(buf, *len);
+            }
+        }
+    }
+}
+
+impl WireDecode for DataRef {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() == 0 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        match buf.get_u8() {
+            0 => Ok(DataRef::Inline(Vec::<u8>::decode(buf)?)),
+            1 => Ok(DataRef::Shm { offset: get_varint(buf)?, len: get_varint(buf)? }),
+            2 => Ok(DataRef::Synthetic(get_varint(buf)?)),
+            value => Err(CodecError::BadDiscriminant { what: "DataRef", value }),
+        }
+    }
+}
+
+impl WireEncode for WireArg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WireArg::Buffer(v) => {
+                buf.put_u8(0);
+                put_varint(buf, *v);
+            }
+            WireArg::U32(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+            WireArg::I32(v) => {
+                buf.put_u8(2);
+                v.encode(buf);
+            }
+            WireArg::U64(v) => {
+                buf.put_u8(3);
+                v.encode(buf);
+            }
+            WireArg::F32(v) => {
+                buf.put_u8(4);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for WireArg {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() == 0 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        match buf.get_u8() {
+            0 => Ok(WireArg::Buffer(get_varint(buf)?)),
+            1 => Ok(WireArg::U32(u32::decode(buf)?)),
+            2 => Ok(WireArg::I32(i32::decode(buf)?)),
+            3 => Ok(WireArg::U64(u64::decode(buf)?)),
+            4 => Ok(WireArg::F32(f32::decode(buf)?)),
+            value => Err(CodecError::BadDiscriminant { what: "WireArg", value }),
+        }
+    }
+}
+
+impl WireEncode for Request {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Request::Hello { client_name, shm } => {
+                buf.put_u8(0);
+                client_name.encode(buf);
+                shm.encode(buf);
+            }
+            Request::GetDeviceInfo => buf.put_u8(1),
+            Request::CreateContext => buf.put_u8(2),
+            Request::BuildProgram { bitstream } => {
+                buf.put_u8(3);
+                bitstream.encode(buf);
+            }
+            Request::CreateKernel { program, name } => {
+                buf.put_u8(4);
+                put_varint(buf, *program);
+                name.encode(buf);
+            }
+            Request::SetKernelArg { kernel, index, arg } => {
+                buf.put_u8(5);
+                put_varint(buf, *kernel);
+                index.encode(buf);
+                arg.encode(buf);
+            }
+            Request::CreateBuffer { context, len } => {
+                buf.put_u8(6);
+                put_varint(buf, *context);
+                put_varint(buf, *len);
+            }
+            Request::ReleaseBuffer { buffer } => {
+                buf.put_u8(7);
+                put_varint(buf, *buffer);
+            }
+            Request::CreateQueue { context } => {
+                buf.put_u8(8);
+                put_varint(buf, *context);
+            }
+            Request::EnqueueWrite { queue, buffer, offset, data } => {
+                buf.put_u8(9);
+                put_varint(buf, *queue);
+                put_varint(buf, *buffer);
+                put_varint(buf, *offset);
+                data.encode(buf);
+            }
+            Request::EnqueueRead { queue, buffer, offset, len } => {
+                buf.put_u8(10);
+                put_varint(buf, *queue);
+                put_varint(buf, *buffer);
+                put_varint(buf, *offset);
+                put_varint(buf, *len);
+            }
+            Request::EnqueueKernel { queue, kernel, work } => {
+                buf.put_u8(11);
+                put_varint(buf, *queue);
+                put_varint(buf, *kernel);
+                work.encode(buf);
+            }
+            Request::Flush { queue } => {
+                buf.put_u8(12);
+                put_varint(buf, *queue);
+            }
+            Request::Finish { queue } => {
+                buf.put_u8(13);
+                put_varint(buf, *queue);
+            }
+            Request::Reconfigure { bitstream } => {
+                buf.put_u8(14);
+                bitstream.encode(buf);
+            }
+            Request::Disconnect => buf.put_u8(15),
+            Request::EnqueueCopy { queue, src, dst, src_offset, dst_offset, len } => {
+                buf.put_u8(16);
+                put_varint(buf, *queue);
+                put_varint(buf, *src);
+                put_varint(buf, *dst);
+                put_varint(buf, *src_offset);
+                put_varint(buf, *dst_offset);
+                put_varint(buf, *len);
+            }
+        }
+    }
+}
+
+impl WireDecode for Request {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() == 0 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(match buf.get_u8() {
+            0 => Request::Hello { client_name: String::decode(buf)?, shm: bool::decode(buf)? },
+            1 => Request::GetDeviceInfo,
+            2 => Request::CreateContext,
+            3 => Request::BuildProgram { bitstream: String::decode(buf)? },
+            4 => Request::CreateKernel { program: get_varint(buf)?, name: String::decode(buf)? },
+            5 => Request::SetKernelArg {
+                kernel: get_varint(buf)?,
+                index: u32::decode(buf)?,
+                arg: WireArg::decode(buf)?,
+            },
+            6 => Request::CreateBuffer { context: get_varint(buf)?, len: get_varint(buf)? },
+            7 => Request::ReleaseBuffer { buffer: get_varint(buf)? },
+            8 => Request::CreateQueue { context: get_varint(buf)? },
+            9 => Request::EnqueueWrite {
+                queue: get_varint(buf)?,
+                buffer: get_varint(buf)?,
+                offset: get_varint(buf)?,
+                data: DataRef::decode(buf)?,
+            },
+            10 => Request::EnqueueRead {
+                queue: get_varint(buf)?,
+                buffer: get_varint(buf)?,
+                offset: get_varint(buf)?,
+                len: get_varint(buf)?,
+            },
+            11 => Request::EnqueueKernel {
+                queue: get_varint(buf)?,
+                kernel: get_varint(buf)?,
+                work: <[u64; 3]>::decode(buf)?,
+            },
+            12 => Request::Flush { queue: get_varint(buf)? },
+            13 => Request::Finish { queue: get_varint(buf)? },
+            14 => Request::Reconfigure { bitstream: String::decode(buf)? },
+            15 => Request::Disconnect,
+            16 => Request::EnqueueCopy {
+                queue: get_varint(buf)?,
+                src: get_varint(buf)?,
+                dst: get_varint(buf)?,
+                src_offset: get_varint(buf)?,
+                dst_offset: get_varint(buf)?,
+                len: get_varint(buf)?,
+            },
+            value => return Err(CodecError::BadDiscriminant { what: "Request", value }),
+        })
+    }
+}
+
+impl WireEncode for ErrorCode {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            ErrorCode::InvalidHandle => 0,
+            ErrorCode::AccessDenied => 1,
+            ErrorCode::OutOfResources => 2,
+            ErrorCode::OutOfBounds => 3,
+            ErrorCode::BuildFailure => 4,
+            ErrorCode::InvalidLaunch => 5,
+            ErrorCode::ReconfigurationRefused => 6,
+            ErrorCode::Internal => 7,
+        });
+    }
+}
+
+impl WireDecode for ErrorCode {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() == 0 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(match buf.get_u8() {
+            0 => ErrorCode::InvalidHandle,
+            1 => ErrorCode::AccessDenied,
+            2 => ErrorCode::OutOfResources,
+            3 => ErrorCode::OutOfBounds,
+            4 => ErrorCode::BuildFailure,
+            5 => ErrorCode::InvalidLaunch,
+            6 => ErrorCode::ReconfigurationRefused,
+            7 => ErrorCode::Internal,
+            value => return Err(CodecError::BadDiscriminant { what: "ErrorCode", value }),
+        })
+    }
+}
+
+impl WireEncode for Response {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Response::Ack => buf.put_u8(0),
+            Response::Handle { id } => {
+                buf.put_u8(1);
+                put_varint(buf, *id);
+            }
+            Response::DeviceInfo { name, vendor, platform, memory_bytes, node, bitstream } => {
+                buf.put_u8(2);
+                name.encode(buf);
+                vendor.encode(buf);
+                platform.encode(buf);
+                put_varint(buf, *memory_bytes);
+                node.encode(buf);
+                bitstream.encode(buf);
+            }
+            Response::Enqueued => buf.put_u8(3),
+            Response::Completed { started_at, ended_at, data } => {
+                buf.put_u8(4);
+                put_varint(buf, started_at.as_nanos());
+                put_varint(buf, ended_at.as_nanos());
+                data.encode(buf);
+            }
+            Response::Error { code, message } => {
+                buf.put_u8(5);
+                code.encode(buf);
+                message.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for Response {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() == 0 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(match buf.get_u8() {
+            0 => Response::Ack,
+            1 => Response::Handle { id: get_varint(buf)? },
+            2 => Response::DeviceInfo {
+                name: String::decode(buf)?,
+                vendor: String::decode(buf)?,
+                platform: String::decode(buf)?,
+                memory_bytes: get_varint(buf)?,
+                node: String::decode(buf)?,
+                bitstream: Option::<String>::decode(buf)?,
+            },
+            3 => Response::Enqueued,
+            4 => Response::Completed {
+                started_at: VirtualTime::from_nanos(get_varint(buf)?),
+                ended_at: VirtualTime::from_nanos(get_varint(buf)?),
+                data: Option::<DataRef>::decode(buf)?,
+            },
+            5 => Response::Error { code: ErrorCode::decode(buf)?, message: String::decode(buf)? },
+            value => return Err(CodecError::BadDiscriminant { what: "Response", value }),
+        })
+    }
+}
+
+impl WireEncode for RequestEnvelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.tag);
+        put_varint(buf, self.client.0);
+        put_varint(buf, self.sent_at.as_nanos());
+        self.body.encode(buf);
+    }
+}
+
+impl WireDecode for RequestEnvelope {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(RequestEnvelope {
+            tag: get_varint(buf)?,
+            client: ClientId(get_varint(buf)?),
+            sent_at: VirtualTime::from_nanos(get_varint(buf)?),
+            body: Request::decode(buf)?,
+        })
+    }
+}
+
+impl WireEncode for ResponseEnvelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.tag);
+        put_varint(buf, self.sent_at.as_nanos());
+        self.body.encode(buf);
+    }
+}
+
+impl WireDecode for ResponseEnvelope {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(ResponseEnvelope {
+            tag: get_varint(buf)?,
+            sent_at: VirtualTime::from_nanos(get_varint(buf)?),
+            body: Response::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{WireDecode, WireEncode};
+
+    fn round_trip_req(body: Request) {
+        let env = RequestEnvelope {
+            tag: 42,
+            client: ClientId(7),
+            sent_at: VirtualTime::from_nanos(1234),
+            body,
+        };
+        let back = RequestEnvelope::from_bytes(env.to_bytes()).expect("decode");
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn all_request_variants_round_trip() {
+        round_trip_req(Request::Hello { client_name: "sobel-1".into(), shm: true });
+        round_trip_req(Request::GetDeviceInfo);
+        round_trip_req(Request::CreateContext);
+        round_trip_req(Request::BuildProgram { bitstream: "spector-sobel".into() });
+        round_trip_req(Request::CreateKernel { program: 3, name: "sobel".into() });
+        round_trip_req(Request::SetKernelArg { kernel: 2, index: 1, arg: WireArg::F32(1.5) });
+        round_trip_req(Request::CreateBuffer { context: 1, len: 1 << 30 });
+        round_trip_req(Request::ReleaseBuffer { buffer: 9 });
+        round_trip_req(Request::CreateQueue { context: 1 });
+        round_trip_req(Request::EnqueueWrite {
+            queue: 1,
+            buffer: 2,
+            offset: 0,
+            data: DataRef::Inline(vec![1, 2, 3]),
+        });
+        round_trip_req(Request::EnqueueWrite {
+            queue: 1,
+            buffer: 2,
+            offset: 16,
+            data: DataRef::Shm { offset: 4096, len: 1 << 20 },
+        });
+        round_trip_req(Request::EnqueueRead { queue: 1, buffer: 2, offset: 0, len: 64 });
+        round_trip_req(Request::EnqueueKernel { queue: 1, kernel: 5, work: [1920, 1080, 1] });
+        round_trip_req(Request::Flush { queue: 1 });
+        round_trip_req(Request::Finish { queue: 1 });
+        round_trip_req(Request::Reconfigure { bitstream: "spector-mm".into() });
+        round_trip_req(Request::Disconnect);
+        round_trip_req(Request::EnqueueCopy {
+            queue: 1,
+            src: 2,
+            dst: 3,
+            src_offset: 4,
+            dst_offset: 5,
+            len: 1 << 20,
+        });
+    }
+
+    #[test]
+    fn all_response_variants_round_trip() {
+        for body in [
+            Response::Ack,
+            Response::Handle { id: 11 },
+            Response::DeviceInfo {
+                name: "DE5a-Net".into(),
+                vendor: "Intel".into(),
+                platform: "Intel(R) FPGA SDK".into(),
+                memory_bytes: 8 << 30,
+                node: "B".into(),
+                bitstream: Some("spector-sobel".into()),
+            },
+            Response::Enqueued,
+            Response::Completed {
+                started_at: VirtualTime::from_nanos(5),
+                ended_at: VirtualTime::from_nanos(9),
+                data: Some(DataRef::Synthetic(128)),
+            },
+            Response::Error { code: ErrorCode::AccessDenied, message: "not yours".into() },
+        ] {
+            let env = ResponseEnvelope { tag: 3, sent_at: VirtualTime::from_nanos(77), body };
+            let back = ResponseEnvelope::from_bytes(env.to_bytes()).expect("decode");
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn command_queue_classification_matches_the_paper() {
+        assert!(Request::Flush { queue: 1 }.is_command_queue_method());
+        assert!(Request::EnqueueKernel { queue: 1, kernel: 1, work: [1, 1, 1] }
+            .is_command_queue_method());
+        assert!(!Request::CreateContext.is_command_queue_method());
+        assert!(!Request::Reconfigure { bitstream: "x".into() }.is_command_queue_method());
+        assert!(!Request::GetDeviceInfo.is_command_queue_method());
+    }
+
+    #[test]
+    fn inline_payload_dominates_encoded_len() {
+        let small = Request::EnqueueWrite {
+            queue: 1,
+            buffer: 2,
+            offset: 0,
+            data: DataRef::Inline(vec![0; 16]),
+        };
+        let big = Request::EnqueueWrite {
+            queue: 1,
+            buffer: 2,
+            offset: 0,
+            data: DataRef::Inline(vec![0; 1 << 16]),
+        };
+        assert!(big.encoded_len() > small.encoded_len() + (1 << 15));
+        // A shm reference stays tiny no matter the payload size.
+        let shm = Request::EnqueueWrite {
+            queue: 1,
+            buffer: 2,
+            offset: 0,
+            data: DataRef::Shm { offset: 0, len: 1 << 30 },
+        };
+        assert!(shm.encoded_len() < 32);
+    }
+}

@@ -1,0 +1,269 @@
+//! The shared-memory data path.
+//!
+//! When a function instance is co-located with the Device Manager (the
+//! Registry patches the pod with a shared-memory volume), bulk payloads
+//! move through a [`ShmSegment`] instead of the gRPC stream, reducing the
+//! copies "from four to one" (§III-B). The segment is a first-fit
+//! allocator over one backing region; the retained single copy is charged
+//! by the caller through [`bf_model::MemcpyModel`].
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Errors raised by the shared-memory segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmError {
+    /// No free region large enough.
+    OutOfSpace {
+        /// Bytes requested.
+        requested: u64,
+        /// Largest contiguous free region.
+        largest_free: u64,
+    },
+    /// The offset does not name an allocated region.
+    BadRegion(u64),
+    /// Access outside an allocated region.
+    OutOfBounds {
+        /// Region offset.
+        region: u64,
+        /// Access offset relative to the segment.
+        offset: u64,
+        /// Access length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for ShmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmError::OutOfSpace { requested, largest_free } => write!(
+                f,
+                "shared memory exhausted: requested {requested} bytes, largest free region {largest_free}"
+            ),
+            ShmError::BadRegion(offset) => write!(f, "no region allocated at offset {offset}"),
+            ShmError::OutOfBounds { region, offset, len } => {
+                write!(f, "access [{offset}, {}) escapes region at {region}", offset + len)
+            }
+        }
+    }
+}
+
+impl Error for ShmError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    offset: u64,
+    len: u64,
+    free: bool,
+}
+
+#[derive(Debug)]
+struct ShmInner {
+    data: Vec<u8>,
+    regions: Vec<Region>,
+}
+
+/// An in-process stand-in for a POSIX shared-memory segment shared between
+/// one client and the local Device Manager.
+///
+/// Cloning yields another handle to the same segment.
+///
+/// ```
+/// use bf_rpc::ShmSegment;
+///
+/// # fn main() -> Result<(), bf_rpc::ShmError> {
+/// let shm = ShmSegment::new(1 << 20);
+/// let region = shm.alloc(128)?;
+/// shm.write(region, &[1, 2, 3])?;
+/// assert_eq!(shm.read(region, 3)?, vec![1, 2, 3]);
+/// shm.free(region)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShmSegment {
+    inner: Arc<Mutex<ShmInner>>,
+}
+
+impl ShmSegment {
+    /// Maps a fresh segment of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        ShmSegment {
+            inner: Arc::new(Mutex::new(ShmInner {
+                data: vec![0; capacity as usize],
+                regions: vec![Region { offset: 0, len: capacity, free: true }],
+            })),
+        }
+    }
+
+    /// Segment capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().data.len() as u64
+    }
+
+    /// Currently allocated bytes.
+    pub fn used(&self) -> u64 {
+        self.inner.lock().regions.iter().filter(|r| !r.free).map(|r| r.len).sum()
+    }
+
+    /// Allocates a region of `len` bytes (first fit) and returns its
+    /// segment offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::OutOfSpace`] when no free region fits.
+    pub fn alloc(&self, len: u64) -> Result<u64, ShmError> {
+        let mut inner = self.inner.lock();
+        let idx = inner.regions.iter().position(|r| r.free && r.len >= len);
+        match idx {
+            Some(i) => {
+                let region = inner.regions[i];
+                let offset = region.offset;
+                if region.len == len {
+                    inner.regions[i].free = false;
+                } else {
+                    inner.regions[i] = Region { offset, len, free: false };
+                    inner.regions.insert(
+                        i + 1,
+                        Region { offset: offset + len, len: region.len - len, free: true },
+                    );
+                }
+                Ok(offset)
+            }
+            None => {
+                let largest_free =
+                    inner.regions.iter().filter(|r| r.free).map(|r| r.len).max().unwrap_or(0);
+                Err(ShmError::OutOfSpace { requested: len, largest_free })
+            }
+        }
+    }
+
+    /// Frees the region at `offset`, coalescing adjacent free regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadRegion`] when `offset` is not an allocated
+    /// region's start.
+    pub fn free(&self, offset: u64) -> Result<(), ShmError> {
+        let mut inner = self.inner.lock();
+        let idx = inner
+            .regions
+            .iter()
+            .position(|r| !r.free && r.offset == offset)
+            .ok_or(ShmError::BadRegion(offset))?;
+        inner.regions[idx].free = true;
+        // Coalesce with the right neighbour, then the left one.
+        if idx + 1 < inner.regions.len() && inner.regions[idx + 1].free {
+            inner.regions[idx].len += inner.regions[idx + 1].len;
+            inner.regions.remove(idx + 1);
+        }
+        if idx > 0 && inner.regions[idx - 1].free {
+            inner.regions[idx - 1].len += inner.regions[idx].len;
+            inner.regions.remove(idx);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at the start of the region at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadRegion`] / [`ShmError::OutOfBounds`].
+    pub fn write(&self, offset: u64, data: &[u8]) -> Result<(), ShmError> {
+        let mut inner = self.inner.lock();
+        let region = *inner
+            .regions
+            .iter()
+            .find(|r| !r.free && r.offset == offset)
+            .ok_or(ShmError::BadRegion(offset))?;
+        if (data.len() as u64) > region.len {
+            return Err(ShmError::OutOfBounds {
+                region: region.offset,
+                offset,
+                len: data.len() as u64,
+            });
+        }
+        inner.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes from the start of the region at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadRegion`] / [`ShmError::OutOfBounds`].
+    pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>, ShmError> {
+        let inner = self.inner.lock();
+        let region = *inner
+            .regions
+            .iter()
+            .find(|r| !r.free && r.offset == offset)
+            .ok_or(ShmError::BadRegion(offset))?;
+        if len > region.len {
+            return Err(ShmError::OutOfBounds { region: region.offset, offset, len });
+        }
+        Ok(inner.data[offset as usize..(offset + len) as usize].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_free() {
+        let shm = ShmSegment::new(1024);
+        let a = shm.alloc(100).expect("alloc a");
+        let b = shm.alloc(200).expect("alloc b");
+        assert_ne!(a, b);
+        shm.write(b, b"hello").expect("write");
+        assert_eq!(shm.read(b, 5).expect("read"), b"hello");
+        assert_eq!(shm.used(), 300);
+        shm.free(a).expect("free a");
+        shm.free(b).expect("free b");
+        assert_eq!(shm.used(), 0);
+    }
+
+    #[test]
+    fn freed_space_is_reusable() {
+        let shm = ShmSegment::new(100);
+        let a = shm.alloc(100).expect("alloc");
+        assert!(matches!(shm.alloc(1), Err(ShmError::OutOfSpace { .. })));
+        shm.free(a).expect("free");
+        shm.alloc(100).expect("realloc after free + coalesce");
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let shm = ShmSegment::new(300);
+        let a = shm.alloc(100).expect("a");
+        let b = shm.alloc(100).expect("b");
+        let c = shm.alloc(100).expect("c");
+        shm.free(a).expect("free a");
+        shm.free(c).expect("free c");
+        shm.free(b).expect("free b");
+        // All space coalesced back into one region:
+        assert_eq!(shm.alloc(300).expect("full alloc"), 0);
+    }
+
+    #[test]
+    fn bad_region_and_bounds_errors() {
+        let shm = ShmSegment::new(100);
+        let a = shm.alloc(10).expect("a");
+        assert_eq!(shm.read(a + 1, 1), Err(ShmError::BadRegion(a + 1)));
+        assert!(matches!(shm.write(a, &[0; 11]), Err(ShmError::OutOfBounds { .. })));
+        assert_eq!(shm.free(99), Err(ShmError::BadRegion(99)));
+    }
+
+    #[test]
+    fn clones_share_backing_store() {
+        let shm = ShmSegment::new(64);
+        let other = shm.clone();
+        let a = shm.alloc(8).expect("a");
+        other.write(a, &[7; 8]).expect("write via clone");
+        assert_eq!(shm.read(a, 8).expect("read"), vec![7; 8]);
+    }
+}

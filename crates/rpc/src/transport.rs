@@ -1,0 +1,248 @@
+//! The in-process duplex channel standing in for one gRPC connection.
+//!
+//! Every message is *actually encoded* to bytes on send and decoded on
+//! receive, so the codec is exercised on every hop and message sizes feed
+//! the serialization cost model. The response stream doubles as the Remote
+//! Library's **completion queue** (paper Fig. 2, steps 4–5): the manager
+//! pushes tagged responses, the client's connection thread pulls them and
+//! dispatches on the tag.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::codec::{CodecError, WireDecode, WireEncode};
+use crate::proto::{RequestEnvelope, ResponseEnvelope};
+
+/// Transport failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer hung up.
+    Closed,
+    /// A frame failed to decode.
+    Codec(CodecError),
+    /// A blocking receive timed out.
+    Timeout,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "connection closed by peer"),
+            TransportError::Codec(e) => write!(f, "frame decode failure: {e}"),
+            TransportError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl Error for TransportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransportError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for TransportError {
+    fn from(e: CodecError) -> Self {
+        TransportError::Codec(e)
+    }
+}
+
+/// Client side of a connection: sends requests, receives tagged responses.
+#[derive(Debug, Clone)]
+pub struct ClientChannel {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+/// Server side of a connection: receives requests, pushes tagged responses.
+#[derive(Debug, Clone)]
+pub struct ServerChannel {
+    rx: Receiver<Bytes>,
+    tx: Sender<Bytes>,
+}
+
+/// Creates a connected client/server channel pair.
+pub fn duplex() -> (ClientChannel, ServerChannel) {
+    let (req_tx, req_rx) = unbounded();
+    let (resp_tx, resp_rx) = unbounded();
+    (ClientChannel { tx: req_tx, rx: resp_rx }, ServerChannel { rx: req_rx, tx: resp_tx })
+}
+
+impl ClientChannel {
+    /// Encodes and sends one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] if the manager hung up.
+    pub fn send(&self, req: &RequestEnvelope) -> Result<(), TransportError> {
+        self.tx.send(req.to_bytes()).map_err(|_| TransportError::Closed)
+    }
+
+    /// Blocks for the next tagged response from the completion stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] or a codec failure.
+    pub fn recv(&self) -> Result<ResponseEnvelope, TransportError> {
+        let frame = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        Ok(ResponseEnvelope::from_bytes(frame)?)
+    }
+
+    /// Like [`ClientChannel::recv`] with a wall-clock timeout (used by the
+    /// connection thread to notice shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Timeout`], [`TransportError::Closed`] or a
+    /// codec failure.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<ResponseEnvelope, TransportError> {
+        let frame = self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Closed,
+        })?;
+        Ok(ResponseEnvelope::from_bytes(frame)?)
+    }
+
+    /// Non-blocking poll of the completion stream. `Ok(None)` means no
+    /// response is pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] or a codec failure.
+    pub fn try_recv(&self) -> Result<Option<ResponseEnvelope>, TransportError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(ResponseEnvelope::from_bytes(frame)?)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+}
+
+impl ServerChannel {
+    /// Blocks for the next request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] or a codec failure.
+    pub fn recv(&self) -> Result<RequestEnvelope, TransportError> {
+        let frame = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        Ok(RequestEnvelope::from_bytes(frame)?)
+    }
+
+    /// Like [`ServerChannel::recv`] with a wall-clock timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Timeout`], [`TransportError::Closed`] or a
+    /// codec failure.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<RequestEnvelope, TransportError> {
+        let frame = self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Closed,
+        })?;
+        Ok(RequestEnvelope::from_bytes(frame)?)
+    }
+
+    /// Pushes one tagged response onto the client's completion stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] if the client hung up.
+    pub fn send(&self, resp: &ResponseEnvelope) -> Result<(), TransportError> {
+        self.tx.send(resp.to_bytes()).map_err(|_| TransportError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bf_model::VirtualTime;
+
+    use super::*;
+    use crate::proto::{ClientId, Request, Response};
+
+    fn req(tag: u64) -> RequestEnvelope {
+        RequestEnvelope {
+            tag,
+            client: ClientId(1),
+            sent_at: VirtualTime::from_nanos(10),
+            body: Request::CreateContext,
+        }
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let (client, server) = duplex();
+        client.send(&req(1)).expect("send");
+        let got = server.recv().expect("recv");
+        assert_eq!(got.tag, 1);
+        assert_eq!(got.body, Request::CreateContext);
+        server
+            .send(&ResponseEnvelope {
+                tag: 1,
+                sent_at: VirtualTime::from_nanos(20),
+                body: Response::Handle { id: 5 },
+            })
+            .expect("send resp");
+        let resp = client.recv().expect("recv resp");
+        assert_eq!(resp.body, Response::Handle { id: 5 });
+    }
+
+    #[test]
+    fn closed_peer_is_detected() {
+        let (client, server) = duplex();
+        drop(server);
+        assert_eq!(client.send(&req(1)), Err(TransportError::Closed));
+        assert_eq!(client.recv().expect_err("closed"), TransportError::Closed);
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let (client, server) = duplex();
+        assert_eq!(client.try_recv().expect("empty"), None);
+        server
+            .send(&ResponseEnvelope {
+                tag: 9,
+                sent_at: VirtualTime::ZERO,
+                body: Response::Ack,
+            })
+            .expect("send");
+        assert!(client.try_recv().expect("one frame").is_some());
+    }
+
+    #[test]
+    fn timeout_fires_when_idle() {
+        let (client, _server) = duplex();
+        let err = client
+            .recv_timeout(std::time::Duration::from_millis(5))
+            .expect_err("should time out");
+        assert_eq!(err, TransportError::Timeout);
+    }
+
+    #[test]
+    fn responses_preserve_order_per_connection() {
+        let (client, server) = duplex();
+        for tag in 0..10u64 {
+            server
+                .send(&ResponseEnvelope {
+                    tag,
+                    sent_at: VirtualTime::ZERO,
+                    body: Response::Enqueued,
+                })
+                .expect("send");
+        }
+        for tag in 0..10u64 {
+            assert_eq!(client.recv().expect("recv").tag, tag);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The OpenFaaS-style gateway: the serverless system's endpoint, which
+//! forwards requests to function instances and records per-function
+//! statistics.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use bf_model::{VirtualDuration, VirtualTime};
+use bf_simkit::Samples;
+use parking_lot::Mutex;
+
+/// A deployed function's handler: services one request and reports the
+/// virtual completion instant, given the forward (issue) instant.
+pub type Handler = Arc<dyn Fn(VirtualTime) -> Result<VirtualTime, String> + Send + Sync>;
+
+/// Gateway errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// No function deployed under that name.
+    FunctionNotFound(String),
+    /// The function's handler failed.
+    Invocation(String),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::FunctionNotFound(n) => write!(f, "function {n:?} is not deployed"),
+            GatewayError::Invocation(m) => write!(f, "invocation failed: {m}"),
+        }
+    }
+}
+
+impl Error for GatewayError {}
+
+/// Per-function results, matching the columns of Tables II–IV.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionStats {
+    /// Completed request latencies (milliseconds).
+    pub latency_ms: Samples,
+    /// Completed request count.
+    pub processed: u64,
+    /// Failed request count.
+    pub failed: u64,
+}
+
+impl FunctionStats {
+    /// Mean latency as a duration, if any request completed.
+    pub fn mean_latency(&self) -> Option<VirtualDuration> {
+        self.latency_ms.mean().map(VirtualDuration::from_millis_f64)
+    }
+
+    /// Processed requests per second over the window `span`.
+    pub fn processed_rate(&self, span: VirtualDuration) -> f64 {
+        if span == VirtualDuration::ZERO {
+            return 0.0;
+        }
+        self.processed as f64 / span.as_secs_f64()
+    }
+}
+
+struct Deployment {
+    handler: Handler,
+    stats: FunctionStats,
+}
+
+/// The gateway: forwards requests to deployed functions, applying the
+/// gateway's own forwarding latency, and accumulates per-function stats.
+///
+/// Cloning yields another handle to the same gateway.
+#[derive(Clone)]
+pub struct Gateway {
+    forward_latency: VirtualDuration,
+    functions: Arc<Mutex<BTreeMap<String, Deployment>>>,
+}
+
+impl Gateway {
+    /// Creates a gateway with the given per-request forwarding latency
+    /// (HTTP parsing + routing).
+    pub fn new(forward_latency: VirtualDuration) -> Self {
+        Gateway { forward_latency, functions: Arc::new(Mutex::new(BTreeMap::new())) }
+    }
+
+    /// The configured forwarding latency.
+    pub fn forward_latency(&self) -> VirtualDuration {
+        self.forward_latency
+    }
+
+    /// Deploys (or replaces) a function.
+    pub fn deploy(&self, name: impl Into<String>, handler: Handler) {
+        self.functions
+            .lock()
+            .insert(name.into(), Deployment { handler, stats: FunctionStats::default() });
+    }
+
+    /// Deployed function names.
+    pub fn functions(&self) -> Vec<String> {
+        self.functions.lock().keys().cloned().collect()
+    }
+
+    /// Invokes `name` at virtual instant `at`; returns the completion
+    /// instant. Latency (completion − issue) is recorded in the function's
+    /// stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GatewayError::FunctionNotFound`] or the handler's failure.
+    pub fn invoke(&self, name: &str, at: VirtualTime) -> Result<VirtualTime, GatewayError> {
+        let handler = {
+            let functions = self.functions.lock();
+            functions
+                .get(name)
+                .ok_or_else(|| GatewayError::FunctionNotFound(name.to_string()))?
+                .handler
+                .clone()
+        };
+        let forwarded = at + self.forward_latency;
+        let result = handler(forwarded);
+        let mut functions = self.functions.lock();
+        let deployment = functions
+            .get_mut(name)
+            .ok_or_else(|| GatewayError::FunctionNotFound(name.to_string()))?;
+        match result {
+            Ok(done) => {
+                let done = done + self.forward_latency; // response path
+                deployment.stats.processed += 1;
+                deployment.stats.latency_ms.record((done - at).as_millis_f64());
+                Ok(done)
+            }
+            Err(m) => {
+                deployment.stats.failed += 1;
+                Err(GatewayError::Invocation(m))
+            }
+        }
+    }
+
+    /// Snapshot of a function's stats.
+    pub fn stats(&self, name: &str) -> Option<FunctionStats> {
+        self.functions.lock().get(name).map(|d| d.stats.clone())
+    }
+}
+
+/// Outcome of one closed-loop load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRunResult {
+    /// Requests completed inside the window.
+    pub processed: u64,
+    /// Requests that failed.
+    pub failed: u64,
+    /// Mean end-to-end latency over completed requests.
+    pub mean_latency: VirtualDuration,
+    /// Achieved rate over the window (rq/s).
+    pub achieved_rps: f64,
+}
+
+/// Drives `function` with a `hey -c 1 -q rate`-style closed loop on the
+/// virtual timeline for `duration`, advancing `clock` along the way — the
+/// direct-mode (real threads) twin of the DES load generator, used to
+/// cross-check the two execution modes against each other.
+///
+/// # Errors
+///
+/// Returns [`GatewayError::FunctionNotFound`] when the function is not
+/// deployed. Individual request failures are counted, not fatal.
+pub fn run_closed_loop(
+    gateway: &Gateway,
+    function: &str,
+    rate: f64,
+    duration: VirtualDuration,
+    clock: &bf_model::VirtualClock,
+) -> Result<LoadRunResult, GatewayError> {
+    if !gateway.functions().iter().any(|f| f == function) {
+        return Err(GatewayError::FunctionNotFound(function.to_string()));
+    }
+    let start = clock.now();
+    let horizon = start + duration;
+    let mut pacer = crate::ClosedLoopPacer::new(rate, start);
+    let mut issue = pacer.first_issue();
+    let mut processed = 0u64;
+    let mut failed = 0u64;
+    let mut latency_sum = VirtualDuration::ZERO;
+    while issue < horizon {
+        clock.advance_to(issue);
+        match gateway.invoke(function, issue) {
+            Ok(done) => {
+                clock.advance_to(done);
+                processed += 1;
+                latency_sum += done - issue;
+                issue = pacer.next_issue(done);
+            }
+            Err(_) => {
+                failed += 1;
+                issue = pacer.next_issue(clock.now());
+            }
+        }
+    }
+    let window = clock.now().max(horizon) - start;
+    Ok(LoadRunResult {
+        processed,
+        failed,
+        mean_latency: if processed > 0 {
+            latency_sum / processed
+        } else {
+            VirtualDuration::ZERO
+        },
+        achieved_rps: processed as f64 / window.as_secs_f64().max(f64::MIN_POSITIVE),
+    })
+}
+
+impl fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gateway")
+            .field("functions", &self.functions.lock().len())
+            .field("forward_latency", &self.forward_latency)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> VirtualTime {
+        VirtualTime::ZERO + VirtualDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn invoke_records_latency_with_both_forward_hops() {
+        let gw = Gateway::new(VirtualDuration::from_millis(1));
+        gw.deploy(
+            "echo",
+            Arc::new(|at| Ok(at + VirtualDuration::from_millis(10))),
+        );
+        let done = gw.invoke("echo", t(0)).expect("invoke");
+        assert_eq!(done, t(12), "1 ms in + 10 ms service + 1 ms out");
+        let stats = gw.stats("echo").expect("stats");
+        assert_eq!(stats.processed, 1);
+        assert_eq!(stats.latency_ms.mean(), Some(12.0));
+    }
+
+    #[test]
+    fn unknown_function_404s() {
+        let gw = Gateway::new(VirtualDuration::ZERO);
+        assert_eq!(
+            gw.invoke("ghost", t(0)),
+            Err(GatewayError::FunctionNotFound("ghost".to_string()))
+        );
+    }
+
+    #[test]
+    fn failures_count_separately() {
+        let gw = Gateway::new(VirtualDuration::ZERO);
+        gw.deploy("flaky", Arc::new(|_| Err("boom".to_string())));
+        assert!(gw.invoke("flaky", t(0)).is_err());
+        let stats = gw.stats("flaky").expect("stats");
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.processed, 0);
+    }
+
+    #[test]
+    fn processed_rate_uses_the_window() {
+        let stats = FunctionStats { processed: 50, ..FunctionStats::default() };
+        assert_eq!(stats.processed_rate(VirtualDuration::from_secs(10)), 5.0);
+        assert_eq!(stats.processed_rate(VirtualDuration::ZERO), 0.0);
+    }
+}

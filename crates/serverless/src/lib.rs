@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # bf-serverless — the serverless substrate
+//!
+//! The paper wraps each benchmark in an OpenFaaS function and drives it
+//! with `hey` (one connection per function, fixed target rate). This crate
+//! provides both pieces:
+//!
+//! * [`Gateway`] — the serverless endpoint: request forwarding with its
+//!   own latency, per-function [`FunctionStats`];
+//! * [`ClosedLoopPacer`] — the exact `hey -c 1 -q rate` arrival process:
+//!   paced ticks, but never more than one outstanding request, so a
+//!   saturated function degrades to `1/latency` throughput — the mechanism
+//!   behind Tables II–IV's processed-vs-target gaps;
+//! * [`table1_rates`] — the paper's Table I load matrix;
+//! * [`Autoscaler`] — the gateway-side replica scaler (OpenFaaS-style
+//!   per-replica load targets with scale-down hysteresis), reconciling
+//!   through the cluster so every replica passes the registry's admission.
+
+mod autoscale;
+mod gateway;
+mod load;
+
+pub use autoscale::{AutoscaleError, AutoscalePolicy, Autoscaler, ReconcileAction};
+pub use gateway::{run_closed_loop, FunctionStats, Gateway, GatewayError, Handler, LoadRunResult};
+pub use load::{native_rates, table1_rates, ClosedLoopPacer, LoadLevel, UseCase};
+
+#[cfg(test)]
+mod proptests {
+    use bf_model::{VirtualDuration, VirtualTime};
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// The pacer never issues two requests closer than the pacing
+        /// interval when responses are instant, and never issues before
+        /// the previous completion.
+        #[test]
+        fn pacer_invariants(
+            rate in 1.0f64..200.0,
+            latencies_ms in proptest::collection::vec(0.0f64..100.0, 1..100),
+        ) {
+            let mut pacer = ClosedLoopPacer::new(rate, VirtualTime::ZERO);
+            let mut issue = pacer.first_issue();
+            let mut prev_issue = issue;
+            let mut first = true;
+            for lat in latencies_ms {
+                let done = issue + VirtualDuration::from_millis_f64(lat);
+                issue = pacer.next_issue(done);
+                prop_assert!(issue >= done, "issued before completion");
+                if !first {
+                    let gap = issue - prev_issue;
+                    prop_assert!(
+                        gap.as_secs_f64() >= (1.0 / rate) - 1e-6 || issue == done,
+                        "gap {gap} under interval without backpressure"
+                    );
+                }
+                first = false;
+                prev_issue = issue;
+            }
+        }
+
+        /// Under saturation (latency >> interval) the achieved rate is
+        /// ~1/latency.
+        #[test]
+        fn saturated_loop_caps_at_inverse_latency(rate in 50.0f64..100.0) {
+            let latency = VirtualDuration::from_millis(100); // 10 rq/s max
+            let mut pacer = ClosedLoopPacer::new(rate, VirtualTime::ZERO);
+            let mut issue = pacer.first_issue();
+            let n = 50;
+            for _ in 0..n {
+                let done = issue + latency;
+                issue = pacer.next_issue(done);
+            }
+            let achieved = n as f64 / (issue - VirtualTime::ZERO).as_secs_f64();
+            prop_assert!((achieved - 10.0).abs() < 0.5, "achieved {achieved}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Load configurations (paper Table I) and the `hey`-like closed-loop
+//! request pacer.
+
+use bf_model::{VirtualDuration, VirtualTime};
+
+/// The three benchmark functions of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UseCase {
+    /// Spector Sobel edge detector.
+    Sobel,
+    /// Spector matrix multiply.
+    Mm,
+    /// PipeCNN running AlexNet.
+    AlexNet,
+}
+
+impl std::fmt::Display for UseCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UseCase::Sobel => write!(f, "Sobel"),
+            UseCase::Mm => write!(f, "MM"),
+            UseCase::AlexNet => write!(f, "AlexNet"),
+        }
+    }
+}
+
+/// Load levels of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadLevel {
+    /// "Low load".
+    Low,
+    /// "Medium load".
+    Medium,
+    /// "High load".
+    High,
+}
+
+impl std::fmt::Display for LoadLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadLevel::Low => write!(f, "Low Load"),
+            LoadLevel::Medium => write!(f, "Medium Load"),
+            LoadLevel::High => write!(f, "High Load"),
+        }
+    }
+}
+
+/// Table I: requests per second sent to each of the five functions.
+/// Returns `None` for the configurations the paper does not test
+/// (AlexNet low load).
+pub fn table1_rates(use_case: UseCase, level: LoadLevel) -> Option<[f64; 5]> {
+    Some(match (use_case, level) {
+        (UseCase::Sobel, LoadLevel::Low) => [20.0, 15.0, 10.0, 5.0, 5.0],
+        (UseCase::Sobel, LoadLevel::Medium) => [35.0, 30.0, 25.0, 20.0, 15.0],
+        (UseCase::Sobel, LoadLevel::High) => [60.0, 50.0, 35.0, 30.0, 15.0],
+        (UseCase::Mm, LoadLevel::Low) => [28.0, 21.0, 14.0, 7.0, 7.0],
+        (UseCase::Mm, LoadLevel::Medium) => [49.0, 42.0, 35.0, 28.0, 21.0],
+        (UseCase::Mm, LoadLevel::High) => [84.0, 70.0, 49.0, 42.0, 21.0],
+        (UseCase::AlexNet, LoadLevel::Medium) => [6.0, 3.0, 3.0, 3.0, 3.0],
+        (UseCase::AlexNet, LoadLevel::High) => [9.0, 9.0, 6.0, 6.0, 3.0],
+        (UseCase::AlexNet, LoadLevel::Low) => return None,
+    })
+}
+
+/// Rates used in the Native scenario: "only the first 3 columns" (one
+/// function per device).
+pub fn native_rates(use_case: UseCase, level: LoadLevel) -> Option<[f64; 3]> {
+    table1_rates(use_case, level).map(|r| [r[0], r[1], r[2]])
+}
+
+/// Models `hey -c 1 -q rate`: one connection paced at a target rate.
+/// Requests are issued at fixed interval ticks, but a new request never
+/// overlaps the outstanding one — when the response arrives late, the next
+/// request goes out immediately (closed loop). The achieved rate is thus
+/// `min(target, 1/latency)` under saturation — the mechanism behind the
+/// paper's processed-vs-target gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedLoopPacer {
+    interval: VirtualDuration,
+    next_slot: VirtualTime,
+}
+
+impl ClosedLoopPacer {
+    /// A pacer targeting `rate` requests/second, first request at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn new(rate: f64, start: VirtualTime) -> Self {
+        assert!(rate > 0.0, "target rate must be positive");
+        ClosedLoopPacer {
+            interval: VirtualDuration::from_secs_f64(1.0 / rate),
+            next_slot: start,
+        }
+    }
+
+    /// The pacing interval (1/rate).
+    pub fn interval(&self) -> VirtualDuration {
+        self.interval
+    }
+
+    /// The issue instant of the first request.
+    pub fn first_issue(&mut self) -> VirtualTime {
+        let t = self.next_slot;
+        self.next_slot = t + self.interval;
+        t
+    }
+
+    /// Given the completion instant of the previous request, returns when
+    /// the next request is issued.
+    pub fn next_issue(&mut self, completed_at: VirtualTime) -> VirtualTime {
+        let issue = self.next_slot.max(completed_at);
+        self.next_slot = issue + self.interval;
+        issue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> VirtualTime {
+        VirtualTime::ZERO + VirtualDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn table1_matches_the_paper() {
+        assert_eq!(table1_rates(UseCase::Sobel, LoadLevel::High), Some([60.0, 50.0, 35.0, 30.0, 15.0]));
+        assert_eq!(table1_rates(UseCase::Mm, LoadLevel::Low), Some([28.0, 21.0, 14.0, 7.0, 7.0]));
+        assert_eq!(table1_rates(UseCase::AlexNet, LoadLevel::Medium), Some([6.0, 3.0, 3.0, 3.0, 3.0]));
+        assert_eq!(table1_rates(UseCase::AlexNet, LoadLevel::Low), None);
+        assert_eq!(native_rates(UseCase::Sobel, LoadLevel::Medium), Some([35.0, 30.0, 25.0]));
+    }
+
+    #[test]
+    fn fast_responses_follow_the_target_rate() {
+        // 10 rq/s, each served instantly: issues at 0, 100 ms, 200 ms, ...
+        let mut pacer = ClosedLoopPacer::new(10.0, VirtualTime::ZERO);
+        let first = pacer.first_issue();
+        assert_eq!(first, t(0));
+        let second = pacer.next_issue(t(5));
+        assert_eq!(second, t(100));
+        let third = pacer.next_issue(t(105));
+        assert_eq!(third, t(200));
+    }
+
+    #[test]
+    fn slow_responses_throttle_the_loop() {
+        // 10 rq/s target but 250 ms latency: the single connection caps at
+        // 4 rq/s — requests go out back-to-back on completion.
+        let mut pacer = ClosedLoopPacer::new(10.0, VirtualTime::ZERO);
+        let _ = pacer.first_issue();
+        let second = pacer.next_issue(t(250));
+        assert_eq!(second, t(250));
+        let third = pacer.next_issue(t(500));
+        assert_eq!(third, t(500));
+    }
+
+    #[test]
+    fn late_then_fast_catches_up_to_slots() {
+        let mut pacer = ClosedLoopPacer::new(10.0, VirtualTime::ZERO);
+        let _ = pacer.first_issue();
+        // One slow response pushes past several slots…
+        let slow = pacer.next_issue(t(350));
+        assert_eq!(slow, t(350));
+        // …after which pacing resumes relative to the late issue.
+        let next = pacer.next_issue(t(360));
+        assert_eq!(next, t(450));
+    }
+}

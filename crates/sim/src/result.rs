@@ -1,0 +1,190 @@
+//! Scenario results, shaped like the rows of Tables II–IV.
+
+use bf_model::VirtualDuration;
+use serde::Serialize;
+
+use crate::trace::{to_chrome_trace, TraceSpan};
+
+/// One row of a Table II-style per-function breakdown.
+#[derive(Debug, Clone, Serialize)]
+pub struct FunctionResult {
+    /// Function name (`sobel-1`, …).
+    pub function: String,
+    /// Node hosting its device.
+    pub node: String,
+    /// Device id.
+    pub device: String,
+    /// FPGA time utilization this function caused on its device, as a
+    /// fraction of the measurement window.
+    pub utilization: f64,
+    /// Mean end-to-end latency (ms).
+    pub mean_latency_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_latency_ms: f64,
+    /// Achieved request rate (rq/s).
+    pub processed_rps: f64,
+    /// Target request rate (rq/s).
+    pub target_rps: f64,
+}
+
+impl FunctionResult {
+    /// Relative shortfall versus the target, in percent (the quantity the
+    /// paper discusses as "difference w.r.t. the target").
+    pub fn target_miss_pct(&self) -> f64 {
+        if self.target_rps == 0.0 {
+            return 0.0;
+        }
+        ((self.target_rps - self.processed_rps) / self.target_rps * 100.0).max(0.0)
+    }
+}
+
+/// Aggregate row (Tables III–IV).
+#[derive(Debug, Clone, Serialize)]
+pub struct Aggregate {
+    /// Sum of per-device utilizations, in percent ("overall maximum 300%").
+    pub utilization_pct: f64,
+    /// Processed-weighted mean latency (ms).
+    pub mean_latency_ms: f64,
+    /// Total achieved rate (rq/s).
+    pub processed_rps: f64,
+    /// Total target rate (rq/s).
+    pub target_rps: f64,
+}
+
+impl Aggregate {
+    /// Relative shortfall versus the target, in percent.
+    pub fn target_miss_pct(&self) -> f64 {
+        if self.target_rps == 0.0 {
+            return 0.0;
+        }
+        ((self.target_rps - self.processed_rps) / self.target_rps * 100.0).max(0.0)
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioResult {
+    /// Deployment label ("BlastFunction" / "Native").
+    pub deployment: String,
+    /// Use-case label ("Sobel" / "MM" / "AlexNet").
+    pub use_case: String,
+    /// Load-level label.
+    pub level: String,
+    /// Measurement window.
+    pub window: VirtualDuration,
+    /// Per-function rows.
+    pub functions: Vec<FunctionResult>,
+    /// Per-device total utilization fractions, keyed by device id.
+    pub device_utilization: Vec<(String, f64)>,
+    /// The aggregate row.
+    pub aggregate: Aggregate,
+    /// Every task interval executed on every device region (the material
+    /// for [`ScenarioResult::to_chrome_trace`]). Skipped by serde — table
+    /// artifacts stay small; export the trace explicitly when needed.
+    #[serde(skip)]
+    pub timeline: Vec<TraceSpan>,
+}
+
+impl ScenarioResult {
+    /// Renders the device timeline in the Chrome trace-event format; open
+    /// it in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        to_chrome_trace(&self.timeline)
+    }
+
+    /// Renders a Table II-style block.
+    pub fn render_per_function(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<12} {:<10} {:>6} {:>8} {:>10} {:>11} {:>11}\n",
+            "Type", "Config", "Function", "Node", "Util.", "Latency", "Processed", "Target"
+        ));
+        for f in &self.functions {
+            out.push_str(&format!(
+                "{:<16} {:<12} {:<10} {:>6} {:>7.2}% {:>8.2}ms {:>6.2} rq/s {:>6.2} rq/s\n",
+                self.deployment,
+                self.level,
+                f.function,
+                f.node,
+                f.utilization * 100.0,
+                f.mean_latency_ms,
+                f.processed_rps,
+                f.target_rps,
+            ));
+        }
+        out
+    }
+
+    /// Renders a Table III/IV-style aggregate row.
+    pub fn render_aggregate(&self) -> String {
+        format!(
+            "{:<16} {:<12} {:>10.2}% {:>9.2}ms {:>7.2} rq/s {:>7.2} rq/s\n",
+            self.deployment,
+            self.level,
+            self.aggregate.utilization_pct,
+            self.aggregate.mean_latency_ms,
+            self.aggregate.processed_rps,
+            self.aggregate.target_rps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_miss_percentages() {
+        let f = FunctionResult {
+            function: "sobel-1".into(),
+            node: "B".into(),
+            device: "fpga-b".into(),
+            utilization: 0.2,
+            mean_latency_ms: 20.0,
+            p95_latency_ms: 30.0,
+            processed_rps: 45.0,
+            target_rps: 60.0,
+        };
+        assert!((f.target_miss_pct() - 25.0).abs() < 1e-9);
+        let agg = Aggregate {
+            utilization_pct: 100.0,
+            mean_latency_ms: 10.0,
+            processed_rps: 100.0,
+            target_rps: 100.0,
+        };
+        assert_eq!(agg.target_miss_pct(), 0.0);
+    }
+
+    #[test]
+    fn rendering_contains_the_columns() {
+        let r = ScenarioResult {
+            deployment: "BlastFunction".into(),
+            use_case: "Sobel".into(),
+            level: "Low Load".into(),
+            window: VirtualDuration::from_secs(60),
+            functions: vec![FunctionResult {
+                function: "sobel-1".into(),
+                node: "B".into(),
+                device: "fpga-b".into(),
+                utilization: 0.2195,
+                mean_latency_ms: 21.43,
+                p95_latency_ms: 25.0,
+                processed_rps: 17.25,
+                target_rps: 20.0,
+            }],
+            device_utilization: vec![("fpga-b".into(), 0.3)],
+            aggregate: Aggregate {
+                utilization_pct: 43.49,
+                mean_latency_ms: 12.55,
+                processed_rps: 76.96,
+                target_rps: 77.0,
+            },
+            timeline: Vec::new(),
+        };
+        let table = r.render_per_function();
+        assert!(table.contains("sobel-1"));
+        assert!(table.contains("21.95%"));
+        let agg = r.render_aggregate();
+        assert!(agg.contains("43.49%"));
+    }
+}

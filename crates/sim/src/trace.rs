@@ -1,0 +1,115 @@
+//! Chrome-trace (Catapult/Perfetto) export of a scenario's device
+//! timeline: open the JSON in `chrome://tracing` or <https://ui.perfetto.dev>
+//! to see every task every tenant ran on every board region.
+
+use serde::Serialize;
+
+/// One executed task interval on a device region.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceSpan {
+    /// Device id (`fpga-a`…).
+    pub device: String,
+    /// Region index (0 for pure time-sharing).
+    pub slot: u32,
+    /// Function that caused the work.
+    pub owner: String,
+    /// Start (ms on the virtual timeline).
+    pub start_ms: f64,
+    /// End (ms).
+    pub end_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ChromeEvent<'a> {
+    name: &'a str,
+    cat: &'a str,
+    ph: &'a str,
+    ts: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    dur: Option<f64>,
+    pid: u64,
+    tid: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    args: Option<serde_json::Value>,
+}
+
+/// Renders spans in the Chrome trace-event JSON-array format.
+///
+/// Devices map to processes, regions to threads; a metadata event names
+/// each process so the UI shows `fpga-a` instead of `pid 0`.
+pub fn to_chrome_trace(spans: &[TraceSpan]) -> String {
+    let mut devices: Vec<&str> = spans.iter().map(|s| s.device.as_str()).collect();
+    devices.sort_unstable();
+    devices.dedup();
+    let pid_of = |device: &str| devices.iter().position(|d| *d == device).unwrap_or(0) as u64;
+
+    let mut events = Vec::with_capacity(spans.len() + devices.len());
+    for device in &devices {
+        events.push(ChromeEvent {
+            name: "process_name",
+            cat: "__metadata",
+            ph: "M",
+            ts: 0.0,
+            dur: None,
+            pid: pid_of(device),
+            tid: 0,
+            args: Some(serde_json::json!({ "name": device })),
+        });
+    }
+    for span in spans {
+        events.push(ChromeEvent {
+            name: &span.owner,
+            cat: "device",
+            ph: "X",
+            ts: span.start_ms * 1_000.0, // Chrome traces use microseconds
+            dur: Some((span.end_ms - span.start_ms) * 1_000.0),
+            pid: pid_of(&span.device),
+            tid: u64::from(span.slot),
+            args: None,
+        });
+    }
+    serde_json::to_string_pretty(&events).expect("trace events serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(device: &str, slot: u32, owner: &str, start: f64, end: f64) -> TraceSpan {
+        TraceSpan {
+            device: device.to_string(),
+            slot,
+            owner: owner.to_string(),
+            start_ms: start,
+            end_ms: end,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_contains_metadata_and_spans() {
+        let spans = vec![
+            span("fpga-a", 0, "sobel-1", 1.0, 3.5),
+            span("fpga-b", 0, "sobel-2", 2.0, 4.0),
+            span("fpga-b", 1, "sobel-3", 2.0, 4.0),
+        ];
+        let json = to_chrome_trace(&spans);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        let events = parsed.as_array().expect("array");
+        // 2 metadata (one per device) + 3 spans.
+        assert_eq!(events.len(), 5);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"sobel-3\""));
+        let x_events: Vec<_> =
+            events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(x_events.len(), 3);
+        assert_eq!(x_events[0]["ts"], 1_000.0);
+        assert_eq!(x_events[0]["dur"], 2_500.0);
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        let parsed: serde_json::Value =
+            serde_json::from_str(&to_chrome_trace(&[])).expect("valid json");
+        assert_eq!(parsed.as_array().map(Vec::len), Some(0));
+    }
+}

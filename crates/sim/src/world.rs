@@ -1,0 +1,215 @@
+//! The simulated cluster state and the per-request event chain.
+//!
+//! Each request walks the same path the real system walks: gateway
+//! forward → function host processing → per-task payload staging and
+//! control hop → FIFO execution on the device → completion hop →
+//! response. Devices execute one operation at a time; cross-tenant
+//! contention is resolved strictly in virtual-time arrival order, which is
+//! exactly what the Device Manager's central queue does.
+
+use bf_metrics::BusyTracker;
+use bf_model::{NodeSpec, VirtualDuration, VirtualTime};
+use bf_rpc::PathCosts;
+use bf_serverless::ClosedLoopPacer;
+use bf_simkit::{Engine, Samples, SimRng};
+use bf_workloads::{OpProfile, RequestProfile};
+
+/// How a function reaches its device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum PathMode {
+    /// Direct PCIe (the Native baseline): no control hops, no extra copy.
+    Native,
+    /// Through a Device Manager with the given remoting costs.
+    Remote(PathCosts),
+}
+
+impl PathMode {
+    fn hop(&self) -> VirtualDuration {
+        match self {
+            PathMode::Native => VirtualDuration::ZERO,
+            PathMode::Remote(costs) => costs.control_hop(),
+        }
+    }
+
+    fn outbound(&self, bytes: u64) -> VirtualDuration {
+        match self {
+            PathMode::Native => VirtualDuration::ZERO,
+            PathMode::Remote(_) if bytes == 0 => VirtualDuration::ZERO,
+            PathMode::Remote(costs) => costs.outbound_payload_cost(bytes),
+        }
+    }
+
+    fn inbound(&self, bytes: u64) -> VirtualDuration {
+        match self {
+            PathMode::Native => VirtualDuration::ZERO,
+            PathMode::Remote(costs) if bytes == 0 => VirtualDuration::ZERO,
+            PathMode::Remote(costs) => costs.inbound_payload_cost(bytes),
+        }
+    }
+}
+
+pub(crate) struct SimDevice {
+    pub id: String,
+    pub node: NodeSpec,
+    /// One entry per accelerator region (1 = pure time-sharing). Each slot
+    /// is a serial server with its own busy horizon and busy accounting.
+    pub slot_busy_until: Vec<VirtualTime>,
+    pub slot_busy: Vec<BusyTracker>,
+    /// Kernel slowdown under space-sharing (area cost of splitting).
+    pub kernel_slowdown: f64,
+}
+
+impl SimDevice {
+    pub fn with_slots(
+        id: impl Into<String>,
+        node: NodeSpec,
+        slots: u32,
+        kernel_slowdown: f64,
+    ) -> Self {
+        assert!(slots >= 1, "a device needs at least one region");
+        SimDevice {
+            id: id.into(),
+            node,
+            slot_busy_until: vec![VirtualTime::ZERO; slots as usize],
+            slot_busy: (0..slots).map(|_| BusyTracker::new()).collect(),
+            kernel_slowdown,
+        }
+    }
+
+    fn op_duration(&self, op: &OpProfile) -> VirtualDuration {
+        match op {
+            OpProfile::Write { bytes } | OpProfile::Read { bytes } => {
+                self.node.pcie().transfer_time(*bytes)
+            }
+            OpProfile::Kernel { duration } => duration.mul_f64(self.kernel_slowdown),
+        }
+    }
+
+    /// The region that frees up first (FIFO dispatch across regions).
+    fn best_slot(&self) -> usize {
+        self.slot_busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("at least one slot")
+    }
+
+    /// Total busy time caused by `owner` in `[from, to)`, across regions.
+    pub fn busy_of_in(&self, from: VirtualTime, to: VirtualTime, owner: &str) -> f64 {
+        self.slot_busy.iter().map(|b| b.utilization_of(from, to, owner)).sum()
+    }
+
+    /// Total busy fraction in `[from, to)` across regions (may exceed 1.0
+    /// with multiple regions).
+    pub fn utilization_in(&self, from: VirtualTime, to: VirtualTime) -> f64 {
+        self.slot_busy.iter().map(|b| b.utilization(from, to)).sum()
+    }
+}
+
+pub(crate) struct SimFunction {
+    pub name: String,
+    pub device: usize,
+    pub target: f64,
+    pub pacer: ClosedLoopPacer,
+    pub profile: RequestProfile,
+    pub path: PathMode,
+    pub latencies: Samples,
+    pub processed: u64,
+}
+
+pub(crate) struct World {
+    pub devices: Vec<SimDevice>,
+    pub functions: Vec<SimFunction>,
+    pub rng: SimRng,
+    pub jitter: f64,
+    pub gateway_forward: VirtualDuration,
+    pub response_overhead: VirtualDuration,
+    pub window_start: VirtualTime,
+    pub horizon: VirtualTime,
+}
+
+/// Schedules a request issue for function `f_idx` at `issue`.
+pub(crate) fn schedule_request(engine: &mut Engine<World>, f_idx: usize, issue: VirtualTime) {
+    engine.schedule_at(issue, move |world, engine| begin_request(world, engine, f_idx));
+}
+
+fn begin_request(world: &mut World, engine: &mut Engine<World>, f_idx: usize) {
+    let t0 = engine.now();
+    let node = world.devices[world.functions[f_idx].device].node.clone();
+    let j = world.rng.jitter(world.jitter);
+    let ready = t0 + world.gateway_forward + node.host_overhead().mul_f64(j);
+    submit_task(world, engine, f_idx, 0, ready, t0);
+}
+
+fn submit_task(
+    world: &mut World,
+    engine: &mut Engine<World>,
+    f_idx: usize,
+    task_idx: usize,
+    ready: VirtualTime,
+    t0: VirtualTime,
+) {
+    let f = &world.functions[f_idx];
+    let task = &f.profile.tasks[task_idx];
+    // Payload staging (shm copy or serialization+copies) happens on the
+    // client before the task can travel; the control hop carries it over.
+    let arrival = ready + f.path.outbound(task.bytes_written()) + f.path.hop();
+    engine.schedule_at(arrival, move |world, engine| {
+        exec_task(world, engine, f_idx, task_idx, t0);
+    });
+}
+
+fn exec_task(
+    world: &mut World,
+    engine: &mut Engine<World>,
+    f_idx: usize,
+    task_idx: usize,
+    t0: VirtualTime,
+) {
+    let arrival = engine.now();
+    let (dev_idx, name, path, task_count) = {
+        let f = &world.functions[f_idx];
+        (f.device, f.name.clone(), f.path, f.profile.tasks.len())
+    };
+    let (end, inbound) = {
+        let ops = world.functions[f_idx].profile.tasks[task_idx].ops.clone();
+        let read_bytes = world.functions[f_idx].profile.tasks[task_idx].bytes_read();
+        let device = &mut world.devices[dev_idx];
+        // FIFO dispatch onto the earliest-free region (one region = the
+        // paper's pure time-sharing; more = the space-sharing ablation).
+        let slot = device.best_slot();
+        let start = arrival.max(device.slot_busy_until[slot]);
+        let mut cursor = start;
+        for op in &ops {
+            cursor += device.op_duration(op);
+        }
+        if cursor > start {
+            device.slot_busy[slot].record(start, cursor, &name);
+        }
+        device.slot_busy_until[slot] = cursor;
+        (cursor, path.inbound(read_bytes))
+    };
+    let observed = end + path.hop() + inbound;
+    if task_idx + 1 < task_count {
+        submit_task(world, engine, f_idx, task_idx + 1, observed, t0);
+    } else {
+        let done = observed + world.response_overhead + world.gateway_forward;
+        engine.schedule_at(done, move |world, engine| finish_request(world, engine, f_idx, t0));
+    }
+}
+
+fn finish_request(world: &mut World, engine: &mut Engine<World>, f_idx: usize, t0: VirtualTime) {
+    let done = engine.now();
+    let horizon = world.horizon;
+    let window_start = world.window_start;
+    let f = &mut world.functions[f_idx];
+    if t0 >= window_start && done <= horizon {
+        f.latencies.record((done - t0).as_millis_f64());
+        f.processed += 1;
+    }
+    let next = f.pacer.next_issue(done);
+    if next < horizon {
+        schedule_request(engine, f_idx, next);
+    }
+}

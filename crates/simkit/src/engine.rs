@@ -1,0 +1,227 @@
+//! The event engine: a time-ordered heap of one-shot actions over a user
+//! state type.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bf_model::{VirtualDuration, VirtualTime};
+
+type Action<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+
+struct Ev<S> {
+    at: VirtualTime,
+    seq: u64,
+    action: Action<S>,
+}
+
+impl<S> PartialEq for Ev<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<S> Eq for Ev<S> {}
+
+impl<S> PartialOrd for Ev<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S> Ord for Ev<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (time, seq) pops
+        // first. Sequence numbers break time ties FIFO, which makes runs
+        // fully deterministic.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event engine over a state type `S`.
+///
+/// Events are one-shot closures ordered by `(time, insertion order)`.
+/// Actions receive both the state and the engine, so they can schedule
+/// follow-up events.
+///
+/// ```
+/// use bf_model::VirtualDuration;
+/// use bf_simkit::Engine;
+///
+/// let mut engine: Engine<Vec<u64>> = Engine::new();
+/// engine.schedule_in(VirtualDuration::from_millis(5), |log, eng| {
+///     log.push(eng.now().as_nanos());
+/// });
+/// let mut log = Vec::new();
+/// engine.run(&mut log);
+/// assert_eq!(log, vec![5_000_000]);
+/// ```
+pub struct Engine<S> {
+    now: VirtualTime,
+    seq: u64,
+    executed: u64,
+    heap: BinaryHeap<Ev<S>>,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Engine { now: VirtualTime::ZERO, seq: 0, executed: 0, heap: BinaryHeap::new() }
+    }
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine at the timeline origin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `action` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past — events cannot rewrite history.
+    pub fn schedule_at(&mut self, at: VirtualTime, action: impl FnOnce(&mut S, &mut Engine<S>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        self.seq += 1;
+        self.heap.push(Ev { at, seq: self.seq, action: Box::new(action) });
+    }
+
+    /// Schedules `action` after a delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: VirtualDuration,
+        action: impl FnOnce(&mut S, &mut Engine<S>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Executes the single next event, if any. Returns whether one ran.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        match self.heap.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "heap order violated");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.action)(state, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event heap is empty.
+    pub fn run(&mut self, state: &mut S) {
+        while self.step(state) {}
+    }
+
+    /// Runs until the heap is empty or the next event lies at/after
+    /// `until`; the clock then rests at `until` (or earlier if drained).
+    pub fn run_until(&mut self, state: &mut S, until: VirtualTime) {
+        loop {
+            match self.heap.peek() {
+                Some(ev) if ev.at < until => {
+                    self.step(state);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(until);
+    }
+}
+
+impl<S> std::fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> VirtualTime {
+        VirtualTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        engine.schedule_at(t(30), |log, _| log.push(30));
+        engine.schedule_at(t(10), |log, _| log.push(10));
+        engine.schedule_at(t(20), |log, _| log.push(20));
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![10, 20, 30]);
+        assert_eq!(engine.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut engine: Engine<Vec<&'static str>> = Engine::new();
+        engine.schedule_at(t(5), |log, _| log.push("first"));
+        engine.schedule_at(t(5), |log, _| log.push("second"));
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn actions_can_schedule_follow_ups() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        engine.schedule_at(t(1), |log, eng| {
+            log.push(eng.now().as_nanos());
+            eng.schedule_in(VirtualDuration::from_nanos(4), |log, eng| {
+                log.push(eng.now().as_nanos());
+            });
+        });
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![1, 5]);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_horizon() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        for i in 1..=10u64 {
+            engine.schedule_at(t(i * 10), move |log: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| {
+                log.push(i)
+            });
+        }
+        let mut log = Vec::new();
+        engine.run_until(&mut log, t(55));
+        assert_eq!(log, vec![1, 2, 3, 4, 5]);
+        assert_eq!(engine.now(), t(55));
+        assert_eq!(engine.pending(), 5);
+        engine.run(&mut log);
+        assert_eq!(log.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(t(10), |_, _| {});
+        let mut state = ();
+        engine.run(&mut state);
+        engine.schedule_at(t(5), |_, _| {});
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! # bf-simkit — a deterministic discrete-event simulation core
+//!
+//! The multi-tenant experiments (paper Tables I–IV) require cross-tenant
+//! FIFO contention to be ordered by *virtual* time, which real threads
+//! cannot guarantee. This crate provides the engine the `bf-sim` cluster
+//! simulation runs on:
+//!
+//! * [`Engine`] — a time-ordered heap of one-shot closures over a state
+//!   type; ties break in insertion order, so runs are fully deterministic;
+//! * [`SimRng`] — seeded randomness (uniform/exponential/jitter);
+//! * [`Samples`] — exact summary statistics for latencies and rates.
+//!
+//! ```
+//! use bf_model::VirtualDuration;
+//! use bf_simkit::{Engine, Samples};
+//!
+//! struct World { lat: Samples }
+//! let mut engine: Engine<World> = Engine::new();
+//! engine.schedule_in(VirtualDuration::from_millis(7), |w: &mut World, _| {
+//!     w.lat.record(7.0);
+//! });
+//! let mut world = World { lat: Samples::new() };
+//! engine.run(&mut world);
+//! assert_eq!(world.lat.mean(), Some(7.0));
+//! ```
+
+mod engine;
+mod rng;
+mod stats;
+
+pub use engine::Engine;
+pub use rng::SimRng;
+pub use stats::Samples;
+
+#[cfg(test)]
+mod proptests {
+    use bf_model::VirtualTime;
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Events always execute in non-decreasing time order, whatever
+        /// order they were scheduled in.
+        #[test]
+        fn execution_order_is_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut engine: Engine<Vec<u64>> = Engine::new();
+            for t in &times {
+                let t = *t;
+                engine.schedule_at(VirtualTime::from_nanos(t), move |log: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| {
+                    log.push(t);
+                });
+            }
+            let mut log = Vec::new();
+            engine.run(&mut log);
+            prop_assert_eq!(log.len(), times.len());
+            for pair in log.windows(2) {
+                prop_assert!(pair[0] <= pair[1]);
+            }
+        }
+
+        /// Quantiles are bounded by min and max and monotone in q.
+        #[test]
+        fn quantiles_are_sane(values in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+            let s: Samples = values.iter().copied().collect();
+            let min = s.min().expect("non-empty");
+            let max = s.max().expect("non-empty");
+            let mut last = min;
+            for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let v = s.quantile(q).expect("non-empty");
+                prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+                prop_assert!(v >= last - 1e-9, "quantile not monotone");
+                last = v;
+            }
+        }
+    }
+}

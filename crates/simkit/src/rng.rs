@@ -1,0 +1,122 @@
+//! Seeded randomness for simulations: every scenario takes a seed and
+//! replays identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distributions the cluster simulation
+/// needs.
+#[derive(Debug)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Creates a source from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Exponentially distributed sample with the given rate (inverse
+    /// mean), via inverse-CDF sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u: f64 = 1.0 - self.unit(); // (0, 1]
+        -u.ln() / rate
+    }
+
+    /// A multiplicative jitter factor around 1.0 with the given relative
+    /// spread (uniform in `[1-spread, 1+spread]`), used to de-synchronize
+    /// load generators the way real HTTP clients are.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spread` is not within `[0, 1)`.
+    pub fn jitter(&mut self, spread: f64) -> f64 {
+        assert!((0.0..1.0).contains(&spread), "jitter spread must be in [0, 1)");
+        if spread == 0.0 {
+            return 1.0;
+        }
+        self.uniform(1.0 - spread, 1.0 + spread)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty range");
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4, "{same} collisions in 32 draws");
+    }
+
+    #[test]
+    fn exponential_mean_is_close_to_inverse_rate() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let rate = 20.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let j = rng.jitter(0.2);
+            assert!((0.8..=1.2).contains(&j), "jitter {j}");
+        }
+        assert_eq!(rng.jitter(0.0), 1.0);
+    }
+
+    #[test]
+    fn index_covers_the_range() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,131 @@
+//! Latency/throughput statistics collected during a simulation run.
+
+use bf_model::VirtualDuration;
+
+/// A sample collection with summary statistics (mean, quantiles).
+///
+/// Samples are stored exactly (cluster runs collect at most a few hundred
+/// thousand), so quantiles are exact rather than approximate.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Records a duration in milliseconds.
+    pub fn record_duration(&mut self, d: VirtualDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Exact quantile (nearest-rank), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Minimum, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// The raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Samples { values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_stats() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn summary_statistics_are_exact() {
+        let s: Samples = (1..=100).map(f64::from).collect();
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.mean(), Some(50.5));
+        assert_eq!(s.quantile(0.5), Some(50.0));
+        assert_eq!(s.quantile(0.95), Some(95.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn durations_record_in_milliseconds() {
+        let mut s = Samples::new();
+        s.record_duration(VirtualDuration::from_micros(2_500));
+        assert_eq!(s.values(), &[2.5]);
+    }
+
+    #[test]
+    fn extend_and_collect_work() {
+        let mut s = Samples::new();
+        s.extend([1.0, 2.0]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! The Spector Matrix-Multiply kernel (paper §IV).
+//!
+//! Synthesized configuration (the best design the paper reports from the
+//! Spector exploration): 1 compute unit, 8 work items per unit, fully
+//! unrolled 16×16 blocks. Matrices are square `n × n` of `f32`.
+//!
+//! The timing model is cubic in `n`, fitted to the paper's native
+//! measurements (Fig. 4c): 0.45 ms RTT at 16×16 and 3.571 s at 4096×4096,
+//! after subtracting PCIe transfer time.
+
+use std::sync::Arc;
+
+use bf_fpga::{
+    Bitstream, DeviceMemory, FpgaError, KernelBehavior, KernelDescriptor, KernelInvocation,
+};
+use bf_model::{KernelTiming, VirtualDuration};
+
+use crate::profile::{OpProfile, RequestProfile, TaskProfile};
+
+/// Bitstream id for the MM image.
+pub const MM_BITSTREAM: &str = "spector-mm-1cu-8wi-b16x16";
+/// Kernel name inside the bitstream.
+pub const MM_KERNEL: &str = "mm";
+
+/// Spector design-point parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmConfig {
+    /// Compute units.
+    pub compute_units: u32,
+    /// Work items per unit.
+    pub work_items: u32,
+    /// Fully-unrolled block edge.
+    pub block: u32,
+}
+
+impl MmConfig {
+    /// The paper's best design point.
+    pub fn paper() -> Self {
+        MmConfig { compute_units: 1, work_items: 8, block: 16 }
+    }
+}
+
+/// Calibrated kernel latency as a function of the matrix dimension `n`.
+pub fn kernel_timing() -> KernelTiming {
+    // RTT(16)   = 0.45 ms − 3 transfers ≈ 0.3 ms → kernel ≈ 0.15 ms
+    // RTT(4096) = 3.571 s − transfers ≈ 32 ms    → kernel ≈ 3.539 s
+    KernelTiming::fit_cubic(
+        16,
+        VirtualDuration::from_micros(150),
+        4096,
+        VirtualDuration::from_millis_f64(3_539.0),
+    )
+}
+
+/// Kernel duration for an `n × n` multiply.
+pub fn kernel_time(n: u32) -> VirtualDuration {
+    kernel_timing().evaluate(u64::from(n))
+}
+
+/// Bytes of one `n × n` `f32` matrix.
+pub fn matrix_bytes(n: u32) -> u64 {
+    u64::from(n) * u64::from(n) * 4
+}
+
+/// Host-side reference GEMM: `C = A × B` for row-major `n × n` matrices.
+///
+/// # Panics
+///
+/// Panics when the slices are not `n * n` long.
+pub fn reference(a: &[f32], b: &[f32], n: u32) -> Vec<f32> {
+    let n = n as usize;
+    assert_eq!(a.len(), n * n, "A must be n*n");
+    assert_eq!(b.len(), n * n, "B must be n*n");
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Packs `f32`s into little-endian device bytes.
+pub fn pack_f32(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Unpacks little-endian device bytes into `f32`s.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not a multiple of 4.
+pub fn unpack_f32(bytes: &[u8]) -> Vec<f32> {
+    assert_eq!(bytes.len() % 4, 0, "f32 buffers are 4-byte aligned");
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+struct MmKernel;
+
+impl KernelBehavior for MmKernel {
+    fn duration(&self, invocation: &KernelInvocation) -> VirtualDuration {
+        // global_work[0] carries n.
+        kernel_timing().evaluate(invocation.global_work[0])
+    }
+
+    fn execute(
+        &self,
+        invocation: &KernelInvocation,
+        memory: &mut DeviceMemory,
+    ) -> Result<(), FpgaError> {
+        let a = invocation.arg(0)?.as_buffer()?;
+        let b = invocation.arg(1)?.as_buffer()?;
+        let c = invocation.arg(2)?.as_buffer()?;
+        let n = invocation.arg(3)?.as_u32()?;
+        let bytes = matrix_bytes(n);
+        for (name, buf) in [("A", a), ("B", b), ("C", c)] {
+            if memory.len_of(buf)? < bytes {
+                return Err(FpgaError::InvalidKernelArgs(format!(
+                    "matrix {name} buffer smaller than {n}x{n}"
+                )));
+            }
+        }
+        let a_host = unpack_f32(
+            &memory
+                .bytes(a)?
+                .ok_or_else(|| FpgaError::InvalidKernelArgs("A not materialized".into()))?
+                [..bytes as usize],
+        );
+        let b_host = unpack_f32(
+            &memory
+                .bytes(b)?
+                .ok_or_else(|| FpgaError::InvalidKernelArgs("B not materialized".into()))?
+                [..bytes as usize],
+        );
+        let result = reference(&a_host, &b_host, n);
+        memory.bytes_mut(c)?[..bytes as usize].copy_from_slice(&pack_f32(&result));
+        Ok(())
+    }
+}
+
+/// Builds the MM bitstream.
+pub fn bitstream() -> Arc<Bitstream> {
+    Arc::new(Bitstream::new(
+        MM_BITSTREAM,
+        vec![KernelDescriptor::new(MM_KERNEL, Arc::new(MmKernel))],
+    ))
+}
+
+/// The per-request structure of the MM cloud function: one atomic task
+/// `write A → write B → mm → read C`.
+pub fn request_profile(n: u32) -> RequestProfile {
+    let bytes = matrix_bytes(n);
+    RequestProfile::new(
+        "mm",
+        vec![TaskProfile::new(vec![
+            OpProfile::Write { bytes },
+            OpProfile::Write { bytes },
+            OpProfile::Kernel { duration: kernel_time(n) },
+            OpProfile::Read { bytes },
+        ])],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_matches_paper_fit_points() {
+        assert!((kernel_time(16).as_millis_f64() - 0.15).abs() < 0.01);
+        assert!((kernel_time(4096).as_secs_f64() - 3.539).abs() < 0.01);
+        // 512 lands where Table III's service times need it (~7 ms).
+        let t512 = kernel_time(512).as_millis_f64();
+        assert!((6.0..9.0).contains(&t512), "kernel(512) = {t512} ms");
+    }
+
+    #[test]
+    fn reference_matches_identity() {
+        let n = 4u32;
+        let mut eye = vec![0.0f32; 16];
+        for i in 0..4 {
+            eye[i * 4 + i] = 1.0;
+        }
+        let m: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        assert_eq!(reference(&eye, &m, n), m);
+        assert_eq!(reference(&m, &eye, n), m);
+    }
+
+    #[test]
+    fn reference_matches_hand_computed_2x2() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(reference(&a, &b, 2), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let v = vec![0.0f32, -1.5, 3.25, f32::MAX];
+        assert_eq!(unpack_f32(&pack_f32(&v)), v);
+    }
+
+    #[test]
+    fn profile_moves_three_matrices() {
+        let p = request_profile(512);
+        assert_eq!(p.sync_points(), 1);
+        assert_eq!(p.bytes_moved(), 3 * matrix_bytes(512));
+        assert_eq!(p.op_count(), 4);
+    }
+}

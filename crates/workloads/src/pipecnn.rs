@@ -1,0 +1,524 @@
+//! PipeCNN running AlexNet (paper §IV).
+//!
+//! PipeCNN is an OpenCL FPGA accelerator for CNN inference whose host code
+//! "calls several kernels iteratively" — each layer runs as a small group
+//! of kernel invocations (memory-read, compute core, memory-write) with a
+//! host synchronization in between. That per-layer synchronization is what
+//! makes the remote path's control round trips visible in Table IV
+//! (132.89 ms vs 94.29 ms native at medium load).
+//!
+//! The timing model is calibrated so a full AlexNet inference keeps the
+//! board busy ≈ 81 ms (from Table IV's utilization/throughput ratios); the
+//! functional path runs a real (simplified) forward pass with
+//! deterministically generated weights.
+
+use std::sync::Arc;
+
+use bf_fpga::{
+    Bitstream, DeviceMemory, FpgaError, KernelBehavior, KernelDescriptor, KernelInvocation,
+};
+use bf_model::VirtualDuration;
+
+use crate::profile::{OpProfile, RequestProfile, TaskProfile};
+
+/// Bitstream id for the PipeCNN/AlexNet image.
+pub const PIPECNN_BITSTREAM: &str = "pipecnn-alexnet";
+/// The per-layer compute kernel name.
+pub const LAYER_KERNEL: &str = "cnn_layer";
+
+/// Calibrated compute throughput of the PipeCNN core (ns per MAC).
+const MAC_NS: f64 = 0.1077;
+/// On-chip streaming bandwidth for the memrd/memwr kernels.
+const STREAM_BYTES_PER_SEC: f64 = 15.0e9;
+
+/// One network layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layer {
+    /// Grouped 2-D convolution + ReLU.
+    Conv {
+        /// Output channels.
+        out_ch: u32,
+        /// Square kernel edge.
+        kernel: u32,
+        /// Stride.
+        stride: u32,
+        /// Zero padding.
+        pad: u32,
+        /// Filter groups (AlexNet uses 2 on conv2/4/5).
+        groups: u32,
+    },
+    /// Max pooling.
+    Pool {
+        /// Square window edge.
+        kernel: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Local response normalization.
+    Lrn,
+    /// Fully connected (+ ReLU unless final).
+    Fc {
+        /// Output dimension.
+        out_dim: u32,
+        /// Whether ReLU follows (false on the classifier layer).
+        relu: bool,
+    },
+}
+
+/// A CNN as PipeCNN sees it: an input shape and a layer list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnnNetwork {
+    /// Network name.
+    pub name: String,
+    /// Input shape `(channels, height, width)`.
+    pub input: (u32, u32, u32),
+    /// The layers in order.
+    pub layers: Vec<Layer>,
+}
+
+/// Shape of a layer's output: `(channels, height, width)`; FC layers
+/// produce `(dim, 1, 1)`.
+pub type Shape = (u32, u32, u32);
+
+impl CnnNetwork {
+    /// Standard AlexNet (227×227×3 input, 1000 classes), as synthesized by
+    /// the paper.
+    pub fn alexnet() -> Self {
+        CnnNetwork {
+            name: "alexnet".to_string(),
+            input: (3, 227, 227),
+            layers: vec![
+                Layer::Conv { out_ch: 96, kernel: 11, stride: 4, pad: 0, groups: 1 },
+                Layer::Lrn,
+                Layer::Pool { kernel: 3, stride: 2 },
+                Layer::Conv { out_ch: 256, kernel: 5, stride: 1, pad: 2, groups: 2 },
+                Layer::Lrn,
+                Layer::Pool { kernel: 3, stride: 2 },
+                Layer::Conv { out_ch: 384, kernel: 3, stride: 1, pad: 1, groups: 1 },
+                Layer::Conv { out_ch: 384, kernel: 3, stride: 1, pad: 1, groups: 2 },
+                Layer::Conv { out_ch: 256, kernel: 3, stride: 1, pad: 1, groups: 2 },
+                Layer::Pool { kernel: 3, stride: 2 },
+                Layer::Fc { out_dim: 4096, relu: true },
+                Layer::Fc { out_dim: 4096, relu: true },
+                Layer::Fc { out_dim: 1000, relu: false },
+            ],
+        }
+    }
+
+    /// A miniature network for functional tests and examples (full AlexNet
+    /// is timing-accurate but too slow to run functionally in unit tests).
+    pub fn tiny() -> Self {
+        CnnNetwork {
+            name: "tiny-cnn".to_string(),
+            input: (3, 8, 8),
+            layers: vec![
+                Layer::Conv { out_ch: 4, kernel: 3, stride: 1, pad: 1, groups: 1 },
+                Layer::Pool { kernel: 2, stride: 2 },
+                Layer::Fc { out_dim: 10, relu: false },
+            ],
+        }
+    }
+
+    /// Output shapes after each layer.
+    pub fn shapes(&self) -> Vec<Shape> {
+        let mut shapes = Vec::with_capacity(self.layers.len());
+        let mut cur = self.input;
+        for layer in &self.layers {
+            cur = match *layer {
+                Layer::Conv { out_ch, kernel, stride, pad, .. } => {
+                    let h = (cur.1 + 2 * pad - kernel) / stride + 1;
+                    let w = (cur.2 + 2 * pad - kernel) / stride + 1;
+                    (out_ch, h, w)
+                }
+                Layer::Pool { kernel, stride } => {
+                    let h = (cur.1 - kernel) / stride + 1;
+                    let w = (cur.2 - kernel) / stride + 1;
+                    (cur.0, h, w)
+                }
+                Layer::Lrn => cur,
+                Layer::Fc { out_dim, .. } => (out_dim, 1, 1),
+            };
+            shapes.push(cur);
+        }
+        shapes
+    }
+
+    /// Multiply-accumulates performed by layer `idx`.
+    pub fn layer_macs(&self, idx: usize) -> u64 {
+        let input = if idx == 0 { self.input } else { self.shapes()[idx - 1] };
+        let output = self.shapes()[idx];
+        match self.layers[idx] {
+            Layer::Conv { out_ch, kernel, groups, .. } => {
+                let in_per_group = u64::from(input.0 / groups);
+                u64::from(output.1) * u64::from(output.2) * u64::from(out_ch)
+                    * u64::from(kernel) * u64::from(kernel) * in_per_group
+            }
+            Layer::Fc { out_dim, .. } => {
+                u64::from(input.0) * u64::from(input.1) * u64::from(input.2) * u64::from(out_dim)
+            }
+            Layer::Pool { .. } | Layer::Lrn => 0,
+        }
+    }
+
+    /// Total MACs per inference.
+    pub fn total_macs(&self) -> u64 {
+        (0..self.layers.len()).map(|i| self.layer_macs(i)).sum()
+    }
+
+    /// Bytes of the network input (f32 CHW).
+    pub fn input_bytes(&self) -> u64 {
+        let (c, h, w) = self.input;
+        u64::from(c) * u64::from(h) * u64::from(w) * 4
+    }
+
+    /// Bytes of a layer's output (f32).
+    pub fn layer_output_bytes(&self, idx: usize) -> u64 {
+        let (c, h, w) = self.shapes()[idx];
+        u64::from(c) * u64::from(h) * u64::from(w) * 4
+    }
+
+    /// Bytes of the final output.
+    pub fn output_bytes(&self) -> u64 {
+        self.layer_output_bytes(self.layers.len() - 1)
+    }
+
+    /// The kernel invocations PipeCNN's host loop issues for layer `idx`:
+    /// conv/fc layers run as memrd → core → memwr, pool/LRN as one kernel.
+    /// Returns each invocation's calibrated duration.
+    pub fn layer_invocations(&self, idx: usize) -> Vec<VirtualDuration> {
+        let in_bytes =
+            if idx == 0 { self.input_bytes() } else { self.layer_output_bytes(idx - 1) };
+        let out_bytes = self.layer_output_bytes(idx);
+        let stream = |bytes: u64| {
+            VirtualDuration::from_micros(50)
+                + VirtualDuration::from_secs_f64(bytes as f64 / STREAM_BYTES_PER_SEC)
+        };
+        match self.layers[idx] {
+            Layer::Conv { .. } | Layer::Fc { .. } => {
+                let core = VirtualDuration::from_micros(150)
+                    + VirtualDuration::from_nanos((self.layer_macs(idx) as f64 * MAC_NS) as u64);
+                vec![stream(in_bytes), core, stream(out_bytes)]
+            }
+            Layer::Pool { .. } | Layer::Lrn => {
+                let elems = out_bytes / 4;
+                vec![
+                    VirtualDuration::from_micros(80)
+                        + VirtualDuration::from_nanos((elems as f64 * 0.5) as u64),
+                ]
+            }
+        }
+    }
+
+    /// Whole-layer duration (sum of its invocations) — what the fused
+    /// functional kernel charges.
+    pub fn layer_duration(&self, idx: usize) -> VirtualDuration {
+        self.layer_invocations(idx).into_iter().sum()
+    }
+
+    /// Device-busy time of one full inference.
+    pub fn inference_busy_time(&self) -> VirtualDuration {
+        (0..self.layers.len()).map(|i| self.layer_duration(i)).sum()
+    }
+
+    /// Total kernel invocations per inference (what multiplies the remote
+    /// path's control overhead in Table IV).
+    pub fn kernel_invocations(&self) -> usize {
+        (0..self.layers.len()).map(|i| self.layer_invocations(i).len()).sum()
+    }
+
+    /// Reference forward pass on the host (f32 CHW input).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` does not match the network's input shape.
+    pub fn reference_forward(&self, input: &[f32]) -> Vec<f32> {
+        let (c, h, w) = self.input;
+        assert_eq!(input.len(), (c * h * w) as usize, "input shape mismatch");
+        let mut cur = input.to_vec();
+        let mut cur_shape = self.input;
+        for (idx, layer) in self.layers.iter().enumerate() {
+            cur = forward_layer(layer, idx, &cur, cur_shape);
+            cur_shape = self.shapes()[idx];
+        }
+        cur
+    }
+
+    /// Builds the PipeCNN bitstream: one fused per-layer kernel
+    /// (`cnn_layer`) carrying the network description.
+    pub fn bitstream(&self) -> Arc<Bitstream> {
+        let id = format!("pipecnn-{}", self.name);
+        let behavior = LayerKernel { network: Arc::new(self.clone()) };
+        Arc::new(Bitstream::new(
+            id,
+            vec![KernelDescriptor::new(LAYER_KERNEL, Arc::new(behavior))],
+        ))
+    }
+
+    /// A hypothetical batched profile (everything in one task, a single
+    /// host synchronization): what PipeCNN's host code *could* do if it did
+    /// not synchronize per layer. Used by the task-granularity ablation to
+    /// quantify how much of Table IV's remote overhead the per-layer syncs
+    /// cost.
+    pub fn request_profile_batched(&self) -> RequestProfile {
+        let mut ops = vec![OpProfile::Write { bytes: self.input_bytes() }];
+        for idx in 0..self.layers.len() {
+            for duration in self.layer_invocations(idx) {
+                ops.push(OpProfile::Kernel { duration });
+            }
+        }
+        ops.push(OpProfile::Read { bytes: self.output_bytes() });
+        RequestProfile::new(format!("pipecnn-{}-batched", self.name), vec![TaskProfile::new(ops)])
+    }
+
+    /// The per-request structure for the cluster simulation: write input,
+    /// then each kernel invocation as its own synchronized task (PipeCNN's
+    /// host loop), then read the classifier output.
+    pub fn request_profile(&self) -> RequestProfile {
+        let mut tasks =
+            vec![TaskProfile::new(vec![OpProfile::Write { bytes: self.input_bytes() }])];
+        for idx in 0..self.layers.len() {
+            for duration in self.layer_invocations(idx) {
+                tasks.push(TaskProfile::new(vec![OpProfile::Kernel { duration }]));
+            }
+        }
+        tasks.push(TaskProfile::new(vec![OpProfile::Read { bytes: self.output_bytes() }]));
+        RequestProfile::new(format!("pipecnn-{}", self.name), tasks)
+    }
+}
+
+/// Deterministic pseudo-random weight in `[-0.1, 0.1]` (hardware weights
+/// are fixed at synthesis time; any deterministic set works for the
+/// reproduction).
+fn weight(seed: u64) -> f32 {
+    let h = seed.wrapping_add(0x9E37_79B9).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (((h >> 40) & 0xFF_FFFF) as f32 / 16_777_216.0 - 0.5) * 0.2
+}
+
+fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<f32> {
+    let (ic, ih, iw) = (shape.0 as usize, shape.1 as usize, shape.2 as usize);
+    let lseed = (idx as u64) << 48;
+    match *layer {
+        Layer::Conv { out_ch, kernel, stride, pad, groups } => {
+            let (oc, k, s, p, g) =
+                (out_ch as usize, kernel as usize, stride as usize, pad as usize, groups as usize);
+            let oh = (ih + 2 * p - k) / s + 1;
+            let ow = (iw + 2 * p - k) / s + 1;
+            let icg = ic / g;
+            let ocg = oc / g;
+            let mut out = vec![0.0f32; oc * oh * ow];
+            for o in 0..oc {
+                let group = o / ocg;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = weight(lseed | (o as u64) << 24 | 0xB1A5);
+                        for i in 0..icg {
+                            let in_ch = group * icg + i;
+                            for ky in 0..k {
+                                let y = (oy * s + ky) as isize - p as isize;
+                                if y < 0 || y >= ih as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let x = (ox * s + kx) as isize - p as isize;
+                                    if x < 0 || x >= iw as isize {
+                                        continue;
+                                    }
+                                    let wv = weight(
+                                        lseed
+                                            | (o as u64) << 24
+                                            | (i as u64) << 12
+                                            | (ky * k + kx) as u64,
+                                    );
+                                    acc += wv
+                                        * input[in_ch * ih * iw + y as usize * iw + x as usize];
+                                }
+                            }
+                        }
+                        out[o * oh * ow + oy * ow + ox] = acc.max(0.0); // ReLU
+                    }
+                }
+            }
+            out
+        }
+        Layer::Pool { kernel, stride } => {
+            let (k, s) = (kernel as usize, stride as usize);
+            let oh = (ih - k) / s + 1;
+            let ow = (iw - k) / s + 1;
+            let mut out = vec![0.0f32; ic * oh * ow];
+            for c in 0..ic {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::MIN;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                best = best
+                                    .max(input[c * ih * iw + (oy * s + ky) * iw + ox * s + kx]);
+                            }
+                        }
+                        out[c * oh * ow + oy * ow + ox] = best;
+                    }
+                }
+            }
+            out
+        }
+        Layer::Lrn => {
+            // Across-channel LRN with AlexNet's standard parameters.
+            let (alpha, beta, n) = (1e-4f32, 0.75f32, 5usize);
+            let hw = ih * iw;
+            let mut out = vec![0.0f32; input.len()];
+            for c in 0..ic {
+                let lo = c.saturating_sub(n / 2);
+                let hi = (c + n / 2).min(ic - 1);
+                for i in 0..hw {
+                    let mut sum = 0.0f32;
+                    for cc in lo..=hi {
+                        let v = input[cc * hw + i];
+                        sum += v * v;
+                    }
+                    out[c * hw + i] =
+                        input[c * hw + i] / (1.0 + alpha / n as f32 * sum).powf(beta);
+                }
+            }
+            out
+        }
+        Layer::Fc { out_dim, relu } => {
+            let in_dim = ic * ih * iw;
+            let mut out = vec![0.0f32; out_dim as usize];
+            for (o, slot) in out.iter_mut().enumerate() {
+                let mut acc = weight(lseed | (o as u64) << 24 | 0xB1A5);
+                for (i, v) in input.iter().enumerate().take(in_dim) {
+                    acc += weight(lseed | (o as u64) << 24 | i as u64) * v;
+                }
+                *slot = if relu { acc.max(0.0) } else { acc };
+            }
+            out
+        }
+    }
+}
+
+struct LayerKernel {
+    network: Arc<CnnNetwork>,
+}
+
+impl KernelBehavior for LayerKernel {
+    fn duration(&self, invocation: &KernelInvocation) -> VirtualDuration {
+        let idx = invocation
+            .arg(2)
+            .and_then(|a| a.as_u32())
+            .map(|v| v as usize)
+            .unwrap_or(0)
+            .min(self.network.layers.len().saturating_sub(1));
+        self.network.layer_duration(idx)
+    }
+
+    fn execute(
+        &self,
+        invocation: &KernelInvocation,
+        memory: &mut DeviceMemory,
+    ) -> Result<(), FpgaError> {
+        let input = invocation.arg(0)?.as_buffer()?;
+        let output = invocation.arg(1)?.as_buffer()?;
+        let idx = invocation.arg(2)?.as_u32()? as usize;
+        if idx >= self.network.layers.len() {
+            return Err(FpgaError::InvalidKernelArgs(format!("layer {idx} out of range")));
+        }
+        let in_shape =
+            if idx == 0 { self.network.input } else { self.network.shapes()[idx - 1] };
+        let in_len = (in_shape.0 * in_shape.1 * in_shape.2) as usize * 4;
+        let raw = memory
+            .bytes(input)?
+            .ok_or_else(|| FpgaError::InvalidKernelArgs("layer input not materialized".into()))?;
+        if raw.len() < in_len {
+            return Err(FpgaError::InvalidKernelArgs("layer input buffer too small".into()));
+        }
+        let in_host: Vec<f32> = raw[..in_len]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let result = forward_layer(&self.network.layers[idx], idx, &in_host, in_shape);
+        let bytes: Vec<u8> = result.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let out_mem = memory.bytes_mut(output)?;
+        if out_mem.len() < bytes.len() {
+            return Err(FpgaError::InvalidKernelArgs("layer output buffer too small".into()));
+        }
+        out_mem[..bytes.len()].copy_from_slice(&bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_has_the_canonical_shapes() {
+        let net = CnnNetwork::alexnet();
+        let shapes = net.shapes();
+        assert_eq!(shapes[0], (96, 55, 55), "conv1");
+        assert_eq!(shapes[2], (96, 27, 27), "pool1");
+        assert_eq!(shapes[3], (256, 27, 27), "conv2");
+        assert_eq!(shapes[9], (256, 6, 6), "pool5");
+        assert_eq!(shapes[12], (1000, 1, 1), "fc8");
+    }
+
+    #[test]
+    fn alexnet_macs_are_about_724m() {
+        let macs = CnnNetwork::alexnet().total_macs();
+        let m = macs as f64 / 1e6;
+        assert!((m - 724.0).abs() < 15.0, "total MACs {m}M");
+    }
+
+    #[test]
+    fn inference_busy_time_matches_table_iv_calibration() {
+        let busy = CnnNetwork::alexnet().inference_busy_time().as_millis_f64();
+        assert!((75.0..90.0).contains(&busy), "busy {busy} ms");
+    }
+
+    #[test]
+    fn kernel_invocations_explain_the_remote_latency_gap() {
+        // Table IV: BlastFunction adds ≈ 33–39 ms over native; at ~1 ms of
+        // control RTT per synchronized invocation that needs ≈ 30 sync
+        // points per inference.
+        let n = CnnNetwork::alexnet().kernel_invocations();
+        assert!((25..35).contains(&n), "invocations {n}");
+    }
+
+    #[test]
+    fn tiny_network_forward_pass_is_deterministic_and_sane() {
+        let net = CnnNetwork::tiny();
+        let input: Vec<f32> = (0..net.input_bytes() / 4).map(|i| (i % 17) as f32 / 16.0).collect();
+        let out1 = net.reference_forward(&input);
+        let out2 = net.reference_forward(&input);
+        assert_eq!(out1, out2, "deterministic");
+        assert_eq!(out1.len(), 10);
+        assert!(out1.iter().all(|v| v.is_finite()));
+        assert!(out1.iter().any(|v| *v != 0.0), "non-degenerate output");
+    }
+
+    #[test]
+    fn profile_has_one_task_per_invocation_plus_io() {
+        let net = CnnNetwork::alexnet();
+        let p = net.request_profile();
+        assert_eq!(p.sync_points(), net.kernel_invocations() + 2);
+        assert_eq!(p.kernel_time(), net.inference_busy_time());
+    }
+
+    #[test]
+    fn batched_profile_has_one_sync_but_identical_work() {
+        let net = CnnNetwork::alexnet();
+        let layered = net.request_profile();
+        let batched = net.request_profile_batched();
+        assert_eq!(batched.sync_points(), 1);
+        assert_eq!(batched.kernel_time(), layered.kernel_time());
+        assert_eq!(batched.bytes_moved(), layered.bytes_moved());
+        assert_eq!(batched.op_count(), layered.op_count());
+    }
+
+    #[test]
+    fn weights_are_bounded() {
+        for seed in 0..10_000u64 {
+            let w = weight(seed);
+            assert!((-0.1..=0.1).contains(&w), "weight({seed}) = {w}");
+        }
+    }
+}

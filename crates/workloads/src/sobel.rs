@@ -1,0 +1,237 @@
+//! The Spector Sobel edge detector (paper §IV).
+//!
+//! Synthesized configuration (best-latency design point from the Spector
+//! suite, as the paper selects): 32×8 blocks, 4×1 window, no SIMD, one
+//! compute unit. Pixels are 32-bit RGBA words — the paper's 10×10 image
+//! moves "800 bytes sent and received" (400 each way) and the 1920×1080
+//! image ~8 MB per direction.
+//!
+//! The timing model is fitted to the paper's native round-trip
+//! measurements (Fig. 4b): 0.27 ms at 10×10 and 14.53 ms at 1920×1080,
+//! after subtracting the PCIe transfer component so only kernel time
+//! remains.
+
+use std::sync::Arc;
+
+use bf_fpga::{
+    Bitstream, DeviceMemory, FpgaError, KernelBehavior, KernelDescriptor, KernelInvocation,
+};
+use bf_model::{KernelTiming, VirtualDuration};
+
+use crate::profile::{OpProfile, RequestProfile, TaskProfile};
+
+/// Bitstream id for the Sobel image.
+pub const SOBEL_BITSTREAM: &str = "spector-sobel-b32x8-w4x1";
+/// Kernel name inside the bitstream.
+pub const SOBEL_KERNEL: &str = "sobel";
+/// Bytes per pixel (RGBA).
+pub const BYTES_PER_PIXEL: u64 = 4;
+
+/// Spector design-point parameters (informational; they fix the timing
+/// model below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SobelConfig {
+    /// Block width of the tiled pipeline.
+    pub block_w: u32,
+    /// Block height of the tiled pipeline.
+    pub block_h: u32,
+    /// Sliding-window width.
+    pub window_w: u32,
+    /// Sliding-window height.
+    pub window_h: u32,
+    /// SIMD lanes.
+    pub simd: u32,
+    /// Compute units.
+    pub compute_units: u32,
+}
+
+impl SobelConfig {
+    /// The paper's best-latency design point.
+    pub fn paper() -> Self {
+        SobelConfig { block_w: 32, block_h: 8, window_w: 4, window_h: 1, simd: 1, compute_units: 1 }
+    }
+}
+
+/// Calibrated kernel latency as a function of pixel count.
+pub fn kernel_timing() -> KernelTiming {
+    // Native RTT(10x10)   = 0.27 ms; transfers 2 × (0.1 ms setup + 400 B)  ≈ 0.20 ms → kernel ≈ 70 µs
+    // Native RTT(1920x1080) = 14.53 ms; transfers 2 × ~1.48 ms ≈ 2.97 ms → kernel ≈ 11.56 ms
+    KernelTiming::fit_linear(
+        100,
+        VirtualDuration::from_micros(70),
+        1920 * 1080,
+        VirtualDuration::from_micros(11_560),
+    )
+}
+
+/// Kernel duration for a `width × height` image.
+pub fn kernel_time(width: u32, height: u32) -> VirtualDuration {
+    kernel_timing().evaluate(u64::from(width) * u64::from(height))
+}
+
+/// Image payload size per direction for a `width × height` frame.
+pub fn frame_bytes(width: u32, height: u32) -> u64 {
+    u64::from(width) * u64::from(height) * BYTES_PER_PIXEL
+}
+
+/// Host-side reference implementation: Sobel gradient magnitude over the
+/// luminance of RGBA pixels, zero at the border, result replicated into an
+/// RGBA grayscale pixel.
+pub fn reference(input: &[u32], width: u32, height: u32) -> Vec<u32> {
+    let (w, h) = (width as usize, height as usize);
+    assert_eq!(input.len(), w * h, "input must be width*height pixels");
+    let luma = |p: u32| -> i32 {
+        let r = (p & 0xff) as i32;
+        let g = ((p >> 8) & 0xff) as i32;
+        let b = ((p >> 16) & 0xff) as i32;
+        (r * 77 + g * 151 + b * 28) >> 8
+    };
+    let mut out = vec![0u32; w * h];
+    if w < 3 || h < 3 {
+        return out;
+    }
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let l = |dx: isize, dy: isize| {
+                let xi = (x as isize + dx) as usize;
+                let yi = (y as isize + dy) as usize;
+                luma(input[yi * w + xi])
+            };
+            let gx = -l(-1, -1) - 2 * l(-1, 0) - l(-1, 1) + l(1, -1) + 2 * l(1, 0) + l(1, 1);
+            let gy = -l(-1, -1) - 2 * l(0, -1) - l(1, -1) + l(-1, 1) + 2 * l(0, 1) + l(1, 1);
+            let mag = (((gx * gx + gy * gy) as f64).sqrt() as u32).min(255);
+            out[y * w + x] = mag | (mag << 8) | (mag << 16) | 0xff00_0000;
+        }
+    }
+    out
+}
+
+/// Packs pixels into the little-endian byte layout device buffers use.
+pub fn pack_pixels(pixels: &[u32]) -> Vec<u8> {
+    pixels.iter().flat_map(|p| p.to_le_bytes()).collect()
+}
+
+/// Unpacks device bytes into pixels.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not a multiple of 4.
+pub fn unpack_pixels(bytes: &[u8]) -> Vec<u32> {
+    assert_eq!(bytes.len() % 4, 0, "pixel buffers are 4-byte aligned");
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+struct SobelKernel;
+
+impl KernelBehavior for SobelKernel {
+    fn duration(&self, invocation: &KernelInvocation) -> VirtualDuration {
+        kernel_timing().evaluate(invocation.work_items())
+    }
+
+    fn execute(
+        &self,
+        invocation: &KernelInvocation,
+        memory: &mut DeviceMemory,
+    ) -> Result<(), FpgaError> {
+        let input = invocation.arg(0)?.as_buffer()?;
+        let output = invocation.arg(1)?.as_buffer()?;
+        let width = invocation.arg(2)?.as_u32()?;
+        let height = invocation.arg(3)?.as_u32()?;
+        let expected = frame_bytes(width, height);
+        if memory.len_of(input)? < expected || memory.len_of(output)? < expected {
+            return Err(FpgaError::InvalidKernelArgs(format!(
+                "buffers too small for a {width}x{height} frame"
+            )));
+        }
+        let in_bytes = memory
+            .bytes(input)?
+            .ok_or_else(|| FpgaError::InvalidKernelArgs("input not materialized".into()))?;
+        let pixels = unpack_pixels(&in_bytes[..expected as usize]);
+        let result = reference(&pixels, width, height);
+        let out_bytes = pack_pixels(&result);
+        memory.bytes_mut(output)?[..expected as usize].copy_from_slice(&out_bytes);
+        Ok(())
+    }
+}
+
+/// Builds the Sobel bitstream (one kernel, one compute unit).
+pub fn bitstream() -> Arc<Bitstream> {
+    Arc::new(Bitstream::new(
+        SOBEL_BITSTREAM,
+        vec![KernelDescriptor::new(SOBEL_KERNEL, Arc::new(SobelKernel))],
+    ))
+}
+
+/// The per-request structure of the Sobel cloud function: one atomic task
+/// `write frame → sobel → read frame` (the host code pipelines the three
+/// calls and synchronizes once).
+pub fn request_profile(width: u32, height: u32) -> RequestProfile {
+    let bytes = frame_bytes(width, height);
+    RequestProfile::new(
+        "sobel",
+        vec![TaskProfile::new(vec![
+            OpProfile::Write { bytes },
+            OpProfile::Kernel { duration: kernel_time(width, height) },
+            OpProfile::Read { bytes },
+        ])],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_matches_paper_fit_points() {
+        let t_small = kernel_time(10, 10);
+        let t_large = kernel_time(1920, 1080);
+        assert!((t_small.as_millis_f64() - 0.07).abs() < 0.01, "small {t_small}");
+        assert!((t_large.as_millis_f64() - 11.56).abs() < 0.05, "large {t_large}");
+    }
+
+    #[test]
+    fn frame_bytes_match_paper_numbers() {
+        assert_eq!(frame_bytes(10, 10), 400, "10x10 sends 400 B each way (800 total)");
+        let big = frame_bytes(1920, 1080);
+        assert!((7..9).contains(&(big >> 20)), "1080p is ~8 MB per direction, got {big}");
+    }
+
+    #[test]
+    fn reference_detects_an_edge() {
+        // Left half black, right half white: strong vertical edge.
+        let (w, h) = (8u32, 8u32);
+        let input: Vec<u32> = (0..h * w)
+            .map(|i| if i % w < w / 2 { 0xff00_0000 } else { 0xffff_ffff })
+            .collect();
+        let out = reference(&input, w, h);
+        let edge = out[(h / 2 * w + w / 2 - 1) as usize] & 0xff;
+        let flat = out[(h / 2 * w + 1) as usize] & 0xff;
+        assert!(edge > 200, "edge magnitude {edge}");
+        assert_eq!(flat, 0, "flat region stays black");
+        // Border is zeroed.
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let pixels = vec![0x0102_0304, 0xffff_ffff, 0];
+        assert_eq!(unpack_pixels(&pack_pixels(&pixels)), pixels);
+    }
+
+    #[test]
+    fn profile_is_one_atomic_task() {
+        let p = request_profile(1920, 1080);
+        assert_eq!(p.sync_points(), 1);
+        assert_eq!(p.op_count(), 3);
+        assert_eq!(p.bytes_moved(), 2 * frame_bytes(1920, 1080));
+    }
+
+    #[test]
+    fn tiny_images_are_all_border() {
+        let out = reference(&[0xffff_ffff; 4], 2, 2);
+        assert!(out.iter().all(|&p| p == 0));
+    }
+}

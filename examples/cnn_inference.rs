@@ -1,0 +1,105 @@
+//! CNN inference through the PipeCNN-style layer pipeline.
+//!
+//! Runs a small CNN functionally — layer by layer, the way PipeCNN's host
+//! code drives its kernels — through a shared device, verifying every
+//! intermediate against the host reference, and then shows why AlexNet's
+//! per-layer synchronization makes the remote path pay ~30 control round
+//! trips per inference (paper Table IV).
+//!
+//! Run with: `cargo run --example cnn_inference`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use blastfunction::prelude::*;
+use blastfunction::workloads::pipecnn::{CnnNetwork, LAYER_KERNEL};
+use parking_lot::Mutex;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let network = CnnNetwork::tiny();
+    println!(
+        "PipeCNN-style inference: {} ({} layers, input {:?})\n",
+        network.name,
+        network.layers.len(),
+        network.input
+    );
+
+    let mut catalog = BitstreamCatalog::new();
+    catalog.register(network.bitstream());
+    let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node_b().pcie())));
+    let manager = DeviceManager::new(
+        DeviceManagerConfig::standalone("fpga-b"),
+        node_b(),
+        board,
+        catalog,
+    );
+    let mut router = Router::new();
+    router.add_manager(manager);
+    let clock = VirtualClock::new();
+    let device = router.connect(0, "cnn-fn", PathCosts::local_shm(), clock.clone())?;
+
+    let ctx = device.create_context()?;
+    let program = ctx.build_program(&format!("pipecnn-{}", network.name))?;
+    let kernel = program.create_kernel(LAYER_KERNEL)?;
+    let queue = ctx.create_queue()?;
+
+    // One device buffer per layer boundary, like PipeCNN's ping-pong
+    // global buffers.
+    let mut boundaries = vec![ctx.create_buffer(network.input_bytes())?];
+    for idx in 0..network.layers.len() {
+        boundaries.push(ctx.create_buffer(network.layer_output_bytes(idx))?);
+    }
+
+    // The input image.
+    let input: Vec<f32> =
+        (0..network.input_bytes() / 4).map(|i| ((i % 31) as f32 - 15.0) / 15.0).collect();
+    let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+    queue.write(&boundaries[0], input_bytes)?;
+
+    // PipeCNN's host loop: launch each layer's kernel and synchronize —
+    // the per-layer sync is what multiplies remote control overhead.
+    let t0 = clock.now();
+    for (idx, _layer) in network.layers.iter().enumerate() {
+        kernel.set_arg_buffer(0, &boundaries[idx])?;
+        kernel.set_arg_buffer(1, &boundaries[idx + 1])?;
+        kernel.set_arg(2, ArgValue::U32(idx as u32))?;
+        let elems = network.layer_output_bytes(idx) / 4;
+        queue.launch(&kernel, NdRange::d1(elems))?;
+        queue.finish()?; // per-layer synchronization, as in PipeCNN
+        println!("  layer {idx:>2} done at {}", clock.now() - t0);
+    }
+    let raw = queue.read_vec(boundaries.last().expect("output boundary"))?;
+    let device_out: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let total = clock.now() - t0;
+
+    // Verify against the host reference forward pass.
+    let expected = network.reference_forward(&input);
+    assert_eq!(device_out.len(), expected.len());
+    for (i, (d, e)) in device_out.iter().zip(&expected).enumerate() {
+        assert!((d - e).abs() < 1e-4, "class {i}: device {d} vs host {e}");
+    }
+    let best = device_out
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .expect("non-empty output");
+    println!("\nInference verified against the host reference.");
+    println!("Top class: {} (score {:.4}); total remote inference time {total}\n", best.0, best.1);
+
+    // Why Table IV's remote latency gap exists:
+    let alexnet = CnnNetwork::alexnet();
+    println!(
+        "AlexNet: {} kernel invocations/inference, device-busy {:.1} ms.",
+        alexnet.kernel_invocations(),
+        alexnet.inference_busy_time().as_millis_f64()
+    );
+    println!(
+        "With ~1 ms of control RTT per synchronized invocation, BlastFunction adds\n\
+         ~{} ms over native — the paper measures 132.89 ms vs 94.29 ms (Table IV).",
+        alexnet.kernel_invocations() + 2
+    );
+    Ok(())
+}

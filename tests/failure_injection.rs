@@ -1,0 +1,181 @@
+//! Integration: failure paths — resource exhaustion, bad handles,
+//! cross-tenant access, dead managers, shm exhaustion fallback.
+
+use std::sync::Arc;
+
+use blastfunction::prelude::*;
+use blastfunction::workloads::sobel;
+use parking_lot::Mutex;
+
+fn catalog() -> BitstreamCatalog {
+    let mut catalog = BitstreamCatalog::new();
+    catalog.register(sobel::bitstream());
+    catalog
+}
+
+fn small_board(mem_bytes: u64) -> Arc<Mutex<Board>> {
+    let spec = BoardSpec {
+        memory_bytes: mem_bytes,
+        ..BoardSpec::de5a_net()
+    };
+    Arc::new(Mutex::new(Board::new(spec, *node_b().pcie())))
+}
+
+fn manager_with(board: Arc<Mutex<Board>>, shm_capacity: u64) -> DeviceManager {
+    DeviceManager::new(
+        DeviceManagerConfig::standalone("fpga-b").with_shm_capacity(shm_capacity),
+        node_b(),
+        board,
+        catalog(),
+    )
+}
+
+fn connect(manager: &DeviceManager, costs: PathCosts) -> Device {
+    let mut router = Router::new();
+    router.add_manager(manager.clone());
+    router.connect(0, "victim", costs, VirtualClock::new()).expect("connect")
+}
+
+#[test]
+fn device_memory_exhaustion_maps_to_out_of_resources() {
+    let manager = manager_with(small_board(1 << 20), 1 << 20);
+    let device = connect(&manager, PathCosts::local_grpc());
+    let ctx = device.create_context().expect("ctx");
+    let _big = ctx.create_buffer(1 << 19).expect("first allocation fits");
+    let err = ctx.create_buffer(1 << 20).expect_err("second must exhaust DDR");
+    assert!(matches!(err, ClError::OutOfResources(_)), "got {err:?}");
+    // Releasing makes space again.
+    drop(_big);
+    // Releases are fire-and-forget; the manager processes them in order,
+    // so a subsequent allocation request observes the freed space.
+    let again = ctx.create_buffer(1 << 19);
+    assert!(again.is_ok(), "allocation after release failed: {again:?}");
+}
+
+#[test]
+fn out_of_bounds_transfers_fail_without_corrupting_the_session() {
+    let manager = manager_with(small_board(1 << 24), 1 << 24);
+    let device = connect(&manager, PathCosts::local_grpc());
+    let ctx = device.create_context().expect("ctx");
+    let buf = ctx.create_buffer(64).expect("buffer");
+    let queue = ctx.create_queue().expect("queue");
+    let ev = queue.write_async(&buf, 32, vec![0u8; 64]).expect("accepted into the task");
+    queue.flush().expect("flush");
+    let err = ev.wait().expect_err("out of bounds");
+    assert!(matches!(err, ClError::OutOfBounds(_)), "got {err:?}");
+    // The session keeps working afterwards.
+    queue.write(&buf, vec![1u8; 64]).expect("valid write still works");
+    assert_eq!(queue.read_vec(&buf).expect("read"), vec![1u8; 64]);
+}
+
+#[test]
+fn unknown_kernel_and_bitstream_fail_cleanly() {
+    let manager = manager_with(small_board(1 << 24), 1 << 24);
+    let device = connect(&manager, PathCosts::local_grpc());
+    let ctx = device.create_context().expect("ctx");
+    assert!(matches!(
+        ctx.build_program("no-such-image"),
+        Err(ClError::BuildProgramFailure(_))
+    ));
+    let program = ctx.build_program(sobel::SOBEL_BITSTREAM).expect("program");
+    assert!(matches!(
+        program.create_kernel("no-such-kernel"),
+        Err(ClError::BuildProgramFailure(_))
+    ));
+}
+
+#[test]
+fn missing_kernel_args_fail_the_launch_event() {
+    let manager = manager_with(small_board(1 << 24), 1 << 24);
+    let device = connect(&manager, PathCosts::local_grpc());
+    let ctx = device.create_context().expect("ctx");
+    let program = ctx.build_program(sobel::SOBEL_BITSTREAM).expect("program");
+    let kernel = program.create_kernel(sobel::SOBEL_KERNEL).expect("kernel");
+    let queue = ctx.create_queue().expect("queue");
+    // Arg 3 set, args 0-2 missing.
+    kernel.set_arg(3, ArgValue::U32(8)).expect("set arg");
+    let ev = queue.launch(&kernel, NdRange::d1(64)).expect("enqueue accepted");
+    queue.flush().expect("flush");
+    let err = ev.wait().expect_err("launch must fail");
+    assert!(
+        matches!(err, ClError::InvalidKernelLaunch(_)),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn shm_exhaustion_degrades_to_inline_without_data_loss() {
+    // A 4 KiB shm segment cannot stage a 64 KiB frame: the library must
+    // fall back to the inline (gRPC) data path transparently.
+    let manager = manager_with(small_board(1 << 24), 4 << 10);
+    let device = connect(&manager, PathCosts::local_shm());
+    let ctx = device.create_context().expect("ctx");
+    let buf = ctx.create_buffer(64 << 10).expect("buffer");
+    let queue = ctx.create_queue().expect("queue");
+    let payload = vec![0xA5u8; 64 << 10];
+    queue.write(&buf, payload.clone()).expect("write survives shm exhaustion");
+    assert_eq!(queue.read_vec(&buf).expect("read"), payload);
+}
+
+#[test]
+fn dead_manager_surfaces_as_transport_failure() {
+    let manager = manager_with(small_board(1 << 24), 1 << 24);
+    let endpoint = manager.connect("doomed", PathCosts::local_grpc());
+    // Simulate the manager process dying: drop every handle to it. The
+    // session thread exits when the client channel closes server-side…
+    // here we instead drop the client's endpoint channel indirectly by
+    // killing the backend's connection: easiest deterministic variant is
+    // connecting and then dropping the manager's board/session by sending
+    // Disconnect first.
+    let backend = RemoteBackend::connect(endpoint, VirtualClock::new()).expect("connect");
+    let ctx = backend.create_context().expect("ctx");
+    // Tear the session down from the manager side.
+    let conn = backend.connection().clone();
+    conn.cast(blastfunction::rpc::Request::Disconnect, VirtualClock::new().now())
+        .expect("disconnect sent");
+    // After the session thread exits, further calls fail as transport
+    // errors rather than hanging.
+    let mut saw_failure = false;
+    for _ in 0..50 {
+        match backend.create_buffer(ctx, 16) {
+            Err(ClError::TransportFailure(_)) => {
+                saw_failure = true;
+                break;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+    assert!(saw_failure, "calls against a dead session must fail");
+}
+
+#[test]
+fn cross_tenant_buffers_are_unreachable() {
+    let manager = manager_with(small_board(1 << 24), 1 << 24);
+    let alice = connect(&manager, PathCosts::local_grpc());
+    let alice_ctx = alice.create_context().expect("ctx");
+    let secret = alice_ctx.create_buffer(64).expect("buffer");
+    let alice_queue = alice_ctx.create_queue().expect("queue");
+    alice_queue.write(&secret, vec![42u8; 64]).expect("write");
+
+    // Mallory connects separately and probes handle values 1..64 — none
+    // may reach Alice's buffer (handles are session-scoped).
+    let mallory = connect(&manager, PathCosts::local_grpc());
+    let m_ctx = mallory.create_context().expect("ctx");
+    let m_queue = m_ctx.create_queue().expect("queue");
+    let mine = m_ctx.create_buffer(64).expect("own buffer");
+    m_queue.write(&mine, vec![0u8; 64]).expect("write");
+    for guess in 1..=64u64 {
+        let ev = mallory
+            .backend()
+            .enqueue_read(m_queue.id(), blastfunction::ocl::MemId(guess), 0, 64, false);
+        if let Ok(ev) = ev {
+            m_queue.flush().expect("flush");
+            if ev.wait().is_ok() {
+                let payload = ev.take_payload().expect("payload");
+                if let blastfunction::fpga::Payload::Data(bytes) = payload {
+                    assert_ne!(bytes, vec![42u8; 64], "leaked Alice's buffer via handle {guess}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Integration: the transparency contribution.
+//!
+//! The same host code must produce bit-identical results on a native
+//! board, through the Remote OpenCL Library with shared memory, and
+//! through it with pure gRPC — and the virtual-time cost ordering must be
+//! native < shm < gRPC.
+
+use std::sync::Arc;
+
+use blastfunction::prelude::*;
+use blastfunction::workloads::{mm, sobel};
+use parking_lot::Mutex;
+
+fn catalog() -> BitstreamCatalog {
+    let mut catalog = BitstreamCatalog::new();
+    catalog.register(sobel::bitstream());
+    catalog.register(mm::bitstream());
+    catalog
+}
+
+fn fresh_board() -> Arc<Mutex<Board>> {
+    Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node_b().pcie())))
+}
+
+fn native_device(clock: VirtualClock) -> Device {
+    Device::new(Arc::new(NativeBackend::new(node_b(), fresh_board(), catalog(), clock, "native")))
+}
+
+fn remote_device(costs: PathCosts, clock: VirtualClock) -> Device {
+    let manager = DeviceManager::new(
+        DeviceManagerConfig::standalone("fpga-b"),
+        node_b(),
+        fresh_board(),
+        catalog(),
+    );
+    let mut router = Router::new();
+    router.add_manager(manager);
+    router.connect(0, "it-fn", costs, clock).expect("connect")
+}
+
+/// Identical host code across backends: Sobel on a test frame.
+fn sobel_host(device: &Device, width: u32, height: u32, pixels: &[u32]) -> Vec<u32> {
+    let ctx = device.create_context().expect("ctx");
+    let program = ctx.build_program(sobel::SOBEL_BITSTREAM).expect("program");
+    let kernel = program.create_kernel(sobel::SOBEL_KERNEL).expect("kernel");
+    let bytes = sobel::frame_bytes(width, height);
+    let input = ctx.create_buffer(bytes).expect("in");
+    let output = ctx.create_buffer(bytes).expect("out");
+    let queue = ctx.create_queue().expect("queue");
+    queue.write(&input, sobel::pack_pixels(pixels)).expect("write");
+    kernel.set_arg_buffer(0, &input).expect("arg0");
+    kernel.set_arg_buffer(1, &output).expect("arg1");
+    kernel.set_arg(2, ArgValue::U32(width)).expect("arg2");
+    kernel.set_arg(3, ArgValue::U32(height)).expect("arg3");
+    queue.launch(&kernel, NdRange::d2(width.into(), height.into())).expect("launch");
+    queue.finish().expect("finish");
+    sobel::unpack_pixels(&queue.read_vec(&output).expect("read"))
+}
+
+/// Identical host code across backends: MM with async pipelining.
+fn mm_host(device: &Device, n: u32, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let ctx = device.create_context().expect("ctx");
+    let program = ctx.build_program(mm::MM_BITSTREAM).expect("program");
+    let kernel = program.create_kernel(mm::MM_KERNEL).expect("kernel");
+    let bytes = mm::matrix_bytes(n);
+    let a_buf = ctx.create_buffer(bytes).expect("a");
+    let b_buf = ctx.create_buffer(bytes).expect("b");
+    let c_buf = ctx.create_buffer(bytes).expect("c");
+    let queue = ctx.create_queue().expect("queue");
+    // Non-blocking writes + kernel, one sync at the end (the async flow of
+    // paper Fig. 2).
+    let w1 = queue.write_async(&a_buf, 0, mm::pack_f32(a)).expect("wa");
+    let w2 = queue.write_async(&b_buf, 0, mm::pack_f32(b)).expect("wb");
+    kernel.set_arg_buffer(0, &a_buf).expect("arg0");
+    kernel.set_arg_buffer(1, &b_buf).expect("arg1");
+    kernel.set_arg_buffer(2, &c_buf).expect("arg2");
+    kernel.set_arg(3, ArgValue::U32(n)).expect("arg3");
+    let k = queue.launch(&kernel, NdRange::d2(n.into(), n.into())).expect("launch");
+    queue.finish().expect("finish");
+    for ev in [&w1, &w2, &k] {
+        assert_eq!(ev.status(), EventStatus::Complete, "all events complete after finish");
+    }
+    mm::unpack_f32(&queue.read_vec(&c_buf).expect("read"))
+}
+
+#[test]
+fn sobel_is_bit_identical_across_backends() {
+    let (w, h) = (48u32, 36u32);
+    let pixels: Vec<u32> = (0..w * h).map(|i| 0xff00_0000 | i.wrapping_mul(2654435761)).collect();
+    let expected = sobel::reference(&pixels, w, h);
+
+    let native = sobel_host(&native_device(VirtualClock::new()), w, h, &pixels);
+    assert_eq!(native, expected, "native matches the host reference");
+
+    for costs in [PathCosts::local_shm(), PathCosts::local_grpc()] {
+        let remote = sobel_host(&remote_device(costs, VirtualClock::new()), w, h, &pixels);
+        assert_eq!(remote, expected, "remote ({costs:?}) matches");
+    }
+}
+
+#[test]
+fn mm_is_bit_identical_across_backends() {
+    let n = 20u32;
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32 / 3.0).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| ((i * 7) % 11) as f32 - 5.0).collect();
+    let expected = mm::reference(&a, &b, n);
+
+    let native = mm_host(&native_device(VirtualClock::new()), n, &a, &b);
+    assert_eq!(native, expected);
+    for costs in [PathCosts::local_shm(), PathCosts::local_grpc()] {
+        let remote = mm_host(&remote_device(costs, VirtualClock::new()), n, &a, &b);
+        assert_eq!(remote, expected, "remote ({costs:?})");
+    }
+}
+
+#[test]
+fn virtual_cost_ordering_native_shm_grpc() {
+    let (w, h) = (256u32, 256u32);
+    let pixels = vec![0xff55_5555u32; (w * h) as usize];
+
+    let run = |device: &Device, clock: &VirtualClock| {
+        // Exclude one-time setup (board programming) from the request time.
+        let ctx = device.create_context().expect("ctx");
+        let program = ctx.build_program(sobel::SOBEL_BITSTREAM).expect("program");
+        let kernel = program.create_kernel(sobel::SOBEL_KERNEL).expect("kernel");
+        let bytes = sobel::frame_bytes(w, h);
+        let input = ctx.create_buffer(bytes).expect("in");
+        let output = ctx.create_buffer(bytes).expect("out");
+        let queue = ctx.create_queue().expect("queue");
+        let t0 = clock.now();
+        queue.write(&input, sobel::pack_pixels(&pixels)).expect("write");
+        kernel.set_arg_buffer(0, &input).expect("a0");
+        kernel.set_arg_buffer(1, &output).expect("a1");
+        kernel.set_arg(2, ArgValue::U32(w)).expect("a2");
+        kernel.set_arg(3, ArgValue::U32(h)).expect("a3");
+        queue.launch(&kernel, NdRange::d2(w.into(), h.into())).expect("launch");
+        queue.finish().expect("finish");
+        let _ = queue.read_vec(&output).expect("read");
+        clock.now() - t0
+    };
+
+    let native_clock = VirtualClock::new();
+    let native_t = run(&native_device(native_clock.clone()), &native_clock);
+    let shm_clock = VirtualClock::new();
+    let shm_t = run(&remote_device(PathCosts::local_shm(), shm_clock.clone()), &shm_clock);
+    let grpc_clock = VirtualClock::new();
+    let grpc_t = run(&remote_device(PathCosts::local_grpc(), grpc_clock.clone()), &grpc_clock);
+
+    assert!(native_t < shm_t, "native {native_t} must beat shm {shm_t}");
+    assert!(shm_t < grpc_t, "shm {shm_t} must beat grpc {grpc_t}");
+    // The shm penalty is bounded: control signalling + one copy each way.
+    let overhead = shm_t - native_t;
+    assert!(
+        overhead < VirtualDuration::from_millis_f64(4.0),
+        "shm overhead should stay in the low-ms regime, got {overhead}"
+    );
+}
+
+#[test]
+fn device_to_device_copy_matches_across_backends() {
+    let make_data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+    for device in [
+        native_device(VirtualClock::new()),
+        remote_device(PathCosts::local_shm(), VirtualClock::new()),
+        remote_device(PathCosts::local_grpc(), VirtualClock::new()),
+    ] {
+        let ctx = device.create_context().expect("ctx");
+        let src = ctx.create_buffer(1024).expect("src");
+        let dst = ctx.create_buffer(2048).expect("dst");
+        let queue = ctx.create_queue().expect("queue");
+        queue.write(&src, make_data.clone()).expect("write");
+        // Copy into the middle of dst (clEnqueueCopyBuffer with offsets).
+        let ev = queue.copy_region(&src, &dst, 0, 512, 1024).expect("copy");
+        queue.finish().expect("finish");
+        ev.wait().expect("copy completed");
+        let out = queue.read_vec(&dst).expect("read");
+        assert_eq!(&out[512..1536], make_data.as_slice(), "copied region");
+        assert!(out[..512].iter().all(|b| *b == 0), "prefix untouched");
+        assert!(out[1536..].iter().all(|b| *b == 0), "suffix untouched");
+        // Out-of-bounds copies fail without corrupting the session.
+        let bad = queue.copy_region(&src, &dst, 0, 2000, 1024);
+        match bad {
+            Ok(ev) => {
+                queue.flush().expect("flush");
+                assert!(ev.wait().is_err(), "oob copy must fail");
+            }
+            Err(e) => assert!(matches!(e, ClError::OutOfBounds(_)), "got {e:?}"),
+        }
+        assert_eq!(queue.read_vec(&dst).expect("read again")[512..1536], make_data[..]);
+    }
+}
+
+#[test]
+fn event_profiles_expose_device_timestamps_remotely() {
+    let device = remote_device(PathCosts::local_shm(), VirtualClock::new());
+    let ctx = device.create_context().expect("ctx");
+    let _program = ctx.build_program(sobel::SOBEL_BITSTREAM).expect("program");
+    let buf = ctx.create_buffer(1 << 16).expect("buf");
+    let queue = ctx.create_queue().expect("queue");
+    let ev = queue.write_async(&buf, 0, vec![7u8; 1 << 16]).expect("enqueue");
+    queue.finish().expect("finish");
+    let profile = ev.profile();
+    assert!(profile.queued.is_some());
+    assert!(profile.ended >= profile.started, "device timestamps ordered");
+    let observed = ev.observed_at().expect("observed time set");
+    assert!(
+        observed > profile.ended.expect("ended set"),
+        "the host observes completion after the device finishes (return hop)"
+    );
+}
