@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, release build, full test suite, conformance.
+# CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> bf-lint"
+cargo run -q --release -p bf-lint -- --json
+
+echo "ci.sh: all gates passed"

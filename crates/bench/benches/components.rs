@@ -5,9 +5,7 @@ use std::collections::HashMap;
 
 use bf_model::{NodeId, VirtualDuration, VirtualTime};
 use bf_registry::{allocate, AllocationPolicy, DeviceQuery, DeviceView};
-use bf_rpc::{
-    ClientId, DataRef, Request, RequestEnvelope, ShmSegment, WireDecode, WireEncode,
-};
+use bf_rpc::{ClientId, DataRef, Request, RequestEnvelope, ShmSegment, WireDecode, WireEncode};
 use bf_simkit::Engine;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -110,5 +108,11 @@ fn bench_des_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(components, bench_codec, bench_shm, bench_allocation, bench_des_engine);
+criterion_group!(
+    components,
+    bench_codec,
+    bench_shm,
+    bench_allocation,
+    bench_des_engine
+);
 criterion_main!(components);

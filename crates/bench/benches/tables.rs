@@ -9,8 +9,7 @@ use bf_sim::{run_scenario, Deployment, ScenarioConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn short(use_case: UseCase, level: LoadLevel, deployment: Deployment) -> ScenarioConfig {
-    ScenarioConfig::new(use_case, level, deployment)
-        .with_duration(VirtualDuration::from_secs(5))
+    ScenarioConfig::new(use_case, level, deployment).with_duration(VirtualDuration::from_secs(5))
 }
 
 fn bench_table2(c: &mut Criterion) {
@@ -19,7 +18,12 @@ fn bench_table2(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(800));
     for (label, deployment) in [
-        ("blastfunction", Deployment::BlastFunction { data_path: DataPathKind::SharedMemory }),
+        (
+            "blastfunction",
+            Deployment::BlastFunction {
+                data_path: DataPathKind::SharedMemory,
+            },
+        ),
         ("native", Deployment::Native),
     ] {
         group.bench_with_input(
@@ -39,7 +43,12 @@ fn bench_table3(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(800));
     for (label, deployment) in [
-        ("blastfunction", Deployment::BlastFunction { data_path: DataPathKind::SharedMemory }),
+        (
+            "blastfunction",
+            Deployment::BlastFunction {
+                data_path: DataPathKind::SharedMemory,
+            },
+        ),
         ("native", Deployment::Native),
     ] {
         group.bench_with_input(
@@ -59,7 +68,12 @@ fn bench_table4(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(800));
     for (label, deployment) in [
-        ("blastfunction", Deployment::BlastFunction { data_path: DataPathKind::SharedMemory }),
+        (
+            "blastfunction",
+            Deployment::BlastFunction {
+                data_path: DataPathKind::SharedMemory,
+            },
+        ),
         ("native", Deployment::Native),
     ] {
         group.bench_with_input(

@@ -6,7 +6,10 @@ fn main() {
     let rows = ablation_alloc();
     print!(
         "{}",
-        render_ablation("Allocation-policy ablation — Sobel, high load, BlastFunction shm", &rows)
+        render_ablation(
+            "Allocation-policy ablation — Sobel, high load, BlastFunction shm",
+            &rows
+        )
     );
     let path = save_json("ablation_alloc", &rows);
     println!("\nJSON artifact: {}", path.display());

@@ -6,14 +6,18 @@ fn main() {
     let rows = fig4a_rows();
     print!(
         "{}",
-        render_sweep("Fig. 4(a) — synchronous write+read RTT vs total size", &rows)
+        render_sweep(
+            "Fig. 4(a) — synchronous write+read RTT vs total size",
+            &rows
+        )
     );
-    let last = rows.last().expect("non-empty sweep");
-    println!(
-        "\nAt 2 GB: gRPC is {:.1}x native (paper: ~4x); shm overhead {:.0} ms (paper: 155 ms).",
-        last.grpc_ratio(),
-        last.shm_overhead_ms()
-    );
+    if let Some(last) = rows.last() {
+        println!(
+            "\nAt 2 GB: gRPC is {:.1}x native (paper: ~4x); shm overhead {:.0} ms (paper: 155 ms).",
+            last.grpc_ratio(),
+            last.shm_overhead_ms()
+        );
+    }
     let path = save_json("fig4a", &rows);
     println!("JSON artifact: {}", path.display());
 }

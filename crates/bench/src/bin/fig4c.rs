@@ -4,13 +4,17 @@ use bf_bench::{fig4c_rows, render_sweep, save_json};
 
 fn main() {
     let rows = fig4c_rows();
-    print!("{}", render_sweep("Fig. 4(c) — MM latency vs matrix size", &rows));
-    let last = rows.last().expect("non-empty sweep");
-    println!(
-        "\nAt 4096: native {:.3} s (paper: 3.571 s); shm overhead {:.1} ms (paper: 17 ms, 0.27%).",
-        last.native_ms / 1e3,
-        last.shm_overhead_ms()
+    print!(
+        "{}",
+        render_sweep("Fig. 4(c) — MM latency vs matrix size", &rows)
     );
+    if let Some(last) = rows.last() {
+        println!(
+            "\nAt 4096: native {:.3} s (paper: 3.571 s); shm overhead {:.1} ms (paper: 17 ms, 0.27%).",
+            last.native_ms / 1e3,
+            last.shm_overhead_ms()
+        );
+    }
     let path = save_json("fig4c", &rows);
     println!("JSON artifact: {}", path.display());
 }

@@ -7,18 +7,20 @@ use bf_model::{DataPathKind, VirtualDuration};
 use bf_serverless::{LoadLevel, UseCase};
 use bf_sim::{run_scenario, Deployment, ScenarioConfig};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cfg = ScenarioConfig::new(
         UseCase::Sobel,
         LoadLevel::High,
-        Deployment::BlastFunction { data_path: DataPathKind::SharedMemory },
+        Deployment::BlastFunction {
+            data_path: DataPathKind::SharedMemory,
+        },
     )
     .with_duration(VirtualDuration::from_secs(10));
     let result = run_scenario(&cfg);
     let dir = std::path::PathBuf::from("target").join("experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join("trace_sobel_high_bf.json");
-    std::fs::write(&path, result.to_chrome_trace()).expect("write trace");
+    std::fs::write(&path, result.to_chrome_trace())?;
     println!(
         "Wrote {} spans across {} devices to {}",
         result.timeline.len(),
@@ -26,4 +28,5 @@ fn main() {
         path.display()
     );
     println!("Open it in chrome://tracing or https://ui.perfetto.dev");
+    Ok(())
 }

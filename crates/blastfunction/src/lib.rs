@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # BlastFunction — FPGA-as-a-Service for accelerated serverless computing
 //!
 //! A from-scratch Rust reproduction of *"BlastFunction: an FPGA-as-a-Service
@@ -80,12 +82,12 @@ pub mod prelude {
     pub use bf_devmgr::{DeviceManager, DeviceManagerConfig, ReconfigPolicy};
     pub use bf_fpga::{Board, BoardSpec, Payload};
     pub use bf_model::{
-        node_a, node_b, node_c, paper_cluster, DataPathKind, NodeId, VirtualClock,
-        VirtualDuration, VirtualTime,
+        node_a, node_b, node_c, paper_cluster, DataPathKind, NodeId, VirtualClock, VirtualDuration,
+        VirtualTime,
     };
     pub use bf_ocl::{
-        ArgValue, Backend, BitstreamCatalog, ClError, ClResult, Device, EventStatus,
-        NativeBackend, NdRange,
+        ArgValue, Backend, BitstreamCatalog, ClError, ClResult, Device, EventStatus, NativeBackend,
+        NdRange,
     };
     pub use bf_registry::{AllocationPolicy, DeviceQuery, Registry};
     pub use bf_remote::{RemoteBackend, Router};

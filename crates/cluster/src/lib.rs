@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # bf-cluster — the Kubernetes substrate
 //!
@@ -92,7 +92,10 @@ pub struct InstanceTemplate {
 impl InstanceTemplate {
     /// A template for `function` with empty env/labels.
     pub fn new(function: impl Into<String>) -> Self {
-        InstanceTemplate { function: function.into(), ..Default::default() }
+        InstanceTemplate {
+            function: function.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a label.
@@ -185,7 +188,12 @@ impl Cluster {
 
     /// Looks a node up by id.
     pub fn node(&self, id: &NodeId) -> Option<NodeSpec> {
-        self.inner.lock().nodes.iter().find(|n| n.id() == id).cloned()
+        self.inner
+            .lock()
+            .nodes
+            .iter()
+            .find(|n| n.id() == id)
+            .cloned()
     }
 
     /// Installs the mutating admission hook (the registry's interception
@@ -209,7 +217,10 @@ impl Cluster {
     ///
     /// Returns [`ClusterError::AdmissionDenied`] when the hook rejects, or
     /// [`ClusterError::UnknownNode`] when admission forced a bogus node.
-    pub fn create_instance(&self, template: InstanceTemplate) -> Result<InstanceSpec, ClusterError> {
+    pub fn create_instance(
+        &self,
+        template: InstanceTemplate,
+    ) -> Result<InstanceSpec, ClusterError> {
         // Run admission without holding the lock (the hook may call back).
         let (mut spec, hook) = {
             let mut inner = self.inner.lock();
@@ -255,7 +266,10 @@ impl Cluster {
     /// Returns [`ClusterError::UnknownInstance`] if it does not exist.
     pub fn delete_instance(&self, id: InstanceId) -> Result<(), ClusterError> {
         let mut inner = self.inner.lock();
-        inner.instances.remove(&id).ok_or(ClusterError::UnknownInstance(id))?;
+        inner
+            .instances
+            .remove(&id)
+            .ok_or(ClusterError::UnknownInstance(id))?;
         notify(&mut inner, WatchEvent::Deleted(id));
         Ok(())
     }
@@ -271,7 +285,10 @@ impl Cluster {
         patch: impl FnOnce(&mut InstanceSpec),
     ) -> Result<InstanceSpec, ClusterError> {
         let mut inner = self.inner.lock();
-        let spec = inner.instances.get_mut(&id).ok_or(ClusterError::UnknownInstance(id))?;
+        let spec = inner
+            .instances
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownInstance(id))?;
         patch(spec);
         let spec = spec.clone();
         notify(&mut inner, WatchEvent::Patched(spec.clone()));
@@ -366,14 +383,20 @@ mod tests {
     fn admission_hook_patches_and_forces_node() {
         let c = cluster();
         c.set_admission_hook(Arc::new(|spec| {
-            spec.env.insert("DEVICE_MANAGER_ADDRESS".into(), "fpga-b".into());
+            spec.env
+                .insert("DEVICE_MANAGER_ADDRESS".into(), "fpga-b".into());
             spec.volumes.push("/dev/shm/bf".into());
             spec.node = Some(NodeId::new("B"));
             Ok(())
         }));
-        let inst = c.create_instance(InstanceTemplate::new("sobel-1")).expect("create");
+        let inst = c
+            .create_instance(InstanceTemplate::new("sobel-1"))
+            .expect("create");
         assert_eq!(inst.node, Some(NodeId::new("B")));
-        assert_eq!(inst.env.get("DEVICE_MANAGER_ADDRESS").map(String::as_str), Some("fpga-b"));
+        assert_eq!(
+            inst.env.get("DEVICE_MANAGER_ADDRESS").map(String::as_str),
+            Some("fpga-b")
+        );
         assert_eq!(inst.volumes, vec!["/dev/shm/bf".to_string()]);
     }
 
@@ -381,8 +404,13 @@ mod tests {
     fn admission_can_reject() {
         let c = cluster();
         c.set_admission_hook(Arc::new(|_spec| Err("no device available".to_string())));
-        let err = c.create_instance(InstanceTemplate::new("f")).expect_err("denied");
-        assert_eq!(err, ClusterError::AdmissionDenied("no device available".to_string()));
+        let err = c
+            .create_instance(InstanceTemplate::new("f"))
+            .expect_err("denied");
+        assert_eq!(
+            err,
+            ClusterError::AdmissionDenied("no device available".to_string())
+        );
         assert!(c.instances().is_empty());
     }
 
@@ -393,7 +421,9 @@ mod tests {
             spec.node = Some(NodeId::new("Z"));
             Ok(())
         }));
-        let err = c.create_instance(InstanceTemplate::new("f")).expect_err("bad node");
+        let err = c
+            .create_instance(InstanceTemplate::new("f"))
+            .expect_err("bad node");
         assert_eq!(err, ClusterError::UnknownNode("Z".to_string()));
     }
 
@@ -401,7 +431,9 @@ mod tests {
     fn watch_delivers_lifecycle_events() {
         let c = cluster();
         let rx = c.watch();
-        let inst = c.create_instance(InstanceTemplate::new("f")).expect("create");
+        let inst = c
+            .create_instance(InstanceTemplate::new("f"))
+            .expect("create");
         c.patch_instance(inst.id, |s| {
             s.env.insert("K".into(), "V".into());
         })
@@ -416,12 +448,16 @@ mod tests {
     fn replace_creates_before_deleting() {
         let c = cluster();
         let rx = c.watch();
-        let inst = c.create_instance(InstanceTemplate::new("f")).expect("create");
+        let inst = c
+            .create_instance(InstanceTemplate::new("f"))
+            .expect("create");
         let _ = rx.try_recv();
         let replacement = c.replace_instance(inst.id).expect("replace");
         assert_ne!(replacement.id, inst.id);
         // Create-before-delete ordering on the watch stream:
-        assert!(matches!(rx.try_recv(), Ok(WatchEvent::Created(spec)) if spec.id == replacement.id));
+        assert!(
+            matches!(rx.try_recv(), Ok(WatchEvent::Created(spec)) if spec.id == replacement.id)
+        );
         assert_eq!(rx.try_recv(), Ok(WatchEvent::Deleted(inst.id)));
         assert!(c.instance(inst.id).is_none());
         assert!(c.instance(replacement.id).is_some());
@@ -430,8 +466,12 @@ mod tests {
     #[test]
     fn instances_on_filters_by_node() {
         let c = cluster();
-        let a = c.create_instance(InstanceTemplate::new("f1")).expect("create");
-        let _b = c.create_instance(InstanceTemplate::new("f2")).expect("create");
+        let a = c
+            .create_instance(InstanceTemplate::new("f1"))
+            .expect("create");
+        let _b = c
+            .create_instance(InstanceTemplate::new("f2"))
+            .expect("create");
         let node = a.node.clone().expect("scheduled");
         let on_node = c.instances_on(&node);
         assert_eq!(on_node.len(), 1);

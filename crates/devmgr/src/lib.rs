@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # bf-devmgr — the BlastFunction Device Manager
 //!
@@ -45,6 +45,7 @@
 //! assert!(endpoint.shm.is_some(), "co-located clients get a shm segment");
 //! ```
 
+pub mod lock_order;
 mod manager;
 mod session;
 mod task;
@@ -114,7 +115,10 @@ mod tests {
 
     impl Driver {
         fn new(mgr: &DeviceManager, costs: PathCosts) -> Self {
-            Driver { endpoint: mgr.connect("test-fn", costs), next_tag: 0 }
+            Driver {
+                endpoint: mgr.connect("test-fn", costs),
+                next_tag: 0,
+            }
         }
 
         fn call(&mut self, body: Request) -> Response {
@@ -163,9 +167,17 @@ mod tests {
 
     fn setup_pipeline(d: &mut Driver) -> (u64, u64, u64, u64) {
         let ctx = d.handle(Request::CreateContext);
-        let prog = d.handle(Request::BuildProgram { bitstream: "incr".into() });
-        let kernel = d.handle(Request::CreateKernel { program: prog, name: "incr".into() });
-        let buf = d.handle(Request::CreateBuffer { context: ctx, len: 8 });
+        let prog = d.handle(Request::BuildProgram {
+            bitstream: "incr".into(),
+        });
+        let kernel = d.handle(Request::CreateKernel {
+            program: prog,
+            name: "incr".into(),
+        });
+        let buf = d.handle(Request::CreateBuffer {
+            context: ctx,
+            len: 8,
+        });
         let queue = d.handle(Request::CreateQueue { context: ctx });
         assert!(matches!(
             d.call(Request::SetKernelArg {
@@ -190,18 +202,34 @@ mod tests {
             offset: 0,
             data: DataRef::Inline(vec![1; 8]),
         });
-        let kt = d.send(Request::EnqueueKernel { queue, kernel, work: [8, 1, 1] });
-        let rt = d.send(Request::EnqueueRead { queue, buffer: buf, offset: 0, len: 8 });
+        let kt = d.send(Request::EnqueueKernel {
+            queue,
+            kernel,
+            work: [8, 1, 1],
+        });
+        let rt = d.send(Request::EnqueueRead {
+            queue,
+            buffer: buf,
+            offset: 0,
+            len: 8,
+        });
         let ft = d.send(Request::Finish { queue });
 
         // Enqueue acks come first (the FIRST state of each event machine).
-        assert!(matches!(d.wait_tag(wt), Response::Enqueued | Response::Completed { .. }));
+        assert!(matches!(
+            d.wait_tag(wt),
+            Response::Enqueued | Response::Completed { .. }
+        ));
         let _ = d.wait_tag(kt);
         // Then completions; the read carries the incremented data.
         loop {
             let resp = d.recv();
             if resp.tag == rt {
-                if let Response::Completed { data: Some(DataRef::Inline(bytes)), .. } = resp.body {
+                if let Response::Completed {
+                    data: Some(DataRef::Inline(bytes)),
+                    ..
+                } = resp.body
+                {
                     assert_eq!(bytes, vec![2; 8]);
                     break;
                 }
@@ -224,16 +252,30 @@ mod tests {
             queue,
             buffer: buf,
             offset: 0,
-            data: DataRef::Shm { offset: region, len: 8 },
+            data: DataRef::Shm {
+                offset: region,
+                len: 8,
+            },
         });
-        d.send(Request::EnqueueKernel { queue, kernel, work: [8, 1, 1] });
-        let rt = d.send(Request::EnqueueRead { queue, buffer: buf, offset: 0, len: 8 });
+        d.send(Request::EnqueueKernel {
+            queue,
+            kernel,
+            work: [8, 1, 1],
+        });
+        let rt = d.send(Request::EnqueueRead {
+            queue,
+            buffer: buf,
+            offset: 0,
+            len: 8,
+        });
         d.send(Request::Finish { queue });
         loop {
             let resp = d.recv();
             if resp.tag == rt {
-                if let Response::Completed { data: Some(DataRef::Shm { offset, len }), .. } =
-                    resp.body
+                if let Response::Completed {
+                    data: Some(DataRef::Shm { offset, len }),
+                    ..
+                } = resp.body
                 {
                     assert_eq!(shm.read(offset, len).expect("shm read"), vec![6; 8]);
                     shm.free(offset).expect("free result region");
@@ -250,7 +292,10 @@ mod tests {
         let mut alice = Driver::new(&mgr, PathCosts::local_grpc());
         let mut mallory = Driver::new(&mgr, PathCosts::local_grpc());
         let actx = alice.handle(Request::CreateContext);
-        let abuf = alice.handle(Request::CreateBuffer { context: actx, len: 16 });
+        let abuf = alice.handle(Request::CreateBuffer {
+            context: actx,
+            len: 16,
+        });
         let mctx = mallory.handle(Request::CreateContext);
         let mqueue = mallory.handle(Request::CreateQueue { context: mctx });
         // Mallory guesses Alice's buffer handle value: denied, because
@@ -262,11 +307,23 @@ mod tests {
             data: DataRef::Synthetic(16),
         });
         assert!(
-            matches!(resp, Response::Error { code: ErrorCode::AccessDenied, .. }),
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::AccessDenied,
+                    ..
+                }
+            ),
             "got {resp:?}"
         );
         let resp = mallory.call(Request::ReleaseBuffer { buffer: abuf });
-        assert!(matches!(resp, Response::Error { code: ErrorCode::AccessDenied, .. }));
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::AccessDenied,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -274,20 +331,38 @@ mod tests {
         let mgr = manager(ReconfigPolicy::Deny);
         let mut d = Driver::new(&mgr, PathCosts::local_grpc());
         let _ctx = d.handle(Request::CreateContext);
-        let resp = d.call(Request::BuildProgram { bitstream: "incr".into() });
+        let resp = d.call(Request::BuildProgram {
+            bitstream: "incr".into(),
+        });
         assert!(
-            matches!(resp, Response::Error { code: ErrorCode::ReconfigurationRefused, .. }),
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::ReconfigurationRefused,
+                    ..
+                }
+            ),
             "got {resp:?}"
         );
 
-        let validated = manager(ReconfigPolicy::Validate(Arc::new(|req: &ReconfigRequest| {
-            req.bitstream == "incr"
-        })));
+        let validated = manager(ReconfigPolicy::Validate(Arc::new(
+            |req: &ReconfigRequest| req.bitstream == "incr",
+        )));
         let mut d = Driver::new(&validated, PathCosts::local_grpc());
         let _ctx = d.handle(Request::CreateContext);
-        let _prog = d.handle(Request::BuildProgram { bitstream: "incr".into() });
-        let resp = d.call(Request::Reconfigure { bitstream: "other".into() });
-        assert!(matches!(resp, Response::Error { code: ErrorCode::ReconfigurationRefused, .. }));
+        let _prog = d.handle(Request::BuildProgram {
+            bitstream: "incr".into(),
+        });
+        let resp = d.call(Request::Reconfigure {
+            bitstream: "other".into(),
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::ReconfigurationRefused,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -295,7 +370,10 @@ mod tests {
         let mgr = manager(ReconfigPolicy::Allow);
         let mut d = Driver::new(&mgr, PathCosts::local_grpc());
         let ctx = d.handle(Request::CreateContext);
-        let buf = d.handle(Request::CreateBuffer { context: ctx, len: 1 << 20 });
+        let buf = d.handle(Request::CreateBuffer {
+            context: ctx,
+            len: 1 << 20,
+        });
         let queue = d.handle(Request::CreateQueue { context: ctx });
         let wt = d.send(Request::EnqueueWrite {
             queue,
@@ -328,7 +406,10 @@ mod tests {
         let mgr = manager(ReconfigPolicy::Allow);
         let mut d = Driver::new(&mgr, PathCosts::local_grpc());
         let ctx = d.handle(Request::CreateContext);
-        let buf = d.handle(Request::CreateBuffer { context: ctx, len: 1 << 20 });
+        let buf = d.handle(Request::CreateBuffer {
+            context: ctx,
+            len: 1 << 20,
+        });
         let queue = d.handle(Request::CreateQueue { context: ctx });
         d.send(Request::EnqueueWrite {
             queue,
@@ -347,7 +428,10 @@ mod tests {
         assert!(board.busy_tracker().busy_of("test-fn") > VirtualDuration::ZERO);
         drop(board);
         let scrape = mgr.scrape();
-        assert!(scrape.contains("bf_fpga_utilization{device=\"fpga-test\"}"), "{scrape}");
+        assert!(
+            scrape.contains("bf_fpga_utilization{device=\"fpga-test\"}"),
+            "{scrape}"
+        );
     }
 
     #[test]
@@ -365,7 +449,10 @@ mod tests {
         let used_before = { mgr.board().lock().memory().used() };
         let mut d = Driver::new(&mgr, PathCosts::local_grpc());
         let ctx = d.handle(Request::CreateContext);
-        let _buf = d.handle(Request::CreateBuffer { context: ctx, len: 1 << 20 });
+        let _buf = d.handle(Request::CreateBuffer {
+            context: ctx,
+            len: 1 << 20,
+        });
         assert!(mgr.board().lock().memory().used() > used_before);
         let _ = d.call(Request::Disconnect);
         // The session thread frees the buffers on exit.
@@ -397,16 +484,25 @@ mod tests {
                         offset: 0,
                         data: DataRef::Inline(vec![val; 8]),
                     });
-                    d.send(Request::EnqueueKernel { queue, kernel, work: [8, 1, 1] });
-                    let rt =
-                        d.send(Request::EnqueueRead { queue, buffer: buf, offset: 0, len: 8 });
+                    d.send(Request::EnqueueKernel {
+                        queue,
+                        kernel,
+                        work: [8, 1, 1],
+                    });
+                    let rt = d.send(Request::EnqueueRead {
+                        queue,
+                        buffer: buf,
+                        offset: 0,
+                        len: 8,
+                    });
                     d.send(Request::Finish { queue });
                     loop {
                         let resp = d.recv();
                         if resp.tag == rt {
                             match resp.body {
                                 Response::Completed {
-                                    data: Some(DataRef::Inline(bytes)), ..
+                                    data: Some(DataRef::Inline(bytes)),
+                                    ..
                                 } => {
                                     assert_eq!(bytes, vec![val + 1; 8]);
                                     break;
@@ -449,9 +545,17 @@ mod tests {
                         offset: 0,
                         data: DataRef::Inline(vec![val; 8]),
                     });
-                    d.send(Request::EnqueueKernel { queue, kernel, work: [8, 1, 1] });
-                    let rt =
-                        d.send(Request::EnqueueRead { queue, buffer: buf, offset: 0, len: 8 });
+                    d.send(Request::EnqueueKernel {
+                        queue,
+                        kernel,
+                        work: [8, 1, 1],
+                    });
+                    let rt = d.send(Request::EnqueueRead {
+                        queue,
+                        buffer: buf,
+                        offset: 0,
+                        len: 8,
+                    });
                     d.send(Request::Finish { queue });
                     loop {
                         let resp = d.recv();
@@ -459,12 +563,13 @@ mod tests {
                             continue;
                         }
                         match resp.body {
-                            Response::Completed { data: Some(data), .. } => {
+                            Response::Completed {
+                                data: Some(data), ..
+                            } => {
                                 let bytes = match data {
                                     DataRef::Inline(b) => b,
                                     DataRef::Shm { offset, len } => {
-                                        let shm =
-                                            d.endpoint.shm.as_ref().expect("shm endpoint");
+                                        let shm = d.endpoint.shm.as_ref().expect("shm endpoint");
                                         let b = shm.read(offset, len).expect("shm read");
                                         shm.free(offset).expect("free");
                                         b
@@ -491,7 +596,11 @@ mod tests {
         // All 8 x 25 tasks (plus fences) drained through one board without
         // a wedge; utilization is attributed to all eight tenants.
         let board = mgr.board().lock();
-        assert_eq!(board.busy_tracker().owners().count(), 1, "same owner label per connect name");
+        assert_eq!(
+            board.busy_tracker().owners().count(),
+            1,
+            "same owner label per connect name"
+        );
     }
 
     #[test]
@@ -522,15 +631,26 @@ mod proptests {
             Just(Request::GetDeviceInfo),
             prop_oneof![Just("fuzz-image".to_string()), Just("missing".to_string())]
                 .prop_map(|bitstream| Request::BuildProgram { bitstream }),
-            (handle.clone(), prop_oneof![Just("k".to_string()), Just("nope".to_string())])
+            (
+                handle.clone(),
+                prop_oneof![Just("k".to_string()), Just("nope".to_string())]
+            )
                 .prop_map(|(program, name)| Request::CreateKernel { program, name }),
             (handle.clone(), 0u32..4, any::<u32>()).prop_map(|(kernel, index, v)| {
-                Request::SetKernelArg { kernel, index, arg: WireArg::U32(v) }
+                Request::SetKernelArg {
+                    kernel,
+                    index,
+                    arg: WireArg::U32(v),
+                }
             }),
             (handle.clone(), 1u64..4096)
                 .prop_map(|(context, len)| Request::CreateBuffer { context, len }),
-            handle.clone().prop_map(|buffer| Request::ReleaseBuffer { buffer }),
-            handle.clone().prop_map(|context| Request::CreateQueue { context }),
+            handle
+                .clone()
+                .prop_map(|buffer| Request::ReleaseBuffer { buffer }),
+            handle
+                .clone()
+                .prop_map(|context| Request::CreateQueue { context }),
             (handle.clone(), handle.clone(), 0u64..64, 0u64..256).prop_map(
                 |(queue, buffer, offset, len)| Request::EnqueueWrite {
                     queue,
@@ -540,14 +660,37 @@ mod proptests {
                 }
             ),
             (handle.clone(), handle.clone(), 0u64..64, 0u64..256).prop_map(
-                |(queue, buffer, offset, len)| Request::EnqueueRead { queue, buffer, offset, len }
+                |(queue, buffer, offset, len)| Request::EnqueueRead {
+                    queue,
+                    buffer,
+                    offset,
+                    len
+                }
             ),
             (handle.clone(), handle.clone()).prop_map(|(queue, kernel)| {
-                Request::EnqueueKernel { queue, kernel, work: [4, 1, 1] }
+                Request::EnqueueKernel {
+                    queue,
+                    kernel,
+                    work: [4, 1, 1],
+                }
             }),
-            (handle.clone(), handle.clone(), handle.clone(), 0u64..64, 0u64..64, 0u64..128)
+            (
+                handle.clone(),
+                handle.clone(),
+                handle.clone(),
+                0u64..64,
+                0u64..64,
+                0u64..128
+            )
                 .prop_map(|(queue, src, dst, src_offset, dst_offset, len)| {
-                    Request::EnqueueCopy { queue, src, dst, src_offset, dst_offset, len }
+                    Request::EnqueueCopy {
+                        queue,
+                        src,
+                        dst,
+                        src_offset,
+                        dst_offset,
+                        len,
+                    }
                 }),
             handle.clone().prop_map(|queue| Request::Flush { queue }),
             handle.prop_map(|queue| Request::Finish { queue }),

@@ -1,0 +1,221 @@
+//! Declared lock hierarchy and a debug-build held-lock tracker.
+//!
+//! The workspace has a small number of long-lived locks; deadlock freedom
+//! rests on every thread acquiring them in one global order. That order is
+//! declared once, here, in [`HIERARCHY`]: a thread may only acquire a lock
+//! whose rank is *strictly greater* than every lock it already holds.
+//!
+//! Two enforcement layers consume this table:
+//!
+//! * **statically**, `bf-lint`'s `lock_order` rule imports [`HIERARCHY`]
+//!   and flags source lines that acquire a lower-ranked lock while a
+//!   higher-ranked guard is still live in the same function;
+//! * **at runtime** (debug builds only), [`tracked`] wraps a
+//!   `parking_lot::Mutex` acquisition with a thread-local rank check that
+//!   panics on an out-of-order acquisition, catching orders the line
+//!   scanner cannot see (cross-function nesting).
+//!
+//! Release builds compile the tracker away: [`tracked`] degrades to a plain
+//! `lock()` with zero bookkeeping.
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// The global lock-acquisition order, outermost first.
+///
+/// A thread holding the lock named at index `i` may only acquire locks at
+/// indexes `> i`. Names refer to the *field* holding the lock; the table is
+/// the single source of truth shared with `bf-lint`.
+pub const HIERARCHY: &[&str] = &[
+    // Serverless gateway deployment map (bf-serverless).
+    "functions",
+    // Autoscaler policy table (bf-serverless).
+    "policies",
+    // Registry's cluster handle (bf-registry).
+    "cluster",
+    // The FPGA board behind a Device Manager (bf-devmgr / bf-fpga).
+    "board",
+    // Remote library's pending-operation map (bf-remote).
+    "pending",
+    // OpenCL event/runtime state cells (bf-ocl).
+    "state",
+    // Metrics registry series map (bf-metrics).
+    "series",
+    // Individual metric cells (bf-metrics).
+    "value",
+];
+
+/// Rank of a named lock in [`HIERARCHY`], if declared.
+pub fn rank_of(name: &str) -> Option<usize> {
+    HIERARCHY.iter().position(|&n| n == name)
+}
+
+#[cfg(debug_assertions)]
+mod tracker {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks of locks currently held by this thread, in acquisition
+        /// order.
+        static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// RAII token recording one tracked acquisition; dropping it releases
+    /// the rank from the thread's held set.
+    #[derive(Debug)]
+    pub struct HeldLock {
+        rank: usize,
+    }
+
+    /// Records acquisition of the lock named `name`, panicking if the
+    /// thread already holds a lock of equal or greater rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not in [`super::HIERARCHY`] or when the
+    /// acquisition violates the declared order — both are programming
+    /// errors the debug build should surface immediately.
+    pub fn acquire(name: &'static str) -> HeldLock {
+        let rank = super::rank_of(name)
+            .unwrap_or_else(|| panic!("lock {name:?} is not declared in the lock hierarchy"));
+        HELD.with(|held| {
+            let held = held.borrow();
+            if let Some(&top) = held.iter().max() {
+                assert!(
+                    rank > top,
+                    "lock-order violation: acquiring {name:?} (rank {rank}) while \
+                     holding {:?} (rank {top}); declared order is {:?}",
+                    super::HIERARCHY[top],
+                    super::HIERARCHY,
+                );
+            }
+        });
+        HELD.with(|held| held.borrow_mut().push(rank));
+        HeldLock { rank }
+    }
+
+    impl Drop for HeldLock {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+pub use tracker::{acquire, HeldLock};
+
+/// A mutex guard paired with its hierarchy bookkeeping token.
+///
+/// Field order matters: the guard drops (releasing the mutex) before the
+/// token drops (clearing the rank), so the held set never understates what
+/// the thread holds.
+#[derive(Debug)]
+pub struct TrackedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: tracker::HeldLock,
+}
+
+impl<T> std::ops::Deref for TrackedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Acquires `mutex` under the declared hierarchy name `name`.
+///
+/// In debug builds the acquisition is rank-checked against the thread's
+/// currently held locks; in release builds this is exactly `mutex.lock()`.
+pub fn tracked<'a, T>(mutex: &'a Mutex<T>, name: &'static str) -> TrackedGuard<'a, T> {
+    #[cfg(debug_assertions)]
+    let token = tracker::acquire(name);
+    let _ = name;
+    TrackedGuard {
+        guard: mutex.lock(),
+        #[cfg(debug_assertions)]
+        _token: token,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_names_are_unique() {
+        for (i, a) in HIERARCHY.iter().enumerate() {
+            for b in &HIERARCHY[i + 1..] {
+                assert_ne!(a, b, "duplicate lock name in hierarchy");
+            }
+        }
+    }
+
+    #[test]
+    fn in_order_acquisition_is_allowed() {
+        let board = Mutex::new(1u32);
+        let series = Mutex::new(2u32);
+        let b = tracked(&board, "board");
+        let s = tracked(&series, "series");
+        assert_eq!(*b + *s, 3);
+    }
+
+    #[test]
+    fn reacquisition_after_release_is_allowed() {
+        let board = Mutex::new(0u32);
+        let series = Mutex::new(0u32);
+        {
+            let _s = tracked(&series, "series");
+        }
+        // `series` released: taking the lower-ranked `board` is legal again.
+        let _b = tracked(&board, "board");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn inverted_acquisition_panics() {
+        let result = std::thread::Builder::new()
+            .name("bf-lock-order-inversion".into())
+            .spawn(|| {
+                let series = Mutex::new(0u32);
+                let board = Mutex::new(0u32);
+                let _s = tracked(&series, "series");
+                // Inverted: `board` ranks below `series` in HIERARCHY.
+                let _b = tracked(&board, "board");
+            })
+            .expect("spawn probe thread")
+            .join();
+        assert!(
+            result.is_err(),
+            "inverted acquisition must panic in debug builds"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn undeclared_lock_name_panics() {
+        let result = std::thread::Builder::new()
+            .name("bf-lock-order-undeclared".into())
+            .spawn(|| {
+                let m = Mutex::new(0u32);
+                let _g = tracked(&m, "no-such-lock");
+            })
+            .expect("spawn probe thread")
+            .join();
+        assert!(
+            result.is_err(),
+            "undeclared lock names must panic in debug builds"
+        );
+    }
+}

@@ -11,6 +11,7 @@ use bf_rpc::{duplex, ClientChannel, ClientId, PathCosts, ShmSegment};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
+use crate::lock_order;
 use crate::session::{run_session, SessionCtx};
 use crate::task::Task;
 use crate::worker::run_worker;
@@ -148,9 +149,15 @@ impl DeviceManager {
             std::thread::Builder::new()
                 .name("bf-devmgr-worker".to_string())
                 .spawn(move || run_worker(task_rx, shared))
+                // bf-lint: allow(panic): thread-spawn failure is OS resource
+                // exhaustion at manager startup — no caller can recover.
                 .expect("spawn device-manager worker");
         }
-        DeviceManager { shared, task_tx, next_client: Arc::new(AtomicU64::new(1)) }
+        DeviceManager {
+            shared,
+            task_tx,
+            next_client: Arc::new(AtomicU64::new(1)),
+        }
     }
 
     /// The manager's device id.
@@ -181,7 +188,9 @@ impl DeviceManager {
 
     /// Currently configured bitstream id.
     pub fn bitstream_id(&self) -> Option<String> {
-        self.shared.board.lock().bitstream_id().map(str::to_string)
+        lock_order::tracked(&self.shared.board, "board")
+            .bitstream_id()
+            .map(str::to_string)
     }
 
     /// Number of connected client sessions.
@@ -192,14 +201,16 @@ impl DeviceManager {
     /// FPGA time utilization since the start of the run: busy time over the
     /// board's current virtual horizon.
     pub fn utilization(&self) -> f64 {
-        let board = self.shared.board.lock();
+        let board = lock_order::tracked(&self.shared.board, "board");
         let horizon = board.available_at();
         board.busy_tracker().utilization(VirtualTime::ZERO, horizon)
     }
 
     /// Utilization attributed to one function over `[from, to)`.
     pub fn utilization_of(&self, from: VirtualTime, to: VirtualTime, owner: &str) -> f64 {
-        self.shared.board.lock().busy_tracker().utilization_of(from, to, owner)
+        lock_order::tracked(&self.shared.board, "board")
+            .busy_tracker()
+            .utilization_of(from, to, owner)
     }
 
     /// Directly (re)programs the board — the registry-driven path, which
@@ -214,7 +225,7 @@ impl DeviceManager {
             .catalog
             .get(bitstream)
             .ok_or_else(|| format!("unknown bitstream {bitstream:?}"))?;
-        let mut board = self.shared.board.lock();
+        let mut board = lock_order::tracked(&self.shared.board, "board");
         if board.bitstream_id() != Some(bitstream) {
             let now = board.available_at();
             board.program(image, now, "registry");
@@ -246,6 +257,8 @@ impl DeviceManager {
         std::thread::Builder::new()
             .name(format!("bf-devmgr-session-{}", client.0))
             .spawn(move || run_session(ctx))
+            // bf-lint: allow(panic): thread-spawn failure is OS resource
+            // exhaustion — a session that cannot start has no degraded mode.
             .expect("spawn device-manager session");
         ManagerEndpoint {
             device_id: self.shared.config.device_id.clone(),
@@ -266,9 +279,12 @@ impl DeviceManager {
             .set(util);
         self.shared
             .metrics
-            .gauge("bf_manager_connected_clients", &[("device", device.as_str())])
+            .gauge(
+                "bf_manager_connected_clients",
+                &[("device", device.as_str())],
+            )
             .set(self.connected_clients() as f64);
-        let board = self.shared.board.lock();
+        let board = lock_order::tracked(&self.shared.board, "board");
         self.shared
             .metrics
             .gauge("bf_fpga_busy_seconds", &[("device", device.as_str())])

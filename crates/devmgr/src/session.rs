@@ -21,6 +21,7 @@ use bf_rpc::{
 };
 use crossbeam::channel::Sender;
 
+use crate::lock_order;
 use crate::manager::{ReconfigPolicy, ReconfigRequest, Shared};
 use crate::task::{Operation, Task};
 
@@ -71,7 +72,15 @@ pub(crate) fn run_session(ctx: SessionCtx) {
             Err((code, message)) => (Response::Error { code, message }, arrival),
         };
         // Best effort: a vanished client just ends the session.
-        if ctx.server.send(&ResponseEnvelope { tag: env.tag, sent_at, body }).is_err() {
+        if ctx
+            .server
+            .send(&ResponseEnvelope {
+                tag: env.tag,
+                sent_at,
+                body,
+            })
+            .is_err()
+        {
             break;
         }
         if disconnect {
@@ -79,11 +88,13 @@ pub(crate) fn run_session(ctx: SessionCtx) {
         }
     }
     cleanup(&ctx, &mut state);
-    ctx.shared.connected.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    ctx.shared
+        .connected
+        .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
 }
 
 fn cleanup(ctx: &SessionCtx, state: &mut SessionState) {
-    let mut board = ctx.shared.board.lock();
+    let mut board = lock_order::tracked(&ctx.shared.board, "board");
     for (fpga, _) in state.buffers.values() {
         let _ = board.free_buffer(*fpga);
     }
@@ -99,7 +110,7 @@ fn handle_request(
     match &env.body {
         Request::Hello { .. } => Ok((Response::Handle { id: ctx.client.0 }, arrival)),
         Request::GetDeviceInfo => {
-            let board = ctx.shared.board.lock();
+            let board = lock_order::tracked(&ctx.shared.board, "board");
             Ok((
                 Response::DeviceInfo {
                     name: board.spec().model.clone(),
@@ -128,10 +139,10 @@ fn handle_request(
             Ok((Response::Ack, done))
         }
         Request::CreateKernel { program, name } => {
-            let bitstream = state
-                .programs
-                .get(program)
-                .ok_or((ErrorCode::InvalidHandle, format!("program {program} not found")))?;
+            let bitstream = state.programs.get(program).ok_or((
+                ErrorCode::InvalidHandle,
+                format!("program {program} not found"),
+            ))?;
             let image = ctx.shared.catalog.get(bitstream).ok_or((
                 ErrorCode::BuildFailure,
                 format!("bitstream {bitstream:?} missing from catalog"),
@@ -143,25 +154,31 @@ fn handle_request(
                 ));
             }
             let id = state.fresh();
-            state.kernels.insert(id, KernelSlot { name: name.clone(), args: BTreeMap::new() });
+            state.kernels.insert(
+                id,
+                KernelSlot {
+                    name: name.clone(),
+                    args: BTreeMap::new(),
+                },
+            );
             Ok((Response::Handle { id }, arrival))
         }
         Request::SetKernelArg { kernel, index, arg } => {
-            let slot = state
-                .kernels
-                .get_mut(kernel)
-                .ok_or((ErrorCode::InvalidHandle, format!("kernel {kernel} not found")))?;
+            let slot = state.kernels.get_mut(kernel).ok_or((
+                ErrorCode::InvalidHandle,
+                format!("kernel {kernel} not found"),
+            ))?;
             slot.args.insert(*index, *arg);
             Ok((Response::Ack, arrival))
         }
         Request::CreateBuffer { context, len } => {
             if !state.contexts.contains(context) {
-                return Err((ErrorCode::InvalidHandle, format!("context {context} not found")));
+                return Err((
+                    ErrorCode::InvalidHandle,
+                    format!("context {context} not found"),
+                ));
             }
-            let fpga = ctx
-                .shared
-                .board
-                .lock()
+            let fpga = lock_order::tracked(&ctx.shared.board, "board")
                 .alloc_buffer(*len)
                 .map_err(|e| (ErrorCode::OutOfResources, e.to_string()))?;
             let id = state.fresh();
@@ -169,58 +186,86 @@ fn handle_request(
             Ok((Response::Handle { id }, arrival))
         }
         Request::ReleaseBuffer { buffer } => {
-            let (fpga, _) = state
-                .buffers
-                .remove(buffer)
-                .ok_or((ErrorCode::AccessDenied, format!("buffer {buffer} is not yours")))?;
-            ctx.shared
-                .board
-                .lock()
+            let (fpga, _) = state.buffers.remove(buffer).ok_or((
+                ErrorCode::AccessDenied,
+                format!("buffer {buffer} is not yours"),
+            ))?;
+            lock_order::tracked(&ctx.shared.board, "board")
                 .free_buffer(fpga)
                 .map_err(|e| (ErrorCode::Internal, e.to_string()))?;
             Ok((Response::Ack, arrival))
         }
         Request::CreateQueue { context } => {
             if !state.contexts.contains(context) {
-                return Err((ErrorCode::InvalidHandle, format!("context {context} not found")));
+                return Err((
+                    ErrorCode::InvalidHandle,
+                    format!("context {context} not found"),
+                ));
             }
             let id = state.fresh();
             state.queues.insert(id, Vec::new());
             Ok((Response::Handle { id }, arrival))
         }
-        Request::EnqueueWrite { queue, buffer, offset, data } => {
-            let (fpga, _) = *state
-                .buffers
-                .get(buffer)
-                .ok_or((ErrorCode::AccessDenied, format!("buffer {buffer} is not yours")))?;
+        Request::EnqueueWrite {
+            queue,
+            buffer,
+            offset,
+            data,
+        } => {
+            let (fpga, _) = *state.buffers.get(buffer).ok_or((
+                ErrorCode::AccessDenied,
+                format!("buffer {buffer} is not yours"),
+            ))?;
             let ops = state
                 .queues
                 .get_mut(queue)
                 .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-            ops.push(Operation::Write { tag: env.tag, buffer: fpga, offset: *offset, data: data.clone() });
+            ops.push(Operation::Write {
+                tag: env.tag,
+                buffer: fpga,
+                offset: *offset,
+                data: data.clone(),
+            });
             Ok((Response::Enqueued, arrival))
         }
-        Request::EnqueueRead { queue, buffer, offset, len } => {
-            let (fpga, _) = *state
-                .buffers
-                .get(buffer)
-                .ok_or((ErrorCode::AccessDenied, format!("buffer {buffer} is not yours")))?;
+        Request::EnqueueRead {
+            queue,
+            buffer,
+            offset,
+            len,
+        } => {
+            let (fpga, _) = *state.buffers.get(buffer).ok_or((
+                ErrorCode::AccessDenied,
+                format!("buffer {buffer} is not yours"),
+            ))?;
             let ops = state
                 .queues
                 .get_mut(queue)
                 .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-            ops.push(Operation::Read { tag: env.tag, buffer: fpga, offset: *offset, len: *len });
+            ops.push(Operation::Read {
+                tag: env.tag,
+                buffer: fpga,
+                offset: *offset,
+                len: *len,
+            });
             Ok((Response::Enqueued, arrival))
         }
-        Request::EnqueueCopy { queue, src, dst, src_offset, dst_offset, len } => {
-            let (src_fpga, _) = *state
-                .buffers
-                .get(src)
-                .ok_or((ErrorCode::AccessDenied, format!("buffer {src} is not yours")))?;
-            let (dst_fpga, _) = *state
-                .buffers
-                .get(dst)
-                .ok_or((ErrorCode::AccessDenied, format!("buffer {dst} is not yours")))?;
+        Request::EnqueueCopy {
+            queue,
+            src,
+            dst,
+            src_offset,
+            dst_offset,
+            len,
+        } => {
+            let (src_fpga, _) = *state.buffers.get(src).ok_or((
+                ErrorCode::AccessDenied,
+                format!("buffer {src} is not yours"),
+            ))?;
+            let (dst_fpga, _) = *state.buffers.get(dst).ok_or((
+                ErrorCode::AccessDenied,
+                format!("buffer {dst} is not yours"),
+            ))?;
             let ops = state
                 .queues
                 .get_mut(queue)
@@ -235,14 +280,22 @@ fn handle_request(
             });
             Ok((Response::Enqueued, arrival))
         }
-        Request::EnqueueKernel { queue, kernel, work } => {
+        Request::EnqueueKernel {
+            queue,
+            kernel,
+            work,
+        } => {
             let invocation = resolve_invocation(state, *kernel, *work)?;
             let name = state.kernels[kernel].name.clone();
             let ops = state
                 .queues
                 .get_mut(queue)
                 .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-            ops.push(Operation::Kernel { tag: env.tag, name, invocation });
+            ops.push(Operation::Kernel {
+                tag: env.tag,
+                name,
+                invocation,
+            });
             Ok((Response::Enqueued, arrival))
         }
         Request::Flush { queue } => {
@@ -260,12 +313,16 @@ fn handle_request(
     }
 }
 
-fn ensure_bitstream(ctx: &SessionCtx, bitstream: &str, arrival: VirtualTime) -> Result<VirtualTime, (ErrorCode, String)> {
+fn ensure_bitstream(
+    ctx: &SessionCtx,
+    bitstream: &str,
+    arrival: VirtualTime,
+) -> Result<VirtualTime, (ErrorCode, String)> {
     let image = ctx.shared.catalog.get(bitstream).ok_or((
         ErrorCode::BuildFailure,
         format!("unknown bitstream {bitstream:?}"),
     ))?;
-    let mut board = ctx.shared.board.lock();
+    let mut board = lock_order::tracked(&ctx.shared.board, "board");
     if board.bitstream_id() == Some(bitstream) {
         return Ok(arrival);
     }
@@ -295,10 +352,10 @@ fn resolve_invocation(
     kernel: u64,
     work: [u64; 3],
 ) -> Result<KernelInvocation, (ErrorCode, String)> {
-    let slot = state
-        .kernels
-        .get(&kernel)
-        .ok_or((ErrorCode::InvalidHandle, format!("kernel {kernel} not found")))?;
+    let slot = state.kernels.get(&kernel).ok_or((
+        ErrorCode::InvalidHandle,
+        format!("kernel {kernel} not found"),
+    ))?;
     let mut args = Vec::new();
     if let Some(max) = slot.args.keys().next_back().copied() {
         for i in 0..=max {
@@ -321,7 +378,10 @@ fn resolve_invocation(
             });
         }
     }
-    Ok(KernelInvocation { args, global_work: work })
+    Ok(KernelInvocation {
+        args,
+        global_work: work,
+    })
 }
 
 fn submit_task(
@@ -349,6 +409,9 @@ fn submit_task(
         finish_tag,
     };
     ctx.task_tx.send(task).map_err(|_| {
-        (ErrorCode::Internal, "device manager worker is gone".to_string())
+        (
+            ErrorCode::Internal,
+            "device manager worker is gone".to_string(),
+        )
     })
 }

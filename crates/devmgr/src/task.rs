@@ -119,7 +119,12 @@ mod tests {
             offset: 0,
             data: DataRef::Synthetic(8),
         };
-        let r = Operation::Read { tag: 2, buffer: BufferId(1), offset: 0, len: 8 };
+        let r = Operation::Read {
+            tag: 2,
+            buffer: BufferId(1),
+            offset: 0,
+            len: 8,
+        };
         let k = Operation::Kernel {
             tag: 3,
             name: "k".into(),

@@ -8,6 +8,7 @@ use bf_fpga::{FpgaError, Payload};
 use bf_rpc::{DataRef, ErrorCode, Response, ResponseEnvelope};
 use crossbeam::channel::Receiver;
 
+use crate::lock_order;
 use crate::manager::Shared;
 use crate::task::{Operation, Task};
 
@@ -30,57 +31,110 @@ fn execute_task(shared: &Arc<Shared>, task: Task) {
                     .metrics
                     .histogram("bf_manager_op_latency_ms", &[("device", device.as_str())])
                     .observe((ended - started).as_millis_f64());
-                (ended, Response::Completed { started_at: started, ended_at: ended, data })
+                (
+                    ended,
+                    Response::Completed {
+                        started_at: started,
+                        ended_at: ended,
+                        data,
+                    },
+                )
             }
             Err((code, message)) => (last_end, Response::Error { code, message }),
         };
         // A vanished client cannot receive notifications; keep executing so
         // the board timeline and utilization stay consistent.
-        let _ = task.responder.send(&ResponseEnvelope { tag, sent_at, body });
-        shared.metrics.counter("bf_manager_ops_total", &[("device", device.as_str())]).inc();
+        let _ = task
+            .responder
+            .send(&ResponseEnvelope { tag, sent_at, body });
+        shared
+            .metrics
+            .counter("bf_manager_ops_total", &[("device", device.as_str())])
+            .inc();
     }
     if let Some(finish_tag) = task.finish_tag {
         // A finish fence drains everything ahead of it in the central
         // queue: its completion instant is the board's drain point, which
         // (by FIFO) covers every earlier task — including an empty fence's
         // predecessors.
-        let drain = shared.board.lock().available_at();
+        let drain = lock_order::tracked(&shared.board, "board").available_at();
         let ended = last_end.max(drain).max(task.arrival);
         let _ = task.responder.send(&ResponseEnvelope {
             tag: finish_tag,
             sent_at: ended,
-            body: Response::Completed { started_at: task.arrival, ended_at: ended, data: None },
+            body: Response::Completed {
+                started_at: task.arrival,
+                ended_at: ended,
+                data: None,
+            },
         });
     }
-    shared.metrics.counter("bf_manager_tasks_total", &[("device", device.as_str())]).inc();
+    shared
+        .metrics
+        .counter("bf_manager_tasks_total", &[("device", device.as_str())])
+        .inc();
 }
 
-type OpOutcome = Result<(bf_model::VirtualTime, bf_model::VirtualTime, Option<DataRef>), (ErrorCode, String)>;
+type OpOutcome = Result<
+    (
+        bf_model::VirtualTime,
+        bf_model::VirtualTime,
+        Option<DataRef>,
+    ),
+    (ErrorCode, String),
+>;
 
 fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
-    let mut board = shared.board.lock();
+    let mut board = lock_order::tracked(&shared.board, "board");
     match op {
-        Operation::Write { buffer, offset, data, .. } => {
+        Operation::Write {
+            buffer,
+            offset,
+            data,
+            ..
+        } => {
             let payload = resolve_payload(task, data)?;
             let timing = board
                 .write_buffer(*buffer, *offset, &payload, task.arrival, &task.owner)
                 .map_err(map_fpga_err)?;
             Ok((timing.started_at, timing.ended_at, None))
         }
-        Operation::Read { buffer, offset, len, .. } => {
+        Operation::Read {
+            buffer,
+            offset,
+            len,
+            ..
+        } => {
             let (timing, payload) = board
                 .read_buffer(*buffer, *offset, *len, task.arrival, &task.owner)
                 .map_err(map_fpga_err)?;
             let data = stage_read_result(task, payload);
             Ok((timing.started_at, timing.ended_at, Some(data)))
         }
-        Operation::Copy { src, dst, src_offset, dst_offset, len, .. } => {
+        Operation::Copy {
+            src,
+            dst,
+            src_offset,
+            dst_offset,
+            len,
+            ..
+        } => {
             let timing = board
-                .copy_buffer(*src, *dst, *src_offset, *dst_offset, *len, task.arrival, &task.owner)
+                .copy_buffer(
+                    *src,
+                    *dst,
+                    *src_offset,
+                    *dst_offset,
+                    *len,
+                    task.arrival,
+                    &task.owner,
+                )
                 .map_err(map_fpga_err)?;
             Ok((timing.started_at, timing.ended_at, None))
         }
-        Operation::Kernel { name, invocation, .. } => {
+        Operation::Kernel {
+            name, invocation, ..
+        } => {
             let timing = board
                 .launch_kernel(name, invocation, task.arrival, &task.owner)
                 .map_err(map_fpga_err)?;
@@ -118,7 +172,10 @@ fn stage_read_result(task: &Task, payload: Payload) -> DataRef {
             if let Some(shm) = &task.shm {
                 if let Ok(offset) = shm.alloc(bytes.len() as u64) {
                     if shm.write(offset, &bytes).is_ok() {
-                        return DataRef::Shm { offset, len: bytes.len() as u64 };
+                        return DataRef::Shm {
+                            offset,
+                            len: bytes.len() as u64,
+                        };
                     }
                     let _ = shm.free(offset);
                 }

@@ -38,7 +38,9 @@ impl KernelArg {
     pub fn as_buffer(&self) -> Result<BufferId, FpgaError> {
         match self {
             KernelArg::Buffer(id) => Ok(*id),
-            other => Err(FpgaError::InvalidKernelArgs(format!("expected buffer, got {other:?}"))),
+            other => Err(FpgaError::InvalidKernelArgs(format!(
+                "expected buffer, got {other:?}"
+            ))),
         }
     }
 
@@ -50,7 +52,9 @@ impl KernelArg {
     pub fn as_u32(&self) -> Result<u32, FpgaError> {
         match self {
             KernelArg::U32(v) => Ok(*v),
-            other => Err(FpgaError::InvalidKernelArgs(format!("expected u32, got {other:?}"))),
+            other => Err(FpgaError::InvalidKernelArgs(format!(
+                "expected u32, got {other:?}"
+            ))),
         }
     }
 }
@@ -67,7 +71,10 @@ pub struct KernelInvocation {
 impl KernelInvocation {
     /// Creates an invocation over a 1-D NDRange.
     pub fn new(args: Vec<KernelArg>, items: u64) -> Self {
-        KernelInvocation { args, global_work: [items, 1, 1] }
+        KernelInvocation {
+            args,
+            global_work: [items, 1, 1],
+        }
     }
 
     /// Total number of work items.
@@ -122,7 +129,10 @@ pub struct KernelDescriptor {
 impl KernelDescriptor {
     /// Couples a kernel name with its behavior.
     pub fn new(name: impl Into<String>, behavior: Arc<dyn KernelBehavior>) -> Self {
-        KernelDescriptor { name: name.into(), behavior }
+        KernelDescriptor {
+            name: name.into(),
+            behavior,
+        }
     }
 
     /// The kernel's name (as `clCreateKernel` would look it up).
@@ -138,7 +148,9 @@ impl KernelDescriptor {
 
 impl fmt::Debug for KernelDescriptor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("KernelDescriptor").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("KernelDescriptor")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -152,7 +164,10 @@ pub struct Bitstream {
 impl Bitstream {
     /// Creates a bitstream named `id` with the given kernels.
     pub fn new(id: impl Into<String>, kernels: Vec<KernelDescriptor>) -> Self {
-        Bitstream { id: id.into(), kernels }
+        Bitstream {
+            id: id.into(),
+            kernels,
+        }
     }
 
     /// The bitstream identifier (e.g. `"spector-sobel"`).
@@ -231,7 +246,10 @@ mod tests {
 
     #[test]
     fn invocation_counts_work_items() {
-        let inv = KernelInvocation { args: vec![], global_work: [4, 3, 2] };
+        let inv = KernelInvocation {
+            args: vec![],
+            global_work: [4, 3, 2],
+        };
         assert_eq!(inv.work_items(), 24);
     }
 

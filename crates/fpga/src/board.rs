@@ -147,7 +147,11 @@ impl Board {
         let ended_at = started_at + d;
         self.busy.record(started_at, ended_at, owner);
         self.available_at = ended_at;
-        OpTiming { issued_at: now, started_at, ended_at }
+        OpTiming {
+            issued_at: now,
+            started_at,
+            ended_at,
+        }
     }
 
     /// Programs `bitstream` onto the board, wiping DDR content.
@@ -252,8 +256,8 @@ impl Board {
     ) -> Result<OpTiming, FpgaError> {
         self.memory.copy(src, dst, src_offset, dst_offset, len)?;
         // Two DDR2 SODIMM channels: ~10 GB/s effective read+write.
-        let d = VirtualDuration::from_micros(20)
-            + VirtualDuration::from_secs_f64(len as f64 / 10.0e9);
+        let d =
+            VirtualDuration::from_micros(20) + VirtualDuration::from_secs_f64(len as f64 / 10.0e9);
         Ok(self.occupy(now, d, owner))
     }
 
@@ -277,8 +281,9 @@ impl Board {
         owner: &str,
     ) -> Result<OpTiming, FpgaError> {
         let bitstream = self.bitstream.clone().ok_or(FpgaError::NoBitstream)?;
-        let kernel =
-            bitstream.kernel(name).ok_or_else(|| FpgaError::KernelNotFound(name.to_string()))?;
+        let kernel = bitstream
+            .kernel(name)
+            .ok_or_else(|| FpgaError::KernelNotFound(name.to_string()))?;
         // Functional execution requires real input data. Output buffers are
         // legitimately unwritten before the launch, so the gate is: run the
         // kernel's math when *some* referenced buffer holds real bytes (the
@@ -292,8 +297,10 @@ impl Board {
                 _ => None,
             })
             .collect();
-        let functional =
-            buffer_args.is_empty() || buffer_args.iter().any(|id| self.memory.is_materialized(*id));
+        let functional = buffer_args.is_empty()
+            || buffer_args
+                .iter()
+                .any(|id| self.memory.is_materialized(*id));
         if functional {
             kernel.behavior().execute(invocation, &mut self.memory)?;
         }
@@ -312,7 +319,10 @@ mod tests {
     use crate::bitstream::{FnKernel, KernelArg, KernelDescriptor};
 
     fn test_board() -> Board {
-        Board::new(BoardSpec::de5a_net(), PcieLink::new(PcieGeneration::Gen3, 8))
+        Board::new(
+            BoardSpec::de5a_net(),
+            PcieLink::new(PcieGeneration::Gen3, 8),
+        )
     }
 
     fn incr_bitstream() -> Arc<Bitstream> {
@@ -327,7 +337,10 @@ mod tests {
                 Ok(())
             },
         );
-        Arc::new(Bitstream::new("incr", vec![KernelDescriptor::new("incr", Arc::new(behavior))]))
+        Arc::new(Bitstream::new(
+            "incr",
+            vec![KernelDescriptor::new("incr", Arc::new(behavior))],
+        ))
     }
 
     #[test]
@@ -351,7 +364,9 @@ mod tests {
         board.program(incr_bitstream(), VirtualTime::ZERO, "registry");
         let buf = board.alloc_buffer(4).expect("alloc");
         let now = board.available_at();
-        board.write_buffer(buf, 0, &Payload::Data(vec![1, 2, 3, 4]), now, "f").expect("write");
+        board
+            .write_buffer(buf, 0, &Payload::Data(vec![1, 2, 3, 4]), now, "f")
+            .expect("write");
         let inv = KernelInvocation::new(vec![KernelArg::Buffer(buf)], 4);
         let now = board.available_at();
         board.launch_kernel("incr", &inv, now, "f").expect("launch");
@@ -410,10 +425,18 @@ mod tests {
         let mut board = test_board();
         let buf = board.alloc_buffer(1 << 20).expect("alloc");
         board
-            .write_buffer(buf, 0, &Payload::Synthetic(1 << 20), VirtualTime::ZERO, "f1")
+            .write_buffer(
+                buf,
+                0,
+                &Payload::Synthetic(1 << 20),
+                VirtualTime::ZERO,
+                "f1",
+            )
             .expect("w1");
         let now = board.available_at();
-        board.write_buffer(buf, 0, &Payload::Synthetic(1 << 20), now, "f2").expect("w2");
+        board
+            .write_buffer(buf, 0, &Payload::Synthetic(1 << 20), now, "f2")
+            .expect("w2");
         let t = board.busy_tracker();
         assert!(t.busy_of("f1") > VirtualDuration::ZERO);
         assert_eq!(t.busy_of("f1"), t.busy_of("f2"));

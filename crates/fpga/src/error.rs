@@ -38,10 +38,21 @@ impl fmt::Display for FpgaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FpgaError::BufferNotFound(id) => write!(f, "device buffer {id} not found"),
-            FpgaError::OutOfMemory { requested, available } => {
-                write!(f, "device out of memory: requested {requested} bytes, {available} free")
+            FpgaError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "device out of memory: requested {requested} bytes, {available} free"
+                )
             }
-            FpgaError::OutOfBounds { buffer, offset, len, size } => write!(
+            FpgaError::OutOfBounds {
+                buffer,
+                offset,
+                len,
+                size,
+            } => write!(
                 f,
                 "access [{offset}, {}) out of bounds for buffer {buffer} of {size} bytes",
                 offset + len
@@ -63,7 +74,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = FpgaError::OutOfBounds { buffer: 3, offset: 10, len: 20, size: 16 };
+        let e = FpgaError::OutOfBounds {
+            buffer: 3,
+            offset: 10,
+            len: 20,
+            size: 16,
+        };
         let msg = e.to_string();
         assert!(msg.contains("buffer 3"));
         assert!(msg.contains("16 bytes"));

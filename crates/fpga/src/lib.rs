@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # bf-fpga — a functional + timing model of a PCIe-attached FPGA board
 //!

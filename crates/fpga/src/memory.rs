@@ -88,7 +88,12 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// Creates a memory pool of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { capacity, used: 0, next_id: 1, allocations: HashMap::new() }
+        DeviceMemory {
+            capacity,
+            used: 0,
+            next_id: 1,
+            allocations: HashMap::new(),
+        }
     }
 
     /// Total capacity in bytes.
@@ -113,12 +118,21 @@ impl DeviceMemory {
     /// Returns [`FpgaError::OutOfMemory`] when `len` exceeds the free space.
     pub fn alloc(&mut self, len: u64) -> Result<BufferId, FpgaError> {
         if len > self.available() {
-            return Err(FpgaError::OutOfMemory { requested: len, available: self.available() });
+            return Err(FpgaError::OutOfMemory {
+                requested: len,
+                available: self.available(),
+            });
         }
         let id = self.next_id;
         self.next_id += 1;
         self.used += len;
-        self.allocations.insert(id, Allocation { len, storage: Storage::Virtual });
+        self.allocations.insert(
+            id,
+            Allocation {
+                len,
+                storage: Storage::Virtual,
+            },
+        );
         Ok(BufferId(id))
     }
 
@@ -143,7 +157,10 @@ impl DeviceMemory {
     ///
     /// Returns [`FpgaError::BufferNotFound`] if the handle is stale.
     pub fn len_of(&self, id: BufferId) -> Result<u64, FpgaError> {
-        self.allocations.get(&id.0).map(|a| a.len).ok_or(FpgaError::BufferNotFound(id.0))
+        self.allocations
+            .get(&id.0)
+            .map(|a| a.len)
+            .ok_or(FpgaError::BufferNotFound(id.0))
     }
 
     /// Writes `payload` into the buffer at `offset`. Real data materializes
@@ -153,7 +170,10 @@ impl DeviceMemory {
     ///
     /// Returns [`FpgaError::BufferNotFound`] or [`FpgaError::OutOfBounds`].
     pub fn write(&mut self, id: BufferId, offset: u64, payload: &Payload) -> Result<(), FpgaError> {
-        let alloc = self.allocations.get_mut(&id.0).ok_or(FpgaError::BufferNotFound(id.0))?;
+        let alloc = self
+            .allocations
+            .get_mut(&id.0)
+            .ok_or(FpgaError::BufferNotFound(id.0))?;
         let len = payload.len();
         check_bounds(id, offset, len, alloc.len)?;
         if let Payload::Data(data) = payload {
@@ -179,7 +199,10 @@ impl DeviceMemory {
     ///
     /// Returns [`FpgaError::BufferNotFound`] or [`FpgaError::OutOfBounds`].
     pub fn read(&self, id: BufferId, offset: u64, len: u64) -> Result<Payload, FpgaError> {
-        let alloc = self.allocations.get(&id.0).ok_or(FpgaError::BufferNotFound(id.0))?;
+        let alloc = self
+            .allocations
+            .get(&id.0)
+            .ok_or(FpgaError::BufferNotFound(id.0))?;
         check_bounds(id, offset, len, alloc.len)?;
         Ok(match &alloc.storage {
             Storage::Materialized(v) => {
@@ -204,7 +227,10 @@ impl DeviceMemory {
     ///
     /// Returns [`FpgaError::BufferNotFound`] if the handle is stale.
     pub fn bytes_mut(&mut self, id: BufferId) -> Result<&mut [u8], FpgaError> {
-        let alloc = self.allocations.get_mut(&id.0).ok_or(FpgaError::BufferNotFound(id.0))?;
+        let alloc = self
+            .allocations
+            .get_mut(&id.0)
+            .ok_or(FpgaError::BufferNotFound(id.0))?;
         if matches!(alloc.storage, Storage::Virtual) {
             alloc.storage = Storage::Materialized(vec![0; alloc.len as usize]);
         }
@@ -220,7 +246,10 @@ impl DeviceMemory {
     ///
     /// Returns [`FpgaError::BufferNotFound`] if the handle is stale.
     pub fn bytes(&self, id: BufferId) -> Result<Option<&[u8]>, FpgaError> {
-        let alloc = self.allocations.get(&id.0).ok_or(FpgaError::BufferNotFound(id.0))?;
+        let alloc = self
+            .allocations
+            .get(&id.0)
+            .ok_or(FpgaError::BufferNotFound(id.0))?;
         Ok(match &alloc.storage {
             Storage::Materialized(v) => Some(v.as_slice()),
             Storage::Virtual => None,
@@ -261,7 +290,12 @@ impl DeviceMemory {
 
 fn check_bounds(id: BufferId, offset: u64, len: u64, size: u64) -> Result<(), FpgaError> {
     if offset.checked_add(len).is_none_or(|end| end > size) {
-        return Err(FpgaError::OutOfBounds { buffer: id.0, offset, len, size });
+        return Err(FpgaError::OutOfBounds {
+            buffer: id.0,
+            offset,
+            len,
+            size,
+        });
     }
     Ok(())
 }
@@ -274,7 +308,8 @@ mod tests {
     fn alloc_write_read_round_trip() {
         let mut mem = DeviceMemory::new(1 << 20);
         let buf = mem.alloc(16).expect("alloc");
-        mem.write(buf, 4, &Payload::Data(vec![1, 2, 3])).expect("write");
+        mem.write(buf, 4, &Payload::Data(vec![1, 2, 3]))
+            .expect("write");
         let got = mem.read(buf, 4, 3).expect("read");
         assert_eq!(got, Payload::Data(vec![1, 2, 3]));
     }
@@ -283,7 +318,8 @@ mod tests {
     fn virtual_buffers_stay_virtual_under_synthetic_io() {
         let mut mem = DeviceMemory::new(1 << 30);
         let buf = mem.alloc(1 << 20).expect("alloc");
-        mem.write(buf, 0, &Payload::Synthetic(1 << 20)).expect("write");
+        mem.write(buf, 0, &Payload::Synthetic(1 << 20))
+            .expect("write");
         assert!(!mem.is_materialized(buf));
         let got = mem.read(buf, 0, 128).expect("read");
         assert_eq!(got, Payload::Synthetic(128));
@@ -293,8 +329,12 @@ mod tests {
     fn materialization_zero_fills() {
         let mut mem = DeviceMemory::new(64);
         let buf = mem.alloc(8).expect("alloc");
-        mem.write(buf, 6, &Payload::Data(vec![9, 9])).expect("write");
-        assert_eq!(mem.read(buf, 0, 8).expect("read"), Payload::Data(vec![0, 0, 0, 0, 0, 0, 9, 9]));
+        mem.write(buf, 6, &Payload::Data(vec![9, 9]))
+            .expect("write");
+        assert_eq!(
+            mem.read(buf, 0, 8).expect("read"),
+            Payload::Data(vec![0, 0, 0, 0, 0, 0, 9, 9])
+        );
     }
 
     #[test]
@@ -302,7 +342,13 @@ mod tests {
         let mut mem = DeviceMemory::new(10);
         assert!(mem.alloc(8).is_ok());
         let err = mem.alloc(8).expect_err("should be OOM");
-        assert_eq!(err, FpgaError::OutOfMemory { requested: 8, available: 2 });
+        assert_eq!(
+            err,
+            FpgaError::OutOfMemory {
+                requested: 8,
+                available: 2
+            }
+        );
     }
 
     #[test]
@@ -322,9 +368,15 @@ mod tests {
             mem.write(buf, 8, &Payload::Data(vec![0; 4])),
             Err(FpgaError::OutOfBounds { .. })
         ));
-        assert!(matches!(mem.read(buf, 0, 11), Err(FpgaError::OutOfBounds { .. })));
+        assert!(matches!(
+            mem.read(buf, 0, 11),
+            Err(FpgaError::OutOfBounds { .. })
+        ));
         // Offset overflow must not wrap.
-        assert!(matches!(mem.read(buf, u64::MAX, 2), Err(FpgaError::OutOfBounds { .. })));
+        assert!(matches!(
+            mem.read(buf, u64::MAX, 2),
+            Err(FpgaError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,207 @@
+#![forbid(unsafe_code)]
+
+//! # bf-lint — project-wide static conformance engine
+//!
+//! A lightweight line/token scanner (no rustc plumbing, no external
+//! parsers) enforcing the workspace's concurrency and robustness
+//! conventions over `crates/` and `tests/`:
+//!
+//! | rule | meaning |
+//! |---|---|
+//! | `panic` | no `.unwrap()` / `.expect()` in non-test library code |
+//! | `std_sync` | `parking_lot` locks only — `std::sync::{Mutex, RwLock}` banned |
+//! | `wall_clock` | `Instant::now()` / `SystemTime::now()` only in `crates/model/src/clock.rs` |
+//! | `lock_order` | acquisitions must follow the declared lock hierarchy |
+//! | `wildcard_match` | `match`es over status enums must not use `_` arms |
+//!
+//! Individual sites opt out with a justified directive comment:
+//!
+//! ```text
+//! // bf-lint: allow(panic): poisoning is impossible — single writer
+//! ```
+//!
+//! The engine is exposed three ways: the `bf-lint` binary
+//! (`cargo run -p bf-lint`, `--json` for machine-readable output), the
+//! `tests/lint_conformance.rs` integration test (keeps `cargo test` the
+//! single gate), and this library API.
+//!
+//! The lock hierarchy is imported from [`bf_devmgr::lock_order`], the same
+//! table the runtime held-lock tracker enforces in debug builds — one
+//! source of truth for both enforcement layers.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{Diagnostic, CLOCK_MODULE, RULES, STATUS_ENUMS};
+
+/// The declared lock-acquisition hierarchy (re-exported from the runtime
+/// tracker so the two layers can never drift apart).
+pub use bf_devmgr::lock_order::HIERARCHY as LOCK_HIERARCHY;
+
+/// Outcome of a whole-tree scan.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings across all scanned files, in path order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is conformant.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable form, stable for CI consumption.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "ok": self.is_clean(),
+            "files_scanned": self.files_scanned,
+            "violations": self
+                .diagnostics
+                .iter()
+                .map(|d| {
+                    serde_json::json!({
+                        "rule": d.rule,
+                        "file": d.file,
+                        "line": d.line,
+                        "message": d.message,
+                    })
+                })
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Scans one in-memory source file (used by rule unit tests and by tools
+/// embedding the engine).
+pub fn check_source(path: &str, text: &str) -> Vec<Diagnostic> {
+    let file = scan::parse(path, text, is_test_path(path));
+    let mut out = Vec::new();
+    rules::check_file(&file, LOCK_HIERARCHY, &mut out);
+    out
+}
+
+/// Scans the workspace rooted at `root` (`crates/` and `tests/`).
+///
+/// # Errors
+///
+/// Returns an I/O description when the tree cannot be read.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rust_files(&dir, &mut files)?;
+        }
+    }
+    if files.is_empty() {
+        // A wrong --root must not read as a clean workspace.
+        return Err(format!(
+            "no Rust sources found under {} — is this a workspace root?",
+            root.display()
+        ));
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for path in files {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diagnostics.extend(check_source(&rel, &text));
+    }
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Whether every line of the file counts as test code (integration tests
+/// and benches may panic freely).
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/")
+}
+
+/// Recursively collects `.rs` files, skipping build output and VCS state.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "vendor" {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` holding
+/// both a `Cargo.toml` and a `crates/` directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_paths_are_exempt_from_panic_rule() {
+        assert!(check_source("tests/smoke.rs", "fn f() { x().unwrap(); }\n").is_empty());
+        assert!(
+            check_source("crates/bench/benches/fig4.rs", "fn f() { x().unwrap(); }\n").is_empty()
+        );
+        assert_eq!(
+            check_source("crates/rpc/src/codec.rs", "fn f() { x().unwrap(); }\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn hierarchy_is_shared_with_the_runtime_tracker() {
+        assert!(LOCK_HIERARCHY.contains(&"board"));
+        assert!(LOCK_HIERARCHY.contains(&"series"));
+    }
+
+    #[test]
+    fn json_report_shape_is_stable() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "panic",
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                message: "m".into(),
+            }],
+            files_scanned: 7,
+        };
+        let v = report.to_json();
+        assert_eq!(v["ok"], false);
+        assert_eq!(v["files_scanned"], 7u64);
+        assert_eq!(v["violations"][0]["rule"], "panic");
+        assert_eq!(v["violations"][0]["line"], 3u64);
+    }
+}

@@ -1,0 +1,101 @@
+//! The `bf-lint` binary: scans the workspace and reports conformance
+//! violations.
+//!
+//! ```text
+//! cargo run -p bf-lint            # human-readable diagnostics
+//! cargo run -p bf-lint -- --json  # machine-readable report
+//! cargo run -p bf-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("bf-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bf-lint [--json] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bf-lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("bf-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match bf_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("bf-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match bf_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bf-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut out = String::new();
+    if json {
+        match serde_json::to_string_pretty(&report.to_json()) {
+            Ok(text) => {
+                out.push_str(&text);
+                out.push('\n');
+            }
+            Err(e) => {
+                eprintln!("bf-lint: cannot render JSON report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        use std::fmt::Write as _;
+        for diag in &report.diagnostics {
+            let _ = writeln!(out, "{diag}");
+        }
+        let _ = writeln!(
+            out,
+            "bf-lint: {} file(s) scanned, {} violation(s)",
+            report.files_scanned,
+            report.diagnostics.len()
+        );
+    }
+    // A closed pipe (`bf-lint | head`) must not turn into a panic; the
+    // exit code still carries the verdict.
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,651 @@
+//! The five conformance rules.
+//!
+//! Each rule walks the masked view produced by [`crate::scan`] and emits
+//! [`Diagnostic`]s. Sites can be exempted with a justified directive:
+//!
+//! ```text
+//! // bf-lint: allow(panic): board invariant — id was just allocated
+//! ```
+//!
+//! The directive exempts its own line, or the following statement (the
+//! next code line plus any method-chain continuation lines) when it
+//! stands alone on a comment-only line. A directive without a
+//! justification is itself a violation.
+
+use std::collections::HashMap;
+
+use crate::scan::SourceFile;
+
+/// Rule identifiers, as they appear in directives and JSON output.
+pub const RULES: &[&str] = &[
+    "panic",
+    "std_sync",
+    "wall_clock",
+    "lock_order",
+    "wildcard_match",
+    "directive",
+];
+
+/// Status enums whose `match`es must stay wildcard-free, so that adding a
+/// state forces every consumer to take a position.
+pub const STATUS_ENUMS: &[&str] = &["MachineState", "EventStatus"];
+
+/// The one file allowed to read the host's clocks.
+pub const CLOCK_MODULE: &str = "crates/model/src/clock.rs";
+
+/// One finding, pointing at a workspace-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired (an entry of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Parsed `bf-lint: allow(...)` directives of one file: line → rules.
+struct Allows {
+    by_line: HashMap<usize, Vec<String>>,
+}
+
+impl Allows {
+    fn permits(&self, line: usize, rule: &str) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Collects allow directives, validating that each carries a justification
+/// and names a known rule.
+fn collect_allows(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Allows {
+    const MARKER: &str = "bf-lint: allow(";
+    let mut by_line = HashMap::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        // Directives live in comments only (the comment view blanks string
+        // literals), and backtick-quoted mentions are prose, not directives.
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        if pos > 0 && line.comment.as_bytes()[pos - 1] == b'`' {
+            continue;
+        }
+        let rest = &line.comment[pos + MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            out.push(Diagnostic {
+                rule: "directive",
+                file: file.path.clone(),
+                line: idx + 1,
+                message: "malformed bf-lint directive: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !RULES.contains(&rule.as_str()) {
+            out.push(Diagnostic {
+                rule: "directive",
+                file: file.path.clone(),
+                line: idx + 1,
+                message: format!("unknown rule {rule:?} in bf-lint directive"),
+            });
+            continue;
+        }
+        let justification = rest[close + 1..]
+            .trim_start_matches([':', '-', '—', ' '])
+            .trim();
+        if justification.is_empty() {
+            out.push(Diagnostic {
+                rule: "directive",
+                file: file.path.clone(),
+                line: idx + 1,
+                message: format!(
+                    "bf-lint: allow({rule}) needs a justification, e.g. \
+                     `// bf-lint: allow({rule}): why this site is safe`"
+                ),
+            });
+            continue;
+        }
+        // A comment-only directive exempts the next *statement*: the first
+        // code line after the directive (the justification may span further
+        // comment-only lines) plus its method-chain continuation lines, so
+        // rustfmt splitting `x.expect(..)` across lines cannot detach the
+        // exemption. A trailing directive exempts its own line.
+        if line.code.trim().is_empty() {
+            let Some(offset) = file.lines[idx + 1..]
+                .iter()
+                .position(|l| !l.code.trim().is_empty())
+            else {
+                continue; // dangling directive at EOF: nothing to exempt
+            };
+            let first = idx + 1 + offset;
+            by_line
+                .entry(first + 1)
+                .or_insert_with(Vec::new)
+                .push(rule.clone());
+            for (l, cont) in file.lines.iter().enumerate().skip(first + 1) {
+                let code = cont.code.trim_start();
+                if !(code.starts_with('.') || code.starts_with('?')) {
+                    break;
+                }
+                by_line
+                    .entry(l + 1)
+                    .or_insert_with(Vec::new)
+                    .push(rule.clone());
+            }
+        } else {
+            by_line.entry(idx + 1).or_insert_with(Vec::new).push(rule);
+        }
+    }
+    Allows { by_line }
+}
+
+/// Runs every rule over `file`, appending findings to `out`.
+pub fn check_file(file: &SourceFile, lock_hierarchy: &[&str], out: &mut Vec<Diagnostic>) {
+    let allows = collect_allows(file, out);
+    rule_panic(file, &allows, out);
+    rule_std_sync(file, &allows, out);
+    rule_wall_clock(file, &allows, out);
+    rule_lock_order(file, lock_hierarchy, &allows, out);
+    rule_wildcard_match(file, &allows, out);
+}
+
+/// Rule `panic`: no `.unwrap()` / `.expect(` in non-test code.
+fn rule_panic(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let hit = if line.code.contains(".unwrap()") {
+            Some(".unwrap()")
+        } else if line.code.contains(".expect(") {
+            Some(".expect(..)")
+        } else {
+            None
+        };
+        let Some(what) = hit else { continue };
+        if allows.permits(idx + 1, "panic") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "panic",
+            file: file.path.clone(),
+            line: idx + 1,
+            message: format!(
+                "{what} in library code: propagate the error or justify with \
+                 `// bf-lint: allow(panic): ...`"
+            ),
+        });
+    }
+}
+
+/// Rule `std_sync`: `std::sync::Mutex`/`RwLock` are banned — the workspace
+/// standardizes on `parking_lot` (no poisoning to unwrap, const `new`).
+fn rule_std_sync(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    // Tracks a multi-line `use std::sync::{ ... };` group.
+    let mut in_std_sync_use = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let relevant = code.contains("std::sync::") || in_std_sync_use;
+        if code.contains("use std::sync::") && !code.contains(';') {
+            in_std_sync_use = true;
+        } else if in_std_sync_use && code.contains(';') {
+            in_std_sync_use = false;
+        }
+        if !relevant {
+            continue;
+        }
+        let banned = contains_word(code, "Mutex") || contains_word(code, "RwLock");
+        if !banned || allows.permits(idx + 1, "std_sync") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "std_sync",
+            file: file.path.clone(),
+            line: idx + 1,
+            message: "std::sync lock detected: use parking_lot::{Mutex, RwLock} instead"
+                .to_string(),
+        });
+    }
+}
+
+/// Rule `wall_clock`: the host's clocks only tick inside the virtual-clock
+/// module; everything else must take time from `VirtualClock`.
+fn rule_wall_clock(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    if file.path == CLOCK_MODULE {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let hit = if code.contains("Instant::now") {
+            Some("Instant::now()")
+        } else if code.contains("SystemTime::now") {
+            Some("SystemTime::now()")
+        } else {
+            None
+        };
+        let Some(what) = hit else { continue };
+        if allows.permits(idx + 1, "wall_clock") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "wall_clock",
+            file: file.path.clone(),
+            line: idx + 1,
+            message: format!("{what} outside {CLOCK_MODULE}: simulated code must use VirtualClock"),
+        });
+    }
+}
+
+/// Rule `lock_order`: within a function, a lock may only be acquired while
+/// every held lock ranks strictly *earlier* in the declared hierarchy.
+///
+/// The scan is a heuristic: `let`-bound guards are assumed held until their
+/// enclosing block closes; acquisitions without a `let` binding are treated
+/// as statement-scoped temporaries. Cross-function nesting is covered by
+/// the runtime tracker in `bf-devmgr::lock_order`.
+fn rule_lock_order(
+    file: &SourceFile,
+    hierarchy: &[&str],
+    allows: &Allows,
+    out: &mut Vec<Diagnostic>,
+) {
+    let rank_of = |name: &str| hierarchy.iter().position(|&h| h == name);
+    // (rank, depth the guard binding lives at)
+    let mut held: Vec<(usize, i64)> = Vec::new();
+    let mut depth: i64 = 0;
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+
+        // Find acquisitions on this line: `<name>.lock()` receivers plus
+        // `lock_order::tracked(&..., "name")` (name read from the raw line,
+        // since masking blanks string contents).
+        let mut acquired: Vec<&str> = Vec::new();
+        for pos in find_all(code, ".lock()") {
+            if let Some(name) = ident_before(code, pos) {
+                acquired.push(name);
+            }
+        }
+        if code.contains("tracked(") {
+            if let Some(name) = tracked_lock_name(&line.raw, hierarchy) {
+                acquired.push(name);
+            }
+        }
+
+        let is_binding = code.trim_start().starts_with("let ");
+        for name in acquired {
+            let Some(rank) = rank_of(name) else { continue };
+            if let Some(&(top_rank, _)) = held.iter().max_by_key(|&&(r, _)| r) {
+                if rank <= top_rank && !allows.permits(idx + 1, "lock_order") {
+                    out.push(Diagnostic {
+                        rule: "lock_order",
+                        file: file.path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "acquiring lock `{name}` (rank {rank}) while `{}` (rank \
+                             {top_rank}) is held; declared order is {hierarchy:?}",
+                            hierarchy[top_rank],
+                        ),
+                    });
+                }
+            }
+            if is_binding {
+                held.push((rank, depth));
+            }
+        }
+
+        let opens = code.bytes().filter(|&b| b == b'{').count() as i64;
+        let closes = code.bytes().filter(|&b| b == b'}').count() as i64;
+        depth += opens - closes;
+        held.retain(|&(_, d)| d <= depth);
+    }
+}
+
+/// Rule `wildcard_match`: `match`es over the status enums in
+/// [`STATUS_ENUMS`] must list every variant — a `_` arm would silently
+/// swallow states added later.
+fn rule_wildcard_match(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    // Work over the full masked text with a line-number map.
+    let mut text = String::new();
+    let mut line_starts = Vec::with_capacity(file.lines.len());
+    for line in &file.lines {
+        line_starts.push(text.len());
+        text.push_str(&line.code);
+        text.push('\n');
+    }
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+
+    for match_pos in find_keyword(&text, "match") {
+        let Some(open) = text[match_pos..].find('{').map(|p| match_pos + p) else {
+            continue;
+        };
+        let Some(close) = matching_brace(&text, open) else {
+            continue;
+        };
+        let block = &text[open + 1..close];
+        // Only depth-≤1 text counts as *this* match's patterns and inline
+        // arms; nested blocks are scanned as their own matches.
+        let surface = surface_text(block);
+        if !STATUS_ENUMS
+            .iter()
+            .any(|e| surface.contains(&format!("{e}::")))
+        {
+            continue;
+        }
+        for arm_offset in wildcard_arms(block) {
+            let line = line_of(open + 1 + arm_offset);
+            if allows.permits(line, "wildcard_match") {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "wildcard_match",
+                file: file.path.clone(),
+                line,
+                message: "wildcard `_` arm in a match over a status enum: list every \
+                          variant so new states cannot be silently ignored"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Byte offsets of every occurrence of `needle` in `haystack`.
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}
+
+/// Occurrences of `word` bounded by non-identifier characters.
+fn find_keyword(text: &str, word: &str) -> Vec<usize> {
+    find_all(text, word)
+        .into_iter()
+        .filter(|&pos| {
+            let before_ok = pos == 0
+                || !text[..pos]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after = text[pos + word.len()..].chars().next();
+            let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+            before_ok && after_ok
+        })
+        .collect()
+}
+
+/// Whether `word` appears in `text` with identifier boundaries.
+fn contains_word(text: &str, word: &str) -> bool {
+    !find_keyword(text, word).is_empty()
+}
+
+/// The identifier immediately preceding byte offset `pos` (e.g. the
+/// receiver of a `.lock()` call).
+fn ident_before(code: &str, pos: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = pos;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    (start < pos).then(|| &code[start..pos])
+}
+
+/// Extracts the lock name from a `tracked(&..., "name")` call on a raw
+/// line, returning the canonical `&'static str` from the hierarchy table.
+fn tracked_lock_name<'h>(raw: &str, hierarchy: &[&'h str]) -> Option<&'h str> {
+    let pos = raw.find("tracked(")?;
+    let rest = &raw[pos..];
+    let quote = rest.find('"')?;
+    let after = &rest[quote + 1..];
+    let end = after.find('"')?;
+    let name = &after[..end];
+    hierarchy.iter().find(|&&h| h == name).copied()
+}
+
+/// Byte offset (within `text`) of the `}` matching the `{` at `open`.
+fn matching_brace(text: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, b) in text.bytes().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `block` with every nested brace-block's contents blanked: what remains
+/// is the match's own patterns and brace-less arm bodies.
+fn surface_text(block: &str) -> String {
+    let mut depth = 0i64;
+    block
+        .chars()
+        .map(|c| match c {
+            '{' => {
+                depth += 1;
+                c
+            }
+            '}' => {
+                depth -= 1;
+                c
+            }
+            '\n' => c,
+            _ if depth > 0 => ' ',
+            _ => c,
+        })
+        .collect()
+}
+
+/// Byte offsets (within `block`) of arms whose pattern is a bare `_`.
+fn wildcard_arms(block: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = block.as_bytes();
+    let mut depth = 0i64;
+    // Start of block counts as an arm boundary.
+    let mut at_arm_start = true;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'{' | b'(' | b'[' => depth += 1,
+            b'}' | b')' | b']' => {
+                depth -= 1;
+                // A closing brace back at arm level ends a block-bodied arm.
+                if b == b'}' && depth == 0 {
+                    at_arm_start = true;
+                    i += 1;
+                    continue;
+                }
+            }
+            b',' if depth == 0 => {
+                at_arm_start = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if at_arm_start && !b.is_ascii_whitespace() {
+            at_arm_start = false;
+            if b == b'_' {
+                let after = bytes.get(i + 1);
+                let standalone = !after.is_some_and(|&a| a.is_ascii_alphanumeric() || a == b'_');
+                if standalone {
+                    out.push(i);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let file = parse("crates/x/src/lib.rs", src, false);
+        let mut out = Vec::new();
+        check_file(&file, &["outer", "inner"], &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_in_library_code() {
+        let out = check("fn f() { x().unwrap(); }\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "panic");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_unwrap_in_tests_and_comments() {
+        let src = "// x.unwrap()\n#[cfg(test)]\nmod tests {\n fn t() { x().unwrap(); }\n}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 0); c.unwrap_or_default(); }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn justified_allow_exempts_next_line() {
+        let src = "// bf-lint: allow(panic): checked two lines up\nfn f() { x().unwrap(); }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_a_rustfmt_split_chain() {
+        // rustfmt may break `x.expect(..)` onto a continuation line; the
+        // directive must keep covering the whole statement.
+        let src = "fn f() {\n // bf-lint: allow(panic): harness invariant\n // spanning two comment lines.\n let v = build()\n .step()\n .expect(\"ok\");\n}\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_the_statement() {
+        let src = "fn f() {\n // bf-lint: allow(panic): first only\n a().expect(\"ok\");\n b().expect(\"not covered\");\n}\n";
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "panic");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn unjustified_allow_is_a_violation() {
+        let src = "fn f() { x().unwrap() } // bf-lint: allow(panic)\n";
+        let out = check(src);
+        // The malformed directive is reported AND does not exempt the site.
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].rule, "directive");
+        assert_eq!(out[1].rule, "panic");
+    }
+
+    #[test]
+    fn flags_std_sync_locks_but_not_arc() {
+        let out = check("use std::sync::{Arc, Mutex};\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "std_sync");
+        assert!(check("use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n").is_empty());
+    }
+
+    #[test]
+    fn flags_wall_clock_outside_clock_module() {
+        let out = check("fn f() { let t = std::time::Instant::now(); }\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "wall_clock");
+        let file = parse(
+            CLOCK_MODULE,
+            "fn f() { let t = std::time::Instant::now(); }\n",
+            false,
+        );
+        let mut ok = Vec::new();
+        check_file(&file, &[], &mut ok);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn flags_inverted_lock_acquisition() {
+        let src = "fn f() {\n let a = inner.lock();\n let b = outer.lock();\n}\n";
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lock_order");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn in_order_and_sequential_acquisitions_pass() {
+        let ordered = "fn f() {\n let a = outer.lock();\n let b = inner.lock();\n}\n";
+        assert!(check(ordered).is_empty());
+        let sequential = "fn f() {\n { let a = inner.lock(); }\n { let b = outer.lock(); }\n}\n";
+        assert!(check(sequential).is_empty());
+    }
+
+    #[test]
+    fn tracked_acquisitions_are_rank_checked() {
+        let src = "fn f() {\n let a = inner.lock();\n let b = tracked(&m.outer, \"outer\");\n}\n";
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lock_order");
+    }
+
+    #[test]
+    fn flags_wildcard_match_on_status_enum() {
+        let src = "fn f(s: MachineState) -> u8 {\n match s {\n  MachineState::Init => 0,\n  _ => 1,\n }\n}\n";
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "wildcard_match");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn wildcard_on_other_enums_is_fine() {
+        let src = "fn f(x: u8) -> u8 {\n match x {\n  0 => 0,\n  _ => 1,\n }\n}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn nested_match_does_not_taint_outer() {
+        let src = "fn f(x: u8, s: MachineState) -> u8 {\n match x {\n  0 => { match s { MachineState::Init => 0, MachineState::First => 1, MachineState::Buffer => 2, MachineState::Complete => 3, MachineState::Failed => 4 } }\n  _ => 1,\n }\n}\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn binding_patterns_starting_with_underscore_are_not_wildcards() {
+        let src = "fn f(s: MachineState) -> u8 {\n match s {\n  MachineState::Init => 0,\n  _other @ MachineState::First => 1,\n  MachineState::Buffer => 2,\n  MachineState::Complete => 3,\n  MachineState::Failed => 4,\n }\n}\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+}

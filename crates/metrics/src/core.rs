@@ -128,7 +128,11 @@ impl Histogram {
     /// Records one observation.
     pub fn observe(&self, v: f64) {
         let mut inner = self.inner.lock();
-        let idx = inner.bounds.iter().position(|b| v <= *b).unwrap_or(inner.bounds.len());
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(inner.bounds.len());
         inner.counts[idx] += 1;
         inner.sum += v;
         inner.total += 1;
@@ -181,12 +185,17 @@ impl Histogram {
                 return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
             }
         }
-        Some(*inner.bounds.last().expect("non-empty bounds"))
+        inner.bounds.last().copied()
     }
 
     fn snapshot(&self) -> (Vec<f64>, Vec<u64>, f64, u64) {
         let inner = self.inner.lock();
-        (inner.bounds.clone(), inner.counts.clone(), inner.sum, inner.total)
+        (
+            inner.bounds.clone(),
+            inner.counts.clone(),
+            inner.sum,
+            inner.total,
+        )
     }
 }
 
@@ -228,10 +237,15 @@ impl MetricsRegistry {
     }
 
     fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
-        let mut labels: Vec<(String, String)> =
-            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         labels.sort();
-        SeriesKey { name: name.to_string(), labels }
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
     }
 
     /// Returns (registering on first use) the counter series
@@ -258,7 +272,9 @@ impl MetricsRegistry {
     /// Panics if the series already exists with a different metric type.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let mut series = self.series.lock();
-        match series.entry(Self::key(name, labels)).or_insert_with(|| Metric::Gauge(Gauge::new()))
+        match series
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
         {
             Metric::Gauge(g) => g.clone(),
             _ => panic!("metric {name} already registered with a different type"),
@@ -440,10 +456,14 @@ mod tests {
     #[test]
     fn scrape_renders_prometheus_text() {
         let reg = MetricsRegistry::new();
-        reg.gauge("bf_fpga_utilization", &[("device", "fpga-b")]).set(0.42);
+        reg.gauge("bf_fpga_utilization", &[("device", "fpga-b")])
+            .set(0.42);
         reg.histogram("bf_latency_ms", &[]).observe(3.0);
         let text = reg.scrape();
-        assert!(text.contains("bf_fpga_utilization{device=\"fpga-b\"} 0.42"), "{text}");
+        assert!(
+            text.contains("bf_fpga_utilization{device=\"fpga-b\"} 0.42"),
+            "{text}"
+        );
         assert!(text.contains("bf_latency_ms_bucket{le=\"5\"} 1"), "{text}");
         assert!(text.contains("bf_latency_ms_count 1"), "{text}");
     }

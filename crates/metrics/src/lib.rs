@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # bf-metrics — Prometheus substrate + FPGA time-utilization accounting
 //!

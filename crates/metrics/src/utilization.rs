@@ -70,7 +70,11 @@ impl BusyTracker {
             let d = end - start;
             self.total += d;
             *self.per_owner.entry(owner.to_string()).or_default() += d;
-            self.intervals.push(BusyInterval { start, end, owner: owner.to_string() });
+            self.intervals.push(BusyInterval {
+                start,
+                end,
+                owner: owner.to_string(),
+            });
         }
         self.last_end = self.last_end.max(end);
     }
@@ -82,7 +86,10 @@ impl BusyTracker {
 
     /// Busy time attributed to `owner` over the whole history.
     pub fn busy_of(&self, owner: &str) -> VirtualDuration {
-        self.per_owner.get(owner).copied().unwrap_or(VirtualDuration::ZERO)
+        self.per_owner
+            .get(owner)
+            .copied()
+            .unwrap_or(VirtualDuration::ZERO)
     }
 
     /// All owners that contributed busy time.

@@ -37,7 +37,9 @@ impl VirtualClock {
 
     /// Creates a clock positioned at `start`.
     pub fn starting_at(start: VirtualTime) -> Self {
-        VirtualClock { nanos: Arc::new(AtomicU64::new(start.as_nanos())) }
+        VirtualClock {
+            nanos: Arc::new(AtomicU64::new(start.as_nanos())),
+        }
     }
 
     /// The current instant.

@@ -122,7 +122,9 @@ impl MemcpyModel {
 
     /// Creates a copy model with the paper-calibrated bandwidth.
     pub fn paper() -> Self {
-        MemcpyModel { bytes_per_sec: Self::PAPER_BYTES_PER_SEC }
+        MemcpyModel {
+            bytes_per_sec: Self::PAPER_BYTES_PER_SEC,
+        }
     }
 
     /// Creates a copy model with an explicit bandwidth in bytes/second.
@@ -176,7 +178,10 @@ impl EthernetModel {
     /// Panics if `bytes_per_sec` is not strictly positive.
     pub fn new(bytes_per_sec: f64, one_way_latency: VirtualDuration) -> Self {
         assert!(bytes_per_sec > 0.0, "network bandwidth must be positive");
-        EthernetModel { bytes_per_sec, one_way_latency }
+        EthernetModel {
+            bytes_per_sec,
+            one_way_latency,
+        }
     }
 
     /// One-way message latency excluding payload serialization time.

@@ -77,7 +77,13 @@ impl NodeSpec {
         base_host_overhead: VirtualDuration,
     ) -> Self {
         assert!(cpu_factor > 0.0, "cpu_factor must be positive");
-        NodeSpec { id, pcie, memcpy, cpu_factor, base_host_overhead }
+        NodeSpec {
+            id,
+            pcie,
+            memcpy,
+            cpu_factor,
+            base_host_overhead,
+        }
     }
 
     /// The node id.

@@ -260,10 +260,22 @@ mod tests {
 
     #[test]
     fn duration_constructors_agree() {
-        assert_eq!(VirtualDuration::from_millis(2), VirtualDuration::from_micros(2_000));
-        assert_eq!(VirtualDuration::from_secs(1), VirtualDuration::from_millis(1_000));
-        assert_eq!(VirtualDuration::from_secs_f64(0.5), VirtualDuration::from_millis(500));
-        assert_eq!(VirtualDuration::from_millis_f64(1.5), VirtualDuration::from_micros(1_500));
+        assert_eq!(
+            VirtualDuration::from_millis(2),
+            VirtualDuration::from_micros(2_000)
+        );
+        assert_eq!(
+            VirtualDuration::from_secs(1),
+            VirtualDuration::from_millis(1_000)
+        );
+        assert_eq!(
+            VirtualDuration::from_secs_f64(0.5),
+            VirtualDuration::from_millis(500)
+        );
+        assert_eq!(
+            VirtualDuration::from_millis_f64(1.5),
+            VirtualDuration::from_micros(1_500)
+        );
     }
 
     #[test]
@@ -283,7 +295,10 @@ mod tests {
     fn negative_float_inputs_clamp_to_zero() {
         assert_eq!(VirtualDuration::from_secs_f64(-1.0), VirtualDuration::ZERO);
         assert_eq!(VirtualTime::from_secs_f64(-2.0), VirtualTime::ZERO);
-        assert_eq!(VirtualDuration::from_millis(3).mul_f64(-1.0), VirtualDuration::ZERO);
+        assert_eq!(
+            VirtualDuration::from_millis(3).mul_f64(-1.0),
+            VirtualDuration::ZERO
+        );
     }
 
     #[test]
@@ -308,8 +323,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: VirtualDuration =
-            (1..=4).map(VirtualDuration::from_millis).sum();
+        let total: VirtualDuration = (1..=4).map(VirtualDuration::from_millis).sum();
         assert_eq!(total, VirtualDuration::from_millis(10));
     }
 }

@@ -64,8 +64,8 @@ impl KernelTiming {
         t_hi: VirtualDuration,
     ) -> Self {
         assert!(items_hi > items_lo, "need two distinct sizes to fit a line");
-        let slope = (t_hi.as_nanos() as f64 - t_lo.as_nanos() as f64)
-            / (items_hi - items_lo) as f64;
+        let slope =
+            (t_hi.as_nanos() as f64 - t_lo.as_nanos() as f64) / (items_hi - items_lo) as f64;
         assert!(slope >= 0.0, "latency must not decrease with size");
         let base_ns = t_lo.as_nanos() as f64 - slope * items_lo as f64;
         KernelTiming::LinearItems {
@@ -83,8 +83,7 @@ impl KernelTiming {
     pub fn fit_cubic(n_lo: u64, t_lo: VirtualDuration, n_hi: u64, t_hi: VirtualDuration) -> Self {
         assert!(n_hi > n_lo, "need two distinct sizes to fit a cubic");
         let cube = |n: u64| (n as f64).powi(3);
-        let coeff = (t_hi.as_nanos() as f64 - t_lo.as_nanos() as f64)
-            / (cube(n_hi) - cube(n_lo));
+        let coeff = (t_hi.as_nanos() as f64 - t_lo.as_nanos() as f64) / (cube(n_hi) - cube(n_lo));
         let coeff = coeff.max(0.0);
         let base_ns = t_lo.as_nanos() as f64 - coeff * cube(n_lo);
         KernelTiming::CubicN {
@@ -100,7 +99,9 @@ mod tests {
 
     #[test]
     fn fixed_ignores_items() {
-        let t = KernelTiming::Fixed { latency: VirtualDuration::from_millis(3) };
+        let t = KernelTiming::Fixed {
+            latency: VirtualDuration::from_millis(3),
+        };
         assert_eq!(t.evaluate(0), t.evaluate(1 << 30));
     }
 
@@ -127,7 +128,10 @@ mod tests {
 
     #[test]
     fn cubic_grows_superlinearly() {
-        let t = KernelTiming::CubicN { base: VirtualDuration::ZERO, coeff_ns: 1.0 };
+        let t = KernelTiming::CubicN {
+            base: VirtualDuration::ZERO,
+            coeff_ns: 1.0,
+        };
         assert!(t.evaluate(200) > t.evaluate(100) * 4);
     }
 

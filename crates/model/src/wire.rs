@@ -33,7 +33,10 @@ impl SerializationModel {
     /// Creates a custom serialization model.
     pub fn new(per_message: VirtualDuration, per_byte_ns: f64) -> Self {
         assert!(per_byte_ns >= 0.0, "per-byte cost cannot be negative");
-        SerializationModel { per_message, per_byte_ns }
+        SerializationModel {
+            per_message,
+            per_byte_ns,
+        }
     }
 
     /// Time to encode a message with a payload of `bytes` bytes.
@@ -66,7 +69,9 @@ impl ControlPlaneModel {
     /// operation pair, i.e. ~1 ms each way (HTTP/2 framing, loopback or
     /// local-network stack, gRPC dispatch).
     pub fn paper() -> Self {
-        ControlPlaneModel { one_way: VirtualDuration::from_micros(500) }
+        ControlPlaneModel {
+            one_way: VirtualDuration::from_micros(500),
+        }
     }
 
     /// Creates a custom control-plane model with the given one-way latency.
@@ -185,7 +190,10 @@ mod tests {
         let grpc = DataPathModel::grpc();
         let shm = DataPathModel::shared_memory();
         for bytes in [1u64 << 10, 1 << 20, 1 << 30] {
-            assert!(grpc.payload_cost(bytes) > shm.payload_cost(bytes), "at {bytes} bytes");
+            assert!(
+                grpc.payload_cost(bytes) > shm.payload_cost(bytes),
+                "at {bytes} bytes"
+            );
         }
     }
 

@@ -92,9 +92,15 @@ mod tests {
 
     #[test]
     fn fpga_errors_map_to_cl_codes() {
-        assert_eq!(ClError::from(FpgaError::BufferNotFound(1)), ClError::InvalidBuffer);
+        assert_eq!(
+            ClError::from(FpgaError::BufferNotFound(1)),
+            ClError::InvalidBuffer
+        );
         assert!(matches!(
-            ClError::from(FpgaError::OutOfMemory { requested: 1, available: 0 }),
+            ClError::from(FpgaError::OutOfMemory {
+                requested: 1,
+                available: 0
+            }),
             ClError::OutOfResources(_)
         ));
         assert!(matches!(

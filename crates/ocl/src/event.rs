@@ -118,7 +118,10 @@ impl Event {
                 command,
                 state: Mutex::new(EventState {
                     status: EventStatus::Queued,
-                    profile: EventProfile { queued: Some(queued_at), ..EventProfile::default() },
+                    profile: EventProfile {
+                        queued: Some(queued_at),
+                        ..EventProfile::default()
+                    },
                     payload: None,
                     error: None,
                     observed: None,
@@ -169,12 +172,14 @@ impl Event {
             if state.status.is_terminal() {
                 Some(state.status)
             } else {
-                state.callbacks.push(callback.take().expect("unused callback"));
+                if let Some(cb) = callback.take() {
+                    state.callbacks.push(cb);
+                }
                 None
             }
         };
-        if let Some(status) = immediate {
-            (callback.take().expect("still held"))(status);
+        if let (Some(status), Some(cb)) = (immediate, callback.take()) {
+            cb(status);
         }
     }
 
@@ -218,9 +223,10 @@ impl Event {
                 "payload is only available on completed read events".to_string(),
             ));
         }
-        state.payload.take().ok_or_else(|| {
-            ClError::InvalidOperation("event carries no payload".to_string())
-        })
+        state
+            .payload
+            .take()
+            .ok_or_else(|| ClError::InvalidOperation("event carries no payload".to_string()))
     }
 
     // ---- runtime-side transitions -------------------------------------

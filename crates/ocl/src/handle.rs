@@ -23,7 +23,10 @@ pub struct Platform {
 impl Platform {
     /// Creates a platform from its devices.
     pub fn new(name: impl Into<String>, devices: Vec<Device>) -> Self {
-        Platform { name: name.into(), devices }
+        Platform {
+            name: name.into(),
+            devices,
+        }
     }
 
     /// Platform display name.
@@ -42,7 +45,10 @@ impl Platform {
     ///
     /// Returns [`ClError::DeviceNotFound`] when the index is out of range.
     pub fn device(&self, index: usize) -> ClResult<Device> {
-        self.devices.get(index).cloned().ok_or(ClError::DeviceNotFound)
+        self.devices
+            .get(index)
+            .cloned()
+            .ok_or(ClError::DeviceNotFound)
     }
 }
 
@@ -89,13 +95,18 @@ impl Device {
     /// Propagates backend session errors.
     pub fn create_context(&self) -> ClResult<Context> {
         let id = self.backend.create_context()?;
-        Ok(Context { backend: self.backend.clone(), id })
+        Ok(Context {
+            backend: self.backend.clone(),
+            id,
+        })
     }
 }
 
 impl std::fmt::Debug for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Device").field("info", &self.info().name).finish()
+        f.debug_struct("Device")
+            .field("info", &self.info().name)
+            .finish()
     }
 }
 
@@ -120,7 +131,10 @@ impl Context {
     /// Returns [`ClError::BuildProgramFailure`] for unknown bitstreams.
     pub fn build_program(&self, bitstream: &str) -> ClResult<Program> {
         let id = self.backend.build_program(self.id, bitstream)?;
-        Ok(Program { backend: self.backend.clone(), id })
+        Ok(Program {
+            backend: self.backend.clone(),
+            id,
+        })
     }
 
     /// `clCreateBuffer` of `len` bytes.
@@ -130,7 +144,11 @@ impl Context {
     /// Returns [`ClError::OutOfResources`] when device memory is exhausted.
     pub fn create_buffer(&self, len: u64) -> ClResult<Buffer> {
         let id = self.backend.create_buffer(self.id, len)?;
-        Ok(Buffer { backend: self.backend.clone(), id, len })
+        Ok(Buffer {
+            backend: self.backend.clone(),
+            id,
+            len,
+        })
     }
 
     /// `clCreateCommandQueue`.
@@ -140,7 +158,10 @@ impl Context {
     /// Fails on stale contexts.
     pub fn create_queue(&self) -> ClResult<Queue> {
         let id = self.backend.create_queue(self.id)?;
-        Ok(Queue { backend: self.backend.clone(), id })
+        Ok(Queue {
+            backend: self.backend.clone(),
+            id,
+        })
     }
 }
 
@@ -170,7 +191,10 @@ impl Program {
     /// Fails when the kernel is absent from the bitstream.
     pub fn create_kernel(&self, name: &str) -> ClResult<Kernel> {
         let id = self.backend.create_kernel(self.id, name)?;
-        Ok(Kernel { backend: self.backend.clone(), id })
+        Ok(Kernel {
+            backend: self.backend.clone(),
+            id,
+        })
     }
 }
 
@@ -263,7 +287,10 @@ impl Drop for Buffer {
 
 impl std::fmt::Debug for Buffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Buffer").field("id", &self.id).field("len", &self.len).finish()
+        f.debug_struct("Buffer")
+            .field("id", &self.id)
+            .field("len", &self.len)
+            .finish()
     }
 }
 
@@ -286,7 +313,8 @@ impl Queue {
     ///
     /// Fails on invalid handles or out-of-bounds writes.
     pub fn write(&self, buffer: &Buffer, payload: impl Into<Payload>) -> ClResult<()> {
-        self.backend.enqueue_write(self.id, buffer.mem_id(), 0, payload.into(), true)?;
+        self.backend
+            .enqueue_write(self.id, buffer.mem_id(), 0, payload.into(), true)?;
         Ok(())
     }
 
@@ -301,7 +329,8 @@ impl Queue {
         offset: u64,
         payload: impl Into<Payload>,
     ) -> ClResult<Event> {
-        self.backend.enqueue_write(self.id, buffer.mem_id(), offset, payload.into(), false)
+        self.backend
+            .enqueue_write(self.id, buffer.mem_id(), offset, payload.into(), false)
     }
 
     /// Blocking whole-buffer read returning real bytes.
@@ -311,8 +340,9 @@ impl Queue {
     /// Fails on invalid handles, or with [`ClError::InvalidOperation`] when
     /// the buffer was never materialized (timing-only runs).
     pub fn read_vec(&self, buffer: &Buffer) -> ClResult<Vec<u8>> {
-        let ev =
-            self.backend.enqueue_read(self.id, buffer.mem_id(), 0, buffer.len(), true)?;
+        let ev = self
+            .backend
+            .enqueue_read(self.id, buffer.mem_id(), 0, buffer.len(), true)?;
         ev.wait()?;
         match ev.take_payload()? {
             Payload::Data(d) => Ok(d),
@@ -328,8 +358,9 @@ impl Queue {
     ///
     /// Fails on invalid handles.
     pub fn read_payload(&self, buffer: &Buffer) -> ClResult<Payload> {
-        let ev =
-            self.backend.enqueue_read(self.id, buffer.mem_id(), 0, buffer.len(), true)?;
+        let ev = self
+            .backend
+            .enqueue_read(self.id, buffer.mem_id(), 0, buffer.len(), true)?;
         ev.wait()?;
         ev.take_payload()
     }
@@ -340,7 +371,8 @@ impl Queue {
     ///
     /// Fails synchronously on invalid handles.
     pub fn read_async(&self, buffer: &Buffer, offset: u64, len: u64) -> ClResult<Event> {
-        self.backend.enqueue_read(self.id, buffer.mem_id(), offset, len, false)
+        self.backend
+            .enqueue_read(self.id, buffer.mem_id(), offset, len, false)
     }
 
     /// `clEnqueueNDRangeKernel`.
@@ -358,7 +390,8 @@ impl Queue {
     ///
     /// Fails on invalid handles or out-of-bounds regions.
     pub fn copy(&self, src: &Buffer, dst: &Buffer, len: u64) -> ClResult<Event> {
-        self.backend.enqueue_copy(self.id, src.mem_id(), dst.mem_id(), 0, 0, len)
+        self.backend
+            .enqueue_copy(self.id, src.mem_id(), dst.mem_id(), 0, 0, len)
     }
 
     /// `clEnqueueCopyBuffer` with explicit offsets.
@@ -374,7 +407,14 @@ impl Queue {
         dst_offset: u64,
         len: u64,
     ) -> ClResult<Event> {
-        self.backend.enqueue_copy(self.id, src.mem_id(), dst.mem_id(), src_offset, dst_offset, len)
+        self.backend.enqueue_copy(
+            self.id,
+            src.mem_id(),
+            dst.mem_id(),
+            src_offset,
+            dst_offset,
+            len,
+        )
     }
 
     /// `clEnqueueMarker`: an event that completes when everything enqueued

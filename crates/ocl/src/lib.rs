@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # bf-ocl — an OpenCL-style host API with pluggable backends
 //!
@@ -73,8 +73,7 @@ pub use event::{wait_for_events, CommandType, Event, EventCallback, EventProfile
 pub use handle::{Buffer, Context, Device, Kernel, Platform, Program, Queue};
 pub use native::NativeBackend;
 pub use types::{
-    ArgValue, BitstreamCatalog, ContextId, DeviceInfo, KernelId, MemId, NdRange, ProgramId,
-    QueueId,
+    ArgValue, BitstreamCatalog, ContextId, DeviceInfo, KernelId, MemId, NdRange, ProgramId, QueueId,
 };
 
 #[cfg(test)]

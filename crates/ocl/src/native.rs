@@ -12,8 +12,7 @@ use crate::backend::Backend;
 use crate::error::{ClError, ClResult};
 use crate::event::{CommandType, Event};
 use crate::types::{
-    ArgValue, BitstreamCatalog, ContextId, DeviceInfo, KernelId, MemId, NdRange, ProgramId,
-    QueueId,
+    ArgValue, BitstreamCatalog, ContextId, DeviceInfo, KernelId, MemId, NdRange, ProgramId, QueueId,
 };
 
 #[derive(Debug, Default)]
@@ -100,7 +99,10 @@ impl NativeBackend {
 
     fn queue_touch(&self, queue: QueueId, end: VirtualTime) -> ClResult<()> {
         let mut state = self.state.lock();
-        let q = state.queues.get_mut(&queue.0).ok_or(ClError::InvalidQueue)?;
+        let q = state
+            .queues
+            .get_mut(&queue.0)
+            .ok_or(ClError::InvalidQueue)?;
         q.last_end = q.last_end.max(end);
         Ok(())
     }
@@ -131,7 +133,10 @@ impl NativeBackend {
                 });
             }
         }
-        Ok(KernelInvocation { args, global_work: work.0 })
+        Ok(KernelInvocation {
+            args,
+            global_work: work.0,
+        })
     }
 }
 
@@ -194,7 +199,11 @@ impl Backend for NativeBackend {
 
     fn create_kernel(&self, program: ProgramId, name: &str) -> ClResult<KernelId> {
         let mut state = self.state.lock();
-        let bitstream = state.programs.get(&program.0).ok_or(ClError::InvalidProgram)?.clone();
+        let bitstream = state
+            .programs
+            .get(&program.0)
+            .ok_or(ClError::InvalidProgram)?
+            .clone();
         let image = self
             .catalog
             .get(&bitstream)
@@ -205,15 +214,22 @@ impl Backend for NativeBackend {
             )));
         }
         let id = state.fresh_id();
-        state
-            .kernels
-            .insert(id, KernelState { name: name.to_string(), args: BTreeMap::new() });
+        state.kernels.insert(
+            id,
+            KernelState {
+                name: name.to_string(),
+                args: BTreeMap::new(),
+            },
+        );
         Ok(KernelId(id))
     }
 
     fn set_kernel_arg(&self, kernel: KernelId, index: u32, arg: ArgValue) -> ClResult<()> {
         let mut state = self.state.lock();
-        let k = state.kernels.get_mut(&kernel.0).ok_or(ClError::InvalidKernel)?;
+        let k = state
+            .kernels
+            .get_mut(&kernel.0)
+            .ok_or(ClError::InvalidKernel)?;
         k.args.insert(index, arg);
         Ok(())
     }
@@ -235,7 +251,10 @@ impl Backend for NativeBackend {
     fn release_buffer(&self, buffer: MemId) -> ClResult<()> {
         let fpga = {
             let mut state = self.state.lock();
-            let b = state.buffers.remove(&buffer.0).ok_or(ClError::InvalidBuffer)?;
+            let b = state
+                .buffers
+                .remove(&buffer.0)
+                .ok_or(ClError::InvalidBuffer)?;
             b.fpga
         };
         self.board.lock().free_buffer(fpga)?;
@@ -324,7 +343,12 @@ impl Backend for NativeBackend {
         let invocation = self.snapshot_invocation(kernel, work)?;
         let name = {
             let state = self.state.lock();
-            state.kernels.get(&kernel.0).ok_or(ClError::InvalidKernel)?.name.clone()
+            state
+                .kernels
+                .get(&kernel.0)
+                .ok_or(ClError::InvalidKernel)?
+                .name
+                .clone()
         };
         let now = self.clock.now();
         let event = Event::new(CommandType::NdRangeKernel, now);
@@ -364,7 +388,15 @@ impl Backend for NativeBackend {
         event.attach_clock(self.clock.clone());
         let timing = {
             let mut board = self.board.lock();
-            board.copy_buffer(src_fpga, dst_fpga, src_offset, dst_offset, len, now, &self.owner)
+            board.copy_buffer(
+                src_fpga,
+                dst_fpga,
+                src_offset,
+                dst_offset,
+                len,
+                now,
+                &self.owner,
+            )
         };
         match timing {
             Ok(t) => {
@@ -386,7 +418,11 @@ impl Backend for NativeBackend {
         // is simply the queue's current drain point.
         let last_end = {
             let state = self.state.lock();
-            state.queues.get(&queue.0).ok_or(ClError::InvalidQueue)?.last_end
+            state
+                .queues
+                .get(&queue.0)
+                .ok_or(ClError::InvalidQueue)?
+                .last_end
         };
         let now = self.clock.now();
         let event = Event::new(CommandType::Marker, now);
@@ -404,13 +440,21 @@ impl Backend for NativeBackend {
     fn flush(&self, queue: QueueId) -> ClResult<()> {
         // Native commands are submitted eagerly; flush only validates.
         let state = self.state.lock();
-        state.queues.get(&queue.0).map(|_| ()).ok_or(ClError::InvalidQueue)
+        state
+            .queues
+            .get(&queue.0)
+            .map(|_| ())
+            .ok_or(ClError::InvalidQueue)
     }
 
     fn finish(&self, queue: QueueId) -> ClResult<()> {
         let last_end = {
             let state = self.state.lock();
-            state.queues.get(&queue.0).ok_or(ClError::InvalidQueue)?.last_end
+            state
+                .queues
+                .get(&queue.0)
+                .ok_or(ClError::InvalidQueue)?
+                .last_end
         };
         self.clock.advance_to(last_end);
         Ok(())
@@ -455,12 +499,18 @@ mod tests {
         let kernel = be.create_kernel(prog, "double").expect("kernel");
         let buf = be.create_buffer(ctx, 4).expect("buffer");
         let q = be.create_queue(ctx).expect("queue");
-        be.enqueue_write(q, buf, 0, Payload::Data(vec![1, 2, 3, 4]), true).expect("write");
-        be.set_kernel_arg(kernel, 0, ArgValue::Buffer(buf)).expect("arg");
-        be.enqueue_kernel(q, kernel, NdRange::d1(4)).expect("kernel");
+        be.enqueue_write(q, buf, 0, Payload::Data(vec![1, 2, 3, 4]), true)
+            .expect("write");
+        be.set_kernel_arg(kernel, 0, ArgValue::Buffer(buf))
+            .expect("arg");
+        be.enqueue_kernel(q, kernel, NdRange::d1(4))
+            .expect("kernel");
         be.finish(q).expect("finish");
         let ev = be.enqueue_read(q, buf, 0, 4, true).expect("read");
-        assert_eq!(ev.take_payload().expect("payload"), Payload::Data(vec![2, 4, 6, 8]));
+        assert_eq!(
+            ev.take_payload().expect("payload"),
+            Payload::Data(vec![2, 4, 6, 8])
+        );
     }
 
     #[test]
@@ -470,7 +520,8 @@ mod tests {
         let buf = be.create_buffer(ctx, 1 << 20).expect("buffer");
         let q = be.create_queue(ctx).expect("queue");
         let t0 = be.clock().now();
-        be.enqueue_write(q, buf, 0, Payload::Synthetic(1 << 20), true).expect("write");
+        be.enqueue_write(q, buf, 0, Payload::Synthetic(1 << 20), true)
+            .expect("write");
         assert!(be.clock().now() > t0, "blocking write must advance time");
     }
 
@@ -481,8 +532,14 @@ mod tests {
         let buf = be.create_buffer(ctx, 1 << 20).expect("buffer");
         let q = be.create_queue(ctx).expect("queue");
         let t0 = be.clock().now();
-        let ev = be.enqueue_write(q, buf, 0, Payload::Synthetic(1 << 20), false).expect("write");
-        assert_eq!(be.clock().now(), t0, "async write must not advance host time");
+        let ev = be
+            .enqueue_write(q, buf, 0, Payload::Synthetic(1 << 20), false)
+            .expect("write");
+        assert_eq!(
+            be.clock().now(),
+            t0,
+            "async write must not advance host time"
+        );
         be.finish(q).expect("finish");
         assert_eq!(Some(be.clock().now()), ev.profile().ended);
     }
@@ -494,7 +551,11 @@ mod tests {
         be.build_program(ctx, "double").expect("first build");
         let reconfigs = be.board().lock().reconfigurations();
         be.build_program(ctx, "double").expect("second build");
-        assert_eq!(be.board().lock().reconfigurations(), reconfigs, "no reprogram when same");
+        assert_eq!(
+            be.board().lock().reconfigurations(),
+            reconfigs,
+            "no reprogram when same"
+        );
     }
 
     #[test]
@@ -514,7 +575,8 @@ mod tests {
         let prog = be.build_program(ctx, "double").expect("program");
         let kernel = be.create_kernel(prog, "double").expect("kernel");
         let q = be.create_queue(ctx).expect("queue");
-        be.set_kernel_arg(kernel, 1, ArgValue::U32(3)).expect("arg 1");
+        be.set_kernel_arg(kernel, 1, ArgValue::U32(3))
+            .expect("arg 1");
         assert!(matches!(
             be.enqueue_kernel(q, kernel, NdRange::d1(1)),
             Err(ClError::MissingKernelArg(0))
@@ -524,7 +586,10 @@ mod tests {
     #[test]
     fn stale_handles_are_rejected() {
         let be = backend();
-        assert_eq!(be.create_buffer(ContextId(99), 4), Err(ClError::InvalidContext));
+        assert_eq!(
+            be.create_buffer(ContextId(99), 4),
+            Err(ClError::InvalidContext)
+        );
         assert_eq!(be.release_buffer(MemId(99)), Err(ClError::InvalidBuffer));
         assert_eq!(be.flush(QueueId(99)), Err(ClError::InvalidQueue));
         assert_eq!(be.finish(QueueId(99)), Err(ClError::InvalidQueue));

@@ -163,7 +163,10 @@ mod tests {
         assert!(cat.is_empty());
         cat.register(Arc::new(Bitstream::new("sobel", vec![])));
         assert_eq!(cat.len(), 1);
-        assert_eq!(cat.get("sobel").map(|b| b.id().to_string()), Some("sobel".to_string()));
+        assert_eq!(
+            cat.get("sobel").map(|b| b.id().to_string()),
+            Some("sobel".to_string())
+        );
         assert!(cat.get("missing").is_none());
     }
 }

@@ -52,7 +52,10 @@ impl AllocationPolicy {
     pub fn paper() -> Self {
         AllocationPolicy {
             metrics_order: vec![MetricKey::ConnectedFunctions, MetricKey::Utilization],
-            metrics_filters: vec![MetricFilter { key: MetricKey::Utilization, max: 0.95 }],
+            metrics_filters: vec![MetricFilter {
+                key: MetricKey::Utilization,
+                max: 0.95,
+            }],
             node_priority: vec![NodeId::new("B"), NodeId::new("A"), NodeId::new("C")],
         }
     }
@@ -164,14 +167,21 @@ pub fn allocate(
         .iter()
         .filter(|d| query.hardware_matches(&d.vendor, &d.platform))
         .filter(|d| {
-            policy.metrics_filters.iter().all(|f| d.metric(f.key) <= f.max)
+            policy
+                .metrics_filters
+                .iter()
+                .all(|f| d.metric(f.key) <= f.max)
         })
         .collect();
 
     // Step 4: order by metrics, then accelerator compatibility, then the
     // deterministic node priority.
     let node_rank = |n: &NodeId| {
-        policy.node_priority.iter().position(|p| p == n).unwrap_or(policy.node_priority.len())
+        policy
+            .node_priority
+            .iter()
+            .position(|p| p == n)
+            .unwrap_or(policy.node_priority.len())
     };
     candidates.sort_by(|a, b| {
         for key in &policy.metrics_order {
@@ -199,7 +209,11 @@ pub fn allocate(
         return Ok(Allocation {
             device_id: dev.id.clone(),
             node: dev.node.clone(),
-            reconfigure: if compatible { None } else { query.accelerator.clone() },
+            reconfigure: if compatible {
+                None
+            } else {
+                query.accelerator.clone()
+            },
             displaced: if compatible {
                 Vec::new()
             } else {
@@ -207,7 +221,10 @@ pub fn allocate(
             },
         });
     }
-    Err(AllocateError::DeviceNotFound { candidates: survived, query: format!("{query:?}") })
+    Err(AllocateError::DeviceNotFound {
+        candidates: survived,
+        query: format!("{query:?}"),
+    })
 }
 
 /// Whether every workload currently on `dev` could run on some *other*
@@ -226,7 +243,13 @@ fn redistributable(dev: &DeviceView, candidates: &[&DeviceView], dev_idx: usize)
 mod tests {
     use super::*;
 
-    fn dev(id: &str, node: &str, bitstream: Option<&str>, connected: usize, util: f64) -> DeviceView {
+    fn dev(
+        id: &str,
+        node: &str,
+        bitstream: Option<&str>,
+        connected: usize,
+        util: f64,
+    ) -> DeviceView {
         DeviceView {
             id: id.to_string(),
             node: NodeId::new(node),
@@ -266,7 +289,10 @@ mod tests {
             dev("fpga-c", "C", Some("sobel"), 0, 0.0),
         ];
         let got = allocate(&sobel_query(), &devices, &AllocationPolicy::paper()).expect("alloc");
-        assert_eq!(got.device_id, "fpga-b", "B precedes A and C in the paper policy");
+        assert_eq!(
+            got.device_id, "fpga-b",
+            "B precedes A and C in the paper policy"
+        );
     }
 
     #[test]
@@ -287,7 +313,10 @@ mod tests {
             dev("fpga-b", "B", Some("sobel"), 3, 0.5),
         ];
         let got = allocate(&sobel_query(), &devices, &AllocationPolicy::paper()).expect("alloc");
-        assert_eq!(got.device_id, "fpga-b", "the 99%-utilized device is filtered");
+        assert_eq!(
+            got.device_id, "fpga-b",
+            "the 99%-utilized device is filtered"
+        );
     }
 
     #[test]
@@ -337,7 +366,10 @@ mod tests {
         let devices = vec![dev("fpga-a", "A", Some("sobel"), 0, 1.0)];
         let err = allocate(&sobel_query(), &devices, &AllocationPolicy::paper())
             .expect_err("all filtered");
-        assert!(matches!(err, AllocateError::DeviceNotFound { candidates: 0, .. }));
+        assert!(matches!(
+            err,
+            AllocateError::DeviceNotFound { candidates: 0, .. }
+        ));
 
         let wrong_vendor = DeviceQuery::for_accelerator("sobel").with_vendor("Xilinx");
         let devices = vec![dev("fpga-a", "A", Some("sobel"), 0, 0.0)];
@@ -360,8 +392,12 @@ mod tests {
             let got =
                 allocate(&sobel_query(), &devices, &AllocationPolicy::paper()).expect("alloc");
             placement.push(got.node.as_str().to_string());
-            let d = devices.iter_mut().find(|d| d.id == got.device_id).expect("chosen exists");
-            d.connected.insert(format!("sobel-{}", i + 1), Some("sobel".to_string()));
+            let d = devices
+                .iter_mut()
+                .find(|d| d.id == got.device_id)
+                .expect("chosen exists");
+            d.connected
+                .insert(format!("sobel-{}", i + 1), Some("sobel".to_string()));
         }
         let count = |n: &str| placement.iter().filter(|p| p.as_str() == n).count();
         assert_eq!(count("B"), 2);

@@ -53,7 +53,11 @@ fn parse_line(line: &str) -> Option<ScrapeSample> {
     if name.is_empty() {
         return None;
     }
-    Some(ScrapeSample { name, labels, value })
+    Some(ScrapeSample {
+        name,
+        labels,
+        value,
+    })
 }
 
 /// Splits `a="x",b="y"` on commas outside quotes.
@@ -100,7 +104,10 @@ bf_fpga_busy_seconds{device=\"fpga-b\",window=\"all\"} 1.5
         let samples = parse_scrape(text);
         assert_eq!(samples.len(), 3);
         assert_eq!(samples[0].name, "bf_fpga_utilization");
-        assert_eq!(samples[0].labels.get("device").map(String::as_str), Some("fpga-b"));
+        assert_eq!(
+            samples[0].labels.get("device").map(String::as_str),
+            Some("fpga-b")
+        );
         assert_eq!(samples[0].value, 0.42);
         assert_eq!(samples[1].labels.len(), 0);
         assert_eq!(samples[2].labels.len(), 2);
@@ -117,8 +124,14 @@ bf_fpga_busy_seconds{device=\"fpga-b\",window=\"all\"} 1.5
         let samples = parse_scrape(
             "bf_fpga_utilization{device=\"fpga-a\"} 0.1\nbf_fpga_utilization{device=\"fpga-b\"} 0.9\n",
         );
-        assert_eq!(gauge_for_device(&samples, "bf_fpga_utilization", "fpga-b"), Some(0.9));
-        assert_eq!(gauge_for_device(&samples, "bf_fpga_utilization", "fpga-z"), None);
+        assert_eq!(
+            gauge_for_device(&samples, "bf_fpga_utilization", "fpga-b"),
+            Some(0.9)
+        );
+        assert_eq!(
+            gauge_for_device(&samples, "bf_fpga_utilization", "fpga-z"),
+            None
+        );
         assert_eq!(gauge_for_device(&samples, "nope", "fpga-b"), None);
     }
 
@@ -126,10 +139,18 @@ bf_fpga_busy_seconds{device=\"fpga-b\",window=\"all\"} 1.5
     fn round_trips_a_real_manager_scrape() {
         // The format written by bf-metrics must parse back.
         let reg = bf_metrics::MetricsRegistry::new();
-        reg.gauge("bf_fpga_utilization", &[("device", "fpga-x")]).set(0.25);
-        reg.counter("bf_manager_ops_total", &[("device", "fpga-x")]).inc_by(3.0);
+        reg.gauge("bf_fpga_utilization", &[("device", "fpga-x")])
+            .set(0.25);
+        reg.counter("bf_manager_ops_total", &[("device", "fpga-x")])
+            .inc_by(3.0);
         let samples = parse_scrape(&reg.scrape());
-        assert_eq!(gauge_for_device(&samples, "bf_fpga_utilization", "fpga-x"), Some(0.25));
-        assert_eq!(gauge_for_device(&samples, "bf_manager_ops_total", "fpga-x"), Some(3.0));
+        assert_eq!(
+            gauge_for_device(&samples, "bf_fpga_utilization", "fpga-x"),
+            Some(0.25)
+        );
+        assert_eq!(
+            gauge_for_device(&samples, "bf_manager_ops_total", "fpga-x"),
+            Some(3.0)
+        );
     }
 }

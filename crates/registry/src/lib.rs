@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # bf-registry — the BlastFunction Accelerators Registry
 //!
@@ -35,7 +35,9 @@ pub use allocation::{
 };
 pub use gatherer::{gauge_for_device, parse_scrape, ScrapeSample};
 pub use query::DeviceQuery;
-pub use registry::{FunctionRecord, Registry, RegistryError, ENV_DEVICE_MANAGER, SHM_VOLUME_PREFIX};
+pub use registry::{
+    FunctionRecord, Registry, RegistryError, ENV_DEVICE_MANAGER, SHM_VOLUME_PREFIX,
+};
 
 #[cfg(test)]
 mod tests {
@@ -58,10 +60,7 @@ mod tests {
     }
 
     fn manager(id: &str, node: NodeSpec) -> DeviceManager {
-        let board = Arc::new(Mutex::new(Board::new(
-            BoardSpec::de5a_net(),
-            *node.pcie(),
-        )));
+        let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node.pcie())));
         DeviceManager::new(
             DeviceManagerConfig::standalone(id).with_policy(ReconfigPolicy::Deny),
             node,
@@ -136,7 +135,10 @@ mod tests {
             sent_at: bf_model::VirtualTime::ZERO,
             body,
         };
-        endpoint.channel.send(&ctx_req(1, Request::CreateContext)).expect("send");
+        endpoint
+            .channel
+            .send(&ctx_req(1, Request::CreateContext))
+            .expect("send");
         let ctx = loop {
             let resp = endpoint
                 .channel
@@ -150,7 +152,13 @@ mod tests {
         };
         endpoint
             .channel
-            .send(&ctx_req(2, Request::CreateBuffer { context: ctx, len: 1 << 20 }))
+            .send(&ctx_req(
+                2,
+                Request::CreateBuffer {
+                    context: ctx,
+                    len: 1 << 20,
+                },
+            ))
             .expect("send");
         let buf = loop {
             let resp = endpoint
@@ -180,14 +188,20 @@ mod tests {
         };
         endpoint
             .channel
-            .send(&ctx_req(4, Request::EnqueueWrite {
-                queue,
-                buffer: buf,
-                offset: 0,
-                data: DataRef::Synthetic(1 << 20),
-            }))
+            .send(&ctx_req(
+                4,
+                Request::EnqueueWrite {
+                    queue,
+                    buffer: buf,
+                    offset: 0,
+                    data: DataRef::Synthetic(1 << 20),
+                },
+            ))
             .expect("send");
-        endpoint.channel.send(&ctx_req(5, Request::Finish { queue })).expect("send");
+        endpoint
+            .channel
+            .send(&ctx_req(5, Request::Finish { queue }))
+            .expect("send");
         loop {
             let resp = endpoint
                 .channel
@@ -236,10 +250,15 @@ mod tests {
         let registry = registry_with_three_devices();
         registry.attach_cluster(&cluster);
         registry.register_function("sobel-1", DeviceQuery::for_accelerator("sobel"));
-        let inst = cluster.create_instance(InstanceTemplate::new("sobel-1")).expect("create");
+        let inst = cluster
+            .create_instance(InstanceTemplate::new("sobel-1"))
+            .expect("create");
         let device = inst.env.get(ENV_DEVICE_MANAGER).expect("device injected");
         assert!(device.starts_with("fpga-"));
-        assert!(inst.volumes.iter().any(|v| v.starts_with(SHM_VOLUME_PREFIX)));
+        assert!(inst
+            .volumes
+            .iter()
+            .any(|v| v.starts_with(SHM_VOLUME_PREFIX)));
         let bound = registry.binding(&inst.id.to_string()).expect("bound");
         assert_eq!(&bound, device);
         // Forced co-location with the device's node:
@@ -253,7 +272,9 @@ mod tests {
         let registry = registry_with_three_devices();
         registry.attach_cluster(&cluster);
         registry.register_function("sobel-1", DeviceQuery::for_accelerator("sobel"));
-        let inst = cluster.create_instance(InstanceTemplate::new("sobel-1")).expect("create");
+        let inst = cluster
+            .create_instance(InstanceTemplate::new("sobel-1"))
+            .expect("create");
         let name = inst.id.to_string();
         assert!(registry.binding(&name).is_some());
         cluster.delete_instance(inst.id).expect("delete");
@@ -276,10 +297,14 @@ mod tests {
         registry.attach_cluster(&cluster);
         registry.register_function("mm-1", DeviceQuery::for_accelerator("mm"));
 
-        let inst = cluster.create_instance(InstanceTemplate::new("mm-1")).expect("create mm");
+        let inst = cluster
+            .create_instance(InstanceTemplate::new("mm-1"))
+            .expect("create mm");
         let mm_device = registry.binding(&inst.id.to_string()).expect("bound");
 
-        registry.reconfigure_device(&mm_device, "sobel").expect("reconfigure");
+        registry
+            .reconfigure_device(&mm_device, "sobel")
+            .expect("reconfigure");
         let mgr = registry.manager(&mm_device).expect("manager");
         assert_eq!(mgr.bitstream_id().as_deref(), Some("sobel"));
 
@@ -287,9 +312,17 @@ mod tests {
         let instances = cluster.instances();
         assert_eq!(instances.len(), 1);
         let replacement = &instances[0];
-        assert_ne!(replacement.id, inst.id, "create-before-delete produced a new pod");
-        let new_device = registry.binding(&replacement.id.to_string()).expect("rebound");
-        assert_ne!(new_device, mm_device, "the tenant moved off the reconfigured board");
+        assert_ne!(
+            replacement.id, inst.id,
+            "create-before-delete produced a new pod"
+        );
+        let new_device = registry
+            .binding(&replacement.id.to_string())
+            .expect("rebound");
+        assert_ne!(
+            new_device, mm_device,
+            "the tenant moved off the reconfigured board"
+        );
     }
 
     #[test]
@@ -298,16 +331,17 @@ mod tests {
         let registry = registry_with_three_devices();
         registry.attach_cluster(&cluster);
         for i in 1..=3 {
-            registry.register_function(
-                format!("sobel-{i}"),
-                DeviceQuery::for_accelerator("sobel"),
-            );
-            cluster.create_instance(InstanceTemplate::new(format!("sobel-{i}"))).expect("create");
+            registry.register_function(format!("sobel-{i}"), DeviceQuery::for_accelerator("sobel"));
+            cluster
+                .create_instance(InstanceTemplate::new(format!("sobel-{i}")))
+                .expect("create");
         }
         // Pick the device of sobel-1's pod and fail it.
         let victim_pod = cluster.instances()[0].clone();
         let failed_device = registry.binding(&victim_pod.id.to_string()).expect("bound");
-        let migrated = registry.handle_device_failure(&failed_device).expect("failure handled");
+        let migrated = registry
+            .handle_device_failure(&failed_device)
+            .expect("failure handled");
         assert_eq!(migrated, vec![victim_pod.id.to_string()]);
         // The device is gone from the service…
         assert!(registry.manager(&failed_device).is_none());
@@ -319,7 +353,9 @@ mod tests {
             .find(|i| i.function == victim_pod.function)
             .expect("replacement pod exists");
         assert_ne!(replacement.id, victim_pod.id, "create-before-delete");
-        let new_device = registry.binding(&replacement.id.to_string()).expect("rebound");
+        let new_device = registry
+            .binding(&replacement.id.to_string())
+            .expect("rebound");
         assert_ne!(new_device, failed_device);
         // Failing an unknown device errors.
         assert!(matches!(
@@ -339,17 +375,18 @@ mod tests {
         registry.register_device(manager("fpga-b", node_b()));
         registry.attach_cluster(&cluster);
         for i in 1..=2 {
-            registry.register_function(
-                format!("sobel-{i}"),
-                DeviceQuery::for_accelerator("sobel"),
-            );
+            registry.register_function(format!("sobel-{i}"), DeviceQuery::for_accelerator("sobel"));
         }
-        let first = cluster.create_instance(InstanceTemplate::new("sobel-1")).expect("create");
+        let first = cluster
+            .create_instance(InstanceTemplate::new("sobel-1"))
+            .expect("create");
         assert_eq!(first.env[ENV_DEVICE_MANAGER], "fpga-b");
 
         // A new node joins the cluster with a fresh board.
         registry.register_device(manager("fpga-c", node_c()));
-        let second = cluster.create_instance(InstanceTemplate::new("sobel-2")).expect("create");
+        let second = cluster
+            .create_instance(InstanceTemplate::new("sobel-2"))
+            .expect("create");
         assert_eq!(
             second.env[ENV_DEVICE_MANAGER], "fpga-c",
             "the empty newcomer wins the balanced ordering"

@@ -21,7 +21,10 @@ impl DeviceQuery {
 
     /// Requires a specific accelerator bitstream.
     pub fn for_accelerator(bitstream: impl Into<String>) -> Self {
-        DeviceQuery { accelerator: Some(bitstream.into()), ..Default::default() }
+        DeviceQuery {
+            accelerator: Some(bitstream.into()),
+            ..Default::default()
+        }
     }
 
     /// Additionally requires a vendor.
@@ -41,7 +44,10 @@ impl DeviceQuery {
     /// affects ordering, per Algorithm 1).
     pub fn hardware_matches(&self, vendor: &str, platform: &str) -> bool {
         let v_ok = self.vendor.as_deref().is_none_or(|v| vendor.contains(v));
-        let p_ok = self.platform.as_deref().is_none_or(|p| platform.contains(p));
+        let p_ok = self
+            .platform
+            .as_deref()
+            .is_none_or(|p| platform.contains(p));
         v_ok && p_ok
     }
 
@@ -70,7 +76,9 @@ mod tests {
 
     #[test]
     fn hardware_filters_are_substrings() {
-        let q = DeviceQuery::any().with_vendor("Intel").with_platform("FPGA");
+        let q = DeviceQuery::any()
+            .with_vendor("Intel")
+            .with_platform("FPGA");
         assert!(q.hardware_matches("Intel Corp.", "Intel(R) FPGA SDK"));
         assert!(!q.hardware_matches("Xilinx", "Vitis"));
         assert!(!q.hardware_matches("Intel Corp.", "Vitis"));
@@ -81,6 +89,9 @@ mod tests {
         let q = DeviceQuery::for_accelerator("spector-sobel");
         assert!(q.accelerator_matches(Some("spector-sobel")));
         assert!(!q.accelerator_matches(Some("spector-mm")));
-        assert!(!q.accelerator_matches(None), "a blank board needs programming");
+        assert!(
+            !q.accelerator_matches(None),
+            "a blank board needs programming"
+        );
     }
 }

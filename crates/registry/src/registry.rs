@@ -12,7 +12,7 @@ use bf_devmgr::{DeviceManager, ReconfigRequest};
 use bf_model::NodeId;
 use parking_lot::Mutex;
 
-use crate::allocation::{allocate, Allocation, AllocateError, AllocationPolicy, DeviceView};
+use crate::allocation::{allocate, AllocateError, Allocation, AllocationPolicy, DeviceView};
 use crate::gatherer::{gauge_for_device, parse_scrape};
 use crate::query::DeviceQuery;
 
@@ -122,10 +122,14 @@ impl Registry {
     /// Registers a function and its device query (Functions Service).
     pub fn register_function(&self, name: impl Into<String>, query: DeviceQuery) {
         let name = name.into();
-        self.inner
-            .lock()
-            .functions
-            .insert(name.clone(), FunctionRecord { name, query, instances: Vec::new() });
+        self.inner.lock().functions.insert(
+            name.clone(),
+            FunctionRecord {
+                name,
+                query,
+                instances: Vec::new(),
+            },
+        );
     }
 
     /// Fetches a function record.
@@ -136,7 +140,11 @@ impl Registry {
     /// The manager handle for a device id (what a function instance dials
     /// after reading `DEVICE_MANAGER_ADDRESS`).
     pub fn manager(&self, device_id: &str) -> Option<DeviceManager> {
-        self.inner.lock().devices.get(device_id).map(|d| d.manager.clone())
+        self.inner
+            .lock()
+            .devices
+            .get(device_id)
+            .map(|d| d.manager.clone())
     }
 
     /// All registered device ids.
@@ -146,7 +154,11 @@ impl Registry {
 
     /// The device an instance is bound to.
     pub fn binding(&self, instance: &str) -> Option<String> {
-        self.inner.lock().bindings.get(instance).map(|(_, d)| d.clone())
+        self.inner
+            .lock()
+            .bindings
+            .get(instance)
+            .map(|(_, d)| d.clone())
     }
 
     /// Metrics Gatherer: scrapes every manager's Prometheus text and
@@ -155,7 +167,11 @@ impl Registry {
         // Scrape outside the lock (scrapes take the managers' locks).
         let scrapes: Vec<(String, String)> = {
             let inner = self.inner.lock();
-            inner.devices.values().map(|d| (d.manager.device_id().to_string(), d.manager.scrape())).collect()
+            inner
+                .devices
+                .values()
+                .map(|d| (d.manager.device_id().to_string(), d.manager.scrape()))
+                .collect()
         };
         let mut inner = self.inner.lock();
         for (id, text) in scrapes {
@@ -246,9 +262,10 @@ impl Registry {
             // Bookkeeping: bind the new instance, unbind the displaced,
             // mark the pending reconfiguration so concurrent allocations
             // see the device's future bitstream.
-            inner
-                .bindings
-                .insert(instance.to_string(), (function.to_string(), decision.device_id.clone()));
+            inner.bindings.insert(
+                instance.to_string(),
+                (function.to_string(), decision.device_id.clone()),
+            );
             if let Some(rec) = inner.functions.get_mut(function) {
                 rec.instances.push(instance.to_string());
             }
@@ -281,7 +298,9 @@ impl Registry {
                 }
             }
             manager.program(bitstream).map_err(RegistryError::Program)?;
-            self.inner.lock().devices.get_mut(&decision.device_id).expect("registered").pending_reconfiguration = None;
+            if let Some(device) = self.inner.lock().devices.get_mut(&decision.device_id) {
+                device.pending_reconfiguration = None;
+            }
         }
         Ok(decision)
     }
@@ -342,8 +361,9 @@ impl Registry {
             }
         }
         manager.program(bitstream).map_err(RegistryError::Program)?;
-        self.inner.lock().devices.get_mut(device_id).expect("registered").pending_reconfiguration =
-            None;
+        if let Some(device) = self.inner.lock().devices.get_mut(device_id) {
+            device.pending_reconfiguration = None;
+        }
         Ok(())
     }
 
@@ -415,8 +435,10 @@ impl Registry {
             let placement = registry
                 .place_instance(&instance, &spec.function)
                 .map_err(|e| e.to_string())?;
-            spec.env.insert(ENV_DEVICE_MANAGER.to_string(), placement.device_id.clone());
-            spec.volumes.push(format!("{SHM_VOLUME_PREFIX}{}", placement.device_id));
+            spec.env
+                .insert(ENV_DEVICE_MANAGER.to_string(), placement.device_id.clone());
+            spec.volumes
+                .push(format!("{SHM_VOLUME_PREFIX}{}", placement.device_id));
             spec.node = Some(placement.node.clone());
             Ok(())
         }));
@@ -431,6 +453,8 @@ impl Registry {
                     }
                 }
             })
+            // bf-lint: allow(panic): thread-spawn failure is OS resource
+            // exhaustion at registry startup — no caller can recover.
             .expect("spawn registry watch thread");
     }
 
@@ -441,7 +465,12 @@ impl Registry {
 
     /// Nodes currently hosting at least one registered device.
     pub fn device_nodes(&self) -> Vec<NodeId> {
-        self.inner.lock().devices.values().map(|d| d.manager.node().id().clone()).collect()
+        self.inner
+            .lock()
+            .devices
+            .values()
+            .map(|d| d.manager.node().id().clone())
+            .collect()
     }
 }
 
@@ -470,6 +499,9 @@ mod tests {
     fn pod_id_round_trip() {
         assert_eq!(parse_pod_id("pod-17"), Some(17));
         assert_eq!(parse_pod_id("sobel-1"), None);
-        assert_eq!(parse_pod_id(&bf_cluster::InstanceId(3).to_string()), Some(3));
+        assert_eq!(
+            parse_pod_id(&bf_cluster::InstanceId(3).to_string()),
+            Some(3)
+        );
     }
 }

@@ -43,12 +43,17 @@ impl RemoteBackend {
         let node = endpoint.node.clone();
         let conn = Connection::new(endpoint);
         let (resp, observed) = conn.call(
-            Request::Hello { client_name: String::new(), shm: conn.shm().is_some() },
+            Request::Hello {
+                client_name: String::new(),
+                shm: conn.shm().is_some(),
+            },
             clock.now(),
         )?;
         clock.advance_to(observed);
         let Response::Handle { .. } = resp else {
-            return Err(ClError::TransportFailure(format!("bad hello response: {resp:?}")));
+            return Err(ClError::TransportFailure(format!(
+                "bad hello response: {resp:?}"
+            )));
         };
         let backend = RemoteBackend {
             device_id,
@@ -82,8 +87,14 @@ impl RemoteBackend {
     fn refresh_info(&self) -> ClResult<()> {
         let (resp, observed) = self.conn.call(Request::GetDeviceInfo, self.clock.now())?;
         self.clock.advance_to(observed);
-        if let Response::DeviceInfo { name, vendor, platform, memory_bytes, node, bitstream } =
-            resp
+        if let Response::DeviceInfo {
+            name,
+            vendor,
+            platform,
+            memory_bytes,
+            node,
+            bitstream,
+        } = resp
         {
             *self.info.lock() = DeviceInfo {
                 name,
@@ -95,7 +106,9 @@ impl RemoteBackend {
             };
             Ok(())
         } else {
-            Err(ClError::TransportFailure("bad device info response".to_string()))
+            Err(ClError::TransportFailure(
+                "bad device info response".to_string(),
+            ))
         }
     }
 
@@ -104,7 +117,9 @@ impl RemoteBackend {
         self.clock.advance_to(observed);
         match resp {
             Response::Handle { id } => Ok(id),
-            other => Err(ClError::TransportFailure(format!("expected handle, got {other:?}"))),
+            other => Err(ClError::TransportFailure(format!(
+                "expected handle, got {other:?}"
+            ))),
         }
     }
 
@@ -113,7 +128,9 @@ impl RemoteBackend {
         self.clock.advance_to(observed);
         match resp {
             Response::Ack | Response::Handle { .. } => Ok(()),
-            other => Err(ClError::TransportFailure(format!("expected ack, got {other:?}"))),
+            other => Err(ClError::TransportFailure(format!(
+                "expected ack, got {other:?}"
+            ))),
         }
     }
 
@@ -127,7 +144,9 @@ impl RemoteBackend {
     ///
     /// [`ReconfigPolicy`]: bf_devmgr::ReconfigPolicy
     pub fn reconfigure(&self, bitstream: &str) -> ClResult<()> {
-        self.sync_ack(Request::Reconfigure { bitstream: bitstream.to_string() })
+        self.sync_ack(Request::Reconfigure {
+            bitstream: bitstream.to_string(),
+        })
     }
 
     /// Stages a write payload onto the data path: real bytes are copied
@@ -188,13 +207,18 @@ impl Backend for RemoteBackend {
     }
 
     fn build_program(&self, _ctx: ContextId, bitstream: &str) -> ClResult<ProgramId> {
-        self.sync_handle(Request::BuildProgram { bitstream: bitstream.to_string() })
-            .map(ProgramId)
+        self.sync_handle(Request::BuildProgram {
+            bitstream: bitstream.to_string(),
+        })
+        .map(ProgramId)
     }
 
     fn create_kernel(&self, program: ProgramId, name: &str) -> ClResult<KernelId> {
-        self.sync_handle(Request::CreateKernel { program: program.0, name: name.to_string() })
-            .map(KernelId)
+        self.sync_handle(Request::CreateKernel {
+            program: program.0,
+            name: name.to_string(),
+        })
+        .map(KernelId)
     }
 
     fn set_kernel_arg(&self, kernel: KernelId, index: u32, arg: ArgValue) -> ClResult<()> {
@@ -208,22 +232,34 @@ impl Backend for RemoteBackend {
         // Fire-and-forget: channel FIFO guarantees the argument lands
         // before any subsequent launch; errors surface at launch time.
         self.conn.cast(
-            Request::SetKernelArg { kernel: kernel.0, index, arg: wire },
+            Request::SetKernelArg {
+                kernel: kernel.0,
+                index,
+                arg: wire,
+            },
             self.clock.now(),
         )
     }
 
     fn create_buffer(&self, ctx: ContextId, len: u64) -> ClResult<MemId> {
-        self.sync_handle(Request::CreateBuffer { context: ctx.0, len }).map(MemId)
+        self.sync_handle(Request::CreateBuffer {
+            context: ctx.0,
+            len,
+        })
+        .map(MemId)
     }
 
     fn release_buffer(&self, buffer: MemId) -> ClResult<()> {
         // Fire-and-forget so dropping a Buffer never blocks (C-DTOR-BLOCK).
-        self.conn.cast(Request::ReleaseBuffer { buffer: buffer.0 }, self.clock.now())
+        self.conn.cast(
+            Request::ReleaseBuffer { buffer: buffer.0 },
+            self.clock.now(),
+        )
     }
 
     fn create_queue(&self, ctx: ContextId) -> ClResult<QueueId> {
-        self.sync_handle(Request::CreateQueue { context: ctx.0 }).map(QueueId)
+        self.sync_handle(Request::CreateQueue { context: ctx.0 })
+            .map(QueueId)
     }
 
     fn enqueue_write(
@@ -238,7 +274,12 @@ impl Backend for RemoteBackend {
         event.attach_clock(self.clock.clone());
         let (data, region, ready) = self.stage_payload(payload)?;
         self.conn.submit_op(
-            Request::EnqueueWrite { queue: queue.0, buffer: buffer.0, offset, data },
+            Request::EnqueueWrite {
+                queue: queue.0,
+                buffer: buffer.0,
+                offset,
+                data,
+            },
             ready,
             event.clone(),
             region,
@@ -263,7 +304,12 @@ impl Backend for RemoteBackend {
         event.attach_clock(self.clock.clone());
         let sent = self.pipeline_now();
         self.conn.submit_op(
-            Request::EnqueueRead { queue: queue.0, buffer: buffer.0, offset, len },
+            Request::EnqueueRead {
+                queue: queue.0,
+                buffer: buffer.0,
+                offset,
+                len,
+            },
             sent,
             event.clone(),
             None,
@@ -281,7 +327,11 @@ impl Backend for RemoteBackend {
         event.attach_clock(self.clock.clone());
         let sent = self.pipeline_now();
         self.conn.submit_op(
-            Request::EnqueueKernel { queue: queue.0, kernel: kernel.0, work: work.0 },
+            Request::EnqueueKernel {
+                queue: queue.0,
+                kernel: kernel.0,
+                work: work.0,
+            },
             sent,
             event.clone(),
             None,
@@ -326,7 +376,13 @@ impl Backend for RemoteBackend {
         let event = Event::new(CommandType::Marker, self.clock.now());
         event.attach_clock(self.clock.clone());
         let sent = self.pipeline_now();
-        self.conn.submit_op(Request::Finish { queue: queue.0 }, sent, event.clone(), None, None)?;
+        self.conn.submit_op(
+            Request::Finish { queue: queue.0 },
+            sent,
+            event.clone(),
+            None,
+            None,
+        )?;
         Ok(event)
     }
 
@@ -337,7 +393,8 @@ impl Backend for RemoteBackend {
     }
 
     fn flush(&self, queue: QueueId) -> ClResult<()> {
-        self.conn.cast(Request::Flush { queue: queue.0 }, self.pipeline_now())
+        self.conn
+            .cast(Request::Flush { queue: queue.0 }, self.pipeline_now())
     }
 
     fn finish(&self, queue: QueueId) -> ClResult<()> {

@@ -77,6 +77,8 @@ impl Connection {
             std::thread::Builder::new()
                 .name(format!("bf-remote-conn-{}", inner.client.0))
                 .spawn(move || connection_thread(inner))
+                // bf-lint: allow(panic): thread-spawn failure is OS resource
+                // exhaustion — a connection without its reader thread is dead.
                 .expect("spawn remote connection thread");
         }
         Connection { inner }
@@ -174,7 +176,12 @@ impl Connection {
         let machine = OpStateMachine::new(event.command());
         self.inner.pending.lock().insert(
             tag,
-            Pending::Op(Box::new(OpPending { event, machine, write_region, read_len })),
+            Pending::Op(Box::new(OpPending {
+                event,
+                machine,
+                write_region,
+                read_len,
+            })),
         );
         self.send(tag, body, sent_at)
     }
@@ -182,7 +189,12 @@ impl Connection {
     fn send(&self, tag: u64, body: Request, sent_at: VirtualTime) -> ClResult<()> {
         self.inner
             .channel
-            .send(&RequestEnvelope { tag, client: self.inner.client, sent_at, body })
+            .send(&RequestEnvelope {
+                tag,
+                client: self.inner.client,
+                sent_at,
+                body,
+            })
             .map_err(|e| {
                 self.inner.pending.lock().remove(&tag);
                 ClError::TransportFailure(e.to_string())
@@ -237,7 +249,8 @@ fn connection_thread(inner: Arc<ConnectionInner>) {
     let mut pending = inner.pending.lock();
     for (_, entry) in pending.drain() {
         if let Pending::Op(op) = entry {
-            op.event.fail(ClError::TransportFailure("connection closed".to_string()));
+            op.event
+                .fail(ClError::TransportFailure("connection closed".to_string()));
         }
     }
 }
@@ -252,7 +265,11 @@ fn advance_op(inner: &Arc<ConnectionInner>, op: &mut OpPending, resp: ResponseEn
             op.event.mark_submitted(resp.sent_at);
             true
         }
-        Response::Completed { started_at, ended_at, data } => {
+        Response::Completed {
+            started_at,
+            ended_at,
+            data,
+        } => {
             let mut observed = ended_at + inner.costs.control_hop();
             let payload = match data {
                 None => None,
@@ -298,7 +315,8 @@ fn advance_op(inner: &Arc<ConnectionInner>, op: &mut OpPending, resp: ResponseEn
                 }
             }
             op.machine.on_completed();
-            op.event.complete_at(started_at, ended_at, observed, payload);
+            op.event
+                .complete_at(started_at, ended_at, observed, payload);
             false
         }
         Response::Error { code, message } => {

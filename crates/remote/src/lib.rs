@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # bf-remote — the BlastFunction Remote OpenCL Library
 //!
@@ -98,7 +98,9 @@ mod tests {
         queue.write(&buf, input.to_vec()).expect("write");
         kernel.set_arg_buffer(0, &buf).expect("arg 0");
         kernel.set_arg(1, bf_ocl::ArgValue::U32(3)).expect("arg 1");
-        queue.launch(&kernel, NdRange::d1(input.len() as u64)).expect("launch");
+        queue
+            .launch(&kernel, NdRange::d1(input.len() as u64))
+            .expect("launch");
         queue.finish().expect("finish");
         queue.read_vec(&buf).expect("read")
     }
@@ -120,8 +122,9 @@ mod tests {
         let mut router = Router::new();
         router.add_manager(manager());
         for costs in [PathCosts::local_shm(), PathCosts::local_grpc()] {
-            let device =
-                router.connect(0, "remote-fn", costs, VirtualClock::new()).expect("connect");
+            let device = router
+                .connect(0, "remote-fn", costs, VirtualClock::new())
+                .expect("connect");
             assert_eq!(host_program(&device, &input), expected, "costs {costs:?}");
         }
     }
@@ -159,7 +162,10 @@ mod tests {
         host_program(&device, &input);
         let grpc_t = grpc_clock.now();
 
-        assert!(shm_t > native_t, "shm {shm_t} must exceed native {native_t}");
+        assert!(
+            shm_t > native_t,
+            "shm {shm_t} must exceed native {native_t}"
+        );
         assert!(grpc_t > shm_t, "grpc {grpc_t} must exceed shm {shm_t}");
     }
 
@@ -174,13 +180,18 @@ mod tests {
         let _prog = ctx.build_program("scale").expect("program");
         let buf = ctx.create_buffer(1 << 16).expect("buffer");
         let queue = ctx.create_queue().expect("queue");
-        let ev = queue.write_async(&buf, 0, Payload::Synthetic(1 << 16)).expect("enqueue");
+        let ev = queue
+            .write_async(&buf, 0, Payload::Synthetic(1 << 16))
+            .expect("enqueue");
         queue.flush().expect("flush");
         ev.wait().expect("wait");
         assert_eq!(ev.status(), EventStatus::Complete);
         let profile = ev.profile();
         assert!(profile.ended >= profile.started);
-        assert!(ev.observed_at() >= profile.ended, "observed adds the return hop");
+        assert!(
+            ev.observed_at() >= profile.ended,
+            "observed adds the return hop"
+        );
     }
 
     #[test]
@@ -195,7 +206,9 @@ mod tests {
         let buf = ctx.create_buffer(16).expect("buffer");
         let queue = ctx.create_queue().expect("queue");
         // Out-of-bounds write fails asynchronously via the event.
-        let ev = queue.write_async(&buf, 8, vec![0u8; 16]).expect("enqueue accepted");
+        let ev = queue
+            .write_async(&buf, 8, vec![0u8; 16])
+            .expect("enqueue accepted");
         queue.flush().expect("flush");
         assert!(ev.wait().is_err());
         assert_eq!(ev.status(), EventStatus::Failed);
@@ -231,12 +244,18 @@ mod tests {
         let _prog = ctx.build_program("scale").expect("program");
         let buf = ctx.create_buffer(1 << 20).expect("buffer");
         let queue = ctx.create_queue().expect("queue");
-        let w = queue.write_async(&buf, 0, Payload::Synthetic(1 << 20)).expect("write");
+        let w = queue
+            .write_async(&buf, 0, Payload::Synthetic(1 << 20))
+            .expect("write");
         // The barrier seals the open task (clEnqueueBarrier as a task
         // boundary, paper §III-B) and completes after the write.
         let barrier = queue.enqueue_barrier().expect("barrier");
         barrier.wait().expect("barrier drained");
-        assert_eq!(w.status(), EventStatus::Complete, "fence implies the write completed");
+        assert_eq!(
+            w.status(),
+            EventStatus::Complete,
+            "fence implies the write completed"
+        );
         assert!(
             barrier.observed_at() >= w.observed_at(),
             "barrier completes at or after the write"
@@ -260,7 +279,9 @@ mod tests {
         let buf = ctx.create_buffer(1 << 10).expect("buffer");
         let queue = ctx.create_queue().expect("queue");
         let fired = Arc::new(AtomicU64::new(0));
-        let ev = queue.write_async(&buf, 0, Payload::Synthetic(1 << 10)).expect("write");
+        let ev = queue
+            .write_async(&buf, 0, Payload::Synthetic(1 << 10))
+            .expect("write");
         let f = fired.clone();
         ev.on_complete(move |status| {
             assert_eq!(status, EventStatus::Complete);

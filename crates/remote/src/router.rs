@@ -117,8 +117,11 @@ mod tests {
             .platform("multi-fn", PathCosts::local_grpc(), clock)
             .expect("all managers reachable");
         assert_eq!(platform.devices().len(), 3);
-        let nodes: Vec<String> =
-            platform.devices().iter().map(|d| d.info().node.to_string()).collect();
+        let nodes: Vec<String> = platform
+            .devices()
+            .iter()
+            .map(|d| d.info().node.to_string())
+            .collect();
         assert_eq!(nodes, vec!["A", "B", "C"], "devices in registration order");
         assert!(platform.device(3).is_err(), "out-of-range index");
     }

@@ -35,6 +35,30 @@ impl MachineState {
     }
 }
 
+/// Every legal Fig. 2 transition, as `(from, to)` pairs.
+///
+/// Progress is strictly forward: `INIT` may be skipped past when responses
+/// race on the wire (a completion can overtake the `Enqueued` ack), both
+/// terminals absorb, and nothing ever returns to an earlier state.
+/// Identity pairs are deliberately absent — a no-op must be filtered by
+/// the caller, not recorded as a transition.
+pub const LEGAL_TRANSITIONS: &[(MachineState, MachineState)] = &[
+    (MachineState::Init, MachineState::First),
+    (MachineState::Init, MachineState::Buffer),
+    (MachineState::Init, MachineState::Complete),
+    (MachineState::Init, MachineState::Failed),
+    (MachineState::First, MachineState::Buffer),
+    (MachineState::First, MachineState::Complete),
+    (MachineState::First, MachineState::Failed),
+    (MachineState::Buffer, MachineState::Complete),
+    (MachineState::Buffer, MachineState::Failed),
+];
+
+/// Whether `from → to` appears in [`LEGAL_TRANSITIONS`].
+pub fn is_legal_transition(from: MachineState, to: MachineState) -> bool {
+    LEGAL_TRANSITIONS.contains(&(from, to))
+}
+
 /// One operation's state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpStateMachine {
@@ -45,7 +69,10 @@ pub struct OpStateMachine {
 impl OpStateMachine {
     /// Creates a machine in `INIT` for the given command.
     pub fn new(kind: CommandType) -> Self {
-        OpStateMachine { kind, state: MachineState::Init }
+        OpStateMachine {
+            kind,
+            state: MachineState::Init,
+        }
     }
 
     /// The tracked command type.
@@ -62,7 +89,7 @@ impl OpStateMachine {
     /// Late or duplicate acks are ignored.
     pub fn on_enqueued(&mut self) {
         if self.state == MachineState::Init {
-            self.state = MachineState::First;
+            self.transition(MachineState::First);
         }
     }
 
@@ -73,14 +100,14 @@ impl OpStateMachine {
         if self.state.is_terminal() {
             return false;
         }
-        self.state = MachineState::Complete;
+        self.transition(MachineState::Complete);
         true
     }
 
     /// The read payload is being copied out: FIRST/INIT → BUFFER.
     pub fn on_buffer(&mut self) {
-        if !self.state.is_terminal() {
-            self.state = MachineState::Buffer;
+        if !self.state.is_terminal() && self.state != MachineState::Buffer {
+            self.transition(MachineState::Buffer);
         }
     }
 
@@ -89,14 +116,112 @@ impl OpStateMachine {
         if self.state.is_terminal() {
             return false;
         }
-        self.state = MachineState::Failed;
+        self.transition(MachineState::Failed);
         true
+    }
+
+    /// Central transition funnel: every state change passes through here,
+    /// so a debug build catches any advance not in [`LEGAL_TRANSITIONS`]
+    /// the moment it happens.
+    fn transition(&mut self, to: MachineState) {
+        debug_assert!(
+            is_legal_transition(self.state, to),
+            "illegal Fig. 2 transition {:?} -> {to:?} for {:?}",
+            self.state,
+            self.kind,
+        );
+        self.state = to;
+    }
+
+    /// Test-only: drive the funnel with an arbitrary target state to
+    /// exercise the debug assertion.
+    #[cfg(test)]
+    pub(crate) fn force_transition(&mut self, to: MachineState) {
+        self.transition(to);
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
+
+    #[test]
+    fn transition_table_is_a_strict_forward_order() {
+        for &(from, to) in LEGAL_TRANSITIONS {
+            assert!(
+                !from.is_terminal(),
+                "terminal {from:?} must absorb, not transition"
+            );
+            assert_ne!(from, to, "identity pairs are no-ops, not transitions");
+        }
+        // Nothing ever returns to Init, and terminals have no successors.
+        for &to in &[
+            MachineState::Init,
+            MachineState::First,
+            MachineState::Buffer,
+            MachineState::Complete,
+        ] {
+            assert!(!is_legal_transition(MachineState::Complete, to));
+            assert!(!is_legal_transition(MachineState::Failed, to));
+            assert!(!is_legal_transition(to, MachineState::Init));
+        }
+        assert!(!is_legal_transition(
+            MachineState::Buffer,
+            MachineState::First
+        ));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn illegal_transition_panics_in_debug_builds() {
+        let result = std::thread::Builder::new()
+            .name("bf-illegal-transition".into())
+            .spawn(|| {
+                let mut m = OpStateMachine::new(CommandType::WriteBuffer);
+                assert!(m.on_completed());
+                // Complete is terminal: forcing a regression must trip the
+                // debug assertion.
+                m.force_transition(MachineState::First);
+            })
+            .expect("spawn probe thread")
+            .join();
+        assert!(
+            result.is_err(),
+            "regressing out of a terminal state must panic"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn random_interleavings_never_produce_illegal_transitions(
+            seq in proptest::collection::vec(0u8..4, 0..16),
+        ) {
+            // Whatever order acks, buffers, completions, and errors arrive
+            // in, every observed state change is in LEGAL_TRANSITIONS.
+            let mut m = OpStateMachine::new(CommandType::ReadBuffer);
+            let mut prev = m.state();
+            for step in seq {
+                match step {
+                    0 => m.on_enqueued(),
+                    1 => m.on_buffer(),
+                    2 => {
+                        m.on_completed();
+                    }
+                    _ => {
+                        m.on_error();
+                    }
+                }
+                let state = m.state();
+                prop_assert!(
+                    state == prev || is_legal_transition(prev, state),
+                    "illegal {prev:?} -> {state:?}",
+                );
+                prev = state;
+            }
+        }
+    }
 
     #[test]
     fn write_lifecycle() {

@@ -115,7 +115,10 @@ pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
         }
         shift += 7;
         if shift >= 64 {
-            return Err(CodecError::BadDiscriminant { what: "varint", value: byte });
+            return Err(CodecError::BadDiscriminant {
+                what: "varint",
+                value: byte,
+            });
         }
     }
 }
@@ -187,7 +190,10 @@ impl WireDecode for bool {
         match buf.get_u8() {
             0 => Ok(false),
             1 => Ok(true),
-            value => Err(CodecError::BadDiscriminant { what: "bool", value }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "bool",
+                value,
+            }),
         }
     }
 }
@@ -247,7 +253,10 @@ impl<T: WireDecode> WireDecode for Option<T> {
         match buf.get_u8() {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
-            value => Err(CodecError::BadDiscriminant { what: "option", value }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "option",
+                value,
+            }),
         }
     }
 }
@@ -303,7 +312,10 @@ mod tests {
     fn truncated_input_is_an_eof() {
         let bytes = "a long string".to_string().to_bytes();
         let truncated = bytes.slice(0..bytes.len() - 2);
-        assert_eq!(String::from_bytes(truncated), Err(CodecError::UnexpectedEof));
+        assert_eq!(
+            String::from_bytes(truncated),
+            Err(CodecError::UnexpectedEof)
+        );
     }
 
     #[test]
@@ -311,12 +323,18 @@ mod tests {
         let mut buf = BytesMut::new();
         7u64.encode(&mut buf);
         buf.put_u8(9);
-        assert_eq!(u64::from_bytes(buf.freeze()), Err(CodecError::TrailingBytes(1)));
+        assert_eq!(
+            u64::from_bytes(buf.freeze()),
+            Err(CodecError::TrailingBytes(1))
+        );
     }
 
     #[test]
     fn bad_bool_discriminant() {
         let bytes = Bytes::from_static(&[7]);
-        assert!(matches!(bool::from_bytes(bytes), Err(CodecError::BadDiscriminant { .. })));
+        assert!(matches!(
+            bool::from_bytes(bytes),
+            Err(CodecError::BadDiscriminant { .. })
+        ));
     }
 }

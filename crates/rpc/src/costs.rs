@@ -70,7 +70,11 @@ impl PathCosts {
             !(remote_network.is_some() && data.kind() == DataPathKind::SharedMemory),
             "shared memory cannot span nodes"
         );
-        PathCosts { control, data, remote_network }
+        PathCosts {
+            control,
+            data,
+            remote_network,
+        }
     }
 
     /// Which bulk data path this connection uses.
@@ -108,7 +112,9 @@ impl PathCosts {
         match &self.remote_network {
             // The one-way latency is already charged per control hop; only
             // the bandwidth component applies to the payload.
-            Some(net) => net.transfer_time(bytes).saturating_sub(net.one_way_latency()),
+            Some(net) => net
+                .transfer_time(bytes)
+                .saturating_sub(net.one_way_latency()),
             None => VirtualDuration::ZERO,
         }
     }
@@ -123,7 +129,11 @@ mod tests {
         let shm = PathCosts::local_shm();
         let grpc = PathCosts::local_grpc();
         assert!(shm.outbound_payload_cost(1 << 20) < grpc.outbound_payload_cost(1 << 20));
-        assert_eq!(shm.control_hop(), grpc.control_hop(), "control plane is identical");
+        assert_eq!(
+            shm.control_hop(),
+            grpc.control_hop(),
+            "control plane is identical"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # bf-rpc — the API-remoting transport substrate
 //!
@@ -73,7 +73,8 @@ mod proptests {
             Just(Request::GetDeviceInfo),
             Just(Request::CreateContext),
             ".*".prop_map(|bitstream| Request::BuildProgram { bitstream }),
-            (any::<u64>(), ".*").prop_map(|(program, name)| Request::CreateKernel { program, name }),
+            (any::<u64>(), ".*")
+                .prop_map(|(program, name)| Request::CreateKernel { program, name }),
             (any::<u64>(), any::<u64>())
                 .prop_map(|(context, len)| Request::CreateBuffer { context, len }),
             (any::<u64>(), any::<u64>(), any::<u64>(), arb_dataref()).prop_map(
@@ -84,8 +85,13 @@ mod proptests {
                     data
                 }
             ),
-            (any::<u64>(), any::<u64>(), any::<[u64; 3]>())
-                .prop_map(|(queue, kernel, work)| Request::EnqueueKernel { queue, kernel, work }),
+            (any::<u64>(), any::<u64>(), any::<[u64; 3]>()).prop_map(|(queue, kernel, work)| {
+                Request::EnqueueKernel {
+                    queue,
+                    kernel,
+                    work,
+                }
+            }),
             any::<u64>().prop_map(|queue| Request::Flush { queue }),
             any::<u64>().prop_map(|queue| Request::Finish { queue }),
             Just(Request::Disconnect),

@@ -329,9 +329,15 @@ impl WireDecode for DataRef {
         }
         match buf.get_u8() {
             0 => Ok(DataRef::Inline(Vec::<u8>::decode(buf)?)),
-            1 => Ok(DataRef::Shm { offset: get_varint(buf)?, len: get_varint(buf)? }),
+            1 => Ok(DataRef::Shm {
+                offset: get_varint(buf)?,
+                len: get_varint(buf)?,
+            }),
             2 => Ok(DataRef::Synthetic(get_varint(buf)?)),
-            value => Err(CodecError::BadDiscriminant { what: "DataRef", value }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "DataRef",
+                value,
+            }),
         }
     }
 }
@@ -374,7 +380,10 @@ impl WireDecode for WireArg {
             2 => Ok(WireArg::I32(i32::decode(buf)?)),
             3 => Ok(WireArg::U64(u64::decode(buf)?)),
             4 => Ok(WireArg::F32(f32::decode(buf)?)),
-            value => Err(CodecError::BadDiscriminant { what: "WireArg", value }),
+            value => Err(CodecError::BadDiscriminant {
+                what: "WireArg",
+                value,
+            }),
         }
     }
 }
@@ -417,21 +426,35 @@ impl WireEncode for Request {
                 buf.put_u8(8);
                 put_varint(buf, *context);
             }
-            Request::EnqueueWrite { queue, buffer, offset, data } => {
+            Request::EnqueueWrite {
+                queue,
+                buffer,
+                offset,
+                data,
+            } => {
                 buf.put_u8(9);
                 put_varint(buf, *queue);
                 put_varint(buf, *buffer);
                 put_varint(buf, *offset);
                 data.encode(buf);
             }
-            Request::EnqueueRead { queue, buffer, offset, len } => {
+            Request::EnqueueRead {
+                queue,
+                buffer,
+                offset,
+                len,
+            } => {
                 buf.put_u8(10);
                 put_varint(buf, *queue);
                 put_varint(buf, *buffer);
                 put_varint(buf, *offset);
                 put_varint(buf, *len);
             }
-            Request::EnqueueKernel { queue, kernel, work } => {
+            Request::EnqueueKernel {
+                queue,
+                kernel,
+                work,
+            } => {
                 buf.put_u8(11);
                 put_varint(buf, *queue);
                 put_varint(buf, *kernel);
@@ -450,7 +473,14 @@ impl WireEncode for Request {
                 bitstream.encode(buf);
             }
             Request::Disconnect => buf.put_u8(15),
-            Request::EnqueueCopy { queue, src, dst, src_offset, dst_offset, len } => {
+            Request::EnqueueCopy {
+                queue,
+                src,
+                dst,
+                src_offset,
+                dst_offset,
+                len,
+            } => {
                 buf.put_u8(16);
                 put_varint(buf, *queue);
                 put_varint(buf, *src);
@@ -469,19 +499,34 @@ impl WireDecode for Request {
             return Err(CodecError::UnexpectedEof);
         }
         Ok(match buf.get_u8() {
-            0 => Request::Hello { client_name: String::decode(buf)?, shm: bool::decode(buf)? },
+            0 => Request::Hello {
+                client_name: String::decode(buf)?,
+                shm: bool::decode(buf)?,
+            },
             1 => Request::GetDeviceInfo,
             2 => Request::CreateContext,
-            3 => Request::BuildProgram { bitstream: String::decode(buf)? },
-            4 => Request::CreateKernel { program: get_varint(buf)?, name: String::decode(buf)? },
+            3 => Request::BuildProgram {
+                bitstream: String::decode(buf)?,
+            },
+            4 => Request::CreateKernel {
+                program: get_varint(buf)?,
+                name: String::decode(buf)?,
+            },
             5 => Request::SetKernelArg {
                 kernel: get_varint(buf)?,
                 index: u32::decode(buf)?,
                 arg: WireArg::decode(buf)?,
             },
-            6 => Request::CreateBuffer { context: get_varint(buf)?, len: get_varint(buf)? },
-            7 => Request::ReleaseBuffer { buffer: get_varint(buf)? },
-            8 => Request::CreateQueue { context: get_varint(buf)? },
+            6 => Request::CreateBuffer {
+                context: get_varint(buf)?,
+                len: get_varint(buf)?,
+            },
+            7 => Request::ReleaseBuffer {
+                buffer: get_varint(buf)?,
+            },
+            8 => Request::CreateQueue {
+                context: get_varint(buf)?,
+            },
             9 => Request::EnqueueWrite {
                 queue: get_varint(buf)?,
                 buffer: get_varint(buf)?,
@@ -499,9 +544,15 @@ impl WireDecode for Request {
                 kernel: get_varint(buf)?,
                 work: <[u64; 3]>::decode(buf)?,
             },
-            12 => Request::Flush { queue: get_varint(buf)? },
-            13 => Request::Finish { queue: get_varint(buf)? },
-            14 => Request::Reconfigure { bitstream: String::decode(buf)? },
+            12 => Request::Flush {
+                queue: get_varint(buf)?,
+            },
+            13 => Request::Finish {
+                queue: get_varint(buf)?,
+            },
+            14 => Request::Reconfigure {
+                bitstream: String::decode(buf)?,
+            },
             15 => Request::Disconnect,
             16 => Request::EnqueueCopy {
                 queue: get_varint(buf)?,
@@ -511,7 +562,12 @@ impl WireDecode for Request {
                 dst_offset: get_varint(buf)?,
                 len: get_varint(buf)?,
             },
-            value => return Err(CodecError::BadDiscriminant { what: "Request", value }),
+            value => {
+                return Err(CodecError::BadDiscriminant {
+                    what: "Request",
+                    value,
+                })
+            }
         })
     }
 }
@@ -545,7 +601,12 @@ impl WireDecode for ErrorCode {
             5 => ErrorCode::InvalidLaunch,
             6 => ErrorCode::ReconfigurationRefused,
             7 => ErrorCode::Internal,
-            value => return Err(CodecError::BadDiscriminant { what: "ErrorCode", value }),
+            value => {
+                return Err(CodecError::BadDiscriminant {
+                    what: "ErrorCode",
+                    value,
+                })
+            }
         })
     }
 }
@@ -558,7 +619,14 @@ impl WireEncode for Response {
                 buf.put_u8(1);
                 put_varint(buf, *id);
             }
-            Response::DeviceInfo { name, vendor, platform, memory_bytes, node, bitstream } => {
+            Response::DeviceInfo {
+                name,
+                vendor,
+                platform,
+                memory_bytes,
+                node,
+                bitstream,
+            } => {
                 buf.put_u8(2);
                 name.encode(buf);
                 vendor.encode(buf);
@@ -568,7 +636,11 @@ impl WireEncode for Response {
                 bitstream.encode(buf);
             }
             Response::Enqueued => buf.put_u8(3),
-            Response::Completed { started_at, ended_at, data } => {
+            Response::Completed {
+                started_at,
+                ended_at,
+                data,
+            } => {
                 buf.put_u8(4);
                 put_varint(buf, started_at.as_nanos());
                 put_varint(buf, ended_at.as_nanos());
@@ -590,7 +662,9 @@ impl WireDecode for Response {
         }
         Ok(match buf.get_u8() {
             0 => Response::Ack,
-            1 => Response::Handle { id: get_varint(buf)? },
+            1 => Response::Handle {
+                id: get_varint(buf)?,
+            },
             2 => Response::DeviceInfo {
                 name: String::decode(buf)?,
                 vendor: String::decode(buf)?,
@@ -605,8 +679,16 @@ impl WireDecode for Response {
                 ended_at: VirtualTime::from_nanos(get_varint(buf)?),
                 data: Option::<DataRef>::decode(buf)?,
             },
-            5 => Response::Error { code: ErrorCode::decode(buf)?, message: String::decode(buf)? },
-            value => return Err(CodecError::BadDiscriminant { what: "Response", value }),
+            5 => Response::Error {
+                code: ErrorCode::decode(buf)?,
+                message: String::decode(buf)?,
+            },
+            value => {
+                return Err(CodecError::BadDiscriminant {
+                    what: "Response",
+                    value,
+                })
+            }
         })
     }
 }
@@ -667,13 +749,28 @@ mod tests {
 
     #[test]
     fn all_request_variants_round_trip() {
-        round_trip_req(Request::Hello { client_name: "sobel-1".into(), shm: true });
+        round_trip_req(Request::Hello {
+            client_name: "sobel-1".into(),
+            shm: true,
+        });
         round_trip_req(Request::GetDeviceInfo);
         round_trip_req(Request::CreateContext);
-        round_trip_req(Request::BuildProgram { bitstream: "spector-sobel".into() });
-        round_trip_req(Request::CreateKernel { program: 3, name: "sobel".into() });
-        round_trip_req(Request::SetKernelArg { kernel: 2, index: 1, arg: WireArg::F32(1.5) });
-        round_trip_req(Request::CreateBuffer { context: 1, len: 1 << 30 });
+        round_trip_req(Request::BuildProgram {
+            bitstream: "spector-sobel".into(),
+        });
+        round_trip_req(Request::CreateKernel {
+            program: 3,
+            name: "sobel".into(),
+        });
+        round_trip_req(Request::SetKernelArg {
+            kernel: 2,
+            index: 1,
+            arg: WireArg::F32(1.5),
+        });
+        round_trip_req(Request::CreateBuffer {
+            context: 1,
+            len: 1 << 30,
+        });
         round_trip_req(Request::ReleaseBuffer { buffer: 9 });
         round_trip_req(Request::CreateQueue { context: 1 });
         round_trip_req(Request::EnqueueWrite {
@@ -686,13 +783,27 @@ mod tests {
             queue: 1,
             buffer: 2,
             offset: 16,
-            data: DataRef::Shm { offset: 4096, len: 1 << 20 },
+            data: DataRef::Shm {
+                offset: 4096,
+                len: 1 << 20,
+            },
         });
-        round_trip_req(Request::EnqueueRead { queue: 1, buffer: 2, offset: 0, len: 64 });
-        round_trip_req(Request::EnqueueKernel { queue: 1, kernel: 5, work: [1920, 1080, 1] });
+        round_trip_req(Request::EnqueueRead {
+            queue: 1,
+            buffer: 2,
+            offset: 0,
+            len: 64,
+        });
+        round_trip_req(Request::EnqueueKernel {
+            queue: 1,
+            kernel: 5,
+            work: [1920, 1080, 1],
+        });
         round_trip_req(Request::Flush { queue: 1 });
         round_trip_req(Request::Finish { queue: 1 });
-        round_trip_req(Request::Reconfigure { bitstream: "spector-mm".into() });
+        round_trip_req(Request::Reconfigure {
+            bitstream: "spector-mm".into(),
+        });
         round_trip_req(Request::Disconnect);
         round_trip_req(Request::EnqueueCopy {
             queue: 1,
@@ -723,9 +834,16 @@ mod tests {
                 ended_at: VirtualTime::from_nanos(9),
                 data: Some(DataRef::Synthetic(128)),
             },
-            Response::Error { code: ErrorCode::AccessDenied, message: "not yours".into() },
+            Response::Error {
+                code: ErrorCode::AccessDenied,
+                message: "not yours".into(),
+            },
         ] {
-            let env = ResponseEnvelope { tag: 3, sent_at: VirtualTime::from_nanos(77), body };
+            let env = ResponseEnvelope {
+                tag: 3,
+                sent_at: VirtualTime::from_nanos(77),
+                body,
+            };
             let back = ResponseEnvelope::from_bytes(env.to_bytes()).expect("decode");
             assert_eq!(back, env);
         }
@@ -734,10 +852,17 @@ mod tests {
     #[test]
     fn command_queue_classification_matches_the_paper() {
         assert!(Request::Flush { queue: 1 }.is_command_queue_method());
-        assert!(Request::EnqueueKernel { queue: 1, kernel: 1, work: [1, 1, 1] }
-            .is_command_queue_method());
+        assert!(Request::EnqueueKernel {
+            queue: 1,
+            kernel: 1,
+            work: [1, 1, 1]
+        }
+        .is_command_queue_method());
         assert!(!Request::CreateContext.is_command_queue_method());
-        assert!(!Request::Reconfigure { bitstream: "x".into() }.is_command_queue_method());
+        assert!(!Request::Reconfigure {
+            bitstream: "x".into()
+        }
+        .is_command_queue_method());
         assert!(!Request::GetDeviceInfo.is_command_queue_method());
     }
 
@@ -761,7 +886,10 @@ mod tests {
             queue: 1,
             buffer: 2,
             offset: 0,
-            data: DataRef::Shm { offset: 0, len: 1 << 30 },
+            data: DataRef::Shm {
+                offset: 0,
+                len: 1 << 30,
+            },
         };
         assert!(shm.encoded_len() < 32);
     }

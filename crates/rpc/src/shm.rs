@@ -94,7 +94,11 @@ impl ShmSegment {
         ShmSegment {
             inner: Arc::new(Mutex::new(ShmInner {
                 data: vec![0; capacity as usize],
-                regions: vec![Region { offset: 0, len: capacity, free: true }],
+                regions: vec![Region {
+                    offset: 0,
+                    len: capacity,
+                    free: true,
+                }],
             })),
         }
     }
@@ -106,7 +110,13 @@ impl ShmSegment {
 
     /// Currently allocated bytes.
     pub fn used(&self) -> u64 {
-        self.inner.lock().regions.iter().filter(|r| !r.free).map(|r| r.len).sum()
+        self.inner
+            .lock()
+            .regions
+            .iter()
+            .filter(|r| !r.free)
+            .map(|r| r.len)
+            .sum()
     }
 
     /// Allocates a region of `len` bytes (first fit) and returns its
@@ -125,18 +135,34 @@ impl ShmSegment {
                 if region.len == len {
                     inner.regions[i].free = false;
                 } else {
-                    inner.regions[i] = Region { offset, len, free: false };
+                    inner.regions[i] = Region {
+                        offset,
+                        len,
+                        free: false,
+                    };
                     inner.regions.insert(
                         i + 1,
-                        Region { offset: offset + len, len: region.len - len, free: true },
+                        Region {
+                            offset: offset + len,
+                            len: region.len - len,
+                            free: true,
+                        },
                     );
                 }
                 Ok(offset)
             }
             None => {
-                let largest_free =
-                    inner.regions.iter().filter(|r| r.free).map(|r| r.len).max().unwrap_or(0);
-                Err(ShmError::OutOfSpace { requested: len, largest_free })
+                let largest_free = inner
+                    .regions
+                    .iter()
+                    .filter(|r| r.free)
+                    .map(|r| r.len)
+                    .max()
+                    .unwrap_or(0);
+                Err(ShmError::OutOfSpace {
+                    requested: len,
+                    largest_free,
+                })
             }
         }
     }
@@ -203,7 +229,11 @@ impl ShmSegment {
             .find(|r| !r.free && r.offset == offset)
             .ok_or(ShmError::BadRegion(offset))?;
         if len > region.len {
-            return Err(ShmError::OutOfBounds { region: region.offset, offset, len });
+            return Err(ShmError::OutOfBounds {
+                region: region.offset,
+                offset,
+                len,
+            });
         }
         Ok(inner.data[offset as usize..(offset + len) as usize].to_vec())
     }
@@ -254,7 +284,10 @@ mod tests {
         let shm = ShmSegment::new(100);
         let a = shm.alloc(10).expect("a");
         assert_eq!(shm.read(a + 1, 1), Err(ShmError::BadRegion(a + 1)));
-        assert!(matches!(shm.write(a, &[0; 11]), Err(ShmError::OutOfBounds { .. })));
+        assert!(matches!(
+            shm.write(a, &[0; 11]),
+            Err(ShmError::OutOfBounds { .. })
+        ));
         assert_eq!(shm.free(99), Err(ShmError::BadRegion(99)));
     }
 

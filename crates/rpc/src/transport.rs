@@ -70,7 +70,16 @@ pub struct ServerChannel {
 pub fn duplex() -> (ClientChannel, ServerChannel) {
     let (req_tx, req_rx) = unbounded();
     let (resp_tx, resp_rx) = unbounded();
-    (ClientChannel { tx: req_tx, rx: resp_rx }, ServerChannel { rx: req_rx, tx: resp_tx })
+    (
+        ClientChannel {
+            tx: req_tx,
+            rx: resp_rx,
+        },
+        ServerChannel {
+            rx: req_rx,
+            tx: resp_tx,
+        },
+    )
 }
 
 impl ClientChannel {
@@ -80,7 +89,9 @@ impl ClientChannel {
     ///
     /// Returns [`TransportError::Closed`] if the manager hung up.
     pub fn send(&self, req: &RequestEnvelope) -> Result<(), TransportError> {
-        self.tx.send(req.to_bytes()).map_err(|_| TransportError::Closed)
+        self.tx
+            .send(req.to_bytes())
+            .map_err(|_| TransportError::Closed)
     }
 
     /// Blocks for the next tagged response from the completion stream.
@@ -160,7 +171,9 @@ impl ServerChannel {
     ///
     /// Returns [`TransportError::Closed`] if the client hung up.
     pub fn send(&self, resp: &ResponseEnvelope) -> Result<(), TransportError> {
-        self.tx.send(resp.to_bytes()).map_err(|_| TransportError::Closed)
+        self.tx
+            .send(resp.to_bytes())
+            .map_err(|_| TransportError::Closed)
     }
 }
 

@@ -53,7 +53,10 @@ impl AutoscalePolicy {
     ///
     /// Panics if `min` is zero or exceeds `max`.
     pub fn with_bounds(mut self, min: u32, max: u32) -> Self {
-        assert!(min >= 1 && min <= max, "need 1 <= min <= max, got {min}..{max}");
+        assert!(
+            min >= 1 && min <= max,
+            "need 1 <= min <= max, got {min}..{max}"
+        );
         self.min_replicas = min;
         self.max_replicas = max;
         self
@@ -137,7 +140,10 @@ pub struct Autoscaler {
 impl Autoscaler {
     /// Creates an autoscaler over `cluster`.
     pub fn new(cluster: Cluster) -> Self {
-        Autoscaler { cluster, policies: Arc::new(Mutex::new(BTreeMap::new())) }
+        Autoscaler {
+            cluster,
+            policies: Arc::new(Mutex::new(BTreeMap::new())),
+        }
     }
 
     /// Registers (or replaces) a function's policy.
@@ -152,7 +158,11 @@ impl Autoscaler {
 
     /// Current replicas of `function`.
     pub fn replicas(&self, function: &str) -> u32 {
-        self.cluster.instances().iter().filter(|i| i.function == function).count() as u32
+        self.cluster
+            .instances()
+            .iter()
+            .filter(|i| i.function == function)
+            .count() as u32
     }
 
     /// Reconciles `function` against `observed_rps`: creates replicas (each
@@ -187,7 +197,9 @@ impl Autoscaler {
         let mut deleted = Vec::new();
         if desired > before {
             for _ in before..desired {
-                let inst = self.cluster.create_instance(InstanceTemplate::new(function))?;
+                let inst = self
+                    .cluster
+                    .create_instance(InstanceTemplate::new(function))?;
                 created.push(inst.id);
             }
         } else if desired < before {
@@ -197,7 +209,12 @@ impl Autoscaler {
                 deleted.push(*id);
             }
         }
-        Ok(ReconcileAction { before, after: desired.max(before.min(desired)), created, deleted })
+        Ok(ReconcileAction {
+            before,
+            after: desired.max(before.min(desired)),
+            created,
+            deleted,
+        })
     }
 }
 
@@ -239,11 +256,18 @@ mod tests {
     fn reconcile_creates_and_deletes_through_the_cluster() {
         let cluster = Cluster::new(paper_cluster());
         let scaler = Autoscaler::new(cluster.clone());
-        scaler.set_policy("sobel-1", AutoscalePolicy::per_replica(20.0).with_bounds(1, 4));
+        scaler.set_policy(
+            "sobel-1",
+            AutoscalePolicy::per_replica(20.0).with_bounds(1, 4),
+        );
 
         let up = scaler.reconcile("sobel-1", 65.0).expect("scale up");
         assert_eq!(up.before, 0);
-        assert_eq!(up.created.len(), 4, "65 rq/s needs 4 replicas at 20 rq/s each");
+        assert_eq!(
+            up.created.len(),
+            4,
+            "65 rq/s needs 4 replicas at 20 rq/s each"
+        );
         assert_eq!(scaler.replicas("sobel-1"), 4);
 
         let down = scaler.reconcile("sobel-1", 10.0).expect("scale down");
@@ -270,6 +294,9 @@ mod tests {
         cluster.set_admission_hook(Arc::new(|_spec| Err("no device".to_string())));
         let scaler = Autoscaler::new(cluster);
         scaler.set_policy("f", AutoscalePolicy::per_replica(10.0));
-        assert!(matches!(scaler.reconcile("f", 25.0), Err(AutoscaleError::Cluster(_))));
+        assert!(matches!(
+            scaler.reconcile("f", 25.0),
+            Err(AutoscaleError::Cluster(_))
+        ));
     }
 }

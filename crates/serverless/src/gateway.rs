@@ -80,7 +80,10 @@ impl Gateway {
     /// Creates a gateway with the given per-request forwarding latency
     /// (HTTP parsing + routing).
     pub fn new(forward_latency: VirtualDuration) -> Self {
-        Gateway { forward_latency, functions: Arc::new(Mutex::new(BTreeMap::new())) }
+        Gateway {
+            forward_latency,
+            functions: Arc::new(Mutex::new(BTreeMap::new())),
+        }
     }
 
     /// The configured forwarding latency.
@@ -90,9 +93,13 @@ impl Gateway {
 
     /// Deploys (or replaces) a function.
     pub fn deploy(&self, name: impl Into<String>, handler: Handler) {
-        self.functions
-            .lock()
-            .insert(name.into(), Deployment { handler, stats: FunctionStats::default() });
+        self.functions.lock().insert(
+            name.into(),
+            Deployment {
+                handler,
+                stats: FunctionStats::default(),
+            },
+        );
     }
 
     /// Deployed function names.
@@ -126,7 +133,10 @@ impl Gateway {
             Ok(done) => {
                 let done = done + self.forward_latency; // response path
                 deployment.stats.processed += 1;
-                deployment.stats.latency_ms.record((done - at).as_millis_f64());
+                deployment
+                    .stats
+                    .latency_ms
+                    .record((done - at).as_millis_f64());
                 Ok(done)
             }
             Err(m) => {
@@ -261,7 +271,10 @@ mod tests {
 
     #[test]
     fn processed_rate_uses_the_window() {
-        let stats = FunctionStats { processed: 50, ..FunctionStats::default() };
+        let stats = FunctionStats {
+            processed: 50,
+            ..FunctionStats::default()
+        };
         assert_eq!(stats.processed_rate(VirtualDuration::from_secs(10)), 5.0);
         assert_eq!(stats.processed_rate(VirtualDuration::ZERO), 0.0);
     }

@@ -125,11 +125,23 @@ mod tests {
 
     #[test]
     fn table1_matches_the_paper() {
-        assert_eq!(table1_rates(UseCase::Sobel, LoadLevel::High), Some([60.0, 50.0, 35.0, 30.0, 15.0]));
-        assert_eq!(table1_rates(UseCase::Mm, LoadLevel::Low), Some([28.0, 21.0, 14.0, 7.0, 7.0]));
-        assert_eq!(table1_rates(UseCase::AlexNet, LoadLevel::Medium), Some([6.0, 3.0, 3.0, 3.0, 3.0]));
+        assert_eq!(
+            table1_rates(UseCase::Sobel, LoadLevel::High),
+            Some([60.0, 50.0, 35.0, 30.0, 15.0])
+        );
+        assert_eq!(
+            table1_rates(UseCase::Mm, LoadLevel::Low),
+            Some([28.0, 21.0, 14.0, 7.0, 7.0])
+        );
+        assert_eq!(
+            table1_rates(UseCase::AlexNet, LoadLevel::Medium),
+            Some([6.0, 3.0, 3.0, 3.0, 3.0])
+        );
         assert_eq!(table1_rates(UseCase::AlexNet, LoadLevel::Low), None);
-        assert_eq!(native_rates(UseCase::Sobel, LoadLevel::Medium), Some([35.0, 30.0, 25.0]));
+        assert_eq!(
+            native_rates(UseCase::Sobel, LoadLevel::Medium),
+            Some([35.0, 30.0, 25.0])
+        );
     }
 
     #[test]

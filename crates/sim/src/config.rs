@@ -22,10 +22,12 @@ impl Deployment {
     /// The deployment label used in the paper's tables.
     pub fn label(&self) -> &'static str {
         match self {
-            Deployment::BlastFunction { data_path: DataPathKind::SharedMemory } => {
-                "BlastFunction"
-            }
-            Deployment::BlastFunction { data_path: DataPathKind::Grpc } => "BlastFunction (gRPC)",
+            Deployment::BlastFunction {
+                data_path: DataPathKind::SharedMemory,
+            } => "BlastFunction",
+            Deployment::BlastFunction {
+                data_path: DataPathKind::Grpc,
+            } => "BlastFunction (gRPC)",
             Deployment::Native => "Native",
         }
     }
@@ -153,8 +155,12 @@ fn seed_component(use_case: UseCase, level: LoadLevel, deployment: Deployment) -
         LoadLevel::High => 3,
     };
     let d = match deployment {
-        Deployment::BlastFunction { data_path: DataPathKind::SharedMemory } => 1,
-        Deployment::BlastFunction { data_path: DataPathKind::Grpc } => 2,
+        Deployment::BlastFunction {
+            data_path: DataPathKind::SharedMemory,
+        } => 1,
+        Deployment::BlastFunction {
+            data_path: DataPathKind::Grpc,
+        } => 2,
         Deployment::Native => 3,
     };
     (u << 8) | (l << 4) | d
@@ -167,7 +173,10 @@ mod tests {
     #[test]
     fn function_counts_match_the_paper() {
         assert_eq!(
-            Deployment::BlastFunction { data_path: DataPathKind::SharedMemory }.function_count(),
+            Deployment::BlastFunction {
+                data_path: DataPathKind::SharedMemory
+            }
+            .function_count(),
             5
         );
         assert_eq!(Deployment::Native.function_count(), 3);

@@ -68,8 +68,14 @@ fn blastfunction_placement(use_case: UseCase, count: usize) -> Vec<usize> {
     let query = DeviceQuery::for_accelerator(bitstream);
     let mut placement = Vec::with_capacity(count);
     for i in 0..count {
+        // bf-lint: allow(panic): the scenario's fixed three-device topology
+        // always has capacity for the requested placements by construction.
         let decision = allocate(&query, &views, &policy).expect("three devices always suffice");
-        let idx = ids.iter().position(|id| *id == decision.device_id).expect("known id");
+        // bf-lint: allow(panic): `decision.device_id` is drawn from `ids`.
+        let idx = ids
+            .iter()
+            .position(|id| *id == decision.device_id)
+            .expect("known id");
         views[idx]
             .connected
             .insert(format!("fn-{i}"), Some(bitstream.to_string()));
@@ -84,8 +90,12 @@ fn blastfunction_placement(use_case: UseCase, count: usize) -> Vec<usize> {
 ///
 /// Panics for configurations the paper does not define (AlexNet low load).
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
-    let rates = table1_rates(config.use_case, config.level)
-        .unwrap_or_else(|| panic!("{} {} is not a paper configuration", config.use_case, config.level));
+    let rates = table1_rates(config.use_case, config.level).unwrap_or_else(|| {
+        panic!(
+            "{} {} is not a paper configuration",
+            config.use_case, config.level
+        )
+    });
     let nodes = [node_a(), node_b(), node_c()];
     let ids = ["fpga-a", "fpga-b", "fpga-c"];
     let devices: Vec<SimDevice> = ids
@@ -115,12 +125,19 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
                 DataPathKind::SharedMemory => PathCosts::local_shm(),
                 DataPathKind::Grpc => PathCosts::local_grpc(),
             };
-            (blastfunction_placement(config.use_case, count), PathMode::Remote(costs))
+            (
+                blastfunction_placement(config.use_case, count),
+                PathMode::Remote(costs),
+            )
         }
     };
     let placement = match &config.placement_override {
         Some(explicit) => {
-            assert_eq!(explicit.len(), count, "placement override must cover every function");
+            assert_eq!(
+                explicit.len(),
+                count,
+                "placement override must cover every function"
+            );
             assert!(explicit.iter().all(|d| *d < 3), "device indices are 0..3");
             explicit.clone()
         }
@@ -194,22 +211,33 @@ fn collect(config: &ScenarioConfig, world: World) -> ScenarioResult {
     let device_utilization: Vec<(String, f64)> = world
         .devices
         .iter()
-        .map(|d| (d.id.clone(), d.utilization_in(world.window_start, world.horizon)))
+        .map(|d| {
+            (
+                d.id.clone(),
+                d.utilization_in(world.window_start, world.horizon),
+            )
+        })
         .collect();
 
     let timeline: Vec<crate::trace::TraceSpan> = world
         .devices
         .iter()
         .flat_map(|d| {
-            d.slot_busy.iter().enumerate().flat_map(move |(slot, tracker)| {
-                tracker.intervals().iter().map(move |iv| crate::trace::TraceSpan {
-                    device: d.id.clone(),
-                    slot: slot as u32,
-                    owner: iv.owner.clone(),
-                    start_ms: iv.start.as_millis_f64(),
-                    end_ms: iv.end.as_millis_f64(),
+            d.slot_busy
+                .iter()
+                .enumerate()
+                .flat_map(move |(slot, tracker)| {
+                    tracker
+                        .intervals()
+                        .iter()
+                        .map(move |iv| crate::trace::TraceSpan {
+                            device: d.id.clone(),
+                            slot: slot as u32,
+                            owner: iv.owner.clone(),
+                            start_ms: iv.start.as_millis_f64(),
+                            end_ms: iv.end.as_millis_f64(),
+                        })
                 })
-            })
         })
         .collect();
 

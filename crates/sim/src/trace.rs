@@ -68,6 +68,8 @@ pub fn to_chrome_trace(spans: &[TraceSpan]) -> String {
             args: None,
         });
     }
+    // bf-lint: allow(panic): serializing an in-memory event tree is
+    // infallible — there is no I/O and no non-finite-only failure path.
     serde_json::to_string_pretty(&events).expect("trace events serialize")
 }
 
@@ -99,8 +101,7 @@ mod tests {
         assert_eq!(events.len(), 5);
         assert!(json.contains("\"process_name\""));
         assert!(json.contains("\"sobel-3\""));
-        let x_events: Vec<_> =
-            events.iter().filter(|e| e["ph"] == "X").collect();
+        let x_events: Vec<_> = events.iter().filter(|e| e["ph"] == "X").collect();
         assert_eq!(x_events.len(), 3);
         assert_eq!(x_events[0]["ts"], 1_000.0);
         assert_eq!(x_events[0]["dur"], 2_500.0);

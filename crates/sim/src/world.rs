@@ -92,12 +92,15 @@ impl SimDevice {
             .enumerate()
             .min_by_key(|(_, t)| **t)
             .map(|(i, _)| i)
-            .expect("at least one slot")
+            .unwrap_or(0)
     }
 
     /// Total busy time caused by `owner` in `[from, to)`, across regions.
     pub fn busy_of_in(&self, from: VirtualTime, to: VirtualTime, owner: &str) -> f64 {
-        self.slot_busy.iter().map(|b| b.utilization_of(from, to, owner)).sum()
+        self.slot_busy
+            .iter()
+            .map(|b| b.utilization_of(from, to, owner))
+            .sum()
     }
 
     /// Total busy fraction in `[from, to)` across regions (may exceed 1.0
@@ -131,7 +134,9 @@ pub(crate) struct World {
 
 /// Schedules a request issue for function `f_idx` at `issue`.
 pub(crate) fn schedule_request(engine: &mut Engine<World>, f_idx: usize, issue: VirtualTime) {
-    engine.schedule_at(issue, move |world, engine| begin_request(world, engine, f_idx));
+    engine.schedule_at(issue, move |world, engine| {
+        begin_request(world, engine, f_idx)
+    });
 }
 
 fn begin_request(world: &mut World, engine: &mut Engine<World>, f_idx: usize) {
@@ -195,7 +200,9 @@ fn exec_task(
         submit_task(world, engine, f_idx, task_idx + 1, observed, t0);
     } else {
         let done = observed + world.response_overhead + world.gateway_forward;
-        engine.schedule_at(done, move |world, engine| finish_request(world, engine, f_idx, t0));
+        engine.schedule_at(done, move |world, engine| {
+            finish_request(world, engine, f_idx, t0)
+        });
     }
 }
 

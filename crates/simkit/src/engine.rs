@@ -64,7 +64,12 @@ pub struct Engine<S> {
 
 impl<S> Default for Engine<S> {
     fn default() -> Self {
-        Engine { now: VirtualTime::ZERO, seq: 0, executed: 0, heap: BinaryHeap::new() }
+        Engine {
+            now: VirtualTime::ZERO,
+            seq: 0,
+            executed: 0,
+            heap: BinaryHeap::new(),
+        }
     }
 }
 
@@ -94,10 +99,22 @@ impl<S> Engine<S> {
     /// # Panics
     ///
     /// Panics if `at` lies in the past — events cannot rewrite history.
-    pub fn schedule_at(&mut self, at: VirtualTime, action: impl FnOnce(&mut S, &mut Engine<S>) + 'static) {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+    pub fn schedule_at(
+        &mut self,
+        at: VirtualTime,
+        action: impl FnOnce(&mut S, &mut Engine<S>) + 'static,
+    ) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         self.seq += 1;
-        self.heap.push(Ev { at, seq: self.seq, action: Box::new(action) });
+        self.heap.push(Ev {
+            at,
+            seq: self.seq,
+            action: Box::new(action),
+        });
     }
 
     /// Schedules `action` after a delay.
@@ -202,9 +219,10 @@ mod tests {
     fn run_until_stops_at_the_horizon() {
         let mut engine: Engine<Vec<u64>> = Engine::new();
         for i in 1..=10u64 {
-            engine.schedule_at(t(i * 10), move |log: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| {
-                log.push(i)
-            });
+            engine.schedule_at(
+                t(i * 10),
+                move |log: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| log.push(i),
+            );
         }
         let mut log = Vec::new();
         engine.run_until(&mut log, t(55));

@@ -14,7 +14,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a source from a seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { rng: StdRng::seed_from_u64(seed) }
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform float in `[0, 1)`.
@@ -52,7 +54,10 @@ impl SimRng {
     ///
     /// Panics if `spread` is not within `[0, 1)`.
     pub fn jitter(&mut self, spread: f64) -> f64 {
-        assert!((0.0..1.0).contains(&spread), "jitter spread must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "jitter spread must be in [0, 1)"
+        );
         if spread == 0.0 {
             return 1.0;
         }

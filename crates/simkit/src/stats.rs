@@ -56,7 +56,7 @@ impl Samples {
             return None;
         }
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        sorted.sort_by(f64::total_cmp);
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Some(sorted[rank - 1])
     }
@@ -85,7 +85,9 @@ impl Extend<f64> for Samples {
 
 impl FromIterator<f64> for Samples {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        Samples { values: iter.into_iter().collect() }
+        Samples {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

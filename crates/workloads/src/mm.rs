@@ -36,7 +36,11 @@ pub struct MmConfig {
 impl MmConfig {
     /// The paper's best design point.
     pub fn paper() -> Self {
-        MmConfig { compute_units: 1, work_items: 8, block: 16 }
+        MmConfig {
+            compute_units: 1,
+            work_items: 8,
+            block: 16,
+        }
     }
 }
 
@@ -164,7 +168,9 @@ pub fn request_profile(n: u32) -> RequestProfile {
         vec![TaskProfile::new(vec![
             OpProfile::Write { bytes },
             OpProfile::Write { bytes },
-            OpProfile::Kernel { duration: kernel_time(n) },
+            OpProfile::Kernel {
+                duration: kernel_time(n),
+            },
             OpProfile::Read { bytes },
         ])],
     )

@@ -88,19 +88,67 @@ impl CnnNetwork {
             name: "alexnet".to_string(),
             input: (3, 227, 227),
             layers: vec![
-                Layer::Conv { out_ch: 96, kernel: 11, stride: 4, pad: 0, groups: 1 },
+                Layer::Conv {
+                    out_ch: 96,
+                    kernel: 11,
+                    stride: 4,
+                    pad: 0,
+                    groups: 1,
+                },
                 Layer::Lrn,
-                Layer::Pool { kernel: 3, stride: 2 },
-                Layer::Conv { out_ch: 256, kernel: 5, stride: 1, pad: 2, groups: 2 },
+                Layer::Pool {
+                    kernel: 3,
+                    stride: 2,
+                },
+                Layer::Conv {
+                    out_ch: 256,
+                    kernel: 5,
+                    stride: 1,
+                    pad: 2,
+                    groups: 2,
+                },
                 Layer::Lrn,
-                Layer::Pool { kernel: 3, stride: 2 },
-                Layer::Conv { out_ch: 384, kernel: 3, stride: 1, pad: 1, groups: 1 },
-                Layer::Conv { out_ch: 384, kernel: 3, stride: 1, pad: 1, groups: 2 },
-                Layer::Conv { out_ch: 256, kernel: 3, stride: 1, pad: 1, groups: 2 },
-                Layer::Pool { kernel: 3, stride: 2 },
-                Layer::Fc { out_dim: 4096, relu: true },
-                Layer::Fc { out_dim: 4096, relu: true },
-                Layer::Fc { out_dim: 1000, relu: false },
+                Layer::Pool {
+                    kernel: 3,
+                    stride: 2,
+                },
+                Layer::Conv {
+                    out_ch: 384,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    groups: 1,
+                },
+                Layer::Conv {
+                    out_ch: 384,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    groups: 2,
+                },
+                Layer::Conv {
+                    out_ch: 256,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    groups: 2,
+                },
+                Layer::Pool {
+                    kernel: 3,
+                    stride: 2,
+                },
+                Layer::Fc {
+                    out_dim: 4096,
+                    relu: true,
+                },
+                Layer::Fc {
+                    out_dim: 4096,
+                    relu: true,
+                },
+                Layer::Fc {
+                    out_dim: 1000,
+                    relu: false,
+                },
             ],
         }
     }
@@ -112,9 +160,21 @@ impl CnnNetwork {
             name: "tiny-cnn".to_string(),
             input: (3, 8, 8),
             layers: vec![
-                Layer::Conv { out_ch: 4, kernel: 3, stride: 1, pad: 1, groups: 1 },
-                Layer::Pool { kernel: 2, stride: 2 },
-                Layer::Fc { out_dim: 10, relu: false },
+                Layer::Conv {
+                    out_ch: 4,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    groups: 1,
+                },
+                Layer::Pool {
+                    kernel: 2,
+                    stride: 2,
+                },
+                Layer::Fc {
+                    out_dim: 10,
+                    relu: false,
+                },
             ],
         }
     }
@@ -125,7 +185,13 @@ impl CnnNetwork {
         let mut cur = self.input;
         for layer in &self.layers {
             cur = match *layer {
-                Layer::Conv { out_ch, kernel, stride, pad, .. } => {
+                Layer::Conv {
+                    out_ch,
+                    kernel,
+                    stride,
+                    pad,
+                    ..
+                } => {
                     let h = (cur.1 + 2 * pad - kernel) / stride + 1;
                     let w = (cur.2 + 2 * pad - kernel) / stride + 1;
                     (out_ch, h, w)
@@ -145,13 +211,26 @@ impl CnnNetwork {
 
     /// Multiply-accumulates performed by layer `idx`.
     pub fn layer_macs(&self, idx: usize) -> u64 {
-        let input = if idx == 0 { self.input } else { self.shapes()[idx - 1] };
+        let input = if idx == 0 {
+            self.input
+        } else {
+            self.shapes()[idx - 1]
+        };
         let output = self.shapes()[idx];
         match self.layers[idx] {
-            Layer::Conv { out_ch, kernel, groups, .. } => {
+            Layer::Conv {
+                out_ch,
+                kernel,
+                groups,
+                ..
+            } => {
                 let in_per_group = u64::from(input.0 / groups);
-                u64::from(output.1) * u64::from(output.2) * u64::from(out_ch)
-                    * u64::from(kernel) * u64::from(kernel) * in_per_group
+                u64::from(output.1)
+                    * u64::from(output.2)
+                    * u64::from(out_ch)
+                    * u64::from(kernel)
+                    * u64::from(kernel)
+                    * in_per_group
             }
             Layer::Fc { out_dim, .. } => {
                 u64::from(input.0) * u64::from(input.1) * u64::from(input.2) * u64::from(out_dim)
@@ -186,8 +265,11 @@ impl CnnNetwork {
     /// conv/fc layers run as memrd → core → memwr, pool/LRN as one kernel.
     /// Returns each invocation's calibrated duration.
     pub fn layer_invocations(&self, idx: usize) -> Vec<VirtualDuration> {
-        let in_bytes =
-            if idx == 0 { self.input_bytes() } else { self.layer_output_bytes(idx - 1) };
+        let in_bytes = if idx == 0 {
+            self.input_bytes()
+        } else {
+            self.layer_output_bytes(idx - 1)
+        };
         let out_bytes = self.layer_output_bytes(idx);
         let stream = |bytes: u64| {
             VirtualDuration::from_micros(50)
@@ -223,7 +305,9 @@ impl CnnNetwork {
     /// Total kernel invocations per inference (what multiplies the remote
     /// path's control overhead in Table IV).
     pub fn kernel_invocations(&self) -> usize {
-        (0..self.layers.len()).map(|i| self.layer_invocations(i).len()).sum()
+        (0..self.layers.len())
+            .map(|i| self.layer_invocations(i).len())
+            .sum()
     }
 
     /// Reference forward pass on the host (f32 CHW input).
@@ -247,7 +331,9 @@ impl CnnNetwork {
     /// (`cnn_layer`) carrying the network description.
     pub fn bitstream(&self) -> Arc<Bitstream> {
         let id = format!("pipecnn-{}", self.name);
-        let behavior = LayerKernel { network: Arc::new(self.clone()) };
+        let behavior = LayerKernel {
+            network: Arc::new(self.clone()),
+        };
         Arc::new(Bitstream::new(
             id,
             vec![KernelDescriptor::new(LAYER_KERNEL, Arc::new(behavior))],
@@ -260,28 +346,38 @@ impl CnnNetwork {
     /// quantify how much of Table IV's remote overhead the per-layer syncs
     /// cost.
     pub fn request_profile_batched(&self) -> RequestProfile {
-        let mut ops = vec![OpProfile::Write { bytes: self.input_bytes() }];
+        let mut ops = vec![OpProfile::Write {
+            bytes: self.input_bytes(),
+        }];
         for idx in 0..self.layers.len() {
             for duration in self.layer_invocations(idx) {
                 ops.push(OpProfile::Kernel { duration });
             }
         }
-        ops.push(OpProfile::Read { bytes: self.output_bytes() });
-        RequestProfile::new(format!("pipecnn-{}-batched", self.name), vec![TaskProfile::new(ops)])
+        ops.push(OpProfile::Read {
+            bytes: self.output_bytes(),
+        });
+        RequestProfile::new(
+            format!("pipecnn-{}-batched", self.name),
+            vec![TaskProfile::new(ops)],
+        )
     }
 
     /// The per-request structure for the cluster simulation: write input,
     /// then each kernel invocation as its own synchronized task (PipeCNN's
     /// host loop), then read the classifier output.
     pub fn request_profile(&self) -> RequestProfile {
-        let mut tasks =
-            vec![TaskProfile::new(vec![OpProfile::Write { bytes: self.input_bytes() }])];
+        let mut tasks = vec![TaskProfile::new(vec![OpProfile::Write {
+            bytes: self.input_bytes(),
+        }])];
         for idx in 0..self.layers.len() {
             for duration in self.layer_invocations(idx) {
                 tasks.push(TaskProfile::new(vec![OpProfile::Kernel { duration }]));
             }
         }
-        tasks.push(TaskProfile::new(vec![OpProfile::Read { bytes: self.output_bytes() }]));
+        tasks.push(TaskProfile::new(vec![OpProfile::Read {
+            bytes: self.output_bytes(),
+        }]));
         RequestProfile::new(format!("pipecnn-{}", self.name), tasks)
     }
 }
@@ -290,7 +386,9 @@ impl CnnNetwork {
 /// are fixed at synthesis time; any deterministic set works for the
 /// reproduction).
 fn weight(seed: u64) -> f32 {
-    let h = seed.wrapping_add(0x9E37_79B9).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let h = seed
+        .wrapping_add(0x9E37_79B9)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
     (((h >> 40) & 0xFF_FFFF) as f32 / 16_777_216.0 - 0.5) * 0.2
 }
 
@@ -298,9 +396,20 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
     let (ic, ih, iw) = (shape.0 as usize, shape.1 as usize, shape.2 as usize);
     let lseed = (idx as u64) << 48;
     match *layer {
-        Layer::Conv { out_ch, kernel, stride, pad, groups } => {
-            let (oc, k, s, p, g) =
-                (out_ch as usize, kernel as usize, stride as usize, pad as usize, groups as usize);
+        Layer::Conv {
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            groups,
+        } => {
+            let (oc, k, s, p, g) = (
+                out_ch as usize,
+                kernel as usize,
+                stride as usize,
+                pad as usize,
+                groups as usize,
+            );
             let oh = (ih + 2 * p - k) / s + 1;
             let ow = (iw + 2 * p - k) / s + 1;
             let icg = ic / g;
@@ -329,8 +438,8 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
                                             | (i as u64) << 12
                                             | (ky * k + kx) as u64,
                                     );
-                                    acc += wv
-                                        * input[in_ch * ih * iw + y as usize * iw + x as usize];
+                                    acc +=
+                                        wv * input[in_ch * ih * iw + y as usize * iw + x as usize];
                                 }
                             }
                         }
@@ -351,8 +460,8 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
                         let mut best = f32::MIN;
                         for ky in 0..k {
                             for kx in 0..k {
-                                best = best
-                                    .max(input[c * ih * iw + (oy * s + ky) * iw + ox * s + kx]);
+                                best =
+                                    best.max(input[c * ih * iw + (oy * s + ky) * iw + ox * s + kx]);
                             }
                         }
                         out[c * oh * ow + oy * ow + ox] = best;
@@ -375,8 +484,7 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
                         let v = input[cc * hw + i];
                         sum += v * v;
                     }
-                    out[c * hw + i] =
-                        input[c * hw + i] / (1.0 + alpha / n as f32 * sum).powf(beta);
+                    out[c * hw + i] = input[c * hw + i] / (1.0 + alpha / n as f32 * sum).powf(beta);
                 }
             }
             out
@@ -420,16 +528,23 @@ impl KernelBehavior for LayerKernel {
         let output = invocation.arg(1)?.as_buffer()?;
         let idx = invocation.arg(2)?.as_u32()? as usize;
         if idx >= self.network.layers.len() {
-            return Err(FpgaError::InvalidKernelArgs(format!("layer {idx} out of range")));
+            return Err(FpgaError::InvalidKernelArgs(format!(
+                "layer {idx} out of range"
+            )));
         }
-        let in_shape =
-            if idx == 0 { self.network.input } else { self.network.shapes()[idx - 1] };
+        let in_shape = if idx == 0 {
+            self.network.input
+        } else {
+            self.network.shapes()[idx - 1]
+        };
         let in_len = (in_shape.0 * in_shape.1 * in_shape.2) as usize * 4;
         let raw = memory
             .bytes(input)?
             .ok_or_else(|| FpgaError::InvalidKernelArgs("layer input not materialized".into()))?;
         if raw.len() < in_len {
-            return Err(FpgaError::InvalidKernelArgs("layer input buffer too small".into()));
+            return Err(FpgaError::InvalidKernelArgs(
+                "layer input buffer too small".into(),
+            ));
         }
         let in_host: Vec<f32> = raw[..in_len]
             .chunks_exact(4)
@@ -439,7 +554,9 @@ impl KernelBehavior for LayerKernel {
         let bytes: Vec<u8> = result.iter().flat_map(|v| v.to_le_bytes()).collect();
         let out_mem = memory.bytes_mut(output)?;
         if out_mem.len() < bytes.len() {
-            return Err(FpgaError::InvalidKernelArgs("layer output buffer too small".into()));
+            return Err(FpgaError::InvalidKernelArgs(
+                "layer output buffer too small".into(),
+            ));
         }
         out_mem[..bytes.len()].copy_from_slice(&bytes);
         Ok(())
@@ -486,7 +603,9 @@ mod tests {
     #[test]
     fn tiny_network_forward_pass_is_deterministic_and_sane() {
         let net = CnnNetwork::tiny();
-        let input: Vec<f32> = (0..net.input_bytes() / 4).map(|i| (i % 17) as f32 / 16.0).collect();
+        let input: Vec<f32> = (0..net.input_bytes() / 4)
+            .map(|i| (i % 17) as f32 / 16.0)
+            .collect();
         let out1 = net.reference_forward(&input);
         let out2 = net.reference_forward(&input);
         assert_eq!(out1, out2, "deterministic");

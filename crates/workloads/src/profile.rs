@@ -89,7 +89,10 @@ pub struct RequestProfile {
 impl RequestProfile {
     /// Builds a profile.
     pub fn new(name: impl Into<String>, tasks: Vec<TaskProfile>) -> Self {
-        RequestProfile { name: name.into(), tasks }
+        RequestProfile {
+            name: name.into(),
+            tasks,
+        }
     }
 
     /// Number of host synchronization points per request.
@@ -104,7 +107,10 @@ impl RequestProfile {
 
     /// Total bytes moved per request (both directions).
     pub fn bytes_moved(&self) -> u64 {
-        self.tasks.iter().map(|t| t.bytes_written() + t.bytes_read()).sum()
+        self.tasks
+            .iter()
+            .map(|t| t.bytes_written() + t.bytes_read())
+            .sum()
     }
 
     /// Total operation count per request.
@@ -124,10 +130,14 @@ mod tests {
             vec![
                 TaskProfile::new(vec![
                     OpProfile::Write { bytes: 100 },
-                    OpProfile::Kernel { duration: VirtualDuration::from_millis(2) },
+                    OpProfile::Kernel {
+                        duration: VirtualDuration::from_millis(2),
+                    },
                 ]),
                 TaskProfile::new(vec![
-                    OpProfile::Kernel { duration: VirtualDuration::from_millis(3) },
+                    OpProfile::Kernel {
+                        duration: VirtualDuration::from_millis(3),
+                    },
                     OpProfile::Read { bytes: 50 },
                 ]),
             ],

@@ -48,7 +48,14 @@ pub struct SobelConfig {
 impl SobelConfig {
     /// The paper's best-latency design point.
     pub fn paper() -> Self {
-        SobelConfig { block_w: 32, block_h: 8, window_w: 4, window_h: 1, simd: 1, compute_units: 1 }
+        SobelConfig {
+            block_w: 32,
+            block_h: 8,
+            window_w: 4,
+            window_h: 1,
+            simd: 1,
+            compute_units: 1,
+        }
     }
 }
 
@@ -174,7 +181,9 @@ pub fn request_profile(width: u32, height: u32) -> RequestProfile {
         "sobel",
         vec![TaskProfile::new(vec![
             OpProfile::Write { bytes },
-            OpProfile::Kernel { duration: kernel_time(width, height) },
+            OpProfile::Kernel {
+                duration: kernel_time(width, height),
+            },
             OpProfile::Read { bytes },
         ])],
     )
@@ -188,15 +197,28 @@ mod tests {
     fn timing_matches_paper_fit_points() {
         let t_small = kernel_time(10, 10);
         let t_large = kernel_time(1920, 1080);
-        assert!((t_small.as_millis_f64() - 0.07).abs() < 0.01, "small {t_small}");
-        assert!((t_large.as_millis_f64() - 11.56).abs() < 0.05, "large {t_large}");
+        assert!(
+            (t_small.as_millis_f64() - 0.07).abs() < 0.01,
+            "small {t_small}"
+        );
+        assert!(
+            (t_large.as_millis_f64() - 11.56).abs() < 0.05,
+            "large {t_large}"
+        );
     }
 
     #[test]
     fn frame_bytes_match_paper_numbers() {
-        assert_eq!(frame_bytes(10, 10), 400, "10x10 sends 400 B each way (800 total)");
+        assert_eq!(
+            frame_bytes(10, 10),
+            400,
+            "10x10 sends 400 B each way (800 total)"
+        );
         let big = frame_bytes(1920, 1080);
-        assert!((7..9).contains(&(big >> 20)), "1080p is ~8 MB per direction, got {big}");
+        assert!(
+            (7..9).contains(&(big >> 20)),
+            "1080p is ~8 MB per direction, got {big}"
+        );
     }
 
     #[test]
@@ -204,7 +226,13 @@ mod tests {
         // Left half black, right half white: strong vertical edge.
         let (w, h) = (8u32, 8u32);
         let input: Vec<u32> = (0..h * w)
-            .map(|i| if i % w < w / 2 { 0xff00_0000 } else { 0xffff_ffff })
+            .map(|i| {
+                if i % w < w / 2 {
+                    0xff00_0000
+                } else {
+                    0xffff_ffff
+                }
+            })
             .collect();
         let out = reference(&input, w, h);
         let edge = out[(h / 2 * w + w / 2 - 1) as usize] & 0xff;

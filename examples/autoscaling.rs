@@ -37,14 +37,23 @@ fn main() -> Result<(), Box<dyn Error>> {
         ));
     }
     registry.attach_cluster(&cluster);
-    registry.register_function("sobel", DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM));
+    registry.register_function(
+        "sobel",
+        DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM),
+    );
 
     // One replica can absorb ~25 rq/s of 1080p Sobel (Table II's shape).
     let scaler = Autoscaler::new(cluster.clone());
-    scaler.set_policy("sobel", AutoscalePolicy::per_replica(25.0).with_bounds(1, 3));
+    scaler.set_policy(
+        "sobel",
+        AutoscalePolicy::per_replica(25.0).with_bounds(1, 3),
+    );
 
     println!("Autoscaling a Sobel function against a rising and falling load:\n");
-    println!("{:>12} {:>9} {:>9}  placements", "load (rq/s)", "replicas", "change");
+    println!(
+        "{:>12} {:>9} {:>9}  placements",
+        "load (rq/s)", "replicas", "change"
+    );
     for observed in [5.0, 20.0, 40.0, 70.0, 70.0, 30.0, 12.0, 4.0] {
         let action = scaler.reconcile("sobel", observed)?;
         let placements: Vec<String> = cluster
@@ -53,7 +62,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             .map(|i| {
                 format!(
                     "{}@{}",
-                    i.env.get(ENV_DEVICE_MANAGER).map(String::as_str).unwrap_or("?"),
+                    i.env
+                        .get(ENV_DEVICE_MANAGER)
+                        .map(String::as_str)
+                        .unwrap_or("?"),
                     i.node.as_ref().map(NodeId::as_str).unwrap_or("?")
                 )
             })

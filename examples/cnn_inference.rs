@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let mut catalog = BitstreamCatalog::new();
     catalog.register(network.bitstream());
-    let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node_b().pcie())));
+    let board = Arc::new(Mutex::new(Board::new(
+        BoardSpec::de5a_net(),
+        *node_b().pcie(),
+    )));
     let manager = DeviceManager::new(
         DeviceManagerConfig::standalone("fpga-b"),
         node_b(),
@@ -51,8 +54,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // The input image.
-    let input: Vec<f32> =
-        (0..network.input_bytes() / 4).map(|i| ((i % 31) as f32 - 15.0) / 15.0).collect();
+    let input: Vec<f32> = (0..network.input_bytes() / 4)
+        .map(|i| ((i % 31) as f32 - 15.0) / 15.0)
+        .collect();
     let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
     queue.write(&boundaries[0], input_bytes)?;
 
@@ -87,7 +91,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
         .expect("non-empty output");
     println!("\nInference verified against the host reference.");
-    println!("Top class: {} (score {:.4}); total remote inference time {total}\n", best.0, best.1);
+    println!(
+        "Top class: {} (score {:.4}); total remote inference time {total}\n",
+        best.0, best.1
+    );
 
     // Why Table IV's remote latency gap exists:
     let alexnet = CnnNetwork::alexnet();

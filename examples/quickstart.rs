@@ -38,7 +38,17 @@ impl SobelPipeline {
         let input = ctx.create_buffer(bytes)?;
         let output = ctx.create_buffer(bytes)?;
         let queue = ctx.create_queue()?;
-        Ok((ctx.clone(), SobelPipeline { kernel, input, output, queue, width, height }))
+        Ok((
+            ctx.clone(),
+            SobelPipeline {
+                kernel,
+                input,
+                output,
+                queue,
+                width,
+                height,
+            },
+        ))
     }
 
     /// Ordinary OpenCL per-request code — identical for every backend.
@@ -48,15 +58,20 @@ impl SobelPipeline {
         self.kernel.set_arg_buffer(1, &self.output)?;
         self.kernel.set_arg(2, ArgValue::U32(self.width))?;
         self.kernel.set_arg(3, ArgValue::U32(self.height))?;
-        self.queue
-            .launch(&self.kernel, NdRange::d2(u64::from(self.width), u64::from(self.height)))?;
+        self.queue.launch(
+            &self.kernel,
+            NdRange::d2(u64::from(self.width), u64::from(self.height)),
+        )?;
         self.queue.finish()?;
         Ok(sobel::unpack_pixels(&self.queue.read_vec(&self.output)?))
     }
 }
 
 fn fresh_board() -> Arc<Mutex<Board>> {
-    Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node_b().pcie())))
+    Arc::new(Mutex::new(Board::new(
+        BoardSpec::de5a_net(),
+        *node_b().pcie(),
+    )))
 }
 
 fn catalog() -> BitstreamCatalog {
@@ -69,7 +84,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let (width, height) = (64u32, 48u32);
     // A synthetic test card: vertical bars.
     let pixels: Vec<u32> = (0..width * height)
-        .map(|i| if (i % width) / 8 % 2 == 0 { 0xff20_2020 } else { 0xffe0_e0e0 })
+        .map(|i| {
+            if (i % width) / 8 % 2 == 0 {
+                0xff20_2020
+            } else {
+                0xffe0_e0e0
+            }
+        })
         .collect();
 
     println!("BlastFunction quickstart — Sobel on a {width}x{height} frame\n");
@@ -108,11 +129,17 @@ fn main() -> Result<(), Box<dyn Error>> {
         let t0 = clock.now();
         let remote_result = pipeline.run(&pixels)?;
         let rtt = clock.now() - t0;
-        assert_eq!(remote_result, native_result, "transparency: results must be identical");
+        assert_eq!(
+            remote_result, native_result,
+            "transparency: results must be identical"
+        );
         println!("{label:<18}: {rtt:>10} per request (bit-identical output)");
     }
 
-    println!("\nEvery backend produced the same {} output pixels.", native_result.len());
+    println!(
+        "\nEvery backend produced the same {} output pixels.",
+        native_result.len()
+    );
     println!("The host code never changed — that is the paper's transparency claim.");
     Ok(())
 }

@@ -62,8 +62,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         let mut router = Router::new();
         router.add_manager(manager);
         let clock = VirtualClock::new();
-        let device =
-            router.connect(0, &instance.id.to_string(), PathCosts::local_shm(), clock.clone())?;
+        let device = router.connect(
+            0,
+            &instance.id.to_string(),
+            PathCosts::local_shm(),
+            clock.clone(),
+        )?;
         let ctx = device.create_context()?;
         let program = ctx.build_program(sobel::SOBEL_BITSTREAM)?;
         let kernel = program.create_kernel(sobel::SOBEL_KERNEL)?;
@@ -81,13 +85,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         queue.launch(&kernel, NdRange::d2(w.into(), h.into()))?;
         queue.finish()?;
         let _edges = queue.read_vec(&output)?;
-        println!("    {} on {device_id}: request served in {}", instance.id, clock.now() - t0);
+        println!(
+            "    {} on {device_id}: request served in {}",
+            instance.id,
+            clock.now() - t0
+        );
     }
 
     // ---- Part 2: Table II medium load, simulated ------------------------
     println!("\n== Part 2: Table II (Sobel, medium load) via the cluster DES ==\n");
     for deployment in [
-        Deployment::BlastFunction { data_path: DataPathKind::SharedMemory },
+        Deployment::BlastFunction {
+            data_path: DataPathKind::SharedMemory,
+        },
         Deployment::Native,
     ] {
         let result = run_scenario(&ScenarioConfig::new(

@@ -18,7 +18,10 @@ use parking_lot::Mutex;
 fn main() -> Result<(), Box<dyn Error>> {
     let mut catalog = BitstreamCatalog::new();
     catalog.register(mm::bitstream());
-    let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node_b().pcie())));
+    let board = Arc::new(Mutex::new(Board::new(
+        BoardSpec::de5a_net(),
+        *node_b().pcie(),
+    )));
     let manager = DeviceManager::new(
         DeviceManagerConfig::standalone("fpga-b"),
         node_b(),
@@ -27,7 +30,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     // The registry programs boards ahead of time; tenants then find the
     // accelerator already configured (no reconfiguration in their path).
-    manager.program(mm::MM_BITSTREAM).expect("bitstream registered");
+    manager
+        .program(mm::MM_BITSTREAM)
+        .expect("bitstream registered");
 
     println!("Three tenants sharing one FPGA through a Device Manager\n");
 
@@ -39,8 +44,12 @@ fn main() -> Result<(), Box<dyn Error>> {
             let mut router = Router::new();
             router.add_manager(manager);
             let clock = VirtualClock::new();
-            let device =
-                router.connect(0, &format!("tenant-{tenant}"), PathCosts::local_shm(), clock)?;
+            let device = router.connect(
+                0,
+                &format!("tenant-{tenant}"),
+                PathCosts::local_shm(),
+                clock,
+            )?;
 
             let ctx = device.create_context()?;
             let program = ctx.build_program(mm::MM_BITSTREAM)?;
@@ -67,7 +76,10 @@ fn main() -> Result<(), Box<dyn Error>> {
                 queue.launch(&kernel, NdRange::d2(u64::from(n), u64::from(n)))?;
                 queue.finish()?;
                 let got = mm::unpack_f32(&queue.read_vec(&c_buf)?);
-                assert_eq!(got, expected, "tenant {tenant} round {round}: wrong product");
+                assert_eq!(
+                    got, expected,
+                    "tenant {tenant} round {round}: wrong product"
+                );
             }
             Ok(())
         }));

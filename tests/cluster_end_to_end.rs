@@ -80,7 +80,12 @@ fn five_functions_place_like_table_ii_and_serve_traffic() {
         let mut router = Router::new();
         router.add_manager(manager);
         let device = router
-            .connect(0, &inst.id.to_string(), PathCosts::local_shm(), VirtualClock::new())
+            .connect(
+                0,
+                &inst.id.to_string(),
+                PathCosts::local_shm(),
+                VirtualClock::new(),
+            )
             .expect("connect");
         let ctx = device.create_context().expect("ctx");
         let program = ctx.build_program(sobel::SOBEL_BITSTREAM).expect("program");
@@ -88,12 +93,16 @@ fn five_functions_place_like_table_ii_and_serve_traffic() {
         let input = ctx.create_buffer(sobel::frame_bytes(w, h)).expect("in");
         let output = ctx.create_buffer(sobel::frame_bytes(w, h)).expect("out");
         let queue = ctx.create_queue().expect("queue");
-        queue.write(&input, sobel::pack_pixels(&frame)).expect("write");
+        queue
+            .write(&input, sobel::pack_pixels(&frame))
+            .expect("write");
         kernel.set_arg_buffer(0, &input).expect("a0");
         kernel.set_arg_buffer(1, &output).expect("a1");
         kernel.set_arg(2, ArgValue::U32(w)).expect("a2");
         kernel.set_arg(3, ArgValue::U32(h)).expect("a3");
-        queue.launch(&kernel, NdRange::d2(w.into(), h.into())).expect("launch");
+        queue
+            .launch(&kernel, NdRange::d2(w.into(), h.into()))
+            .expect("launch");
         queue.finish().expect("finish");
         let got = sobel::unpack_pixels(&queue.read_vec(&output).expect("read"));
         assert_eq!(got, expected, "instance {} computed a wrong frame", inst.id);
@@ -111,24 +120,41 @@ fn wrong_bitstream_triggers_validated_reconfiguration_and_migration() {
     let (cluster, registry) = build_stack();
     // Fill all three boards with mm tenants first.
     for i in 1..=3 {
-        registry
-            .register_function(format!("mm-{i}"), DeviceQuery::for_accelerator(mm::MM_BITSTREAM));
-        cluster.create_instance(InstanceTemplate::new(format!("mm-{i}"))).expect("mm instance");
+        registry.register_function(
+            format!("mm-{i}"),
+            DeviceQuery::for_accelerator(mm::MM_BITSTREAM),
+        );
+        cluster
+            .create_instance(InstanceTemplate::new(format!("mm-{i}")))
+            .expect("mm instance");
     }
     for id in registry.device_ids() {
         assert_eq!(
-            registry.manager(&id).expect("manager").bitstream_id().as_deref(),
+            registry
+                .manager(&id)
+                .expect("manager")
+                .bitstream_id()
+                .as_deref(),
             Some(mm::MM_BITSTREAM)
         );
     }
 
     // A sobel function arrives: no compatible board, but mm tenants can be
     // redistributed, so Algorithm 1 flags a reconfiguration + migration.
-    registry.register_function("sobel-1", DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM));
-    let inst = cluster.create_instance(InstanceTemplate::new("sobel-1")).expect("sobel instance");
+    registry.register_function(
+        "sobel-1",
+        DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM),
+    );
+    let inst = cluster
+        .create_instance(InstanceTemplate::new("sobel-1"))
+        .expect("sobel instance");
     let sobel_device = inst.env[ENV_DEVICE_MANAGER].clone();
     assert_eq!(
-        registry.manager(&sobel_device).expect("manager").bitstream_id().as_deref(),
+        registry
+            .manager(&sobel_device)
+            .expect("manager")
+            .bitstream_id()
+            .as_deref(),
         Some(sobel::SOBEL_BITSTREAM),
         "the chosen board was reprogrammed"
     );
@@ -142,7 +168,10 @@ fn wrong_bitstream_triggers_validated_reconfiguration_and_migration() {
     assert_eq!(mm_instances.len(), 3, "no mm tenant was lost");
     for mm_inst in &mm_instances {
         let dev = registry.binding(&mm_inst.id.to_string()).expect("bound");
-        assert_ne!(dev, sobel_device, "mm tenants moved off the reprogrammed board");
+        assert_ne!(
+            dev, sobel_device,
+            "mm tenants moved off the reprogrammed board"
+        );
     }
 }
 
@@ -151,10 +180,16 @@ fn autoscaler_replicas_pass_admission_and_spread_over_devices() {
     use blastfunction::serverless::{AutoscalePolicy, Autoscaler};
 
     let (cluster, registry) = build_stack();
-    registry.register_function("sobel-1", DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM));
+    registry.register_function(
+        "sobel-1",
+        DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM),
+    );
 
     let scaler = Autoscaler::new(cluster.clone());
-    scaler.set_policy("sobel-1", AutoscalePolicy::per_replica(20.0).with_bounds(1, 3));
+    scaler.set_policy(
+        "sobel-1",
+        AutoscalePolicy::per_replica(20.0).with_bounds(1, 3),
+    );
 
     // 55 rq/s observed -> 3 replicas, each admitted by the registry and
     // therefore bound to a device and pinned to its node.
@@ -165,7 +200,11 @@ fn autoscaler_replicas_pass_admission_and_spread_over_devices() {
         .iter()
         .map(|i| i.env[ENV_DEVICE_MANAGER].clone())
         .collect();
-    assert_eq!(devices.len(), 3, "Algorithm 1 spread the replicas over all boards");
+    assert_eq!(
+        devices.len(),
+        3,
+        "Algorithm 1 spread the replicas over all boards"
+    );
 
     // Load drops: scale back down; bindings of deleted replicas are
     // released so the allocator sees the freed capacity.
@@ -200,18 +239,30 @@ fn client_initiated_reconfiguration_respects_the_validator() {
     registry.register_device(manager.clone());
     registry.attach_cluster(&cluster);
     registry.register_function("mm-1", DeviceQuery::for_accelerator(mm::MM_BITSTREAM));
-    let inst = cluster.create_instance(InstanceTemplate::new("mm-1")).expect("instance");
+    let inst = cluster
+        .create_instance(InstanceTemplate::new("mm-1"))
+        .expect("instance");
 
     // The bound instance may reconfigure its own device…
     let endpoint = manager.connect(&inst.id.to_string(), PathCosts::local_shm());
     let backend = RemoteBackend::connect(endpoint, VirtualClock::new()).expect("connect");
-    backend.reconfigure(sobel::SOBEL_BITSTREAM).expect("validated reconfiguration");
-    assert_eq!(manager.bitstream_id().as_deref(), Some(sobel::SOBEL_BITSTREAM));
+    backend
+        .reconfigure(sobel::SOBEL_BITSTREAM)
+        .expect("validated reconfiguration");
+    assert_eq!(
+        manager.bitstream_id().as_deref(),
+        Some(sobel::SOBEL_BITSTREAM)
+    );
 
     // …while an unbound impostor is refused.
     let endpoint = manager.connect("impostor", PathCosts::local_shm());
     let impostor = RemoteBackend::connect(endpoint, VirtualClock::new()).expect("connect");
-    let err = impostor.reconfigure(mm::MM_BITSTREAM).expect_err("must be refused");
+    let err = impostor
+        .reconfigure(mm::MM_BITSTREAM)
+        .expect_err("must be refused");
     assert!(matches!(err, ClError::AccessDenied(_)), "got {err:?}");
-    assert_eq!(manager.bitstream_id().as_deref(), Some(sobel::SOBEL_BITSTREAM));
+    assert_eq!(
+        manager.bitstream_id().as_deref(),
+        Some(sobel::SOBEL_BITSTREAM)
+    );
 }

@@ -33,7 +33,9 @@ fn manager_with(board: Arc<Mutex<Board>>, shm_capacity: u64) -> DeviceManager {
 fn connect(manager: &DeviceManager, costs: PathCosts) -> Device {
     let mut router = Router::new();
     router.add_manager(manager.clone());
-    router.connect(0, "victim", costs, VirtualClock::new()).expect("connect")
+    router
+        .connect(0, "victim", costs, VirtualClock::new())
+        .expect("connect")
 }
 
 #[test]
@@ -42,7 +44,9 @@ fn device_memory_exhaustion_maps_to_out_of_resources() {
     let device = connect(&manager, PathCosts::local_grpc());
     let ctx = device.create_context().expect("ctx");
     let _big = ctx.create_buffer(1 << 19).expect("first allocation fits");
-    let err = ctx.create_buffer(1 << 20).expect_err("second must exhaust DDR");
+    let err = ctx
+        .create_buffer(1 << 20)
+        .expect_err("second must exhaust DDR");
     assert!(matches!(err, ClError::OutOfResources(_)), "got {err:?}");
     // Releasing makes space again.
     drop(_big);
@@ -59,12 +63,16 @@ fn out_of_bounds_transfers_fail_without_corrupting_the_session() {
     let ctx = device.create_context().expect("ctx");
     let buf = ctx.create_buffer(64).expect("buffer");
     let queue = ctx.create_queue().expect("queue");
-    let ev = queue.write_async(&buf, 32, vec![0u8; 64]).expect("accepted into the task");
+    let ev = queue
+        .write_async(&buf, 32, vec![0u8; 64])
+        .expect("accepted into the task");
     queue.flush().expect("flush");
     let err = ev.wait().expect_err("out of bounds");
     assert!(matches!(err, ClError::OutOfBounds(_)), "got {err:?}");
     // The session keeps working afterwards.
-    queue.write(&buf, vec![1u8; 64]).expect("valid write still works");
+    queue
+        .write(&buf, vec![1u8; 64])
+        .expect("valid write still works");
     assert_eq!(queue.read_vec(&buf).expect("read"), vec![1u8; 64]);
 }
 
@@ -94,7 +102,9 @@ fn missing_kernel_args_fail_the_launch_event() {
     let queue = ctx.create_queue().expect("queue");
     // Arg 3 set, args 0-2 missing.
     kernel.set_arg(3, ArgValue::U32(8)).expect("set arg");
-    let ev = queue.launch(&kernel, NdRange::d1(64)).expect("enqueue accepted");
+    let ev = queue
+        .launch(&kernel, NdRange::d1(64))
+        .expect("enqueue accepted");
     queue.flush().expect("flush");
     let err = ev.wait().expect_err("launch must fail");
     assert!(
@@ -113,7 +123,9 @@ fn shm_exhaustion_degrades_to_inline_without_data_loss() {
     let buf = ctx.create_buffer(64 << 10).expect("buffer");
     let queue = ctx.create_queue().expect("queue");
     let payload = vec![0xA5u8; 64 << 10];
-    queue.write(&buf, payload.clone()).expect("write survives shm exhaustion");
+    queue
+        .write(&buf, payload.clone())
+        .expect("write survives shm exhaustion");
     assert_eq!(queue.read_vec(&buf).expect("read"), payload);
 }
 
@@ -131,8 +143,11 @@ fn dead_manager_surfaces_as_transport_failure() {
     let ctx = backend.create_context().expect("ctx");
     // Tear the session down from the manager side.
     let conn = backend.connection().clone();
-    conn.cast(blastfunction::rpc::Request::Disconnect, VirtualClock::new().now())
-        .expect("disconnect sent");
+    conn.cast(
+        blastfunction::rpc::Request::Disconnect,
+        VirtualClock::new().now(),
+    )
+    .expect("disconnect sent");
     // After the session thread exits, further calls fail as transport
     // errors rather than hanging.
     let mut saw_failure = false;
@@ -165,15 +180,23 @@ fn cross_tenant_buffers_are_unreachable() {
     let mine = m_ctx.create_buffer(64).expect("own buffer");
     m_queue.write(&mine, vec![0u8; 64]).expect("write");
     for guess in 1..=64u64 {
-        let ev = mallory
-            .backend()
-            .enqueue_read(m_queue.id(), blastfunction::ocl::MemId(guess), 0, 64, false);
+        let ev = mallory.backend().enqueue_read(
+            m_queue.id(),
+            blastfunction::ocl::MemId(guess),
+            0,
+            64,
+            false,
+        );
         if let Ok(ev) = ev {
             m_queue.flush().expect("flush");
             if ev.wait().is_ok() {
                 let payload = ev.take_payload().expect("payload");
                 if let blastfunction::fpga::Payload::Data(bytes) = payload {
-                    assert_ne!(bytes, vec![42u8; 64], "leaked Alice's buffer via handle {guess}");
+                    assert_ne!(
+                        bytes,
+                        vec![42u8; 64],
+                        "leaked Alice's buffer via handle {guess}"
+                    );
                 }
             }
         }

@@ -1,0 +1,56 @@
+//! Tier-1 conformance gate: the whole workspace must pass `bf-lint`.
+//!
+//! This runs the same engine as `cargo run -p bf-lint` in-process, so a
+//! plain `cargo test` fails with file:line diagnostics whenever a crate
+//! reintroduces a panic site, an `std::sync` lock, a wall-clock read, a
+//! lock-order inversion, or a wildcard arm on a protocol enum.
+
+use bf_lint::{run, LOCK_HIERARCHY};
+
+/// Walks up from the test binary's cwd to the workspace root (the
+/// directory holding the `[workspace]` manifest).
+fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).expect("read Cargo.toml");
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        assert!(dir.pop(), "no workspace root above the test cwd");
+    }
+}
+
+#[test]
+fn workspace_passes_bf_lint() {
+    let report = run(&workspace_root()).expect("bf-lint scan");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "bf-lint found {} violation(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn lock_hierarchy_is_declared() {
+    // The static rule and the runtime tracker consume the same table; an
+    // accidentally emptied hierarchy would silently disable both.
+    assert!(
+        LOCK_HIERARCHY.len() >= 4,
+        "lock hierarchy suspiciously small: {LOCK_HIERARCHY:?}"
+    );
+    assert!(LOCK_HIERARCHY.contains(&"board"));
+}

@@ -22,7 +22,10 @@ use parking_lot::Mutex;
 fn direct_mode_gateway() -> (Gateway, VirtualClock) {
     let mut catalog = BitstreamCatalog::new();
     catalog.register(sobel::bitstream());
-    let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node_b().pcie())));
+    let board = Arc::new(Mutex::new(Board::new(
+        BoardSpec::de5a_net(),
+        *node_b().pcie(),
+    )));
     let manager = DeviceManager::new(
         DeviceManagerConfig::standalone("fpga-b"),
         node_b(),
@@ -83,12 +86,18 @@ fn direct_mode_latency_matches_the_des_prediction() {
         &ScenarioConfig::new(
             UseCase::Sobel,
             LoadLevel::Low,
-            Deployment::BlastFunction { data_path: DataPathKind::SharedMemory },
+            Deployment::BlastFunction {
+                data_path: DataPathKind::SharedMemory,
+            },
         )
         .with_duration(VirtualDuration::from_secs(20))
         .with_jitter(0.0),
     );
-    let des_fn = des.functions.iter().find(|f| f.function == "sobel-1").expect("sobel-1");
+    let des_fn = des
+        .functions
+        .iter()
+        .find(|f| f.function == "sobel-1")
+        .expect("sobel-1");
     assert_eq!(des_fn.node, "B");
 
     // --- Direct mode: the same request through the real threaded stack.
@@ -103,7 +112,10 @@ fn direct_mode_latency_matches_the_des_prediction() {
     .expect("load run");
 
     assert!(result.failed == 0, "no request may fail");
-    assert!((result.achieved_rps - 20.0).abs() < 1.0, "keeps the target: {result:?}");
+    assert!(
+        (result.achieved_rps - 20.0).abs() < 1.0,
+        "keeps the target: {result:?}"
+    );
 
     let direct_ms = result.mean_latency.as_millis_f64();
     let des_ms = des_fn.mean_latency_ms;

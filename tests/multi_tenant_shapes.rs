@@ -17,7 +17,13 @@ fn run(use_case: UseCase, level: LoadLevel, deployment: Deployment) -> ScenarioR
 }
 
 fn bf(use_case: UseCase, level: LoadLevel) -> ScenarioResult {
-    run(use_case, level, Deployment::BlastFunction { data_path: DataPathKind::SharedMemory })
+    run(
+        use_case,
+        level,
+        Deployment::BlastFunction {
+            data_path: DataPathKind::SharedMemory,
+        },
+    )
 }
 
 fn native(use_case: UseCase, level: LoadLevel) -> ScenarioResult {
@@ -114,8 +120,14 @@ fn low_load_misses_are_small_and_grow_with_load() {
         let low = get(LoadLevel::Low);
         let high = get(LoadLevel::High);
         assert!(low < 8.0, "low-load miss should be small, got {low:.1}%");
-        assert!(high > low, "misses must grow with load ({low:.1}% -> {high:.1}%)");
-        assert!(high > 10.0, "high load must overload something, got {high:.1}%");
+        assert!(
+            high > low,
+            "misses must grow with load ({low:.1}% -> {high:.1}%)"
+        );
+        assert!(
+            high > 10.0,
+            "high load must overload something, got {high:.1}%"
+        );
     }
 }
 
@@ -131,7 +143,9 @@ fn alexnet_latency_penalty_comes_from_per_layer_syncs() {
         &ScenarioConfig::new(
             UseCase::AlexNet,
             LoadLevel::Medium,
-            Deployment::BlastFunction { data_path: DataPathKind::SharedMemory },
+            Deployment::BlastFunction {
+                data_path: DataPathKind::SharedMemory,
+            },
         )
         .with_duration(VirtualDuration::from_secs(20))
         .with_profile(net.request_profile_batched()),
@@ -164,5 +178,8 @@ fn node_a_is_the_first_to_saturate() {
                 .expect("finite misses")
         })
         .expect("non-empty");
-    assert_eq!(worst.node, "A", "the slow master saturates first: {worst:?}");
+    assert_eq!(
+        worst.node, "A",
+        "the slow master saturates first: {worst:?}"
+    );
 }

@@ -28,7 +28,10 @@ fn device_for(system: System) -> (Device, VirtualClock) {
     let mut catalog = BitstreamCatalog::new();
     catalog.register(sobel::bitstream());
     catalog.register(mm::bitstream());
-    let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node_b().pcie())));
+    let board = Arc::new(Mutex::new(Board::new(
+        BoardSpec::de5a_net(),
+        *node_b().pcie(),
+    )));
     let clock = VirtualClock::new();
     match system {
         System::Native => (
@@ -55,7 +58,12 @@ fn device_for(system: System) -> (Device, VirtualClock) {
             } else {
                 PathCosts::local_grpc()
             };
-            (router.connect(0, "fig4-fn", costs, clock.clone()).expect("connect"), clock)
+            (
+                router
+                    .connect(0, "fig4-fn", costs, clock.clone())
+                    .expect("connect"),
+                clock,
+            )
         }
     }
 }
@@ -94,7 +102,10 @@ fn fig4a_shm_overhead_at_2gb_is_one_memcpy() {
     let overhead = shm - native;
     // Paper: "a maximum overhead of 155 ms when transferring 2 GBs".
     let ms = overhead.as_millis_f64();
-    assert!((100.0..250.0).contains(&ms), "shm overhead at 2 GB: {ms:.1} ms");
+    assert!(
+        (100.0..250.0).contains(&ms),
+        "shm overhead at 2 GB: {ms:.1} ms"
+    );
 }
 
 #[test]
@@ -102,12 +113,19 @@ fn fig4a_small_sizes_cost_about_2ms_of_control() {
     let native = write_read_rtt(System::Native, 1 << 10);
     let shm = write_read_rtt(System::BlastFunctionShm, 1 << 10);
     let overhead = (shm - native).as_millis_f64();
-    assert!((1.0..3.5).contains(&overhead), "control overhead {overhead:.2} ms");
+    assert!(
+        (1.0..3.5).contains(&overhead),
+        "control overhead {overhead:.2} ms"
+    );
 }
 
 #[test]
 fn fig4a_rtt_is_monotone_in_size() {
-    for system in [System::Native, System::BlastFunction, System::BlastFunctionShm] {
+    for system in [
+        System::Native,
+        System::BlastFunction,
+        System::BlastFunctionShm,
+    ] {
         let mut prev = VirtualDuration::ZERO;
         for total in [1u64 << 10, 1 << 20, 1 << 26, 1 << 31] {
             let rtt = write_read_rtt(system, total);
@@ -132,8 +150,12 @@ fn sobel_rtt(system: System, w: u32, h: u32) -> VirtualDuration {
     kernel.set_arg(2, ArgValue::U32(w)).expect("a2");
     kernel.set_arg(3, ArgValue::U32(h)).expect("a3");
     let t0 = clock.now();
-    queue.write_async(&input, 0, Payload::Synthetic(bytes)).expect("write");
-    queue.launch(&kernel, NdRange::d2(w.into(), h.into())).expect("launch");
+    queue
+        .write_async(&input, 0, Payload::Synthetic(bytes))
+        .expect("write");
+    queue
+        .launch(&kernel, NdRange::d2(w.into(), h.into()))
+        .expect("launch");
     let _ = queue.read_payload(&output).expect("read");
     clock.now() - t0
 }
@@ -144,7 +166,10 @@ fn fig4b_native_endpoints_match_the_paper() {
     let large = sobel_rtt(System::Native, 1920, 1080).as_millis_f64();
     // Paper: 0.27 ms and 14.53 ms.
     assert!((small - 0.27).abs() < 0.1, "10x10 native RTT {small:.3} ms");
-    assert!((large - 14.53).abs() < 1.0, "1080p native RTT {large:.2} ms");
+    assert!(
+        (large - 14.53).abs() < 1.0,
+        "1080p native RTT {large:.2} ms"
+    );
 }
 
 #[test]
@@ -156,11 +181,17 @@ fn fig4b_shm_overhead_is_a_constant_few_ms() {
         overheads.push((shm - native).as_millis_f64());
     }
     for o in &overheads {
-        assert!((0.5..4.5).contains(o), "shm overhead {o:.2} ms outside the ~2 ms band");
+        assert!(
+            (0.5..4.5).contains(o),
+            "shm overhead {o:.2} ms outside the ~2 ms band"
+        );
     }
     let spread = overheads.iter().cloned().fold(f64::MIN, f64::max)
         - overheads.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 2.5, "overhead should be near-constant, spread {spread:.2} ms");
+    assert!(
+        spread < 2.5,
+        "overhead should be near-constant, spread {spread:.2} ms"
+    );
 }
 
 /// MM request RTT at dimension n (timing-only).
@@ -179,9 +210,15 @@ fn mm_rtt(system: System, n: u32) -> VirtualDuration {
     kernel.set_arg_buffer(2, &c).expect("a2");
     kernel.set_arg(3, ArgValue::U32(n)).expect("a3");
     let t0 = clock.now();
-    queue.write_async(&a, 0, Payload::Synthetic(bytes)).expect("wa");
-    queue.write_async(&b, 0, Payload::Synthetic(bytes)).expect("wb");
-    queue.launch(&kernel, NdRange::d2(n.into(), n.into())).expect("launch");
+    queue
+        .write_async(&a, 0, Payload::Synthetic(bytes))
+        .expect("wa");
+    queue
+        .write_async(&b, 0, Payload::Synthetic(bytes))
+        .expect("wb");
+    queue
+        .launch(&kernel, NdRange::d2(n.into(), n.into()))
+        .expect("launch");
     let _ = queue.read_payload(&c).expect("read");
     clock.now() - t0
 }
@@ -191,7 +228,10 @@ fn fig4c_native_endpoints_match_the_paper() {
     let small = mm_rtt(System::Native, 16).as_millis_f64();
     let large = mm_rtt(System::Native, 4096).as_secs_f64();
     // Paper: 0.45 ms and 3.571 s.
-    assert!((small - 0.45).abs() < 0.15, "16x16 native RTT {small:.3} ms");
+    assert!(
+        (small - 0.45).abs() < 0.15,
+        "16x16 native RTT {small:.3} ms"
+    );
     assert!((large - 3.571).abs() < 0.1, "4096 native RTT {large:.3} s");
 }
 
@@ -207,6 +247,12 @@ fn relative_overhead_compute_bound_vs_io_bound() {
     let so_native = sobel_rtt(System::Native, 1920, 1080);
     let so_shm = sobel_rtt(System::BlastFunctionShm, 1920, 1080);
     let so_rel = (so_shm - so_native).as_secs_f64() / so_native.as_secs_f64() * 100.0;
-    assert!((8.0..40.0).contains(&so_rel), "Sobel relative shm overhead {so_rel:.2}%");
-    assert!(so_rel > 5.0 * mm_rel, "I/O-bound must suffer far more than compute-bound");
+    assert!(
+        (8.0..40.0).contains(&so_rel),
+        "Sobel relative shm overhead {so_rel:.2}%"
+    );
+    assert!(
+        so_rel > 5.0 * mm_rel,
+        "I/O-bound must suffer far more than compute-bound"
+    );
 }

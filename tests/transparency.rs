@@ -19,11 +19,20 @@ fn catalog() -> BitstreamCatalog {
 }
 
 fn fresh_board() -> Arc<Mutex<Board>> {
-    Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node_b().pcie())))
+    Arc::new(Mutex::new(Board::new(
+        BoardSpec::de5a_net(),
+        *node_b().pcie(),
+    )))
 }
 
 fn native_device(clock: VirtualClock) -> Device {
-    Device::new(Arc::new(NativeBackend::new(node_b(), fresh_board(), catalog(), clock, "native")))
+    Device::new(Arc::new(NativeBackend::new(
+        node_b(),
+        fresh_board(),
+        catalog(),
+        clock,
+        "native",
+    )))
 }
 
 fn remote_device(costs: PathCosts, clock: VirtualClock) -> Device {
@@ -47,12 +56,16 @@ fn sobel_host(device: &Device, width: u32, height: u32, pixels: &[u32]) -> Vec<u
     let input = ctx.create_buffer(bytes).expect("in");
     let output = ctx.create_buffer(bytes).expect("out");
     let queue = ctx.create_queue().expect("queue");
-    queue.write(&input, sobel::pack_pixels(pixels)).expect("write");
+    queue
+        .write(&input, sobel::pack_pixels(pixels))
+        .expect("write");
     kernel.set_arg_buffer(0, &input).expect("arg0");
     kernel.set_arg_buffer(1, &output).expect("arg1");
     kernel.set_arg(2, ArgValue::U32(width)).expect("arg2");
     kernel.set_arg(3, ArgValue::U32(height)).expect("arg3");
-    queue.launch(&kernel, NdRange::d2(width.into(), height.into())).expect("launch");
+    queue
+        .launch(&kernel, NdRange::d2(width.into(), height.into()))
+        .expect("launch");
     queue.finish().expect("finish");
     sobel::unpack_pixels(&queue.read_vec(&output).expect("read"))
 }
@@ -75,10 +88,16 @@ fn mm_host(device: &Device, n: u32, a: &[f32], b: &[f32]) -> Vec<f32> {
     kernel.set_arg_buffer(1, &b_buf).expect("arg1");
     kernel.set_arg_buffer(2, &c_buf).expect("arg2");
     kernel.set_arg(3, ArgValue::U32(n)).expect("arg3");
-    let k = queue.launch(&kernel, NdRange::d2(n.into(), n.into())).expect("launch");
+    let k = queue
+        .launch(&kernel, NdRange::d2(n.into(), n.into()))
+        .expect("launch");
     queue.finish().expect("finish");
     for ev in [&w1, &w2, &k] {
-        assert_eq!(ev.status(), EventStatus::Complete, "all events complete after finish");
+        assert_eq!(
+            ev.status(),
+            EventStatus::Complete,
+            "all events complete after finish"
+        );
     }
     mm::unpack_f32(&queue.read_vec(&c_buf).expect("read"))
 }
@@ -86,7 +105,9 @@ fn mm_host(device: &Device, n: u32, a: &[f32], b: &[f32]) -> Vec<f32> {
 #[test]
 fn sobel_is_bit_identical_across_backends() {
     let (w, h) = (48u32, 36u32);
-    let pixels: Vec<u32> = (0..w * h).map(|i| 0xff00_0000 | i.wrapping_mul(2654435761)).collect();
+    let pixels: Vec<u32> = (0..w * h)
+        .map(|i| 0xff00_0000 | i.wrapping_mul(2654435761))
+        .collect();
     let expected = sobel::reference(&pixels, w, h);
 
     let native = sobel_host(&native_device(VirtualClock::new()), w, h, &pixels);
@@ -128,12 +149,16 @@ fn virtual_cost_ordering_native_shm_grpc() {
         let output = ctx.create_buffer(bytes).expect("out");
         let queue = ctx.create_queue().expect("queue");
         let t0 = clock.now();
-        queue.write(&input, sobel::pack_pixels(&pixels)).expect("write");
+        queue
+            .write(&input, sobel::pack_pixels(&pixels))
+            .expect("write");
         kernel.set_arg_buffer(0, &input).expect("a0");
         kernel.set_arg_buffer(1, &output).expect("a1");
         kernel.set_arg(2, ArgValue::U32(w)).expect("a2");
         kernel.set_arg(3, ArgValue::U32(h)).expect("a3");
-        queue.launch(&kernel, NdRange::d2(w.into(), h.into())).expect("launch");
+        queue
+            .launch(&kernel, NdRange::d2(w.into(), h.into()))
+            .expect("launch");
         queue.finish().expect("finish");
         let _ = queue.read_vec(&output).expect("read");
         clock.now() - t0
@@ -142,9 +167,15 @@ fn virtual_cost_ordering_native_shm_grpc() {
     let native_clock = VirtualClock::new();
     let native_t = run(&native_device(native_clock.clone()), &native_clock);
     let shm_clock = VirtualClock::new();
-    let shm_t = run(&remote_device(PathCosts::local_shm(), shm_clock.clone()), &shm_clock);
+    let shm_t = run(
+        &remote_device(PathCosts::local_shm(), shm_clock.clone()),
+        &shm_clock,
+    );
     let grpc_clock = VirtualClock::new();
-    let grpc_t = run(&remote_device(PathCosts::local_grpc(), grpc_clock.clone()), &grpc_clock);
+    let grpc_t = run(
+        &remote_device(PathCosts::local_grpc(), grpc_clock.clone()),
+        &grpc_clock,
+    );
 
     assert!(native_t < shm_t, "native {native_t} must beat shm {shm_t}");
     assert!(shm_t < grpc_t, "shm {shm_t} must beat grpc {grpc_t}");
@@ -186,7 +217,10 @@ fn device_to_device_copy_matches_across_backends() {
             }
             Err(e) => assert!(matches!(e, ClError::OutOfBounds(_)), "got {e:?}"),
         }
-        assert_eq!(queue.read_vec(&dst).expect("read again")[512..1536], make_data[..]);
+        assert_eq!(
+            queue.read_vec(&dst).expect("read again")[512..1536],
+            make_data[..]
+        );
     }
 }
 
@@ -197,11 +231,16 @@ fn event_profiles_expose_device_timestamps_remotely() {
     let _program = ctx.build_program(sobel::SOBEL_BITSTREAM).expect("program");
     let buf = ctx.create_buffer(1 << 16).expect("buf");
     let queue = ctx.create_queue().expect("queue");
-    let ev = queue.write_async(&buf, 0, vec![7u8; 1 << 16]).expect("enqueue");
+    let ev = queue
+        .write_async(&buf, 0, vec![7u8; 1 << 16])
+        .expect("enqueue");
     queue.finish().expect("finish");
     let profile = ev.profile();
     assert!(profile.queued.is_some());
-    assert!(profile.ended >= profile.started, "device timestamps ordered");
+    assert!(
+        profile.ended >= profile.started,
+        "device timestamps ordered"
+    );
     let observed = ev.observed_at().expect("observed time set");
     assert!(
         observed > profile.ended.expect("ended set"),

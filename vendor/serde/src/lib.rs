@@ -1,0 +1,207 @@
+//! Offline stand-in for the `serde` facade this workspace uses.
+//!
+//! The real serde cannot be downloaded in this build environment, so this
+//! crate provides a deliberately small, push-based serialization model:
+//! a [`Serialize`] type walks itself into a `&mut dyn` [`Serializer`],
+//! which builds whatever output format it wants (the vendored
+//! `serde_json` builds its `Value` tree this way). [`Deserialize`] is a
+//! marker trait — no call site in this workspace performs typed
+//! deserialization; parsing goes through `serde_json::Value`.
+//!
+//! The derive macros (`features = ["derive"]`) come from the vendored
+//! `serde_derive` and target exactly these traits.
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A push-based output sink. Implementations build a document from the
+/// emit/begin/end calls a [`Serialize`] type makes in declaration order.
+pub trait Serializer {
+    /// Emits a null/unit value.
+    fn emit_null(&mut self);
+    /// Emits a boolean.
+    fn emit_bool(&mut self, v: bool);
+    /// Emits an unsigned integer.
+    fn emit_u64(&mut self, v: u64);
+    /// Emits a signed integer.
+    fn emit_i64(&mut self, v: i64);
+    /// Emits a floating-point number.
+    fn emit_f64(&mut self, v: f64);
+    /// Emits a string.
+    fn emit_str(&mut self, v: &str);
+    /// Opens a sequence of `len` elements.
+    fn begin_seq(&mut self, len: usize);
+    /// Closes the innermost open sequence.
+    fn end_seq(&mut self);
+    /// Opens a key/value map.
+    fn begin_map(&mut self);
+    /// Declares the key of the next emitted value in the open map.
+    fn map_key(&mut self, key: &str);
+    /// Closes the innermost open map.
+    fn end_map(&mut self);
+}
+
+/// Types that can push themselves into a [`Serializer`].
+pub trait Serialize {
+    /// Walks `self` into the sink.
+    fn serialize(&self, s: &mut dyn Serializer);
+}
+
+/// Marker for deserializable types. Typed deserialization is not part of
+/// this offline stand-in; `#[derive(Deserialize)]` compiles (so shared
+/// type definitions keep their derives) but only documents intent.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, s: &mut dyn Serializer) {
+                s.emit_u64(*self as u64);
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, s: &mut dyn Serializer) {
+                s.emit_i64(*self as i64);
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.emit_f64(f64::from(*self));
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.emit_f64(*self);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.emit_bool(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.emit_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.emit_str(self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.emit_str(&self.to_string());
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.emit_null();
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        match self {
+            None => s.emit_null(),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.begin_seq(self.len());
+        for item in self {
+            item.serialize(s);
+        }
+        s.end_seq();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.begin_seq(2);
+        self.0.serialize(s);
+        self.1.serialize(s);
+        s.end_seq();
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.begin_seq(3);
+        self.0.serialize(s);
+        self.1.serialize(s);
+        self.2.serialize(s);
+        s.end_seq();
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.begin_map();
+        for (k, v) in self {
+            s.map_key(k);
+            v.serialize(s);
+        }
+        s.end_map();
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        // Sort for deterministic output; simulation artifacts are diffed.
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        s.begin_map();
+        for (k, v) in entries {
+            s.map_key(k);
+            v.serialize(s);
+        }
+        s.end_map();
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` facade without `syn`/`quote`, by walking the raw
+//! `proc_macro::TokenStream`. Supports the shapes this workspace derives:
+//!
+//! * named-field structs (with `#[serde(skip)]` and
+//!   `#[serde(skip_serializing_if = "path")]` field attributes),
+//! * tuple/newtype structs,
+//! * unit structs,
+//! * enums (unit, named-field, and tuple variants; externally tagged),
+//! * lifetime-only generics (e.g. `struct ChromeEvent<'a> { ... }`).
+//!
+//! Anything richer produces a `compile_error!` naming the limitation, so
+//! unsupported shapes fail loudly at the derive site instead of
+//! serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` facade trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => render_serialize(&item),
+        Err(msg) => error(&msg),
+    }
+    .parse()
+    .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}"))
+}
+
+/// Derives the vendored `serde::Deserialize` facade trait (a marker in
+/// this offline stand-in; no call site performs typed deserialization).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => render_deserialize(&item),
+        Err(msg) => error(&msg),
+    }
+    .parse()
+    .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}"))
+}
+
+fn error(msg: &str) -> String {
+    format!("compile_error!({msg:?});")
+}
+
+struct Item {
+    name: String,
+    /// Raw generics text including angle brackets (e.g. `<'a>`), or empty.
+    generics: String,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    skip_if: Option<String>,
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    // Generics: capture `<...>` verbatim; only lifetime params supported.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in tokens.by_ref() {
+                let text = tt.to_string();
+                if let TokenTree::Punct(ref p) = tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ':' => {
+                            return Err(format!(
+                                "serde_derive stand-in: type `{name}` has bounded generic \
+                                 parameters; only lifetime-only generics are supported"
+                            ))
+                        }
+                        _ => {}
+                    }
+                }
+                generics.push_str(&text);
+                // A lone `'` begins a lifetime; a space after it would
+                // split the token (`' a` is not a lifetime).
+                if text != "'" {
+                    generics.push(' ');
+                }
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        body,
+    })
+}
+
+/// Parses `#[serde(...)]` field attributes out of a brace-group stream and
+/// returns the fields in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+
+    'fields: loop {
+        let mut skip = false;
+        let mut skip_if = None;
+
+        // Field attributes.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    let group = match tokens.next() {
+                        Some(TokenTree::Group(g)) => g,
+                        other => return Err(format!("malformed attribute: {other:?}")),
+                    };
+                    parse_serde_attr(group.stream(), &mut skip, &mut skip_if)?;
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Consume the type up to a top-level comma, tracking angle-bracket
+        // depth so `HashMap<String, f64>` stays one field.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(ref p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field {
+            name,
+            skip,
+            skip_if,
+        });
+    }
+
+    Ok(fields)
+}
+
+/// Recognizes `#[serde(skip)]` and `#[serde(skip_serializing_if = "..")]`
+/// inside one attribute group; other attributes are ignored.
+fn parse_serde_attr(
+    stream: TokenStream,
+    skip: &mut bool,
+    skip_if: &mut Option<String>,
+) -> Result<(), String> {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return Ok(()), // not a serde attribute (e.g. a doc comment)
+    }
+    let inner = match tokens.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return Ok(()),
+    };
+    let mut inner = inner.into_iter();
+    while let Some(tt) = inner.next() {
+        let TokenTree::Ident(ident) = tt else {
+            continue;
+        };
+        match ident.to_string().as_str() {
+            "skip" | "skip_serializing" => *skip = true,
+            "skip_serializing_if" => {
+                let _eq = inner.next();
+                match inner.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let raw = lit.to_string();
+                        *skip_if = Some(raw.trim_matches('"').to_string());
+                    }
+                    other => {
+                        return Err(format!(
+                            "skip_serializing_if expects a string literal, found {other:?}"
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive stand-in: unsupported serde attribute `{other}`"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for tt in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Variant attributes / doc comments.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            tokens.next();
+            tokens.next();
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                VariantFields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                VariantFields::Tuple(count_tuple_fields(inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {} for {}", trait_path, item.name)
+    } else {
+        format!(
+            "impl {} {} for {} {}",
+            item.generics, trait_path, item.name, item.generics
+        )
+    }
+}
+
+fn render_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut out = String::from("__s.begin_map();\n");
+            for field in fields {
+                if field.skip {
+                    continue;
+                }
+                let emit = format!(
+                    "__s.map_key({name:?});\n::serde::Serialize::serialize(&self.{name}, __s);\n",
+                    name = field.name
+                );
+                match &field.skip_if {
+                    Some(path) => out.push_str(&format!(
+                        "if !{path}(&self.{name}) {{\n{emit}}}\n",
+                        name = field.name
+                    )),
+                    None => out.push_str(&emit),
+                }
+            }
+            out.push_str("__s.end_map();");
+            out
+        }
+        Body::TupleStruct(0) | Body::UnitStruct => "__s.emit_null();".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::serialize(&self.0, __s);".to_string(),
+        Body::TupleStruct(n) => {
+            let mut out = format!("__s.begin_seq({n});\n");
+            for i in 0..*n {
+                out.push_str(&format!("::serde::Serialize::serialize(&self.{i}, __s);\n"));
+            }
+            out.push_str("__s.end_seq();");
+            out
+        }
+        Body::Enum(variants) => {
+            // Externally tagged, like stock serde: unit variants are bare
+            // strings, data variants are single-key maps keyed by name.
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let ty = &item.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("{ty}::{vname} => __s.emit_str({vname:?}),\n")
+                        }
+                        VariantFields::Named(fields) => {
+                            let pat: String =
+                                fields.iter().map(|f| format!("{}, ", f.name)).collect();
+                            let mut emit = String::new();
+                            for f in fields {
+                                if f.skip {
+                                    continue;
+                                }
+                                let one = format!(
+                                    "__s.map_key({name:?});\n\
+                                     ::serde::Serialize::serialize({name}, __s);\n",
+                                    name = f.name
+                                );
+                                match &f.skip_if {
+                                    Some(path) => emit.push_str(&format!(
+                                        "if !{path}({name}) {{\n{one}}}\n",
+                                        name = f.name
+                                    )),
+                                    None => emit.push_str(&one),
+                                }
+                            }
+                            format!(
+                                "{ty}::{vname} {{ {pat} }} => {{\n\
+                                 __s.begin_map();\n\
+                                 __s.map_key({vname:?});\n\
+                                 __s.begin_map();\n\
+                                 {emit}\
+                                 __s.end_map();\n\
+                                 __s.end_map();\n\
+                                 }}\n"
+                            )
+                        }
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let pat = binds.join(", ");
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::serialize(__f0, __s);\n".to_string()
+                            } else {
+                                let mut out = format!("__s.begin_seq({n});\n");
+                                for b in &binds {
+                                    out.push_str(&format!(
+                                        "::serde::Serialize::serialize({b}, __s);\n"
+                                    ));
+                                }
+                                out.push_str("__s.end_seq();\n");
+                                out
+                            };
+                            format!(
+                                "{ty}::{vname}({pat}) => {{\n\
+                                 __s.begin_map();\n\
+                                 __s.map_key({vname:?});\n\
+                                 {inner}\
+                                 __s.end_map();\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{header} {{\n fn serialize(&self, __s: &mut dyn ::serde::Serializer) {{\n{body}\n}}\n}}",
+        header = impl_header(item, "::serde::Serialize"),
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let (params, name, args) = if item.generics.is_empty() {
+        ("<'de>".to_string(), item.name.clone(), String::new())
+    } else {
+        // Splice 'de in front of the type's own (lifetime-only) params.
+        let inner = item.generics.trim().trim_start_matches('<').to_string();
+        (
+            format!("<'de, {inner}"),
+            item.name.clone(),
+            item.generics.clone(),
+        )
+    };
+    format!("impl {params} ::serde::Deserialize<'de> for {name} {args} {{}}")
+}

@@ -1,0 +1,766 @@
+//! Offline stand-in for the `serde_json` API surface this workspace uses:
+//! [`Value`], [`from_str`], [`to_string`]/[`to_string_pretty`], [`json!`]
+//! and [`to_value`], built on the vendored push-based `serde` facade.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Serialize, Serializer};
+
+/// The map type behind [`Value::Object`]. A `BTreeMap`, so object keys
+/// serialize in sorted order and output is deterministic.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The number as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_f64() == other.as_f64()
+    }
+}
+
+/// A parsed or built JSON document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Field access; missing keys and non-objects yield `Null`, like the
+    /// real crate.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// Element access; out-of-range and non-arrays yield `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|v| v.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_f64() == Some(f64::from(*other))
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self, s: &mut dyn Serializer) {
+        match self {
+            Value::Null => s.emit_null(),
+            Value::Bool(b) => s.emit_bool(*b),
+            Value::Number(Number::PosInt(v)) => s.emit_u64(*v),
+            Value::Number(Number::NegInt(v)) => s.emit_i64(*v),
+            Value::Number(Number::Float(v)) => s.emit_f64(*v),
+            Value::String(v) => s.emit_str(v),
+            Value::Array(items) => {
+                s.begin_seq(items.len());
+                for item in items {
+                    item.serialize(s);
+                }
+                s.end_seq();
+            }
+            Value::Object(map) => {
+                s.begin_map();
+                for (k, v) in map {
+                    s.map_key(k);
+                    v.serialize(s);
+                }
+                s.end_map();
+            }
+        }
+    }
+}
+
+// ---- building Values from Serialize types ------------------------------
+
+enum Frame {
+    Seq(Vec<Value>),
+    Map(Map<String, Value>, Option<String>),
+}
+
+/// A [`Serializer`] that assembles a [`Value`] tree.
+#[derive(Default)]
+struct ValueBuilder {
+    stack: Vec<Frame>,
+    result: Option<Value>,
+}
+
+impl ValueBuilder {
+    fn push(&mut self, v: Value) {
+        match self.stack.last_mut() {
+            None => self.result = Some(v),
+            Some(Frame::Seq(items)) => items.push(v),
+            Some(Frame::Map(map, key)) => {
+                let key = key.take().unwrap_or_default();
+                map.insert(key, v);
+            }
+        }
+    }
+}
+
+impl Serializer for ValueBuilder {
+    fn emit_null(&mut self) {
+        self.push(Value::Null);
+    }
+    fn emit_bool(&mut self, v: bool) {
+        self.push(Value::Bool(v));
+    }
+    fn emit_u64(&mut self, v: u64) {
+        self.push(Value::Number(Number::PosInt(v)));
+    }
+    fn emit_i64(&mut self, v: i64) {
+        if v >= 0 {
+            self.push(Value::Number(Number::PosInt(v as u64)));
+        } else {
+            self.push(Value::Number(Number::NegInt(v)));
+        }
+    }
+    fn emit_f64(&mut self, v: f64) {
+        self.push(Value::Number(Number::Float(v)));
+    }
+    fn emit_str(&mut self, v: &str) {
+        self.push(Value::String(v.to_string()));
+    }
+    fn begin_seq(&mut self, len: usize) {
+        self.stack.push(Frame::Seq(Vec::with_capacity(len)));
+    }
+    fn end_seq(&mut self) {
+        match self.stack.pop() {
+            Some(Frame::Seq(items)) => self.push(Value::Array(items)),
+            _ => self.push(Value::Null),
+        }
+    }
+    fn begin_map(&mut self) {
+        self.stack.push(Frame::Map(Map::new(), None));
+    }
+    fn map_key(&mut self, key: &str) {
+        if let Some(Frame::Map(_, pending)) = self.stack.last_mut() {
+            *pending = Some(key.to_string());
+        }
+    }
+    fn end_map(&mut self) {
+        match self.stack.pop() {
+            Some(Frame::Map(map, _)) => self.push(Value::Object(map)),
+            _ => self.push(Value::Null),
+        }
+    }
+}
+
+/// Converts any [`Serialize`] type into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    let mut builder = ValueBuilder::default();
+    value.serialize(&mut builder);
+    builder.result.unwrap_or(Value::Null)
+}
+
+// ---- rendering ----------------------------------------------------------
+
+/// Serialization/parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) if v.is_finite() => {
+            // Match serde_json: floats always carry a decimal point or
+            // exponent so they re-parse as floats.
+            let text = format!("{v}");
+            out.push_str(&text);
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        // serde_json renders non-finite floats as null.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+/// Renders a value as compact JSON.
+///
+/// # Errors
+///
+/// Infallible in this stand-in; the `Result` mirrors the real signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value), None, 0);
+    Ok(out)
+}
+
+/// Renders a value as 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible in this stand-in; the `Result` mirrors the real signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value), Some(2), 0);
+    Ok(out)
+}
+
+// ---- parsing ------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            // Surrogate pairs are not needed by any caller;
+                            // map unpaired surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let text =
+                        std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = text.chars().next().ok_or_else(|| self.error("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+            Ok(Value::Number(Number::Float(v)))
+        } else if let Ok(v) = text.parse::<u64>() {
+            Ok(Value::Number(Number::PosInt(v)))
+        } else if let Ok(v) = text.parse::<i64>() {
+            Ok(Value::Number(Number::NegInt(v)))
+        } else {
+            let v: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+            Ok(Value::Number(Number::Float(v)))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax problem.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Builds a [`Value`] with JSON-literal syntax.
+///
+/// Supports the shapes this workspace writes: `null`, object and array
+/// literals whose values are single-token expressions or nested literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($elem)),* ])
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object_munch!(map, $($body)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Object-body muncher for [`json!`]: peels one `key : value` pair off the
+/// front, delegating value accumulation to [`json_value_munch!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_munch {
+    ($map:ident,) => {};
+    ($map:ident, $key:tt : $($rest:tt)*) => {
+        $crate::json_value_munch!($map, $key, [], $($rest)*)
+    };
+}
+
+/// Accumulates value tokens until a top-level comma (commas nested in
+/// groups are single token trees and pass through untouched).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value_munch {
+    ($map:ident, $key:tt, [$($val:tt)*], , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json!($($val)*));
+        $crate::json_object_munch!($map, $($rest)*)
+    };
+    ($map:ident, $key:tt, [$($val:tt)*],) => {
+        $map.insert(($key).to_string(), $crate::json!($($val)*));
+    };
+    ($map:ident, $key:tt, [$($val:tt)*], $next:tt $($rest:tt)*) => {
+        $crate::json_value_munch!($map, $key, [$($val)* $next], $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let v = json!({ "a": [1, 2.5, "x"], "b": null, "c": true });
+        let text = to_string_pretty(&v).expect("render");
+        let back = from_str(&text).expect("parse");
+        assert_eq!(back, v);
+        assert_eq!(back["a"][1], 2.5);
+        assert_eq!(back["a"][2], "x");
+        assert!(back["b"].is_null());
+        assert_eq!(back["c"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let text = to_string(&Value::Number(Number::Float(1000.0))).expect("render");
+        assert_eq!(text, "1000.0");
+        assert_eq!(from_str("1000.0").expect("parse"), 1000.0);
+    }
+
+    #[test]
+    fn integers_render_without_decimal() {
+        assert_eq!(to_string(&7u64).expect("render"), "7");
+        assert_eq!(to_string(&-3i64).expect("render"), "-3");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let text = to_string(&"a\"b\\c\nd").expect("render");
+        assert_eq!(text, r#""a\"b\\c\nd""#);
+        assert_eq!(from_str(&text).expect("parse"), "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn missing_keys_index_to_null() {
+        let v = json!({ "x": 1 });
+        assert!(v["nope"].is_null());
+        assert!(v["x"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("tru").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+}
