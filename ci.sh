@@ -13,6 +13,11 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# Transport/event-loop crates again, serialized: surfaces ordering and
+# shutdown races that only reproduce without inter-test parallelism.
+echo "==> cargo test (transport crates, single-threaded)"
+cargo test -q -p bf-rpc -p bf-devmgr -p bf-remote -- --test-threads=1
+
 echo "==> bf-lint"
 cargo run -q --release -p bf-lint -- --json
 

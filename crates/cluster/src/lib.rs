@@ -204,6 +204,10 @@ impl Cluster {
 
     /// Opens a watch stream; events from now on are delivered in order.
     pub fn watch(&self) -> Receiver<WatchEvent> {
+        // bf-lint: allow(unbounded_channel): control-plane watch stream —
+        // event volume is bounded by deployment churn, not the data path,
+        // and a bounded queue would let one stalled watcher drop or block
+        // cluster events for every other consumer.
         let (tx, rx) = unbounded();
         self.inner.lock().watchers.push(tx);
         rx

@@ -1,0 +1,143 @@
+//! The manager's single event loop: one thread multiplexing every client
+//! session plus the central task queue.
+//!
+//! Replaces the old thread-per-session + worker-thread layout. A
+//! [`Poller`] watches each session's bounded request stream and a control
+//! waker; readiness events drive request handling, and sealed tasks drain
+//! through the central FIFO queue inline (task *execution* is wall-clock
+//! cheap — all latencies are virtual — so executing at the point the queue
+//! drains preserves the paper's FIFO semantics exactly).
+//!
+//! Fairness comes from two mechanisms: the poller services ready sessions
+//! round-robin, and each readiness event processes at most
+//! [`FRAME_BATCH`] frames before the next scan — a flooding client keeps
+//! its own bounded channel full (backpressure) but cannot starve its
+//! neighbours.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bf_rpc::{PollEvent, Poller, Token, TransportError};
+use crossbeam::channel::{Receiver, TryRecvError};
+
+use crate::manager::Shared;
+use crate::session::{Session, SessionSeed};
+use crate::task::Task;
+use crate::worker;
+
+/// Control-plane messages from manager handles to the event loop.
+pub(crate) enum Control {
+    /// A new client connected; adopt its session.
+    Register(Box<SessionSeed>),
+}
+
+/// Upper bound on frames handled per readiness event, so one busy session
+/// yields to the others between batches.
+const FRAME_BATCH: usize = 32;
+
+/// Flush-retry interval while some session has parked responses: a client
+/// draining its completion stream does not wake the poller, so the loop
+/// re-offers the backlog on a short timeout instead.
+const FLUSH_RETRY: Duration = Duration::from_millis(1);
+
+pub(crate) fn run_event_loop(
+    shared: Arc<Shared>,
+    control_rx: Receiver<Control>,
+    mut poller: Poller,
+    wake_token: Token,
+) {
+    let mut sessions: HashMap<Token, Session> = HashMap::new();
+    let mut by_client: HashMap<u64, Token> = HashMap::new();
+    let mut tasks: VecDeque<Task> = VecDeque::new();
+    let mut control_open = true;
+
+    loop {
+        if !control_open && sessions.is_empty() {
+            // Every manager handle and every session is gone.
+            return;
+        }
+        let timeout = sessions
+            .values()
+            .any(|s| s.backlog() > 0)
+            .then_some(FLUSH_RETRY);
+        match poller.poll(timeout) {
+            PollEvent::TimedOut => {}
+            PollEvent::Ready(token) if token == wake_token => {
+                loop {
+                    match control_rx.try_recv() {
+                        Ok(Control::Register(seed)) => {
+                            let token = poller.register(seed.server.requests());
+                            by_client.insert(seed.client.0, token);
+                            sessions.insert(token, Session::new(shared.clone(), *seed));
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            // The last manager handle dropped: no further
+                            // connects. Existing sessions are served until
+                            // they close.
+                            control_open = false;
+                            poller.deregister(wake_token);
+                            break;
+                        }
+                    }
+                }
+            }
+            PollEvent::Ready(token) => {
+                if let Some(session) = sessions.get_mut(&token) {
+                    for _ in 0..FRAME_BATCH {
+                        match session.server.try_recv() {
+                            Ok(Some(env)) => session.handle_frame(env, &mut tasks),
+                            Ok(None) => break,
+                            Err(TransportError::Closed) => {
+                                session.peer_hung_up();
+                                break;
+                            }
+                            Err(_) => {
+                                // Undecodable frame: the peer is broken.
+                                session.force_close();
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Drain the central queue in FIFO order (Fig. 3 step 4), routing
+        // completions back to the owning session.
+        while let Some(task) = tasks.pop_front() {
+            let responses = worker::execute_task(&shared, &task);
+            if let Some(session) = by_client
+                .get(&task.client.0)
+                .and_then(|token| sessions.get_mut(token))
+            {
+                for env in responses {
+                    session.queue_response(env);
+                }
+            }
+        }
+        // Re-offer parked responses, disconnect hopeless consumers, reap.
+        let max_backlog = shared.config.max_pending_responses;
+        let mut dead: Vec<Token> = Vec::new();
+        for (token, session) in sessions.iter_mut() {
+            session.flush();
+            if session.backlog() > max_backlog {
+                // Slow consumer: cut the session loose rather than buffer
+                // its completions without bound.
+                session.force_close();
+            }
+            if session.reapable() {
+                dead.push(*token);
+            }
+        }
+        for token in dead {
+            if let Some(mut session) = sessions.remove(&token) {
+                poller.deregister(token);
+                by_client.remove(&session.client().0);
+                session.cleanup();
+                shared.connected.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}

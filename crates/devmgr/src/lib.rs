@@ -12,9 +12,10 @@
 //! * *context & information methods* execute synchronously; *command-queue
 //!   methods* accumulate into **multi-operation tasks** sealed by
 //!   `Flush`/`Finish`;
-//! * a single **worker thread** drains the central task queue in FIFO
-//!   order, executing each task atomically on the board and notifying each
-//!   operation's event punctually;
+//! * a single **event-loop thread** polls every session's bounded channel
+//!   (round-robin fairness, explicit backpressure) and drains the central
+//!   task queue in FIFO order, executing each task atomically on the board
+//!   and notifying each operation's event punctually;
 //! * bulk data moves **inline (gRPC)** or through a **shared-memory
 //!   segment** (one retained copy), per connection;
 //! * **board reconfiguration** blocks everything else and is guarded by a
@@ -45,6 +46,7 @@
 //! assert!(endpoint.shm.is_some(), "co-located clients get a shm segment");
 //! ```
 
+mod event_loop;
 pub mod lock_order;
 mod manager;
 mod session;

@@ -42,6 +42,12 @@ pub const HIERARCHY: &[&str] = &[
     "series",
     // Individual metric cells (bf-metrics).
     "value",
+    // Bounded transport frame queues (bf-rpc). Leaf: dropped before any
+    // poller notification is raised.
+    "frames",
+    // Poller notification generation counter (bf-rpc). Innermost lock in
+    // the workspace — nothing may be acquired while it is held.
+    "poll_gen",
 ];
 
 /// Rank of a named lock in [`HIERARCHY`], if declared.

@@ -7,14 +7,13 @@ use bf_fpga::Board;
 use bf_metrics::MetricsRegistry;
 use bf_model::{NodeId, NodeSpec, VirtualTime};
 use bf_ocl::BitstreamCatalog;
-use bf_rpc::{duplex, ClientChannel, ClientId, PathCosts, ShmSegment};
-use crossbeam::channel::{unbounded, Sender};
+use bf_rpc::{duplex_with_depth, ClientChannel, ClientId, PathCosts, Poller, ShmSegment, Waker};
+use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
+use crate::event_loop::{run_event_loop, Control};
 use crate::lock_order;
-use crate::session::{run_session, SessionCtx};
-use crate::task::Task;
-use crate::worker::run_worker;
+use crate::session::SessionSeed;
 
 /// Who may trigger a board reconfiguration through this manager.
 ///
@@ -62,15 +61,23 @@ pub struct DeviceManagerConfig {
     pub shm_capacity: u64,
     /// Reconfiguration policy.
     pub reconfig_policy: ReconfigPolicy,
+    /// Per-direction frame depth of each session's bounded channel.
+    pub channel_depth: usize,
+    /// Responses the event loop will park for one session whose completion
+    /// stream is full before force-disconnecting it as a slow consumer.
+    pub max_pending_responses: usize,
 }
 
 impl DeviceManagerConfig {
-    /// A standalone manager: 512 MiB shm segments, reconfiguration allowed.
+    /// A standalone manager: 512 MiB shm segments, reconfiguration allowed,
+    /// default channel depth and slow-consumer limit.
     pub fn standalone(device_id: impl Into<String>) -> Self {
         DeviceManagerConfig {
             device_id: device_id.into(),
             shm_capacity: 512 << 20,
             reconfig_policy: ReconfigPolicy::Allow,
+            channel_depth: bf_rpc::DEFAULT_DEPTH,
+            max_pending_responses: 1024,
         }
     }
 
@@ -83,6 +90,18 @@ impl DeviceManagerConfig {
     /// Overrides the shared-memory segment capacity.
     pub fn with_shm_capacity(mut self, capacity: u64) -> Self {
         self.shm_capacity = capacity;
+        self
+    }
+
+    /// Overrides the per-session channel depth (clamped to ≥ 1).
+    pub fn with_channel_depth(mut self, depth: usize) -> Self {
+        self.channel_depth = depth.max(1);
+        self
+    }
+
+    /// Overrides the slow-consumer response limit.
+    pub fn with_max_pending_responses(mut self, limit: usize) -> Self {
+        self.max_pending_responses = limit;
         self
     }
 }
@@ -115,20 +134,22 @@ pub struct ManagerEndpoint {
 }
 
 /// A Device Manager: fronts one FPGA board, multiplexing isolated client
-/// sessions onto it through multi-operation tasks and a central FIFO queue
-/// drained by a worker thread.
+/// sessions onto it through multi-operation tasks and a central FIFO
+/// queue, all driven by a single event-loop thread polling every session's
+/// bounded channel.
 ///
 /// Cloning yields another handle to the same manager.
 #[derive(Clone)]
 pub struct DeviceManager {
     shared: Arc<Shared>,
-    task_tx: Sender<Task>,
+    control_tx: Sender<Control>,
+    waker: Waker,
     next_client: Arc<AtomicU64>,
 }
 
 impl DeviceManager {
-    /// Starts a manager for `board` on `node`, spawning the board worker
-    /// thread.
+    /// Starts a manager for `board` on `node`, spawning the event-loop
+    /// thread that serves every session.
     pub fn new(
         config: DeviceManagerConfig,
         node: NodeSpec,
@@ -143,19 +164,22 @@ impl DeviceManager {
             metrics: MetricsRegistry::new(),
             connected: AtomicU64::new(0),
         });
-        let (task_tx, task_rx) = unbounded();
+        let mut poller = Poller::new();
+        let (wake_token, waker) = poller.add_waker();
+        let (control_tx, control_rx) = bounded(64);
         {
             let shared = shared.clone();
             std::thread::Builder::new()
-                .name("bf-devmgr-worker".to_string())
-                .spawn(move || run_worker(task_rx, shared))
+                .name("bf-devmgr-events".to_string())
+                .spawn(move || run_event_loop(shared, control_rx, poller, wake_token))
                 // bf-lint: allow(panic): thread-spawn failure is OS resource
                 // exhaustion at manager startup — no caller can recover.
-                .expect("spawn device-manager worker");
+                .expect("spawn device-manager event loop");
         }
         DeviceManager {
             shared,
-            task_tx,
+            control_tx,
+            waker,
             next_client: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -233,33 +257,36 @@ impl DeviceManager {
         Ok(())
     }
 
-    /// Opens a client session, spawning its handler thread, and returns the
-    /// endpoint the Remote OpenCL Library connects with.
+    /// Opens a client session, registering it with the event loop, and
+    /// returns the endpoint the Remote OpenCL Library connects with.
     ///
     /// The shared-memory data path is granted only when `costs` asks for it
     /// and the client is co-located (not cross-node), mirroring §III-B.
     pub fn connect(&self, client_name: &str, costs: PathCosts) -> ManagerEndpoint {
         let client = ClientId(self.next_client.fetch_add(1, Ordering::SeqCst));
-        let (client_chan, server_chan) = duplex();
+        let (client_chan, server_chan) = duplex_with_depth(self.shared.config.channel_depth);
         let use_shm =
             costs.data_path() == bf_model::DataPathKind::SharedMemory && !costs.is_cross_node();
         let shm = use_shm.then(|| ShmSegment::new(self.shared.config.shm_capacity));
         self.shared.connected.fetch_add(1, Ordering::SeqCst);
-        let ctx = SessionCtx {
-            shared: self.shared.clone(),
-            task_tx: self.task_tx.clone(),
+        let seed = SessionSeed {
             server: server_chan,
             client,
             name: client_name.to_string(),
             costs,
             shm: shm.clone(),
         };
-        std::thread::Builder::new()
-            .name(format!("bf-devmgr-session-{}", client.0))
-            .spawn(move || run_session(ctx))
-            // bf-lint: allow(panic): thread-spawn failure is OS resource
-            // exhaustion — a session that cannot start has no degraded mode.
-            .expect("spawn device-manager session");
+        if self
+            .control_tx
+            .send(Control::Register(Box::new(seed)))
+            .is_err()
+        {
+            // The event loop is gone (should not happen while a manager
+            // handle exists); the endpoint will observe Closed.
+            self.shared.connected.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            self.waker.wake();
+        }
         ManagerEndpoint {
             device_id: self.shared.config.device_id.clone(),
             node: self.shared.node.id().clone(),

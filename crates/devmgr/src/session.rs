@@ -1,33 +1,40 @@
 //! Per-client session handling.
 //!
-//! Each connected client gets its own session thread and its own resource
-//! pool — the isolation mechanism of §III-B: handles are session-scoped, so
-//! a client can never name (let alone touch) another tenant's buffers,
-//! kernels or queues.
+//! Each connected client gets its own [`Session`] — its own resource pool,
+//! the isolation mechanism of §III-B: handles are session-scoped, so a
+//! client can never name (let alone touch) another tenant's buffers,
+//! kernels or queues. Sessions are no longer threads: the manager's single
+//! event loop drives every session from poller readiness events.
 //!
-//! *Context & information methods* are answered synchronously by this
-//! thread. *Command-queue methods* accumulate in the open task of the
+//! *Context & information methods* are answered synchronously from the
+//! event loop. *Command-queue methods* accumulate in the open task of the
 //! target queue; `Flush`/`Finish` seal the task and push it onto the
 //! manager's central queue.
+//!
+//! Responses go out through the bounded completion stream with
+//! backpressure handled explicitly: when `try_send` reports a full stream,
+//! envelopes park in the session's `outbound` buffer (preserving order)
+//! and are re-flushed on later loop iterations. A client that stops
+//! draining past the configured limit is force-disconnected instead of
+//! buffering without bound.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use bf_fpga::{KernelArg, KernelInvocation};
 use bf_model::VirtualTime;
 use bf_rpc::{
     ClientId, ErrorCode, PathCosts, Request, RequestEnvelope, Response, ResponseEnvelope,
-    ServerChannel, ShmSegment, WireArg,
+    ServerChannel, ShmSegment, TransportError, WireArg,
 };
-use crossbeam::channel::Sender;
 
 use crate::lock_order;
 use crate::manager::{ReconfigPolicy, ReconfigRequest, Shared};
 use crate::task::{Operation, Task};
 
-pub(crate) struct SessionCtx {
-    pub shared: Arc<Shared>,
-    pub task_tx: Sender<Task>,
+/// Everything `DeviceManager::connect` hands to the event loop to start a
+/// session.
+pub(crate) struct SessionSeed {
     pub server: ServerChannel,
     pub client: ClientId,
     pub name: String,
@@ -60,291 +67,411 @@ impl SessionState {
 
 type ReqResult = Result<(Response, VirtualTime), (ErrorCode, String)>;
 
-pub(crate) fn run_session(ctx: SessionCtx) {
-    let mut state = SessionState::default();
-    // Loop until the client hangs up or disconnects.
-    while let Ok(env) = ctx.server.recv() {
+/// One client session, driven by the manager's event loop.
+pub(crate) struct Session {
+    shared: Arc<Shared>,
+    pub(crate) server: ServerChannel,
+    client: ClientId,
+    name: String,
+    costs: PathCosts,
+    shm: Option<ShmSegment>,
+    state: SessionState,
+    /// Responses the bounded completion stream could not take yet, FIFO.
+    outbound: VecDeque<ResponseEnvelope>,
+    /// The session is winding down (`Disconnect` seen, peer vanished, or
+    /// force-closed); reaped once nothing deliverable remains.
+    closing: bool,
+    /// The client can no longer receive: drop instead of flushing.
+    peer_gone: bool,
+}
+
+impl Session {
+    pub(crate) fn new(shared: Arc<Shared>, seed: SessionSeed) -> Session {
+        Session {
+            shared,
+            server: seed.server,
+            client: seed.client,
+            name: seed.name,
+            costs: seed.costs,
+            shm: seed.shm,
+            state: SessionState::default(),
+            outbound: VecDeque::new(),
+            closing: false,
+            peer_gone: false,
+        }
+    }
+
+    pub(crate) fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Responses parked behind a full completion stream.
+    pub(crate) fn backlog(&self) -> usize {
+        self.outbound.len()
+    }
+
+    /// Whether the event loop should remove this session: it is closing
+    /// and either the peer is unreachable or every response was delivered.
+    pub(crate) fn reapable(&self) -> bool {
+        self.closing && (self.peer_gone || self.outbound.is_empty())
+    }
+
+    /// Marks the session dead (slow consumer or unreachable peer).
+    pub(crate) fn force_close(&mut self) {
+        self.closing = true;
+        self.peer_gone = true;
+    }
+
+    /// Notes that the request stream reported `Closed`: the client dropped
+    /// its endpoint without a `Disconnect`.
+    pub(crate) fn peer_hung_up(&mut self) {
+        self.force_close();
+    }
+
+    /// Processes one request frame, queueing the response and appending any
+    /// sealed task to the central queue.
+    pub(crate) fn handle_frame(&mut self, env: RequestEnvelope, tasks: &mut VecDeque<Task>) {
         let disconnect = matches!(env.body, Request::Disconnect);
-        let arrival = env.sent_at + ctx.costs.control_hop();
-        let outcome = handle_request(&ctx, &mut state, &env, arrival);
+        let arrival = env.sent_at + self.costs.control_hop();
+        let outcome = self.handle_request(&env, arrival, tasks);
         let (body, sent_at) = match outcome {
             Ok((body, at)) => (body, at),
             Err((code, message)) => (Response::Error { code, message }, arrival),
         };
-        // Best effort: a vanished client just ends the session.
-        if ctx
-            .server
-            .send(&ResponseEnvelope {
-                tag: env.tag,
-                sent_at,
-                body,
-            })
-            .is_err()
-        {
-            break;
-        }
+        self.queue_response(ResponseEnvelope {
+            tag: env.tag,
+            sent_at,
+            body,
+        });
         if disconnect {
-            break;
+            // Queued responses (the Ack above included) still flush before
+            // the reap unless the peer is already gone.
+            self.closing = true;
         }
     }
-    cleanup(&ctx, &mut state);
-    ctx.shared
-        .connected
-        .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
-}
 
-fn cleanup(ctx: &SessionCtx, state: &mut SessionState) {
-    let mut board = lock_order::tracked(&ctx.shared.board, "board");
-    for (fpga, _) in state.buffers.values() {
-        let _ = board.free_buffer(*fpga);
+    /// Queues one response, pushing it straight onto the completion stream
+    /// when nothing is parked ahead of it.
+    pub(crate) fn queue_response(&mut self, env: ResponseEnvelope) {
+        if self.peer_gone {
+            return;
+        }
+        if self.outbound.is_empty() {
+            match self.server.try_send(&env) {
+                Ok(()) => return,
+                Err(TransportError::Backpressure) => {}
+                Err(_) => {
+                    self.force_close();
+                    return;
+                }
+            }
+        }
+        self.outbound.push_back(env);
     }
-    state.buffers.clear();
-}
 
-fn handle_request(
-    ctx: &SessionCtx,
-    state: &mut SessionState,
-    env: &RequestEnvelope,
-    arrival: VirtualTime,
-) -> ReqResult {
-    match &env.body {
-        Request::Hello { .. } => Ok((Response::Handle { id: ctx.client.0 }, arrival)),
-        Request::GetDeviceInfo => {
-            let board = lock_order::tracked(&ctx.shared.board, "board");
-            Ok((
-                Response::DeviceInfo {
-                    name: board.spec().model.clone(),
-                    vendor: "Intel".to_string(),
-                    platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
-                    memory_bytes: board.spec().memory_bytes,
-                    node: ctx.shared.node.id().to_string(),
-                    bitstream: board.bitstream_id().map(str::to_string),
-                },
-                arrival,
-            ))
+    /// Re-drives parked responses into the completion stream, preserving
+    /// FIFO order, until it fills up again.
+    pub(crate) fn flush(&mut self) {
+        while let Some(env) = self.outbound.front() {
+            match self.server.try_send(env) {
+                Ok(()) => {
+                    self.outbound.pop_front();
+                }
+                Err(TransportError::Backpressure) => return,
+                Err(_) => {
+                    self.force_close();
+                    return;
+                }
+            }
         }
-        Request::CreateContext => {
-            let id = state.fresh();
-            state.contexts.insert(id);
-            Ok((Response::Handle { id }, arrival))
+    }
+
+    /// Releases every board resource the session still holds.
+    pub(crate) fn cleanup(&mut self) {
+        let mut board = lock_order::tracked(&self.shared.board, "board");
+        for (fpga, _) in self.state.buffers.values() {
+            let _ = board.free_buffer(*fpga);
         }
-        Request::BuildProgram { bitstream } => {
-            let done = ensure_bitstream(ctx, bitstream, arrival)?;
-            let id = state.fresh();
-            state.programs.insert(id, bitstream.clone());
-            Ok((Response::Handle { id }, done))
-        }
-        Request::Reconfigure { bitstream } => {
-            let done = ensure_bitstream(ctx, bitstream, arrival)?;
-            Ok((Response::Ack, done))
-        }
-        Request::CreateKernel { program, name } => {
-            let bitstream = state.programs.get(program).ok_or((
-                ErrorCode::InvalidHandle,
-                format!("program {program} not found"),
-            ))?;
-            let image = ctx.shared.catalog.get(bitstream).ok_or((
-                ErrorCode::BuildFailure,
-                format!("bitstream {bitstream:?} missing from catalog"),
-            ))?;
-            if image.kernel(name).is_none() {
-                return Err((
+        self.state.buffers.clear();
+    }
+
+    fn handle_request(
+        &mut self,
+        env: &RequestEnvelope,
+        arrival: VirtualTime,
+        tasks: &mut VecDeque<Task>,
+    ) -> ReqResult {
+        match &env.body {
+            Request::Hello { .. } => Ok((Response::Handle { id: self.client.0 }, arrival)),
+            Request::GetDeviceInfo => {
+                let board = lock_order::tracked(&self.shared.board, "board");
+                Ok((
+                    Response::DeviceInfo {
+                        name: board.spec().model.clone(),
+                        vendor: "Intel".to_string(),
+                        platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
+                        memory_bytes: board.spec().memory_bytes,
+                        node: self.shared.node.id().to_string(),
+                        bitstream: board.bitstream_id().map(str::to_string),
+                    },
+                    arrival,
+                ))
+            }
+            Request::CreateContext => {
+                let id = self.state.fresh();
+                self.state.contexts.insert(id);
+                Ok((Response::Handle { id }, arrival))
+            }
+            Request::BuildProgram { bitstream } => {
+                let done = self.ensure_bitstream(bitstream, arrival)?;
+                let id = self.state.fresh();
+                self.state.programs.insert(id, bitstream.clone());
+                Ok((Response::Handle { id }, done))
+            }
+            Request::Reconfigure { bitstream } => {
+                let done = self.ensure_bitstream(bitstream, arrival)?;
+                Ok((Response::Ack, done))
+            }
+            Request::CreateKernel { program, name } => {
+                let bitstream = self.state.programs.get(program).ok_or((
+                    ErrorCode::InvalidHandle,
+                    format!("program {program} not found"),
+                ))?;
+                let image = self.shared.catalog.get(bitstream).ok_or((
                     ErrorCode::BuildFailure,
-                    format!("kernel {name:?} not in bitstream {bitstream:?}"),
-                ));
+                    format!("bitstream {bitstream:?} missing from catalog"),
+                ))?;
+                if image.kernel(name).is_none() {
+                    return Err((
+                        ErrorCode::BuildFailure,
+                        format!("kernel {name:?} not in bitstream {bitstream:?}"),
+                    ));
+                }
+                let id = self.state.fresh();
+                self.state.kernels.insert(
+                    id,
+                    KernelSlot {
+                        name: name.clone(),
+                        args: BTreeMap::new(),
+                    },
+                );
+                Ok((Response::Handle { id }, arrival))
             }
-            let id = state.fresh();
-            state.kernels.insert(
-                id,
-                KernelSlot {
-                    name: name.clone(),
-                    args: BTreeMap::new(),
-                },
-            );
-            Ok((Response::Handle { id }, arrival))
-        }
-        Request::SetKernelArg { kernel, index, arg } => {
-            let slot = state.kernels.get_mut(kernel).ok_or((
-                ErrorCode::InvalidHandle,
-                format!("kernel {kernel} not found"),
-            ))?;
-            slot.args.insert(*index, *arg);
-            Ok((Response::Ack, arrival))
-        }
-        Request::CreateBuffer { context, len } => {
-            if !state.contexts.contains(context) {
-                return Err((
+            Request::SetKernelArg { kernel, index, arg } => {
+                let slot = self.state.kernels.get_mut(kernel).ok_or((
                     ErrorCode::InvalidHandle,
-                    format!("context {context} not found"),
-                ));
+                    format!("kernel {kernel} not found"),
+                ))?;
+                slot.args.insert(*index, *arg);
+                Ok((Response::Ack, arrival))
             }
-            let fpga = lock_order::tracked(&ctx.shared.board, "board")
-                .alloc_buffer(*len)
-                .map_err(|e| (ErrorCode::OutOfResources, e.to_string()))?;
-            let id = state.fresh();
-            state.buffers.insert(id, (fpga, *len));
-            Ok((Response::Handle { id }, arrival))
-        }
-        Request::ReleaseBuffer { buffer } => {
-            let (fpga, _) = state.buffers.remove(buffer).ok_or((
-                ErrorCode::AccessDenied,
-                format!("buffer {buffer} is not yours"),
-            ))?;
-            lock_order::tracked(&ctx.shared.board, "board")
-                .free_buffer(fpga)
-                .map_err(|e| (ErrorCode::Internal, e.to_string()))?;
-            Ok((Response::Ack, arrival))
-        }
-        Request::CreateQueue { context } => {
-            if !state.contexts.contains(context) {
-                return Err((
-                    ErrorCode::InvalidHandle,
-                    format!("context {context} not found"),
-                ));
+            Request::CreateBuffer { context, len } => {
+                if !self.state.contexts.contains(context) {
+                    return Err((
+                        ErrorCode::InvalidHandle,
+                        format!("context {context} not found"),
+                    ));
+                }
+                let fpga = lock_order::tracked(&self.shared.board, "board")
+                    .alloc_buffer(*len)
+                    .map_err(|e| (ErrorCode::OutOfResources, e.to_string()))?;
+                let id = self.state.fresh();
+                self.state.buffers.insert(id, (fpga, *len));
+                Ok((Response::Handle { id }, arrival))
             }
-            let id = state.fresh();
-            state.queues.insert(id, Vec::new());
-            Ok((Response::Handle { id }, arrival))
+            Request::ReleaseBuffer { buffer } => {
+                let (fpga, _) = self.state.buffers.remove(buffer).ok_or((
+                    ErrorCode::AccessDenied,
+                    format!("buffer {buffer} is not yours"),
+                ))?;
+                lock_order::tracked(&self.shared.board, "board")
+                    .free_buffer(fpga)
+                    .map_err(|e| (ErrorCode::Internal, e.to_string()))?;
+                Ok((Response::Ack, arrival))
+            }
+            Request::CreateQueue { context } => {
+                if !self.state.contexts.contains(context) {
+                    return Err((
+                        ErrorCode::InvalidHandle,
+                        format!("context {context} not found"),
+                    ));
+                }
+                let id = self.state.fresh();
+                self.state.queues.insert(id, Vec::new());
+                Ok((Response::Handle { id }, arrival))
+            }
+            Request::EnqueueWrite {
+                queue,
+                buffer,
+                offset,
+                data,
+            } => {
+                let (fpga, _) = *self.state.buffers.get(buffer).ok_or((
+                    ErrorCode::AccessDenied,
+                    format!("buffer {buffer} is not yours"),
+                ))?;
+                let ops = self
+                    .state
+                    .queues
+                    .get_mut(queue)
+                    .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+                ops.push(Operation::Write {
+                    tag: env.tag,
+                    buffer: fpga,
+                    offset: *offset,
+                    data: data.clone(),
+                });
+                Ok((Response::Enqueued, arrival))
+            }
+            Request::EnqueueRead {
+                queue,
+                buffer,
+                offset,
+                len,
+            } => {
+                let (fpga, _) = *self.state.buffers.get(buffer).ok_or((
+                    ErrorCode::AccessDenied,
+                    format!("buffer {buffer} is not yours"),
+                ))?;
+                let ops = self
+                    .state
+                    .queues
+                    .get_mut(queue)
+                    .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+                ops.push(Operation::Read {
+                    tag: env.tag,
+                    buffer: fpga,
+                    offset: *offset,
+                    len: *len,
+                });
+                Ok((Response::Enqueued, arrival))
+            }
+            Request::EnqueueCopy {
+                queue,
+                src,
+                dst,
+                src_offset,
+                dst_offset,
+                len,
+            } => {
+                let (src_fpga, _) = *self.state.buffers.get(src).ok_or((
+                    ErrorCode::AccessDenied,
+                    format!("buffer {src} is not yours"),
+                ))?;
+                let (dst_fpga, _) = *self.state.buffers.get(dst).ok_or((
+                    ErrorCode::AccessDenied,
+                    format!("buffer {dst} is not yours"),
+                ))?;
+                let ops = self
+                    .state
+                    .queues
+                    .get_mut(queue)
+                    .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+                ops.push(Operation::Copy {
+                    tag: env.tag,
+                    src: src_fpga,
+                    dst: dst_fpga,
+                    src_offset: *src_offset,
+                    dst_offset: *dst_offset,
+                    len: *len,
+                });
+                Ok((Response::Enqueued, arrival))
+            }
+            Request::EnqueueKernel {
+                queue,
+                kernel,
+                work,
+            } => {
+                let invocation = resolve_invocation(&self.state, *kernel, *work)?;
+                let name = self.state.kernels[kernel].name.clone();
+                let ops = self
+                    .state
+                    .queues
+                    .get_mut(queue)
+                    .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+                ops.push(Operation::Kernel {
+                    tag: env.tag,
+                    name,
+                    invocation,
+                });
+                Ok((Response::Enqueued, arrival))
+            }
+            Request::Flush { queue } => {
+                self.submit_task(*queue, arrival, None, tasks)?;
+                Ok((Response::Ack, arrival))
+            }
+            Request::Finish { queue } => {
+                // The task executor answers this tag once the task (and
+                // everything before it in the central queue) has drained;
+                // the Enqueued below only confirms submission.
+                self.submit_task(*queue, arrival, Some(env.tag), tasks)?;
+                Ok((Response::Enqueued, arrival))
+            }
+            Request::Disconnect => Ok((Response::Ack, arrival)),
         }
-        Request::EnqueueWrite {
-            queue,
-            buffer,
-            offset,
-            data,
-        } => {
-            let (fpga, _) = *state.buffers.get(buffer).ok_or((
-                ErrorCode::AccessDenied,
-                format!("buffer {buffer} is not yours"),
-            ))?;
-            let ops = state
-                .queues
-                .get_mut(queue)
-                .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-            ops.push(Operation::Write {
-                tag: env.tag,
-                buffer: fpga,
-                offset: *offset,
-                data: data.clone(),
-            });
-            Ok((Response::Enqueued, arrival))
-        }
-        Request::EnqueueRead {
-            queue,
-            buffer,
-            offset,
-            len,
-        } => {
-            let (fpga, _) = *state.buffers.get(buffer).ok_or((
-                ErrorCode::AccessDenied,
-                format!("buffer {buffer} is not yours"),
-            ))?;
-            let ops = state
-                .queues
-                .get_mut(queue)
-                .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-            ops.push(Operation::Read {
-                tag: env.tag,
-                buffer: fpga,
-                offset: *offset,
-                len: *len,
-            });
-            Ok((Response::Enqueued, arrival))
-        }
-        Request::EnqueueCopy {
-            queue,
-            src,
-            dst,
-            src_offset,
-            dst_offset,
-            len,
-        } => {
-            let (src_fpga, _) = *state.buffers.get(src).ok_or((
-                ErrorCode::AccessDenied,
-                format!("buffer {src} is not yours"),
-            ))?;
-            let (dst_fpga, _) = *state.buffers.get(dst).ok_or((
-                ErrorCode::AccessDenied,
-                format!("buffer {dst} is not yours"),
-            ))?;
-            let ops = state
-                .queues
-                .get_mut(queue)
-                .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-            ops.push(Operation::Copy {
-                tag: env.tag,
-                src: src_fpga,
-                dst: dst_fpga,
-                src_offset: *src_offset,
-                dst_offset: *dst_offset,
-                len: *len,
-            });
-            Ok((Response::Enqueued, arrival))
-        }
-        Request::EnqueueKernel {
-            queue,
-            kernel,
-            work,
-        } => {
-            let invocation = resolve_invocation(state, *kernel, *work)?;
-            let name = state.kernels[kernel].name.clone();
-            let ops = state
-                .queues
-                .get_mut(queue)
-                .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-            ops.push(Operation::Kernel {
-                tag: env.tag,
-                name,
-                invocation,
-            });
-            Ok((Response::Enqueued, arrival))
-        }
-        Request::Flush { queue } => {
-            submit_task(ctx, state, *queue, arrival, None)?;
-            Ok((Response::Ack, arrival))
-        }
-        Request::Finish { queue } => {
-            // The worker answers this tag once the task (and everything
-            // before it in the central queue) has drained; the Ack below
-            // only confirms submission.
-            submit_task(ctx, state, *queue, arrival, Some(env.tag))?;
-            Ok((Response::Enqueued, arrival))
-        }
-        Request::Disconnect => Ok((Response::Ack, arrival)),
     }
-}
 
-fn ensure_bitstream(
-    ctx: &SessionCtx,
-    bitstream: &str,
-    arrival: VirtualTime,
-) -> Result<VirtualTime, (ErrorCode, String)> {
-    let image = ctx.shared.catalog.get(bitstream).ok_or((
-        ErrorCode::BuildFailure,
-        format!("unknown bitstream {bitstream:?}"),
-    ))?;
-    let mut board = lock_order::tracked(&ctx.shared.board, "board");
-    if board.bitstream_id() == Some(bitstream) {
-        return Ok(arrival);
+    fn ensure_bitstream(
+        &self,
+        bitstream: &str,
+        arrival: VirtualTime,
+    ) -> Result<VirtualTime, (ErrorCode, String)> {
+        let image = self.shared.catalog.get(bitstream).ok_or((
+            ErrorCode::BuildFailure,
+            format!("unknown bitstream {bitstream:?}"),
+        ))?;
+        let mut board = lock_order::tracked(&self.shared.board, "board");
+        if board.bitstream_id() == Some(bitstream) {
+            return Ok(arrival);
+        }
+        let allowed = match &self.shared.config.reconfig_policy {
+            ReconfigPolicy::Allow => true,
+            ReconfigPolicy::Deny => false,
+            ReconfigPolicy::Validate(f) => f(&ReconfigRequest {
+                client_name: self.name.clone(),
+                bitstream: bitstream.to_string(),
+                device_id: self.shared.config.device_id.clone(),
+            }),
+        };
+        if !allowed {
+            return Err((
+                ErrorCode::ReconfigurationRefused,
+                format!("reconfiguration to {bitstream:?} refused by policy"),
+            ));
+        }
+        // Reconfiguration blocks every other operation (§III-B): it
+        // occupies the board itself, so queued tasks simply serialize
+        // around it.
+        let timing = board.program(image, arrival, &self.name);
+        Ok(timing.ended_at)
     }
-    let allowed = match &ctx.shared.config.reconfig_policy {
-        ReconfigPolicy::Allow => true,
-        ReconfigPolicy::Deny => false,
-        ReconfigPolicy::Validate(f) => f(&ReconfigRequest {
-            client_name: ctx.name.clone(),
-            bitstream: bitstream.to_string(),
-            device_id: ctx.shared.config.device_id.clone(),
-        }),
-    };
-    if !allowed {
-        return Err((
-            ErrorCode::ReconfigurationRefused,
-            format!("reconfiguration to {bitstream:?} refused by policy"),
-        ));
+
+    fn submit_task(
+        &mut self,
+        queue: u64,
+        arrival: VirtualTime,
+        finish_tag: Option<u64>,
+        tasks: &mut VecDeque<Task>,
+    ) -> Result<(), (ErrorCode, String)> {
+        let ops = self
+            .state
+            .queues
+            .get_mut(&queue)
+            .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
+        let ops = std::mem::take(ops);
+        if ops.is_empty() && finish_tag.is_none() {
+            return Ok(()); // nothing to flush
+        }
+        tasks.push_back(Task {
+            client: self.client,
+            owner: self.name.clone(),
+            ops,
+            arrival,
+            shm: self.shm.clone(),
+            finish_tag,
+        });
+        Ok(())
     }
-    // Reconfiguration blocks every other operation (§III-B): it occupies
-    // the board itself, so queued tasks simply serialize around it.
-    let timing = board.program(image, arrival, &ctx.name);
-    Ok(timing.ended_at)
 }
 
 fn resolve_invocation(
@@ -381,37 +508,5 @@ fn resolve_invocation(
     Ok(KernelInvocation {
         args,
         global_work: work,
-    })
-}
-
-fn submit_task(
-    ctx: &SessionCtx,
-    state: &mut SessionState,
-    queue: u64,
-    arrival: VirtualTime,
-    finish_tag: Option<u64>,
-) -> Result<(), (ErrorCode, String)> {
-    let ops = state
-        .queues
-        .get_mut(&queue)
-        .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-    let ops = std::mem::take(ops);
-    if ops.is_empty() && finish_tag.is_none() {
-        return Ok(()); // nothing to flush
-    }
-    let task = Task {
-        client: ctx.client,
-        owner: ctx.name.clone(),
-        ops,
-        arrival,
-        responder: ctx.server.clone(),
-        shm: ctx.shm.clone(),
-        finish_tag,
-    };
-    ctx.task_tx.send(task).map_err(|_| {
-        (
-            ErrorCode::Internal,
-            "device manager worker is gone".to_string(),
-        )
     })
 }

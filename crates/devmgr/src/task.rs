@@ -2,14 +2,14 @@
 //!
 //! Command-queue methods accumulate in the client's *open task*; a flush
 //! (explicit `clFlush`/`clFinish` or a blocking call) seals the task and
-//! sends it to the manager's central queue, where a worker executes its
-//! operations back-to-back on the board. Atomicity is what keeps one
+//! sends it to the manager's central queue, where the event loop executes
+//! its operations back-to-back on the board. Atomicity is what keeps one
 //! client's write→kernel→read sequence from interleaving with another
 //! tenant's operations and corrupting results.
 
 use bf_fpga::{BufferId, KernelInvocation};
 use bf_model::VirtualTime;
-use bf_rpc::{ClientId, DataRef, ServerChannel, ShmSegment};
+use bf_rpc::{ClientId, DataRef, ShmSegment};
 
 /// One operation inside a task, with the resolved board-level resources and
 /// the client event tag to notify on completion.
@@ -75,7 +75,9 @@ impl Operation {
     }
 }
 
-/// A sealed multi-operation task queued for the board worker.
+/// A sealed multi-operation task on the manager's central FIFO queue.
+/// Completion notifications are routed back to the owning session by
+/// `client` id.
 #[derive(Debug)]
 pub struct Task {
     /// Owning client session.
@@ -86,8 +88,6 @@ pub struct Task {
     pub ops: Vec<Operation>,
     /// Virtual instant the task reached the manager (flush arrival).
     pub arrival: VirtualTime,
-    /// Channel for per-operation completion notifications.
-    pub responder: ServerChannel,
     /// The client's shared-memory segment, when the shm data path is used.
     pub shm: Option<ShmSegment>,
     /// When set, a `Finish` waits on this task: the worker sends a
@@ -137,13 +137,11 @@ mod tests {
 
     #[test]
     fn empty_task_is_a_fence() {
-        let (_, server) = bf_rpc::duplex();
         let task = Task {
             client: ClientId(1),
             owner: "f".into(),
             ops: vec![],
             arrival: VirtualTime::ZERO,
-            responder: server,
             shm: None,
             finish_tag: Some(9),
         };

@@ -1,29 +1,33 @@
-//! The board worker: drains the central task queue in FIFO order
-//! (paper Fig. 3, step 4) and notifies each operation's event punctually
-//! (step 5).
+//! Task execution: runs a sealed task's operations back-to-back on the
+//! board (paper Fig. 3, step 4) and produces the per-operation completion
+//! notifications (step 5).
+//!
+//! Called inline from the manager's event loop when a task reaches the
+//! head of the central FIFO queue; the returned envelopes are routed onto
+//! the owning session's bounded completion stream by the caller.
 
 use std::sync::Arc;
 
 use bf_fpga::{FpgaError, Payload};
 use bf_rpc::{DataRef, ErrorCode, Response, ResponseEnvelope};
-use crossbeam::channel::Receiver;
 
 use crate::lock_order;
 use crate::manager::Shared;
 use crate::task::{Operation, Task};
 
-pub(crate) fn run_worker(task_rx: Receiver<Task>, shared: Arc<Shared>) {
-    while let Ok(task) = task_rx.recv() {
-        execute_task(&shared, task);
-    }
-}
-
-fn execute_task(shared: &Arc<Shared>, task: Task) {
+/// Executes every operation of `task` and returns the completion (or
+/// error) envelope for each, plus the fence completion when the task
+/// carries a `finish_tag`.
+///
+/// Execution never stops early: a vanished client still advances the board
+/// timeline so utilization accounting stays consistent.
+pub(crate) fn execute_task(shared: &Arc<Shared>, task: &Task) -> Vec<ResponseEnvelope> {
     let device = shared.config.device_id.clone();
+    let mut out = Vec::with_capacity(task.len() + 1);
     let mut last_end = task.arrival;
     for op in &task.ops {
         let tag = op.tag();
-        let response = execute_op(shared, &task, op);
+        let response = execute_op(shared, task, op);
         let (sent_at, body) = match response {
             Ok((started, ended, data)) => {
                 last_end = last_end.max(ended);
@@ -42,11 +46,7 @@ fn execute_task(shared: &Arc<Shared>, task: Task) {
             }
             Err((code, message)) => (last_end, Response::Error { code, message }),
         };
-        // A vanished client cannot receive notifications; keep executing so
-        // the board timeline and utilization stay consistent.
-        let _ = task
-            .responder
-            .send(&ResponseEnvelope { tag, sent_at, body });
+        out.push(ResponseEnvelope { tag, sent_at, body });
         shared
             .metrics
             .counter("bf_manager_ops_total", &[("device", device.as_str())])
@@ -59,7 +59,7 @@ fn execute_task(shared: &Arc<Shared>, task: Task) {
         // predecessors.
         let drain = lock_order::tracked(&shared.board, "board").available_at();
         let ended = last_end.max(drain).max(task.arrival);
-        let _ = task.responder.send(&ResponseEnvelope {
+        out.push(ResponseEnvelope {
             tag: finish_tag,
             sent_at: ended,
             body: Response::Completed {
@@ -73,6 +73,7 @@ fn execute_task(shared: &Arc<Shared>, task: Task) {
         .metrics
         .counter("bf_manager_tasks_total", &[("device", device.as_str())])
         .inc();
+    out
 }
 
 type OpOutcome = Result<

@@ -13,6 +13,7 @@
 //! | `wall_clock` | `Instant::now()` / `SystemTime::now()` only in `crates/model/src/clock.rs` |
 //! | `lock_order` | acquisitions must follow the declared lock hierarchy |
 //! | `wildcard_match` | `match`es over status enums must not use `_` arms |
+//! | `unbounded_channel` | no `unbounded()` queues in library code — bounded depths + backpressure |
 //!
 //! Individual sites opt out with a justified directive comment:
 //!

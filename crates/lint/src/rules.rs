@@ -1,4 +1,4 @@
-//! The five conformance rules.
+//! The six conformance rules.
 //!
 //! Each rule walks the masked view produced by [`crate::scan`] and emits
 //! [`Diagnostic`]s. Sites can be exempted with a justified directive:
@@ -23,6 +23,7 @@ pub const RULES: &[&str] = &[
     "wall_clock",
     "lock_order",
     "wildcard_match",
+    "unbounded_channel",
     "directive",
 ];
 
@@ -160,6 +161,7 @@ pub fn check_file(file: &SourceFile, lock_hierarchy: &[&str], out: &mut Vec<Diag
     rule_wall_clock(file, &allows, out);
     rule_lock_order(file, lock_hierarchy, &allows, out);
     rule_wildcard_match(file, &allows, out);
+    rule_unbounded_channel(file, &allows, out);
 }
 
 /// Rule `panic`: no `.unwrap()` / `.expect(` in non-test code.
@@ -311,6 +313,35 @@ fn rule_lock_order(
         let closes = code.bytes().filter(|&b| b == b'}').count() as i64;
         depth += opens - closes;
         held.retain(|&(_, d)| d <= depth);
+    }
+}
+
+/// Rule `unbounded_channel`: no `unbounded()` channel construction in
+/// non-test code — every hot-path queue must be bounded so that overload
+/// surfaces as explicit backpressure instead of unbounded buffering
+/// behind a slow consumer. (Imports are fine; only constructions fire.)
+fn rule_unbounded_channel(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let hit = find_keyword(code, "unbounded").into_iter().any(|pos| {
+            let after = code[pos + "unbounded".len()..].trim_start();
+            after.starts_with('(') || after.starts_with("::<")
+        });
+        if !hit || allows.permits(idx + 1, "unbounded_channel") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "unbounded_channel",
+            file: file.path.clone(),
+            line: idx + 1,
+            message: "unbounded channel constructed in library code: use \
+                      `bounded(depth)` so overload surfaces as backpressure, or \
+                      justify with `// bf-lint: allow(unbounded_channel): ...`"
+                .to_string(),
+        });
     }
 }
 
@@ -641,6 +672,36 @@ mod tests {
     fn nested_match_does_not_taint_outer() {
         let src = "fn f(x: u8, s: MachineState) -> u8 {\n match x {\n  0 => { match s { MachineState::Init => 0, MachineState::First => 1, MachineState::Buffer => 2, MachineState::Complete => 3, MachineState::Failed => 4 } }\n  _ => 1,\n }\n}\n";
         assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn flags_unbounded_channel_construction() {
+        let out = check("fn f() { let (tx, rx) = unbounded(); }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "unbounded_channel");
+        assert_eq!(out[0].line, 1);
+        let turbofish = check("fn f() { let (tx, rx) = unbounded::<u64>(); }\n");
+        assert_eq!(turbofish.len(), 1, "{turbofish:?}");
+        assert_eq!(turbofish[0].rule, "unbounded_channel");
+        let qualified = check("fn f() { let p = crossbeam::channel::unbounded(); }\n");
+        assert_eq!(qualified.len(), 1, "{qualified:?}");
+    }
+
+    #[test]
+    fn bounded_channels_and_imports_do_not_fire() {
+        assert!(check("fn f() { let (tx, rx) = bounded(64); }\n").is_empty());
+        // The import alone is not a construction site.
+        assert!(check("use crossbeam::channel::{unbounded, Sender};\n").is_empty());
+        // Identifiers merely containing the word are untouched.
+        assert!(check("fn f() { unbounded_growth(); let x = my_unbounded(); }\n").is_empty());
+    }
+
+    #[test]
+    fn unbounded_channels_are_allowed_in_tests_and_with_directives() {
+        let in_test = "#[cfg(test)]\nmod tests {\n fn t() { let (tx, rx) = unbounded(); }\n}\n";
+        assert!(check(in_test).is_empty(), "{:?}", check(in_test));
+        let allowed = "fn f() {\n // bf-lint: allow(unbounded_channel): cold control path\n let (tx, rx) = unbounded();\n}\n";
+        assert!(check(allowed).is_empty(), "{:?}", check(allowed));
     }
 
     #[test]

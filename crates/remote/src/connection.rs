@@ -1,5 +1,8 @@
-//! The client-side connection: request sending, the completion-queue
-//! puller thread, and tag → event dispatch (paper Fig. 2, steps 3–6).
+//! The client-side connection: request sending and tag → event dispatch
+//! (paper Fig. 2, steps 3–6). Completion pulling lives in the shared
+//! [`Reactor`](crate::Reactor), which multiplexes every connection's
+//! bounded completion stream on one dispatcher thread and calls back into
+//! [`handle_response`] here.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -10,11 +13,12 @@ use bf_model::{VirtualDuration, VirtualTime};
 use bf_ocl::{ClError, ClResult, Event};
 use bf_rpc::{
     ClientId, DataRef, ErrorCode, PathCosts, Request, RequestEnvelope, Response, ResponseEnvelope,
-    ShmSegment, TransportError,
+    ShmSegment,
 };
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
+use crate::reactor::Reactor;
 use crate::state_machine::OpStateMachine;
 
 /// What the connection thread should do with a tagged response.
@@ -39,7 +43,7 @@ struct OpPending {
     read_len: Option<u64>,
 }
 
-struct ConnectionInner {
+pub(crate) struct ConnectionInner {
     client: ClientId,
     channel: bf_rpc::ClientChannel,
     costs: PathCosts,
@@ -50,8 +54,8 @@ struct ConnectionInner {
 
 /// A live connection to one Device Manager.
 ///
-/// Cloning shares the connection. A background *connection thread* pulls
-/// tagged responses from the completion stream and either wakes a blocked
+/// Cloning shares the connection. The shared [`Reactor`] pulls tagged
+/// responses from the completion stream and either wakes a blocked
 /// synchronous caller or advances the matching operation's state machine
 /// and OpenCL event.
 #[derive(Clone)]
@@ -61,9 +65,15 @@ pub struct Connection {
 
 impl Connection {
     /// Wraps an endpoint handed out by
-    /// [`bf_devmgr::DeviceManager::connect`] and spawns the connection
-    /// thread.
+    /// [`bf_devmgr::DeviceManager::connect`], registering its completion
+    /// stream with the process-wide [`Reactor`].
     pub fn new(endpoint: bf_devmgr::ManagerEndpoint) -> Self {
+        Self::with_reactor(Reactor::global(), endpoint)
+    }
+
+    /// Like [`Connection::new`] with an explicit reactor (tests,
+    /// isolation).
+    pub fn with_reactor(reactor: &Reactor, endpoint: bf_devmgr::ManagerEndpoint) -> Self {
         let inner = Arc::new(ConnectionInner {
             client: endpoint.client,
             channel: endpoint.channel,
@@ -72,15 +82,11 @@ impl Connection {
             pending: Mutex::new(HashMap::new()),
             next_tag: AtomicU64::new(1),
         });
-        {
-            let inner = inner.clone();
-            std::thread::Builder::new()
-                .name(format!("bf-remote-conn-{}", inner.client.0))
-                .spawn(move || connection_thread(inner))
-                // bf-lint: allow(panic): thread-spawn failure is OS resource
-                // exhaustion — a connection without its reader thread is dead.
-                .expect("spawn remote connection thread");
-        }
+        // The reactor gets a non-owning tap plus a Weak backref, so this
+        // connection's lifetime stays with its callers: dropping the last
+        // handle drops the request sender, which is what tells the manager
+        // to reap the session.
+        reactor.register(inner.channel.completions(), Arc::downgrade(&inner));
         Connection { inner }
     }
 
@@ -211,41 +217,38 @@ impl std::fmt::Debug for Connection {
     }
 }
 
-/// The connection thread: pulls tags from the completion queue and
-/// retrieves the corresponding event (Fig. 2 step 5), then advances its
-/// state machine and OpenCL status (step 6).
-fn connection_thread(inner: Arc<ConnectionInner>) {
-    loop {
-        let resp = match inner.channel.recv() {
-            Ok(resp) => resp,
-            Err(TransportError::Closed) => break,
-            Err(_) => continue, // malformed frame: drop, keep the connection up
-        };
-        let mut pending = inner.pending.lock();
-        match pending.remove(&resp.tag) {
-            None => {} // stale tag (already failed locally)
-            Some(Pending::Discard) => {}
-            Some(Pending::Sync(tx)) => {
+/// Dispatches one tagged response pulled by the reactor: retrieves the
+/// corresponding event (Fig. 2 step 5), then advances its state machine
+/// and OpenCL status (step 6).
+pub(crate) fn handle_response(inner: &Arc<ConnectionInner>, resp: ResponseEnvelope) {
+    let mut pending = inner.pending.lock();
+    match pending.remove(&resp.tag) {
+        None => {} // stale tag (already failed locally)
+        Some(Pending::Discard) => {}
+        Some(Pending::Sync(tx)) => {
+            let _ = tx.send(resp);
+        }
+        Some(Pending::Fence(tx)) => match resp.body {
+            Response::Enqueued | Response::Ack => {
+                pending.insert(resp.tag, Pending::Fence(tx));
+            }
+            _ => {
                 let _ = tx.send(resp);
             }
-            Some(Pending::Fence(tx)) => match resp.body {
-                Response::Enqueued | Response::Ack => {
-                    pending.insert(resp.tag, Pending::Fence(tx));
-                }
-                _ => {
-                    let _ = tx.send(resp);
-                }
-            },
-            Some(Pending::Op(mut op)) => {
-                let tag = resp.tag;
-                let keep = advance_op(&inner, &mut op, resp);
-                if keep {
-                    pending.insert(tag, Pending::Op(op));
-                }
+        },
+        Some(Pending::Op(mut op)) => {
+            let tag = resp.tag;
+            let keep = advance_op(inner, &mut op, resp);
+            if keep {
+                pending.insert(tag, Pending::Op(op));
             }
         }
     }
-    // Manager gone: fail every outstanding operation.
+}
+
+/// Called by the reactor when the completion stream closes (manager gone):
+/// fails every outstanding operation.
+pub(crate) fn fail_pending(inner: &Arc<ConnectionInner>) {
     let mut pending = inner.pending.lock();
     for (_, entry) in pending.drain() {
         if let Pending::Op(op) = entry {

@@ -7,9 +7,9 @@
 //!
 //! * the [`Router`] keeps the list of available platforms (managers) and
 //!   opens connections;
-//! * each [`Connection`] runs a *connection thread* pulling tagged
-//!   responses from the completion stream and retrieving the matching
-//!   event;
+//! * a shared [`Reactor`] thread multiplexes every connection's bounded
+//!   completion stream through one poller, pulling tagged responses and
+//!   retrieving the matching event;
 //! * every asynchronous call is tracked by a Fig. 2 [`OpStateMachine`]
 //!   (`INIT → FIRST → BUFFER → COMPLETE`) that updates the OpenCL event
 //!   status as it advances, so `clWaitForEvents`-style polling works
@@ -27,11 +27,13 @@
 
 mod backend;
 mod connection;
+mod reactor;
 mod router;
 mod state_machine;
 
 pub use backend::RemoteBackend;
 pub use connection::{map_error, sync_rtt, Connection};
+pub use reactor::Reactor;
 pub use router::Router;
 pub use state_machine::{MachineState, OpStateMachine};
 

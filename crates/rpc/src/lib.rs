@@ -16,7 +16,13 @@
 //!   methods*;
 //! * [`ShmSegment`] — the shared-memory data path (single retained copy);
 //! * [`duplex`] — an in-process connection whose response stream is the
-//!   Remote Library's completion queue (Fig. 2).
+//!   Remote Library's completion queue (Fig. 2). Both directions are
+//!   bounded ([`duplex_with_depth`]): a full queue yields
+//!   [`TransportError::Backpressure`] on the non-blocking path;
+//! * [`Poller`] — a readiness selector over connection streams, letting a
+//!   single dispatcher thread multiplex N clients with round-robin
+//!   fairness (the Device Manager event loop and the Remote Library
+//!   reactor are both built on it).
 //!
 //! ```
 //! use bf_model::VirtualTime;
@@ -38,17 +44,21 @@
 
 pub mod codec;
 mod costs;
+mod poller;
 mod proto;
 mod shm;
 mod transport;
 
 pub use codec::{CodecError, WireDecode, WireEncode};
 pub use costs::PathCosts;
+pub use poller::{PollEvent, Poller, Token, Waker};
 pub use proto::{
     ClientId, DataRef, ErrorCode, Request, RequestEnvelope, Response, ResponseEnvelope, WireArg,
 };
 pub use shm::{ShmError, ShmSegment};
-pub use transport::{duplex, ClientChannel, ServerChannel, TransportError};
+pub use transport::{
+    duplex, duplex_with_depth, ClientChannel, FrameRx, ServerChannel, TransportError, DEFAULT_DEPTH,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -58,14 +68,40 @@ mod proptests {
     use super::*;
     use crate::codec::{WireDecode, WireEncode};
 
+    /// Payload lengths spanning empty, tiny, and well past any inline/shm
+    /// threshold, without the cost of generating every byte independently.
+    fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+        let len = prop_oneof![
+            Just(0usize),
+            Just(1usize),
+            Just(63usize),
+            Just(4096usize),
+            Just(70_000usize),
+        ];
+        (len, any::<u8>()).prop_map(|(len, fill)| vec![fill; len])
+    }
+
     fn arb_dataref() -> impl Strategy<Value = DataRef> {
         prop_oneof![
-            proptest::collection::vec(any::<u8>(), 0..128).prop_map(DataRef::Inline),
+            arb_payload().prop_map(DataRef::Inline),
             (any::<u64>(), any::<u64>()).prop_map(|(offset, len)| DataRef::Shm { offset, len }),
             any::<u64>().prop_map(DataRef::Synthetic),
         ]
     }
 
+    /// Finite-only f32s: the wire format round-trips NaN bit patterns, but
+    /// `PartialEq` cannot compare them.
+    fn arb_wirearg() -> impl Strategy<Value = WireArg> {
+        prop_oneof![
+            any::<u64>().prop_map(WireArg::Buffer),
+            any::<u32>().prop_map(WireArg::U32),
+            any::<i32>().prop_map(WireArg::I32),
+            any::<u64>().prop_map(WireArg::U64),
+            any::<i16>().prop_map(|v| WireArg::F32(f32::from(v))),
+        ]
+    }
+
+    /// Every `Request` variant, weighted uniformly.
     fn arb_request() -> impl Strategy<Value = Request> {
         prop_oneof![
             (".*", any::<bool>())
@@ -75,14 +111,26 @@ mod proptests {
             ".*".prop_map(|bitstream| Request::BuildProgram { bitstream }),
             (any::<u64>(), ".*")
                 .prop_map(|(program, name)| Request::CreateKernel { program, name }),
+            (any::<u64>(), any::<u32>(), arb_wirearg())
+                .prop_map(|(kernel, index, arg)| Request::SetKernelArg { kernel, index, arg }),
             (any::<u64>(), any::<u64>())
                 .prop_map(|(context, len)| Request::CreateBuffer { context, len }),
+            any::<u64>().prop_map(|buffer| Request::ReleaseBuffer { buffer }),
+            any::<u64>().prop_map(|context| Request::CreateQueue { context }),
             (any::<u64>(), any::<u64>(), any::<u64>(), arb_dataref()).prop_map(
                 |(queue, buffer, offset, data)| Request::EnqueueWrite {
                     queue,
                     buffer,
                     offset,
                     data
+                }
+            ),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+                |(queue, buffer, offset, len)| Request::EnqueueRead {
+                    queue,
+                    buffer,
+                    offset,
+                    len
                 }
             ),
             (any::<u64>(), any::<u64>(), any::<[u64; 3]>()).prop_map(|(queue, kernel, work)| {
@@ -92,9 +140,74 @@ mod proptests {
                     work,
                 }
             }),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>()
+            )
+                .prop_map(|(queue, src, dst, src_offset, dst_offset, len)| {
+                    Request::EnqueueCopy {
+                        queue,
+                        src,
+                        dst,
+                        src_offset,
+                        dst_offset,
+                        len,
+                    }
+                }),
             any::<u64>().prop_map(|queue| Request::Flush { queue }),
             any::<u64>().prop_map(|queue| Request::Finish { queue }),
+            ".*".prop_map(|bitstream| Request::Reconfigure { bitstream }),
             Just(Request::Disconnect),
+        ]
+    }
+
+    fn arb_option<T: std::fmt::Debug + Clone + 'static>(
+        inner: impl Strategy<Value = T> + 'static,
+    ) -> impl Strategy<Value = Option<T>> {
+        prop_oneof![Just(None), inner.prop_map(Some)]
+    }
+
+    fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+        prop_oneof![
+            Just(ErrorCode::InvalidHandle),
+            Just(ErrorCode::AccessDenied),
+            Just(ErrorCode::OutOfResources),
+            Just(ErrorCode::OutOfBounds),
+            Just(ErrorCode::BuildFailure),
+            Just(ErrorCode::InvalidLaunch),
+            Just(ErrorCode::ReconfigurationRefused),
+            Just(ErrorCode::Internal),
+        ]
+    }
+
+    /// Every `Response` variant.
+    fn arb_response() -> impl Strategy<Value = Response> {
+        prop_oneof![
+            Just(Response::Ack),
+            any::<u64>().prop_map(|id| Response::Handle { id }),
+            (".*", ".*", ".*", any::<u64>(), ".*", arb_option(".*")).prop_map(
+                |(name, vendor, platform, memory_bytes, node, bitstream)| Response::DeviceInfo {
+                    name,
+                    vendor,
+                    platform,
+                    memory_bytes,
+                    node,
+                    bitstream,
+                }
+            ),
+            Just(Response::Enqueued),
+            (any::<u64>(), any::<u64>(), arb_option(arb_dataref())).prop_map(
+                |(started_at, ended_at, data)| Response::Completed {
+                    started_at: VirtualTime::from_nanos(started_at),
+                    ended_at: VirtualTime::from_nanos(ended_at),
+                    data,
+                }
+            ),
+            (arb_error_code(), ".*").prop_map(|(code, message)| Response::Error { code, message }),
         ]
     }
 
@@ -114,6 +227,22 @@ mod proptests {
                 body,
             };
             let decoded = RequestEnvelope::from_bytes(env.to_bytes()).expect("decode");
+            prop_assert_eq!(decoded, env);
+        }
+
+        /// Every response envelope decodes back to itself.
+        #[test]
+        fn response_envelopes_round_trip(
+            tag in any::<u64>(),
+            at in any::<u64>(),
+            body in arb_response(),
+        ) {
+            let env = ResponseEnvelope {
+                tag,
+                sent_at: VirtualTime::from_nanos(at),
+                body,
+            };
+            let decoded = ResponseEnvelope::from_bytes(env.to_bytes()).expect("decode");
             prop_assert_eq!(decoded, env);
         }
 

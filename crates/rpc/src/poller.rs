@@ -1,0 +1,355 @@
+//! Readiness multiplexing for bounded transport channels.
+//!
+//! The vendored channel substrate has no selector, so readiness is built
+//! directly into the transport: every [`FrameRx`] registered with a
+//! [`Poller`] shares one [`NotifyHub`] that senders bump on push and on
+//! close. [`Poller::poll`] scans registered taps round-robin (deterministic
+//! fairness: a flooding connection cannot shadow its neighbours) and parks
+//! on the hub's condvar when nothing is ready, using a generation counter
+//! so a bump between scan and park is never lost.
+//!
+//! This is what lets one dispatcher thread serve N connections: the Device
+//! Manager's event loop multiplexes all session request streams, and the
+//! Remote Library's reactor multiplexes all client completion streams.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::transport::{waker_channel, FrameRx, TxHalf};
+
+/// Shared wakeup rendezvous between one poller and its registered queues.
+///
+/// `poll_gen` counts notifications; [`Poller::poll`] snapshots it before
+/// scanning and sleeps only while it is unchanged, so a push that lands
+/// mid-scan wakes the next `wait` immediately instead of being lost.
+#[derive(Debug)]
+pub(crate) struct NotifyHub {
+    poll_gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl NotifyHub {
+    fn new() -> Arc<NotifyHub> {
+        Arc::new(NotifyHub {
+            poll_gen: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Records an event (frame pushed / sender closed) and wakes the poller.
+    pub(crate) fn bump(&self) {
+        let mut poll_gen = self.poll_gen.lock();
+        *poll_gen = poll_gen.wrapping_add(1);
+        drop(poll_gen);
+        self.cv.notify_all();
+    }
+
+    fn generation(&self) -> u64 {
+        *self.poll_gen.lock()
+    }
+
+    /// Parks until the generation moves past `seen` or `timeout` elapses.
+    fn wait(&self, seen: u64, timeout: Option<Duration>) {
+        let mut poll_gen = self.poll_gen.lock();
+        if *poll_gen != seen {
+            return;
+        }
+        match timeout {
+            None => self.cv.wait(&mut poll_gen),
+            Some(t) => {
+                let _ = self.cv.wait_for(&mut poll_gen, t);
+            }
+        }
+    }
+}
+
+/// Identifies one registered readiness source within its [`Poller`].
+///
+/// Tokens are dense indices and may be reused after [`Poller::deregister`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(usize);
+
+/// Outcome of one [`Poller::poll`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollEvent {
+    /// The source behind `Token` has a pending frame or a closed peer.
+    Ready(Token),
+    /// The timeout elapsed with nothing ready.
+    TimedOut,
+}
+
+struct Slot {
+    rx: FrameRx,
+    /// Waker slots drain their nudge frames during the scan: the readiness
+    /// edge is the event, the frame payload is meaningless.
+    waker: bool,
+}
+
+/// Single-threaded readiness selector over registered [`FrameRx`] taps.
+///
+/// Not `Sync`: one dispatcher thread owns it. Other threads interact only
+/// through the transport (pushing frames) or a [`Waker`].
+pub struct Poller {
+    hub: Arc<NotifyHub>,
+    slots: Vec<Option<Slot>>,
+    /// Round-robin scan position: the slot serviced by the previous scan.
+    cursor: usize,
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Poller::new()
+    }
+}
+
+impl Poller {
+    /// An empty poller with its own notification hub.
+    pub fn new() -> Poller {
+        Poller {
+            hub: NotifyHub::new(),
+            slots: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Registers a receive tap; its queue will wake this poller on every
+    /// push and on sender close.
+    pub fn register(&mut self, rx: FrameRx) -> Token {
+        rx.set_watch(self.hub.clone());
+        self.insert(Slot { rx, waker: false })
+    }
+
+    /// Removes a source. Its token may be reassigned by later
+    /// registrations.
+    pub fn deregister(&mut self, token: Token) {
+        if let Some(slot) = self.slots.get_mut(token.0).and_then(Option::take) {
+            slot.rx.clear_watch();
+        }
+    }
+
+    /// Creates a self-wakeup handle: `wake()` from any thread makes the
+    /// next (or current) `poll` return `Ready` with the returned token.
+    /// Dropping the last clone of the `Waker` leaves the token permanently
+    /// ready with `Closed` — a natural shutdown edge.
+    pub fn add_waker(&mut self) -> (Token, Waker) {
+        let (tx, rx) = waker_channel();
+        rx.set_watch(self.hub.clone());
+        let token = self.insert(Slot { rx, waker: true });
+        (token, Waker { tx })
+    }
+
+    /// Number of registered sources (including wakers).
+    pub fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until a source is ready or `timeout` elapses (`None` waits
+    /// indefinitely). Readiness means a pending frame or a closed sender
+    /// side; consecutive calls rotate across ready sources round-robin.
+    pub fn poll(&mut self, timeout: Option<Duration>) -> PollEvent {
+        // bf-lint: allow(wall_clock): poll deadlines bound host-side
+        // blocking of the dispatcher thread; virtual time is unaffected.
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            let seen = self.hub.generation();
+            if let Some(token) = self.scan() {
+                return PollEvent::Ready(token);
+            }
+            let remaining = match deadline {
+                None => None,
+                Some(d) => {
+                    // bf-lint: allow(wall_clock): remaining-time computation
+                    // for the host-side poll deadline above.
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        return PollEvent::TimedOut;
+                    }
+                    Some(d - now)
+                }
+            };
+            self.hub.wait(seen, remaining);
+        }
+    }
+
+    /// One deterministic round-robin pass starting after the last serviced
+    /// slot, so a persistently-ready source cannot starve the others.
+    fn scan(&mut self) -> Option<Token> {
+        let n = self.slots.len();
+        for step in 1..=n {
+            let i = (self.cursor + step) % n;
+            let Some(slot) = self.slots[i].as_ref() else {
+                continue;
+            };
+            if !slot.rx.ready() {
+                continue;
+            }
+            if slot.waker {
+                slot.rx.drain();
+            }
+            self.cursor = i;
+            return Some(Token(i));
+        }
+        None
+    }
+
+    fn insert(&mut self, slot: Slot) -> Token {
+        if let Some(i) = self.slots.iter().position(Option::is_none) {
+            self.slots[i] = Some(slot);
+            Token(i)
+        } else {
+            self.slots.push(Some(slot));
+            Token(self.slots.len() - 1)
+        }
+    }
+}
+
+/// Cross-thread wakeup handle for a [`Poller`] (see [`Poller::add_waker`]).
+#[derive(Debug, Clone)]
+pub struct Waker {
+    tx: TxHalf,
+}
+
+impl Waker {
+    /// Makes the poller return `Ready` for the waker's token. Coalesces:
+    /// concurrent wakes produce at least one `Ready`, not one each.
+    pub fn wake(&self) {
+        // Full means a wake is already pending; Closed means the poller is
+        // gone. Both are fine to ignore.
+        let _ = self.tx.try_push(Bytes::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use bf_model::VirtualTime;
+
+    use super::*;
+    use crate::proto::{Response, ResponseEnvelope};
+    use crate::transport::duplex_with_depth;
+
+    fn resp(tag: u64) -> ResponseEnvelope {
+        ResponseEnvelope {
+            tag,
+            sent_at: VirtualTime::ZERO,
+            body: Response::Ack,
+        }
+    }
+
+    #[test]
+    fn poll_times_out_when_nothing_is_ready() {
+        let (client, _server) = duplex_with_depth(4);
+        let mut poller = Poller::new();
+        poller.register(client.completions());
+        assert_eq!(
+            poller.poll(Some(Duration::from_millis(5))),
+            PollEvent::TimedOut
+        );
+    }
+
+    #[test]
+    fn push_makes_the_source_ready() {
+        let (client, server) = duplex_with_depth(4);
+        let mut poller = Poller::new();
+        let token = poller.register(client.completions());
+        server.send(&resp(1)).expect("send");
+        assert_eq!(poller.poll(None), PollEvent::Ready(token));
+        assert!(client.try_recv().expect("frame").is_some());
+    }
+
+    #[test]
+    fn sender_close_is_a_readiness_edge() {
+        let (client, server) = duplex_with_depth(4);
+        let mut poller = Poller::new();
+        let token = poller.register(client.completions());
+        let pusher = std::thread::spawn(move || drop(server));
+        assert_eq!(poller.poll(None), PollEvent::Ready(token));
+        pusher.join().expect("join");
+        assert!(client.try_recv().is_err());
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_from_another_thread() {
+        let mut poller = Poller::new();
+        let (token, waker) = poller.add_waker();
+        // Keep a clone alive so dropping the thread's copy is not a close.
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            remote.wake();
+        });
+        assert_eq!(poller.poll(None), PollEvent::Ready(token));
+        t.join().expect("join");
+        // The nudge frame was drained during the scan: the next poll with a
+        // timeout goes back to sleep.
+        assert_eq!(
+            poller.poll(Some(Duration::from_millis(5))),
+            PollEvent::TimedOut
+        );
+    }
+
+    #[test]
+    fn dropping_the_waker_leaves_its_token_permanently_ready() {
+        let mut poller = Poller::new();
+        let (token, waker) = poller.add_waker();
+        drop(waker);
+        assert_eq!(poller.poll(None), PollEvent::Ready(token));
+        assert_eq!(poller.poll(None), PollEvent::Ready(token));
+        poller.deregister(token);
+        assert!(poller.is_empty());
+    }
+
+    #[test]
+    fn scan_rotates_round_robin_between_ready_sources() {
+        let (client_a, server_a) = duplex_with_depth(64);
+        let (client_b, server_b) = duplex_with_depth(64);
+        let mut poller = Poller::new();
+        let tok_a = poller.register(client_a.completions());
+        let tok_b = poller.register(client_b.completions());
+        for tag in 0..8 {
+            server_a.send(&resp(tag)).expect("send a");
+            server_b.send(&resp(tag)).expect("send b");
+        }
+        // Both stay ready throughout (one frame consumed per event), so the
+        // rotation must alternate strictly.
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            match poller.poll(None) {
+                PollEvent::Ready(tok) => {
+                    order.push(tok);
+                    let ch = if tok == tok_a { &client_a } else { &client_b };
+                    ch.try_recv().expect("frame");
+                }
+                PollEvent::TimedOut => panic!("sources are ready"),
+            }
+        }
+        let a_count = order.iter().filter(|t| **t == tok_a).count();
+        let b_count = order.iter().filter(|t| **t == tok_b).count();
+        assert_eq!((a_count, b_count), (4, 4), "strict alternation: {order:?}");
+        for pair in order.chunks(2) {
+            assert_ne!(pair[0], pair[1], "no source serviced twice in a row");
+        }
+    }
+
+    #[test]
+    fn deregistered_sources_are_ignored() {
+        let (client, server) = duplex_with_depth(4);
+        let mut poller = Poller::new();
+        let token = poller.register(client.completions());
+        server.send(&resp(1)).expect("send");
+        poller.deregister(token);
+        assert_eq!(
+            poller.poll(Some(Duration::from_millis(5))),
+            PollEvent::TimedOut
+        );
+    }
+}

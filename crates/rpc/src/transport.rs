@@ -4,17 +4,33 @@
 //! receive, so the codec is exercised on every hop and message sizes feed
 //! the serialization cost model. The response stream doubles as the Remote
 //! Library's **completion queue** (paper Fig. 2, steps 4–5): the manager
-//! pushes tagged responses, the client's connection thread pulls them and
-//! dispatches on the tag.
+//! pushes tagged responses, the client's reactor pulls them and dispatches
+//! on the tag.
+//!
+//! Both directions are **bounded** (configurable via [`duplex_with_depth`]):
+//! a full queue makes [`ClientChannel::try_send`]/[`ServerChannel::try_send`]
+//! surface [`TransportError::Backpressure`] while the blocking `send`
+//! variants park the caller until the peer drains — explicit flow control
+//! instead of unbounded buffering behind a slow peer. Each receive
+//! direction can additionally be tapped through a [`FrameRx`] and plugged
+//! into a [`crate::Poller`], which is how one dispatcher thread multiplexes
+//! many connections.
 
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
 
 use crate::codec::{CodecError, WireDecode, WireEncode};
+use crate::poller::NotifyHub;
 use crate::proto::{RequestEnvelope, ResponseEnvelope};
+
+/// Default per-direction frame depth of [`duplex`].
+pub const DEFAULT_DEPTH: usize = 256;
 
 /// Transport failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +41,9 @@ pub enum TransportError {
     Codec(CodecError),
     /// A blocking receive timed out.
     Timeout,
+    /// The bounded queue is full: the peer is not draining fast enough.
+    /// Retry after the peer reads, or use the blocking `send`.
+    Backpressure,
 }
 
 impl fmt::Display for TransportError {
@@ -33,6 +52,7 @@ impl fmt::Display for TransportError {
             TransportError::Closed => write!(f, "connection closed by peer"),
             TransportError::Codec(e) => write!(f, "frame decode failure: {e}"),
             TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::Backpressure => write!(f, "bounded channel full (backpressure)"),
         }
     }
 }
@@ -52,46 +72,310 @@ impl From<CodecError> for TransportError {
     }
 }
 
+/// Mutable state of one direction, guarded by [`FrameQueue::frames`].
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<Bytes>,
+    senders: usize,
+    receivers: usize,
+    /// Poller notification hook: bumped on push and on sender close.
+    watch: Option<Arc<NotifyHub>>,
+}
+
+/// One bounded direction of a duplex connection, built directly on
+/// `parking_lot` primitives so readiness hooks live inside the queue (the
+/// vendored channel substrate has no selector).
+#[derive(Debug)]
+pub(crate) struct FrameQueue {
+    cap: usize,
+    frames: Mutex<QueueState>,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+impl FrameQueue {
+    fn new(depth: usize) -> Arc<FrameQueue> {
+        Arc::new(FrameQueue {
+            cap: depth.max(1),
+            frames: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                watch: None,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        })
+    }
+
+    fn push(&self, frame: Bytes, block: bool) -> Result<(), TransportError> {
+        let mut q = self.frames.lock();
+        loop {
+            if q.receivers == 0 {
+                return Err(TransportError::Closed);
+            }
+            if q.items.len() < self.cap {
+                break;
+            }
+            if !block {
+                return Err(TransportError::Backpressure);
+            }
+            self.writable.wait(&mut q);
+        }
+        q.items.push_back(frame);
+        let watch = q.watch.clone();
+        drop(q);
+        self.readable.notify_one();
+        if let Some(hub) = watch {
+            hub.bump();
+        }
+        Ok(())
+    }
+
+    fn pop(&self) -> Result<Bytes, TransportError> {
+        let mut q = self.frames.lock();
+        loop {
+            if let Some(frame) = q.items.pop_front() {
+                drop(q);
+                self.writable.notify_one();
+                return Ok(frame);
+            }
+            if q.senders == 0 {
+                return Err(TransportError::Closed);
+            }
+            self.readable.wait(&mut q);
+        }
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Result<Bytes, TransportError> {
+        // bf-lint: allow(wall_clock): receive timeouts bound host-side
+        // blocking only (liveness guard); the virtual timeline is untouched.
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.frames.lock();
+        loop {
+            if let Some(frame) = q.items.pop_front() {
+                drop(q);
+                self.writable.notify_one();
+                return Ok(frame);
+            }
+            if q.senders == 0 {
+                return Err(TransportError::Closed);
+            }
+            // bf-lint: allow(wall_clock): remaining-time computation for the
+            // host-side liveness timeout above.
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            let _ = self.readable.wait_for(&mut q, deadline - now);
+        }
+    }
+
+    fn try_pop(&self) -> Result<Option<Bytes>, TransportError> {
+        let mut q = self.frames.lock();
+        match q.items.pop_front() {
+            Some(frame) => {
+                drop(q);
+                self.writable.notify_one();
+                Ok(Some(frame))
+            }
+            None if q.senders == 0 => Err(TransportError::Closed),
+            None => Ok(None),
+        }
+    }
+
+    /// Receive-readiness: a pending frame, or a closed sender side (so a
+    /// poller consumer observes `Closed` instead of blocking forever).
+    fn ready(&self) -> bool {
+        let q = self.frames.lock();
+        !q.items.is_empty() || q.senders == 0
+    }
+
+    fn set_watch(&self, hub: Arc<NotifyHub>) {
+        self.frames.lock().watch = Some(hub);
+    }
+
+    fn clear_watch(&self) {
+        self.frames.lock().watch = None;
+    }
+
+    fn drain(&self) {
+        let mut q = self.frames.lock();
+        q.items.clear();
+        drop(q);
+        self.writable.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.frames.lock().items.len()
+    }
+}
+
+/// Owning sender half of one direction; closing the last one wakes the
+/// receiver (and any watching poller) with `Closed`.
+#[derive(Debug)]
+pub(crate) struct TxHalf {
+    q: Arc<FrameQueue>,
+}
+
+impl TxHalf {
+    pub(crate) fn push(&self, frame: Bytes) -> Result<(), TransportError> {
+        self.q.push(frame, true)
+    }
+
+    pub(crate) fn try_push(&self, frame: Bytes) -> Result<(), TransportError> {
+        self.q.push(frame, false)
+    }
+}
+
+impl Clone for TxHalf {
+    fn clone(&self) -> Self {
+        self.q.frames.lock().senders += 1;
+        TxHalf { q: self.q.clone() }
+    }
+}
+
+impl Drop for TxHalf {
+    fn drop(&mut self) {
+        let mut q = self.q.frames.lock();
+        q.senders -= 1;
+        let closed = q.senders == 0;
+        let watch = if closed { q.watch.clone() } else { None };
+        drop(q);
+        if closed {
+            self.q.readable.notify_all();
+            if let Some(hub) = watch {
+                hub.bump();
+            }
+        }
+    }
+}
+
+/// Owning receiver half of one direction; closing the last one fails
+/// subsequent sends with `Closed`.
+#[derive(Debug)]
+struct RxHalf {
+    q: Arc<FrameQueue>,
+}
+
+impl Clone for RxHalf {
+    fn clone(&self) -> Self {
+        self.q.frames.lock().receivers += 1;
+        RxHalf { q: self.q.clone() }
+    }
+}
+
+impl Drop for RxHalf {
+    fn drop(&mut self) {
+        let mut q = self.q.frames.lock();
+        q.receivers -= 1;
+        let closed = q.receivers == 0;
+        drop(q);
+        if closed {
+            // Blocked senders must observe the hang-up.
+            self.q.writable.notify_all();
+        }
+    }
+}
+
+/// A non-owning tap on one receive direction, registerable with a
+/// [`crate::Poller`]. Unlike the channel halves it carries no open/closed
+/// ownership: dropping it never closes the connection.
+#[derive(Debug, Clone)]
+pub struct FrameRx {
+    q: Arc<FrameQueue>,
+}
+
+impl FrameRx {
+    /// Non-blocking raw-frame receive. `Ok(None)` means no frame pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] once the queue is drained and
+    /// every sender is gone.
+    pub fn try_recv_frame(&self) -> Result<Option<Bytes>, TransportError> {
+        self.q.try_pop()
+    }
+
+    pub(crate) fn ready(&self) -> bool {
+        self.q.ready()
+    }
+
+    pub(crate) fn set_watch(&self, hub: Arc<NotifyHub>) {
+        self.q.set_watch(hub);
+    }
+
+    pub(crate) fn clear_watch(&self) {
+        self.q.clear_watch();
+    }
+
+    pub(crate) fn drain(&self) {
+        self.q.drain();
+    }
+}
+
+/// Builds the depth-1 nudge queue behind a [`crate::Waker`].
+pub(crate) fn waker_channel() -> (TxHalf, FrameRx) {
+    let q = FrameQueue::new(1);
+    (TxHalf { q: q.clone() }, FrameRx { q })
+}
+
 /// Client side of a connection: sends requests, receives tagged responses.
 #[derive(Debug, Clone)]
 pub struct ClientChannel {
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
+    req: TxHalf,
+    resp: RxHalf,
 }
 
 /// Server side of a connection: receives requests, pushes tagged responses.
 #[derive(Debug, Clone)]
 pub struct ServerChannel {
-    rx: Receiver<Bytes>,
-    tx: Sender<Bytes>,
+    req: RxHalf,
+    resp: TxHalf,
 }
 
-/// Creates a connected client/server channel pair.
+/// Creates a connected client/server channel pair with the default
+/// per-direction depth ([`DEFAULT_DEPTH`]).
 pub fn duplex() -> (ClientChannel, ServerChannel) {
-    let (req_tx, req_rx) = unbounded();
-    let (resp_tx, resp_rx) = unbounded();
+    duplex_with_depth(DEFAULT_DEPTH)
+}
+
+/// Creates a connected client/server channel pair whose directions each
+/// hold at most `depth` frames (minimum 1).
+pub fn duplex_with_depth(depth: usize) -> (ClientChannel, ServerChannel) {
+    let req = FrameQueue::new(depth);
+    let resp = FrameQueue::new(depth);
     (
         ClientChannel {
-            tx: req_tx,
-            rx: resp_rx,
+            req: TxHalf { q: req.clone() },
+            resp: RxHalf { q: resp.clone() },
         },
         ServerChannel {
-            rx: req_rx,
-            tx: resp_tx,
+            req: RxHalf { q: req },
+            resp: TxHalf { q: resp },
         },
     )
 }
 
 impl ClientChannel {
-    /// Encodes and sends one request.
+    /// Encodes and sends one request, blocking while the request queue is
+    /// full (flow control against a busy manager).
     ///
     /// # Errors
     ///
     /// Returns [`TransportError::Closed`] if the manager hung up.
     pub fn send(&self, req: &RequestEnvelope) -> Result<(), TransportError> {
-        self.tx
-            .send(req.to_bytes())
-            .map_err(|_| TransportError::Closed)
+        self.req.push(req.to_bytes())
+    }
+
+    /// Non-blocking send.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Backpressure`] when the request queue is
+    /// full, or [`TransportError::Closed`] if the manager hung up.
+    pub fn try_send(&self, req: &RequestEnvelope) -> Result<(), TransportError> {
+        self.req.try_push(req.to_bytes())
     }
 
     /// Blocks for the next tagged response from the completion stream.
@@ -100,26 +384,20 @@ impl ClientChannel {
     ///
     /// Returns [`TransportError::Closed`] or a codec failure.
     pub fn recv(&self) -> Result<ResponseEnvelope, TransportError> {
-        let frame = self.rx.recv().map_err(|_| TransportError::Closed)?;
-        Ok(ResponseEnvelope::from_bytes(frame)?)
+        Ok(ResponseEnvelope::from_bytes(self.resp.q.pop()?)?)
     }
 
-    /// Like [`ClientChannel::recv`] with a wall-clock timeout (used by the
-    /// connection thread to notice shutdown).
+    /// Like [`ClientChannel::recv`] with a wall-clock timeout (used by
+    /// blocking callers to notice shutdown).
     ///
     /// # Errors
     ///
     /// Returns [`TransportError::Timeout`], [`TransportError::Closed`] or a
     /// codec failure.
-    pub fn recv_timeout(
-        &self,
-        timeout: std::time::Duration,
-    ) -> Result<ResponseEnvelope, TransportError> {
-        let frame = self.rx.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => TransportError::Timeout,
-            RecvTimeoutError::Disconnected => TransportError::Closed,
-        })?;
-        Ok(ResponseEnvelope::from_bytes(frame)?)
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<ResponseEnvelope, TransportError> {
+        Ok(ResponseEnvelope::from_bytes(
+            self.resp.q.pop_timeout(timeout)?,
+        )?)
     }
 
     /// Non-blocking poll of the completion stream. `Ok(None)` means no
@@ -129,11 +407,27 @@ impl ClientChannel {
     ///
     /// Returns [`TransportError::Closed`] or a codec failure.
     pub fn try_recv(&self) -> Result<Option<ResponseEnvelope>, TransportError> {
-        match self.rx.try_recv() {
-            Ok(frame) => Ok(Some(ResponseEnvelope::from_bytes(frame)?)),
-            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(TransportError::Closed),
+        match self.resp.q.try_pop()? {
+            Some(frame) => Ok(Some(ResponseEnvelope::from_bytes(frame)?)),
+            None => Ok(None),
         }
+    }
+
+    /// A poller-registerable tap on the completion stream.
+    pub fn completions(&self) -> FrameRx {
+        FrameRx {
+            q: self.resp.q.clone(),
+        }
+    }
+
+    /// Per-direction frame capacity.
+    pub fn depth(&self) -> usize {
+        self.req.q.cap
+    }
+
+    /// Responses currently queued and not yet received.
+    pub fn pending_responses(&self) -> usize {
+        self.resp.q.len()
     }
 }
 
@@ -144,8 +438,7 @@ impl ServerChannel {
     ///
     /// Returns [`TransportError::Closed`] or a codec failure.
     pub fn recv(&self) -> Result<RequestEnvelope, TransportError> {
-        let frame = self.rx.recv().map_err(|_| TransportError::Closed)?;
-        Ok(RequestEnvelope::from_bytes(frame)?)
+        Ok(RequestEnvelope::from_bytes(self.req.q.pop()?)?)
     }
 
     /// Like [`ServerChannel::recv`] with a wall-clock timeout.
@@ -154,26 +447,55 @@ impl ServerChannel {
     ///
     /// Returns [`TransportError::Timeout`], [`TransportError::Closed`] or a
     /// codec failure.
-    pub fn recv_timeout(
-        &self,
-        timeout: std::time::Duration,
-    ) -> Result<RequestEnvelope, TransportError> {
-        let frame = self.rx.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => TransportError::Timeout,
-            RecvTimeoutError::Disconnected => TransportError::Closed,
-        })?;
-        Ok(RequestEnvelope::from_bytes(frame)?)
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<RequestEnvelope, TransportError> {
+        Ok(RequestEnvelope::from_bytes(
+            self.req.q.pop_timeout(timeout)?,
+        )?)
     }
 
-    /// Pushes one tagged response onto the client's completion stream.
+    /// Non-blocking poll of the request stream. `Ok(None)` means no request
+    /// is pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Closed`] or a codec failure.
+    pub fn try_recv(&self) -> Result<Option<RequestEnvelope>, TransportError> {
+        match self.req.q.try_pop()? {
+            Some(frame) => Ok(Some(RequestEnvelope::from_bytes(frame)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Pushes one tagged response onto the client's completion stream,
+    /// blocking while the stream is full.
     ///
     /// # Errors
     ///
     /// Returns [`TransportError::Closed`] if the client hung up.
     pub fn send(&self, resp: &ResponseEnvelope) -> Result<(), TransportError> {
-        self.tx
-            .send(resp.to_bytes())
-            .map_err(|_| TransportError::Closed)
+        self.resp.push(resp.to_bytes())
+    }
+
+    /// Non-blocking response push.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Backpressure`] when the completion stream
+    /// is full, or [`TransportError::Closed`] if the client hung up.
+    pub fn try_send(&self, resp: &ResponseEnvelope) -> Result<(), TransportError> {
+        self.resp.try_push(resp.to_bytes())
+    }
+
+    /// A poller-registerable tap on the request stream.
+    pub fn requests(&self) -> FrameRx {
+        FrameRx {
+            q: self.req.q.clone(),
+        }
+    }
+
+    /// Per-direction frame capacity.
+    pub fn depth(&self) -> usize {
+        self.resp.q.cap
     }
 }
 
@@ -190,6 +512,14 @@ mod tests {
             client: ClientId(1),
             sent_at: VirtualTime::from_nanos(10),
             body: Request::CreateContext,
+        }
+    }
+
+    fn resp(tag: u64) -> ResponseEnvelope {
+        ResponseEnvelope {
+            tag,
+            sent_at: VirtualTime::ZERO,
+            body: Response::Ack,
         }
     }
 
@@ -223,13 +553,7 @@ mod tests {
     fn try_recv_is_non_blocking() {
         let (client, server) = duplex();
         assert_eq!(client.try_recv().expect("empty"), None);
-        server
-            .send(&ResponseEnvelope {
-                tag: 9,
-                sent_at: VirtualTime::ZERO,
-                body: Response::Ack,
-            })
-            .expect("send");
+        server.send(&resp(9)).expect("send");
         assert!(client.try_recv().expect("one frame").is_some());
     }
 
@@ -237,7 +561,7 @@ mod tests {
     fn timeout_fires_when_idle() {
         let (client, _server) = duplex();
         let err = client
-            .recv_timeout(std::time::Duration::from_millis(5))
+            .recv_timeout(Duration::from_millis(5))
             .expect_err("should time out");
         assert_eq!(err, TransportError::Timeout);
     }
@@ -257,5 +581,56 @@ mod tests {
         for tag in 0..10u64 {
             assert_eq!(client.recv().expect("recv").tag, tag);
         }
+    }
+
+    #[test]
+    fn full_queue_surfaces_backpressure_then_drains() {
+        let (client, server) = duplex_with_depth(4);
+        for tag in 0..4 {
+            client.try_send(&req(tag)).expect("below capacity");
+        }
+        assert_eq!(client.try_send(&req(4)), Err(TransportError::Backpressure));
+        // One read frees one slot.
+        assert_eq!(server.recv().expect("recv").tag, 0);
+        client.try_send(&req(4)).expect("slot freed");
+        // Same in the response direction.
+        for tag in 0..4 {
+            server.try_send(&resp(tag)).expect("below capacity");
+        }
+        assert_eq!(server.try_send(&resp(4)), Err(TransportError::Backpressure));
+        assert_eq!(client.recv().expect("recv").tag, 0);
+        server.try_send(&resp(4)).expect("slot freed");
+    }
+
+    #[test]
+    fn blocking_send_waits_for_the_reader() {
+        let (client, server) = duplex_with_depth(2);
+        let producer = std::thread::spawn(move || {
+            for tag in 0..32 {
+                client.send(&req(tag)).expect("send");
+            }
+        });
+        for tag in 0..32 {
+            assert_eq!(server.recv().expect("recv").tag, tag);
+        }
+        producer.join().expect("producer");
+    }
+
+    #[test]
+    fn depth_is_clamped_to_at_least_one() {
+        let (client, server) = duplex_with_depth(0);
+        client.try_send(&req(1)).expect("one slot");
+        assert_eq!(client.try_send(&req(2)), Err(TransportError::Backpressure));
+        assert_eq!(server.recv().expect("recv").tag, 1);
+    }
+
+    #[test]
+    fn closed_is_reported_only_after_the_queue_drains() {
+        let (client, server) = duplex();
+        server.send(&resp(7)).expect("send");
+        drop(server);
+        // The buffered frame is still delivered before Closed.
+        assert_eq!(client.recv().expect("buffered").tag, 7);
+        assert_eq!(client.recv().expect_err("drained"), TransportError::Closed);
     }
 }

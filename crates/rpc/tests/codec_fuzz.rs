@@ -1,0 +1,325 @@
+//! Deterministic codec battery over every protocol variant.
+//!
+//! The in-crate proptests sample the space; this battery is exhaustive
+//! where exhaustiveness is cheap: a corpus holding **every**
+//! `Request`/`Response` variant (every `DataRef` form, every `WireArg`
+//! form, payload sizes 0 / 1 / large) is round-tripped, truncated at
+//! every strict prefix length (the decoder must return `CodecError`,
+//! never panic and never accept a short read), and corrupted one bit at
+//! a time (the decoder must stay total).
+
+use bf_model::VirtualTime;
+use bf_rpc::{
+    ClientId, DataRef, ErrorCode, Request, RequestEnvelope, Response, ResponseEnvelope, WireArg,
+    WireDecode, WireEncode,
+};
+use bytes::Bytes;
+
+/// Larger than any inline/shm switch-over threshold in the cost model.
+const LARGE: usize = 70_000;
+
+fn request_corpus() -> Vec<RequestEnvelope> {
+    let bodies = vec![
+        Request::Hello {
+            client_name: "sobel-1".to_string(),
+            shm: true,
+        },
+        Request::Hello {
+            client_name: String::new(),
+            shm: false,
+        },
+        Request::GetDeviceInfo,
+        Request::CreateContext,
+        Request::BuildProgram {
+            bitstream: "incr".to_string(),
+        },
+        Request::CreateKernel {
+            program: 3,
+            name: "incr".to_string(),
+        },
+        Request::SetKernelArg {
+            kernel: 4,
+            index: 0,
+            arg: WireArg::Buffer(9),
+        },
+        Request::SetKernelArg {
+            kernel: 4,
+            index: 1,
+            arg: WireArg::U32(u32::MAX),
+        },
+        Request::SetKernelArg {
+            kernel: 4,
+            index: 2,
+            arg: WireArg::I32(-1),
+        },
+        Request::SetKernelArg {
+            kernel: 4,
+            index: 3,
+            arg: WireArg::U64(u64::MAX),
+        },
+        Request::SetKernelArg {
+            kernel: 4,
+            index: 4,
+            arg: WireArg::F32(-2.5),
+        },
+        Request::CreateBuffer {
+            context: 1,
+            len: 1 << 20,
+        },
+        Request::ReleaseBuffer { buffer: 9 },
+        Request::CreateQueue { context: 1 },
+        Request::EnqueueWrite {
+            queue: 5,
+            buffer: 9,
+            offset: 0,
+            data: DataRef::Inline(Vec::new()),
+        },
+        Request::EnqueueWrite {
+            queue: 5,
+            buffer: 9,
+            offset: 7,
+            data: DataRef::Inline(vec![0xAB]),
+        },
+        Request::EnqueueWrite {
+            queue: 5,
+            buffer: 9,
+            offset: 0,
+            data: DataRef::Shm {
+                offset: 4096,
+                len: LARGE as u64,
+            },
+        },
+        Request::EnqueueWrite {
+            queue: 5,
+            buffer: 9,
+            offset: 0,
+            data: DataRef::Synthetic(u64::MAX),
+        },
+        Request::EnqueueRead {
+            queue: 5,
+            buffer: 9,
+            offset: 64,
+            len: 128,
+        },
+        Request::EnqueueKernel {
+            queue: 5,
+            kernel: 4,
+            work: [1024, 16, 1],
+        },
+        Request::EnqueueCopy {
+            queue: 5,
+            src: 9,
+            dst: 10,
+            src_offset: 0,
+            dst_offset: 32,
+            len: 64,
+        },
+        Request::Flush { queue: 5 },
+        Request::Finish { queue: 5 },
+        Request::Reconfigure {
+            bitstream: "other".to_string(),
+        },
+        Request::Disconnect,
+    ];
+    bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| RequestEnvelope {
+            tag: i as u64,
+            client: ClientId(i as u64 + 1),
+            sent_at: VirtualTime::from_nanos(i as u64 * 1000),
+            body,
+        })
+        .collect()
+}
+
+fn response_corpus() -> Vec<ResponseEnvelope> {
+    let codes = [
+        ErrorCode::InvalidHandle,
+        ErrorCode::AccessDenied,
+        ErrorCode::OutOfResources,
+        ErrorCode::OutOfBounds,
+        ErrorCode::BuildFailure,
+        ErrorCode::InvalidLaunch,
+        ErrorCode::ReconfigurationRefused,
+        ErrorCode::Internal,
+    ];
+    let mut bodies = vec![
+        Response::Ack,
+        Response::Handle { id: u64::MAX },
+        Response::DeviceInfo {
+            name: "DE5a-Net".to_string(),
+            vendor: "Intel".to_string(),
+            platform: "BlastFunction".to_string(),
+            memory_bytes: 8 << 30,
+            node: "node-b".to_string(),
+            bitstream: Some("incr".to_string()),
+        },
+        Response::DeviceInfo {
+            name: String::new(),
+            vendor: String::new(),
+            platform: String::new(),
+            memory_bytes: 0,
+            node: String::new(),
+            bitstream: None,
+        },
+        Response::Enqueued,
+        Response::Completed {
+            started_at: VirtualTime::from_nanos(10),
+            ended_at: VirtualTime::from_nanos(20),
+            data: None,
+        },
+        Response::Completed {
+            started_at: VirtualTime::ZERO,
+            ended_at: VirtualTime::ZERO,
+            data: Some(DataRef::Inline(vec![0x5A; 64])),
+        },
+        Response::Completed {
+            started_at: VirtualTime::from_nanos(1),
+            ended_at: VirtualTime::from_nanos(2),
+            data: Some(DataRef::Shm { offset: 0, len: 0 }),
+        },
+        Response::Completed {
+            started_at: VirtualTime::from_nanos(1),
+            ended_at: VirtualTime::from_nanos(2),
+            data: Some(DataRef::Synthetic(1 << 40)),
+        },
+    ];
+    bodies.extend(codes.into_iter().map(|code| Response::Error {
+        code,
+        message: "boom".to_string(),
+    }));
+    bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| ResponseEnvelope {
+            tag: i as u64,
+            sent_at: VirtualTime::from_nanos(i as u64),
+            body,
+        })
+        .collect()
+}
+
+/// Every strict prefix must be rejected with an error, not a panic and
+/// not a silently-shortened message: all fields are mandatory and
+/// sequential, so a cut either lands mid-varint (continuation bit set),
+/// mid-payload (length prefix unsatisfied) or before a missing field.
+fn assert_truncation_total(wire: &Bytes, what: &str, decode: impl Fn(Bytes) -> bool) {
+    for cut in 0..wire.len() {
+        let ok = decode(wire.slice(..cut));
+        assert!(!ok, "{what}: {cut}-byte prefix of {} decoded", wire.len());
+    }
+}
+
+/// Flipping any single bit must never panic the decoder. (It may still
+/// decode — a flipped payload byte is a different valid message.)
+fn assert_bitflips_total(wire: &Bytes, decode: impl Fn(Bytes)) {
+    for pos in 0..wire.len() {
+        for bit in 0..8 {
+            let mut bytes = wire.to_vec();
+            bytes[pos] ^= 1 << bit;
+            decode(Bytes::from(bytes));
+        }
+    }
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    for env in request_corpus() {
+        let wire = env.to_bytes();
+        let back = RequestEnvelope::from_bytes(wire).expect("decode");
+        assert_eq!(back, env);
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    for env in response_corpus() {
+        let wire = env.to_bytes();
+        let back = ResponseEnvelope::from_bytes(wire).expect("decode");
+        assert_eq!(back, env);
+    }
+}
+
+#[test]
+fn truncated_requests_error_at_every_prefix_length() {
+    for env in request_corpus() {
+        assert_truncation_total(&env.to_bytes(), "request", |b| {
+            RequestEnvelope::from_bytes(b).is_ok()
+        });
+    }
+}
+
+#[test]
+fn truncated_responses_error_at_every_prefix_length() {
+    for env in response_corpus() {
+        assert_truncation_total(&env.to_bytes(), "response", |b| {
+            ResponseEnvelope::from_bytes(b).is_ok()
+        });
+    }
+}
+
+#[test]
+fn corrupted_requests_never_panic_the_decoder() {
+    for env in request_corpus() {
+        assert_bitflips_total(&env.to_bytes(), |b| {
+            let _ = RequestEnvelope::from_bytes(b);
+        });
+    }
+}
+
+#[test]
+fn corrupted_responses_never_panic_the_decoder() {
+    for env in response_corpus() {
+        assert_bitflips_total(&env.to_bytes(), |b| {
+            let _ = ResponseEnvelope::from_bytes(b);
+        });
+    }
+}
+
+#[test]
+fn oversized_inline_payloads_survive_the_wire() {
+    let payload: Vec<u8> = (0..LARGE).map(|i| (i % 251) as u8).collect();
+    let env = RequestEnvelope {
+        tag: 42,
+        client: ClientId(7),
+        sent_at: VirtualTime::from_nanos(1),
+        body: Request::EnqueueWrite {
+            queue: 5,
+            buffer: 9,
+            offset: 0,
+            data: DataRef::Inline(payload.clone()),
+        },
+    };
+    let wire = env.to_bytes();
+    assert!(wire.len() > LARGE, "payload travels inline");
+    let back = RequestEnvelope::from_bytes(wire.clone()).expect("decode");
+    match back.body {
+        Request::EnqueueWrite {
+            data: DataRef::Inline(got),
+            ..
+        } => assert_eq!(got, payload),
+        other => panic!("wrong body after round trip: {other:?}"),
+    }
+    // Exhaustive truncation is O(len²) here; probe the structural region
+    // (header + length prefix) densely and the payload sparsely.
+    for cut in (0..64).chain((64..wire.len()).step_by(997)) {
+        assert!(
+            RequestEnvelope::from_bytes(wire.slice(..cut)).is_err(),
+            "oversized frame: {cut}-byte prefix decoded"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    for env in request_corpus() {
+        let mut bytes = env.to_bytes().to_vec();
+        bytes.push(0);
+        assert!(
+            RequestEnvelope::from_bytes(Bytes::from(bytes)).is_err(),
+            "trailing byte accepted after {:?}",
+            env.body
+        );
+    }
+}

@@ -3,9 +3,10 @@
 //! This runs the same engine as `cargo run -p bf-lint` in-process, so a
 //! plain `cargo test` fails with file:line diagnostics whenever a crate
 //! reintroduces a panic site, an `std::sync` lock, a wall-clock read, a
-//! lock-order inversion, or a wildcard arm on a protocol enum.
+//! lock-order inversion, a wildcard arm on a protocol enum, or an
+//! unbounded channel on the hot path.
 
-use bf_lint::{run, LOCK_HIERARCHY};
+use bf_lint::{check_source, run, LOCK_HIERARCHY, RULES};
 
 /// Walks up from the test binary's cwd to the workspace root (the
 /// directory holding the `[workspace]` manifest).
@@ -41,6 +42,40 @@ fn workspace_passes_bf_lint() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// Fixture battery for the `unbounded_channel` rule: the workspace gate
+/// above only proves the tree is clean *today*; these prove the rule
+/// would actually catch a regression.
+#[test]
+fn unbounded_channel_rule_fires_on_library_fixtures() {
+    assert!(RULES.contains(&"unbounded_channel"));
+    let fixture = "use crossbeam::channel::unbounded;\n\
+                   pub fn hot_path() {\n    let (tx, rx) = unbounded();\n}\n";
+    let out = check_source("crates/x/src/lib.rs", fixture);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, "unbounded_channel");
+    assert_eq!(out[0].line, 3, "the construction fires, not the import");
+}
+
+#[test]
+fn unbounded_channel_rule_respects_the_allowlist() {
+    let justified = "pub fn watch() {\n    \
+                     // bf-lint: allow(unbounded_channel): cold control path\n    \
+                     let (tx, rx) = unbounded();\n}\n";
+    assert!(
+        check_source("crates/x/src/lib.rs", justified).is_empty(),
+        "a justified directive exempts the site"
+    );
+    // Bounded construction is the sanctioned form.
+    let bounded = "pub fn hot_path() {\n    let (tx, rx) = bounded(64);\n}\n";
+    assert!(check_source("crates/x/src/lib.rs", bounded).is_empty());
+    // Test code may buffer freely.
+    let test_path = "fn harness() {\n    let (tx, rx) = unbounded();\n}\n";
+    assert!(
+        check_source("crates/x/tests/harness.rs", test_path).is_empty(),
+        "tests/ paths are exempt"
     );
 }
 
