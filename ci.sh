@@ -21,4 +21,16 @@ cargo test -q -p bf-rpc -p bf-devmgr -p bf-remote -- --test-threads=1
 echo "==> bf-lint"
 cargo run -q --release -p bf-lint -- --json
 
+# Datapath copy-accounting smoke: the small-size ladder must reproduce the
+# archived per-round-trip copy counts exactly (wall-clock is informational;
+# only the deterministic copy fields are compared).
+echo "==> datapath bench (smoke + archive check)"
+cargo run -q --release -p bf-bench --bin datapath -- --smoke --check experiments/BENCH_datapath.json
+
+# Virtual-time conformance: the data-path refactor must never move the
+# paper's Fig. 4(a) numbers — regenerate and require byte-identical JSON.
+echo "==> fig4a virtual-time check"
+cargo run -q --release -p bf-bench --bin fig4a > /dev/null
+cmp target/experiments/fig4a.json experiments/fig4a.json
+
 echo "ci.sh: all gates passed"

@@ -20,7 +20,7 @@ fn bench_codec(c: &mut Criterion) {
                 queue: 3,
                 buffer: 9,
                 offset: 128,
-                data: DataRef::Inline(vec![0xA5; payload]),
+                data: DataRef::Inline(vec![0xA5; payload].into()),
             },
         };
         group.bench_with_input(BenchmarkId::new("encode", payload), &env, |b, env| {

@@ -19,6 +19,13 @@
 //! | Data-path ablation | [`ablation_transport`] | `ablation_transport` |
 //! | Task-granularity ablation | [`ablation_taskgrain`] | `ablation_taskgrain` |
 
+mod datapath;
+
+pub use crate::datapath::{
+    baseline_copied_bytes, check_against_archive, datapath_rows, parse_archive, render_datapath,
+    ArchivedCopyRow, DatapathRow, LADDER, SMOKE,
+};
+
 use std::path::PathBuf;
 use std::sync::Arc;
 

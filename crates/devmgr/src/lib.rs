@@ -68,7 +68,7 @@ mod tests {
     use bf_model::{node_a, node_b, PcieGeneration, PcieLink, VirtualDuration, VirtualTime};
     use bf_ocl::BitstreamCatalog;
     use bf_rpc::{
-        ClientId, DataRef, ErrorCode, PathCosts, Request, RequestEnvelope, Response,
+        ClientId, DataRef, ErrorCode, PathCosts, Payload, Request, RequestEnvelope, Response,
         ResponseEnvelope,
     };
     use parking_lot::Mutex;
@@ -202,7 +202,7 @@ mod tests {
             queue,
             buffer: buf,
             offset: 0,
-            data: DataRef::Inline(vec![1; 8]),
+            data: DataRef::Inline(vec![1; 8].into()),
         });
         let kt = d.send(Request::EnqueueKernel {
             queue,
@@ -238,6 +238,54 @@ mod tests {
             }
         }
         assert!(matches!(d.wait_tag(ft), Response::Completed { .. }));
+    }
+
+    /// Aliasing safety end-to-end: the client keeps a reference to the
+    /// payload it enqueued; the kernel's in-place mutation on the device
+    /// must land in a private (copy-on-write) buffer, so the client's
+    /// aliased bytes never change while the read still sees the mutation.
+    #[test]
+    fn kernel_mutation_does_not_corrupt_the_clients_payload() {
+        let mgr = manager(ReconfigPolicy::Allow);
+        let mut d = Driver::new(&mgr, PathCosts::local_grpc());
+        let (_ctx, kernel, buf, queue) = setup_pipeline(&mut d);
+
+        let payload: Payload = vec![7u8; 8].into();
+        let wt = d.send(Request::EnqueueWrite {
+            queue,
+            buffer: buf,
+            offset: 0,
+            data: DataRef::Inline(payload.share()),
+        });
+        let kt = d.send(Request::EnqueueKernel {
+            queue,
+            kernel,
+            work: [8, 1, 1],
+        });
+        let rt = d.send(Request::EnqueueRead {
+            queue,
+            buffer: buf,
+            offset: 0,
+            len: 8,
+        });
+        let ft = d.send(Request::Finish { queue });
+        let _ = d.wait_tag(wt);
+        let _ = d.wait_tag(kt);
+        loop {
+            let resp = d.recv();
+            if resp.tag == rt {
+                if let Response::Completed {
+                    data: Some(DataRef::Inline(bytes)),
+                    ..
+                } = resp.body
+                {
+                    assert_eq!(bytes, vec![8u8; 8], "read sees the mutation");
+                    break;
+                }
+            }
+        }
+        assert!(matches!(d.wait_tag(ft), Response::Completed { .. }));
+        assert_eq!(payload, vec![7u8; 8], "client's aliased buffer untouched");
     }
 
     #[test]
@@ -484,7 +532,7 @@ mod tests {
                         queue,
                         buffer: buf,
                         offset: 0,
-                        data: DataRef::Inline(vec![val; 8]),
+                        data: DataRef::Inline(vec![val; 8].into()),
                     });
                     d.send(Request::EnqueueKernel {
                         queue,
@@ -545,7 +593,7 @@ mod tests {
                         queue,
                         buffer: buf,
                         offset: 0,
-                        data: DataRef::Inline(vec![val; 8]),
+                        data: DataRef::Inline(vec![val; 8].into()),
                     });
                     d.send(Request::EnqueueKernel {
                         queue,
@@ -569,12 +617,12 @@ mod tests {
                                 data: Some(data), ..
                             } => {
                                 let bytes = match data {
-                                    DataRef::Inline(b) => b,
+                                    DataRef::Inline(b) => b.into_vec(),
                                     DataRef::Shm { offset, len } => {
                                         let shm = d.endpoint.shm.as_ref().expect("shm endpoint");
                                         let b = shm.read(offset, len).expect("shm read");
                                         shm.free(offset).expect("free");
-                                        b
+                                        b.to_vec()
                                     }
                                     DataRef::Synthetic(_) => panic!("real data expected"),
                                 };

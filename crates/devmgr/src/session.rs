@@ -319,7 +319,9 @@ impl Session {
                     tag: env.tag,
                     buffer: fpga,
                     offset: *offset,
-                    data: data.clone(),
+                    // A refcount bump — the enqueued operation aliases the
+                    // decoded frame's bytes instead of copying them.
+                    data: data.share(),
                 });
                 Ok((Response::Enqueued, arrival))
             }

@@ -149,13 +149,16 @@ fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
 /// sizes stay synthetic.
 fn resolve_payload(task: &Task, data: &DataRef) -> Result<Payload, (ErrorCode, String)> {
     match data {
-        DataRef::Inline(bytes) => Ok(Payload::Data(bytes.clone())),
+        // A refcount bump: the device adopts the same bytes the wire
+        // frame (or the client) still holds.
+        DataRef::Inline(payload) => Ok(Payload::Data(payload.share().into_bytes())),
         DataRef::Synthetic(len) => Ok(Payload::Synthetic(*len)),
         DataRef::Shm { offset, len } => {
             let shm = task.shm.as_ref().ok_or((
                 ErrorCode::InvalidLaunch,
                 "shm payload on a connection without a segment".to_string(),
             ))?;
+            // Zero-copy snapshot of the region.
             let bytes = shm
                 .read(*offset, *len)
                 .map_err(|e| (ErrorCode::OutOfBounds, e.to_string()))?;
@@ -170,20 +173,20 @@ fn stage_read_result(task: &Task, payload: Payload) -> DataRef {
     match payload {
         Payload::Synthetic(len) => DataRef::Synthetic(len),
         Payload::Data(bytes) => {
+            let len = bytes.len() as u64;
             if let Some(shm) = &task.shm {
-                if let Ok(offset) = shm.alloc(bytes.len() as u64) {
-                    if shm.write(offset, &bytes).is_ok() {
-                        return DataRef::Shm {
-                            offset,
-                            len: bytes.len() as u64,
-                        };
+                if let Ok(offset) = shm.alloc(len) {
+                    // Adopt the device's read snapshot into the region —
+                    // a refcount bump, not a copy.
+                    if shm.write_bytes(offset, bytes.share()).is_ok() {
+                        return DataRef::Shm { offset, len };
                     }
                     let _ = shm.free(offset);
                 }
                 // Segment exhausted: fall back to the inline path rather
                 // than failing the read.
             }
-            DataRef::Inline(bytes)
+            DataRef::Inline(bytes.into())
         }
     }
 }

@@ -365,14 +365,14 @@ mod tests {
         let buf = board.alloc_buffer(4).expect("alloc");
         let now = board.available_at();
         board
-            .write_buffer(buf, 0, &Payload::Data(vec![1, 2, 3, 4]), now, "f")
+            .write_buffer(buf, 0, &Payload::Data(vec![1, 2, 3, 4].into()), now, "f")
             .expect("write");
         let inv = KernelInvocation::new(vec![KernelArg::Buffer(buf)], 4);
         let now = board.available_at();
         board.launch_kernel("incr", &inv, now, "f").expect("launch");
         let now = board.available_at();
         let (_, out) = board.read_buffer(buf, 0, 4, now, "f").expect("read");
-        assert_eq!(out, Payload::Data(vec![2, 3, 4, 5]));
+        assert_eq!(out, Payload::Data(vec![2, 3, 4, 5].into()));
     }
 
     #[test]

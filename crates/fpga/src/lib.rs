@@ -34,7 +34,7 @@
 //! board.program(bs, VirtualTime::ZERO, "registry");
 //! let buf = board.alloc_buffer(1024)?;
 //! let now = board.available_at();
-//! board.write_buffer(buf, 0, &Payload::Data(vec![7; 1024]), now, "tenant")?;
+//! board.write_buffer(buf, 0, &Payload::Data(vec![7; 1024].into()), now, "tenant")?;
 //! # Ok(())
 //! # }
 //! ```
@@ -120,9 +120,9 @@ mod proptests {
             let mut mem = DeviceMemory::new(1 << 20);
             let buf = mem.alloc(size).expect("alloc");
             let offset = size - data.len() as u64;
-            mem.write(buf, offset, &Payload::Data(data.clone())).expect("write");
+            mem.write(buf, offset, &Payload::Data(data.clone().into())).expect("write");
             let got = mem.read(buf, offset, data.len() as u64).expect("read");
-            prop_assert_eq!(got, Payload::Data(data));
+            prop_assert_eq!(got, Payload::Data(data.into()));
         }
     }
 }

@@ -5,8 +5,16 @@
 //! e.g. the 2 GB transfers of Fig. 4(a), which would be wasteful to
 //! allocate for every sweep point). A virtual buffer is materialized lazily
 //! the first time real data is written into it.
+//!
+//! Payload bytes are refcounted ([`bytes::Bytes`]): a whole-buffer write
+//! *adopts* the caller's buffer and a read hands back a zero-copy view.
+//! The single place real bytes are still copied is [`DeviceMemory::bytes_mut`]
+//! — the copy-on-write a kernel pays when it mutates a bank whose bytes
+//! are still shared with a client or an earlier read snapshot.
 
 use std::collections::HashMap;
+
+use bytes::Bytes;
 
 use crate::error::FpgaError;
 
@@ -21,10 +29,13 @@ impl std::fmt::Display for BufferId {
 }
 
 /// Payload of a transfer: real bytes or a size-only placeholder.
+///
+/// Real data is a refcounted [`Bytes`] buffer, so cloning a payload — or
+/// handing it down the datapath — never copies the bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Payload {
     /// Real data; kernels operating on it run functionally.
-    Data(Vec<u8>),
+    Data(Bytes),
     /// Size-only placeholder; the transfer is timed but carries no bytes.
     Synthetic(u64),
 }
@@ -46,34 +57,96 @@ impl Payload {
     /// Borrows the real bytes, if any.
     pub fn as_data(&self) -> Option<&[u8]> {
         match self {
-            Payload::Data(d) => Some(d),
+            Payload::Data(d) => Some(d.as_ref()),
+            Payload::Synthetic(_) => None,
+        }
+    }
+
+    /// Converts real bytes into an owned `Vec<u8>` (recovered in place
+    /// when unique, otherwise copied and reported to copy accounting);
+    /// `None` for synthetic payloads.
+    pub fn into_vec(self) -> Option<Vec<u8>> {
+        match self {
+            Payload::Data(d) => Some(match d.try_into_unique_vec() {
+                Ok(v) => v,
+                Err(shared) => {
+                    bf_metrics::record_memcpy(shared.len() as u64);
+                    // bf-lint: allow(payload_copy): other refs hold the
+                    // buffer — copying out is the only way, and counted.
+                    shared.to_vec()
+                }
+            }),
             Payload::Synthetic(_) => None,
         }
     }
 }
 
 impl From<Vec<u8>> for Payload {
+    /// Adopts the vector without copying.
     fn from(d: Vec<u8>) -> Self {
+        Payload::Data(Bytes::from(d))
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(d: Bytes) -> Self {
         Payload::Data(d)
     }
 }
 
 impl From<&[u8]> for Payload {
+    /// Copies the borrowed slice (reported to copy accounting).
     fn from(d: &[u8]) -> Self {
-        Payload::Data(d.to_vec())
+        bf_metrics::record_memcpy(d.len() as u64);
+        Payload::Data(Bytes::from(d))
     }
 }
 
 #[derive(Debug)]
 enum Storage {
+    /// Size-only: no bytes exist.
     Virtual,
-    Materialized(Vec<u8>),
+    /// Bytes possibly shared with clients or read snapshots; a mutating
+    /// access must copy-on-write into [`Storage::Unique`] first.
+    Shared(Bytes),
+    /// Bytes owned exclusively by this bank; kernels mutate in place.
+    Unique(Vec<u8>),
 }
 
 #[derive(Debug)]
 struct Allocation {
     len: u64,
     storage: Storage,
+}
+
+impl Allocation {
+    /// Exclusive access to the bank's bytes: zero-fill materializes a
+    /// virtual bank; shared bytes are copied-on-write (the refcount is
+    /// checked first, so a sole owner recovers its buffer for free).
+    fn backing_mut(&mut self) -> &mut [u8] {
+        match &mut self.storage {
+            Storage::Unique(_) => {}
+            Storage::Virtual => {
+                self.storage = Storage::Unique(vec![0; self.len as usize]);
+            }
+            Storage::Shared(b) => {
+                let owned = match std::mem::take(b).try_into_unique_vec() {
+                    Ok(v) => v,
+                    Err(shared) => {
+                        bf_metrics::record_memcpy(shared.len() as u64);
+                        // bf-lint: allow(payload_copy): copy-on-write — a
+                        // kernel is about to mutate a still-shared buffer.
+                        shared.to_vec()
+                    }
+                };
+                self.storage = Storage::Unique(owned);
+            }
+        }
+        match &mut self.storage {
+            Storage::Unique(v) => v.as_mut_slice(),
+            Storage::Virtual | Storage::Shared(_) => unreachable!("made unique above"),
+        }
+    }
 }
 
 /// The DDR memory banks of one board.
@@ -166,6 +239,11 @@ impl DeviceMemory {
     /// Writes `payload` into the buffer at `offset`. Real data materializes
     /// the buffer; synthetic payloads only validate bounds.
     ///
+    /// A whole-buffer write (offset 0, payload length equal to the
+    /// allocation) *adopts* the payload's refcounted bytes without
+    /// copying; partial writes copy-on-write into the bank (reported to
+    /// [`bf_metrics::record_memcpy`]).
+    ///
     /// # Errors
     ///
     /// Returns [`FpgaError::BufferNotFound`] or [`FpgaError::OutOfBounds`].
@@ -177,17 +255,14 @@ impl DeviceMemory {
         let len = payload.len();
         check_bounds(id, offset, len, alloc.len)?;
         if let Payload::Data(data) = payload {
-            let backing = match &mut alloc.storage {
-                Storage::Materialized(v) => v,
-                storage @ Storage::Virtual => {
-                    *storage = Storage::Materialized(vec![0; alloc.len as usize]);
-                    match storage {
-                        Storage::Materialized(v) => v,
-                        Storage::Virtual => unreachable!("just materialized"),
-                    }
-                }
-            };
-            backing[offset as usize..(offset + len) as usize].copy_from_slice(data);
+            if offset == 0 && len == alloc.len {
+                // Whole-buffer write: adopt the refcounted bytes.
+                alloc.storage = Storage::Shared(data.share());
+                return Ok(());
+            }
+            let backing = alloc.backing_mut();
+            bf_metrics::record_memcpy(len);
+            backing[offset as usize..(offset + len) as usize].copy_from_slice(data.as_ref());
         }
         Ok(())
     }
@@ -195,20 +270,28 @@ impl DeviceMemory {
     /// Reads `len` bytes starting at `offset`. Returns real bytes if the
     /// buffer is materialized, a synthetic placeholder otherwise.
     ///
+    /// The returned payload is a zero-copy snapshot of the bank: a
+    /// uniquely-owned bank is frozen into shared storage (a move, not a
+    /// copy) so later reads alias it too, and a subsequent kernel
+    /// mutation copies-on-write instead of corrupting the snapshot.
+    ///
     /// # Errors
     ///
     /// Returns [`FpgaError::BufferNotFound`] or [`FpgaError::OutOfBounds`].
-    pub fn read(&self, id: BufferId, offset: u64, len: u64) -> Result<Payload, FpgaError> {
+    pub fn read(&mut self, id: BufferId, offset: u64, len: u64) -> Result<Payload, FpgaError> {
         let alloc = self
             .allocations
-            .get(&id.0)
+            .get_mut(&id.0)
             .ok_or(FpgaError::BufferNotFound(id.0))?;
         check_bounds(id, offset, len, alloc.len)?;
+        if let Storage::Unique(v) = &mut alloc.storage {
+            // Freeze-on-read: the Vec moves into a refcounted buffer.
+            alloc.storage = Storage::Shared(Bytes::from(std::mem::take(v)));
+        }
         Ok(match &alloc.storage {
-            Storage::Materialized(v) => {
-                Payload::Data(v[offset as usize..(offset + len) as usize].to_vec())
-            }
+            Storage::Shared(b) => Payload::Data(b.slice(offset as usize..(offset + len) as usize)),
             Storage::Virtual => Payload::Synthetic(len),
+            Storage::Unique(_) => unreachable!("frozen above"),
         })
     }
 
@@ -216,12 +299,17 @@ impl DeviceMemory {
     pub fn is_materialized(&self, id: BufferId) -> bool {
         matches!(
             self.allocations.get(&id.0).map(|a| &a.storage),
-            Some(Storage::Materialized(_))
+            Some(Storage::Shared(_) | Storage::Unique(_))
         )
     }
 
     /// Mutable access to a materialized buffer's bytes (for kernels). The
     /// buffer is materialized (zero-filled) if it was virtual.
+    ///
+    /// This is the datapath's one mutation point: bytes still shared with
+    /// a client or a read snapshot are copied-on-write here (reported to
+    /// [`bf_metrics::record_memcpy`]); a uniquely-owned bank mutates in
+    /// place for free.
     ///
     /// # Errors
     ///
@@ -231,13 +319,7 @@ impl DeviceMemory {
             .allocations
             .get_mut(&id.0)
             .ok_or(FpgaError::BufferNotFound(id.0))?;
-        if matches!(alloc.storage, Storage::Virtual) {
-            alloc.storage = Storage::Materialized(vec![0; alloc.len as usize]);
-        }
-        match &mut alloc.storage {
-            Storage::Materialized(v) => Ok(v.as_mut_slice()),
-            Storage::Virtual => unreachable!("materialized above"),
-        }
+        Ok(alloc.backing_mut())
     }
 
     /// Immutable access to a buffer's bytes, or `None` while it is virtual.
@@ -251,7 +333,8 @@ impl DeviceMemory {
             .get(&id.0)
             .ok_or(FpgaError::BufferNotFound(id.0))?;
         Ok(match &alloc.storage {
-            Storage::Materialized(v) => Some(v.as_slice()),
+            Storage::Shared(b) => Some(b.as_ref()),
+            Storage::Unique(v) => Some(v.as_slice()),
             Storage::Virtual => None,
         })
     }
@@ -308,10 +391,10 @@ mod tests {
     fn alloc_write_read_round_trip() {
         let mut mem = DeviceMemory::new(1 << 20);
         let buf = mem.alloc(16).expect("alloc");
-        mem.write(buf, 4, &Payload::Data(vec![1, 2, 3]))
+        mem.write(buf, 4, &Payload::Data(vec![1, 2, 3].into()))
             .expect("write");
         let got = mem.read(buf, 4, 3).expect("read");
-        assert_eq!(got, Payload::Data(vec![1, 2, 3]));
+        assert_eq!(got, Payload::Data(vec![1, 2, 3].into()));
     }
 
     #[test]
@@ -329,11 +412,11 @@ mod tests {
     fn materialization_zero_fills() {
         let mut mem = DeviceMemory::new(64);
         let buf = mem.alloc(8).expect("alloc");
-        mem.write(buf, 6, &Payload::Data(vec![9, 9]))
+        mem.write(buf, 6, &Payload::Data(vec![9, 9].into()))
             .expect("write");
         assert_eq!(
             mem.read(buf, 0, 8).expect("read"),
-            Payload::Data(vec![0, 0, 0, 0, 0, 0, 9, 9])
+            Payload::Data(vec![0, 0, 0, 0, 0, 0, 9, 9].into())
         );
     }
 
@@ -365,7 +448,7 @@ mod tests {
         let mut mem = DeviceMemory::new(100);
         let buf = mem.alloc(10).expect("alloc");
         assert!(matches!(
-            mem.write(buf, 8, &Payload::Data(vec![0; 4])),
+            mem.write(buf, 8, &Payload::Data(vec![0; 4].into())),
             Err(FpgaError::OutOfBounds { .. })
         ));
         assert!(matches!(
@@ -386,5 +469,44 @@ mod tests {
         mem.clear();
         assert_eq!(mem.used(), 0);
         assert_eq!(mem.len_of(buf), Err(FpgaError::BufferNotFound(buf.0)));
+    }
+
+    /// Aliasing safety: adopting a client's buffer and handing out read
+    /// snapshots never lets a later in-place mutation bleed through —
+    /// copy-on-write isolates exactly the post-mutation view.
+    #[test]
+    fn mutation_after_adopt_does_not_corrupt_aliases() {
+        let mut mem = DeviceMemory::new(1 << 10);
+        let buf = mem.alloc(4).expect("alloc");
+        // The "client" keeps its own reference to the adopted bytes.
+        let client: Bytes = Bytes::from(vec![1u8, 2, 3, 4]);
+        mem.write(buf, 0, &Payload::Data(client.share()))
+            .expect("adopt");
+        let r1 = mem.read(buf, 0, 4).expect("read before mutation");
+        // A kernel mutates the buffer in place → CoW breaks the aliases.
+        mem.bytes_mut(buf).expect("cow")[0] = 99;
+        let r2 = mem.read(buf, 0, 4).expect("read after mutation");
+        assert_eq!(client, [1, 2, 3, 4], "client buffer untouched");
+        assert_eq!(r1, Payload::Data(vec![1, 2, 3, 4].into()), "old snapshot");
+        assert_eq!(r2, Payload::Data(vec![99, 2, 3, 4].into()), "new snapshot");
+    }
+
+    /// The mirror direction: a client mutating (dropping + rebuilding) its
+    /// copy after enqueue cannot change what the device adopted, and read
+    /// snapshots stay stable across overwrites of the same buffer.
+    #[test]
+    fn snapshots_survive_subsequent_whole_buffer_writes() {
+        let mut mem = DeviceMemory::new(1 << 10);
+        let buf = mem.alloc(3).expect("alloc");
+        mem.write(buf, 0, &Payload::Data(vec![7, 8, 9].into()))
+            .expect("write 1");
+        let snap = mem.read(buf, 0, 3).expect("snapshot");
+        mem.write(buf, 0, &Payload::Data(vec![0, 0, 0].into()))
+            .expect("write 2");
+        assert_eq!(snap, Payload::Data(vec![7, 8, 9].into()));
+        assert_eq!(
+            mem.read(buf, 0, 3).expect("read"),
+            Payload::Data(vec![0, 0, 0].into())
+        );
     }
 }

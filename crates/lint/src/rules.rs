@@ -1,4 +1,4 @@
-//! The six conformance rules.
+//! The seven conformance rules.
 //!
 //! Each rule walks the masked view produced by [`crate::scan`] and emits
 //! [`Diagnostic`]s. Sites can be exempted with a justified directive:
@@ -24,6 +24,7 @@ pub const RULES: &[&str] = &[
     "lock_order",
     "wildcard_match",
     "unbounded_channel",
+    "payload_copy",
     "directive",
 ];
 
@@ -33,6 +34,20 @@ pub const STATUS_ENUMS: &[&str] = &["MachineState", "EventStatus"];
 
 /// The one file allowed to read the host's clocks.
 pub const CLOCK_MODULE: &str = "crates/model/src/clock.rs";
+
+/// Datapath modules where payload bytes are refcounted `Bytes` end-to-end:
+/// any byte copy here must be deliberate and justified.
+pub const DATAPATH_MODULES: &[&str] = &[
+    "crates/rpc/src/codec.rs",
+    "crates/rpc/src/shm.rs",
+    "crates/devmgr/src/session.rs",
+    "crates/devmgr/src/task.rs",
+    "crates/devmgr/src/worker.rs",
+    "crates/fpga/src/memory.rs",
+];
+
+/// Receiver identifiers that hold payload bytes by workspace convention.
+const PAYLOAD_IDENTS: &[&str] = &["payload", "data", "bytes", "body", "raw", "frame"];
 
 /// One finding, pointing at a workspace-relative file and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,6 +177,7 @@ pub fn check_file(file: &SourceFile, lock_hierarchy: &[&str], out: &mut Vec<Diag
     rule_lock_order(file, lock_hierarchy, &allows, out);
     rule_wildcard_match(file, &allows, out);
     rule_unbounded_channel(file, &allows, out);
+    rule_payload_copy(file, &allows, out);
 }
 
 /// Rule `panic`: no `.unwrap()` / `.expect(` in non-test code.
@@ -341,6 +357,47 @@ fn rule_unbounded_channel(file: &SourceFile, allows: &Allows, out: &mut Vec<Diag
                       `bounded(depth)` so overload surfaces as backpressure, or \
                       justify with `// bf-lint: allow(unbounded_channel): ...`"
                 .to_string(),
+        });
+    }
+}
+
+/// Rule `payload_copy`: inside [`DATAPATH_MODULES`] the payload travels as
+/// refcounted `Bytes` — `.to_vec()` (always a byte copy) and `.clone()` on
+/// a payload-named receiver are flagged so every copy on the hot path is a
+/// conscious, justified decision. Copies that must stay (e.g. copy-on-write
+/// materialization) carry an allow directive and call
+/// `bf_metrics::record_memcpy` so the datapath benchmark accounts for them.
+fn rule_payload_copy(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    if !DATAPATH_MODULES.contains(&file.path.as_str()) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let hit = if code.contains(".to_vec()") {
+            Some(".to_vec()")
+        } else {
+            find_all(code, ".clone()")
+                .into_iter()
+                .find(|&pos| ident_before(code, pos).is_some_and(|id| PAYLOAD_IDENTS.contains(&id)))
+                .map(|_| ".clone() on a payload value")
+        };
+        let Some(what) = hit else { continue };
+        if allows.permits(idx + 1, "payload_copy") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "payload_copy",
+            file: file.path.clone(),
+            line: idx + 1,
+            message: format!(
+                "{what} in a datapath module: pass `Bytes`/`Payload` slices or \
+                 `share()` the buffer; a deliberate copy must call \
+                 `bf_metrics::record_memcpy` and justify with \
+                 `// bf-lint: allow(payload_copy): ...`"
+            ),
         });
     }
 }
@@ -702,6 +759,49 @@ mod tests {
         assert!(check(in_test).is_empty(), "{:?}", check(in_test));
         let allowed = "fn f() {\n // bf-lint: allow(unbounded_channel): cold control path\n let (tx, rx) = unbounded();\n}\n";
         assert!(check(allowed).is_empty(), "{:?}", check(allowed));
+    }
+
+    fn check_datapath(src: &str) -> Vec<Diagnostic> {
+        let file = parse("crates/rpc/src/shm.rs", src, false);
+        let mut out = Vec::new();
+        check_file(&file, &["outer", "inner"], &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_to_vec_in_datapath_modules_only() {
+        let src = "fn f(raw: &[u8]) -> Vec<u8> { raw.to_vec() }\n";
+        let out = check_datapath(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "payload_copy");
+        assert_eq!(out[0].line, 1);
+        // The same code outside the datapath module list is fine.
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn flags_clone_on_payload_named_receivers_only() {
+        let out = check_datapath("fn f() { queue_op(data.clone()); }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "payload_copy");
+        // Non-payload receivers (e.g. a metadata string) are untouched.
+        assert!(check_datapath("fn f() { let n = name.clone(); }\n").is_empty());
+    }
+
+    #[test]
+    fn payload_copies_are_allowed_in_tests_and_with_directives() {
+        let in_test = "#[cfg(test)]\nmod tests {\n fn t() { let v = bytes.to_vec(); }\n}\n";
+        assert!(
+            check_datapath(in_test).is_empty(),
+            "{:?}",
+            check_datapath(in_test)
+        );
+        let allowed = "fn f() {\n // bf-lint: allow(payload_copy): CoW materialization, counted\n let v = bytes.to_vec();\n}\n";
+        assert!(
+            check_datapath(allowed).is_empty(),
+            "{:?}",
+            check_datapath(allowed)
+        );
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Global datapath copy accounting.
+//!
+//! Every host-side memcpy of *payload* bytes (codec encode/decode, shm
+//! segment traffic, device-memory materialization, copy-on-write breaks)
+//! reports here, making "how many bytes did one round trip actually
+//! copy?" an observable instead of a code-review guess. The counters are
+//! process-wide atomics: cheap enough for the hot path, and the datapath
+//! benchmark reads deltas around a measured operation.
+//!
+//! Only real `memcpy`s of payload bytes count — refcount bumps, moves,
+//! and zero-fill allocations do not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+static MEMCPY_BYTES: AtomicU64 = AtomicU64::new(0);
+static MEMCPY_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the process-wide copy counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CopyCounters {
+    /// Total payload bytes memcpy'd since process start.
+    pub bytes: u64,
+    /// Number of distinct memcpy operations.
+    pub ops: u64,
+}
+
+impl CopyCounters {
+    /// Counter movement since an earlier snapshot.
+    pub fn since(self, earlier: CopyCounters) -> CopyCounters {
+        CopyCounters {
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            ops: self.ops.saturating_sub(earlier.ops),
+        }
+    }
+}
+
+/// Records one memcpy of `bytes` payload bytes.
+pub fn record_memcpy(bytes: u64) {
+    MEMCPY_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    MEMCPY_OPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads the current counters.
+pub fn copy_counters() -> CopyCounters {
+    CopyCounters {
+        bytes: MEMCPY_BYTES.load(Ordering::Relaxed),
+        ops: MEMCPY_OPS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let before = copy_counters();
+        record_memcpy(100);
+        record_memcpy(28);
+        let delta = copy_counters().since(before);
+        // Other tests in the same process may also record; lower-bound only.
+        assert!(delta.bytes >= 128, "delta {delta:?}");
+        assert!(delta.ops >= 2, "delta {delta:?}");
+    }
+}

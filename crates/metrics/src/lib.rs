@@ -10,7 +10,11 @@
 //!   series and the Prometheus *text exposition format* ([`MetricsRegistry::scrape`]);
 //! * [`BusyTracker`] implementing the paper's definition of FPGA time
 //!   utilization ("time spent computing OpenCL calls in a given amount of
-//!   time"), with per-tenant attribution.
+//!   time"), with per-tenant attribution;
+//! * global datapath copy accounting ([`record_memcpy`] /
+//!   [`copy_counters`]): every host-side memcpy of payload bytes reports
+//!   here, so the datapath benchmark can measure bytes-copied-per-round-trip
+//!   as a hard number.
 //!
 //! ```
 //! use bf_metrics::{BusyTracker, MetricsRegistry};
@@ -24,9 +28,11 @@
 //! assert!(registry.scrape().contains("bf_fpga_utilization"));
 //! ```
 
+mod copybytes;
 mod core;
 mod utilization;
 
+pub use crate::copybytes::{copy_counters, record_memcpy, CopyCounters};
 pub use crate::core::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
 pub use crate::utilization::{BusyInterval, BusyTracker};
 

@@ -371,8 +371,8 @@ mod tests {
     fn payload_round_trip() {
         let e = Event::new(CommandType::ReadBuffer, t(0));
         assert!(e.take_payload().is_err(), "no payload before completion");
-        e.complete(t(0), t(1), Some(Payload::Data(vec![1, 2])));
-        assert_eq!(e.take_payload(), Ok(Payload::Data(vec![1, 2])));
+        e.complete(t(0), t(1), Some(Payload::Data(vec![1, 2].into())));
+        assert_eq!(e.take_payload(), Ok(Payload::Data(vec![1, 2].into())));
         assert!(e.take_payload().is_err(), "payload can only be taken once");
     }
 

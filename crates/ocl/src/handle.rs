@@ -345,7 +345,10 @@ impl Queue {
             .enqueue_read(self.id, buffer.mem_id(), 0, buffer.len(), true)?;
         ev.wait()?;
         match ev.take_payload()? {
-            Payload::Data(d) => Ok(d),
+            // `into_vec` recovers the buffer in place when this event holds
+            // the sole reference; a view still shared with the datapath is
+            // copied out (the client-boundary copy, reported to accounting).
+            payload @ Payload::Data(_) => Ok(payload.into_vec().unwrap_or_default()),
             Payload::Synthetic(_) => Err(ClError::InvalidOperation(
                 "buffer holds no materialized data (timing-only run)".to_string(),
             )),

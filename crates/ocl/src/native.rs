@@ -499,7 +499,7 @@ mod tests {
         let kernel = be.create_kernel(prog, "double").expect("kernel");
         let buf = be.create_buffer(ctx, 4).expect("buffer");
         let q = be.create_queue(ctx).expect("queue");
-        be.enqueue_write(q, buf, 0, Payload::Data(vec![1, 2, 3, 4]), true)
+        be.enqueue_write(q, buf, 0, Payload::Data(vec![1, 2, 3, 4].into()), true)
             .expect("write");
         be.set_kernel_arg(kernel, 0, ArgValue::Buffer(buf))
             .expect("arg");
@@ -509,7 +509,7 @@ mod tests {
         let ev = be.enqueue_read(q, buf, 0, 4, true).expect("read");
         assert_eq!(
             ev.take_payload().expect("payload"),
-            Payload::Data(vec![2, 4, 6, 8])
+            Payload::Data(vec![2, 4, 6, 8].into())
         );
     }
 

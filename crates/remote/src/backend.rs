@@ -165,14 +165,16 @@ impl RemoteBackend {
         let (data, region) = match (self.conn.shm(), payload) {
             (Some(shm), Payload::Data(bytes)) => match shm.alloc(len) {
                 Ok(offset) => {
-                    shm.write(offset, &bytes)
+                    // Adopt the client's refcounted buffer into the
+                    // region — no copy on the shm path.
+                    shm.write_bytes(offset, bytes)
                         .map_err(|e| ClError::TransportFailure(e.to_string()))?;
                     (DataRef::Shm { offset, len }, Some(offset))
                 }
                 // Segment exhausted: degrade to the inline path.
-                Err(_) => (DataRef::Inline(bytes), None),
+                Err(_) => (DataRef::Inline(bytes.into()), None),
             },
-            (_, Payload::Data(bytes)) => (DataRef::Inline(bytes), None),
+            (_, Payload::Data(bytes)) => (DataRef::Inline(bytes.into()), None),
             (_, Payload::Synthetic(n)) => (DataRef::Synthetic(n), None),
         };
         Ok((data, region, ready))

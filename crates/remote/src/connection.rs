@@ -284,7 +284,9 @@ fn advance_op(inner: &Arc<ConnectionInner>, op: &mut OpPending, resp: ResponseEn
                 Some(DataRef::Inline(bytes)) => {
                     op.machine.on_buffer();
                     observed += inner.costs.inbound_payload_cost(bytes.len() as u64);
-                    Some(Payload::Data(bytes))
+                    // The payload moves through as a refcounted view of
+                    // the response frame — no copy.
+                    Some(Payload::Data(bytes.into_bytes()))
                 }
                 Some(DataRef::Shm { offset, len }) => {
                     op.machine.on_buffer();

@@ -212,13 +212,19 @@ impl WireDecode for String {
             return Err(CodecError::UnexpectedEof);
         }
         let raw = buf.split_to(len);
-        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadUtf8)
+        // Validate on the borrowed slice first so invalid UTF-8 never
+        // pays for an intermediate Vec.
+        match std::str::from_utf8(raw.as_ref()) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => Err(CodecError::BadUtf8),
+        }
     }
 }
 
 impl WireEncode for Vec<u8> {
     fn encode(&self, buf: &mut BytesMut) {
         put_varint(buf, self.len() as u64);
+        bf_metrics::record_memcpy(self.len() as u64);
         buf.put_slice(self);
     }
 }
@@ -229,6 +235,9 @@ impl WireDecode for Vec<u8> {
         if buf.remaining() < len {
             return Err(CodecError::UnexpectedEof);
         }
+        bf_metrics::record_memcpy(len as u64);
+        // bf-lint: allow(payload_copy): the legacy owned-Vec decode path —
+        // zero-copy consumers decode `Payload` instead; this copy is counted.
         Ok(buf.split_to(len).to_vec())
     }
 }

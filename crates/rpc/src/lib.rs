@@ -44,6 +44,7 @@
 
 pub mod codec;
 mod costs;
+mod payload;
 mod poller;
 mod proto;
 mod shm;
@@ -51,6 +52,7 @@ mod transport;
 
 pub use codec::{CodecError, WireDecode, WireEncode};
 pub use costs::PathCosts;
+pub use payload::Payload;
 pub use poller::{PollEvent, Poller, Token, Waker};
 pub use proto::{
     ClientId, DataRef, ErrorCode, Request, RequestEnvelope, Response, ResponseEnvelope, WireArg,
@@ -83,7 +85,7 @@ mod proptests {
 
     fn arb_dataref() -> impl Strategy<Value = DataRef> {
         prop_oneof![
-            arb_payload().prop_map(DataRef::Inline),
+            arb_payload().prop_map(|v| DataRef::Inline(v.into())),
             (any::<u64>(), any::<u64>()).prop_map(|(offset, len)| DataRef::Shm { offset, len }),
             any::<u64>().prop_map(DataRef::Synthetic),
         ]
@@ -244,6 +246,36 @@ mod proptests {
             };
             let decoded = ResponseEnvelope::from_bytes(env.to_bytes()).expect("decode");
             prop_assert_eq!(decoded, env);
+        }
+
+        /// The refcounted `Payload` wire format is byte-identical to the
+        /// legacy owned-`Vec<u8>` path: same frames on the wire, same
+        /// values decoded back, for every payload shape.
+        #[test]
+        fn payload_wire_encoding_matches_the_vec_path(
+            data in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let legacy = data.to_bytes();
+            let frame = Payload::from(data.clone()).to_bytes();
+            prop_assert_eq!(&frame, &legacy);
+            let via_vec = Vec::<u8>::from_bytes(frame.clone()).expect("vec decode");
+            let via_payload = Payload::from_bytes(frame).expect("payload decode");
+            prop_assert_eq!(&via_vec, &data);
+            prop_assert_eq!(via_payload, data);
+        }
+
+        /// Inline `DataRef` frames carry the exact bytes the pre-refcount
+        /// encoding produced: discriminant 0 followed by the Vec encoding.
+        #[test]
+        fn inline_dataref_matches_the_legacy_frame_layout(
+            data in proptest::collection::vec(any::<u8>(), 0..1024),
+        ) {
+            use bytes::BufMut;
+            let mut legacy = bytes::BytesMut::new();
+            legacy.put_u8(0);
+            data.encode(&mut legacy);
+            let frame = DataRef::Inline(data.into()).to_bytes();
+            prop_assert_eq!(frame, legacy.freeze());
         }
 
         /// Decoding arbitrary garbage never panics.

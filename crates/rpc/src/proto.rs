@@ -18,6 +18,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use bf_model::VirtualTime;
 
 use crate::codec::{get_varint, put_varint, CodecError, WireDecode, WireEncode};
+use crate::payload::Payload;
 
 /// Identifies one client (function instance) session on a Device Manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -32,8 +33,9 @@ impl std::fmt::Display for ClientId {
 /// How a bulk payload travels.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DataRef {
-    /// Inline in the message (the gRPC data path).
-    Inline(Vec<u8>),
+    /// Inline in the message (the gRPC data path). The payload is a
+    /// refcounted buffer, so passing it down the datapath never copies.
+    Inline(Payload),
     /// A region of the client's shared-memory segment.
     Shm {
         /// Byte offset inside the segment.
@@ -57,6 +59,13 @@ impl DataRef {
     /// Whether the payload is zero bytes.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Takes another reference to the payload: a refcount bump for inline
+    /// data; `Shm` / `Synthetic` references are plain metadata. Never a
+    /// byte copy.
+    pub fn share(&self) -> DataRef {
+        self.clone()
     }
 }
 
@@ -328,7 +337,7 @@ impl WireDecode for DataRef {
             return Err(CodecError::UnexpectedEof);
         }
         match buf.get_u8() {
-            0 => Ok(DataRef::Inline(Vec::<u8>::decode(buf)?)),
+            0 => Ok(DataRef::Inline(Payload::decode(buf)?)),
             1 => Ok(DataRef::Shm {
                 offset: get_varint(buf)?,
                 len: get_varint(buf)?,
@@ -777,7 +786,7 @@ mod tests {
             queue: 1,
             buffer: 2,
             offset: 0,
-            data: DataRef::Inline(vec![1, 2, 3]),
+            data: DataRef::Inline(vec![1, 2, 3].into()),
         });
         round_trip_req(Request::EnqueueWrite {
             queue: 1,
@@ -872,13 +881,13 @@ mod tests {
             queue: 1,
             buffer: 2,
             offset: 0,
-            data: DataRef::Inline(vec![0; 16]),
+            data: DataRef::Inline(vec![0; 16].into()),
         };
         let big = Request::EnqueueWrite {
             queue: 1,
             buffer: 2,
             offset: 0,
-            data: DataRef::Inline(vec![0; 1 << 16]),
+            data: DataRef::Inline(vec![0; 1 << 16].into()),
         };
         assert!(big.encoded_len() > small.encoded_len() + (1 << 15));
         // A shm reference stays tiny no matter the payload size.

@@ -6,11 +6,20 @@
 //! copies "from four to one" (§III-B). The segment is a first-fit
 //! allocator over one backing region; the retained single copy is charged
 //! by the caller through [`bf_model::MemcpyModel`].
+//!
+//! Region contents are refcounted [`Bytes`] buffers keyed by region
+//! offset: [`ShmSegment::write_bytes`] adopts a caller's buffer without
+//! copying, and [`ShmSegment::read`] returns a zero-copy snapshot that
+//! stays valid even after the region is freed and reused. Only
+//! [`ShmSegment::write`] from a borrowed slice performs (and reports to
+//! [`bf_metrics::record_memcpy`]) a real copy.
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 /// Errors raised by the shared-memory segment.
@@ -62,8 +71,12 @@ struct Region {
 
 #[derive(Debug)]
 struct ShmInner {
-    data: Vec<u8>,
+    capacity: u64,
     regions: Vec<Region>,
+    /// Contents of written regions, keyed by region start offset. Reads
+    /// hand out refcounted views of these buffers, so no backing array is
+    /// ever materialized for the whole segment.
+    contents: HashMap<u64, Bytes>,
 }
 
 /// An in-process stand-in for a POSIX shared-memory segment shared between
@@ -93,19 +106,20 @@ impl ShmSegment {
     pub fn new(capacity: u64) -> Self {
         ShmSegment {
             inner: Arc::new(Mutex::new(ShmInner {
-                data: vec![0; capacity as usize],
+                capacity,
                 regions: vec![Region {
                     offset: 0,
                     len: capacity,
                     free: true,
                 }],
+                contents: HashMap::new(),
             })),
         }
     }
 
     /// Segment capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.inner.lock().data.len() as u64
+        self.inner.lock().capacity
     }
 
     /// Currently allocated bytes.
@@ -149,6 +163,7 @@ impl ShmSegment {
                         },
                     );
                 }
+                inner.contents.remove(&offset);
                 Ok(offset)
             }
             None => {
@@ -168,6 +183,7 @@ impl ShmSegment {
     }
 
     /// Frees the region at `offset`, coalescing adjacent free regions.
+    /// Snapshots handed out by [`ShmSegment::read`] stay valid.
     ///
     /// # Errors
     ///
@@ -181,6 +197,7 @@ impl ShmSegment {
             .position(|r| !r.free && r.offset == offset)
             .ok_or(ShmError::BadRegion(offset))?;
         inner.regions[idx].free = true;
+        inner.contents.remove(&offset);
         // Coalesce with the right neighbour, then the left one.
         if idx + 1 < inner.regions.len() && inner.regions[idx + 1].free {
             inner.regions[idx].len += inner.regions[idx + 1].len;
@@ -193,35 +210,73 @@ impl ShmSegment {
         Ok(())
     }
 
-    /// Writes `data` at the start of the region at `offset`.
+    fn check_write(inner: &ShmInner, offset: u64, len: u64) -> Result<(), ShmError> {
+        let region = inner
+            .regions
+            .iter()
+            .find(|r| !r.free && r.offset == offset)
+            .ok_or(ShmError::BadRegion(offset))?;
+        if len > region.len {
+            return Err(ShmError::OutOfBounds {
+                region: region.offset,
+                offset,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at the start of the region at `offset`, copying the
+    /// borrowed bytes (the shm path's one retained copy; reported to
+    /// [`bf_metrics::record_memcpy`]). When the buffer is already
+    /// refcounted, prefer [`ShmSegment::write_bytes`].
     ///
     /// # Errors
     ///
     /// Returns [`ShmError::BadRegion`] / [`ShmError::OutOfBounds`].
     pub fn write(&self, offset: u64, data: &[u8]) -> Result<(), ShmError> {
-        let mut inner = self.inner.lock();
-        let region = *inner
-            .regions
-            .iter()
-            .find(|r| !r.free && r.offset == offset)
-            .ok_or(ShmError::BadRegion(offset))?;
-        if (data.len() as u64) > region.len {
-            return Err(ShmError::OutOfBounds {
-                region: region.offset,
-                offset,
-                len: data.len() as u64,
-            });
-        }
-        inner.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
-        Ok(())
+        bf_metrics::record_memcpy(data.len() as u64);
+        self.store(offset, Bytes::from(data))
     }
 
-    /// Reads `len` bytes from the start of the region at `offset`.
+    /// Adopts a refcounted buffer as the contents of the region at
+    /// `offset` without copying.
     ///
     /// # Errors
     ///
     /// Returns [`ShmError::BadRegion`] / [`ShmError::OutOfBounds`].
-    pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>, ShmError> {
+    pub fn write_bytes(&self, offset: u64, data: Bytes) -> Result<(), ShmError> {
+        self.store(offset, data)
+    }
+
+    fn store(&self, offset: u64, data: Bytes) -> Result<(), ShmError> {
+        let mut inner = self.inner.lock();
+        Self::check_write(&inner, offset, data.len() as u64)?;
+        let merged = match inner.contents.remove(&offset) {
+            // A previous longer write must keep its tail visible, exactly
+            // as overlapping writes behaved on the flat backing array.
+            Some(old) if old.len() > data.len() => {
+                // bf-lint: allow(payload_copy): overlapping-write merge —
+                // both buffers may be aliased elsewhere; counted below.
+                let mut v = data.to_vec();
+                bf_metrics::record_memcpy(old.len() as u64);
+                v.extend_from_slice(&old[data.len()..]);
+                Bytes::from(v)
+            }
+            _ => data,
+        };
+        inner.contents.insert(offset, merged);
+        Ok(())
+    }
+
+    /// Reads `len` bytes from the start of the region at `offset` as a
+    /// zero-copy snapshot. Bytes past what was written read as zeros
+    /// (zero-extension is the one case that allocates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadRegion`] / [`ShmError::OutOfBounds`].
+    pub fn read(&self, offset: u64, len: u64) -> Result<Bytes, ShmError> {
         let inner = self.inner.lock();
         let region = *inner
             .regions
@@ -235,7 +290,19 @@ impl ShmSegment {
                 len,
             });
         }
-        Ok(inner.data[offset as usize..(offset + len) as usize].to_vec())
+        Ok(match inner.contents.get(&offset) {
+            Some(content) if len as usize <= content.len() => content.slice(0..len as usize),
+            Some(content) => {
+                // Zero-extend past the written prefix.
+                bf_metrics::record_memcpy(content.len() as u64);
+                // bf-lint: allow(payload_copy): the snapshot must be longer
+                // than the written content — a counted copy is unavoidable.
+                let mut v = content.to_vec();
+                v.resize(len as usize, 0);
+                Bytes::from(v)
+            }
+            None => Bytes::from(vec![0; len as usize]),
+        })
     }
 }
 
@@ -250,7 +317,7 @@ mod tests {
         let b = shm.alloc(200).expect("alloc b");
         assert_ne!(a, b);
         shm.write(b, b"hello").expect("write");
-        assert_eq!(shm.read(b, 5).expect("read"), b"hello");
+        assert_eq!(shm.read(b, 5).expect("read"), b"hello"[..]);
         assert_eq!(shm.used(), 300);
         shm.free(a).expect("free a");
         shm.free(b).expect("free b");
@@ -298,5 +365,49 @@ mod tests {
         let a = shm.alloc(8).expect("a");
         other.write(a, &[7; 8]).expect("write via clone");
         assert_eq!(shm.read(a, 8).expect("read"), vec![7; 8]);
+    }
+
+    #[test]
+    fn adopting_a_buffer_does_not_copy() {
+        let shm = ShmSegment::new(1024);
+        let a = shm.alloc(64).expect("a");
+        let payload = Bytes::from(vec![3u8; 64]);
+        let before = bf_metrics::copy_counters();
+        shm.write_bytes(a, payload.clone()).expect("adopt");
+        let view = shm.read(a, 64).expect("read");
+        let delta = bf_metrics::copy_counters().since(before);
+        assert_eq!(view, payload);
+        assert_eq!(delta.bytes, 0, "adopt + read must be zero-copy");
+    }
+
+    #[test]
+    fn snapshots_survive_free_and_reuse() {
+        let shm = ShmSegment::new(16);
+        let a = shm.alloc(16).expect("a");
+        shm.write(a, &[1; 16]).expect("write");
+        let snapshot = shm.read(a, 16).expect("read");
+        shm.free(a).expect("free");
+        let b = shm.alloc(16).expect("reuse");
+        shm.write(b, &[2; 16]).expect("overwrite");
+        assert_eq!(snapshot, vec![1; 16], "snapshot outlives region reuse");
+        assert_eq!(shm.read(b, 16).expect("read"), vec![2; 16]);
+    }
+
+    #[test]
+    fn unwritten_and_partially_written_regions_read_as_zeros() {
+        let shm = ShmSegment::new(64);
+        let a = shm.alloc(8).expect("a");
+        assert_eq!(shm.read(a, 8).expect("fresh read"), vec![0; 8]);
+        shm.write(a, &[9, 9]).expect("short write");
+        assert_eq!(
+            shm.read(a, 8).expect("zero-extended read"),
+            vec![9, 9, 0, 0, 0, 0, 0, 0]
+        );
+        // A shorter overwrite keeps the longer previous write's tail.
+        shm.write(a, &[5]).expect("shorter overwrite");
+        assert_eq!(
+            shm.read(a, 8).expect("merged read"),
+            vec![5, 9, 0, 0, 0, 0, 0, 0]
+        );
     }
 }

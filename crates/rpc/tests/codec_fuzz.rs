@@ -10,8 +10,8 @@
 
 use bf_model::VirtualTime;
 use bf_rpc::{
-    ClientId, DataRef, ErrorCode, Request, RequestEnvelope, Response, ResponseEnvelope, WireArg,
-    WireDecode, WireEncode,
+    ClientId, DataRef, ErrorCode, Payload, Request, RequestEnvelope, Response, ResponseEnvelope,
+    WireArg, WireDecode, WireEncode,
 };
 use bytes::Bytes;
 
@@ -72,13 +72,13 @@ fn request_corpus() -> Vec<RequestEnvelope> {
             queue: 5,
             buffer: 9,
             offset: 0,
-            data: DataRef::Inline(Vec::new()),
+            data: DataRef::Inline(Payload::new()),
         },
         Request::EnqueueWrite {
             queue: 5,
             buffer: 9,
             offset: 7,
-            data: DataRef::Inline(vec![0xAB]),
+            data: DataRef::Inline(vec![0xAB].into()),
         },
         Request::EnqueueWrite {
             queue: 5,
@@ -172,7 +172,7 @@ fn response_corpus() -> Vec<ResponseEnvelope> {
         Response::Completed {
             started_at: VirtualTime::ZERO,
             ended_at: VirtualTime::ZERO,
-            data: Some(DataRef::Inline(vec![0x5A; 64])),
+            data: Some(DataRef::Inline(vec![0x5A; 64].into())),
         },
         Response::Completed {
             started_at: VirtualTime::from_nanos(1),
@@ -288,7 +288,7 @@ fn oversized_inline_payloads_survive_the_wire() {
             queue: 5,
             buffer: 9,
             offset: 0,
-            data: DataRef::Inline(payload.clone()),
+            data: DataRef::Inline(payload.clone().into()),
         },
     };
     let wire = env.to_bytes();

@@ -318,13 +318,21 @@ impl CnnNetwork {
     pub fn reference_forward(&self, input: &[f32]) -> Vec<f32> {
         let (c, h, w) = self.input;
         assert_eq!(input.len(), (c * h * w) as usize, "input shape mismatch");
-        let mut cur = input.to_vec();
+        // Double-buffered: each layer reads the front buffer (the raw
+        // input on layer 0 — no up-front copy) and writes into the back
+        // buffer, then the pair swaps. Two allocations amortized over the
+        // whole pass instead of a fresh activation buffer per layer.
+        let shapes = self.shapes();
+        let mut front = Vec::new();
+        let mut back = Vec::new();
         let mut cur_shape = self.input;
         for (idx, layer) in self.layers.iter().enumerate() {
-            cur = forward_layer(layer, idx, &cur, cur_shape);
-            cur_shape = self.shapes()[idx];
+            let src: &[f32] = if idx == 0 { input } else { &front };
+            forward_layer_into(layer, idx, src, cur_shape, &mut back);
+            std::mem::swap(&mut front, &mut back);
+            cur_shape = shapes[idx];
         }
-        cur
+        front
     }
 
     /// Builds the PipeCNN bitstream: one fused per-layer kernel
@@ -393,8 +401,17 @@ fn weight(seed: u64) -> f32 {
 }
 
 fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<f32> {
+    let mut out = Vec::new();
+    forward_layer_into(layer, idx, input, shape, &mut out);
+    out
+}
+
+/// Runs one layer, writing the activations into `out` (cleared and resized
+/// in place so a caller can reuse the same buffer across layers).
+fn forward_layer_into(layer: &Layer, idx: usize, input: &[f32], shape: Shape, out: &mut Vec<f32>) {
     let (ic, ih, iw) = (shape.0 as usize, shape.1 as usize, shape.2 as usize);
     let lseed = (idx as u64) << 48;
+    out.clear();
     match *layer {
         Layer::Conv {
             out_ch,
@@ -414,7 +431,7 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
             let ow = (iw + 2 * p - k) / s + 1;
             let icg = ic / g;
             let ocg = oc / g;
-            let mut out = vec![0.0f32; oc * oh * ow];
+            out.resize(oc * oh * ow, 0.0);
             for o in 0..oc {
                 let group = o / ocg;
                 for oy in 0..oh {
@@ -447,13 +464,12 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
                     }
                 }
             }
-            out
         }
         Layer::Pool { kernel, stride } => {
             let (k, s) = (kernel as usize, stride as usize);
             let oh = (ih - k) / s + 1;
             let ow = (iw - k) / s + 1;
-            let mut out = vec![0.0f32; ic * oh * ow];
+            out.resize(ic * oh * ow, 0.0);
             for c in 0..ic {
                 for oy in 0..oh {
                     for ox in 0..ow {
@@ -468,13 +484,12 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
                     }
                 }
             }
-            out
         }
         Layer::Lrn => {
             // Across-channel LRN with AlexNet's standard parameters.
             let (alpha, beta, n) = (1e-4f32, 0.75f32, 5usize);
             let hw = ih * iw;
-            let mut out = vec![0.0f32; input.len()];
+            out.resize(input.len(), 0.0);
             for c in 0..ic {
                 let lo = c.saturating_sub(n / 2);
                 let hi = (c + n / 2).min(ic - 1);
@@ -487,11 +502,10 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
                     out[c * hw + i] = input[c * hw + i] / (1.0 + alpha / n as f32 * sum).powf(beta);
                 }
             }
-            out
         }
         Layer::Fc { out_dim, relu } => {
             let in_dim = ic * ih * iw;
-            let mut out = vec![0.0f32; out_dim as usize];
+            out.resize(out_dim as usize, 0.0);
             for (o, slot) in out.iter_mut().enumerate() {
                 let mut acc = weight(lseed | (o as u64) << 24 | 0xB1A5);
                 for (i, v) in input.iter().enumerate().take(in_dim) {
@@ -499,7 +513,6 @@ fn forward_layer(layer: &Layer, idx: usize, input: &[f32], shape: Shape) -> Vec<
                 }
                 *slot = if relu { acc.max(0.0) } else { acc };
             }
-            out
         }
     }
 }
@@ -612,6 +625,22 @@ mod tests {
         assert_eq!(out1.len(), 10);
         assert!(out1.iter().all(|v| v.is_finite()));
         assert!(out1.iter().any(|v| *v != 0.0), "non-degenerate output");
+    }
+
+    #[test]
+    fn double_buffered_forward_matches_per_layer_allocation() {
+        let net = CnnNetwork::tiny();
+        let input: Vec<f32> = (0..net.input_bytes() / 4)
+            .map(|i| ((i * 7) % 23) as f32 / 22.0 - 0.5)
+            .collect();
+        // Reference: the straightforward fresh-buffer-per-layer pass.
+        let mut cur = input.clone();
+        let mut shape = net.input;
+        for (idx, layer) in net.layers.iter().enumerate() {
+            cur = forward_layer(layer, idx, &cur, shape);
+            shape = net.shapes()[idx];
+        }
+        assert_eq!(net.reference_forward(&input), cur);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! This runs the same engine as `cargo run -p bf-lint` in-process, so a
 //! plain `cargo test` fails with file:line diagnostics whenever a crate
 //! reintroduces a panic site, an `std::sync` lock, a wall-clock read, a
-//! lock-order inversion, a wildcard arm on a protocol enum, or an
-//! unbounded channel on the hot path.
+//! lock-order inversion, a wildcard arm on a protocol enum, an unbounded
+//! channel on the hot path, or an unjustified payload byte copy in a
+//! datapath module.
 
 use bf_lint::{check_source, run, LOCK_HIERARCHY, RULES};
 
@@ -77,6 +78,41 @@ fn unbounded_channel_rule_respects_the_allowlist() {
         check_source("crates/x/tests/harness.rs", test_path).is_empty(),
         "tests/ paths are exempt"
     );
+}
+
+/// Fixture battery for the `payload_copy` rule: copies on the zero-copy
+/// datapath must be deliberate, counted, and justified.
+#[test]
+fn payload_copy_rule_fires_in_datapath_modules() {
+    assert!(RULES.contains(&"payload_copy"));
+    let fixture = "pub fn stage(payload: &Payload) -> Vec<u8> {\n    \
+                   payload.to_vec()\n}\n";
+    let out = check_source("crates/rpc/src/codec.rs", fixture);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, "payload_copy");
+    assert_eq!(out[0].line, 2);
+    // Clones of payload-named values fire too — a hidden deep copy before
+    // the buffers became refcounted.
+    let clone = "pub fn enqueue(data: &DataRef) {\n    push(data.clone());\n}\n";
+    let out = check_source("crates/devmgr/src/session.rs", clone);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, "payload_copy");
+}
+
+#[test]
+fn payload_copy_rule_scopes_and_allowlist() {
+    // The same code outside the datapath module list is untouched.
+    let fixture = "pub fn stage(payload: &Payload) -> Vec<u8> {\n    \
+                   payload.to_vec()\n}\n";
+    assert!(check_source("crates/x/src/lib.rs", fixture).is_empty());
+    // A justified directive exempts a deliberate, counted copy.
+    let justified = "pub fn cow(bytes: &Bytes) -> Vec<u8> {\n    \
+                     // bf-lint: allow(payload_copy): copy-on-write, counted\n    \
+                     bytes.to_vec()\n}\n";
+    assert!(check_source("crates/fpga/src/memory.rs", justified).is_empty());
+    // Refcount bumps are the sanctioned alias form.
+    let shared = "pub fn enqueue(data: &DataRef) {\n    push(data.share());\n}\n";
+    assert!(check_source("crates/devmgr/src/session.rs", shared).is_empty());
 }
 
 #[test]

@@ -162,6 +162,12 @@ impl Bytes {
         Bytes::from(bytes.to_vec())
     }
 
+    /// Takes another reference to the same bytes — an alias for `clone`
+    /// that reads as a refcount bump, never a byte copy.
+    pub fn share(&self) -> Bytes {
+        self.clone()
+    }
+
     /// Number of readable bytes.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -215,6 +221,31 @@ impl Bytes {
     /// Copies the readable window into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
+    }
+
+    /// Recovers the backing `Vec` without copying when this handle is the
+    /// sole owner and its window spans the whole allocation; otherwise
+    /// returns `self` back so the caller can fall back to a counted copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the storage is shared or the window is a
+    /// strict sub-slice.
+    pub fn try_into_unique_vec(self) -> Result<Vec<u8>, Bytes> {
+        if self.start != 0 || self.end != self.data.len() {
+            return Err(self);
+        }
+        match Arc::try_unwrap(self.data) {
+            Ok(vec) => Ok(vec),
+            Err(data) => {
+                let end = self.end;
+                Err(Bytes {
+                    data,
+                    start: self.start,
+                    end,
+                })
+            }
+        }
     }
 }
 
@@ -282,6 +313,36 @@ impl PartialEq for Bytes {
 }
 
 impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref()
+    }
+}
 
 /// A growable byte buffer for building messages.
 #[derive(Clone, Default, PartialEq, Eq)]
@@ -376,5 +437,23 @@ mod tests {
     fn advance_past_end_panics() {
         let mut bytes = Bytes::from(vec![1]);
         bytes.advance(2);
+    }
+
+    #[test]
+    fn unique_full_window_recovers_the_vec() {
+        let bytes = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(bytes.try_into_unique_vec(), Ok(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn shared_or_sliced_buffers_are_returned_intact() {
+        let bytes = Bytes::from(vec![1, 2, 3]);
+        let other = bytes.clone();
+        let back = bytes.try_into_unique_vec().expect_err("shared");
+        assert_eq!(back, other);
+        drop(other);
+        let sliced = back.slice(1..);
+        let back = sliced.try_into_unique_vec().expect_err("sub-window");
+        assert_eq!(back.as_ref(), &[2, 3]);
     }
 }
