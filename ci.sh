@@ -7,6 +7,11 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+# Workspace lints are deny-level for clippy::unwrap_used (tests exempt via
+# clippy.toml); the full-target pass keeps benches and examples honest too.
+echo "==> cargo clippy"
+cargo clippy -q --workspace --all-targets
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -20,6 +25,13 @@ cargo test -q -p bf-rpc -p bf-devmgr -p bf-remote -- --test-threads=1
 
 echo "==> bf-lint"
 cargo run -q --release -p bf-lint -- --json
+
+# Deterministic schedule exploration: the bounded transport, poller,
+# device-manager event loop, shm, and device-memory cores under the bf-race
+# model scheduler. --nocapture surfaces the explored-schedule count per
+# model so CI logs show the interleaving coverage each run bought.
+echo "==> bf-race model suite (deterministic schedule exploration)"
+cargo test -q -p bf-race --features model -- --nocapture
 
 # Datapath copy-accounting smoke: the small-size ladder must reproduce the
 # archived per-round-trip copy counts exactly (wall-clock is informational;

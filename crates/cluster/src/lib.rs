@@ -158,7 +158,7 @@ struct ClusterInner {
 /// Cloning yields another handle to the same cluster.
 #[derive(Clone)]
 pub struct Cluster {
-    inner: Arc<Mutex<ClusterInner>>,
+    cluster_state: Arc<Mutex<ClusterInner>>,
 }
 
 impl Cluster {
@@ -170,7 +170,7 @@ impl Cluster {
     pub fn new(nodes: Vec<NodeSpec>) -> Self {
         assert!(!nodes.is_empty(), "a cluster needs at least one node");
         Cluster {
-            inner: Arc::new(Mutex::new(ClusterInner {
+            cluster_state: Arc::new(Mutex::new(ClusterInner {
                 nodes,
                 instances: BTreeMap::new(),
                 watchers: Vec::new(),
@@ -183,12 +183,12 @@ impl Cluster {
 
     /// The cluster's nodes.
     pub fn nodes(&self) -> Vec<NodeSpec> {
-        self.inner.lock().nodes.clone()
+        self.cluster_state.lock().nodes.clone()
     }
 
     /// Looks a node up by id.
     pub fn node(&self, id: &NodeId) -> Option<NodeSpec> {
-        self.inner
+        self.cluster_state
             .lock()
             .nodes
             .iter()
@@ -199,7 +199,7 @@ impl Cluster {
     /// Installs the mutating admission hook (the registry's interception
     /// point). Replaces any previous hook.
     pub fn set_admission_hook(&self, hook: AdmissionHook) {
-        self.inner.lock().admission = Some(hook);
+        self.cluster_state.lock().admission = Some(hook);
     }
 
     /// Opens a watch stream; events from now on are delivered in order.
@@ -209,7 +209,7 @@ impl Cluster {
         // and a bounded queue would let one stalled watcher drop or block
         // cluster events for every other consumer.
         let (tx, rx) = unbounded();
-        self.inner.lock().watchers.push(tx);
+        self.cluster_state.lock().watchers.push(tx);
         rx
     }
 
@@ -227,7 +227,7 @@ impl Cluster {
     ) -> Result<InstanceSpec, ClusterError> {
         // Run admission without holding the lock (the hook may call back).
         let (mut spec, hook) = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.cluster_state.lock();
             let id = InstanceId(inner.next_id);
             inner.next_id += 1;
             (
@@ -245,7 +245,7 @@ impl Cluster {
         if let Some(hook) = hook {
             hook(&mut spec).map_err(ClusterError::AdmissionDenied)?;
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.cluster_state.lock();
         match &spec.node {
             Some(node) => {
                 if !inner.nodes.iter().any(|n| n.id() == node) {
@@ -269,7 +269,7 @@ impl Cluster {
     ///
     /// Returns [`ClusterError::UnknownInstance`] if it does not exist.
     pub fn delete_instance(&self, id: InstanceId) -> Result<(), ClusterError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.cluster_state.lock();
         inner
             .instances
             .remove(&id)
@@ -288,7 +288,7 @@ impl Cluster {
         id: InstanceId,
         patch: impl FnOnce(&mut InstanceSpec),
     ) -> Result<InstanceSpec, ClusterError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.cluster_state.lock();
         let spec = inner
             .instances
             .get_mut(&id)
@@ -301,17 +301,22 @@ impl Cluster {
 
     /// Fetches an instance.
     pub fn instance(&self, id: InstanceId) -> Option<InstanceSpec> {
-        self.inner.lock().instances.get(&id).cloned()
+        self.cluster_state.lock().instances.get(&id).cloned()
     }
 
     /// All instances, ordered by id.
     pub fn instances(&self) -> Vec<InstanceSpec> {
-        self.inner.lock().instances.values().cloned().collect()
+        self.cluster_state
+            .lock()
+            .instances
+            .values()
+            .cloned()
+            .collect()
     }
 
     /// Instances scheduled on `node`.
     pub fn instances_on(&self, node: &NodeId) -> Vec<InstanceSpec> {
-        self.inner
+        self.cluster_state
             .lock()
             .instances
             .values()
@@ -344,7 +349,7 @@ impl Cluster {
 
 impl fmt::Debug for Cluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock();
+        let inner = self.cluster_state.lock();
         f.debug_struct("Cluster")
             .field("nodes", &inner.nodes.len())
             .field("instances", &inner.instances.len())

@@ -15,12 +15,15 @@
 //! neighbours.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use bf_rpc::{PollEvent, Poller, Token, TransportError};
+// bf-lint: allow(raw_sync): control-plane receiver; only try_recv'd after a
+// modeled waker readiness edge, so drains are schedule-deterministic
 use crossbeam::channel::{Receiver, TryRecvError};
+
+use crate::sync::atomic::Ordering;
 
 use crate::manager::Shared;
 use crate::session::{Session, SessionSeed};

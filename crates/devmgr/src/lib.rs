@@ -53,6 +53,11 @@ mod session;
 mod task;
 mod worker;
 
+/// The bf-sync facade (re-exported from `bf-race`): synchronization in
+/// this crate goes through it so the event loop and sessions can run
+/// under the deterministic model scheduler (`bf-race --features model`).
+pub use bf_race::sync;
+
 pub use manager::{
     DeviceManager, DeviceManagerConfig, ManagerEndpoint, ReconfigPolicy, ReconfigRequest,
 };

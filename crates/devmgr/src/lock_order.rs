@@ -18,6 +18,8 @@
 //! Release builds compile the tracker away: [`tracked`] degrades to a plain
 //! `lock()` with zero bookkeeping.
 
+// bf-lint: allow(raw_sync): the tracker wraps the raw board lock, which is
+// shared with non-instrumented crates and cannot move behind the facade
 use parking_lot::{Mutex, MutexGuard};
 
 /// The global lock-acquisition order, outermost first.
@@ -30,24 +32,45 @@ pub const HIERARCHY: &[&str] = &[
     "functions",
     // Autoscaler policy table (bf-serverless).
     "policies",
-    // Registry's cluster handle (bf-registry).
+    // Registry's cluster handle (bf-registry). Taken only for a clone;
+    // ranks above `registry` because the cluster admission hook calls
+    // back into `Registry::place_instance`.
     "cluster",
+    // Registry state map (bf-registry). Held while placing instances,
+    // which reads board views and bumps metrics — so it outranks both.
+    "registry",
+    // Cluster node/allocation tables (bf-cluster). Never held across the
+    // admission callback (which re-enters the registry).
+    "cluster_state",
     // The FPGA board behind a Device Manager (bf-devmgr / bf-fpga).
     "board",
-    // Remote library's pending-operation map (bf-remote).
+    // Remote library's pending-operation map (bf-remote). Held across
+    // completion dispatch, which touches shm segments and event state.
     "pending",
+    // Remote backend's staging write cursor (bf-remote).
+    "staging_cursor",
+    // Remote backend's cached device info (bf-remote).
+    "device_info",
     // OpenCL event/runtime state cells (bf-ocl).
     "state",
+    // Shared-memory segment allocator + contents (bf-rpc). Store/read
+    // record memcpy metrics while held, so it outranks the metric locks.
+    "segment",
     // Metrics registry series map (bf-metrics).
     "series",
     // Individual metric cells (bf-metrics).
     "value",
+    // Histogram buckets (bf-metrics).
+    "histogram",
     // Bounded transport frame queues (bf-rpc). Leaf: dropped before any
     // poller notification is raised.
     "frames",
-    // Poller notification generation counter (bf-rpc). Innermost lock in
-    // the workspace — nothing may be acquired while it is held.
+    // Poller notification generation counter (bf-rpc). Nothing in
+    // application code may be acquired while it is held.
     "poll_gen",
+    // The bf-race model scheduler's own state (bf-race). Strictly
+    // innermost: taken inside every instrumented acquire/release.
+    "race_sched",
 ];
 
 /// Rank of a named lock in [`HIERARCHY`], if declared.

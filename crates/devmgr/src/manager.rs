@@ -1,6 +1,5 @@
 //! The Device Manager service (paper §III-B, Fig. 3).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bf_fpga::Board;
@@ -8,8 +7,12 @@ use bf_metrics::MetricsRegistry;
 use bf_model::{NodeId, NodeSpec, VirtualTime};
 use bf_ocl::BitstreamCatalog;
 use bf_rpc::{duplex_with_depth, ClientChannel, ClientId, PathCosts, Poller, ShmSegment, Waker};
+// bf-lint: allow(raw_sync): control-plane channel between manager handles and the event loop; drained via the modeled waker, never blocked on
 use crossbeam::channel::{bounded, Sender};
+// bf-lint: allow(raw_sync): the board lock is shared with non-instrumented crates (bf-ocl, bf-registry) and serialized by the single event-loop thread
 use parking_lot::Mutex;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::event_loop::{run_event_loop, Control};
 use crate::lock_order;
@@ -156,6 +159,27 @@ impl DeviceManager {
         board: Arc<Mutex<Board>>,
         catalog: BitstreamCatalog,
     ) -> Self {
+        let (manager, event_loop) = Self::new_detached(config, node, board, catalog);
+        std::thread::Builder::new()
+            .name("bf-devmgr-events".to_string())
+            .spawn(event_loop)
+            // bf-lint: allow(panic): thread-spawn failure is OS resource
+            // exhaustion at manager startup — no caller can recover.
+            .expect("spawn device-manager event loop");
+        manager
+    }
+
+    /// Like [`DeviceManager::new`], but hands the event loop back to the
+    /// caller instead of spawning it. The manager is inert until the
+    /// returned closure runs (on a thread of the caller's choosing); this
+    /// is how `bf-race` model tests drive the loop on a model thread so
+    /// every interleaving with client sessions is explored.
+    pub fn new_detached(
+        config: DeviceManagerConfig,
+        node: NodeSpec,
+        board: Arc<Mutex<Board>>,
+        catalog: BitstreamCatalog,
+    ) -> (Self, impl FnOnce() + Send + 'static) {
         let shared = Arc::new(Shared {
             config,
             node,
@@ -167,21 +191,15 @@ impl DeviceManager {
         let mut poller = Poller::new();
         let (wake_token, waker) = poller.add_waker();
         let (control_tx, control_rx) = bounded(64);
-        {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("bf-devmgr-events".to_string())
-                .spawn(move || run_event_loop(shared, control_rx, poller, wake_token))
-                // bf-lint: allow(panic): thread-spawn failure is OS resource
-                // exhaustion at manager startup — no caller can recover.
-                .expect("spawn device-manager event loop");
-        }
-        DeviceManager {
+        let loop_shared = shared.clone();
+        let event_loop = move || run_event_loop(loop_shared, control_rx, poller, wake_token);
+        let manager = DeviceManager {
             shared,
             control_tx,
             waker,
             next_client: Arc::new(AtomicU64::new(1)),
-        }
+        };
+        (manager, event_loop)
     }
 
     /// The manager's device id.

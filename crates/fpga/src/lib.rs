@@ -44,6 +44,11 @@ mod board;
 mod error;
 mod memory;
 
+/// The bf-sync facade (re-exported from `bf-race`): any synchronization
+/// added to this crate goes through it so board state can run under the
+/// deterministic model scheduler (`bf-race --features model`).
+pub use bf_race::sync;
+
 pub use bitstream::{
     Bitstream, FnKernel, KernelArg, KernelBehavior, KernelDescriptor, KernelInvocation,
 };

@@ -12,6 +12,8 @@
 //! | `std_sync` | `parking_lot` locks only — `std::sync::{Mutex, RwLock}` banned |
 //! | `wall_clock` | `Instant::now()` / `SystemTime::now()` only in `crates/model/src/clock.rs` |
 //! | `lock_order` | acquisitions must follow the declared lock hierarchy |
+//! | `lock_graph` | whole-program: every lock ranked, no static acquisition cycle, hierarchy fully covered |
+//! | `raw_sync` | instrumented crates use the bf-sync facade, not raw parking_lot/std/crossbeam primitives |
 //! | `wildcard_match` | `match`es over status enums must not use `_` arms |
 //! | `unbounded_channel` | no `unbounded()` queues in library code — bounded depths + backpressure |
 //!
@@ -111,6 +113,7 @@ pub fn run(root: &Path) -> Result<Report, String> {
 
     let mut diagnostics = Vec::new();
     let files_scanned = files.len();
+    let mut parsed = Vec::with_capacity(files_scanned);
     for path in files {
         let text =
             fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
@@ -119,8 +122,13 @@ pub fn run(root: &Path) -> Result<Report, String> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        diagnostics.extend(check_source(&rel, &text));
+        let file = scan::parse(&rel, &text, is_test_path(&rel));
+        rules::check_file(&file, LOCK_HIERARCHY, &mut diagnostics);
+        parsed.push(file);
     }
+    // The whole-program pass needs every file at once: unranked-lock
+    // declarations, cross-crate acquisition cycles, hierarchy coverage.
+    rules::check_program(&parsed, LOCK_HIERARCHY, &mut diagnostics);
     Ok(Report {
         diagnostics,
         files_scanned,

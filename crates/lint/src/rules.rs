@@ -22,11 +22,27 @@ pub const RULES: &[&str] = &[
     "std_sync",
     "wall_clock",
     "lock_order",
+    "lock_graph",
+    "raw_sync",
     "wildcard_match",
     "unbounded_channel",
     "payload_copy",
     "directive",
 ];
+
+/// Crates whose synchronization is instrumented through the bf-sync facade
+/// (`bf_race::sync`): constructing raw primitives here bypasses the model
+/// scheduler, so the `raw_sync` rule flags direct imports.
+pub const INSTRUMENTED_CRATES: &[&str] = &[
+    "crates/rpc/",
+    "crates/devmgr/",
+    "crates/remote/",
+    "crates/fpga/",
+];
+
+/// Where the lock hierarchy table lives; whole-program coverage findings
+/// anchor here when no concrete site exists.
+pub const LOCK_TABLE_MODULE: &str = "crates/devmgr/src/lock_order.rs";
 
 /// Status enums whose `match`es must stay wildcard-free, so that adding a
 /// state forces every consumer to take a position.
@@ -109,27 +125,38 @@ fn collect_allows(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Allows {
             });
             continue;
         };
-        let rule = rest[..close].trim().to_string();
-        if !RULES.contains(&rule.as_str()) {
-            out.push(Diagnostic {
-                rule: "directive",
-                file: file.path.clone(),
-                line: idx + 1,
-                message: format!("unknown rule {rule:?} in bf-lint directive"),
-            });
+        // A directive may name several rules: `allow(panic, wall_clock)`.
+        // Unknown names are reported individually; the known ones still
+        // take effect so one typo cannot silently unguard its neighbours.
+        let mut rules = Vec::new();
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim().to_string();
+            if RULES.contains(&rule.as_str()) {
+                rules.push(rule);
+            } else {
+                out.push(Diagnostic {
+                    rule: "directive",
+                    file: file.path.clone(),
+                    line: idx + 1,
+                    message: format!("unknown rule {rule:?} in bf-lint directive"),
+                });
+            }
+        }
+        if rules.is_empty() {
             continue;
         }
         let justification = rest[close + 1..]
             .trim_start_matches([':', '-', '—', ' '])
             .trim();
         if justification.is_empty() {
+            let listed = rules.join(", ");
             out.push(Diagnostic {
                 rule: "directive",
                 file: file.path.clone(),
                 line: idx + 1,
                 message: format!(
-                    "bf-lint: allow({rule}) needs a justification, e.g. \
-                     `// bf-lint: allow({rule}): why this site is safe`"
+                    "bf-lint: allow({listed}) needs a justification, e.g. \
+                     `// bf-lint: allow({listed}): why this site is safe`"
                 ),
             });
             continue;
@@ -150,7 +177,7 @@ fn collect_allows(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Allows {
             by_line
                 .entry(first + 1)
                 .or_insert_with(Vec::new)
-                .push(rule.clone());
+                .extend(rules.iter().cloned());
             for (l, cont) in file.lines.iter().enumerate().skip(first + 1) {
                 let code = cont.code.trim_start();
                 if !(code.starts_with('.') || code.starts_with('?')) {
@@ -159,25 +186,284 @@ fn collect_allows(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Allows {
                 by_line
                     .entry(l + 1)
                     .or_insert_with(Vec::new)
-                    .push(rule.clone());
+                    .extend(rules.iter().cloned());
             }
         } else {
-            by_line.entry(idx + 1).or_insert_with(Vec::new).push(rule);
+            by_line
+                .entry(idx + 1)
+                .or_insert_with(Vec::new)
+                .extend(rules);
         }
     }
     Allows { by_line }
 }
 
-/// Runs every rule over `file`, appending findings to `out`.
+/// Runs every per-file rule over `file`, appending findings to `out`.
 pub fn check_file(file: &SourceFile, lock_hierarchy: &[&str], out: &mut Vec<Diagnostic>) {
     let allows = collect_allows(file, out);
     rule_panic(file, &allows, out);
     rule_std_sync(file, &allows, out);
     rule_wall_clock(file, &allows, out);
     rule_lock_order(file, lock_hierarchy, &allows, out);
+    rule_raw_sync(file, &allows, out);
     rule_wildcard_match(file, &allows, out);
     rule_unbounded_channel(file, &allows, out);
     rule_payload_copy(file, &allows, out);
+}
+
+/// Rule `raw_sync`: inside [`INSTRUMENTED_CRATES`] every lock, condvar,
+/// atomic and channel goes through the bf-sync facade (`crate::sync`,
+/// re-exported from `bf-race`), so the whole crate runs under the model
+/// scheduler. Importing the raw primitives bypasses every yield point the
+/// checker relies on; the import line is the gateway that must be
+/// justified.
+fn rule_raw_sync(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    if !INSTRUMENTED_CRATES.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let hit = if code.contains("use parking_lot") || code.contains("parking_lot::") {
+            Some("parking_lot primitive")
+        } else if code.contains("std::sync::atomic") {
+            Some("std::sync atomic")
+        } else if code.contains("use crossbeam") || code.contains("crossbeam::channel") {
+            Some("crossbeam channel")
+        } else {
+            None
+        };
+        let Some(what) = hit else { continue };
+        if allows.permits(idx + 1, "raw_sync") {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "raw_sync",
+            file: file.path.clone(),
+            line: idx + 1,
+            message: format!(
+                "{what} in an instrumented crate: route synchronization \
+                 through the bf-sync facade (`crate::sync`) so the model \
+                 scheduler sees it, or justify with \
+                 `// bf-lint: allow(raw_sync): ...`"
+            ),
+        });
+    }
+}
+
+/// The whole-program lock-graph pass (`lock_graph` rule): run once over
+/// every parsed file, after the per-file rules.
+///
+/// Three checks:
+///
+/// 1. **No unranked locks** — every `Mutex`/`RwLock` field or parameter
+///    declaration must use a name ranked in the hierarchy (or carry a
+///    justified `allow(lock_graph)`), so a new lock cannot enter the
+///    program without taking a position in the global order.
+/// 2. **No static cycles** — `let`-bound acquisitions build a whole-program
+///    lock-acquisition graph (`held → acquired` edges, by lock name,
+///    across crates); any cycle is reported with its full path. This
+///    catches opposite-order acquisitions split across files, which the
+///    per-file `lock_order` rule cannot see for unranked locks.
+/// 3. **Coverage** — every hierarchy entry must be observed as a declared
+///    or acquired lock somewhere in the program, so the table cannot
+///    accumulate stale names that the runtime tracker would still accept.
+pub fn check_program(files: &[SourceFile], hierarchy: &[&str], out: &mut Vec<Diagnostic>) {
+    use std::collections::BTreeMap;
+
+    let ranked = |name: &str| hierarchy.contains(&name);
+    let mut seen: Vec<String> = Vec::new();
+    // (from, to) → first site, kept ordered for deterministic reports.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+
+    for file in files {
+        // Directive diagnostics were already emitted by `check_file`;
+        // re-collect silently just to honour the exemptions.
+        let allows = collect_allows(file, &mut Vec::new());
+
+        let mut held: Vec<(String, i64)> = Vec::new();
+        let mut depth: i64 = 0;
+        for (idx, line) in file.lines.iter().enumerate() {
+            let code = &line.code;
+            if !line.in_test {
+                // Check 1: declarations.
+                if let Some(name) = declared_lock_name(code) {
+                    if !seen.contains(&name.to_string()) {
+                        seen.push(name.to_string());
+                    }
+                    if !ranked(name) && !allows.permits(idx + 1, "lock_graph") {
+                        out.push(Diagnostic {
+                            rule: "lock_graph",
+                            file: file.path.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "lock `{name}` is not ranked in the lock hierarchy: add it \
+                                 to bf_devmgr::lock_order::HIERARCHY (or justify with \
+                                 `// bf-lint: allow(lock_graph): ...`)"
+                            ),
+                        });
+                    }
+                }
+
+                // Check 2: acquisition edges.
+                let mut acquired: Vec<&str> = Vec::new();
+                for pos in find_all(code, ".lock()") {
+                    if let Some(name) = ident_before(code, pos) {
+                        acquired.push(name);
+                    }
+                }
+                if code.contains("tracked(") {
+                    if let Some(name) = tracked_lock_name(&line.raw, hierarchy) {
+                        acquired.push(name);
+                    }
+                }
+                let is_binding = code.trim_start().starts_with("let ");
+                for name in acquired {
+                    if !seen.contains(&name.to_string()) {
+                        seen.push(name.to_string());
+                    }
+                    if !allows.permits(idx + 1, "lock_graph") {
+                        for (h, _) in &held {
+                            if h != name {
+                                edges
+                                    .entry((h.clone(), name.to_string()))
+                                    .or_insert_with(|| (file.path.clone(), idx + 1));
+                            }
+                        }
+                    }
+                    if is_binding {
+                        held.push((name.to_string(), depth));
+                    }
+                }
+            }
+            let opens = code.bytes().filter(|&b| b == b'{').count() as i64;
+            let closes = code.bytes().filter(|&b| b == b'}').count() as i64;
+            depth += opens - closes;
+            held.retain(|&(_, d)| d <= depth);
+        }
+    }
+
+    // Check 2: cycle detection over the name graph.
+    for cycle in find_cycles(&edges) {
+        let (file, line) = edges
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .cloned()
+            .unwrap_or_else(|| (LOCK_TABLE_MODULE.to_string(), 1));
+        out.push(Diagnostic {
+            rule: "lock_graph",
+            file,
+            line,
+            message: format!(
+                "static lock cycle across the program: {} — no single \
+                 acquisition order can satisfy these sites",
+                cycle.join(" -> "),
+            ),
+        });
+    }
+
+    // Check 3: hierarchy coverage.
+    for name in hierarchy {
+        if !seen.iter().any(|s| s == name) {
+            out.push(Diagnostic {
+                rule: "lock_graph",
+                file: LOCK_TABLE_MODULE.to_string(),
+                line: 1,
+                message: format!(
+                    "hierarchy entry `{name}` matches no declared or acquired lock \
+                     in the program: remove the stale rank or fix the lock's name"
+                ),
+            });
+        }
+    }
+}
+
+/// The field/parameter name of a `Mutex`/`RwLock` declaration on `code`,
+/// if the line declares one: `name: ..Mutex<..` outside `let` bindings,
+/// `use` imports, and single-line `fn` signatures.
+fn declared_lock_name(code: &str) -> Option<&str> {
+    let lock_pos = match (code.find("Mutex<"), code.find("RwLock<")) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => return None,
+    };
+    let trimmed = code.trim_start();
+    if trimmed.starts_with("let ")
+        || trimmed.starts_with("use ")
+        || trimmed.starts_with("impl")
+        || trimmed.starts_with("trait ")
+        || trimmed.starts_with("pub trait ")
+        || code.contains("fn ")
+    {
+        return None;
+    }
+    // `name:` must precede the lock type, with `::` path separators skipped.
+    let head = &code[..lock_pos];
+    let colon = head
+        .char_indices()
+        .filter(|&(i, c)| {
+            c == ':'
+                && head.as_bytes().get(i + 1) != Some(&b':')
+                && (i == 0 || head.as_bytes()[i - 1] != b':')
+        })
+        .map(|(i, _)| i)
+        .next()?;
+    ident_before(code, colon)
+}
+
+/// Every distinct cycle in the acquisition graph, as name paths ending at
+/// their starting node (`a -> b -> a`). Deterministic: nodes are explored
+/// in sorted order and each cycle is reported from its smallest node.
+fn find_cycles(
+    edges: &std::collections::BTreeMap<(String, String), (String, usize)>,
+) -> Vec<Vec<String>> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut graph: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        graph.entry(from).or_default().push(to);
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in graph.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        // Iterative DFS from `start` carrying the path, recording any edge
+        // back into the current path as a cycle.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        while let Some((node, next)) = stack.pop() {
+            let succs = graph.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if next < succs.len() {
+                stack.push((node, next + 1));
+                let succ = succs[next];
+                if let Some(at) = path.iter().position(|&n| n == succ) {
+                    let mut cycle: Vec<String> = path[at..].iter().map(|s| s.to_string()).collect();
+                    // Canonicalize: rotate so the smallest name leads.
+                    let min = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, n)| n.as_str())
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    cycle.rotate_left(min);
+                    cycle.push(cycle[0].clone());
+                    if !cycles.contains(&cycle) {
+                        cycles.push(cycle);
+                    }
+                } else if !done.contains(succ) {
+                    path.push(succ);
+                    stack.push((succ, 0));
+                }
+            } else {
+                path.pop();
+                done.insert(node);
+            }
+        }
+    }
+    cycles
 }
 
 /// Rule `panic`: no `.unwrap()` / `.expect(` in non-test code.
@@ -802,6 +1088,144 @@ mod tests {
             "{:?}",
             check_datapath(allowed)
         );
+    }
+
+    // --- directive parsing edge cases ---
+
+    #[test]
+    fn multi_rule_allow_lists_exempt_every_named_rule() {
+        let src = "fn f() {\n // bf-lint: allow(panic, wall_clock): harness probe\n let t = Instant::now(); t.elapsed().unwrap();\n}\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn unknown_rule_in_a_list_is_reported_but_known_ones_still_apply() {
+        let src = "fn f() {\n // bf-lint: allow(panic, no_such_rule): reason\n x().unwrap();\n}\n";
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "directive");
+        assert!(out[0].message.contains("no_such_rule"), "{out:?}");
+    }
+
+    #[test]
+    fn unknown_rule_alone_is_reported_and_exempts_nothing() {
+        let src = "fn f() {\n // bf-lint: allow(panics): typo\n x().unwrap();\n}\n";
+        let out = check(src);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].rule, "directive");
+        assert_eq!(out[1].rule, "panic");
+    }
+
+    #[test]
+    fn directive_on_the_last_line_of_a_file_is_harmless() {
+        // Dangling directive at EOF: nothing to exempt, nothing to report.
+        let src = "fn f() {}\n// bf-lint: allow(panic): trailing note\n";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    // --- raw_sync ---
+
+    fn check_instrumented(src: &str) -> Vec<Diagnostic> {
+        let file = parse("crates/rpc/src/transport.rs", src, false);
+        let mut out = Vec::new();
+        check_file(&file, &["outer", "inner"], &mut out);
+        out
+    }
+
+    #[test]
+    fn raw_sync_flags_primitive_imports_in_instrumented_crates() {
+        for (src, what) in [
+            ("use parking_lot::Mutex;\n", "parking_lot"),
+            ("use std::sync::atomic::AtomicU64;\n", "std::sync atomic"),
+            ("use crossbeam::channel::bounded;\n", "crossbeam"),
+        ] {
+            let out = check_instrumented(src);
+            assert_eq!(out.len(), 1, "{what}: {out:?}");
+            assert_eq!(out[0].rule, "raw_sync");
+        }
+    }
+
+    #[test]
+    fn raw_sync_ignores_uninstrumented_crates_tests_and_allowed_sites() {
+        // Same import outside the instrumented set: untouched.
+        assert!(check("use parking_lot::Mutex;\n").is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n use parking_lot::Mutex;\n}\n";
+        assert!(check_instrumented(in_test).is_empty());
+        let allowed = "// bf-lint: allow(raw_sync): shared with uninstrumented crates\nuse parking_lot::Mutex;\n";
+        assert!(check_instrumented(allowed).is_empty());
+        // The facade itself is the sanctioned path.
+        assert!(check_instrumented("use crate::sync::{Condvar, Mutex};\n").is_empty());
+    }
+
+    // --- lock_graph (whole-program) ---
+
+    fn check_whole_program(sources: &[(&str, &str)], hierarchy: &[&str]) -> Vec<Diagnostic> {
+        let files: Vec<_> = sources
+            .iter()
+            .map(|(path, src)| parse(path, src, false))
+            .collect();
+        let mut out = Vec::new();
+        check_program(&files, hierarchy, &mut out);
+        out
+    }
+
+    #[test]
+    fn lock_graph_rejects_an_unranked_lock_declaration() {
+        let src = "struct S {\n outer: Mutex<u32>,\n rogue: Mutex<u32>,\n}\nfn f(s: &S) { let a = s.outer.lock(); let b = s.inner.lock(); }\n";
+        let out = check_whole_program(&[("crates/x/src/lib.rs", src)], &["outer", "inner"]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lock_graph");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("`rogue`"), "{out:?}");
+    }
+
+    #[test]
+    fn lock_graph_accepts_an_allowed_unranked_lock() {
+        let src = "struct S {\n outer: Mutex<u32>,\n // bf-lint: allow(lock_graph): scheduler-internal slot\n scratch: Mutex<u32>,\n}\nfn f(s: &S) { let a = s.outer.lock(); let b = s.inner.lock(); }\n";
+        let out = check_whole_program(&[("crates/x/src/lib.rs", src)], &["outer", "inner"]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_graph_rejects_a_two_lock_static_cycle_across_files() {
+        // File A takes outer then inner; file B takes inner then outer.
+        // Neither file alone violates anything the per-file heuristic can
+        // rank (the locks are unranked but allowed); the program-wide
+        // acquisition graph still has the a→b→a cycle.
+        let a = "struct S {\n // bf-lint: allow(lock_graph): fixture\n a: Mutex<u32>,\n // bf-lint: allow(lock_graph): fixture\n b: Mutex<u32>,\n}\nfn f(s: &S) {\n let g = s.a.lock();\n let h = s.b.lock();\n}\n";
+        let b = "fn g(s: &S) {\n let h = s.b.lock();\n let g = s.a.lock();\n}\n";
+        let out = check_whole_program(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)], &[]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lock_graph");
+        assert!(out[0].message.contains("a -> b -> a"), "{out:?}");
+    }
+
+    #[test]
+    fn lock_graph_consistent_cross_file_order_is_clean() {
+        let a = "fn f(s: &S) {\n let g = s.outer.lock();\n let h = s.inner.lock();\n}\n";
+        let b = "fn g(s: &S) {\n let g = s.outer.lock();\n let h = s.inner.lock();\n}\nstruct S {\n outer: Mutex<u32>,\n inner: Mutex<u32>,\n}\n";
+        let out = check_whole_program(
+            &[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)],
+            &["outer", "inner"],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_graph_reports_stale_hierarchy_entries() {
+        let src = "struct S {\n outer: Mutex<u32>,\n}\nfn f(s: &S) { let a = s.outer.lock(); }\n";
+        let out = check_whole_program(&[("crates/x/src/lib.rs", src)], &["outer", "ghost_lock"]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lock_graph");
+        assert!(out[0].message.contains("`ghost_lock`"), "{out:?}");
+        assert_eq!(out[0].file, LOCK_TABLE_MODULE);
+    }
+
+    #[test]
+    fn lock_graph_ignores_declarations_in_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n struct T {\n  rogue: Mutex<u32>,\n }\n}\n";
+        let out = check_whole_program(&[("crates/x/src/lib.rs", src)], &[]);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -85,7 +85,7 @@ impl Gauge {
 /// counts observations `<=` its upper bound, plus `+Inf`).
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    inner: Arc<Mutex<HistogramInner>>,
+    histogram: Arc<Mutex<HistogramInner>>,
 }
 
 #[derive(Debug)]
@@ -109,7 +109,7 @@ impl Histogram {
             "histogram bounds must be strictly ascending"
         );
         Histogram {
-            inner: Arc::new(Mutex::new(HistogramInner {
+            histogram: Arc::new(Mutex::new(HistogramInner {
                 bounds: bounds.to_vec(),
                 counts: vec![0; bounds.len() + 1],
                 sum: 0.0,
@@ -127,7 +127,7 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&self, v: f64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.histogram.lock();
         let idx = inner
             .bounds
             .iter()
@@ -140,17 +140,17 @@ impl Histogram {
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
-        self.inner.lock().total
+        self.histogram.lock().total
     }
 
     /// Sum of observations.
     pub fn sum(&self) -> f64 {
-        self.inner.lock().sum
+        self.histogram.lock().sum
     }
 
     /// Mean of observations, or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
-        let inner = self.inner.lock();
+        let inner = self.histogram.lock();
         (inner.total > 0).then(|| inner.sum / inner.total as f64)
     }
 
@@ -162,7 +162,7 @@ impl Histogram {
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        let inner = self.inner.lock();
+        let inner = self.histogram.lock();
         if inner.total == 0 {
             return None;
         }
@@ -189,7 +189,7 @@ impl Histogram {
     }
 
     fn snapshot(&self) -> (Vec<f64>, Vec<u64>, f64, u64) {
-        let inner = self.inner.lock();
+        let inner = self.histogram.lock();
         (
             inner.bounds.clone(),
             inner.counts.clone(),

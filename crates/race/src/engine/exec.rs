@@ -1,0 +1,943 @@
+//! One deterministic execution.
+//!
+//! Model threads are real OS threads, but the scheduler serializes them:
+//! at every *yield point* (each facade op) the running thread publishes
+//! its intended op, the scheduler picks the next runner among all
+//! *enabled* pending ops, and everyone else parks on the scheduler's
+//! condvar. An op's visible effect is applied when its thread is
+//! activated, so the interleaving of visible effects is exactly the
+//! chosen schedule — replaying the same choice sequence replays the same
+//! execution bit-for-bit.
+//!
+//! Enabledness is what turns blocking into *scheduling*: a `LockAcquire`
+//! is only a candidate while the lock is free, a `Join` only once the
+//! target finished, a condvar waiter only after a notify moved it back to
+//! runnable (or, for timed waits, whenever its mutex is free — the
+//! timeout branch is always explorable). "No candidates but unfinished
+//! threads" is therefore a *global* wait-for condition covering lock
+//! cycles, full/empty bounded channels (built on facade `Mutex` +
+//! `Condvar`) and never-woken parked threads alike.
+
+use std::cell::RefCell;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use super::explore::{Failure, FailureKind};
+use super::vclock::VClock;
+
+/// Model thread id (0 = the thread that called `explore`).
+pub(crate) type Tid = usize;
+/// Per-execution resource id (locks, condvars, atomics, race cells).
+pub(crate) type Rid = usize;
+
+/// Next execution epoch. Facade objects tag their lazily assigned
+/// resource id with the epoch that assigned it, so objects surviving
+/// across executions (or created outside one) re-register cleanly.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's model identity, if it is part of an execution.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: Tid,
+}
+
+/// The current thread's model context (None = passthrough).
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Installs or clears the current thread's model context.
+pub(crate) fn set_ctx(new: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = new);
+}
+
+/// Panic payload used to unwind model threads out of a dead execution
+/// (failed or pruned). Caught by the spawn wrapper and `explore`.
+pub(crate) struct AbortToken;
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(AbortToken);
+}
+
+/// A visible operation at a yield point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// A spawned thread's first yield point (pending from birth, so the
+    /// candidate set never depends on OS thread startup timing).
+    Started,
+    LockAcquire(Rid),
+    LockRelease(Rid),
+    RwAcquire {
+        rid: Rid,
+        write: bool,
+    },
+    RwRelease(Rid),
+    /// Atomically release `mutex` and park on `cv`.
+    CvWaitRelease {
+        cv: Rid,
+        mutex: Rid,
+        timeout_ns: Option<u64>,
+    },
+    /// A timed waiter's timeout firing (synthesized candidate: the waiter
+    /// has no pending op while parked).
+    CvTimedFire {
+        cv: Rid,
+        mutex: Rid,
+    },
+    CvNotify {
+        cv: Rid,
+        all: bool,
+    },
+    Atomic {
+        rid: Rid,
+        write: bool,
+    },
+    Cell {
+        rid: Rid,
+        write: bool,
+        loc: &'static Location<'static>,
+    },
+    Spawn(Tid),
+    Join(Tid),
+    Finish,
+    Yield,
+}
+
+/// Whether two ops do NOT commute (executing one can change the other's
+/// behavior or enabledness). Used to filter sleep sets; conservative
+/// over-approximation only costs pruning power, never soundness.
+pub(crate) fn dependent(a: Op, b: Op) -> bool {
+    use Op::*;
+    let lifecycle = |o: Op| matches!(o, Started | Spawn(_) | Join(_) | Finish);
+    if lifecycle(a) || lifecycle(b) {
+        return true;
+    }
+    if matches!(a, Yield) || matches!(b, Yield) {
+        return false;
+    }
+    let rids = |o: Op| -> [Option<Rid>; 2] {
+        match o {
+            LockAcquire(r) | LockRelease(r) | RwRelease(r) => [Some(r), None],
+            RwAcquire { rid, .. } | Atomic { rid, .. } | Cell { rid, .. } => [Some(rid), None],
+            CvNotify { cv, .. } => [Some(cv), None],
+            CvWaitRelease { cv, mutex, .. } | CvTimedFire { cv, mutex } => [Some(cv), Some(mutex)],
+            Started | Spawn(_) | Join(_) | Finish | Yield => [None, None],
+        }
+    };
+    let ra = rids(a);
+    let rb = rids(b);
+    let overlap = ra
+        .iter()
+        .flatten()
+        .any(|x| rb.iter().flatten().any(|y| x == y));
+    if !overlap {
+        return false;
+    }
+    // Two pure reads commute even on the same resource.
+    if let (Cell { write: false, .. }, Cell { write: false, .. }) = (a, b) {
+        return false;
+    }
+    if let (RwAcquire { write: false, .. }, RwAcquire { write: false, .. }) = (a, b) {
+        return false;
+    }
+    true
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Slot allocated by `spawn`; becomes runnable when the parent's
+    /// `Spawn` op executes.
+    Embryo,
+    Runnable,
+    /// Parked on `cv`; will reacquire `mutex` on wake. `deadline` is the
+    /// virtual-ns timeout for timed waits.
+    CvWait {
+        cv: Rid,
+        mutex: Rid,
+        deadline: Option<u64>,
+    },
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    pending: Option<Op>,
+    clock: VClock,
+}
+
+/// What kind of resource a facade object registers as.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ResourceKind {
+    Lock,
+    Cv,
+    Atomic,
+    Cell,
+}
+
+enum Resource {
+    Lock {
+        writer: Option<Tid>,
+        readers: Vec<Tid>,
+        clock: VClock,
+    },
+    Cv {
+        waiters: Vec<Tid>,
+        clock: VClock,
+    },
+    Atomic {
+        clock: VClock,
+    },
+    Cell {
+        writes: VClock,
+        reads: VClock,
+        last_write: Option<(Tid, &'static Location<'static>)>,
+        last_read: Option<(Tid, &'static Location<'static>)>,
+    },
+}
+
+impl ResourceKind {
+    fn fresh(self) -> Resource {
+        match self {
+            ResourceKind::Lock => Resource::Lock {
+                writer: None,
+                readers: Vec::new(),
+                clock: VClock::default(),
+            },
+            ResourceKind::Cv => Resource::Cv {
+                waiters: Vec::new(),
+                clock: VClock::default(),
+            },
+            ResourceKind::Atomic => Resource::Atomic {
+                clock: VClock::default(),
+            },
+            ResourceKind::Cell => Resource::Cell {
+                writes: VClock::default(),
+                reads: VClock::default(),
+                last_write: None,
+                last_read: None,
+            },
+        }
+    }
+}
+
+/// Why an execution stopped.
+#[derive(Debug, Clone)]
+pub(crate) enum Outcome {
+    /// Every thread finished; a complete schedule was observed.
+    Done,
+    /// A concurrency failure — exploration stops, this is the verdict.
+    Failed(Failure),
+    /// Search-strategy cutoff, not a program property.
+    Pruned(PruneKind),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PruneKind {
+    /// Every candidate was in the sleep set (subtree already covered).
+    Sleep,
+    /// Continuing required exceeding the preemption budget.
+    Preemption,
+}
+
+/// One scheduling decision, exported to the explorer.
+#[derive(Debug, Clone)]
+pub(crate) struct StepRecord {
+    pub(crate) candidates: Vec<(Tid, Op)>,
+    pub(crate) sleep: Vec<(Tid, Op)>,
+    pub(crate) chosen: Tid,
+    pub(crate) prev: Option<Tid>,
+    pub(crate) preemptions_before: usize,
+}
+
+struct ExecInner {
+    threads: Vec<ThreadState>,
+    resources: Vec<Resource>,
+    active: Tid,
+    prev: Option<Tid>,
+    step: usize,
+    preemptions: usize,
+    now_ns: u64,
+    cur_sleep: Vec<(Tid, Op)>,
+    records: Vec<StepRecord>,
+    outcome: Option<Outcome>,
+}
+
+/// One run of the closure under one (partially forced) schedule.
+pub(crate) struct Execution {
+    epoch: u64,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+    prefix: Vec<Tid>,
+    frontier_sleep: Vec<(Tid, Op)>,
+    /// The scheduler's own lock: rank `race_sched`, innermost in
+    /// `bf_devmgr::lock_order::HIERARCHY` — facade ops acquire it while
+    /// the caller may hold any ranked application lock.
+    race_sched: Mutex<ExecInner>,
+    wakeups: Condvar,
+    /// OS handles of model threads, joined at teardown.
+    // bf-lint: allow(lock_graph): checker-internal registry, only touched outside `race_sched` and never nested with application locks
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Execution {
+    pub(crate) fn new(
+        preemption_bound: Option<usize>,
+        max_steps: usize,
+        prefix: Vec<Tid>,
+        frontier_sleep: Vec<(Tid, Op)>,
+    ) -> Arc<Execution> {
+        let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
+        let mut clock = VClock::default();
+        clock.tick(0);
+        Arc::new(Execution {
+            epoch,
+            preemption_bound,
+            max_steps,
+            prefix,
+            frontier_sleep,
+            race_sched: Mutex::new(ExecInner {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    pending: None,
+                    clock,
+                }],
+                resources: Vec::new(),
+                active: 0,
+                prev: None,
+                step: 0,
+                preemptions: 0,
+                now_ns: 0,
+                cur_sleep: Vec::new(),
+                records: Vec::new(),
+                outcome: None,
+            }),
+            wakeups: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Resolves a facade object's resource id for this execution, lazily
+    /// allocating a slot on first touch. `tag` packs `(epoch, rid)`.
+    /// Only the active thread registers, so allocation order — and thus
+    /// resource ids — is schedule-deterministic.
+    pub(crate) fn register(&self, tag: &AtomicU64, kind: ResourceKind) -> Rid {
+        let ep32 = (self.epoch & 0xffff_ffff) as u32;
+        let packed = tag.load(Ordering::Relaxed);
+        if (packed >> 32) as u32 == ep32 {
+            return (packed & 0xffff_ffff) as usize;
+        }
+        let mut g = self.race_sched.lock();
+        let rid = g.resources.len();
+        g.resources.push(kind.fresh());
+        tag.store((u64::from(ep32) << 32) | rid as u64, Ordering::Relaxed);
+        rid
+    }
+
+    /// The execution's virtual clock, in nanoseconds. Advances only when
+    /// a timed wait fires (jumping to its deadline).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.race_sched.lock().now_ns
+    }
+
+    /// A standard yield point: publish `op`, let the scheduler hand the
+    /// turn to the next enabled thread, park until chosen, apply the op,
+    /// continue as the active thread. Unwinds (`AbortToken`) if the
+    /// execution dies while waiting.
+    pub(crate) fn perform(&self, me: Tid, op: Op) {
+        if std::thread::panicking() {
+            // Facade ops reached from user destructors while this thread is
+            // already unwinding (an `AbortToken` teardown or a recorded
+            // panic) must not raise a second panic — that would abort the
+            // whole process mid-cleanup.
+            self.perform_quiet(me, op);
+            return;
+        }
+        let mut g = self.race_sched.lock();
+        if g.outcome.is_some() {
+            drop(g);
+            abort_unwind();
+        }
+        g.threads[me].pending = Some(op);
+        self.schedule_next(&mut g);
+        self.wakeups.notify_all();
+        g = self.wait_active(g, me);
+        self.apply(&mut g, me);
+        if g.outcome.is_some() {
+            drop(g);
+            abort_unwind();
+        }
+    }
+
+    /// Like [`Execution::perform`] but panic-free: on a dead execution it
+    /// degrades to a no-op. Used from guard `Drop` impls, which may run
+    /// while already unwinding.
+    pub(crate) fn perform_quiet(&self, me: Tid, op: Op) {
+        let mut g = self.race_sched.lock();
+        if g.outcome.is_some() {
+            return;
+        }
+        g.threads[me].pending = Some(op);
+        self.schedule_next(&mut g);
+        self.wakeups.notify_all();
+        loop {
+            if g.outcome.is_some() {
+                g.threads[me].pending = None;
+                return;
+            }
+            if g.active == me {
+                break;
+            }
+            self.wakeups.wait(&mut g);
+        }
+        self.apply(&mut g, me);
+    }
+
+    /// Second half of a condvar wait: the caller already performed
+    /// `CvWaitRelease` (so it is active, parked in model terms, and has
+    /// dropped the real guard). Hands the turn off, sleeps until a
+    /// notify re-arms it with the lock reacquire or the scheduler fires
+    /// its timeout. Returns whether the wait timed out.
+    pub(crate) fn park_after_cv_release(&self, me: Tid, cv: Rid, mutex: Rid) -> bool {
+        let mut g = self.race_sched.lock();
+        if g.outcome.is_some() {
+            drop(g);
+            abort_unwind();
+        }
+        self.schedule_next(&mut g);
+        self.wakeups.notify_all();
+        g = self.wait_active(g, me);
+        let timed_out = match g.threads[me].status {
+            Status::CvWait { deadline, .. } => {
+                // Timeout fire: leave the wait queue, jump virtual time to
+                // the deadline, reacquire the mutex (free by enabledness).
+                if let Resource::Cv { waiters, .. } = &mut g.resources[cv] {
+                    waiters.retain(|&w| w != me);
+                }
+                if let Some(dl) = deadline {
+                    g.now_ns = g.now_ns.max(dl);
+                }
+                g.threads[me].status = Status::Runnable;
+                g.threads[me].clock.tick(me);
+                let rc = if let Resource::Lock { writer, clock, .. } = &mut g.resources[mutex] {
+                    *writer = Some(me);
+                    clock.clone()
+                } else {
+                    VClock::default()
+                };
+                g.threads[me].clock.join(&rc);
+                true
+            }
+            _ => {
+                // Notified: the notifier re-armed us with LockAcquire.
+                self.apply(&mut g, me);
+                false
+            }
+        };
+        if g.outcome.is_some() {
+            drop(g);
+            abort_unwind();
+        }
+        timed_out
+    }
+
+    /// A freshly spawned model thread's entry point: wait until the
+    /// scheduler picks our pre-published `Started` op, apply it, then
+    /// run user code as the active thread. Keeping `Started` pending
+    /// from allocation (not from OS thread startup) makes candidate
+    /// sets independent of how fast the OS actually starts the thread.
+    pub(crate) fn start_thread(&self, me: Tid) {
+        let mut g = self.race_sched.lock();
+        if g.outcome.is_some() {
+            drop(g);
+            abort_unwind();
+        }
+        g = self.wait_active(g, me);
+        self.apply(&mut g, me);
+        if g.outcome.is_some() {
+            drop(g);
+            abort_unwind();
+        }
+    }
+
+    /// Allocates a model-thread slot (status `Embryo`, `Started`
+    /// pre-pended) for a `spawn` in flight.
+    pub(crate) fn alloc_thread(&self) -> Tid {
+        let mut g = self.race_sched.lock();
+        let tid = g.threads.len();
+        g.threads.push(ThreadState {
+            status: Status::Embryo,
+            pending: Some(Op::Started),
+            clock: VClock::default(),
+        });
+        tid
+    }
+
+    /// Registers a model thread's OS handle for teardown.
+    pub(crate) fn add_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.os_handles.lock().push(handle);
+    }
+
+    /// Finish protocol for a model thread (including thread 0).
+    /// `panic_msg` carries a user panic to report as a failure.
+    pub(crate) fn finish_thread(&self, me: Tid, panic_msg: Option<String>) {
+        let mut g = self.race_sched.lock();
+        if g.outcome.is_some() {
+            g.threads[me].status = Status::Finished;
+            self.wakeups.notify_all();
+            return;
+        }
+        if let Some(msg) = panic_msg {
+            g.threads[me].status = Status::Finished;
+            self.fail(&mut g, FailureKind::Panic, msg);
+            return;
+        }
+        g.threads[me].pending = Some(Op::Finish);
+        self.schedule_next(&mut g);
+        self.wakeups.notify_all();
+        loop {
+            if g.outcome.is_some() {
+                g.threads[me].status = Status::Finished;
+                self.wakeups.notify_all();
+                return;
+            }
+            if g.active == me {
+                break;
+            }
+            self.wakeups.wait(&mut g);
+        }
+        self.apply(&mut g, me);
+        self.schedule_next(&mut g);
+        self.wakeups.notify_all();
+    }
+
+    /// Blocks until the execution reaches an outcome.
+    pub(crate) fn wait_outcome(&self) -> Outcome {
+        let mut g = self.race_sched.lock();
+        loop {
+            if let Some(o) = g.outcome.clone() {
+                return o;
+            }
+            self.wakeups.wait(&mut g);
+        }
+    }
+
+    /// Joins every model thread's OS handle (they all exit once the
+    /// outcome is set and broadcast).
+    pub(crate) fn join_all(&self) {
+        let handles = std::mem::take(&mut *self.os_handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Takes the per-step decision records for the explorer.
+    pub(crate) fn take_records(&self) -> Vec<StepRecord> {
+        std::mem::take(&mut self.race_sched.lock().records)
+    }
+
+    fn wait_active<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, ExecInner>,
+        me: Tid,
+    ) -> MutexGuard<'a, ExecInner> {
+        loop {
+            if g.outcome.is_some() {
+                drop(g);
+                abort_unwind();
+            }
+            if g.active == me {
+                return g;
+            }
+            self.wakeups.wait(&mut g);
+        }
+    }
+
+    /// The scheduler: enumerate enabled (thread, op) candidates, detect
+    /// termination/deadlock, pick the next runner (replaying the forced
+    /// prefix, then preferring the previous thread, charging a preemption
+    /// for switching away from a still-enabled one), maintain the sleep
+    /// set, and record the decision.
+    fn schedule_next(&self, g: &mut ExecInner) {
+        if g.outcome.is_some() {
+            return;
+        }
+        if g.step >= self.max_steps {
+            self.fail(
+                g,
+                FailureKind::Limit,
+                format!("schedule exceeded max_steps={}", self.max_steps),
+            );
+            return;
+        }
+        let mut cands: Vec<(Tid, Op)> = Vec::new();
+        for (t, th) in g.threads.iter().enumerate() {
+            match th.status {
+                Status::Runnable => {
+                    if let Some(op) = th.pending {
+                        if enabled(g, op) {
+                            cands.push((t, op));
+                        }
+                    }
+                }
+                Status::CvWait {
+                    cv,
+                    mutex,
+                    deadline: Some(_),
+                } if lock_free(g, mutex) => {
+                    cands.push((t, Op::CvTimedFire { cv, mutex }));
+                }
+                _ => {}
+            }
+        }
+        if cands.is_empty() {
+            let stuck: Vec<Tid> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, th)| th.status != Status::Finished)
+                .map(|(t, _)| t)
+                .collect();
+            if stuck.is_empty() {
+                g.outcome = Some(Outcome::Done);
+                self.wakeups.notify_all();
+                return;
+            }
+            let msg = describe_deadlock(g, &stuck);
+            self.fail(g, FailureKind::Deadlock, msg);
+            return;
+        }
+        let step = g.step;
+        let chosen: Tid;
+        if step < self.prefix.len() {
+            chosen = self.prefix[step];
+            if !cands.iter().any(|&(t, _)| t == chosen) {
+                self.fail(
+                    g,
+                    FailureKind::Determinism,
+                    format!(
+                        "replay diverged at step {step}: thread {chosen} not schedulable \
+                         (candidates: {cands:?}); model closures must be deterministic \
+                         given the schedule"
+                    ),
+                );
+                return;
+            }
+        } else {
+            let eligible: Vec<Tid> = cands
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|t| !g.cur_sleep.iter().any(|&(st, _)| st == *t))
+                .collect();
+            if eligible.is_empty() {
+                g.outcome = Some(Outcome::Pruned(PruneKind::Sleep));
+                self.wakeups.notify_all();
+                return;
+            }
+            chosen = match g.prev {
+                Some(p) if eligible.contains(&p) => p,
+                prev => {
+                    let c = eligible[0];
+                    let preempts = prev.is_some_and(|p| cands.iter().any(|&(t, _)| t == p));
+                    if preempts {
+                        if let Some(bound) = self.preemption_bound {
+                            if g.preemptions + 1 > bound {
+                                g.outcome = Some(Outcome::Pruned(PruneKind::Preemption));
+                                self.wakeups.notify_all();
+                                return;
+                            }
+                        }
+                    }
+                    c
+                }
+            };
+        }
+        let chosen_op = cands
+            .iter()
+            .find(|&&(t, _)| t == chosen)
+            .map(|&(_, op)| op)
+            .unwrap_or(Op::Yield);
+        // Entering free territory: install the explorer's accumulated
+        // sleep set at the frontier so the fresh subtree inherits it.
+        if step + 1 == self.prefix.len() {
+            g.cur_sleep = self.frontier_sleep.clone();
+        }
+        let preempted = match g.prev {
+            Some(p) if p != chosen => cands.iter().any(|&(t, _)| t == p),
+            _ => false,
+        };
+        g.records.push(StepRecord {
+            candidates: cands,
+            sleep: g.cur_sleep.clone(),
+            chosen,
+            prev: g.prev,
+            preemptions_before: g.preemptions,
+        });
+        if preempted {
+            g.preemptions += 1;
+        }
+        g.cur_sleep
+            .retain(|&(t, sop)| t != chosen && !dependent(sop, chosen_op));
+        g.prev = Some(chosen);
+        g.active = chosen;
+        g.step += 1;
+    }
+
+    /// Applies the chosen thread's pending op: resource state transition
+    /// plus the happens-before (vector clock) edges it induces.
+    fn apply(&self, g: &mut ExecInner, me: Tid) {
+        let Some(op) = g.threads[me].pending.take() else {
+            return;
+        };
+        g.threads[me].clock.tick(me);
+        match op {
+            Op::Started | Op::Yield | Op::CvTimedFire { .. } => {}
+            Op::LockAcquire(rid) | Op::RwAcquire { rid, write: true } => {
+                let rc = if let Resource::Lock { writer, clock, .. } = &mut g.resources[rid] {
+                    *writer = Some(me);
+                    clock.clone()
+                } else {
+                    VClock::default()
+                };
+                g.threads[me].clock.join(&rc);
+            }
+            Op::RwAcquire { rid, write: false } => {
+                let rc = if let Resource::Lock { readers, clock, .. } = &mut g.resources[rid] {
+                    readers.push(me);
+                    clock.clone()
+                } else {
+                    VClock::default()
+                };
+                g.threads[me].clock.join(&rc);
+            }
+            Op::LockRelease(rid) | Op::RwRelease(rid) => {
+                let mine = g.threads[me].clock.clone();
+                if let Resource::Lock {
+                    writer,
+                    readers,
+                    clock,
+                } = &mut g.resources[rid]
+                {
+                    if *writer == Some(me) {
+                        *writer = None;
+                    }
+                    readers.retain(|&r| r != me);
+                    clock.join(&mine);
+                }
+            }
+            Op::CvWaitRelease {
+                cv,
+                mutex,
+                timeout_ns,
+            } => {
+                let mine = g.threads[me].clock.clone();
+                if let Resource::Lock { writer, clock, .. } = &mut g.resources[mutex] {
+                    *writer = None;
+                    clock.join(&mine);
+                }
+                if let Resource::Cv { waiters, .. } = &mut g.resources[cv] {
+                    waiters.push(me);
+                }
+                let deadline = timeout_ns.map(|t| g.now_ns.saturating_add(t));
+                g.threads[me].status = Status::CvWait {
+                    cv,
+                    mutex,
+                    deadline,
+                };
+            }
+            Op::CvNotify { cv, all } => {
+                let mine = g.threads[me].clock.clone();
+                let (woken, cvclock) = if let Resource::Cv { waiters, clock } = &mut g.resources[cv]
+                {
+                    clock.join(&mine);
+                    let woken = if all {
+                        std::mem::take(waiters)
+                    } else if waiters.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![waiters.remove(0)]
+                    };
+                    (woken, clock.clone())
+                } else {
+                    (Vec::new(), VClock::default())
+                };
+                for w in woken {
+                    let th = &mut g.threads[w];
+                    if let Status::CvWait { mutex, .. } = th.status {
+                        th.status = Status::Runnable;
+                        th.pending = Some(Op::LockAcquire(mutex));
+                        th.clock.join(&cvclock);
+                    }
+                }
+            }
+            Op::Atomic { rid, .. } => {
+                // Treated as acquire+release: clocks join both ways, so
+                // atomics publish happens-before (over-approximate
+                // visibility; never invents a false race).
+                let mine = g.threads[me].clock.clone();
+                let rc = if let Resource::Atomic { clock } = &mut g.resources[rid] {
+                    clock.join(&mine);
+                    clock.clone()
+                } else {
+                    VClock::default()
+                };
+                g.threads[me].clock.join(&rc);
+            }
+            Op::Cell { rid, write, loc } => {
+                let mine = g.threads[me].clock.clone();
+                let mut race: Option<(Tid, Option<&'static Location<'static>>, &str)> = None;
+                if let Resource::Cell {
+                    writes,
+                    reads,
+                    last_write,
+                    last_read,
+                } = &mut g.resources[rid]
+                {
+                    if let Some(t) = writes.unordered_after(&mine, me) {
+                        race = Some((t, last_write.map(|(_, l)| l), "write"));
+                    } else if write {
+                        if let Some(t) = reads.unordered_after(&mine, me) {
+                            race = Some((t, last_read.map(|(_, l)| l), "read"));
+                        }
+                    }
+                    if write {
+                        writes.set(me, mine.get(me));
+                        *last_write = Some((me, loc));
+                    } else {
+                        reads.set(me, mine.get(me));
+                        *last_read = Some((me, loc));
+                    }
+                }
+                if let Some((other, other_loc, other_kind)) = race {
+                    let what = if write { "write" } else { "read" };
+                    let at = other_loc
+                        .map(|l| format!("{l}"))
+                        .unwrap_or_else(|| "<unknown>".to_string());
+                    self.fail(
+                        g,
+                        FailureKind::DataRace,
+                        format!(
+                            "data race on RaceCell r{rid}: {what} by t{me} at {loc} is \
+                             unordered with {other_kind} by t{other} at {at}"
+                        ),
+                    );
+                }
+            }
+            Op::Spawn(child) => {
+                let pc = g.threads[me].clock.clone();
+                let th = &mut g.threads[child];
+                th.status = Status::Runnable;
+                th.clock.join(&pc);
+                th.clock.tick(child);
+            }
+            Op::Join(t) => {
+                let tc = g.threads[t].clock.clone();
+                g.threads[me].clock.join(&tc);
+            }
+            Op::Finish => {
+                g.threads[me].status = Status::Finished;
+            }
+        }
+    }
+
+    fn fail(&self, g: &mut ExecInner, kind: FailureKind, message: String) {
+        let schedule: Vec<Tid> = g.records.iter().map(|r| r.chosen).collect();
+        g.outcome = Some(Outcome::Failed(Failure {
+            kind,
+            message: format!("{message}\n  schedule: {schedule:?}"),
+        }));
+        self.wakeups.notify_all();
+    }
+}
+
+fn lock_free(g: &ExecInner, rid: Rid) -> bool {
+    matches!(
+        &g.resources[rid],
+        Resource::Lock { writer: None, readers, .. } if readers.is_empty()
+    )
+}
+
+fn enabled(g: &ExecInner, op: Op) -> bool {
+    match op {
+        Op::LockAcquire(rid) | Op::RwAcquire { rid, write: true } => lock_free(g, rid),
+        Op::RwAcquire { rid, write: false } => {
+            matches!(&g.resources[rid], Resource::Lock { writer: None, .. })
+        }
+        Op::Join(t) => matches!(g.threads[t].status, Status::Finished),
+        _ => true,
+    }
+}
+
+/// Names every stuck thread and what it waits for — the global wait-for
+/// condition rendered for humans.
+fn describe_deadlock(g: &ExecInner, stuck: &[Tid]) -> String {
+    let mut lines = vec!["deadlock: no schedulable thread, but these have not finished:".into()];
+    let mut lost_wakeup = false;
+    for &t in stuck {
+        let th = &g.threads[t];
+        let desc = match th.status {
+            Status::CvWait {
+                cv,
+                mutex,
+                deadline,
+            } => {
+                if deadline.is_none() {
+                    lost_wakeup = true;
+                }
+                format!(
+                    "t{t}: parked on condvar r{cv} (reacquires lock r{mutex}, {})",
+                    if deadline.is_some() {
+                        "timed"
+                    } else {
+                        "untimed — no notify can reach it: lost wakeup"
+                    }
+                )
+            }
+            Status::Embryo => format!("t{t}: spawned but its Spawn op never executed"),
+            _ => match th.pending {
+                Some(Op::LockAcquire(r))
+                | Some(Op::RwAcquire {
+                    rid: r,
+                    write: true,
+                }) => {
+                    let holder = match &g.resources[r] {
+                        Resource::Lock {
+                            writer: Some(w), ..
+                        } => format!("held by t{w}"),
+                        Resource::Lock { readers, .. } if !readers.is_empty() => {
+                            format!("read-held by {readers:?}")
+                        }
+                        _ => "free".to_string(),
+                    };
+                    format!("t{t}: blocked acquiring lock r{r} ({holder})")
+                }
+                Some(Op::Join(j)) => format!("t{t}: joining t{j}, which never finishes"),
+                Some(op) => format!("t{t}: blocked at {op:?}"),
+                None => format!("t{t}: runnable with no pending op (still executing?)"),
+            },
+        };
+        lines.push(format!("  {desc}"));
+    }
+    if lost_wakeup {
+        lines.push("  (an untimed parked thread with no reachable notify is a lost wakeup)".into());
+    }
+    lines.join("\n")
+}
+
+/// Extracts a readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}

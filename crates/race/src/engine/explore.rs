@@ -1,0 +1,252 @@
+//! DFS over schedules with replay prefixes, sleep sets and a
+//! bounded-preemption budget.
+//!
+//! Each iteration runs the closure under a schedule forced to follow the
+//! current DFS stack's choices, then free-runs (prefer-previous-thread)
+//! to completion. The per-step decision records come back to the
+//! explorer, which grafts the free suffix onto the stack and backtracks:
+//! the just-tried choice enters the node's *sleep set* (its subtree is
+//! covered — any schedule reaching this node may skip it unless an
+//! intervening dependent op wakes it), and the next untried,
+//! non-sleeping, bound-feasible candidate becomes the new forced choice.
+//!
+//! Known (documented) incompleteness: sleep sets assume the pruned
+//! branch is explored *somewhere*, while the preemption bound can cut
+//! that somewhere off. The combination is a bug-finder, not a proof —
+//! raise or drop the bound for exhaustiveness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use super::exec::{
+    panic_message, set_ctx, AbortToken, Ctx, Execution, Op, Outcome, PruneKind, StepRecord, Tid,
+};
+
+/// Exploration budget knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum context switches away from a still-runnable thread per
+    /// schedule (`None` = unbounded, full DFS).
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules.
+    pub max_schedules: u64,
+    /// Hard cap on yield points in a single schedule.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(2),
+            max_schedules: 200_000,
+            max_steps: 50_000,
+        }
+    }
+}
+
+/// Exploration summary for a completed (failure-free) search.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Complete schedules executed.
+    pub schedules: u64,
+    /// Schedules cut short by the sleep-set reduction.
+    pub pruned_sleep: u64,
+    /// Branches skipped because they exceeded the preemption bound.
+    pub pruned_preemptions: u64,
+    /// Longest schedule seen, in yield points.
+    pub max_steps_seen: usize,
+}
+
+/// A concurrency failure found by the explorer.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable description with the offending schedule.
+    pub message: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+/// Failure classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No runnable thread, but unfinished threads remain (covers lock
+    /// cycles, full/empty bounded channels, lost wakeups).
+    Deadlock,
+    /// Conflicting unsynchronized accesses to a `RaceCell`.
+    DataRace,
+    /// A model thread panicked (failed assertion in the closure).
+    Panic,
+    /// Replay diverged — the closure is not schedule-deterministic.
+    Determinism,
+    /// `max_schedules`/`max_steps` exhausted before the space was covered.
+    Limit,
+}
+
+/// One frontier node of the DFS stack.
+struct Node {
+    candidates: Vec<(Tid, Op)>,
+    sleep: Vec<(Tid, Op)>,
+    tried: Vec<Tid>,
+    chosen: Tid,
+    prev: Option<Tid>,
+    preemptions_before: usize,
+}
+
+static QUIET_ABORT_HOOK: Once = Once::new();
+
+/// Model threads unwind with [`AbortToken`] when an execution dies; the
+/// default panic hook would spam stderr for each. Install a wrapper that
+/// stays silent for those payloads only.
+fn install_quiet_abort_hook() {
+    QUIET_ABORT_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortToken>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Runs `f` under every schedule (up to the default [`Config`] budgets),
+/// returning stats on success or the first [`Failure`] found.
+pub fn explore<F>(name: &str, f: F) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync,
+{
+    explore_with(name, Config::default(), f)
+}
+
+/// [`explore`] with explicit budgets.
+pub fn explore_with<F>(name: &str, cfg: Config, f: F) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync,
+{
+    install_quiet_abort_hook();
+    let mut stats = Stats::default();
+    let mut stack: Vec<Node> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        if executions > cfg.max_schedules {
+            return Err(Failure {
+                kind: FailureKind::Limit,
+                message: format!(
+                    "model '{name}': max_schedules={} exhausted ({} complete, {} sleep-pruned, \
+                     {} bound-pruned) before the space was covered",
+                    cfg.max_schedules,
+                    stats.schedules,
+                    stats.pruned_sleep,
+                    stats.pruned_preemptions
+                ),
+            });
+        }
+        let prefix: Vec<Tid> = stack.iter().map(|n| n.chosen).collect();
+        let frontier_sleep = stack.last().map(|n| n.sleep.clone()).unwrap_or_default();
+        let exec = Execution::new(cfg.preemption_bound, cfg.max_steps, prefix, frontier_sleep);
+        set_ctx(Some(Ctx {
+            exec: exec.clone(),
+            tid: 0,
+        }));
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        match result {
+            Ok(()) => exec.finish_thread(0, None),
+            Err(payload) if payload.is::<AbortToken>() => exec.finish_thread(0, None),
+            Err(payload) => exec.finish_thread(0, Some(panic_message(payload.as_ref()))),
+        }
+        set_ctx(None);
+        let outcome = exec.wait_outcome();
+        exec.join_all();
+        let records = exec.take_records();
+        match outcome {
+            Outcome::Failed(failure) => {
+                return Err(Failure {
+                    kind: failure.kind,
+                    message: format!(
+                        "model '{name}' ({} schedules explored): {}",
+                        stats.schedules + 1,
+                        failure.message
+                    ),
+                });
+            }
+            Outcome::Done => {
+                stats.schedules += 1;
+                stats.max_steps_seen = stats.max_steps_seen.max(records.len());
+            }
+            Outcome::Pruned(PruneKind::Sleep) => stats.pruned_sleep += 1,
+            Outcome::Pruned(PruneKind::Preemption) => stats.pruned_preemptions += 1,
+        }
+        // Graft the free-run suffix onto the DFS stack.
+        for r in records.into_iter().skip(stack.len()) {
+            let StepRecord {
+                candidates,
+                sleep,
+                chosen,
+                prev,
+                preemptions_before,
+            } = r;
+            stack.push(Node {
+                candidates,
+                sleep,
+                tried: vec![chosen],
+                chosen,
+                prev,
+                preemptions_before,
+            });
+        }
+        // Backtrack to the deepest node with an untried, non-sleeping,
+        // bound-feasible candidate.
+        loop {
+            let Some(node) = stack.last_mut() else {
+                return Ok(stats);
+            };
+            // The just-covered choice joins the sleep set: its subtree is
+            // fully explored from this node.
+            let covered = node.chosen;
+            if !node.sleep.iter().any(|&(t, _)| t == covered) {
+                if let Some(&(_, op)) = node.candidates.iter().find(|&&(t, _)| t == covered) {
+                    node.sleep.push((covered, op));
+                }
+            }
+            let mut next: Option<Tid> = None;
+            for &(t, _) in &node.candidates {
+                if node.tried.contains(&t) || node.sleep.iter().any(|&(st, _)| st == t) {
+                    continue;
+                }
+                // Would scheduling t here blow the preemption budget?
+                let preempts = match node.prev {
+                    Some(p) if p != t => node.candidates.iter().any(|&(c, _)| c == p),
+                    _ => false,
+                };
+                if preempts {
+                    if let Some(bound) = cfg.preemption_bound {
+                        if node.preemptions_before + 1 > bound {
+                            node.tried.push(t);
+                            stats.pruned_preemptions += 1;
+                            continue;
+                        }
+                    }
+                }
+                next = Some(t);
+                break;
+            }
+            match next {
+                Some(t) => {
+                    node.chosen = t;
+                    node.tried.push(t);
+                    break;
+                }
+                None => {
+                    stack.pop();
+                }
+            }
+        }
+    }
+}

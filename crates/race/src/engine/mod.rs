@@ -1,0 +1,18 @@
+//! The model engine (compiled only with the `model` feature).
+//!
+//! * [`exec`] — one deterministic execution: real OS threads serialized
+//!   so exactly one *model thread* runs at a time, yield points, op
+//!   enabledness, vector clocks, deadlock/race detection.
+//! * [`explore`] — DFS over schedules with replay prefixes, sleep-set
+//!   reduction and a bounded-preemption budget.
+//! * [`sync_impl`] / [`thread_impl`] / [`time_impl`] — the instrumented
+//!   primitives the facade resolves to under `--features model`.
+
+pub(crate) mod exec;
+mod explore;
+pub(crate) mod sync_impl;
+pub(crate) mod thread_impl;
+pub(crate) mod time_impl;
+mod vclock;
+
+pub use explore::{explore, explore_with, Config, Failure, FailureKind, Stats};

@@ -1,0 +1,513 @@
+//! Instrumented primitives the facade resolves to under `--features model`.
+//!
+//! Every type still *really* synchronizes (the data lives behind a real
+//! `parking_lot` lock), but each visible operation first passes through a
+//! scheduler yield point, so the model controls the interleaving and the
+//! real lock is only ever taken when the model says it is free.
+//!
+//! Safety of the real-lock acquire: the model `LockAcquire` is applied
+//! while this thread is the *only* active one, and the previous owner's
+//! real guard was dropped before its next yield point — so when the model
+//! grants the lock, the real lock is free and `data.lock()` cannot block.
+
+use std::sync::atomic::AtomicU64;
+use std::time::Duration;
+
+use super::exec::{ctx, Ctx, Op, ResourceKind, Rid};
+
+/// Mutex with scheduler yield points on lock/unlock.
+pub struct Mutex<T: ?Sized> {
+    tag: AtomicU64,
+    // bf-lint: allow(lock_graph): model-internal backing storage; ordering is enforced on the facade rid, not this lock
+    data: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex (registration with an execution is lazy).
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            tag: AtomicU64::new(0),
+            data: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock (a model yield point).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match ctx() {
+            Some(c) => {
+                let rid = c.exec.register(&self.tag, ResourceKind::Lock);
+                c.exec.perform(c.tid, Op::LockAcquire(rid));
+                let real = self.data.lock();
+                MutexGuard {
+                    lock: self,
+                    real: Some(real),
+                    model: Some((c, rid)),
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                real: Some(self.data.lock()),
+                model: None,
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mutex {{ .. }}")
+    }
+}
+
+/// Guard for [`Mutex`]; release is a (quiet) yield point on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // bf-lint: allow(lock_graph): back-reference to the facade mutex so a
+    // condvar wait can retake it; not a lock declaration of its own.
+    lock: &'a Mutex<T>,
+    real: Option<parking_lot::MutexGuard<'a, T>>,
+    model: Option<(Ctx, Rid)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // bf-lint: allow(panic): guard invariant — real is Some except mid-condvar-wait
+        self.real.as_ref().expect("guard used while parked")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // bf-lint: allow(panic): guard invariant — real is Some except mid-condvar-wait
+        self.real.as_mut().expect("guard used while parked")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the real guard FIRST, then tell the model: by the time any
+        // other model thread is granted this lock, the real lock is free.
+        self.real = None;
+        if let Some((c, rid)) = self.model.take() {
+            c.exec.perform_quiet(c.tid, Op::LockRelease(rid));
+        }
+    }
+}
+
+/// Condvar whose wait/notify are model yield points; `wait_for` may fire
+/// its timeout at any scheduling point (deterministic "spurious" timing).
+pub struct Condvar {
+    tag: AtomicU64,
+    real: parking_lot::Condvar,
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+impl Condvar {
+    /// Creates the condvar (registration with an execution is lazy).
+    pub const fn new() -> Condvar {
+        Condvar {
+            tag: AtomicU64::new(0),
+            real: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Releases the guard's mutex and parks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_inner(guard, None);
+    }
+
+    /// Like [`Condvar::wait`] with a timeout; under the model the timeout
+    /// may fire at any scheduling point with virtual time jumping to the
+    /// deadline.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult(self.wait_inner(guard, Some(timeout)))
+    }
+
+    fn wait_inner<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Option<Duration>) -> bool {
+        match &guard.model {
+            Some((c, mutex_rid)) => {
+                let c = c.clone();
+                let mutex_rid = *mutex_rid;
+                let cv = c.exec.register(&self.tag, ResourceKind::Cv);
+                c.exec.perform(
+                    c.tid,
+                    Op::CvWaitRelease {
+                        cv,
+                        mutex: mutex_rid,
+                        timeout_ns: timeout.map(super::time_impl::dur_ns),
+                    },
+                );
+                // The model released the mutex; drop the real guard to match.
+                guard.real = None;
+                let timed_out = c.exec.park_after_cv_release(c.tid, cv, mutex_rid);
+                // The model has reacquired the mutex for us; retake the real
+                // lock (free, by the real-lock safety argument above).
+                guard.real = Some(guard.lock.data.lock());
+                timed_out
+            }
+            None => {
+                // No model context: fall through to the real condvar.
+                match timeout {
+                    Some(t) => {
+                        let g = guard
+                            .real
+                            .as_mut()
+                            // bf-lint: allow(panic): guard invariant — real is Some outside a model wait
+                            .expect("guard used while parked");
+                        self.real.wait_for(g, t).timed_out()
+                    }
+                    None => {
+                        let g = guard
+                            .real
+                            .as_mut()
+                            // bf-lint: allow(panic): guard invariant — real is Some outside a model wait
+                            .expect("guard used while parked");
+                        self.real.wait(g);
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter (a model yield point).
+    pub fn notify_one(&self) -> bool {
+        match ctx() {
+            Some(c) => {
+                let cv = c.exec.register(&self.tag, ResourceKind::Cv);
+                c.exec.perform(c.tid, Op::CvNotify { cv, all: false });
+                false
+            }
+            None => self.real.notify_one(),
+        }
+    }
+
+    /// Wakes all waiters (a model yield point).
+    pub fn notify_all(&self) -> usize {
+        match ctx() {
+            Some(c) => {
+                let cv = c.exec.register(&self.tag, ResourceKind::Cv);
+                c.exec.perform(c.tid, Op::CvNotify { cv, all: true });
+                0
+            }
+            None => self.real.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Whether a timed wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait timed out rather than being notified.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// RwLock with scheduler yield points; read-read acquisitions commute.
+pub struct RwLock<T: ?Sized> {
+    tag: AtomicU64,
+    // bf-lint: allow(lock_graph): model-internal backing storage; ordering is enforced on the facade rid, not this lock
+    data: parking_lot::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock (registration with an execution is lazy).
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            tag: AtomicU64::new(0),
+            data: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard (a model yield point).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let model = match ctx() {
+            Some(c) => {
+                let rid = c.exec.register(&self.tag, ResourceKind::Lock);
+                c.exec.perform(c.tid, Op::RwAcquire { rid, write: false });
+                Some((c, rid))
+            }
+            None => None,
+        };
+        RwLockReadGuard {
+            real: Some(self.data.read()),
+            model,
+        }
+    }
+
+    /// Acquires the exclusive write guard (a model yield point).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let model = match ctx() {
+            Some(c) => {
+                let rid = c.exec.register(&self.tag, ResourceKind::Lock);
+                c.exec.perform(c.tid, Op::RwAcquire { rid, write: true });
+                Some((c, rid))
+            }
+            None => None,
+        };
+        RwLockWriteGuard {
+            real: Some(self.data.write()),
+            model,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RwLock {{ .. }}")
+    }
+}
+
+macro_rules! rw_guard {
+    ($name:ident, $real:ident) => {
+        /// RwLock guard; release is a (quiet) yield point on drop.
+        pub struct $name<'a, T: ?Sized> {
+            real: Option<parking_lot::$real<'a, T>>,
+            model: Option<(Ctx, Rid)>,
+        }
+
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                // bf-lint: allow(panic): guard invariant — real is Some while the guard lives
+                self.real.as_ref().expect("rw guard missing real lock")
+            }
+        }
+
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                self.real = None;
+                if let Some((c, rid)) = self.model.take() {
+                    c.exec.perform_quiet(c.tid, Op::RwRelease(rid));
+                }
+            }
+        }
+    };
+}
+
+rw_guard!(RwLockReadGuard, RwLockReadGuard);
+rw_guard!(RwLockWriteGuard, RwLockWriteGuard);
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // bf-lint: allow(panic): guard invariant — real is Some while the guard lives
+        self.real.as_mut().expect("rw guard missing real lock")
+    }
+}
+
+/// Instrumented atomics: every access is a yield point and an
+/// acquire+release happens-before edge (over-approximate visibility —
+/// the checker never invents a race from an atomic).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use std::sync::atomic::AtomicU64 as Tag;
+
+    use crate::engine::exec::{ctx, Op, ResourceKind};
+
+    macro_rules! model_atomic {
+        ($name:ident, $inner:ty, $prim:ty $(, $fetch:ident)*) => {
+            /// Model-instrumented atomic.
+            pub struct $name {
+                tag: Tag,
+                v: $inner,
+            }
+
+            impl $name {
+                /// Creates the atomic (registration is lazy).
+                pub const fn new(v: $prim) -> $name {
+                    $name {
+                        tag: Tag::new(0),
+                        v: <$inner>::new(v),
+                    }
+                }
+
+                fn touch(&self, write: bool) {
+                    if let Some(c) = ctx() {
+                        let rid = c.exec.register(&self.tag, ResourceKind::Atomic);
+                        c.exec.perform(c.tid, Op::Atomic { rid, write });
+                    }
+                }
+
+                /// Atomic load (yield point).
+                pub fn load(&self, o: Ordering) -> $prim {
+                    self.touch(false);
+                    self.v.load(o)
+                }
+
+                /// Atomic store (yield point).
+                pub fn store(&self, val: $prim, o: Ordering) {
+                    self.touch(true);
+                    self.v.store(val, o);
+                }
+
+                /// Atomic swap (yield point).
+                pub fn swap(&self, val: $prim, o: Ordering) -> $prim {
+                    self.touch(true);
+                    self.v.swap(val, o)
+                }
+
+                $(
+                    /// Atomic read-modify-write (yield point).
+                    pub fn $fetch(&self, val: $prim, o: Ordering) -> $prim {
+                        self.touch(true);
+                        self.v.$fetch(val, o)
+                    }
+                )*
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, concat!(stringify!($name), "(..)"))
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    model_atomic!(
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32,
+        fetch_add,
+        fetch_sub
+    );
+    model_atomic!(
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64,
+        fetch_add,
+        fetch_sub
+    );
+    model_atomic!(
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        fetch_add,
+        fetch_sub
+    );
+}
+
+/// A checked cell: accesses are *not* treated as synchronizing, so two
+/// unordered accesses (one a write) are reported as a data race. Use it
+/// to assert "this state is protected by the locks around it".
+pub struct RaceCell<T> {
+    tag: AtomicU64,
+    // bf-lint: allow(lock_graph): checker-internal cell, never nested with ranked locks
+    cell: parking_lot::Mutex<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// Creates the cell (registration with an execution is lazy).
+    pub const fn new(value: T) -> RaceCell<T> {
+        RaceCell {
+            tag: AtomicU64::new(0),
+            cell: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Reads the value; flags a race with any unordered write.
+    #[track_caller]
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        let loc = std::panic::Location::caller();
+        if let Some(c) = ctx() {
+            let rid = c.exec.register(&self.tag, ResourceKind::Cell);
+            c.exec.perform(
+                c.tid,
+                Op::Cell {
+                    rid,
+                    write: false,
+                    loc,
+                },
+            );
+        }
+        self.cell.lock().clone()
+    }
+
+    /// Writes the value; flags a race with any unordered access.
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        let loc = std::panic::Location::caller();
+        if let Some(c) = ctx() {
+            let rid = c.exec.register(&self.tag, ResourceKind::Cell);
+            c.exec.perform(
+                c.tid,
+                Op::Cell {
+                    rid,
+                    write: true,
+                    loc,
+                },
+            );
+        }
+        *self.cell.lock() = value;
+    }
+}

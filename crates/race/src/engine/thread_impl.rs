@@ -1,0 +1,110 @@
+//! Model-aware spawn/join/yield.
+//!
+//! Spawn determinism: the parent allocates the child's model slot (with
+//! `Op::Started` already pending) *before* its own `Spawn` yield point,
+//! so the scheduler's candidate sets never depend on how fast the OS
+//! actually starts the child thread. The child merely installs its model
+//! context and waits to be activated.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use super::exec::{ctx, panic_message, set_ctx, AbortToken, Ctx, Execution, Op, Tid};
+
+/// Handle to a spawned thread (model-scheduled inside an execution).
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Execution>,
+        tid: Tid,
+        // bf-lint: allow(lock_graph): scheduler-internal result slot, only
+        // touched after the model Join op grants happens-before.
+        result: Arc<parking_lot::Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, propagating panics.
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Real(h) => match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
+            Inner::Model { exec, tid, result } => {
+                let me = ctx().map(|c| c.tid).unwrap_or(0);
+                exec.perform(me, Op::Join(tid));
+                match result.lock().take() {
+                    Some(v) => v,
+                    // Joined a finished thread with no value: it aborted or
+                    // panicked, and the execution is (or is about to be)
+                    // dead — unwind this thread too.
+                    None => std::panic::panic_any(AbortToken),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread; inside a model execution it becomes a model thread
+/// whose every facade op is a scheduler yield point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(parent) = ctx() else {
+        return JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        };
+    };
+    let exec = parent.exec.clone();
+    let tid = exec.alloc_thread();
+    // The child is schedulable (as Embryo→Runnable via Spawn) from this
+    // yield point on, regardless of OS thread startup latency.
+    exec.perform(parent.tid, Op::Spawn(tid));
+    let result: Arc<parking_lot::Mutex<Option<T>>> = Arc::new(parking_lot::Mutex::new(None));
+    let slot = result.clone();
+    let child_exec = exec.clone();
+    let handle = std::thread::spawn(move || {
+        set_ctx(Some(Ctx {
+            exec: child_exec.clone(),
+            tid,
+        }));
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            // First yield point: wait to be scheduled (applies `Started`).
+            child_exec.start_thread(tid);
+            f()
+        }));
+        set_ctx(None);
+        match out {
+            Ok(v) => {
+                *slot.lock() = Some(v);
+                child_exec.finish_thread(tid, None);
+            }
+            Err(payload) if payload.is::<AbortToken>() => {
+                child_exec.finish_thread(tid, None);
+            }
+            Err(payload) => {
+                child_exec.finish_thread(tid, Some(panic_message(payload.as_ref())));
+            }
+        }
+    });
+    exec.add_os_handle(handle);
+    JoinHandle {
+        inner: Inner::Model { exec, tid, result },
+    }
+}
+
+/// A pure yield point: lets the scheduler switch without any visible op.
+pub fn yield_now() {
+    if let Some(c) = ctx() {
+        c.exec.perform(c.tid, Op::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,78 @@
+//! Vector clocks: the happens-before order the race detector consults.
+
+/// A sparse-tail vector clock; index = model thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// Advances this clock's own component for thread `t`.
+    pub(crate) fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// The component for thread `t` (0 if never seen).
+    pub(crate) fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for thread `t`.
+    pub(crate) fn set(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Pointwise maximum: `self ← self ⊔ other`.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Some thread `t != exclude` whose component here exceeds `other`'s —
+    /// i.e. an access by `t` recorded in `self` that does *not*
+    /// happen-before the observer whose clock is `other`.
+    pub(crate) fn unordered_after(&self, other: &VClock, exclude: usize) -> Option<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .find(|&(t, &v)| t != exclude && v > other.get(t))
+            .map(|(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::default();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn unordered_after_finds_the_racing_thread() {
+        let mut writes = VClock::default();
+        writes.set(1, 5);
+        let mut observer = VClock::default();
+        observer.set(1, 4);
+        assert_eq!(writes.unordered_after(&observer, 0), Some(1));
+        observer.set(1, 5);
+        assert_eq!(writes.unordered_after(&observer, 0), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! Facade thread spawn/join. Passthrough builds delegate to
+//! `std::thread`; model builds register the child with the scheduler so
+//! spawn and join become yield points (and happens-before edges).
+
+#[cfg(feature = "model")]
+pub use crate::engine::thread_impl::{spawn, yield_now, JoinHandle};
+
+/// Handle to a spawned facade thread.
+#[cfg(not(feature = "model"))]
+#[derive(Debug)]
+pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+#[cfg(not(feature = "model"))]
+impl<T> JoinHandle<T> {
+    /// Waits for the thread and returns its result, propagating a panic
+    /// from the child onto the joining thread (parking_lot-style: no
+    /// poisoned `Result` to thread through callers).
+    pub fn join(self) -> T {
+        match self.0.join() {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// Spawns a facade thread.
+#[cfg(not(feature = "model"))]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    JoinHandle(std::thread::spawn(f))
+}
+
+/// Cooperative yield. A no-op hint in passthrough builds; a real
+/// scheduling point in model builds.
+#[cfg(not(feature = "model"))]
+pub fn yield_now() {
+    std::thread::yield_now();
+}

@@ -1,0 +1,275 @@
+//! Engine self-tests: seeded bugs the checker must catch, plus sanity
+//! checks that correct code explores multiple schedules cleanly.
+//!
+//! These are the "does the checker actually check" suite — each seeded
+//! bug mirrors a defect class from the real system (opposite lock
+//! orders, check-then-park without generation counting, unsynchronized
+//! shared state) and the test asserts the explorer reports it.
+
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use bf_race::sync::{atomic, Condvar, Mutex, RaceCell};
+use bf_race::{explore, explore_with, thread, Config, FailureKind};
+
+/// Two threads taking two locks in opposite orders: the classic cycle.
+/// The checker must find the schedule where each holds one lock.
+#[test]
+fn seeded_opposite_order_deadlock_is_caught() {
+    let result = explore("opposite-order-deadlock", || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let ga = a2.lock();
+            let mut gb = b2.lock();
+            *gb += *ga;
+        });
+        {
+            let gb = b.lock();
+            let mut ga = a.lock();
+            *ga += *gb;
+        }
+        t.join();
+    });
+    let failure = result.expect_err("deadlock must be reported");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    assert!(
+        failure.message.contains("blocked acquiring lock"),
+        "deadlock report should name the blocked acquisitions: {failure}"
+    );
+}
+
+/// Re-locking a mutex the same thread already holds: self-deadlock.
+#[test]
+fn seeded_self_deadlock_is_caught() {
+    let result = explore("self-deadlock", || {
+        let m = Mutex::new(1u32);
+        let g1 = m.lock();
+        let g2 = m.lock();
+        drop(g2);
+        drop(g1);
+    });
+    let failure = result.expect_err("self-deadlock must be reported");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+}
+
+/// The "dropped wake" bug: a consumer checks a flag and parks *untimed*,
+/// while the producer sets the flag and notifies. In the schedule where
+/// the notify lands between the check and the park, the wake is lost and
+/// the consumer sleeps forever. (The real Poller avoids this with
+/// generation counting — `poll_gen` is read under the same lock the wait
+/// uses.)
+#[test]
+fn seeded_lost_wakeup_is_caught() {
+    let result = explore("lost-wakeup", || {
+        let ready = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (ready2, cv2) = (ready.clone(), cv.clone());
+        let consumer = thread::spawn(move || {
+            // BUG: the readiness check releases the lock before parking
+            // and the flag is never rechecked, so a notify landing in the
+            // gap is dropped and the park lasts forever.
+            let was_ready = { *ready2.lock() };
+            if !was_ready {
+                let mut g = ready2.lock();
+                cv2.wait(&mut g);
+            }
+        });
+        {
+            let mut g = ready.lock();
+            *g = true;
+        }
+        cv.notify_one();
+        consumer.join();
+    });
+    let failure = result.expect_err("lost wakeup must be reported");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    assert!(
+        failure.message.contains("lost wakeup"),
+        "report should classify the untimed parked thread as a lost wakeup: {failure}"
+    );
+}
+
+/// The correct version of the same pattern — re-check under the wait
+/// lock, notify while publishing — explores cleanly, and needs more than
+/// one schedule to say so.
+#[test]
+fn correct_wait_protocol_is_clean() {
+    let stats = explore("correct-wait", || {
+        let ready = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (ready2, cv2) = (ready.clone(), cv.clone());
+        let consumer = thread::spawn(move || {
+            let mut g = ready2.lock();
+            while !*g {
+                cv2.wait(&mut g);
+            }
+        });
+        {
+            let mut g = ready.lock();
+            *g = true;
+            cv.notify_one();
+        }
+        consumer.join();
+    })
+    .expect("correct protocol must explore cleanly");
+    assert!(
+        stats.schedules > 1,
+        "expected multiple schedules, got {stats:?}"
+    );
+}
+
+/// Unsynchronized concurrent writes to shared state: a data race with no
+/// happens-before edge between the accesses.
+#[test]
+fn seeded_unsynchronized_write_race_is_caught() {
+    let result = explore("write-race", || {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let cell2 = cell.clone();
+        let t = thread::spawn(move || {
+            cell2.set(1);
+        });
+        cell.set(2);
+        t.join();
+    });
+    let failure = result.expect_err("data race must be reported");
+    assert_eq!(failure.kind, FailureKind::DataRace, "{failure}");
+    assert!(
+        failure.message.contains("unordered with"),
+        "race report should show both access sites: {failure}"
+    );
+}
+
+/// The same accesses ordered by a mutex are race-free: lock/unlock
+/// builds the happens-before edge the detector consults.
+#[test]
+fn lock_ordered_accesses_are_race_free() {
+    let stats = explore("lock-ordered", || {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let gate = Arc::new(Mutex::new(()));
+        let (cell2, gate2) = (cell.clone(), gate.clone());
+        let t = thread::spawn(move || {
+            let _g = gate2.lock();
+            let v = cell2.get();
+            cell2.set(v + 1);
+        });
+        {
+            let _g = gate.lock();
+            let v = cell.get();
+            cell.set(v + 1);
+        }
+        t.join();
+    })
+    .expect("mutex-ordered accesses must be race-free");
+    assert!(
+        stats.schedules > 1,
+        "expected multiple schedules, got {stats:?}"
+    );
+}
+
+/// A panic inside the closure surfaces as a Panic failure with the
+/// assertion message, not a test-harness abort.
+#[test]
+fn closure_panic_is_reported() {
+    let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let c2 = counter.clone();
+    let result = explore("panicking-model", move || {
+        let n = c2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        assert!(n > 1_000_000, "seeded assertion failure");
+    });
+    let failure = result.expect_err("panic must be reported");
+    assert_eq!(failure.kind, FailureKind::Panic, "{failure}");
+    assert!(
+        failure.message.contains("seeded assertion failure"),
+        "panic message should be carried through: {failure}"
+    );
+}
+
+/// Two unordered increments through instrumented atomics: all
+/// interleavings of the load/add are explored, so both the lost-update
+/// total (1) and the sequential total (2) must be observed.
+#[test]
+fn atomics_explore_interleavings() {
+    use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+    let saw_two = Arc::new(AtomicBool::new(false));
+    let saw = saw_two.clone();
+    let stats = explore("atomic-interleavings", move || {
+        let n = Arc::new(atomic::AtomicU32::new(0));
+        let n2 = n.clone();
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, atomic::Ordering::SeqCst);
+        });
+        n.fetch_add(1, atomic::Ordering::SeqCst);
+        t.join();
+        if n.load(atomic::Ordering::SeqCst) == 2 {
+            saw.store(true, StdOrdering::Relaxed);
+        }
+    })
+    .expect("atomic increments are race-free by definition");
+    assert!(stats.schedules > 1, "got {stats:?}");
+    assert!(saw_two.load(StdOrdering::Relaxed));
+}
+
+/// An untimed wait that times out instead: `wait_for` must explore the
+/// timeout branch deterministically (no notify ever arrives, so *only*
+/// the timeout branch exists — the schedule still terminates).
+#[test]
+fn timed_wait_explores_timeout_branch() {
+    let stats = explore("timed-wait-timeout", || {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
+    })
+    .expect("a timed wait with no notifier must terminate via its timeout");
+    assert!(stats.schedules >= 1, "got {stats:?}");
+}
+
+/// The preemption bound actually prunes: an unbounded run of a 3-thread
+/// interleaving explores strictly more schedules than a 0-preemption run.
+#[test]
+fn preemption_bound_limits_exploration() {
+    let body = || {
+        let n = Arc::new(atomic::AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n2 = n.clone();
+            handles.push(thread::spawn(move || {
+                n2.fetch_add(1, atomic::Ordering::SeqCst);
+                n2.fetch_add(1, atomic::Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+    };
+    let bounded = explore_with(
+        "bounded",
+        Config {
+            preemption_bound: Some(0),
+            ..Config::default()
+        },
+        body,
+    )
+    .expect("bounded run is clean");
+    let unbounded = explore_with(
+        "unbounded",
+        Config {
+            preemption_bound: None,
+            ..Config::default()
+        },
+        body,
+    )
+    .expect("unbounded run is clean");
+    assert!(
+        unbounded.schedules > bounded.schedules,
+        "unbounded {unbounded:?} should explore more than bounded {bounded:?}"
+    );
+    assert!(
+        bounded.pruned_preemptions > 0,
+        "bound must prune: {bounded:?}"
+    );
+}

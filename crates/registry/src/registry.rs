@@ -87,7 +87,7 @@ impl From<AllocateError> for RegistryError {
 /// registry.
 #[derive(Clone)]
 pub struct Registry {
-    inner: Arc<Mutex<RegistryInner>>,
+    registry: Arc<Mutex<RegistryInner>>,
     cluster: Arc<Mutex<Option<Cluster>>>,
 }
 
@@ -95,7 +95,7 @@ impl Registry {
     /// Creates a registry with the given allocation policy.
     pub fn new(policy: AllocationPolicy) -> Self {
         Registry {
-            inner: Arc::new(Mutex::new(RegistryInner {
+            registry: Arc::new(Mutex::new(RegistryInner {
                 devices: BTreeMap::new(),
                 functions: BTreeMap::new(),
                 bindings: BTreeMap::new(),
@@ -108,7 +108,7 @@ impl Registry {
     /// Registers a device (Devices Service).
     pub fn register_device(&self, manager: DeviceManager) {
         let id = manager.device_id().to_string();
-        self.inner.lock().devices.insert(
+        self.registry.lock().devices.insert(
             id,
             ManagedDevice {
                 manager,
@@ -122,7 +122,7 @@ impl Registry {
     /// Registers a function and its device query (Functions Service).
     pub fn register_function(&self, name: impl Into<String>, query: DeviceQuery) {
         let name = name.into();
-        self.inner.lock().functions.insert(
+        self.registry.lock().functions.insert(
             name.clone(),
             FunctionRecord {
                 name,
@@ -134,13 +134,13 @@ impl Registry {
 
     /// Fetches a function record.
     pub fn function(&self, name: &str) -> Option<FunctionRecord> {
-        self.inner.lock().functions.get(name).cloned()
+        self.registry.lock().functions.get(name).cloned()
     }
 
     /// The manager handle for a device id (what a function instance dials
     /// after reading `DEVICE_MANAGER_ADDRESS`).
     pub fn manager(&self, device_id: &str) -> Option<DeviceManager> {
-        self.inner
+        self.registry
             .lock()
             .devices
             .get(device_id)
@@ -149,12 +149,12 @@ impl Registry {
 
     /// All registered device ids.
     pub fn device_ids(&self) -> Vec<String> {
-        self.inner.lock().devices.keys().cloned().collect()
+        self.registry.lock().devices.keys().cloned().collect()
     }
 
     /// The device an instance is bound to.
     pub fn binding(&self, instance: &str) -> Option<String> {
-        self.inner
+        self.registry
             .lock()
             .bindings
             .get(instance)
@@ -166,14 +166,14 @@ impl Registry {
     pub fn gather_metrics(&self) {
         // Scrape outside the lock (scrapes take the managers' locks).
         let scrapes: Vec<(String, String)> = {
-            let inner = self.inner.lock();
+            let inner = self.registry.lock();
             inner
                 .devices
                 .values()
                 .map(|d| (d.manager.device_id().to_string(), d.manager.scrape()))
                 .collect()
         };
-        let mut inner = self.inner.lock();
+        let mut inner = self.registry.lock();
         for (id, text) in scrapes {
             let samples = parse_scrape(&text);
             if let Some(util) = gauge_for_device(&samples, "bf_fpga_utilization", &id) {
@@ -250,7 +250,7 @@ impl Registry {
         function: &str,
     ) -> Result<Allocation, RegistryError> {
         let (decision, manager) = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.registry.lock();
             let query = inner
                 .functions
                 .get(function)
@@ -298,7 +298,7 @@ impl Registry {
                 }
             }
             manager.program(bitstream).map_err(RegistryError::Program)?;
-            if let Some(device) = self.inner.lock().devices.get_mut(&decision.device_id) {
+            if let Some(device) = self.registry.lock().devices.get_mut(&decision.device_id) {
                 device.pending_reconfiguration = None;
             }
         }
@@ -307,7 +307,7 @@ impl Registry {
 
     /// Removes an instance's binding (called when its pod is deleted).
     pub fn release_instance(&self, instance: &str) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.registry.lock();
         if let Some((function, _)) = inner.bindings.remove(instance) {
             if let Some(rec) = inner.functions.get_mut(&function) {
                 rec.instances.retain(|i| i != instance);
@@ -328,7 +328,7 @@ impl Registry {
         bitstream: &str,
     ) -> Result<(), RegistryError> {
         let (manager, tenants) = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.registry.lock();
             let dev = inner
                 .devices
                 .get_mut(device_id)
@@ -361,7 +361,7 @@ impl Registry {
             }
         }
         manager.program(bitstream).map_err(RegistryError::Program)?;
-        if let Some(device) = self.inner.lock().devices.get_mut(device_id) {
+        if let Some(device) = self.registry.lock().devices.get_mut(device_id) {
             device.pending_reconfiguration = None;
         }
         Ok(())
@@ -381,7 +381,7 @@ impl Registry {
     /// device stays deregistered either way — it is gone).
     pub fn handle_device_failure(&self, device_id: &str) -> Result<Vec<String>, RegistryError> {
         let tenants = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.registry.lock();
             if inner.devices.remove(device_id).is_none() {
                 return Err(RegistryError::UnknownDevice(device_id.to_string()));
             }
@@ -460,12 +460,12 @@ impl Registry {
 
     /// Snapshot of the allocator's device views (diagnostics, tests).
     pub fn device_views(&self) -> Vec<DeviceView> {
-        Self::views(&self.inner.lock())
+        Self::views(&self.registry.lock())
     }
 
     /// Nodes currently hosting at least one registered device.
     pub fn device_nodes(&self) -> Vec<NodeId> {
-        self.inner
+        self.registry
             .lock()
             .devices
             .values()
@@ -476,7 +476,7 @@ impl Registry {
 
 impl fmt::Debug for Registry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock();
+        let inner = self.registry.lock();
         f.debug_struct("Registry")
             .field("devices", &inner.devices.len())
             .field("functions", &inner.functions.len())

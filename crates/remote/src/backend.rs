@@ -1,6 +1,7 @@
 //! The Remote OpenCL Library's [`Backend`] implementation — the transparent
 //! layer that lets unmodified host code drive a shared remote board.
 
+use crate::sync::Mutex;
 use bf_fpga::Payload;
 use bf_model::{NodeId, VirtualClock, VirtualTime};
 use bf_ocl::{
@@ -8,7 +9,6 @@ use bf_ocl::{
     MemId, NdRange, ProgramId, QueueId,
 };
 use bf_rpc::{DataRef, Request, Response, WireArg};
-use parking_lot::Mutex;
 
 use crate::connection::Connection;
 
@@ -29,7 +29,7 @@ pub struct RemoteBackend {
     /// Client-side virtual instant when the last staged payload finished
     /// copying/serializing; keeps pipelined writes from time-travelling.
     staging_cursor: Mutex<VirtualTime>,
-    info: Mutex<DeviceInfo>,
+    device_info: Mutex<DeviceInfo>,
 }
 
 impl RemoteBackend {
@@ -61,7 +61,7 @@ impl RemoteBackend {
             conn,
             clock,
             staging_cursor: Mutex::new(VirtualTime::ZERO),
-            info: Mutex::new(DeviceInfo {
+            device_info: Mutex::new(DeviceInfo {
                 name: String::new(),
                 vendor: String::new(),
                 platform: String::new(),
@@ -96,7 +96,7 @@ impl RemoteBackend {
             bitstream,
         } = resp
         {
-            *self.info.lock() = DeviceInfo {
+            *self.device_info.lock() = DeviceInfo {
                 name,
                 vendor,
                 platform,
@@ -197,7 +197,7 @@ impl std::fmt::Debug for RemoteBackend {
 impl Backend for RemoteBackend {
     fn device_info(&self) -> DeviceInfo {
         let _ = self.refresh_info();
-        self.info.lock().clone()
+        self.device_info.lock().clone()
     }
 
     fn clock(&self) -> &VirtualClock {

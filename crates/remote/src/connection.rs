@@ -5,7 +5,6 @@
 //! [`handle_response`] here.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bf_fpga::Payload;
@@ -15,11 +14,14 @@ use bf_rpc::{
     ClientId, DataRef, ErrorCode, PathCosts, Request, RequestEnvelope, Response, ResponseEnvelope,
     ShmSegment,
 };
+// bf-lint: allow(raw_sync): one-shot rendezvous channels pairing a blocked
+// sync caller with its response; created fresh per call, never contended
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
 
 use crate::reactor::Reactor;
 use crate::state_machine::OpStateMachine;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 
 /// What the connection thread should do with a tagged response.
 enum Pending {

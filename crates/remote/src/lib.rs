@@ -31,6 +31,11 @@ mod reactor;
 mod router;
 mod state_machine;
 
+/// The bf-sync facade (re-exported from `bf-race`): synchronization in
+/// this crate goes through it so the connection and reactor can run under
+/// the deterministic model scheduler (`bf-race --features model`).
+pub use bf_race::sync;
+
 pub use backend::RemoteBackend;
 pub use connection::{map_error, sync_rtt, Connection};
 pub use reactor::Reactor;

@@ -19,6 +19,8 @@
 use std::sync::{OnceLock, Weak};
 
 use bf_rpc::{FrameRx, PollEvent, Poller, ResponseEnvelope, Token, Waker, WireDecode};
+// bf-lint: allow(raw_sync): control-plane channel into the reactor loop;
+// only try_recv'd after a modeled waker readiness edge
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 
 use crate::connection::{self, ConnectionInner};

@@ -50,6 +50,12 @@ mod proto;
 mod shm;
 mod transport;
 
+/// The bf-sync facade (re-exported from `bf-race`): every lock, condvar,
+/// atomic and monotonic deadline in this crate goes through it, so the
+/// whole transport can run under the deterministic model scheduler
+/// (`bf-race` with `--features model`) without code changes.
+pub use bf_race::sync;
+
 pub use codec::{CodecError, WireDecode, WireEncode};
 pub use costs::PathCosts;
 pub use payload::Payload;

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
 
+use crate::sync::{Condvar, MonoTime, Mutex};
 use crate::transport::{waker_channel, FrameRx, TxHalf};
 
 /// Shared wakeup rendezvous between one poller and its registered queues.
@@ -155,9 +155,7 @@ impl Poller {
     /// indefinitely). Readiness means a pending frame or a closed sender
     /// side; consecutive calls rotate across ready sources round-robin.
     pub fn poll(&mut self, timeout: Option<Duration>) -> PollEvent {
-        // bf-lint: allow(wall_clock): poll deadlines bound host-side
-        // blocking of the dispatcher thread; virtual time is unaffected.
-        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        let deadline = timeout.map(MonoTime::after);
         loop {
             let seen = self.hub.generation();
             if let Some(token) = self.scan() {
@@ -166,13 +164,10 @@ impl Poller {
             let remaining = match deadline {
                 None => None,
                 Some(d) => {
-                    // bf-lint: allow(wall_clock): remaining-time computation
-                    // for the host-side poll deadline above.
-                    let now = std::time::Instant::now();
-                    if now >= d {
+                    if d.has_passed() {
                         return PollEvent::TimedOut;
                     }
-                    Some(d - now)
+                    Some(d.remaining())
                 }
             };
             self.hub.wait(seen, remaining);

@@ -20,7 +20,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+
+use crate::sync::Mutex;
 
 /// Errors raised by the shared-memory segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,14 +99,14 @@ struct ShmInner {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShmSegment {
-    inner: Arc<Mutex<ShmInner>>,
+    segment: Arc<Mutex<ShmInner>>,
 }
 
 impl ShmSegment {
     /// Maps a fresh segment of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
         ShmSegment {
-            inner: Arc::new(Mutex::new(ShmInner {
+            segment: Arc::new(Mutex::new(ShmInner {
                 capacity,
                 regions: vec![Region {
                     offset: 0,
@@ -119,12 +120,12 @@ impl ShmSegment {
 
     /// Segment capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.inner.lock().capacity
+        self.segment.lock().capacity
     }
 
     /// Currently allocated bytes.
     pub fn used(&self) -> u64 {
-        self.inner
+        self.segment
             .lock()
             .regions
             .iter()
@@ -140,7 +141,7 @@ impl ShmSegment {
     ///
     /// Returns [`ShmError::OutOfSpace`] when no free region fits.
     pub fn alloc(&self, len: u64) -> Result<u64, ShmError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.segment.lock();
         let idx = inner.regions.iter().position(|r| r.free && r.len >= len);
         match idx {
             Some(i) => {
@@ -190,7 +191,7 @@ impl ShmSegment {
     /// Returns [`ShmError::BadRegion`] when `offset` is not an allocated
     /// region's start.
     pub fn free(&self, offset: u64) -> Result<(), ShmError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.segment.lock();
         let idx = inner
             .regions
             .iter()
@@ -250,7 +251,7 @@ impl ShmSegment {
     }
 
     fn store(&self, offset: u64, data: Bytes) -> Result<(), ShmError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.segment.lock();
         Self::check_write(&inner, offset, data.len() as u64)?;
         let merged = match inner.contents.remove(&offset) {
             // A previous longer write must keep its tail visible, exactly
@@ -277,7 +278,7 @@ impl ShmSegment {
     ///
     /// Returns [`ShmError::BadRegion`] / [`ShmError::OutOfBounds`].
     pub fn read(&self, offset: u64, len: u64) -> Result<Bytes, ShmError> {
-        let inner = self.inner.lock();
+        let inner = self.segment.lock();
         let region = *inner
             .regions
             .iter()

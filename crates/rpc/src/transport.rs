@@ -23,11 +23,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
 
 use crate::codec::{CodecError, WireDecode, WireEncode};
 use crate::poller::NotifyHub;
 use crate::proto::{RequestEnvelope, ResponseEnvelope};
+use crate::sync::{Condvar, MonoTime, Mutex};
 
 /// Default per-direction frame depth of [`duplex`].
 pub const DEFAULT_DEPTH: usize = 256;
@@ -148,9 +148,7 @@ impl FrameQueue {
     }
 
     fn pop_timeout(&self, timeout: Duration) -> Result<Bytes, TransportError> {
-        // bf-lint: allow(wall_clock): receive timeouts bound host-side
-        // blocking only (liveness guard); the virtual timeline is untouched.
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = MonoTime::after(timeout);
         let mut q = self.frames.lock();
         loop {
             if let Some(frame) = q.items.pop_front() {
@@ -161,13 +159,10 @@ impl FrameQueue {
             if q.senders == 0 {
                 return Err(TransportError::Closed);
             }
-            // bf-lint: allow(wall_clock): remaining-time computation for the
-            // host-side liveness timeout above.
-            let now = std::time::Instant::now();
-            if now >= deadline {
+            if deadline.has_passed() {
                 return Err(TransportError::Timeout);
             }
-            let _ = self.readable.wait_for(&mut q, deadline - now);
+            let _ = self.readable.wait_for(&mut q, deadline.remaining());
         }
     }
 
