@@ -39,6 +39,12 @@ cargo test -q -p bf-race --features model -- --nocapture
 echo "==> datapath bench (smoke + archive check)"
 cargo run -q --release -p bf-bench --bin datapath -- --smoke --check experiments/BENCH_datapath.json
 
+# Gateway batching smoke: the open-loop sweep subset must reproduce the
+# archived deterministic rows exactly, and batched peak throughput must
+# stay strictly above unbatched (the headline batching win).
+echo "==> gateway bench (smoke + archive check)"
+cargo run -q --release -p bf-bench --bin gateway -- --smoke --check experiments/BENCH_gateway.json
+
 # Virtual-time conformance: the data-path refactor must never move the
 # paper's Fig. 4(a) numbers — regenerate and require byte-identical JSON.
 echo "==> fig4a virtual-time check"

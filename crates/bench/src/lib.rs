@@ -20,10 +20,16 @@
 //! | Task-granularity ablation | [`ablation_taskgrain`] | `ablation_taskgrain` |
 
 mod datapath;
+mod gateway;
 
 pub use crate::datapath::{
     baseline_copied_bytes, check_against_archive, datapath_rows, parse_archive, render_datapath,
     ArchivedCopyRow, DatapathRow, LADDER, SMOKE,
+};
+pub use crate::gateway::{
+    check_batching_wins, check_gateway_archive, gateway_duration, gateway_rows,
+    parse_gateway_archive, peak_throughput, render_gateway, ArchivedGatewayRow, GatewayMode,
+    GatewayRow, GATEWAY_LADDER, GATEWAY_SMOKE,
 };
 
 use std::path::PathBuf;

@@ -92,7 +92,10 @@ pub mod prelude {
     pub use bf_registry::{AllocationPolicy, DeviceQuery, Registry};
     pub use bf_remote::{RemoteBackend, Router};
     pub use bf_rpc::PathCosts;
-    pub use bf_serverless::{table1_rates, ClosedLoopPacer, Gateway, LoadLevel, UseCase};
+    pub use bf_serverless::{
+        table1_rates, BatchHandler, Batcher, ClosedLoopPacer, Completion, Gateway, HandlerError,
+        Invocation, LoadLevel, OpenLoopPacer, SingleRequest, UseCase,
+    };
     pub use bf_sim::{run_scenario, Deployment, ScenarioConfig};
 }
 

@@ -30,6 +30,11 @@ use parking_lot::{Mutex, MutexGuard};
 pub const HIERARCHY: &[&str] = &[
     // Serverless gateway deployment map (bf-serverless).
     "functions",
+    // Per-function batcher queue + condvar (bf-serverless). The gateway
+    // clones the batcher handle out of `functions` before submitting or
+    // draining, but the nesting direction — deployment map, then one
+    // function's queue — fixes the rank.
+    "batch_state",
     // Autoscaler policy table (bf-serverless).
     "policies",
     // Registry's cluster handle (bf-registry). Taken only for a clone;

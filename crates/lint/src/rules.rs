@@ -38,6 +38,7 @@ pub const INSTRUMENTED_CRATES: &[&str] = &[
     "crates/devmgr/",
     "crates/remote/",
     "crates/fpga/",
+    "crates/serverless/",
 ];
 
 /// Where the lock hierarchy table lives; whole-program coverage findings
@@ -1219,6 +1220,40 @@ mod tests {
         assert_eq!(out[0].rule, "lock_graph");
         assert!(out[0].message.contains("`ghost_lock`"), "{out:?}");
         assert_eq!(out[0].file, LOCK_TABLE_MODULE);
+    }
+
+    #[test]
+    fn raw_sync_covers_the_serverless_crate() {
+        // The batching pipeline's queue lock + condvar live in
+        // crates/serverless; a raw primitive import there bypasses the
+        // model scheduler exactly like it would in the transport.
+        let file = parse(
+            "crates/serverless/src/batch.rs",
+            "use parking_lot::Condvar;\n",
+            false,
+        );
+        let mut out = Vec::new();
+        check_file(&file, &[], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "raw_sync");
+    }
+
+    #[test]
+    fn lock_graph_accepts_a_ranked_condvar_queue() {
+        // The batcher shape: a ranked queue lock whose guard is passed to
+        // a condvar wait in a loop. The wait must not register as an
+        // acquisition edge (no `.lock()` receiver), so re-locking the map
+        // lock elsewhere stays cycle-free.
+        let batcher = "struct Batcher {\n batch_state: Mutex<Q>,\n ready: Condvar,\n}\nfn next(b: &Batcher) {\n let mut state = b.batch_state.lock();\n loop {\n  b.ready.wait(&mut state);\n }\n}\n";
+        let gateway = "fn drain(g: &G, b: &Batcher) {\n let functions = g.functions.lock();\n drop(functions);\n let s = b.batch_state.lock();\n}\nstruct G {\n functions: Mutex<u32>,\n}\n";
+        let out = check_whole_program(
+            &[
+                ("crates/x/src/batch.rs", batcher),
+                ("crates/x/src/gateway.rs", gateway),
+            ],
+            &["functions", "batch_state"],
+        );
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

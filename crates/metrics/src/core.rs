@@ -125,6 +125,12 @@ impl Histogram {
         ])
     }
 
+    /// Batch-size buckets (powers of two up to 64) for the gateway's
+    /// per-function dispatched-batch-size series.
+    pub fn batch_size() -> Self {
+        Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+    }
+
     /// Records one observation.
     pub fn observe(&self, v: f64) {
         let mut inner = self.histogram.lock();
@@ -287,10 +293,27 @@ impl MetricsRegistry {
     ///
     /// Panics if the series already exists with a different metric type.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram_with(name, labels, Histogram::latency_ms)
+    }
+
+    /// Returns (registering on first use) a histogram series with custom
+    /// buckets: `make` builds the histogram on first registration (e.g.
+    /// [`Histogram::batch_size`]); later lookups return the existing
+    /// series regardless of `make`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different metric type.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Histogram,
+    ) -> Histogram {
         let mut series = self.series.lock();
         match series
             .entry(Self::key(name, labels))
-            .or_insert_with(|| Metric::Histogram(Histogram::latency_ms()))
+            .or_insert_with(|| Metric::Histogram(make()))
         {
             Metric::Histogram(h) => h.clone(),
             _ => panic!("metric {name} already registered with a different type"),

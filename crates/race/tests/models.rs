@@ -347,3 +347,41 @@ fn client_id_allocation_is_unique_across_threads() {
     println!("client_id_unique: {} schedules explored", stats.schedules);
     assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
 }
+
+/// The serverless batcher's mutex/condvar handoff: a producer submits
+/// invocations and closes while a consumer blocks on
+/// `next_batch_blocking`. On every schedule the consumer must receive
+/// every invocation exactly once and then observe end-of-stream — the
+/// notify-on-submit / drain-on-close protocol has no schedule that loses
+/// an arrival (the classic lost-wakeup shape) or drains one twice.
+#[test]
+fn batcher_handoff_never_loses_an_invocation() {
+    use bf_model::VirtualTime;
+    use bf_serverless::{Batcher, Invocation};
+
+    let stats = explore("batcher_handoff", || {
+        let batcher = Arc::new(Batcher::new().with_max_batch_size(2));
+        let producer = {
+            let batcher = batcher.clone();
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    batcher
+                        .submit(Invocation::at(VirtualTime::ZERO))
+                        .expect("capacity 64 never sheds here");
+                }
+                batcher.close();
+            })
+        };
+        let mut received = 0usize;
+        while let Some(batch) = batcher.next_batch_blocking(Duration::from_millis(1)) {
+            assert!(batch.len() <= 2, "oversized batch");
+            received += batch.len();
+        }
+        producer.join();
+        assert_eq!(received, 3, "every submission drained exactly once");
+        assert!(batcher.drain_now().is_none(), "closed and fully drained");
+    })
+    .expect("no schedule may lose an invocation in the handoff");
+    println!("batcher_handoff: {} schedules explored", stats.schedules);
+    assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
+}

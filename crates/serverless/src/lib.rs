@@ -4,26 +4,67 @@
 //!
 //! The paper wraps each benchmark in an OpenFaaS function and drives it
 //! with `hey` (one connection per function, fixed target rate). This crate
-//! provides both pieces:
+//! provides both pieces, plus the batching/admission pipeline in front of
+//! them:
 //!
-//! * [`Gateway`] — the serverless endpoint: request forwarding with its
-//!   own latency, per-function [`FunctionStats`];
+//! * [`Gateway`] — the serverless endpoint: typed [`Invocation`] /
+//!   [`Completion`] request–response admission, request forwarding with
+//!   its own latency, per-function [`FunctionStats`];
+//! * [`Batcher`] — per-function dynamic batching (bounded by
+//!   `max_batch_size` and `max_wait` on the virtual timeline) with
+//!   admission control: a bounded queue that sheds overload as the typed
+//!   [`GatewayError::Overloaded`];
+//! * [`BatchHandler`] — what a deployed function implements; existing
+//!   single-request closures migrate through the [`SingleRequest`]
+//!   adapter (see below);
 //! * [`ClosedLoopPacer`] — the exact `hey -c 1 -q rate` arrival process:
 //!   paced ticks, but never more than one outstanding request, so a
 //!   saturated function degrades to `1/latency` throughput — the mechanism
 //!   behind Tables II–IV's processed-vs-target gaps;
+//! * [`OpenLoopPacer`] — fixed-rate arrivals decoupled from completions,
+//!   under which overload surfaces as queue growth and sheds instead;
 //! * [`table1_rates`] — the paper's Table I load matrix;
 //! * [`Autoscaler`] — the gateway-side replica scaler (OpenFaaS-style
-//!   per-replica load targets with scale-down hysteresis), reconciling
-//!   through the cluster so every replica passes the registry's admission.
+//!   per-replica load targets with scale-down hysteresis, plus
+//!   queue-depth/shed-rate pressure from the batching pipeline via
+//!   [`LoadSignal`]), reconciling through the cluster so every replica
+//!   passes the registry's admission.
+//!
+//! # Migrating from the closure `Handler` API
+//!
+//! The pre-batching `Handler` type alias
+//! (`Arc<dyn Fn(VirtualTime) -> Result<VirtualTime, String>>`) is gone
+//! from the public API: it could not express batches, typed failures, or
+//! payload sizes. The compatibility path is [`SingleRequest`], which
+//! wraps a `Fn(VirtualTime) -> Result<VirtualTime, HandlerError>` closure
+//! as a [`BatchHandler`]; [`Gateway::deploy_single`] pairs it with
+//! [`Batcher::unbatched`] for the old API's exact per-request timing:
+//!
+//! ```
+//! use bf_model::{VirtualDuration, VirtualTime};
+//! use bf_serverless::Gateway;
+//!
+//! let gateway = Gateway::new().with_forward_latency(VirtualDuration::from_millis(1));
+//! gateway.deploy_single("echo", |at| Ok(at + VirtualDuration::from_millis(10)));
+//! let done = gateway.invoke("echo", VirtualTime::ZERO)?;
+//! assert_eq!(done, VirtualTime::ZERO + VirtualDuration::from_millis(12));
+//! # Ok::<(), bf_serverless::GatewayError>(())
+//! ```
 
 mod autoscale;
+mod batch;
 mod gateway;
+mod invoke;
 mod load;
 
-pub use autoscale::{AutoscaleError, AutoscalePolicy, Autoscaler, ReconcileAction};
-pub use gateway::{run_closed_loop, FunctionStats, Gateway, GatewayError, Handler, LoadRunResult};
-pub use load::{native_rates, table1_rates, ClosedLoopPacer, LoadLevel, UseCase};
+pub use autoscale::{AutoscaleError, AutoscalePolicy, Autoscaler, LoadSignal, ReconcileAction};
+pub use batch::{Batch, Batcher, SubmitError, Ticket};
+pub use gateway::{
+    run_closed_loop, run_open_loop, FunctionStats, Gateway, GatewayError, LoadRunResult,
+    OpenLoopResult, Outcome,
+};
+pub use invoke::{BatchHandler, Completion, HandlerError, Invocation, SingleRequest};
+pub use load::{native_rates, table1_rates, ClosedLoopPacer, LoadLevel, OpenLoopPacer, UseCase};
 
 #[cfg(test)]
 mod proptests {
@@ -59,6 +100,56 @@ mod proptests {
                 first = false;
                 prev_issue = issue;
             }
+        }
+
+        /// Random interleavings of arrivals and deadline-driven drains
+        /// never lose or duplicate an invocation, never produce a batch
+        /// over `max_batch_size`, and only flush partial batches at or
+        /// after the oldest member's deadline.
+        #[test]
+        fn batcher_flush_boundaries_hold_under_interleaving(
+            max_batch in 1usize..6,
+            max_wait_ms in 0u64..20,
+            // (arrival gap ms, drain?) script
+            script in proptest::collection::vec((0u64..15, any::<bool>()), 1..60),
+        ) {
+            let batcher = Batcher::new()
+                .with_max_batch_size(max_batch)
+                .with_max_wait(VirtualDuration::from_millis(max_wait_ms))
+                .with_queue_capacity(1024);
+            let mut now = VirtualTime::ZERO;
+            let mut submitted = 0u64;
+            let mut drained = 0u64;
+            let mut tickets = std::collections::BTreeSet::new();
+            for (gap_ms, drain) in script {
+                now = now + VirtualDuration::from_millis(gap_ms);
+                if drain {
+                    if let Some(batch) = batcher.drain_due(now) {
+                        prop_assert!(batch.len() <= max_batch, "oversized batch");
+                        let oldest = batch.invocations()[0].issued_at;
+                        prop_assert!(
+                            batch.len() == max_batch
+                                || now >= oldest + VirtualDuration::from_millis(max_wait_ms),
+                            "partial batch drained before its deadline"
+                        );
+                        drained += batch.len() as u64;
+                        for ticket in batch.tickets() {
+                            prop_assert!(tickets.insert(*ticket), "duplicate ticket");
+                        }
+                    }
+                } else {
+                    let ticket = batcher.submit(Invocation::at(now));
+                    prop_assert!(ticket.is_ok(), "capacity 1024 never sheds here");
+                    submitted += 1;
+                }
+            }
+            while let Some(batch) = batcher.drain_now() {
+                drained += batch.len() as u64;
+                for ticket in batch.tickets() {
+                    prop_assert!(tickets.insert(*ticket), "duplicate ticket");
+                }
+            }
+            prop_assert_eq!(submitted, drained, "lost or invented invocations");
         }
 
         /// Under saturation (latency >> interval) the achieved rate is

@@ -115,6 +115,44 @@ impl ClosedLoopPacer {
     }
 }
 
+/// An open-loop arrival process: requests arrive at fixed interval ticks
+/// regardless of completions — the load shape under which overload turns
+/// into queue growth and admission-control sheds (unlike the closed
+/// loop's self-throttling). Drives [`run_open_loop`](crate::run_open_loop)
+/// and the `bf-bench` gateway ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenLoopPacer {
+    interval: VirtualDuration,
+    next: VirtualTime,
+}
+
+impl OpenLoopPacer {
+    /// A pacer targeting `rate` arrivals/second, first arrival at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn new(rate: f64, start: VirtualTime) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        OpenLoopPacer {
+            interval: VirtualDuration::from_secs_f64(1.0 / rate),
+            next: start,
+        }
+    }
+
+    /// The arrival interval (1/rate).
+    pub fn interval(&self) -> VirtualDuration {
+        self.interval
+    }
+
+    /// The next arrival instant; arrivals never wait for completions.
+    pub fn next_arrival(&mut self) -> VirtualTime {
+        let t = self.next;
+        self.next = t + self.interval;
+        t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +204,14 @@ mod tests {
         assert_eq!(second, t(250));
         let third = pacer.next_issue(t(500));
         assert_eq!(third, t(500));
+    }
+
+    #[test]
+    fn open_loop_arrivals_ignore_completions() {
+        let mut pacer = OpenLoopPacer::new(10.0, VirtualTime::ZERO);
+        assert_eq!(pacer.next_arrival(), t(0));
+        assert_eq!(pacer.next_arrival(), t(100));
+        assert_eq!(pacer.next_arrival(), t(200), "no completion coupling");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use bf_metrics::BusyTracker;
 use bf_model::{NodeSpec, VirtualDuration, VirtualTime};
 use bf_rpc::PathCosts;
-use bf_serverless::ClosedLoopPacer;
+use bf_serverless::{ClosedLoopPacer, Invocation};
 use bf_simkit::{Engine, Samples, SimRng};
 use bf_workloads::{OpProfile, RequestProfile};
 
@@ -140,11 +140,15 @@ pub(crate) fn schedule_request(engine: &mut Engine<World>, f_idx: usize, issue: 
 }
 
 fn begin_request(world: &mut World, engine: &mut Engine<World>, f_idx: usize) {
-    let t0 = engine.now();
+    // The typed request–response contract the direct-mode gateway speaks:
+    // the invocation carries its issue instant and payload size through
+    // the whole event chain instead of a bare timestamp.
+    let invocation = Invocation::at(engine.now())
+        .with_payload_bytes(world.functions[f_idx].profile.bytes_moved());
     let node = world.devices[world.functions[f_idx].device].node.clone();
     let j = world.rng.jitter(world.jitter);
-    let ready = t0 + world.gateway_forward + node.host_overhead().mul_f64(j);
-    submit_task(world, engine, f_idx, 0, ready, t0);
+    let ready = invocation.issued_at + world.gateway_forward + node.host_overhead().mul_f64(j);
+    submit_task(world, engine, f_idx, 0, ready, invocation);
 }
 
 fn submit_task(
@@ -153,7 +157,7 @@ fn submit_task(
     f_idx: usize,
     task_idx: usize,
     ready: VirtualTime,
-    t0: VirtualTime,
+    invocation: Invocation,
 ) {
     let f = &world.functions[f_idx];
     let task = &f.profile.tasks[task_idx];
@@ -161,7 +165,7 @@ fn submit_task(
     // client before the task can travel; the control hop carries it over.
     let arrival = ready + f.path.outbound(task.bytes_written()) + f.path.hop();
     engine.schedule_at(arrival, move |world, engine| {
-        exec_task(world, engine, f_idx, task_idx, t0);
+        exec_task(world, engine, f_idx, task_idx, invocation);
     });
 }
 
@@ -170,7 +174,7 @@ fn exec_task(
     engine: &mut Engine<World>,
     f_idx: usize,
     task_idx: usize,
-    t0: VirtualTime,
+    invocation: Invocation,
 ) {
     let arrival = engine.now();
     let (dev_idx, name, path, task_count) = {
@@ -197,22 +201,28 @@ fn exec_task(
     };
     let observed = end + path.hop() + inbound;
     if task_idx + 1 < task_count {
-        submit_task(world, engine, f_idx, task_idx + 1, observed, t0);
+        submit_task(world, engine, f_idx, task_idx + 1, observed, invocation);
     } else {
         let done = observed + world.response_overhead + world.gateway_forward;
         engine.schedule_at(done, move |world, engine| {
-            finish_request(world, engine, f_idx, t0)
+            finish_request(world, engine, f_idx, invocation)
         });
     }
 }
 
-fn finish_request(world: &mut World, engine: &mut Engine<World>, f_idx: usize, t0: VirtualTime) {
+fn finish_request(
+    world: &mut World,
+    engine: &mut Engine<World>,
+    f_idx: usize,
+    invocation: Invocation,
+) {
     let done = engine.now();
     let horizon = world.horizon;
     let window_start = world.window_start;
     let f = &mut world.functions[f_idx];
-    if t0 >= window_start && done <= horizon {
-        f.latencies.record((done - t0).as_millis_f64());
+    if invocation.issued_at >= window_start && done <= horizon {
+        f.latencies
+            .record((done - invocation.issued_at).as_millis_f64());
         f.processed += 1;
     }
     let next = f.pacer.next_issue(done);

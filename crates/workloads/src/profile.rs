@@ -7,7 +7,7 @@
 //! boundaries are what cost control round trips on the remote path and
 //! what bounds interleaving between tenants on a shared device.
 
-use bf_model::VirtualDuration;
+use bf_model::{NodeSpec, VirtualDuration};
 
 /// One device operation inside a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +117,23 @@ impl RequestProfile {
     pub fn op_count(&self) -> usize {
         self.tasks.iter().map(|t| t.ops.len()).sum()
     }
+
+    /// The uncontended device-side service time of one request on `node`:
+    /// every transfer at the node's calibrated PCIe bandwidth plus every
+    /// kernel launch at its profiled duration. This is the per-item cost a
+    /// batching gateway amortizes its fixed dispatch overhead over.
+    pub fn service_time(&self, node: &NodeSpec) -> VirtualDuration {
+        self.tasks
+            .iter()
+            .flat_map(|t| t.ops.iter())
+            .map(|op| match op {
+                OpProfile::Write { bytes } | OpProfile::Read { bytes } => {
+                    node.pcie().transfer_time(*bytes)
+                }
+                OpProfile::Kernel { duration } => *duration,
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +163,30 @@ mod tests {
         assert_eq!(profile.kernel_time(), VirtualDuration::from_millis(5));
         assert_eq!(profile.bytes_moved(), 150);
         assert_eq!(profile.op_count(), 4);
+    }
+
+    #[test]
+    fn service_time_charges_transfers_and_kernels() {
+        let node = bf_model::node_b();
+        let profile = RequestProfile::new(
+            "t",
+            vec![TaskProfile::new(vec![
+                OpProfile::Write { bytes: 1 << 20 },
+                OpProfile::Kernel {
+                    duration: VirtualDuration::from_millis(2),
+                },
+                OpProfile::Read { bytes: 1 << 20 },
+            ])],
+        );
+        let expected = node.pcie().transfer_time(1 << 20) * 2 + VirtualDuration::from_millis(2);
+        assert_eq!(profile.service_time(&node), expected);
+        // A kernel-only profile is node-independent.
+        let compute = RequestProfile::new(
+            "k",
+            vec![TaskProfile::new(vec![OpProfile::Kernel {
+                duration: VirtualDuration::from_millis(7),
+            }])],
+        );
+        assert_eq!(compute.service_time(&node), VirtualDuration::from_millis(7));
     }
 }

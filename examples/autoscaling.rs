@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use blastfunction::prelude::*;
 use blastfunction::registry::ENV_DEVICE_MANAGER;
-use blastfunction::serverless::{AutoscalePolicy, Autoscaler};
+use blastfunction::serverless::{AutoscalePolicy, Autoscaler, LoadSignal};
 use blastfunction::workloads::sobel;
 use parking_lot::Mutex;
 
@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let scaler = Autoscaler::new(cluster.clone());
     scaler.set_policy(
         "sobel",
-        AutoscalePolicy::per_replica(25.0).with_bounds(1, 3),
+        AutoscalePolicy::new()
+            .with_target_rps_per_replica(25.0)
+            .with_bounds(1, 3),
     );
 
     println!("Autoscaling a Sobel function against a rising and falling load:\n");
@@ -55,7 +57,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "load (rq/s)", "replicas", "change"
     );
     for observed in [5.0, 20.0, 40.0, 70.0, 70.0, 30.0, 12.0, 4.0] {
-        let action = scaler.reconcile("sobel", observed)?;
+        let action = scaler.reconcile("sobel", &LoadSignal::from_rps(observed))?;
         let placements: Vec<String> = cluster
             .instances()
             .iter()

@@ -177,7 +177,7 @@ fn wrong_bitstream_triggers_validated_reconfiguration_and_migration() {
 
 #[test]
 fn autoscaler_replicas_pass_admission_and_spread_over_devices() {
-    use blastfunction::serverless::{AutoscalePolicy, Autoscaler};
+    use blastfunction::serverless::{AutoscalePolicy, Autoscaler, LoadSignal};
 
     let (cluster, registry) = build_stack();
     registry.register_function(
@@ -188,12 +188,16 @@ fn autoscaler_replicas_pass_admission_and_spread_over_devices() {
     let scaler = Autoscaler::new(cluster.clone());
     scaler.set_policy(
         "sobel-1",
-        AutoscalePolicy::per_replica(20.0).with_bounds(1, 3),
+        AutoscalePolicy::new()
+            .with_target_rps_per_replica(20.0)
+            .with_bounds(1, 3),
     );
 
     // 55 rq/s observed -> 3 replicas, each admitted by the registry and
     // therefore bound to a device and pinned to its node.
-    let action = scaler.reconcile("sobel-1", 55.0).expect("scale up");
+    let action = scaler
+        .reconcile("sobel-1", &LoadSignal::from_rps(55.0))
+        .expect("scale up");
     assert_eq!(action.created.len(), 3);
     let devices: std::collections::HashSet<String> = cluster
         .instances()
@@ -208,7 +212,9 @@ fn autoscaler_replicas_pass_admission_and_spread_over_devices() {
 
     // Load drops: scale back down; bindings of deleted replicas are
     // released so the allocator sees the freed capacity.
-    let action = scaler.reconcile("sobel-1", 5.0).expect("scale down");
+    let action = scaler
+        .reconcile("sobel-1", &LoadSignal::from_rps(5.0))
+        .expect("scale down");
     assert_eq!(action.deleted.len(), 2);
     for _ in 0..100 {
         let views = registry.device_views();

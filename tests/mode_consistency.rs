@@ -54,26 +54,27 @@ fn direct_mode_gateway() -> (Gateway, VirtualClock) {
     kernel.set_arg(2, ArgValue::U32(w)).expect("a2");
     kernel.set_arg(3, ArgValue::U32(h)).expect("a3");
 
-    let gateway = Gateway::new(VirtualDuration::from_micros(300));
+    let gateway = Gateway::new().with_forward_latency(VirtualDuration::from_micros(300));
     let handler_clock = clock.clone();
     let node = node_b();
-    gateway.deploy(
-        "sobel-1",
-        Arc::new(move |at: VirtualTime| {
-            // Function wrapper CPU cost, then the OpenCL request the DES
-            // models as one atomic task: write frame → kernel → read frame.
-            handler_clock.advance_to(at + node.host_overhead());
-            queue
-                .write_async(&input, 0, Payload::Synthetic(bytes))
-                .map_err(|e| e.to_string())?;
-            queue
-                .launch(&kernel, NdRange::d2(w.into(), h.into()))
-                .map_err(|e| e.to_string())?;
-            let _ = queue.read_payload(&output).map_err(|e| e.to_string())?;
-            // Response serialization, as the DES charges.
-            Ok(handler_clock.advance_by(VirtualDuration::from_micros(500)))
-        }),
-    );
+    // The typed-API compatibility path: a single-request closure behind
+    // the unbatched queue, with the old closure API's exact timing.
+    gateway.deploy_single("sobel-1", move |at: VirtualTime| {
+        // Function wrapper CPU cost, then the OpenCL request the DES
+        // models as one atomic task: write frame → kernel → read frame.
+        handler_clock.advance_to(at + node.host_overhead());
+        queue
+            .write_async(&input, 0, Payload::Synthetic(bytes))
+            .map_err(|e| HandlerError::new(e.to_string()))?;
+        queue
+            .launch(&kernel, NdRange::d2(w.into(), h.into()))
+            .map_err(|e| HandlerError::new(e.to_string()))?;
+        let _ = queue
+            .read_payload(&output)
+            .map_err(|e| HandlerError::new(e.to_string()))?;
+        // Response serialization, as the DES charges.
+        Ok(handler_clock.advance_by(VirtualDuration::from_micros(500)))
+    });
     (gateway, clock)
 }
 
