@@ -45,6 +45,7 @@ const FRAME_BATCH: usize = 32;
 /// re-offers the backlog on a short timeout instead.
 const FLUSH_RETRY: Duration = Duration::from_millis(1);
 
+// bf-flow: entry(devmgr_events)
 pub(crate) fn run_event_loop(
     shared: Arc<Shared>,
     control_rx: Receiver<Control>,
@@ -72,7 +73,11 @@ pub(crate) fn run_event_loop(
                     match control_rx.try_recv() {
                         Ok(Control::Register(seed)) => {
                             let token = poller.register(seed.server.requests());
+                            // bf-flow: allow(hot_alloc): one entry per live
+                            // session, removed on reap — bounded by the
+                            // connected-client count, not by traffic
                             by_client.insert(seed.client.0, token);
+                            // bf-flow: allow(hot_alloc): same bound as above
                             sessions.insert(token, Session::new(shared.clone(), *seed));
                         }
                         Err(TryRecvError::Empty) => break,
@@ -120,27 +125,24 @@ pub(crate) fn run_event_loop(
                 }
             }
         }
-        // Re-offer parked responses, disconnect hopeless consumers, reap.
+        // Re-offer parked responses, disconnect hopeless consumers, and
+        // reap in one sweep — no scratch list of doomed tokens.
         let max_backlog = shared.config.max_pending_responses;
-        let mut dead: Vec<Token> = Vec::new();
-        for (token, session) in sessions.iter_mut() {
+        sessions.retain(|token, session| {
             session.flush();
             if session.backlog() > max_backlog {
                 // Slow consumer: cut the session loose rather than buffer
                 // its completions without bound.
                 session.force_close();
             }
-            if session.reapable() {
-                dead.push(*token);
+            if !session.reapable() {
+                return true;
             }
-        }
-        for token in dead {
-            if let Some(mut session) = sessions.remove(&token) {
-                poller.deregister(token);
-                by_client.remove(&session.client().0);
-                session.cleanup();
-                shared.connected.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
+            poller.deregister(*token);
+            by_client.remove(&session.client().0);
+            session.cleanup();
+            shared.connected.fetch_sub(1, Ordering::SeqCst);
+            false
+        });
     }
 }

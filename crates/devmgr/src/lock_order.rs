@@ -110,19 +110,25 @@ mod tracker {
     /// errors the debug build should surface immediately.
     pub fn acquire(name: &'static str) -> HeldLock {
         let rank = super::rank_of(name)
+            // bf-flow: allow(hot_panic): deliberate fail-stop — an
+            // undeclared lock is a programming error, not runtime input
             .unwrap_or_else(|| panic!("lock {name:?} is not declared in the lock hierarchy"));
         HELD.with(|held| {
             let held = held.borrow();
             if let Some(&top) = held.iter().max() {
+                // bf-flow: allow(hot_panic): fail-stop enforcement is this
+                // module's whole purpose; `top` indexes the static table
                 assert!(
                     rank > top,
                     "lock-order violation: acquiring {name:?} (rank {rank}) while \
                      holding {:?} (rank {top}); declared order is {:?}",
-                    super::HIERARCHY[top],
+                    super::HIERARCHY.get(top).copied().unwrap_or("?"),
                     super::HIERARCHY,
                 );
             }
         });
+        // bf-flow: allow(hot_alloc): the held set is bounded by the
+        // hierarchy size — a thread cannot hold more locks than ranks
         HELD.with(|held| held.borrow_mut().push(rank));
         HeldLock { rank }
     }

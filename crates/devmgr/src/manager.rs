@@ -69,6 +69,9 @@ pub struct DeviceManagerConfig {
     /// Responses the event loop will park for one session whose completion
     /// stream is full before force-disconnecting it as a slow consumer.
     pub max_pending_responses: usize,
+    /// Operations one session may stage on a single command queue before
+    /// flushing; further enqueues fail with `OutOfResources`.
+    pub max_queued_ops: usize,
 }
 
 impl DeviceManagerConfig {
@@ -81,6 +84,7 @@ impl DeviceManagerConfig {
             reconfig_policy: ReconfigPolicy::Allow,
             channel_depth: bf_rpc::DEFAULT_DEPTH,
             max_pending_responses: 1024,
+            max_queued_ops: 4096,
         }
     }
 
@@ -105,6 +109,12 @@ impl DeviceManagerConfig {
     /// Overrides the slow-consumer response limit.
     pub fn with_max_pending_responses(mut self, limit: usize) -> Self {
         self.max_pending_responses = limit;
+        self
+    }
+
+    /// Overrides the per-queue staged-operation cap (clamped to ≥ 1).
+    pub fn with_max_queued_ops(mut self, limit: usize) -> Self {
+        self.max_queued_ops = limit.max(1);
         self
     }
 }

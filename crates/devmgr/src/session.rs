@@ -166,6 +166,8 @@ impl Session {
                 }
             }
         }
+        // bf-flow: allow(hot_alloc): bounded by max_pending_responses — the
+        // event loop force-closes any session whose backlog exceeds the cap
         self.outbound.push_back(env);
     }
 
@@ -315,14 +317,18 @@ impl Session {
                     .queues
                     .get_mut(queue)
                     .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-                ops.push(Operation::Write {
-                    tag: env.tag,
-                    buffer: fpga,
-                    offset: *offset,
-                    // A refcount bump — the enqueued operation aliases the
-                    // decoded frame's bytes instead of copying them.
-                    data: data.share(),
-                });
+                stage_op(
+                    ops,
+                    Operation::Write {
+                        tag: env.tag,
+                        buffer: fpga,
+                        offset: *offset,
+                        // A refcount bump — the enqueued operation aliases
+                        // the decoded frame's bytes instead of copying them.
+                        data: data.share(),
+                    },
+                    self.shared.config.max_queued_ops,
+                )?;
                 Ok((Response::Enqueued, arrival))
             }
             Request::EnqueueRead {
@@ -340,12 +346,16 @@ impl Session {
                     .queues
                     .get_mut(queue)
                     .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-                ops.push(Operation::Read {
-                    tag: env.tag,
-                    buffer: fpga,
-                    offset: *offset,
-                    len: *len,
-                });
+                stage_op(
+                    ops,
+                    Operation::Read {
+                        tag: env.tag,
+                        buffer: fpga,
+                        offset: *offset,
+                        len: *len,
+                    },
+                    self.shared.config.max_queued_ops,
+                )?;
                 Ok((Response::Enqueued, arrival))
             }
             Request::EnqueueCopy {
@@ -369,14 +379,18 @@ impl Session {
                     .queues
                     .get_mut(queue)
                     .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-                ops.push(Operation::Copy {
-                    tag: env.tag,
-                    src: src_fpga,
-                    dst: dst_fpga,
-                    src_offset: *src_offset,
-                    dst_offset: *dst_offset,
-                    len: *len,
-                });
+                stage_op(
+                    ops,
+                    Operation::Copy {
+                        tag: env.tag,
+                        src: src_fpga,
+                        dst: dst_fpga,
+                        src_offset: *src_offset,
+                        dst_offset: *dst_offset,
+                        len: *len,
+                    },
+                    self.shared.config.max_queued_ops,
+                )?;
                 Ok((Response::Enqueued, arrival))
             }
             Request::EnqueueKernel {
@@ -384,18 +398,21 @@ impl Session {
                 kernel,
                 work,
             } => {
-                let invocation = resolve_invocation(&self.state, *kernel, *work)?;
-                let name = self.state.kernels[kernel].name.clone();
+                let (name, invocation) = resolve_invocation(&self.state, *kernel, *work)?;
                 let ops = self
                     .state
                     .queues
                     .get_mut(queue)
                     .ok_or((ErrorCode::InvalidHandle, format!("queue {queue} not found")))?;
-                ops.push(Operation::Kernel {
-                    tag: env.tag,
-                    name,
-                    invocation,
-                });
+                stage_op(
+                    ops,
+                    Operation::Kernel {
+                        tag: env.tag,
+                        name,
+                        invocation,
+                    },
+                    self.shared.config.max_queued_ops,
+                )?;
                 Ok((Response::Enqueued, arrival))
             }
             Request::Flush { queue } => {
@@ -464,6 +481,8 @@ impl Session {
         if ops.is_empty() && finish_tag.is_none() {
             return Ok(()); // nothing to flush
         }
+        // bf-flow: allow(hot_alloc): drained into the executor every event-
+        // loop iteration; each entry's ops vec is capped by max_queued_ops
         tasks.push_back(Task {
             client: self.client,
             owner: self.name.clone(),
@@ -476,16 +495,36 @@ impl Session {
     }
 }
 
+/// Stages one operation on a command queue, refusing past the configured
+/// per-queue cap so one client cannot grow a queue without bound.
+fn stage_op(
+    ops: &mut Vec<Operation>,
+    op: Operation,
+    max_queued_ops: usize,
+) -> Result<(), (ErrorCode, String)> {
+    if ops.len() >= max_queued_ops {
+        return Err((
+            ErrorCode::OutOfResources,
+            format!("queue already holds {max_queued_ops} unflushed operations"),
+        ));
+    }
+    // bf-flow: allow(hot_alloc): bounded by max_queued_ops, enforced above
+    ops.push(op);
+    Ok(())
+}
+
+/// Validates one kernel launch and returns the kernel's name alongside the
+/// resolved invocation, so the caller never re-indexes the handle map.
 fn resolve_invocation(
     state: &SessionState,
     kernel: u64,
     work: [u64; 3],
-) -> Result<KernelInvocation, (ErrorCode, String)> {
+) -> Result<(String, KernelInvocation), (ErrorCode, String)> {
     let slot = state.kernels.get(&kernel).ok_or((
         ErrorCode::InvalidHandle,
         format!("kernel {kernel} not found"),
     ))?;
-    let mut args = Vec::new();
+    let mut args = Vec::with_capacity(slot.args.len());
     if let Some(max) = slot.args.keys().next_back().copied() {
         for i in 0..=max {
             let arg = slot.args.get(&i).ok_or((
@@ -507,8 +546,11 @@ fn resolve_invocation(
             });
         }
     }
-    Ok(KernelInvocation {
-        args,
-        global_work: work,
-    })
+    Ok((
+        slot.name.clone(),
+        KernelInvocation {
+            args,
+            global_work: work,
+        },
+    ))
 }

@@ -1,0 +1,178 @@
+//! Baseline gating: pre-existing findings don't block CI, new ones do.
+//!
+//! `lint-baseline.json` is a checked-in list of accepted finding keys.
+//! Keys are line-drift tolerant: bf-flow findings key on
+//! `rule|file|qualified_fn|token`, per-file findings on
+//! `rule|file|line`, so reformatting elsewhere in a file does not churn
+//! the interprocedural entries. [`gate`] splits a report's findings into
+//! *new* (fail CI) and reports which baseline entries are *stale*
+//! (no longer fire — warn, then refresh with `--write-baseline`).
+
+use std::path::Path;
+
+use crate::rules::Diagnostic;
+
+/// Outcome of applying a baseline to a set of diagnostics.
+#[derive(Debug)]
+pub struct Gated {
+    /// Findings not covered by the baseline — these fail CI.
+    pub new: Vec<Diagnostic>,
+    /// Baseline keys that no longer match any finding — stale, warn only.
+    pub stale: Vec<String>,
+    /// Number of findings suppressed by the baseline.
+    pub suppressed: usize,
+}
+
+/// Loads baseline keys from `path`. A missing file is an empty baseline;
+/// a malformed one is an error (CI must not silently gate on nothing).
+///
+/// # Errors
+///
+/// Returns a description when the file exists but cannot be read or
+/// parsed.
+pub fn load(path: &Path) -> Result<Vec<String>, String> {
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let keys = value
+        .get("accepted")
+        .and_then(|a| a.as_array())
+        .ok_or_else(|| {
+            format!(
+                "{}: expected an object with an `accepted` string array",
+                path.display()
+            )
+        })?;
+    keys.iter()
+        .map(|k| {
+            k.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{}: non-string baseline key {k:?}", path.display()))
+        })
+        .collect()
+}
+
+/// Splits `diagnostics` against the accepted `keys`.
+pub fn gate(diagnostics: &[Diagnostic], keys: &[String]) -> Gated {
+    let mut used = vec![false; keys.len()];
+    let mut new = Vec::new();
+    let mut suppressed = 0usize;
+    for diag in diagnostics {
+        let key = diag.baseline_key();
+        match keys.iter().position(|k| *k == key) {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => new.push(diag.clone()),
+        }
+    }
+    let stale = keys
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(k, _)| k.clone())
+        .collect();
+    Gated {
+        new,
+        stale,
+        suppressed,
+    }
+}
+
+/// Serializes the accepted-keys document for `--write-baseline`: sorted,
+/// deduplicated, with a provenance note.
+pub fn render(diagnostics: &[Diagnostic]) -> String {
+    let mut keys: Vec<String> = diagnostics.iter().map(Diagnostic::baseline_key).collect();
+    keys.sort();
+    keys.dedup();
+    let doc = serde_json::json!({
+        "_comment": "Accepted bf-lint findings. New findings fail CI; refresh with `cargo run -p bf-lint -- --write-baseline` after review.",
+        "accepted": keys,
+    });
+    let mut text = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: usize, key: &str) -> Diagnostic {
+        let mut d = Diagnostic::new(rule, file, line, "m".to_string());
+        d.key = key.to_string();
+        d
+    }
+
+    #[test]
+    fn gate_splits_new_suppressed_and_stale() {
+        let diags = vec![
+            diag(
+                "hot_alloc",
+                "crates/a/src/lib.rs",
+                4,
+                "hot_alloc|crates/a/src/lib.rs|A::f|.push(",
+            ),
+            diag(
+                "hot_panic",
+                "crates/b/src/lib.rs",
+                9,
+                "hot_panic|crates/b/src/lib.rs|B::g|.unwrap()",
+            ),
+        ];
+        let keys = vec![
+            "hot_alloc|crates/a/src/lib.rs|A::f|.push(".to_string(),
+            "error_drop|crates/c/src/lib.rs|C::h|let _ =".to_string(),
+        ];
+        let gated = gate(&diags, &keys);
+        assert_eq!(gated.suppressed, 1);
+        assert_eq!(gated.new.len(), 1);
+        assert_eq!(gated.new[0].rule, "hot_panic");
+        assert_eq!(
+            gated.stale,
+            vec!["error_drop|crates/c/src/lib.rs|C::h|let _ =".to_string()]
+        );
+    }
+
+    #[test]
+    fn per_file_findings_fall_back_to_line_keys() {
+        let d = Diagnostic::new("panic", "crates/a/src/lib.rs", 12, "m".to_string());
+        assert_eq!(d.baseline_key(), "panic|crates/a/src/lib.rs|12");
+        let gated = gate(&[d], &["panic|crates/a/src/lib.rs|12".to_string()]);
+        assert_eq!(gated.suppressed, 1);
+        assert!(gated.new.is_empty() && gated.stale.is_empty());
+    }
+
+    #[test]
+    fn missing_baseline_is_empty_not_an_error() {
+        let keys = load(Path::new("/nonexistent/lint-baseline.json")).expect("missing is empty");
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn render_is_sorted_and_parseable_by_load() {
+        let diags = vec![
+            diag("b", "f", 1, "b|f|X::y|t"),
+            diag("a", "f", 2, "a|f|X::z|t"),
+            diag("b", "f", 1, "b|f|X::y|t"),
+        ];
+        let text = render(&diags);
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        let accepted: Vec<&str> = value["accepted"]
+            .as_array()
+            .expect("array")
+            .iter()
+            .filter_map(|v| v.as_str())
+            .collect();
+        assert_eq!(
+            accepted,
+            vec!["a|f|X::z|t", "b|f|X::y|t"],
+            "sorted + deduped"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! `bf-lint --explain <rule>`: what each rule means, why it exists, and
+//! how to satisfy or justify it.
+
+/// Returns the explanation text for `rule`, if it names a known rule.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    EXPLANATIONS
+        .iter()
+        .find(|(name, _)| *name == rule)
+        .map(|(_, text)| *text)
+}
+
+/// All explainable rule names, in display order.
+pub fn rules() -> Vec<&'static str> {
+    EXPLANATIONS.iter().map(|(name, _)| *name).collect()
+}
+
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "panic",
+        "No `.unwrap()` / `.expect()` in non-test library code.\n\
+         \n\
+         The device manager multiplexes many sessions onto shared event\n\
+         loops; a panic in one request's handling tears down every tenant\n\
+         on the process. Return typed errors and let the session FSM fail\n\
+         the one invocation.\n\
+         \n\
+         Justify a provably-infallible site with\n\
+         `// bf-lint: allow(panic): <why the Err/None case is impossible>`.",
+    ),
+    (
+        "std_sync",
+        "`parking_lot` locks only — `std::sync::{Mutex, RwLock}` are banned.\n\
+         \n\
+         std locks poison on panic, turning one failure into a cascade of\n\
+         `PoisonError`s; parking_lot locks are smaller, fairer under the\n\
+         poller's contention pattern, and poison-free.",
+    ),
+    (
+        "wall_clock",
+        "`Instant::now()` / `SystemTime::now()` only inside the clock module.\n\
+         \n\
+         The simulation and the model checker replace time with a virtual\n\
+         clock; a stray wall-clock read desynchronizes replayed schedules\n\
+         and makes figures non-reproducible. Route all time through\n\
+         `bf_model::clock`.",
+    ),
+    (
+        "lock_order",
+        "Within one function, locks must be acquired in declared-hierarchy\n\
+         order (see `bf_devmgr::lock_order::HIERARCHY`). Out-of-order\n\
+         acquisition is how the poller/devmgr deadlocks of ISSUE 4 were\n\
+         born. The runtime tracker enforces the same table in debug builds.",
+    ),
+    (
+        "lock_graph",
+        "Whole-program lock discipline: every `Mutex`/`RwLock` field must\n\
+         carry a rank from the hierarchy, the static acquisition graph must\n\
+         be acyclic, and every hierarchy entry must correspond to a real\n\
+         lock (no dead ranks).",
+    ),
+    (
+        "raw_sync",
+        "Instrumented crates must use the `bf_race::sync` facade rather than\n\
+         raw `parking_lot` / `std::sync::atomic` / `crossbeam` primitives,\n\
+         so the deterministic model checker can interpose on every\n\
+         synchronization action.",
+    ),
+    (
+        "wildcard_match",
+        "`match`es over protocol status enums must not use `_` arms. A new\n\
+         enum variant must be a compile error at every consumer, not a\n\
+         silently-absorbed default — that is how protocol drift between the\n\
+         gateway and the device manager stays visible.",
+    ),
+    (
+        "unbounded_channel",
+        "No `unbounded()` queues in library code. Every queue on the\n\
+         invocation path has a declared depth and a backpressure story\n\
+         (ISSUE 5's admission control depends on it); an unbounded channel\n\
+         is a hidden infinite buffer that converts overload into OOM.",
+    ),
+    (
+        "payload_copy",
+        "Datapath modules must not copy payload bytes (`to_vec`, `clone` of\n\
+         payload-typed values). The zero-copy path (ISSUE 3) carries\n\
+         refcounted `Bytes` end-to-end; justified copies must be counted\n\
+         via the copy-accounting API and annotated\n\
+         `// bf-lint: allow(payload_copy): <why>`.",
+    ),
+    (
+        "directive",
+        "Allow-directives must themselves be well-formed: a justification\n\
+         after the colon, a rule name the engine knows, and (for bf-flow\n\
+         entries) a class from the declared entry-class table. Reported at\n\
+         the directive's own file:line.",
+    ),
+    (
+        "hot_blocking",
+        "[bf-flow] Nothing blocking may be reachable from a hot-path entry:\n\
+         no condvar wait, no blocking `recv`, no `sleep`, no file/net\n\
+         syscalls, and no lock ranked *outside* the entry class's floor\n\
+         (e.g. the poller may take `frames` and inner locks, never\n\
+         `registry`). Findings carry a call-chain witness: entry → … →\n\
+         offending call, file:line per hop.\n\
+         \n\
+         Designed park points (the poller's notify hub) are justified with\n\
+         `// bf-flow: allow(hot_blocking): <why this wait is the design>`.",
+    ),
+    (
+        "hot_alloc",
+        "[bf-flow] No unbounded container growth (`push`, `insert`,\n\
+         `extend`, `to_vec`, `resize`, …) reachable from a hot-path entry.\n\
+         Under 10k-session load an unbounded `Vec` on the event loop is a\n\
+         latency spike generator. Pre-size with `with_capacity` (detected\n\
+         automatically for same-function locals), enforce an explicit cap,\n\
+         or state the bound: `// bf-flow: allow(hot_alloc): bounded by\n\
+         max_pending_responses`.",
+    ),
+    (
+        "hot_panic",
+        "[bf-flow] No panic reachable from a hot-path entry —\n\
+         interprocedurally. Covers `panic!`-family macros, `.unwrap()` /\n\
+         `.expect()`, and indexing without `.get(..)`. This supersedes the\n\
+         per-file `panic` rule on hot paths: a panic three calls deep still\n\
+         takes down the shared event loop. Existing justified\n\
+         `bf-lint: allow(panic)` sites remain honored for unwrap/expect;\n\
+         indexing invariants are justified with\n\
+         `// bf-flow: allow(hot_panic): <the invariant>`.",
+    ),
+    (
+        "error_drop",
+        "[bf-flow] Discarding a `Result` whose error type carries\n\
+         backpressure or overload information (`TransportError`,\n\
+         `GatewayError`, `SubmitError`, `HandlerError`) via `let _ = …` or\n\
+         a terminal `.ok()`. Swallowed backpressure is how admission\n\
+         control silently stops working. Handle it, propagate it, or\n\
+         justify a deliberate coalescing drop with\n\
+         `// bf-flow: allow(error_drop): <why dropping is correct>`.",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_per_file_and_flow_rule_is_explained() {
+        for rule in crate::RULES {
+            assert!(explain(rule).is_some(), "missing explanation for {rule}");
+        }
+        for rule in crate::flow::FLOW_RULES {
+            assert!(explain(rule).is_some(), "missing explanation for {rule}");
+        }
+    }
+
+    #[test]
+    fn unknown_rules_return_none() {
+        assert!(explain("warp_core").is_none());
+    }
+}

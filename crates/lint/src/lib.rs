@@ -17,16 +17,31 @@
 //! | `wildcard_match` | `match`es over status enums must not use `_` arms |
 //! | `unbounded_channel` | no `unbounded()` queues in library code — bounded depths + backpressure |
 //!
+//! On top of the per-file rules, the [`flow`] module runs **bf-flow**:
+//! a workspace-wide call graph with reachability passes (`hot_blocking`,
+//! `hot_alloc`, `hot_panic`, `error_drop`) seeded from
+//! `// bf-flow: entry(<class>)` annotations on hot-path roots. Findings
+//! carry call-chain witnesses and are gated against a checked-in
+//! [`baseline`] (`lint-baseline.json`): pre-existing findings warn,
+//! **new** findings fail.
+//!
 //! Individual sites opt out with a justified directive comment:
 //!
 //! ```text
 //! // bf-lint: allow(panic): poisoning is impossible — single writer
+//! // bf-flow: allow(hot_alloc): bounded by max_pending_responses
 //! ```
 //!
 //! The engine is exposed three ways: the `bf-lint` binary
-//! (`cargo run -p bf-lint`, `--json` for machine-readable output), the
-//! `tests/lint_conformance.rs` integration test (keeps `cargo test` the
-//! single gate), and this library API.
+//! (`cargo run -p bf-lint`, `--json` for machine-readable output,
+//! `--explain <rule>` for rule docs), the `tests/lint_conformance.rs`
+//! integration test (keeps `cargo test` the single gate), and this
+//! library API.
+//!
+//! Each source file is parsed **once** into a [`rules::Unit`] (masked
+//! line model + directive tables) shared by every per-file rule, the
+//! lock-graph pass, and all four bf-flow passes; the `--json` summary
+//! reports the wall time of the whole scan.
 //!
 //! The lock hierarchy is imported from [`bf_devmgr::lock_order`], the same
 //! table the runtime held-lock tracker enforces in debug builds — one
@@ -35,10 +50,14 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+pub mod explain;
+pub mod flow;
 pub mod rules;
 pub mod scan;
 
-pub use rules::{Diagnostic, CLOCK_MODULE, RULES, STATUS_ENUMS};
+pub use flow::{EntryPoint, ENTRY_CLASSES, FLOW_RULES};
+pub use rules::{Diagnostic, Hop, Unit, CLOCK_MODULE, RULES, STATUS_ENUMS};
 
 /// The declared lock-acquisition hierarchy (re-exported from the runtime
 /// tracker so the two layers can never drift apart).
@@ -51,6 +70,10 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Wall time of the scan (parse + all rules + all flow passes).
+    pub wall_ms: f64,
+    /// Resolved `bf-flow: entry(..)` annotations, in path order.
+    pub entries: Vec<EntryPoint>,
 }
 
 impl Report {
@@ -61,40 +84,92 @@ impl Report {
 
     /// Machine-readable form, stable for CI consumption.
     pub fn to_json(&self) -> serde_json::Value {
+        self.render_json(None)
+    }
+
+    /// Machine-readable form with baseline gating applied: `ok` reflects
+    /// only **new** findings, and the document carries the gated split.
+    pub fn to_json_gated(&self, gated: &baseline::Gated) -> serde_json::Value {
+        self.render_json(Some(gated))
+    }
+
+    fn render_json(&self, gated: Option<&baseline::Gated>) -> serde_json::Value {
+        let ok = gated.map_or(self.is_clean(), |g| g.new.is_empty());
         serde_json::json!({
-            "ok": self.is_clean(),
+            "ok": ok,
             "files_scanned": self.files_scanned,
-            "violations": self
-                .diagnostics
+            "lint_wall_ms": (self.wall_ms * 100.0).round() / 100.0,
+            "entries": self
+                .entries
                 .iter()
-                .map(|d| {
+                .map(|e| {
                     serde_json::json!({
-                        "rule": d.rule,
-                        "file": d.file,
-                        "line": d.line,
-                        "message": d.message,
+                        "class": e.class,
+                        "function": e.function,
+                        "file": e.file,
+                        "line": e.line,
                     })
                 })
                 .collect::<Vec<_>>(),
+            "violations": self
+                .diagnostics
+                .iter()
+                .map(diagnostic_json)
+                .collect::<Vec<_>>(),
+            "new_violations": gated
+                .map(|g| g.new.iter().map(diagnostic_json).collect::<Vec<_>>())
+                .unwrap_or_default(),
+            "suppressed": gated.map_or(0, |g| g.suppressed),
+            "stale_baseline": gated.map(|g| g.stale.clone()).unwrap_or_default(),
         })
     }
 }
 
+/// One diagnostic in the stable JSON shape (also used for baseline-gated
+/// subsets).
+pub fn diagnostic_json(d: &Diagnostic) -> serde_json::Value {
+    serde_json::json!({
+        "rule": d.rule,
+        "file": d.file,
+        "line": d.line,
+        "column": d.column,
+        "message": d.message,
+        "key": d.baseline_key(),
+        "witness": d
+            .witness
+            .iter()
+            .map(|h| {
+                serde_json::json!({
+                    "function": h.function,
+                    "file": h.file,
+                    "line": h.line,
+                })
+            })
+            .collect::<Vec<_>>(),
+    })
+}
+
 /// Scans one in-memory source file (used by rule unit tests and by tools
-/// embedding the engine).
+/// embedding the engine). Per-file rules only — bf-flow needs the whole
+/// workspace.
 pub fn check_source(path: &str, text: &str) -> Vec<Diagnostic> {
     let file = scan::parse(path, text, is_test_path(path));
     let mut out = Vec::new();
-    rules::check_file(&file, LOCK_HIERARCHY, &mut out);
+    let unit = rules::Unit::analyze(file, &mut out);
+    rules::check_file(&unit, LOCK_HIERARCHY, &mut out);
     out
 }
 
-/// Scans the workspace rooted at `root` (`crates/` and `tests/`).
+/// Scans the workspace rooted at `root` (`crates/` and `tests/`): per-file
+/// rules, the whole-program lock-graph pass, and all four bf-flow passes,
+/// over a single shared parse.
 ///
 /// # Errors
 ///
 /// Returns an I/O description when the tree cannot be read.
 pub fn run(root: &Path) -> Result<Report, String> {
+    // bf-lint: allow(wall_clock): lint tooling self-timing, not simulation state
+    let started = std::time::Instant::now();
     let mut files = Vec::new();
     for top in ["crates", "tests"] {
         let dir = root.join(top);
@@ -113,7 +188,8 @@ pub fn run(root: &Path) -> Result<Report, String> {
 
     let mut diagnostics = Vec::new();
     let files_scanned = files.len();
-    let mut parsed = Vec::with_capacity(files_scanned);
+    // Parse once: every rule family reuses the same masked line model.
+    let mut units = Vec::with_capacity(files_scanned);
     for path in files {
         let text =
             fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
@@ -123,15 +199,21 @@ pub fn run(root: &Path) -> Result<Report, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let file = scan::parse(&rel, &text, is_test_path(&rel));
-        rules::check_file(&file, LOCK_HIERARCHY, &mut diagnostics);
-        parsed.push(file);
+        units.push(rules::Unit::analyze(file, &mut diagnostics));
     }
-    // The whole-program pass needs every file at once: unranked-lock
-    // declarations, cross-crate acquisition cycles, hierarchy coverage.
-    rules::check_program(&parsed, LOCK_HIERARCHY, &mut diagnostics);
+    for unit in &units {
+        rules::check_file(unit, LOCK_HIERARCHY, &mut diagnostics);
+    }
+    // The whole-program passes need every file at once: unranked-lock
+    // declarations, cross-crate acquisition cycles, hierarchy coverage —
+    // and the bf-flow call graph.
+    rules::check_program(&units, LOCK_HIERARCHY, &mut diagnostics);
+    let entries = flow::check(&units, LOCK_HIERARCHY, &mut diagnostics);
     Ok(Report {
         diagnostics,
         files_scanned,
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        entries,
     })
 }
 
@@ -198,19 +280,33 @@ mod tests {
 
     #[test]
     fn json_report_shape_is_stable() {
+        let mut diag =
+            Diagnostic::new("panic", "crates/x/src/lib.rs", 3, "m".to_string()).at_column(9);
+        diag.witness = vec![Hop {
+            function: "X::f".to_string(),
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 1,
+        }];
         let report = Report {
-            diagnostics: vec![Diagnostic {
-                rule: "panic",
-                file: "crates/x/src/lib.rs".into(),
-                line: 3,
-                message: "m".into(),
-            }],
+            diagnostics: vec![diag],
             files_scanned: 7,
+            wall_ms: 12.345,
+            entries: vec![EntryPoint {
+                class: "poller".to_string(),
+                function: "Poller::poll".to_string(),
+                file: "crates/rpc/src/poller.rs".to_string(),
+                line: 40,
+            }],
         };
         let v = report.to_json();
         assert_eq!(v["ok"], false);
         assert_eq!(v["files_scanned"], 7u64);
+        assert_eq!(v["lint_wall_ms"], 12.35);
+        assert_eq!(v["entries"][0]["class"], "poller");
         assert_eq!(v["violations"][0]["rule"], "panic");
         assert_eq!(v["violations"][0]["line"], 3u64);
+        assert_eq!(v["violations"][0]["column"], 9u64);
+        assert_eq!(v["violations"][0]["key"], "panic|crates/x/src/lib.rs|3");
+        assert_eq!(v["violations"][0]["witness"][0]["function"], "X::f");
     }
 }

@@ -2,10 +2,18 @@
 //! violations.
 //!
 //! ```text
-//! cargo run -p bf-lint            # human-readable diagnostics
-//! cargo run -p bf-lint -- --json  # machine-readable report
+//! cargo run -p bf-lint                      # human-readable diagnostics
+//! cargo run -p bf-lint -- --json            # machine-readable report
 //! cargo run -p bf-lint -- --root /path/to/workspace
+//! cargo run -p bf-lint -- --explain hot_blocking
+//! cargo run -p bf-lint -- --baseline lint-baseline.json
+//! cargo run -p bf-lint -- --write-baseline  # refresh accepted findings
 //! ```
+//!
+//! When `<root>/lint-baseline.json` exists it is applied automatically:
+//! findings listed there are suppressed (reported as `suppressed` in the
+//! JSON summary), stale entries that no longer fire are warned about, and
+//! only **new** findings fail the run.
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
 
@@ -15,6 +23,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,8 +36,43 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("bf-lint: --baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => write_baseline = true,
+            "--explain" => {
+                return match args.next() {
+                    Some(rule) => match bf_lint::explain::explain(&rule) {
+                        Some(text) => {
+                            println!("{rule}\n{}\n\n{text}", "-".repeat(rule.len()));
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!(
+                                "bf-lint: unknown rule {rule:?}; known rules: {}",
+                                bf_lint::explain::rules().join(", ")
+                            );
+                            ExitCode::from(2)
+                        }
+                    },
+                    None => {
+                        eprintln!(
+                            "bf-lint: --explain requires a rule name; known rules: {}",
+                            bf_lint::explain::rules().join(", ")
+                        );
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: bf-lint [--json] [--root <workspace>]");
+                println!(
+                    "usage: bf-lint [--json] [--root <workspace>] [--baseline <file>]\n\
+                     \u{20}              [--write-baseline] [--explain <rule>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -65,9 +110,36 @@ fn main() -> ExitCode {
         }
     };
 
+    // The default baseline is <root>/lint-baseline.json when present;
+    // --baseline overrides, --write-baseline refreshes it.
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+    if write_baseline {
+        let text = bf_lint::baseline::render(&report.diagnostics);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("bf-lint: write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "bf-lint: wrote {} accepted finding(s) to {}",
+            report.diagnostics.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let keys = match bf_lint::baseline::load(&baseline_path) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("bf-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let gated = bf_lint::baseline::gate(&report.diagnostics, &keys);
+
     let mut out = String::new();
+    use std::fmt::Write as _;
     if json {
-        match serde_json::to_string_pretty(&report.to_json()) {
+        let value = report.to_json_gated(&gated);
+        match serde_json::to_string_pretty(&value) {
             Ok(text) => {
                 out.push_str(&text);
                 out.push('\n');
@@ -78,22 +150,31 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        use std::fmt::Write as _;
-        for diag in &report.diagnostics {
+        for diag in &gated.new {
             let _ = writeln!(out, "{diag}");
+        }
+        for key in &gated.stale {
+            let _ = writeln!(
+                out,
+                "bf-lint: warning: stale baseline entry no longer fires: {key}"
+            );
         }
         let _ = writeln!(
             out,
-            "bf-lint: {} file(s) scanned, {} violation(s)",
+            "bf-lint: {} file(s) scanned in {:.1} ms, {} new violation(s), \
+             {} suppressed by baseline, {} stale baseline entr(ies)",
             report.files_scanned,
-            report.diagnostics.len()
+            report.wall_ms,
+            gated.new.len(),
+            gated.suppressed,
+            gated.stale.len()
         );
     }
     // A closed pipe (`bf-lint | head`) must not turn into a panic; the
     // exit code still carries the verdict.
     use std::io::Write as _;
     let _ = std::io::stdout().write_all(out.as_bytes());
-    if report.is_clean() {
+    if gated.new.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

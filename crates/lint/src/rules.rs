@@ -66,64 +66,177 @@ pub const DATAPATH_MODULES: &[&str] = &[
 /// Receiver identifiers that hold payload bytes by workspace convention.
 const PAYLOAD_IDENTS: &[&str] = &["payload", "data", "bytes", "body", "raw", "frame"];
 
+/// One hop of an interprocedural call-chain witness (see [`crate::flow`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Qualified function name (`Type::method` or a free `function`).
+    pub function: String,
+    /// Workspace-relative path of the hop.
+    pub file: String,
+    /// 1-based line (the function's signature, or the offending call for
+    /// the final hop).
+    pub line: usize,
+}
+
 /// One finding, pointing at a workspace-relative file and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Which rule fired (an entry of [`RULES`]).
+    /// Which rule fired: a stable id from [`RULES`] or
+    /// [`crate::flow::FLOW_RULES`], as written in directives, JSON output,
+    /// and baseline keys.
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token; 0 when unknown.
+    pub column: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Call-chain witness (entry → … → offending call) for interprocedural
+    /// findings; empty for per-file rules.
+    pub witness: Vec<Hop>,
+    /// Line-number-free identity used for baseline matching; empty means
+    /// "derive from rule/file/line".
+    pub key: String,
+}
+
+impl Diagnostic {
+    /// A finding with no column, witness, or baseline key (yet).
+    pub fn new(rule: &'static str, file: &str, line: usize, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            column: 0,
+            message,
+            witness: Vec::new(),
+            key: String::new(),
+        }
+    }
+
+    /// Sets the 1-based column (builder style).
+    pub fn at_column(mut self, column: usize) -> Diagnostic {
+        self.column = column;
+        self
+    }
+
+    /// The identity used when matching against a baseline: the explicit
+    /// [`key`](Self::key) when one was assigned (interprocedural findings
+    /// key on rule/file/function/token, so line drift cannot invalidate a
+    /// baseline), else `rule|file|line`.
+    pub fn baseline_key(&self) -> String {
+        if self.key.is_empty() {
+            format!("{}|{}|{}", self.rule, self.file, self.line)
+        } else {
+            self.key.clone()
+        }
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
+        if self.column > 0 {
+            write!(
+                f,
+                "{}:{}:{}: [{}] {}",
+                self.file, self.line, self.column, self.rule, self.message
+            )?;
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )?;
+        }
+        for (i, hop) in self.witness.iter().enumerate() {
+            let role = if i == 0 { "entry" } else { "via" };
+            write!(
+                f,
+                "\n    {role} {} at {}:{}",
+                hop.function, hop.file, hop.line
+            )?;
+        }
+        Ok(())
     }
 }
 
-/// Parsed `bf-lint: allow(...)` directives of one file: line → rules.
-struct Allows {
+/// Parsed allow directives of one file: line → exempted rules.
+pub(crate) struct Allows {
     by_line: HashMap<usize, Vec<String>>,
 }
 
 impl Allows {
-    fn permits(&self, line: usize, rule: &str) -> bool {
+    pub(crate) fn permits(&self, line: usize, rule: &str) -> bool {
         self.by_line
             .get(&line)
             .is_some_and(|rules| rules.iter().any(|r| r == rule))
     }
 }
 
-/// Collects allow directives, validating that each carries a justification
-/// and names a known rule.
-fn collect_allows(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Allows {
-    const MARKER: &str = "bf-lint: allow(";
+/// Both directive families of one file, collected in a single pass so the
+/// per-file rules, the whole-program lock-graph pass, and the bf-flow
+/// passes all share one parse.
+pub(crate) struct Directives {
+    /// Justified `bf-lint` allow exemptions.
+    pub(crate) lint: Allows,
+    /// Justified `bf-flow` allow exemptions.
+    pub(crate) flow: Allows,
+}
+
+/// One parsed file plus its directive model: the unit every pass consumes.
+/// Built once per file by [`Unit::analyze`]; nothing downstream re-parses.
+pub struct Unit {
+    /// The masked source model.
+    pub file: SourceFile,
+    pub(crate) dirs: Directives,
+}
+
+impl Unit {
+    /// Parses both directive families, emitting `directive` diagnostics
+    /// for malformed, unknown-rule, or unjustified forms.
+    pub fn analyze(file: SourceFile, out: &mut Vec<Diagnostic>) -> Unit {
+        let lint = collect_allows(&file, "bf-lint: allow(", RULES, out);
+        let flow = collect_allows(&file, "bf-flow: allow(", crate::flow::FLOW_RULES, out);
+        Unit {
+            file,
+            dirs: Directives { lint, flow },
+        }
+    }
+}
+
+/// Collects one directive family, validating that each carries a
+/// justification and names a known rule. Diagnostics about a directive
+/// (unknown rule, missing justification) anchor at the directive's own
+/// file:line and column — never at the site it would have exempted.
+fn collect_allows(
+    file: &SourceFile,
+    marker: &str,
+    known_rules: &[&str],
+    out: &mut Vec<Diagnostic>,
+) -> Allows {
+    let family = marker.trim_end_matches(": allow(");
     let mut by_line = HashMap::new();
     for (idx, line) in file.lines.iter().enumerate() {
         // Directives live in comments only (the comment view blanks string
         // literals), and backtick-quoted mentions are prose, not directives.
-        let Some(pos) = line.comment.find(MARKER) else {
+        let Some(pos) = line.comment.find(marker) else {
             continue;
         };
         if pos > 0 && line.comment.as_bytes()[pos - 1] == b'`' {
             continue;
         }
-        let rest = &line.comment[pos + MARKER.len()..];
+        let rest = &line.comment[pos + marker.len()..];
         let Some(close) = rest.find(')') else {
-            out.push(Diagnostic {
-                rule: "directive",
-                file: file.path.clone(),
-                line: idx + 1,
-                message: "malformed bf-lint directive: missing `)`".to_string(),
-            });
+            out.push(
+                Diagnostic::new(
+                    "directive",
+                    &file.path,
+                    idx + 1,
+                    format!("malformed {family} directive: missing `)`"),
+                )
+                .at_column(pos + 1),
+            );
             continue;
         };
         // A directive may name several rules: `allow(panic, wall_clock)`.
@@ -132,15 +245,18 @@ fn collect_allows(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Allows {
         let mut rules = Vec::new();
         for rule in rest[..close].split(',') {
             let rule = rule.trim().to_string();
-            if RULES.contains(&rule.as_str()) {
+            if known_rules.contains(&rule.as_str()) {
                 rules.push(rule);
             } else {
-                out.push(Diagnostic {
-                    rule: "directive",
-                    file: file.path.clone(),
-                    line: idx + 1,
-                    message: format!("unknown rule {rule:?} in bf-lint directive"),
-                });
+                out.push(
+                    Diagnostic::new(
+                        "directive",
+                        &file.path,
+                        idx + 1,
+                        format!("unknown rule {rule:?} in {family} directive"),
+                    )
+                    .at_column(pos + 1),
+                );
             }
         }
         if rules.is_empty() {
@@ -151,15 +267,18 @@ fn collect_allows(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Allows {
             .trim();
         if justification.is_empty() {
             let listed = rules.join(", ");
-            out.push(Diagnostic {
-                rule: "directive",
-                file: file.path.clone(),
-                line: idx + 1,
-                message: format!(
-                    "bf-lint: allow({listed}) needs a justification, e.g. \
-                     `// bf-lint: allow({listed}): why this site is safe`"
-                ),
-            });
+            out.push(
+                Diagnostic::new(
+                    "directive",
+                    &file.path,
+                    idx + 1,
+                    format!(
+                        "{family}: allow({listed}) needs a justification, e.g. \
+                         `// {family}: allow({listed}): why this site is safe`"
+                    ),
+                )
+                .at_column(pos + 1),
+            );
             continue;
         }
         // A comment-only directive exempts the next *statement*: the first
@@ -199,17 +318,19 @@ fn collect_allows(file: &SourceFile, out: &mut Vec<Diagnostic>) -> Allows {
     Allows { by_line }
 }
 
-/// Runs every per-file rule over `file`, appending findings to `out`.
-pub fn check_file(file: &SourceFile, lock_hierarchy: &[&str], out: &mut Vec<Diagnostic>) {
-    let allows = collect_allows(file, out);
-    rule_panic(file, &allows, out);
-    rule_std_sync(file, &allows, out);
-    rule_wall_clock(file, &allows, out);
-    rule_lock_order(file, lock_hierarchy, &allows, out);
-    rule_raw_sync(file, &allows, out);
-    rule_wildcard_match(file, &allows, out);
-    rule_unbounded_channel(file, &allows, out);
-    rule_payload_copy(file, &allows, out);
+/// Runs every per-file rule over a parsed unit, appending findings to
+/// `out`. Directive diagnostics were already emitted by [`Unit::analyze`].
+pub fn check_file(unit: &Unit, lock_hierarchy: &[&str], out: &mut Vec<Diagnostic>) {
+    let file = &unit.file;
+    let allows = &unit.dirs.lint;
+    rule_panic(file, allows, out);
+    rule_std_sync(file, allows, out);
+    rule_wall_clock(file, allows, out);
+    rule_lock_order(file, lock_hierarchy, allows, out);
+    rule_raw_sync(file, allows, out);
+    rule_wildcard_match(file, allows, out);
+    rule_unbounded_channel(file, allows, out);
+    rule_payload_copy(file, allows, out);
 }
 
 /// Rule `raw_sync`: inside [`INSTRUMENTED_CRATES`] every lock, condvar,
@@ -228,29 +349,33 @@ fn rule_raw_sync(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) 
         }
         let code = &line.code;
         let hit = if code.contains("use parking_lot") || code.contains("parking_lot::") {
-            Some("parking_lot primitive")
-        } else if code.contains("std::sync::atomic") {
-            Some("std::sync atomic")
+            code.find("parking_lot")
+                .map(|p| ("parking_lot primitive", p))
+        } else if let Some(p) = code.find("std::sync::atomic") {
+            Some(("std::sync atomic", p))
         } else if code.contains("use crossbeam") || code.contains("crossbeam::channel") {
-            Some("crossbeam channel")
+            code.find("crossbeam").map(|p| ("crossbeam channel", p))
         } else {
             None
         };
-        let Some(what) = hit else { continue };
+        let Some((what, pos)) = hit else { continue };
         if allows.permits(idx + 1, "raw_sync") {
             continue;
         }
-        out.push(Diagnostic {
-            rule: "raw_sync",
-            file: file.path.clone(),
-            line: idx + 1,
-            message: format!(
-                "{what} in an instrumented crate: route synchronization \
-                 through the bf-sync facade (`crate::sync`) so the model \
-                 scheduler sees it, or justify with \
-                 `// bf-lint: allow(raw_sync): ...`"
-            ),
-        });
+        out.push(
+            Diagnostic::new(
+                "raw_sync",
+                &file.path,
+                idx + 1,
+                format!(
+                    "{what} in an instrumented crate: route synchronization \
+                     through the bf-sync facade (`crate::sync`) so the model \
+                     scheduler sees it, or justify with \
+                     `// bf-lint: allow(raw_sync): ...`"
+                ),
+            )
+            .at_column(pos + 1),
+        );
     }
 }
 
@@ -271,7 +396,7 @@ fn rule_raw_sync(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) 
 /// 3. **Coverage** — every hierarchy entry must be observed as a declared
 ///    or acquired lock somewhere in the program, so the table cannot
 ///    accumulate stale names that the runtime tracker would still accept.
-pub fn check_program(files: &[SourceFile], hierarchy: &[&str], out: &mut Vec<Diagnostic>) {
+pub fn check_program(units: &[Unit], hierarchy: &[&str], out: &mut Vec<Diagnostic>) {
     use std::collections::BTreeMap;
 
     let ranked = |name: &str| hierarchy.contains(&name);
@@ -279,10 +404,10 @@ pub fn check_program(files: &[SourceFile], hierarchy: &[&str], out: &mut Vec<Dia
     // (from, to) → first site, kept ordered for deterministic reports.
     let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
 
-    for file in files {
-        // Directive diagnostics were already emitted by `check_file`;
-        // re-collect silently just to honour the exemptions.
-        let allows = collect_allows(file, &mut Vec::new());
+    for unit in units {
+        let file = &unit.file;
+        // Directives were collected once by `Unit::analyze`.
+        let allows = &unit.dirs.lint;
 
         let mut held: Vec<(String, i64)> = Vec::new();
         let mut depth: i64 = 0;
@@ -295,16 +420,16 @@ pub fn check_program(files: &[SourceFile], hierarchy: &[&str], out: &mut Vec<Dia
                         seen.push(name.to_string());
                     }
                     if !ranked(name) && !allows.permits(idx + 1, "lock_graph") {
-                        out.push(Diagnostic {
-                            rule: "lock_graph",
-                            file: file.path.clone(),
-                            line: idx + 1,
-                            message: format!(
+                        out.push(Diagnostic::new(
+                            "lock_graph",
+                            &file.path,
+                            idx + 1,
+                            format!(
                                 "lock `{name}` is not ranked in the lock hierarchy: add it \
                                  to bf_devmgr::lock_order::HIERARCHY (or justify with \
                                  `// bf-lint: allow(lock_graph): ...`)"
                             ),
-                        });
+                        ));
                     }
                 }
 
@@ -339,9 +464,7 @@ pub fn check_program(files: &[SourceFile], hierarchy: &[&str], out: &mut Vec<Dia
                     }
                 }
             }
-            let opens = code.bytes().filter(|&b| b == b'{').count() as i64;
-            let closes = code.bytes().filter(|&b| b == b'}').count() as i64;
-            depth += opens - closes;
+            depth += line.brace_delta();
             held.retain(|&(_, d)| d <= depth);
         }
     }
@@ -352,30 +475,30 @@ pub fn check_program(files: &[SourceFile], hierarchy: &[&str], out: &mut Vec<Dia
             .get(&(cycle[0].clone(), cycle[1].clone()))
             .cloned()
             .unwrap_or_else(|| (LOCK_TABLE_MODULE.to_string(), 1));
-        out.push(Diagnostic {
-            rule: "lock_graph",
-            file,
+        out.push(Diagnostic::new(
+            "lock_graph",
+            &file,
             line,
-            message: format!(
+            format!(
                 "static lock cycle across the program: {} — no single \
                  acquisition order can satisfy these sites",
                 cycle.join(" -> "),
             ),
-        });
+        ));
     }
 
     // Check 3: hierarchy coverage.
     for name in hierarchy {
         if !seen.iter().any(|s| s == name) {
-            out.push(Diagnostic {
-                rule: "lock_graph",
-                file: LOCK_TABLE_MODULE.to_string(),
-                line: 1,
-                message: format!(
+            out.push(Diagnostic::new(
+                "lock_graph",
+                LOCK_TABLE_MODULE,
+                1,
+                format!(
                     "hierarchy entry `{name}` matches no declared or acquired lock \
                      in the program: remove the stale rank or fix the lock's name"
                 ),
-            });
+            ));
         }
     }
 }
@@ -473,26 +596,27 @@ fn rule_panic(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
         if line.in_test {
             continue;
         }
-        let hit = if line.code.contains(".unwrap()") {
-            Some(".unwrap()")
-        } else if line.code.contains(".expect(") {
-            Some(".expect(..)")
+        let hit = if let Some(p) = line.code.find(".unwrap()") {
+            Some((".unwrap()", p))
         } else {
-            None
+            line.code.find(".expect(").map(|p| (".expect(..)", p))
         };
-        let Some(what) = hit else { continue };
+        let Some((what, pos)) = hit else { continue };
         if allows.permits(idx + 1, "panic") {
             continue;
         }
-        out.push(Diagnostic {
-            rule: "panic",
-            file: file.path.clone(),
-            line: idx + 1,
-            message: format!(
-                "{what} in library code: propagate the error or justify with \
-                 `// bf-lint: allow(panic): ...`"
-            ),
-        });
+        out.push(
+            Diagnostic::new(
+                "panic",
+                &file.path,
+                idx + 1,
+                format!(
+                    "{what} in library code: propagate the error or justify with \
+                     `// bf-lint: allow(panic): ...`"
+                ),
+            )
+            .at_column(pos + 1),
+        );
     }
 }
 
@@ -512,17 +636,23 @@ fn rule_std_sync(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) 
         if !relevant {
             continue;
         }
-        let banned = contains_word(code, "Mutex") || contains_word(code, "RwLock");
-        if !banned || allows.permits(idx + 1, "std_sync") {
+        let pos = find_keyword(code, "Mutex")
+            .into_iter()
+            .chain(find_keyword(code, "RwLock"))
+            .min();
+        let Some(pos) = pos else { continue };
+        if allows.permits(idx + 1, "std_sync") {
             continue;
         }
-        out.push(Diagnostic {
-            rule: "std_sync",
-            file: file.path.clone(),
-            line: idx + 1,
-            message: "std::sync lock detected: use parking_lot::{Mutex, RwLock} instead"
-                .to_string(),
-        });
+        out.push(
+            Diagnostic::new(
+                "std_sync",
+                &file.path,
+                idx + 1,
+                "std::sync lock detected: use parking_lot::{Mutex, RwLock} instead".to_string(),
+            )
+            .at_column(pos + 1),
+        );
     }
 }
 
@@ -534,23 +664,25 @@ fn rule_wall_clock(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>
     }
     for (idx, line) in file.lines.iter().enumerate() {
         let code = &line.code;
-        let hit = if code.contains("Instant::now") {
-            Some("Instant::now()")
-        } else if code.contains("SystemTime::now") {
-            Some("SystemTime::now()")
+        let hit = if let Some(p) = code.find("Instant::now") {
+            Some(("Instant::now()", p))
         } else {
-            None
+            code.find("SystemTime::now")
+                .map(|p| ("SystemTime::now()", p))
         };
-        let Some(what) = hit else { continue };
+        let Some((what, pos)) = hit else { continue };
         if allows.permits(idx + 1, "wall_clock") {
             continue;
         }
-        out.push(Diagnostic {
-            rule: "wall_clock",
-            file: file.path.clone(),
-            line: idx + 1,
-            message: format!("{what} outside {CLOCK_MODULE}: simulated code must use VirtualClock"),
-        });
+        out.push(
+            Diagnostic::new(
+                "wall_clock",
+                &file.path,
+                idx + 1,
+                format!("{what} outside {CLOCK_MODULE}: simulated code must use VirtualClock"),
+            )
+            .at_column(pos + 1),
+        );
     }
 }
 
@@ -578,33 +710,36 @@ fn rule_lock_order(
         // Find acquisitions on this line: `<name>.lock()` receivers plus
         // `lock_order::tracked(&..., "name")` (name read from the raw line,
         // since masking blanks string contents).
-        let mut acquired: Vec<&str> = Vec::new();
+        let mut acquired: Vec<(&str, usize)> = Vec::new();
         for pos in find_all(code, ".lock()") {
             if let Some(name) = ident_before(code, pos) {
-                acquired.push(name);
+                acquired.push((name, pos - name.len()));
             }
         }
-        if code.contains("tracked(") {
+        if let Some(pos) = code.find("tracked(") {
             if let Some(name) = tracked_lock_name(&line.raw, hierarchy) {
-                acquired.push(name);
+                acquired.push((name, pos));
             }
         }
 
         let is_binding = code.trim_start().starts_with("let ");
-        for name in acquired {
+        for (name, pos) in acquired {
             let Some(rank) = rank_of(name) else { continue };
             if let Some(&(top_rank, _)) = held.iter().max_by_key(|&&(r, _)| r) {
                 if rank <= top_rank && !allows.permits(idx + 1, "lock_order") {
-                    out.push(Diagnostic {
-                        rule: "lock_order",
-                        file: file.path.clone(),
-                        line: idx + 1,
-                        message: format!(
-                            "acquiring lock `{name}` (rank {rank}) while `{}` (rank \
-                             {top_rank}) is held; declared order is {hierarchy:?}",
-                            hierarchy[top_rank],
-                        ),
-                    });
+                    out.push(
+                        Diagnostic::new(
+                            "lock_order",
+                            &file.path,
+                            idx + 1,
+                            format!(
+                                "acquiring lock `{name}` (rank {rank}) while `{}` (rank \
+                                 {top_rank}) is held; declared order is {hierarchy:?}",
+                                hierarchy[top_rank],
+                            ),
+                        )
+                        .at_column(pos + 1),
+                    );
                 }
             }
             if is_binding {
@@ -612,9 +747,7 @@ fn rule_lock_order(
             }
         }
 
-        let opens = code.bytes().filter(|&b| b == b'{').count() as i64;
-        let closes = code.bytes().filter(|&b| b == b'}').count() as i64;
-        depth += opens - closes;
+        depth += line.brace_delta();
         held.retain(|&(_, d)| d <= depth);
     }
 }
@@ -629,22 +762,26 @@ fn rule_unbounded_channel(file: &SourceFile, allows: &Allows, out: &mut Vec<Diag
             continue;
         }
         let code = &line.code;
-        let hit = find_keyword(code, "unbounded").into_iter().any(|pos| {
+        let hit = find_keyword(code, "unbounded").into_iter().find(|&pos| {
             let after = code[pos + "unbounded".len()..].trim_start();
             after.starts_with('(') || after.starts_with("::<")
         });
-        if !hit || allows.permits(idx + 1, "unbounded_channel") {
+        let Some(pos) = hit else { continue };
+        if allows.permits(idx + 1, "unbounded_channel") {
             continue;
         }
-        out.push(Diagnostic {
-            rule: "unbounded_channel",
-            file: file.path.clone(),
-            line: idx + 1,
-            message: "unbounded channel constructed in library code: use \
-                      `bounded(depth)` so overload surfaces as backpressure, or \
-                      justify with `// bf-lint: allow(unbounded_channel): ...`"
-                .to_string(),
-        });
+        out.push(
+            Diagnostic::new(
+                "unbounded_channel",
+                &file.path,
+                idx + 1,
+                "unbounded channel constructed in library code: use \
+                 `bounded(depth)` so overload surfaces as backpressure, or \
+                 justify with `// bf-lint: allow(unbounded_channel): ...`"
+                    .to_string(),
+            )
+            .at_column(pos + 1),
+        );
     }
 }
 
@@ -663,29 +800,32 @@ fn rule_payload_copy(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnosti
             continue;
         }
         let code = &line.code;
-        let hit = if code.contains(".to_vec()") {
-            Some(".to_vec()")
+        let hit = if let Some(p) = code.find(".to_vec()") {
+            Some((".to_vec()", p))
         } else {
             find_all(code, ".clone()")
                 .into_iter()
                 .find(|&pos| ident_before(code, pos).is_some_and(|id| PAYLOAD_IDENTS.contains(&id)))
-                .map(|_| ".clone() on a payload value")
+                .map(|p| (".clone() on a payload value", p))
         };
-        let Some(what) = hit else { continue };
+        let Some((what, pos)) = hit else { continue };
         if allows.permits(idx + 1, "payload_copy") {
             continue;
         }
-        out.push(Diagnostic {
-            rule: "payload_copy",
-            file: file.path.clone(),
-            line: idx + 1,
-            message: format!(
-                "{what} in a datapath module: pass `Bytes`/`Payload` slices or \
-                 `share()` the buffer; a deliberate copy must call \
-                 `bf_metrics::record_memcpy` and justify with \
-                 `// bf-lint: allow(payload_copy): ...`"
-            ),
-        });
+        out.push(
+            Diagnostic::new(
+                "payload_copy",
+                &file.path,
+                idx + 1,
+                format!(
+                    "{what} in a datapath module: pass `Bytes`/`Payload` slices or \
+                     `share()` the buffer; a deliberate copy must call \
+                     `bf_metrics::record_memcpy` and justify with \
+                     `// bf-lint: allow(payload_copy): ...`"
+                ),
+            )
+            .at_column(pos + 1),
+        );
     }
 }
 
@@ -724,24 +864,29 @@ fn rule_wildcard_match(file: &SourceFile, allows: &Allows, out: &mut Vec<Diagnos
             continue;
         }
         for arm_offset in wildcard_arms(block) {
-            let line = line_of(open + 1 + arm_offset);
+            let offset = open + 1 + arm_offset;
+            let line = line_of(offset);
             if allows.permits(line, "wildcard_match") {
                 continue;
             }
-            out.push(Diagnostic {
-                rule: "wildcard_match",
-                file: file.path.clone(),
-                line,
-                message: "wildcard `_` arm in a match over a status enum: list every \
-                          variant so new states cannot be silently ignored"
-                    .to_string(),
-            });
+            let column = offset - line_starts.get(line - 1).copied().unwrap_or(offset) + 1;
+            out.push(
+                Diagnostic::new(
+                    "wildcard_match",
+                    &file.path,
+                    line,
+                    "wildcard `_` arm in a match over a status enum: list every \
+                     variant so new states cannot be silently ignored"
+                        .to_string(),
+                )
+                .at_column(column),
+            );
         }
     }
 }
 
 /// Byte offsets of every occurrence of `needle` in `haystack`.
-fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0usize;
     while let Some(pos) = haystack[from..].find(needle) {
@@ -752,7 +897,7 @@ fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
 }
 
 /// Occurrences of `word` bounded by non-identifier characters.
-fn find_keyword(text: &str, word: &str) -> Vec<usize> {
+pub(crate) fn find_keyword(text: &str, word: &str) -> Vec<usize> {
     find_all(text, word)
         .into_iter()
         .filter(|&pos| {
@@ -768,14 +913,9 @@ fn find_keyword(text: &str, word: &str) -> Vec<usize> {
         .collect()
 }
 
-/// Whether `word` appears in `text` with identifier boundaries.
-fn contains_word(text: &str, word: &str) -> bool {
-    !find_keyword(text, word).is_empty()
-}
-
 /// The identifier immediately preceding byte offset `pos` (e.g. the
 /// receiver of a `.lock()` call).
-fn ident_before(code: &str, pos: usize) -> Option<&str> {
+pub(crate) fn ident_before(code: &str, pos: usize) -> Option<&str> {
     let bytes = code.as_bytes();
     let mut start = pos;
     while start > 0 {
@@ -791,7 +931,7 @@ fn ident_before(code: &str, pos: usize) -> Option<&str> {
 
 /// Extracts the lock name from a `tracked(&..., "name")` call on a raw
 /// line, returning the canonical `&'static str` from the hierarchy table.
-fn tracked_lock_name<'h>(raw: &str, hierarchy: &[&'h str]) -> Option<&'h str> {
+pub(crate) fn tracked_lock_name<'h>(raw: &str, hierarchy: &[&'h str]) -> Option<&'h str> {
     let pos = raw.find("tracked(")?;
     let rest = &raw[pos..];
     let quote = rest.find('"')?;
@@ -889,11 +1029,16 @@ mod tests {
     use super::*;
     use crate::scan::parse;
 
-    fn check(src: &str) -> Vec<Diagnostic> {
-        let file = parse("crates/x/src/lib.rs", src, false);
+    fn check_at(path: &str, src: &str, hierarchy: &[&str]) -> Vec<Diagnostic> {
+        let file = parse(path, src, false);
         let mut out = Vec::new();
-        check_file(&file, &["outer", "inner"], &mut out);
+        let unit = Unit::analyze(file, &mut out);
+        check_file(&unit, hierarchy, &mut out);
         out
+    }
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        check_at("crates/x/src/lib.rs", src, &["outer", "inner"])
     }
 
     #[test]
@@ -962,13 +1107,11 @@ mod tests {
         let out = check("fn f() { let t = std::time::Instant::now(); }\n");
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "wall_clock");
-        let file = parse(
+        let ok = check_at(
             CLOCK_MODULE,
             "fn f() { let t = std::time::Instant::now(); }\n",
-            false,
+            &[],
         );
-        let mut ok = Vec::new();
-        check_file(&file, &[], &mut ok);
         assert!(ok.is_empty());
     }
 
@@ -1049,10 +1192,7 @@ mod tests {
     }
 
     fn check_datapath(src: &str) -> Vec<Diagnostic> {
-        let file = parse("crates/rpc/src/shm.rs", src, false);
-        let mut out = Vec::new();
-        check_file(&file, &["outer", "inner"], &mut out);
-        out
+        check_at("crates/rpc/src/shm.rs", src, &["outer", "inner"])
     }
 
     #[test]
@@ -1127,10 +1267,7 @@ mod tests {
     // --- raw_sync ---
 
     fn check_instrumented(src: &str) -> Vec<Diagnostic> {
-        let file = parse("crates/rpc/src/transport.rs", src, false);
-        let mut out = Vec::new();
-        check_file(&file, &["outer", "inner"], &mut out);
-        out
+        check_at("crates/rpc/src/transport.rs", src, &["outer", "inner"])
     }
 
     #[test]
@@ -1161,12 +1298,12 @@ mod tests {
     // --- lock_graph (whole-program) ---
 
     fn check_whole_program(sources: &[(&str, &str)], hierarchy: &[&str]) -> Vec<Diagnostic> {
-        let files: Vec<_> = sources
-            .iter()
-            .map(|(path, src)| parse(path, src, false))
-            .collect();
         let mut out = Vec::new();
-        check_program(&files, hierarchy, &mut out);
+        let units: Vec<_> = sources
+            .iter()
+            .map(|(path, src)| Unit::analyze(parse(path, src, false), &mut Vec::new()))
+            .collect();
+        check_program(&units, hierarchy, &mut out);
         out
     }
 
@@ -1227,13 +1364,11 @@ mod tests {
         // The batching pipeline's queue lock + condvar live in
         // crates/serverless; a raw primitive import there bypasses the
         // model scheduler exactly like it would in the transport.
-        let file = parse(
+        let out = check_at(
             "crates/serverless/src/batch.rs",
             "use parking_lot::Condvar;\n",
-            false,
+            &[],
         );
-        let mut out = Vec::new();
-        check_file(&file, &[], &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].rule, "raw_sync");
     }

@@ -21,6 +21,19 @@ pub struct Line {
     /// Whether the line sits inside a `#[cfg(test)]` region (or the whole
     /// file is a test/bench target).
     pub in_test: bool,
+    /// `{` count in the masked view — precomputed once so every rule and
+    /// both whole-program passes share one brace profile instead of
+    /// re-counting per rule.
+    pub opens: u32,
+    /// `}` count in the masked view.
+    pub closes: u32,
+}
+
+impl Line {
+    /// Net brace depth change contributed by this line.
+    pub fn brace_delta(&self) -> i64 {
+        i64::from(self.opens) - i64::from(self.closes)
+    }
 }
 
 /// A parsed source file ready for rule evaluation.
@@ -316,6 +329,8 @@ pub fn parse(path: &str, text: &str, whole_file_is_test: bool) -> SourceFile {
             code: code.to_string(),
             comment: comment_lines.get(idx).copied().unwrap_or("").to_string(),
             in_test,
+            opens: opens as u32,
+            closes: closes as u32,
         });
 
         depth += opens - closes;

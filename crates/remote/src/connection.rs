@@ -232,6 +232,8 @@ pub(crate) fn handle_response(inner: &Arc<ConnectionInner>, resp: ResponseEnvelo
         }
         Some(Pending::Fence(tx)) => match resp.body {
             Response::Enqueued | Response::Ack => {
+                // bf-flow: allow(hot_alloc): re-insert of the entry removed
+                // three lines up — no net growth of the pending map
                 pending.insert(resp.tag, Pending::Fence(tx));
             }
             _ => {
@@ -242,6 +244,8 @@ pub(crate) fn handle_response(inner: &Arc<ConnectionInner>, resp: ResponseEnvelo
             let tag = resp.tag;
             let keep = advance_op(inner, &mut op, resp);
             if keep {
+                // bf-flow: allow(hot_alloc): re-insert of the in-flight op
+                // just removed under the same tag — no net growth
                 pending.insert(tag, Pending::Op(op));
             }
         }

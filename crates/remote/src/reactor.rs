@@ -97,6 +97,7 @@ impl std::fmt::Debug for Reactor {
     }
 }
 
+// bf-flow: entry(remote_reactor)
 fn reactor_thread(control_rx: Receiver<Control>, mut poller: Poller, wake_token: Token) {
     let mut conns: std::collections::HashMap<Token, (FrameRx, Weak<ConnectionInner>)> =
         std::collections::HashMap::new();
@@ -111,6 +112,9 @@ fn reactor_thread(control_rx: Receiver<Control>, mut poller: Poller, wake_token:
                 match control_rx.try_recv() {
                     Ok(Control::Register { frames, conn }) => {
                         let token = poller.register(frames.clone());
+                        // bf-flow: allow(hot_alloc): one entry per live
+                        // connection, forgotten when its stream closes —
+                        // bounded by connection count, not by traffic
                         conns.insert(token, (frames, conn));
                     }
                     Err(TryRecvError::Empty) => break,

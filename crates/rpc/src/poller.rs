@@ -119,7 +119,7 @@ impl Poller {
     /// push and on sender close.
     pub fn register(&mut self, rx: FrameRx) -> Token {
         rx.set_watch(self.hub.clone());
-        self.insert(Slot { rx, waker: false })
+        self.claim_slot(Slot { rx, waker: false })
     }
 
     /// Removes a source. Its token may be reassigned by later
@@ -137,7 +137,7 @@ impl Poller {
     pub fn add_waker(&mut self) -> (Token, Waker) {
         let (tx, rx) = waker_channel();
         rx.set_watch(self.hub.clone());
-        let token = self.insert(Slot { rx, waker: true });
+        let token = self.claim_slot(Slot { rx, waker: true });
         (token, Waker { tx })
     }
 
@@ -154,6 +154,7 @@ impl Poller {
     /// Blocks until a source is ready or `timeout` elapses (`None` waits
     /// indefinitely). Readiness means a pending frame or a closed sender
     /// side; consecutive calls rotate across ready sources round-robin.
+    // bf-flow: entry(poller)
     pub fn poll(&mut self, timeout: Option<Duration>) -> PollEvent {
         let deadline = timeout.map(MonoTime::after);
         loop {
@@ -170,6 +171,9 @@ impl Poller {
                     Some(d.remaining())
                 }
             };
+            // bf-flow: allow(hot_blocking): THE designed park point — every
+            // event loop sleeps here, woken by the notify hub's generation
+            // counter; no lock is held across the wait
             self.hub.wait(seen, remaining);
         }
     }
@@ -180,7 +184,7 @@ impl Poller {
         let n = self.slots.len();
         for step in 1..=n {
             let i = (self.cursor + step) % n;
-            let Some(slot) = self.slots[i].as_ref() else {
+            let Some(slot) = self.slots.get(i).and_then(Option::as_ref) else {
                 continue;
             };
             if !slot.rx.ready() {
@@ -195,11 +199,15 @@ impl Poller {
         None
     }
 
-    fn insert(&mut self, slot: Slot) -> Token {
-        if let Some(i) = self.slots.iter().position(Option::is_none) {
-            self.slots[i] = Some(slot);
+    /// Reuses the first vacated slot, growing the vec only when every slot
+    /// is occupied — the vec's length tracks peak concurrent registrations.
+    fn claim_slot(&mut self, slot: Slot) -> Token {
+        if let Some((i, vacant)) = self.slots.iter_mut().enumerate().find(|(_, c)| c.is_none()) {
+            *vacant = Some(slot);
             Token(i)
         } else {
+            // bf-flow: allow(hot_alloc): grows to peak concurrent
+            // registrations; deregistered slots are reused before growing
             self.slots.push(Some(slot));
             Token(self.slots.len() - 1)
         }

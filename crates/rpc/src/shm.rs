@@ -250,6 +250,7 @@ impl ShmSegment {
         self.store(offset, data)
     }
 
+    // bf-flow: entry(shm)
     fn store(&self, offset: u64, data: Bytes) -> Result<(), ShmError> {
         let mut inner = self.segment.lock();
         Self::check_write(&inner, offset, data.len() as u64)?;
@@ -259,13 +260,20 @@ impl ShmSegment {
             Some(old) if old.len() > data.len() => {
                 // bf-lint: allow(payload_copy): overlapping-write merge —
                 // both buffers may be aliased elsewhere; counted below.
+                // bf-flow: allow(hot_alloc): merge buffer is bounded by the
+                // region length (check_write above); copy is memcpy-counted
                 let mut v = data.to_vec();
                 bf_metrics::record_memcpy(old.len() as u64);
+                // bf-flow: allow(hot_alloc): same region-length bound
+                // bf-flow: allow(hot_panic): the match guard just above
+                // proves old.len() > data.len(), so the slice is in range
                 v.extend_from_slice(&old[data.len()..]);
                 Bytes::from(v)
             }
             _ => data,
         };
+        // bf-flow: allow(hot_alloc): one entry per allocated region — the
+        // region table is bounded by the segment's capacity
         inner.contents.insert(offset, merged);
         Ok(())
     }
@@ -277,6 +285,7 @@ impl ShmSegment {
     /// # Errors
     ///
     /// Returns [`ShmError::BadRegion`] / [`ShmError::OutOfBounds`].
+    // bf-flow: entry(shm)
     pub fn read(&self, offset: u64, len: u64) -> Result<Bytes, ShmError> {
         let inner = self.segment.lock();
         let region = *inner
@@ -298,7 +307,10 @@ impl ShmSegment {
                 bf_metrics::record_memcpy(content.len() as u64);
                 // bf-lint: allow(payload_copy): the snapshot must be longer
                 // than the written content — a counted copy is unavoidable.
+                // bf-flow: allow(hot_alloc): bounded by the region length,
+                // validated against the snapshot above; memcpy-counted
                 let mut v = content.to_vec();
+                // bf-flow: allow(hot_alloc): same region-length bound
                 v.resize(len as usize, 0);
                 Bytes::from(v)
             }

@@ -219,6 +219,8 @@ impl TxHalf {
     }
 
     pub(crate) fn try_push(&self, frame: Bytes) -> Result<(), TransportError> {
+        // bf-flow: allow(hot_alloc): FrameQueue is a depth-bounded ring —
+        // a full queue returns Backpressure instead of growing
         self.q.push(frame, false)
     }
 }

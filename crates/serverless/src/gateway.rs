@@ -285,6 +285,7 @@ impl Gateway {
     ///
     /// [`GatewayError::FunctionNotFound`] for unknown functions.
     /// Handler failures are reported per outcome, not as errors.
+    // bf-flow: entry(batcher)
     pub fn pump(&self, name: &str, now: VirtualTime) -> Result<Vec<Outcome>, GatewayError> {
         self.drain(name, now, false)
     }
@@ -367,6 +368,9 @@ impl Gateway {
         let results = handler.handle_batch(start, batch.invocations());
         debug_assert_eq!(results.len(), batch.len(), "one result per invocation");
         let batch_len = batch.len();
+        // One outcome per invocation: size the push loop below up front so
+        // it never reallocates while the functions lock is held.
+        outcomes.reserve(batch_len);
         let mut queue_waits = Vec::with_capacity(batch_len);
         {
             let mut functions = self.functions.lock();

@@ -5,9 +5,10 @@
 //! reintroduces a panic site, an `std::sync` lock, a wall-clock read, a
 //! lock-order inversion, a wildcard arm on a protocol enum, an unbounded
 //! channel on the hot path, or an unjustified payload byte copy in a
-//! datapath module.
+//! datapath module — plus the interprocedural `bf-flow` passes, gated on
+//! the checked-in `lint-baseline.json` exactly as CI gates them.
 
-use bf_lint::{check_source, run, LOCK_HIERARCHY, RULES};
+use bf_lint::{baseline, check_source, run, ENTRY_CLASSES, FLOW_RULES, LOCK_HIERARCHY, RULES};
 
 /// Walks up from the test binary's cwd to the workspace root (the
 /// directory holding the `[workspace]` manifest).
@@ -27,23 +28,66 @@ fn workspace_root() -> std::path::PathBuf {
 
 #[test]
 fn workspace_passes_bf_lint() {
-    let report = run(&workspace_root()).expect("bf-lint scan");
+    let root = workspace_root();
+    let report = run(&root).expect("bf-lint scan");
     assert!(
         report.files_scanned > 50,
         "scan looks truncated: {} files",
         report.files_scanned
     );
+    // Pre-existing accepted findings live in the baseline; only NEW
+    // findings fail — the same contract ci.sh enforces.
+    let accepted = baseline::load(&root.join("lint-baseline.json")).expect("baseline parses");
+    let gated = baseline::gate(&report.diagnostics, &accepted);
     assert!(
-        report.is_clean(),
-        "bf-lint found {} violation(s):\n{}",
-        report.diagnostics.len(),
-        report
-            .diagnostics
+        gated.new.is_empty(),
+        "bf-lint found {} NEW violation(s):\n{}",
+        gated.new.len(),
+        gated
+            .new
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
     );
+    assert!(
+        gated.stale.is_empty(),
+        "stale baseline entries (refresh with --write-baseline): {:?}",
+        gated.stale
+    );
+}
+
+/// Every hot-path entry annotation in the tree must bind to a real
+/// function the flow analysis resolved — a dangling annotation would
+/// silently un-protect that entire subsystem.
+#[test]
+fn every_flow_entry_annotation_resolves() {
+    let report = run(&workspace_root()).expect("bf-lint scan");
+    let classes: Vec<&str> = report.entries.iter().map(|e| e.class.as_str()).collect();
+    for class in [
+        "poller",
+        "devmgr_events",
+        "remote_reactor",
+        "batcher",
+        "shm",
+    ] {
+        assert!(
+            classes.contains(&class),
+            "entry class {class:?} has no resolved root; got {classes:?}"
+        );
+    }
+    assert!(
+        report.entries.len() >= 6,
+        "expected the six production entry roots, got {:?}",
+        report.entries
+    );
+    for entry in &report.entries {
+        assert!(
+            ENTRY_CLASSES.iter().any(|(c, _)| *c == entry.class),
+            "resolved entry with unknown class: {entry:?}"
+        );
+        assert!(entry.line > 0 && !entry.function.is_empty());
+    }
 }
 
 /// Fixture battery for the `unbounded_channel` rule: the workspace gate
@@ -113,6 +157,124 @@ fn payload_copy_rule_scopes_and_allowlist() {
     // Refcount bumps are the sanctioned alias form.
     let shared = "pub fn enqueue(data: &DataRef) {\n    push(data.share());\n}\n";
     assert!(check_source("crates/devmgr/src/session.rs", shared).is_empty());
+}
+
+/// Runs the interprocedural flow passes over an in-memory multi-file
+/// fixture, exactly as `run` does for the real tree.
+fn flow_check(sources: &[(&str, &str)]) -> Vec<bf_lint::Diagnostic> {
+    let mut out = Vec::new();
+    let units: Vec<bf_lint::Unit> = sources
+        .iter()
+        .map(|(path, src)| bf_lint::Unit::analyze(bf_lint::scan::parse(path, src, false), &mut out))
+        .collect();
+    bf_lint::flow::check(&units, LOCK_HIERARCHY, &mut out);
+    out
+}
+
+/// The acceptance scenario for the whole subsystem: a blocking lock
+/// acquisition smuggled two calls deep into a reactor-style loop must be
+/// caught, with the full entry → helper → offense chain in the witness.
+#[test]
+fn blocking_lock_in_a_reactor_loop_fails_with_a_multi_hop_witness() {
+    assert!(FLOW_RULES.contains(&"hot_blocking"));
+    let reactor = "use crate::dispatch::route;\n\
+                   // bf-flow: entry(remote_reactor)\n\
+                   pub fn reactor_thread(rx: u32) {\n\
+                       route(rx);\n\
+                   }\n";
+    let dispatch = "pub fn route(rx: u32) {\n\
+                        settle(rx);\n\
+                    }\n\
+                    fn settle(rx: u32) {\n\
+                        let board = lock_order::tracked(&shared.board, \"board\");\n\
+                    }\n";
+    let out = flow_check(&[
+        ("crates/remote/src/reactor.rs", reactor),
+        ("crates/remote/src/dispatch.rs", dispatch),
+    ]);
+    let hit = out
+        .iter()
+        .find(|d| d.rule == "hot_blocking")
+        .unwrap_or_else(|| panic!("blocking lock not caught: {out:?}"));
+    // `board` outranks the remote reactor's floor (`pending`), so the
+    // acquisition is a blocking hazard inside the loop.
+    assert_eq!(hit.file, "crates/remote/src/dispatch.rs");
+    assert!(
+        hit.witness.len() >= 3,
+        "expected a multi-hop chain, got {:?}",
+        hit.witness
+    );
+    assert!(hit.witness[0].function.contains("reactor_thread"));
+    assert!(hit.witness.last().unwrap().file.ends_with("dispatch.rs"));
+}
+
+/// hot_alloc: an unbounded push three frames below the event loop fires;
+/// the same push behind a justified allow directive does not.
+#[test]
+fn hot_alloc_crosses_files_and_respects_allows() {
+    let entry = "// bf-flow: entry(devmgr_events)\n\
+                 pub fn run_event_loop(n: u32) { crate::exec::execute_task(n); }\n";
+    let exec = "pub fn execute_task(n: u32) {\n\
+                    let mut log = Vec::new();\n\
+                    log.push(n);\n\
+                }\n";
+    let out = flow_check(&[
+        ("crates/devmgr/src/event_loop.rs", entry),
+        ("crates/devmgr/src/exec.rs", exec),
+    ]);
+    assert_eq!(
+        out.iter().filter(|d| d.rule == "hot_alloc").count(),
+        1,
+        "{out:?}"
+    );
+    let allowed = exec.replace(
+        "let mut log = Vec::new();",
+        "// bf-flow: allow(hot_alloc): bounded by the op cap\nlet mut log = Vec::new();",
+    );
+    let allowed = allowed.replace("log.push(n);", "log.reserve(1);\nlog.push(n);");
+    let out = flow_check(&[
+        ("crates/devmgr/src/event_loop.rs", entry),
+        ("crates/devmgr/src/exec.rs", &allowed),
+    ]);
+    assert!(
+        out.iter().all(|d| d.rule != "hot_alloc"),
+        "reserve bounds the push: {out:?}"
+    );
+}
+
+/// hot_panic: unwrap on the hot path fires and names the offending frame.
+#[test]
+fn hot_panic_flags_unwrap_reachable_from_an_entry() {
+    let src = "// bf-flow: entry(batcher)\n\
+               pub fn pump(x: Option<u32>) -> u32 {\n\
+                   x.unwrap()\n\
+               }\n";
+    let out = flow_check(&[("crates/serverless/src/gateway.rs", src)]);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, "hot_panic");
+    assert_eq!(out[0].line, 3);
+}
+
+/// error_drop: discarding a risky transport result on the hot path fires.
+#[test]
+fn error_drop_flags_discarded_transport_errors() {
+    let tx = "pub struct Tx { q: u32 }\n\
+              impl Tx {\n\
+                  pub fn try_send(&self) -> Result<(), TransportError> { Ok(()) }\n\
+              }\n";
+    let entry = "// bf-flow: entry(poller)\n\
+                 pub fn poll(tx: &crate::tx::Tx) {\n\
+                     let _ = tx.try_send();\n\
+                 }\n";
+    let out = flow_check(&[
+        ("crates/rpc/src/tx.rs", tx),
+        ("crates/rpc/src/poller.rs", entry),
+    ]);
+    assert_eq!(
+        out.iter().filter(|d| d.rule == "error_drop").count(),
+        1,
+        "{out:?}"
+    );
 }
 
 #[test]
