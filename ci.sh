@@ -50,6 +50,14 @@ cargo run -q --release -p bf-bench --bin datapath -- --smoke --check experiments
 echo "==> gateway bench (smoke + archive check)"
 cargo run -q --release -p bf-bench --bin gateway -- --smoke --check experiments/BENCH_gateway.json
 
+# Production-day scale smoke: the small ladder point (100 nodes / 1k
+# functions, full fault battery) must reproduce the archived counters and
+# the FNV-1a trace digest exactly — the deterministic-replay certificate
+# for the control-plane hot paths (ready-list poller, sharded metrics,
+# coalesced watch delivery).
+echo "==> scale bench (smoke + archive check)"
+cargo run -q --release -p bf-bench --bin scale -- --smoke --check experiments/BENCH_scale.json
+
 # Virtual-time conformance: the data-path refactor must never move the
 # paper's Fig. 4(a) numbers — regenerate and require byte-identical JSON.
 echo "==> fig4a virtual-time check"

@@ -21,6 +21,7 @@
 
 mod datapath;
 mod gateway;
+mod scale;
 
 pub use crate::datapath::{
     baseline_copied_bytes, check_against_archive, datapath_rows, parse_archive, render_datapath,
@@ -30,6 +31,10 @@ pub use crate::gateway::{
     check_batching_wins, check_gateway_archive, gateway_duration, gateway_rows,
     parse_gateway_archive, peak_throughput, render_gateway, ArchivedGatewayRow, GatewayMode,
     GatewayRow, GATEWAY_LADDER, GATEWAY_SMOKE,
+};
+pub use crate::scale::{
+    check_scale_archive, check_scale_invariants, parse_scale_archive, render_scale, scale_config,
+    scale_rows, ArchivedScaleRow, ScaleBenchRow, SCALE_LADDER, SCALE_SEED, SCALE_SMOKE,
 };
 
 use std::path::PathBuf;

@@ -25,18 +25,18 @@
 //!
 //! # fn main() -> Result<(), bf_cluster::ClusterError> {
 //! let cluster = Cluster::new(paper_cluster());
-//! let events = cluster.watch();
+//! let mut events = cluster.watch();
 //! let inst = cluster.create_instance(InstanceTemplate::new("sobel-1"))?;
 //! assert!(inst.node.is_some(), "the scheduler places every instance");
 //! assert!(matches!(
-//!     events.try_recv(),
-//!     Ok(bf_cluster::WatchEvent::Created(_))
+//!     events.try_next(),
+//!     Some(bf_cluster::WatchEvent::Created(_))
 //! ));
 //! # Ok(())
 //! # }
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -144,13 +144,71 @@ pub enum WatchEvent {
 /// forced node) or reject it with a message.
 pub type AdmissionHook = Arc<dyn Fn(&mut InstanceSpec) -> Result<(), String> + Send + Sync>;
 
+/// Deterministic counters for watch-path work, used by the scale harness
+/// to quantify delivery cost: `deliveries / events` is the per-event
+/// channel-send amplification across watchers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchStats {
+    /// Lifecycle events generated by cluster mutations.
+    pub events: u64,
+    /// Channel sends performed to deliver them (one per watcher per
+    /// event without coalescing; one per watcher per *batch* with it).
+    pub deliveries: u64,
+}
+
+/// A consumer's end of a watch stream (see [`Cluster::watch`]).
+///
+/// Events are delivered strictly in mutation order. Delivery is by
+/// batch: with coalescing ([`Cluster::with_watch_coalescing`]) many
+/// events share one channel send, and the stream unpacks them here, so
+/// consumers keep a per-event API either way.
+#[derive(Debug)]
+pub struct WatchStream {
+    rx: Receiver<Vec<WatchEvent>>,
+    buf: VecDeque<WatchEvent>,
+}
+
+impl WatchStream {
+    /// Pops the next pending event, or `None` when nothing is pending.
+    pub fn try_next(&mut self) -> Option<WatchEvent> {
+        loop {
+            if let Some(event) = self.buf.pop_front() {
+                return Some(event);
+            }
+            match self.rx.try_recv() {
+                Ok(batch) => self.buf.extend(batch),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Blocks for the next event; `None` means the cluster was dropped.
+    pub fn next_blocking(&mut self) -> Option<WatchEvent> {
+        loop {
+            if let Some(event) = self.buf.pop_front() {
+                return Some(event);
+            }
+            match self.rx.recv() {
+                Ok(batch) => self.buf.extend(batch),
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
 struct ClusterInner {
     nodes: Vec<NodeSpec>,
     instances: BTreeMap<InstanceId, InstanceSpec>,
-    watchers: Vec<Sender<WatchEvent>>,
+    watchers: Vec<Sender<Vec<WatchEvent>>>,
     admission: Option<AdmissionHook>,
     next_id: u64,
     round_robin: usize,
+    watch_stats: WatchStats,
+    /// Watch-delivery coalescing window (events per delivery); 1 means
+    /// one delivery per event.
+    watch_coalesce: usize,
+    /// Events generated but not yet delivered (< one coalescing window).
+    pending: Vec<WatchEvent>,
 }
 
 /// The cluster control plane.
@@ -177,6 +235,9 @@ impl Cluster {
                 admission: None,
                 next_id: 1,
                 round_robin: 0,
+                watch_stats: WatchStats::default(),
+                watch_coalesce: 1,
+                pending: Vec::new(),
             })),
         }
     }
@@ -203,14 +264,46 @@ impl Cluster {
     }
 
     /// Opens a watch stream; events from now on are delivered in order.
-    pub fn watch(&self) -> Receiver<WatchEvent> {
+    pub fn watch(&self) -> WatchStream {
         // bf-lint: allow(unbounded_channel): control-plane watch stream —
         // event volume is bounded by deployment churn, not the data path,
         // and a bounded queue would let one stalled watcher drop or block
         // cluster events for every other consumer.
         let (tx, rx) = unbounded();
-        self.cluster_state.lock().watchers.push(tx);
-        rx
+        let mut inner = self.cluster_state.lock();
+        // Flush first so a pending coalescing window never leaks events
+        // from before this subscription into the new stream.
+        flush(&mut inner);
+        inner.watchers.push(tx);
+        WatchStream {
+            rx,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Watch-path work counters accumulated since construction.
+    pub fn watch_stats(&self) -> WatchStats {
+        self.cluster_state.lock().watch_stats
+    }
+
+    /// Sets the watch-delivery coalescing window: up to `n` events share
+    /// one delivery per watcher. A window of 1 (the default) delivers
+    /// per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_watch_coalescing(self, n: usize) -> Self {
+        assert!(n > 0, "coalescing window must be at least 1");
+        self.cluster_state.lock().watch_coalesce = n;
+        self
+    }
+
+    /// Delivers any coalesced-pending watch events immediately.
+    /// Consumers that drain on a cadence call this first, so the events
+    /// they observe are independent of the coalescing window.
+    pub fn flush_watch(&self) {
+        flush(&mut self.cluster_state.lock());
     }
 
     /// Creates an instance from `template`: runs admission, schedules it
@@ -358,7 +451,35 @@ impl fmt::Debug for Cluster {
 }
 
 fn notify(inner: &mut ClusterInner, event: WatchEvent) {
-    inner.watchers.retain(|w| w.send(event.clone()).is_ok());
+    inner.watch_stats.events += 1;
+    if inner.watchers.is_empty() {
+        // Nobody to deliver to: match the unbuffered behaviour and drop
+        // the event instead of accumulating an unbounded pending buffer.
+        inner.pending.clear();
+        return;
+    }
+    inner.pending.push(event);
+    if inner.pending.len() >= inner.watch_coalesce {
+        flush(inner);
+    }
+}
+
+/// Delivers the pending batch to every live watcher: one channel send
+/// per watcher per *batch*, which is the amplification coalescing cuts.
+fn flush(inner: &mut ClusterInner) {
+    if inner.pending.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(&mut inner.pending);
+    let mut delivered = 0;
+    inner.watchers.retain(|w| {
+        let ok = w.send(batch.clone()).is_ok();
+        if ok {
+            delivered += 1;
+        }
+        ok
+    });
+    inner.watch_stats.deliveries += delivered;
 }
 
 #[cfg(test)]
@@ -439,7 +560,7 @@ mod tests {
     #[test]
     fn watch_delivers_lifecycle_events() {
         let c = cluster();
-        let rx = c.watch();
+        let mut rx = c.watch();
         let inst = c
             .create_instance(InstanceTemplate::new("f"))
             .expect("create");
@@ -448,28 +569,87 @@ mod tests {
         })
         .expect("patch");
         c.delete_instance(inst.id).expect("delete");
-        assert!(matches!(rx.try_recv(), Ok(WatchEvent::Created(_))));
-        assert!(matches!(rx.try_recv(), Ok(WatchEvent::Patched(_))));
-        assert_eq!(rx.try_recv(), Ok(WatchEvent::Deleted(inst.id)));
+        assert!(matches!(rx.try_next(), Some(WatchEvent::Created(_))));
+        assert!(matches!(rx.try_next(), Some(WatchEvent::Patched(_))));
+        assert_eq!(rx.try_next(), Some(WatchEvent::Deleted(inst.id)));
+        assert_eq!(rx.try_next(), None);
     }
 
     #[test]
     fn replace_creates_before_deleting() {
         let c = cluster();
-        let rx = c.watch();
+        let mut rx = c.watch();
         let inst = c
             .create_instance(InstanceTemplate::new("f"))
             .expect("create");
-        let _ = rx.try_recv();
+        let _ = rx.try_next();
         let replacement = c.replace_instance(inst.id).expect("replace");
         assert_ne!(replacement.id, inst.id);
         // Create-before-delete ordering on the watch stream:
         assert!(
-            matches!(rx.try_recv(), Ok(WatchEvent::Created(spec)) if spec.id == replacement.id)
+            matches!(rx.try_next(), Some(WatchEvent::Created(spec)) if spec.id == replacement.id)
         );
-        assert_eq!(rx.try_recv(), Ok(WatchEvent::Deleted(inst.id)));
+        assert_eq!(rx.try_next(), Some(WatchEvent::Deleted(inst.id)));
         assert!(c.instance(inst.id).is_none());
         assert!(c.instance(replacement.id).is_some());
+    }
+
+    #[test]
+    fn watch_stats_count_events_and_per_watcher_deliveries() {
+        let c = cluster();
+        let _a = c.watch();
+        let _b = c.watch();
+        let inst = c
+            .create_instance(InstanceTemplate::new("f"))
+            .expect("create");
+        c.delete_instance(inst.id).expect("delete");
+        let stats = c.watch_stats();
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.deliveries, 4, "one send per watcher per event");
+    }
+
+    #[test]
+    fn coalescing_amortizes_deliveries_and_preserves_order() {
+        let c = cluster().with_watch_coalescing(3);
+        let mut rx = c.watch();
+        let a = c.create_instance(InstanceTemplate::new("a")).expect("a");
+        let b = c.create_instance(InstanceTemplate::new("b")).expect("b");
+        // Two events pending, below the window: nothing delivered yet.
+        assert_eq!(rx.try_next(), None);
+        assert_eq!(c.watch_stats().deliveries, 0);
+        // The third event fills the window and flushes all three.
+        c.delete_instance(a.id).expect("delete");
+        assert!(matches!(rx.try_next(), Some(WatchEvent::Created(s)) if s.id == a.id));
+        assert!(matches!(rx.try_next(), Some(WatchEvent::Created(s)) if s.id == b.id));
+        assert_eq!(rx.try_next(), Some(WatchEvent::Deleted(a.id)));
+        let stats = c.watch_stats();
+        assert_eq!((stats.events, stats.deliveries), (3, 1));
+    }
+
+    #[test]
+    fn flush_watch_delivers_a_partial_window() {
+        let c = cluster().with_watch_coalescing(64);
+        let mut rx = c.watch();
+        c.create_instance(InstanceTemplate::new("a")).expect("a");
+        assert_eq!(rx.try_next(), None, "held by the coalescing window");
+        c.flush_watch();
+        assert!(matches!(rx.try_next(), Some(WatchEvent::Created(_))));
+        assert_eq!(c.watch_stats().deliveries, 1);
+    }
+
+    #[test]
+    fn new_watcher_never_sees_events_from_before_subscription() {
+        let c = cluster().with_watch_coalescing(64);
+        let mut early = c.watch();
+        c.create_instance(InstanceTemplate::new("a")).expect("a");
+        // Subscribing flushes the pending window to the early watcher
+        // only; the late watcher starts clean.
+        let mut late = c.watch();
+        assert!(matches!(early.try_next(), Some(WatchEvent::Created(_))));
+        assert_eq!(late.try_next(), None);
+        c.create_instance(InstanceTemplate::new("b")).expect("b");
+        c.flush_watch();
+        assert!(matches!(late.try_next(), Some(WatchEvent::Created(s)) if s.function == "b"));
     }
 
     #[test]

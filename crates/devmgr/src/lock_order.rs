@@ -47,6 +47,11 @@ pub const HIERARCHY: &[&str] = &[
     // Cluster node/allocation tables (bf-cluster). Never held across the
     // admission callback (which re-enters the registry).
     "cluster_state",
+    // Scale-harness placement table (bf-sim). Taken by the cluster
+    // admission hook (which runs without `cluster_state` held) and for
+    // point reads/writes in the harness; never held across another
+    // acquisition.
+    "placement",
     // The FPGA board behind a Device Manager (bf-devmgr / bf-fpga).
     "board",
     // Remote library's pending-operation map (bf-remote). Held across
@@ -61,8 +66,9 @@ pub const HIERARCHY: &[&str] = &[
     // Shared-memory segment allocator + contents (bf-rpc). Store/read
     // record memcpy metrics while held, so it outranks the metric locks.
     "segment",
-    // Metrics registry series map (bf-metrics).
-    "series",
+    // Metrics registry shard array (bf-metrics): one rank for all 32
+    // shard locks — a thread holds at most one shard at a time.
+    "shards",
     // Individual metric cells (bf-metrics).
     "value",
     // Histogram buckets (bf-metrics).
@@ -70,9 +76,9 @@ pub const HIERARCHY: &[&str] = &[
     // Bounded transport frame queues (bf-rpc). Leaf: dropped before any
     // poller notification is raised.
     "frames",
-    // Poller notification generation counter (bf-rpc). Nothing in
-    // application code may be acquired while it is held.
-    "poll_gen",
+    // Poller wakeup state: generation counter + ready list (bf-rpc).
+    // Nothing in application code may be acquired while it is held.
+    "wakeup",
     // The bf-race model scheduler's own state (bf-race). Strictly
     // innermost: taken inside every instrumented acquire/release.
     "race_sched",
@@ -205,20 +211,20 @@ mod tests {
     #[test]
     fn in_order_acquisition_is_allowed() {
         let board = Mutex::new(1u32);
-        let series = Mutex::new(2u32);
+        let shards = Mutex::new(2u32);
         let b = tracked(&board, "board");
-        let s = tracked(&series, "series");
+        let s = tracked(&shards, "shards");
         assert_eq!(*b + *s, 3);
     }
 
     #[test]
     fn reacquisition_after_release_is_allowed() {
         let board = Mutex::new(0u32);
-        let series = Mutex::new(0u32);
+        let shards = Mutex::new(0u32);
         {
-            let _s = tracked(&series, "series");
+            let _s = tracked(&shards, "shards");
         }
-        // `series` released: taking the lower-ranked `board` is legal again.
+        // `shards` released: taking the lower-ranked `board` is legal again.
         let _b = tracked(&board, "board");
     }
 
@@ -228,10 +234,10 @@ mod tests {
         let result = std::thread::Builder::new()
             .name("bf-lock-order-inversion".into())
             .spawn(|| {
-                let series = Mutex::new(0u32);
+                let shards = Mutex::new(0u32);
                 let board = Mutex::new(0u32);
-                let _s = tracked(&series, "series");
-                // Inverted: `board` ranks below `series` in HIERARCHY.
+                let _s = tracked(&shards, "shards");
+                // Inverted: `board` ranks below `shards` in HIERARCHY.
                 let _b = tracked(&board, "board");
             })
             .expect("spawn probe thread")

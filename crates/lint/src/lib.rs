@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn hierarchy_is_shared_with_the_runtime_tracker() {
         assert!(LOCK_HIERARCHY.contains(&"board"));
-        assert!(LOCK_HIERARCHY.contains(&"series"));
+        assert!(LOCK_HIERARCHY.contains(&"shards"));
     }
 
     #[test]

@@ -218,9 +218,21 @@ struct SeriesKey {
     labels: Vec<(String, String)>,
 }
 
+/// Number of lock shards the series map is split across. Sharding keeps
+/// the per-update critical section proportional to `series / SHARDS`
+/// instead of the whole catalog: at the scale harness's 10k-function
+/// point a single map would put ~9k series behind one lock on the
+/// completion hot path.
+const SHARDS: usize = 32;
+
 /// A named collection of metric series, scrapeable in the Prometheus text
 /// exposition format — the stand-in for the Prometheus service the paper's
 /// Metrics Gatherer reads from.
+///
+/// Internally the series map is split across [`SHARDS`] locks keyed by a
+/// deterministic FNV-1a hash of the series identity, so hot-path lookups
+/// on different series contend on different locks; [`MetricsRegistry::scrape`]
+/// merges the shards back into one canonically ordered exposition.
 ///
 /// ```
 /// use bf_metrics::MetricsRegistry;
@@ -231,9 +243,17 @@ struct SeriesKey {
 /// let text = reg.scrape();
 /// assert!(text.contains("bf_requests_total{function=\"sobel-1\"} 1"));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MetricsRegistry {
-    series: Arc<Mutex<BTreeMap<SeriesKey, Metric>>>,
+    shards: Arc<[Mutex<BTreeMap<SeriesKey, Metric>>; SHARDS]>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            shards: Arc::new(std::array::from_fn(|_| Mutex::new(BTreeMap::new()))),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -254,6 +274,29 @@ impl MetricsRegistry {
         }
     }
 
+    /// Deterministic shard pick: FNV-1a over the series identity (never a
+    /// randomized hasher — shard assignment must be identical across runs
+    /// so the scale harness's work counters replay exactly).
+    fn shard(&self, key: &SeriesKey) -> &Mutex<BTreeMap<SeriesKey, Metric>> {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(key.name.as_bytes());
+        for (k, v) in &key.labels {
+            eat(&[0xFF]);
+            eat(k.as_bytes());
+            eat(&[0xFE]);
+            eat(v.as_bytes());
+        }
+        // bf-flow: allow(hot_panic): the modulo keeps the index within
+        // the fixed SHARDS-length array
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
     /// Returns (registering on first use) the counter series
     /// `name{labels}`.
     ///
@@ -261,9 +304,10 @@ impl MetricsRegistry {
     ///
     /// Panics if the series already exists with a different metric type.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
-        let mut series = self.series.lock();
+        let key = Self::key(name, labels);
+        let mut series = self.shard(&key).lock();
         match series
-            .entry(Self::key(name, labels))
+            .entry(key)
             .or_insert_with(|| Metric::Counter(Counter::new()))
         {
             Metric::Counter(c) => c.clone(),
@@ -277,9 +321,10 @@ impl MetricsRegistry {
     ///
     /// Panics if the series already exists with a different metric type.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
-        let mut series = self.series.lock();
+        let key = Self::key(name, labels);
+        let mut series = self.shard(&key).lock();
         match series
-            .entry(Self::key(name, labels))
+            .entry(key)
             .or_insert_with(|| Metric::Gauge(Gauge::new()))
         {
             Metric::Gauge(g) => g.clone(),
@@ -310,9 +355,10 @@ impl MetricsRegistry {
         labels: &[(&str, &str)],
         make: impl FnOnce() -> Histogram,
     ) -> Histogram {
-        let mut series = self.series.lock();
+        let key = Self::key(name, labels);
+        let mut series = self.shard(&key).lock();
         match series
-            .entry(Self::key(name, labels))
+            .entry(key)
             .or_insert_with(|| Metric::Histogram(make()))
         {
             Metric::Histogram(h) => h.clone(),
@@ -320,10 +366,31 @@ impl MetricsRegistry {
         }
     }
 
+    /// Number of registered series.
+    pub fn series_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Number of internal shards the series map is split across.
+    pub fn shard_count(&self) -> usize {
+        SHARDS
+    }
+
+    /// Series behind the most loaded shard's lock — the worst-case
+    /// critical-section footprint a single hot-path update contends with.
+    pub fn max_shard_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().len())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Reads a gauge value if the series exists and is a gauge.
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        let series = self.series.lock();
-        match series.get(&Self::key(name, labels)) {
+        let key = Self::key(name, labels);
+        let series = self.shard(&key).lock();
+        match series.get(&key) {
             Some(Metric::Gauge(g)) => Some(g.value()),
             _ => None,
         }
@@ -331,16 +398,23 @@ impl MetricsRegistry {
 
     /// Reads a counter value if the series exists and is a counter.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        let series = self.series.lock();
-        match series.get(&Self::key(name, labels)) {
+        let key = Self::key(name, labels);
+        let series = self.shard(&key).lock();
+        match series.get(&key) {
             Some(Metric::Counter(c)) => Some(c.value()),
             _ => None,
         }
     }
 
-    /// Renders every series in the Prometheus text exposition format.
+    /// Renders every series in the Prometheus text exposition format,
+    /// merging the shards back into one canonically ordered document.
     pub fn scrape(&self) -> String {
-        let series = self.series.lock();
+        let mut series: BTreeMap<SeriesKey, Metric> = BTreeMap::new();
+        for shard in self.shards.iter() {
+            for (key, metric) in shard.lock().iter() {
+                series.insert(key.clone(), metric.clone());
+            }
+        }
         let mut out = String::new();
         for (key, metric) in series.iter() {
             let labels = render_labels(&key.labels);
@@ -489,6 +563,30 @@ mod tests {
         );
         assert!(text.contains("bf_latency_ms_bucket{le=\"5\"} 1"), "{text}");
         assert!(text.contains("bf_latency_ms_count 1"), "{text}");
+    }
+
+    #[test]
+    fn sharding_spreads_series_and_scrape_stays_canonically_ordered() {
+        let reg = MetricsRegistry::new();
+        // Register in descending order: the merged scrape must still come
+        // out ascending (BTreeMap canonical order across shards).
+        for i in (0..200).rev() {
+            reg.counter("bf_shard_total", &[("f", &format!("{i:03}"))])
+                .inc();
+        }
+        assert_eq!(reg.series_count(), 200);
+        assert_eq!(reg.shard_count(), SHARDS);
+        let max = reg.max_shard_len();
+        assert!(
+            max < 200 && max >= 200 / SHARDS,
+            "200 series over {SHARDS} shards, max {max}"
+        );
+        let text = reg.scrape();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "scrape order must be canonical");
+        assert_eq!(lines.len(), 200);
     }
 
     #[test]

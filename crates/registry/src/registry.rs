@@ -443,11 +443,11 @@ impl Registry {
             Ok(())
         }));
         let registry = self.clone();
-        let watch = cluster.watch();
+        let mut watch = cluster.watch();
         std::thread::Builder::new()
             .name("bf-registry-watch".to_string())
             .spawn(move || {
-                while let Ok(event) = watch.recv() {
+                while let Some(event) = watch.next_blocking() {
                     if let WatchEvent::Deleted(id) = event {
                         registry.release_instance(&id.to_string());
                     }

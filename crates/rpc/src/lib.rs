@@ -59,7 +59,7 @@ pub use bf_race::sync;
 pub use codec::{CodecError, WireDecode, WireEncode};
 pub use costs::PathCosts;
 pub use payload::Payload;
-pub use poller::{PollEvent, Poller, Token, Waker};
+pub use poller::{PollEvent, Poller, PollerStats, Token, Waker};
 pub use proto::{
     ClientId, DataRef, ErrorCode, Request, RequestEnvelope, Response, ResponseEnvelope, WireArg,
 };

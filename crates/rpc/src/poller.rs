@@ -3,15 +3,20 @@
 //! The vendored channel substrate has no selector, so readiness is built
 //! directly into the transport: every [`FrameRx`] registered with a
 //! [`Poller`] shares one [`NotifyHub`] that senders bump on push and on
-//! close. [`Poller::poll`] scans registered taps round-robin (deterministic
-//! fairness: a flooding connection cannot shadow its neighbours) and parks
-//! on the hub's condvar when nothing is ready, using a generation counter
-//! so a bump between scan and park is never lost.
+//! close. Each bump carries the source's slot index, which the hub
+//! dedup-enqueues on a FIFO ready list — [`Poller::poll`] services the
+//! list head and re-enqueues still-ready sources at the back, so scan
+//! work is O(ready) instead of O(registered) while keeping deterministic
+//! round-robin fairness (a flooding connection cannot shadow its
+//! neighbours). When the list is empty the poller parks on the hub's
+//! condvar, using a generation counter so a bump between scan and park
+//! is never lost.
 //!
 //! This is what lets one dispatcher thread serve N connections: the Device
 //! Manager's event loop multiplexes all session request streams, and the
 //! Remote Library's reactor multiplexes all client completion streams.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -20,47 +25,93 @@ use bytes::Bytes;
 use crate::sync::{Condvar, MonoTime, Mutex};
 use crate::transport::{waker_channel, FrameRx, TxHalf};
 
-/// Shared wakeup rendezvous between one poller and its registered queues.
+/// Shared wakeup rendezvous between one poller and its registered queues:
+/// a generation counter plus the FIFO ready list of slot indices.
 ///
 /// `poll_gen` counts notifications; [`Poller::poll`] snapshots it before
 /// scanning and sleeps only while it is unchanged, so a push that lands
-/// mid-scan wakes the next `wait` immediately instead of being lost.
+/// mid-scan wakes the next `wait` immediately instead of being lost. The
+/// ready list is advisory — the poller re-checks real readiness on pop —
+/// so a stale entry (drained source, reused slot) costs one skipped pop,
+/// never a wrong event.
 #[derive(Debug)]
 pub(crate) struct NotifyHub {
-    poll_gen: Mutex<u64>,
+    wakeup: Mutex<HubState>,
     cv: Condvar,
+}
+
+#[derive(Debug)]
+struct HubState {
+    poll_gen: u64,
+    /// Slot indices with a pending readiness edge, FIFO.
+    ready: VecDeque<usize>,
+    /// Dedup flags: `queued[i]` iff `i` is on the ready list.
+    queued: Vec<bool>,
 }
 
 impl NotifyHub {
     fn new() -> Arc<NotifyHub> {
         Arc::new(NotifyHub {
-            poll_gen: Mutex::new(0),
+            wakeup: Mutex::new(HubState {
+                poll_gen: 0,
+                ready: VecDeque::new(),
+                queued: Vec::new(),
+            }),
             cv: Condvar::new(),
         })
     }
 
-    /// Records an event (frame pushed / sender closed) and wakes the poller.
-    pub(crate) fn bump(&self) {
-        let mut poll_gen = self.poll_gen.lock();
-        *poll_gen = poll_gen.wrapping_add(1);
-        drop(poll_gen);
+    /// Records an event (frame pushed / sender closed) on slot `idx`,
+    /// dedup-enqueues it on the ready list and wakes the poller.
+    pub(crate) fn bump(&self, idx: usize) {
+        // bf-flow: allow(hot_blocking): leaf lock (rank `wakeup`) held for
+        // a few index writes; nothing else is ever acquired under it
+        let mut s = self.wakeup.lock();
+        s.poll_gen = s.poll_gen.wrapping_add(1);
+        if s.queued.len() <= idx {
+            // bf-flow: allow(hot_alloc): bounded by peak concurrent
+            // registrations — slot indices are dense and reused
+            s.queued.resize(idx + 1, false);
+        }
+        // bf-flow: allow(hot_panic): the resize above guarantees
+        // `queued.len() > idx`
+        if !s.queued[idx] {
+            // bf-flow: allow(hot_panic): same resize invariant as above
+            s.queued[idx] = true;
+            // bf-flow: allow(hot_alloc): both sides are bounded by peak
+            // concurrent registrations — dedup flags cap the deque
+            s.ready.push_back(idx);
+        }
+        drop(s);
         self.cv.notify_all();
     }
 
+    /// Pops the next candidate slot index off the ready list.
+    fn pop_ready(&self) -> Option<usize> {
+        // bf-flow: allow(hot_blocking): leaf lock (rank `wakeup`), two
+        // index writes, nothing acquired under it
+        let mut s = self.wakeup.lock();
+        let idx = s.ready.pop_front()?;
+        // bf-flow: allow(hot_panic): every queued index was bounds-grown
+        // by `bump` before being enqueued
+        s.queued[idx] = false;
+        Some(idx)
+    }
+
     fn generation(&self) -> u64 {
-        *self.poll_gen.lock()
+        self.wakeup.lock().poll_gen
     }
 
     /// Parks until the generation moves past `seen` or `timeout` elapses.
     fn wait(&self, seen: u64, timeout: Option<Duration>) {
-        let mut poll_gen = self.poll_gen.lock();
-        if *poll_gen != seen {
+        let mut s = self.wakeup.lock();
+        if s.poll_gen != seen {
             return;
         }
         match timeout {
-            None => self.cv.wait(&mut poll_gen),
+            None => self.cv.wait(&mut s),
             Some(t) => {
-                let _ = self.cv.wait_for(&mut poll_gen, t);
+                let _ = self.cv.wait_for(&mut s, t);
             }
         }
     }
@@ -71,6 +122,17 @@ impl NotifyHub {
 /// Tokens are dense indices and may be reused after [`Poller::deregister`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Token(usize);
+
+/// Deterministic work counters for the poller hot path, used by the scale
+/// harness to quantify scan cost: `slots_scanned / polls` is the average
+/// number of slots the poller had to examine to produce one event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollerStats {
+    /// Completed [`Poller::poll`] calls.
+    pub polls: u64,
+    /// Slots examined across all scan passes (the scan-loop trip count).
+    pub slots_scanned: u64,
+}
 
 /// Outcome of one [`Poller::poll`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,8 +157,7 @@ struct Slot {
 pub struct Poller {
     hub: Arc<NotifyHub>,
     slots: Vec<Option<Slot>>,
-    /// Round-robin scan position: the slot serviced by the previous scan.
-    cursor: usize,
+    stats: PollerStats,
 }
 
 impl Default for Poller {
@@ -111,15 +172,21 @@ impl Poller {
         Poller {
             hub: NotifyHub::new(),
             slots: Vec::new(),
-            cursor: 0,
+            stats: PollerStats::default(),
         }
+    }
+
+    /// Work counters accumulated since construction.
+    pub fn stats(&self) -> PollerStats {
+        self.stats
     }
 
     /// Registers a receive tap; its queue will wake this poller on every
     /// push and on sender close.
     pub fn register(&mut self, rx: FrameRx) -> Token {
-        rx.set_watch(self.hub.clone());
-        self.claim_slot(Slot { rx, waker: false })
+        let token = self.claim_slot(Slot { rx, waker: false });
+        self.watch_and_prime(token);
+        token
     }
 
     /// Removes a source. Its token may be reassigned by later
@@ -136,9 +203,19 @@ impl Poller {
     /// ready with `Closed` — a natural shutdown edge.
     pub fn add_waker(&mut self) -> (Token, Waker) {
         let (tx, rx) = waker_channel();
-        rx.set_watch(self.hub.clone());
         let token = self.claim_slot(Slot { rx, waker: true });
+        self.watch_and_prime(token);
         (token, Waker { tx })
+    }
+
+    /// Hooks a freshly claimed slot's queue to the hub under its index and
+    /// primes the ready list with it: frames pushed before registration
+    /// never bumped, and a pop of a not-ready slot is a cheap skip.
+    fn watch_and_prime(&mut self, token: Token) {
+        if let Some(slot) = self.slots.get(token.0).and_then(Option::as_ref) {
+            slot.rx.set_watch(self.hub.clone(), token.0);
+        }
+        self.hub.bump(token.0);
     }
 
     /// Number of registered sources (including wakers).
@@ -156,6 +233,7 @@ impl Poller {
     /// side; consecutive calls rotate across ready sources round-robin.
     // bf-flow: entry(poller)
     pub fn poll(&mut self, timeout: Option<Duration>) -> PollEvent {
+        self.stats.polls += 1;
         let deadline = timeout.map(MonoTime::after);
         loop {
             let seen = self.hub.generation();
@@ -178,12 +256,14 @@ impl Poller {
         }
     }
 
-    /// One deterministic round-robin pass starting after the last serviced
-    /// slot, so a persistently-ready source cannot starve the others.
+    /// Services the head of the hub's ready list, re-checking real
+    /// readiness on every pop (stale entries are skipped). A source that
+    /// is still ready after service re-enters at the back of the list, so
+    /// persistently-ready sources rotate round-robin and cannot starve
+    /// their neighbours. Work is O(ready), not O(registered).
     fn scan(&mut self) -> Option<Token> {
-        let n = self.slots.len();
-        for step in 1..=n {
-            let i = (self.cursor + step) % n;
+        while let Some(i) = self.hub.pop_ready() {
+            self.stats.slots_scanned += 1;
             let Some(slot) = self.slots.get(i).and_then(Option::as_ref) else {
                 continue;
             };
@@ -193,7 +273,11 @@ impl Poller {
             if slot.waker {
                 slot.rx.drain();
             }
-            self.cursor = i;
+            if slot.rx.ready() {
+                // Still ready (more frames, or a closed sender): back of
+                // the list, behind every other pending source.
+                self.hub.bump(i);
+            }
             return Some(Token(i));
         }
         None

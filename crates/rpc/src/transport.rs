@@ -78,8 +78,9 @@ struct QueueState {
     items: VecDeque<Bytes>,
     senders: usize,
     receivers: usize,
-    /// Poller notification hook: bumped on push and on sender close.
-    watch: Option<Arc<NotifyHub>>,
+    /// Poller notification hook: bumped on push and on sender close,
+    /// carrying the queue's slot index within its poller.
+    watch: Option<(Arc<NotifyHub>, usize)>,
 }
 
 /// One bounded direction of a duplex connection, built directly on
@@ -126,8 +127,8 @@ impl FrameQueue {
         let watch = q.watch.clone();
         drop(q);
         self.readable.notify_one();
-        if let Some(hub) = watch {
-            hub.bump();
+        if let Some((hub, idx)) = watch {
+            hub.bump(idx);
         }
         Ok(())
     }
@@ -186,8 +187,8 @@ impl FrameQueue {
         !q.items.is_empty() || q.senders == 0
     }
 
-    fn set_watch(&self, hub: Arc<NotifyHub>) {
-        self.frames.lock().watch = Some(hub);
+    fn set_watch(&self, hub: Arc<NotifyHub>, idx: usize) {
+        self.frames.lock().watch = Some((hub, idx));
     }
 
     fn clear_watch(&self) {
@@ -241,8 +242,8 @@ impl Drop for TxHalf {
         drop(q);
         if closed {
             self.q.readable.notify_all();
-            if let Some(hub) = watch {
-                hub.bump();
+            if let Some((hub, idx)) = watch {
+                hub.bump(idx);
             }
         }
     }
@@ -298,8 +299,8 @@ impl FrameRx {
         self.q.ready()
     }
 
-    pub(crate) fn set_watch(&self, hub: Arc<NotifyHub>) {
-        self.q.set_watch(hub);
+    pub(crate) fn set_watch(&self, hub: Arc<NotifyHub>, idx: usize) {
+        self.q.set_watch(hub, idx);
     }
 
     pub(crate) fn clear_watch(&self) {

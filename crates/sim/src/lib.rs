@@ -25,12 +25,14 @@
 
 mod config;
 mod result;
+mod scale;
 mod scenario;
 mod trace;
 mod world;
 
 pub use config::{Deployment, ScenarioConfig};
 pub use result::{Aggregate, FunctionResult, ScenarioResult};
+pub use scale::{run_scale, FaultPlan, ScaleConfig, ScaleResult, ShedStorm, WatchDelay};
 pub use scenario::{request_profile, run_scenario};
 pub use trace::{to_chrome_trace, TraceSpan};
 

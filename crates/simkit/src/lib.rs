@@ -9,7 +9,11 @@
 //!
 //! * [`Engine`] — a time-ordered heap of one-shot closures over a state
 //!   type; ties break in insertion order, so runs are fully deterministic;
-//! * [`SimRng`] — seeded randomness (uniform/exponential/jitter);
+//! * [`SimRng`] — seeded randomness (uniform/exponential/jitter) with
+//!   splittable child streams ([`SimRng::split`]) whose draws depend only
+//!   on the seed path, never on sibling draw order;
+//! * [`ZipfSampler`] — skewed function-popularity sampling for scale
+//!   scenarios;
 //! * [`Samples`] — exact summary statistics for latencies and rates.
 //!
 //! ```
@@ -31,7 +35,7 @@ mod rng;
 mod stats;
 
 pub use engine::Engine;
-pub use rng::SimRng;
+pub use rng::{SimRng, ZipfSampler};
 pub use stats::Samples;
 
 #[cfg(test)]

@@ -4,11 +4,31 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// splitmix64 finalizer: a strong 64-bit mixing step used to derive child
+/// stream identities. Distinct inputs map to well-separated outputs, so
+/// sibling streams seeded through it are statistically independent.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A seeded random source with the distributions the cluster simulation
 /// needs.
+///
+/// Streams are **splittable**: [`SimRng::split`] derives a child stream
+/// whose identity is a pure function of the parent's identity and the
+/// caller's key — *not* of how many values the parent or any sibling has
+/// drawn. A scenario can therefore hand one child to its traffic
+/// generator and later add a fault injector on another child without
+/// perturbing a single draw of the traffic trace.
 #[derive(Debug)]
 pub struct SimRng {
     rng: StdRng,
+    /// Stream identity: the seed path this stream was derived through.
+    /// Used only by [`SimRng::split`]; never advanced by draws.
+    stream: u64,
 }
 
 impl SimRng {
@@ -16,6 +36,24 @@ impl SimRng {
     pub fn seed_from_u64(seed: u64) -> Self {
         SimRng {
             rng: StdRng::seed_from_u64(seed),
+            stream: seed,
+        }
+    }
+
+    /// Derives an independent child stream for `key`.
+    ///
+    /// The child's draws are a pure function of `(parent seed path, key)`:
+    /// splitting is insensitive to how much the parent or any sibling has
+    /// already drawn, and the same key always yields the same child. Use
+    /// distinct keys for distinct subsystems (traffic, service times,
+    /// faults, …) so each replays byte-identically in isolation.
+    pub fn split(&self, key: u64) -> SimRng {
+        // Child identity: mix the parent's seed path with the key through
+        // two rounds so `split(a).split(b)` differs from `split(b).split(a)`.
+        let child = mix64(self.stream.wrapping_add(mix64(key ^ 0xA076_1D64_78BD_642F)));
+        SimRng {
+            rng: StdRng::seed_from_u64(child),
+            stream: child,
         }
     }
 
@@ -75,6 +113,67 @@ impl SimRng {
     }
 }
 
+/// Zipf-distributed rank sampler over `n` items with exponent `s`:
+/// rank `k` (0-based) is drawn with probability proportional to
+/// `1 / (k+1)^s`. Serverless function popularity is heavily skewed this
+/// way (a handful of hot functions dominate traffic), so scale scenarios
+/// sample their per-request function from this distribution.
+///
+/// The cumulative distribution is precomputed once; each sample is one
+/// uniform draw plus a binary search, so sampling cost is independent of
+/// the catalog size.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Normalized cumulative weights; `cdf[k]` = P(rank <= k).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with skew exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative / non-finite.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks in the catalog.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the catalog is empty (never true: construction requires
+    /// `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[0, n)` using one uniform variate from `rng`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        // First rank whose cumulative mass covers u; u < 1 and the last
+        // entry is 1.0, so partition_point stays in range.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +222,156 @@ mod tests {
             seen[rng.index(5)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn split_is_independent_of_parent_draw_position() {
+        let mut drained = SimRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            drained.unit();
+        }
+        let fresh = SimRng::seed_from_u64(42);
+        let mut a = drained.split(7);
+        let mut b = fresh.split(7);
+        for _ in 0..64 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn split_keys_and_paths_diverge() {
+        let root = SimRng::seed_from_u64(42);
+        let mut by_key_1 = root.split(1);
+        let mut by_key_2 = root.split(2);
+        assert_ne!(by_key_1.unit(), by_key_2.unit());
+        // Order along the path matters: a/b and b/a are different streams.
+        let mut ab = root.split(1).split(2);
+        let mut ba = root.split(2).split(1);
+        assert_ne!(ab.unit(), ba.unit());
+        // And a child differs from its parent.
+        let mut parent = SimRng::seed_from_u64(42);
+        let mut child = parent.split(1);
+        assert_ne!(parent.unit(), child.unit());
+    }
+
+    #[test]
+    fn root_stream_is_unchanged_by_the_split_field() {
+        // The stored stream identity must not alter the draws of a root
+        // source: archived experiments replay through this exact stream.
+        let mut rng = SimRng::seed_from_u64(42);
+        let mut reference = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(rng.unit(), reference.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates_and_all_ranks_reachable() {
+        let zipf = ZipfSampler::new(100, 1.1);
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 100];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 9 by roughly 10^1.1 ≈ 12.6×.
+        assert!(counts[0] > counts[9] * 6, "{} vs {}", counts[0], counts[9]);
+        // The head (top 10%) carries the majority of the mass.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head * 2 > n, "head carried {head} of {n}");
+        // The tail is still reachable.
+        assert!(counts[99] > 0);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = ZipfSampler::new(4, 0.0);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..=2_400).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let zipf = ZipfSampler::new(1, 1.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..32 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// The tentpole guarantee: a child stream's draws depend only on
+        /// the seed path, never on how many values the parent or any
+        /// sibling drew first. Adding a fault injector (a new sibling
+        /// split) therefore cannot perturb the traffic trace.
+        #[test]
+        fn child_stream_independent_of_sibling_draw_order(
+            seed in any::<u64>(),
+            key in any::<u64>(),
+            sibling_key in any::<u64>(),
+            parent_draws in 0usize..64,
+            sibling_draws in 0usize..64,
+        ) {
+            // World A: split the child immediately, draw nothing else.
+            let clean = SimRng::seed_from_u64(seed);
+            let mut child_a = clean.split(key);
+
+            // World B: parent draws, a sibling is split and drained, and
+            // only then is the child split.
+            let mut noisy = SimRng::seed_from_u64(seed);
+            for _ in 0..parent_draws {
+                noisy.unit();
+            }
+            let mut sibling = noisy.split(sibling_key);
+            for _ in 0..sibling_draws {
+                sibling.unit();
+            }
+            let mut child_b = noisy.split(key);
+
+            for _ in 0..16 {
+                prop_assert_eq!(child_a.unit(), child_b.unit());
+            }
+        }
+
+        /// Distinct keys produce distinct streams (no accidental seed
+        /// collisions among small keys).
+        #[test]
+        fn distinct_keys_diverge(seed in any::<u64>(), key in any::<u64>()) {
+            let root = SimRng::seed_from_u64(seed);
+            let mut a = root.split(key);
+            let mut b = root.split(key.wrapping_add(1));
+            let identical = (0..8).all(|_| a.unit() == b.unit());
+            prop_assert!(!identical);
+        }
+
+        /// Zipf sampling is deterministic per seed and in-range.
+        #[test]
+        fn zipf_sample_is_deterministic_and_in_range(
+            seed in any::<u64>(),
+            n in 1usize..512,
+            s in 0.0f64..2.5,
+        ) {
+            let zipf = ZipfSampler::new(n, s);
+            let mut a = SimRng::seed_from_u64(seed);
+            let mut b = SimRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let ra = zipf.sample(&mut a);
+                prop_assert!(ra < n);
+                prop_assert_eq!(ra, zipf.sample(&mut b));
+            }
+        }
     }
 }

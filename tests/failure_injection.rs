@@ -163,6 +163,134 @@ fn dead_manager_surfaces_as_transport_failure() {
     assert!(saw_failure, "calls against a dead session must fail");
 }
 
+/// A gateway batch handler backed by the real remote stack: each
+/// invocation performs a write/read round trip against the device. After
+/// `kill_after` successful requests the device manager's session is torn
+/// down mid-batch (the manager "dies"), so the remaining invocations must
+/// fail — typed, per invocation, without losing or duplicating any ticket.
+struct MidBatchLoss {
+    queue: blastfunction::ocl::Queue,
+    buffer: blastfunction::ocl::Buffer,
+    conn: blastfunction::remote::Connection,
+    kill_after: usize,
+}
+
+impl MidBatchLoss {
+    fn round_trip(&self) -> Result<(), ClError> {
+        self.queue.write(&self.buffer, vec![7u8; 64])?;
+        self.queue.read_vec(&self.buffer)?;
+        Ok(())
+    }
+}
+
+impl BatchHandler for MidBatchLoss {
+    fn handle_batch(
+        &self,
+        start: VirtualTime,
+        batch: &[Invocation],
+    ) -> Vec<Result<Completion, HandlerError>> {
+        let mut out = Vec::with_capacity(batch.len());
+        for (i, _invocation) in batch.iter().enumerate() {
+            if i == self.kill_after {
+                // The device manager dies between request i-1 and i: the
+                // session tears down and every later request must surface
+                // a transport failure rather than hang or vanish.
+                self.conn
+                    .cast(blastfunction::rpc::Request::Disconnect, VirtualTime::ZERO)
+                    .ok();
+            }
+            if i < self.kill_after {
+                match self.round_trip() {
+                    Ok(()) => out.push(Ok(Completion::at(start))),
+                    Err(e) => out.push(Err(HandlerError::new(e.to_string()))),
+                }
+            } else {
+                // Session death is asynchronous (the manager-side thread
+                // exits when it processes the disconnect); retry until the
+                // failure becomes visible so the outcome is deterministic.
+                let mut result = self.round_trip();
+                for _ in 0..200 {
+                    if result.is_err() {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    result = self.round_trip();
+                }
+                match result {
+                    Ok(()) => out.push(Ok(Completion::at(start))),
+                    Err(e) => out.push(Err(HandlerError::new(e.to_string()))),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn device_manager_loss_mid_batch_fails_typed_without_losing_invocations() {
+    let manager = manager_with(small_board(1 << 24), 1 << 24);
+    let endpoint = manager.connect("mid-batch", PathCosts::local_grpc());
+    let backend = RemoteBackend::connect(endpoint, VirtualClock::new()).expect("connect");
+    let conn = backend.connection().clone();
+    let device = Device::new(std::sync::Arc::new(backend));
+    let ctx = device.create_context().expect("ctx");
+    let buffer = ctx.create_buffer(64).expect("buffer");
+    let queue = ctx.create_queue().expect("queue");
+
+    let kill_after = 3;
+    let total = 6;
+    let gateway = Gateway::new();
+    gateway.deploy(
+        "victim",
+        Batcher::new().with_max_batch_size(total),
+        std::sync::Arc::new(MidBatchLoss {
+            queue,
+            buffer,
+            conn,
+            kill_after,
+        }),
+    );
+
+    let mut submitted = Vec::new();
+    for _ in 0..total {
+        submitted.push(
+            gateway
+                .submit("victim", Invocation::at(VirtualTime::ZERO))
+                .expect("queue capacity 64"),
+        );
+    }
+    let outcomes = gateway
+        .flush("victim", VirtualTime::ZERO)
+        .expect("function deployed");
+
+    // One outcome per submission, every ticket echoed exactly once.
+    assert_eq!(outcomes.len(), total, "an invocation was lost or invented");
+    let mut echoed: Vec<_> = outcomes.iter().map(|o| o.ticket).collect();
+    echoed.sort();
+    assert_eq!(echoed, submitted, "tickets lost or duplicated");
+
+    // Requests before the loss complete; requests after it fail with the
+    // transport error, surfaced per invocation instead of poisoning the
+    // batch or hanging the gateway.
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i < kill_after {
+            assert!(outcome.result.is_ok(), "request {i} should precede death");
+        } else {
+            let err = outcome
+                .result
+                .as_ref()
+                .expect_err("request after manager death must fail");
+            assert!(
+                err.reason().contains("transport"),
+                "request {i}: expected a transport failure, got {err:?}"
+            );
+        }
+    }
+    let stats = gateway.stats("victim").expect("deployed");
+    assert_eq!(stats.processed, kill_after as u64);
+    assert_eq!(stats.failed, (total - kill_after) as u64);
+}
+
 #[test]
 fn cross_tenant_buffers_are_unreachable() {
     let manager = manager_with(small_board(1 << 24), 1 << 24);
