@@ -58,6 +58,12 @@ cargo run -q --release -p bf-bench --bin gateway -- --smoke --check experiments/
 echo "==> scale bench (smoke + archive check)"
 cargo run -q --release -p bf-bench --bin scale -- --smoke --check experiments/BENCH_scale.json
 
+# Payload-cache smoke: the hot + churn points must reproduce the archived
+# wire-byte/hit/miss/eviction accounting exactly, and the hot-set
+# wire-bytes-per-request reduction must stay at or above the 5x floor.
+echo "==> cache bench (smoke + archive check)"
+cargo run -q --release -p bf-bench --bin cache -- --smoke --check experiments/BENCH_cache.json
+
 # Virtual-time conformance: the data-path refactor must never move the
 # paper's Fig. 4(a) numbers — regenerate and require byte-identical JSON.
 echo "==> fig4a virtual-time check"

@@ -64,6 +64,7 @@ fn bench_allocation(c: &mut Criterion) {
                 utilization: (i as f64 * 0.13) % 0.9,
                 mean_op_latency_ms: (i as f64 * 1.7) % 20.0,
                 pending_reconfiguration: false,
+                warm_bitstreams: Vec::new(),
             })
             .collect();
         let query = DeviceQuery::for_accelerator("sobel");

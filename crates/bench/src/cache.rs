@@ -1,0 +1,440 @@
+//! Content-addressed payload-cache benchmark: wire bytes moved per
+//! request with and without the Device Manager's cache.
+//!
+//! Each ladder point drives one manager over the gRPC data path with a
+//! Zipf(1.2) request stream over a catalog of distinct payloads — the
+//! serverless hot-set shape (a few popular function inputs dominate the
+//! stream). With the cache off every request ships its payload inline;
+//! with it on, a repeat of content the manager still holds travels as a
+//! 16-byte digest reference and the host tier resolves it locally, so
+//! the wire carries payload bytes only for first occurrences and
+//! post-eviction resends (the `CacheMiss` NACK path).
+//!
+//! Every CI-compared field is deterministic: the request stream is
+//! seeded, the client session serializes operations, and the manager's
+//! [`bf_cache::CacheStats`] counters account for every elided byte —
+//! `wire_bytes = offered - bytes_saved` exactly. The `churn` point
+//! deliberately overflows the host tier so the eviction and NACK-resend
+//! machinery is exercised (and archived), not just the pure-hit path.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use bf_cache::CacheStats;
+use bf_devmgr::{DeviceManager, DeviceManagerConfig};
+use bf_fpga::{Board, BoardSpec, Payload};
+use bf_model::{node_b, VirtualClock};
+use bf_ocl::{BitstreamCatalog, ClResult};
+use bf_remote::Router;
+use bf_rpc::PathCosts;
+use bf_simkit::{SimRng, ZipfSampler};
+
+/// Root seed of the request stream (one fresh stream per measured row).
+pub const CACHE_SEED: u64 = 101;
+
+/// Zipf exponent of the payload popularity distribution.
+pub const CACHE_ZIPF_EXPONENT: f64 = 1.2;
+
+/// Ladder labels in sweep order.
+pub const CACHE_LADDER: [&str; 3] = ["hot", "churn", "big"];
+
+/// The CI smoke subset (kept small so the gate stays cheap; `churn`
+/// stays in so eviction/NACK-resend accounting is CI-pinned too).
+pub const CACHE_SMOKE: [&str; 2] = ["hot", "churn"];
+
+/// One ladder point's workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct CachePoint {
+    /// Ladder label.
+    pub label: &'static str,
+    /// Size of every payload in the catalog.
+    pub payload_bytes: u64,
+    /// Distinct payload contents.
+    pub catalog: usize,
+    /// Requests drawn from the Zipf stream.
+    pub requests: u32,
+    /// Host-tier cache budget for the cache-enabled run.
+    pub capacity: u64,
+}
+
+/// Resolves a ladder label to its workload shape.
+///
+/// # Panics
+///
+/// Panics on an unknown label (the ladder is a closed set).
+pub fn cache_point(label: &str) -> CachePoint {
+    match label {
+        // Hot set fits entirely: after first occurrences, every request
+        // is a digest hit.
+        "hot" => CachePoint {
+            label: "hot",
+            payload_bytes: 64 << 10,
+            catalog: 48,
+            requests: 1_200,
+            capacity: 64 * (64 << 10),
+        },
+        // Catalog is ~2.7x the cache budget: the Zipf head stays
+        // resident, the tail churns through eviction and NACK resends.
+        "churn" => CachePoint {
+            label: "churn",
+            payload_bytes: 64 << 10,
+            catalog: 256,
+            requests: 1_600,
+            capacity: 96 * (64 << 10),
+        },
+        // Megabyte payloads: the regime where elided transfers dominate
+        // end-to-end cost.
+        "big" => CachePoint {
+            label: "big",
+            payload_bytes: 1 << 20,
+            catalog: 24,
+            requests: 300,
+            capacity: 32 << 20,
+        },
+        // bf-lint: allow(panic): the ladder is a closed set; an unknown
+        // label is a harness bug, never a runtime condition.
+        other => panic!("unknown cache ladder point {other:?}"),
+    }
+}
+
+/// One measured (point, system) row. Every field is deterministic: the
+/// client session serializes operations, so hit/miss/eviction order is a
+/// pure function of the seeded request stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheBenchRow {
+    /// Ladder label.
+    pub label: String,
+    /// `"cache"` or `"nocache"`.
+    pub system: String,
+    /// Payload size.
+    pub payload_bytes: u64,
+    /// Distinct payload contents in the catalog.
+    pub catalog: u64,
+    /// Requests driven.
+    pub requests: u64,
+    /// Payload bytes the request stream asked to move.
+    pub offered_bytes: u64,
+    /// Payload bytes that actually crossed the wire inline.
+    pub wire_bytes: u64,
+    /// Wire payload bytes per request.
+    pub wire_bytes_per_request: u64,
+    /// Host-tier digest hits (requests served without wire payload).
+    pub hits: u64,
+    /// Host-tier misses (first occurrences plus post-eviction NACKs).
+    pub misses: u64,
+    /// Host-tier hit ratio.
+    pub hit_ratio: f64,
+    /// Host-tier evictions (the churn point must show some).
+    pub evictions: u64,
+    /// Device-tier hits (identical re-writes that skipped the DMA).
+    pub device_hits: u64,
+    /// `nocache / cache` wire-bytes-per-request reduction, on cache rows.
+    pub reduction: Option<f64>,
+}
+
+/// Distinct, deterministic payload contents for catalog entry `i`.
+fn catalog_payload(i: usize, bytes: u64) -> Payload {
+    let fill: Vec<u8> = (0..bytes)
+        .map(|j| ((i as u64).wrapping_mul(131).wrapping_add(j) % 251) as u8)
+        .collect();
+    fill.into()
+}
+
+fn drive(point: &CachePoint, with_cache: bool) -> ClResult<(u64, Option<CacheStats>)> {
+    let board = Arc::new(Mutex::new(Board::new(
+        BoardSpec::de5a_net(),
+        *node_b().pcie(),
+    )));
+    let mut config = DeviceManagerConfig::standalone("fpga-b");
+    if with_cache {
+        config = config.with_payload_cache(point.capacity);
+    }
+    let manager = DeviceManager::new(config, node_b(), board, BitstreamCatalog::new());
+    let mut router = Router::new();
+    router.add_manager(manager);
+    let clock = VirtualClock::new();
+    let device = router.connect(0, "cache-fn", PathCosts::local_grpc(), clock)?;
+    let ctx = device.create_context()?;
+    let buf = ctx.create_buffer(point.payload_bytes)?;
+    let queue = ctx.create_queue()?;
+
+    let payloads: Vec<Payload> = (0..point.catalog)
+        .map(|i| catalog_payload(i, point.payload_bytes))
+        .collect();
+    let mut rng = SimRng::seed_from_u64(CACHE_SEED);
+    let zipf = ZipfSampler::new(point.catalog, CACHE_ZIPF_EXPONENT);
+
+    let mut offered = 0u64;
+    for _ in 0..point.requests {
+        let i = zipf.sample(&mut rng);
+        queue.write(&buf, payloads[i].clone())?;
+        offered += point.payload_bytes;
+    }
+    Ok((offered, router.managers()[0].cache_stats()))
+}
+
+fn measure_one(point: &CachePoint, with_cache: bool) -> CacheBenchRow {
+    // bf-lint: allow(panic): the rig drives a fixed known-good
+    // deployment; an OpenCL error here is a harness bug.
+    let (offered, stats) = drive(point, with_cache).expect("cache bench op on known-good rig");
+    let stats = stats.unwrap_or_default();
+    let wire = offered - stats.bytes_saved;
+    let requests = u64::from(point.requests);
+    CacheBenchRow {
+        label: point.label.to_string(),
+        system: if with_cache { "cache" } else { "nocache" }.to_string(),
+        payload_bytes: point.payload_bytes,
+        catalog: point.catalog as u64,
+        requests,
+        offered_bytes: offered,
+        wire_bytes: wire,
+        wire_bytes_per_request: wire / requests,
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_ratio: stats.hit_ratio(),
+        evictions: stats.evictions,
+        device_hits: stats.device_hits,
+        reduction: None,
+    }
+}
+
+/// Runs the sweep over the given ladder labels: a `nocache` baseline row
+/// then a `cache` row per point, with the cache row's `reduction` filled
+/// in from its baseline.
+pub fn cache_rows(labels: &[&str]) -> Vec<CacheBenchRow> {
+    let mut rows = Vec::new();
+    for label in labels {
+        let point = cache_point(label);
+        let baseline = measure_one(&point, false);
+        let mut cached = measure_one(&point, true);
+        if cached.wire_bytes_per_request > 0 {
+            cached.reduction =
+                Some(baseline.wire_bytes_per_request as f64 / cached.wire_bytes_per_request as f64);
+        }
+        rows.push(baseline);
+        rows.push(cached);
+    }
+    rows
+}
+
+/// Checks the invariants every run must satisfy regardless of the
+/// archive: accounting conservation, the headline hot-set reduction
+/// floor, and eviction-path visibility on the churn point.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_cache_invariants(rows: &[CacheBenchRow]) -> Result<(), String> {
+    for r in rows {
+        if r.wire_bytes > r.offered_bytes {
+            return Err(format!(
+                "{} {}: wire {} exceeds offered {}",
+                r.label, r.system, r.wire_bytes, r.offered_bytes
+            ));
+        }
+        match r.system.as_str() {
+            "nocache" => {
+                if r.wire_bytes != r.offered_bytes || r.hits != 0 {
+                    return Err(format!(
+                        "{} nocache: expected every byte on the wire (wire {}, offered {}, hits {})",
+                        r.label, r.wire_bytes, r.offered_bytes, r.hits
+                    ));
+                }
+            }
+            "cache" => {
+                let reduction = r.reduction.unwrap_or(0.0);
+                if reduction < 5.0 {
+                    return Err(format!(
+                        "{}: hot-set wire-bytes reduction {reduction:.2}x under the 5x floor",
+                        r.label
+                    ));
+                }
+                if r.hit_ratio <= 0.5 {
+                    return Err(format!(
+                        "{}: cache hit ratio {:.3} not hit-dominated",
+                        r.label, r.hit_ratio
+                    ));
+                }
+                if r.label == "churn" && r.evictions == 0 {
+                    return Err("churn: eviction path never exercised".to_string());
+                }
+            }
+            other => return Err(format!("unknown system tag {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Renders the sweep as an aligned text table.
+pub fn render_cache(title: &str, rows: &[CacheBenchRow]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>8} {:>8} {:>9} {:>13} {:>10} {:>7} {:>7} {:>9} {:>9} {:>10}\n",
+        "point",
+        "path",
+        "payload",
+        "requests",
+        "offered",
+        "wire/request",
+        "hit ratio",
+        "hits",
+        "misses",
+        "evicted",
+        "dev hits",
+        "reduction"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>8} {:>8} {:>9} {:>13} {:>9.1}% {:>7} {:>7} {:>9} {:>9} {:>10}\n",
+            r.label,
+            r.system,
+            r.payload_bytes,
+            r.requests,
+            r.offered_bytes,
+            r.wire_bytes_per_request,
+            r.hit_ratio * 100.0,
+            r.hits,
+            r.misses,
+            r.evictions,
+            r.device_hits,
+            r.reduction
+                .map_or_else(|| "-".to_string(), |f| format!("{f:.2}x")),
+        ));
+    }
+    out
+}
+
+/// One archived row (every field is deterministic, so all are compared).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchivedCacheRow {
+    /// Ladder label.
+    pub label: String,
+    /// System tag.
+    pub system: String,
+    /// Requests driven.
+    pub requests: u64,
+    /// Offered payload bytes.
+    pub offered_bytes: u64,
+    /// Inline wire bytes.
+    pub wire_bytes: u64,
+    /// Host-tier hits.
+    pub hits: u64,
+    /// Host-tier misses.
+    pub misses: u64,
+    /// Host-tier evictions.
+    pub evictions: u64,
+    /// Device-tier hits.
+    pub device_hits: u64,
+}
+
+/// Extracts the comparable fields from an archived `BENCH_cache.json`
+/// document. Returns `None` when the document does not have the expected
+/// shape.
+pub fn parse_cache_archive(doc: &serde_json::Value) -> Option<Vec<ArchivedCacheRow>> {
+    doc.as_array()?
+        .iter()
+        .map(|row| {
+            let obj = row.as_object()?;
+            Some(ArchivedCacheRow {
+                label: obj.get("label")?.as_str()?.to_string(),
+                system: obj.get("system")?.as_str()?.to_string(),
+                requests: obj.get("requests")?.as_u64()?,
+                offered_bytes: obj.get("offered_bytes")?.as_u64()?,
+                wire_bytes: obj.get("wire_bytes")?.as_u64()?,
+                hits: obj.get("hits")?.as_u64()?,
+                misses: obj.get("misses")?.as_u64()?,
+                evictions: obj.get("evictions")?.as_u64()?,
+                device_hits: obj.get("device_hits")?.as_u64()?,
+            })
+        })
+        .collect()
+}
+
+/// Compares `rows` against the matching rows of an archived run,
+/// returning mismatch descriptions (empty when consistent). Rows missing
+/// from the archive are ignored, so the `--smoke` subset checks cleanly
+/// against a full-ladder archive.
+pub fn check_cache_archive(rows: &[CacheBenchRow], archived: &[ArchivedCacheRow]) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    for r in rows {
+        let Some(a) = archived
+            .iter()
+            .find(|a| a.label == r.label && a.system == r.system)
+        else {
+            continue;
+        };
+        let mut diff = |field: &str, got: u64, want: u64| {
+            if got != want {
+                mismatches.push(format!(
+                    "{} {}: {field} {got} != archived {want}",
+                    r.label, r.system
+                ));
+            }
+        };
+        diff("requests", r.requests, a.requests);
+        diff("offered_bytes", r.offered_bytes, a.offered_bytes);
+        diff("wire_bytes", r.wire_bytes, a.wire_bytes);
+        diff("hits", r.hits, a.hits);
+        diff("misses", r.misses, a.misses);
+        diff("evictions", r.evictions, a.evictions);
+        diff("device_hits", r.device_hits, a.device_hits);
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_labels_are_a_subset_of_the_ladder() {
+        for label in CACHE_SMOKE {
+            assert!(CACHE_LADDER.contains(&label));
+        }
+    }
+
+    #[test]
+    fn every_ladder_label_resolves() {
+        for label in CACHE_LADDER {
+            let p = cache_point(label);
+            assert!(p.payload_bytes > 0 && p.catalog > 0 && p.requests > 0);
+        }
+    }
+
+    #[test]
+    fn catalog_payloads_are_distinct() {
+        let a = catalog_payload(0, 64);
+        let b = catalog_payload(1, 64);
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn hot_point_satisfies_the_invariants_and_round_trips() {
+        let rows = cache_rows(&["hot"]);
+        assert!(check_cache_invariants(&rows).is_ok(), "{rows:?}");
+        // bf-lint: allow(panic): test-only serialization of in-memory rows.
+        let json = serde_json::to_string_pretty(&rows).expect("serialize");
+        // bf-lint: allow(panic): the document was produced two lines up.
+        let doc = serde_json::from_str(&json).expect("parse");
+        let archived = parse_cache_archive(&doc).expect("shape");
+        assert!(check_cache_archive(&rows, &archived).is_empty());
+        // A drifted archive is flagged.
+        let mut drifted = archived;
+        drifted[1].wire_bytes += 1;
+        assert_eq!(check_cache_archive(&rows, &drifted).len(), 1);
+    }
+
+    #[test]
+    fn identical_runs_agree_on_every_compared_field() {
+        let a = cache_rows(&["hot"]);
+        let b = cache_rows(&["hot"]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.wire_bytes, y.wire_bytes, "{x:?} vs {y:?}");
+            assert_eq!(x.hits, y.hits);
+            assert_eq!(x.evictions, y.evictions);
+            assert_eq!(x.device_hits, y.device_hits);
+        }
+    }
+}

@@ -19,10 +19,16 @@
 //! | Data-path ablation | [`ablation_transport`] | `ablation_transport` |
 //! | Task-granularity ablation | [`ablation_taskgrain`] | `ablation_taskgrain` |
 
+mod cache;
 mod datapath;
 mod gateway;
 mod scale;
 
+pub use crate::cache::{
+    cache_point, cache_rows, check_cache_archive, check_cache_invariants, parse_cache_archive,
+    render_cache, ArchivedCacheRow, CacheBenchRow, CachePoint, CACHE_LADDER, CACHE_SEED,
+    CACHE_SMOKE, CACHE_ZIPF_EXPONENT,
+};
 pub use crate::datapath::{
     baseline_copied_bytes, check_against_archive, datapath_rows, parse_archive, render_datapath,
     ArchivedCopyRow, DatapathRow, LADDER, SMOKE,

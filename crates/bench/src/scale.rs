@@ -71,6 +71,14 @@ pub struct ScaleBenchRow {
     pub rerouted: u64,
     /// Slow-consumer forced disconnects.
     pub force_disconnects: u64,
+    /// Payload-cache hits across admitted requests.
+    pub cache_hits: u64,
+    /// Payload-cache misses across admitted requests.
+    pub cache_misses: u64,
+    /// Payload-cache hit ratio over the day.
+    pub cache_hit_ratio: f64,
+    /// Wire bytes the payload cache elided.
+    pub cache_bytes_saved: u64,
     /// Median latency (ms).
     pub latency_p50_ms: f64,
     /// 99th-percentile latency (ms).
@@ -109,6 +117,10 @@ fn measure_one(label: &str) -> ScaleBenchRow {
         node_losses: r.node_losses,
         rerouted: r.rerouted,
         force_disconnects: r.force_disconnects,
+        cache_hits: r.cache_hits,
+        cache_misses: r.cache_misses,
+        cache_hit_ratio: r.cache_hit_ratio,
+        cache_bytes_saved: r.cache_bytes_saved,
         latency_p50_ms: r.latency_p50_ms,
         latency_p99_ms: r.latency_p99_ms,
         poller_polls: r.poller_polls,
@@ -162,7 +174,7 @@ pub fn check_scale_invariants(rows: &[ScaleBenchRow]) -> Result<(), String> {
 pub fn render_scale(title: &str, rows: &[ScaleBenchRow]) -> String {
     let mut out = format!("{title}\n");
     out.push_str(&format!(
-        "{:<8} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>6} {:>9} {:>13} {:>9} {:>10} {:>8} {:>17}\n",
+        "{:<8} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6} {:>9} {:>13} {:>9} {:>10} {:>8} {:>17}\n",
         "point",
         "nodes",
         "fns",
@@ -171,6 +183,7 @@ pub fn render_scale(title: &str, rows: &[ScaleBenchRow]) -> String {
         "shed",
         "failed",
         "p99",
+        "hit%",
         "polls",
         "slots_scanned",
         "watch_ev",
@@ -180,7 +193,7 @@ pub fn render_scale(title: &str, rows: &[ScaleBenchRow]) -> String {
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<8} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>4.1}ms {:>9} {:>13} {:>9} {:>10} {:>8} {:>17}\n",
+            "{:<8} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>4.1}ms {:>5.1}% {:>9} {:>13} {:>9} {:>10} {:>8} {:>17}\n",
             r.label,
             r.nodes,
             r.functions,
@@ -189,6 +202,7 @@ pub fn render_scale(title: &str, rows: &[ScaleBenchRow]) -> String {
             r.shed,
             r.failed_inflight,
             r.latency_p99_ms,
+            r.cache_hit_ratio * 100.0,
             r.poller_polls,
             r.poller_slots_scanned,
             r.watch_events,

@@ -62,6 +62,7 @@
 //! # }
 //! ```
 
+pub use bf_cache as cache;
 pub use bf_cluster as cluster;
 pub use bf_devmgr as devmgr;
 pub use bf_fpga as fpga;

@@ -58,6 +58,7 @@ mod worker;
 /// under the deterministic model scheduler (`bf-race --features model`).
 pub use bf_race::sync;
 
+pub use bf_cache::{content_digest, CacheStats};
 pub use manager::{
     DeviceManager, DeviceManagerConfig, ManagerEndpoint, ReconfigPolicy, ReconfigRequest,
 };
@@ -629,7 +630,9 @@ mod tests {
                                         shm.free(offset).expect("free");
                                         b.to_vec()
                                     }
-                                    DataRef::Synthetic(_) => panic!("real data expected"),
+                                    DataRef::Synthetic(_) | DataRef::Digest { .. } => {
+                                        panic!("real data expected")
+                                    }
                                 };
                                 assert_eq!(
                                     bytes,

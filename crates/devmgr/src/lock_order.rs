@@ -54,9 +54,18 @@ pub const HIERARCHY: &[&str] = &[
     "placement",
     // The FPGA board behind a Device Manager (bf-devmgr / bf-fpga).
     "board",
+    // Content-addressed payload cache: host tier + device-residency tier
+    // (bf-cache). The worker consults the device tier while holding the
+    // board lock, so it ranks below `board`; the session touches it with
+    // nothing else held.
+    "payload_cache",
     // Remote library's pending-operation map (bf-remote). Held across
     // completion dispatch, which touches shm segments and event state.
     "pending",
+    // Client-side digest tracker mirroring the peer cache's admission
+    // (bf-cache). Updated from the completion path while `pending` is
+    // held, so it ranks below it.
+    "digest_track",
     // Remote backend's staging write cursor (bf-remote).
     "staging_cursor",
     // Remote backend's cached device info (bf-remote).

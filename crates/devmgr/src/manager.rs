@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use bf_cache::{CacheStats, PayloadCache};
 use bf_fpga::Board;
 use bf_metrics::MetricsRegistry;
 use bf_model::{NodeId, NodeSpec, VirtualTime};
@@ -72,6 +73,11 @@ pub struct DeviceManagerConfig {
     /// Operations one session may stage on a single command queue before
     /// flushing; further enqueues fail with `OutOfResources`.
     pub max_queued_ops: usize,
+    /// Host-tier budget of the content-addressed payload cache, in bytes.
+    /// `0` (the default) disables caching entirely: sessions accept no
+    /// `DataRef::Digest` references and admit nothing, keeping the
+    /// archived timing/copy benchmarks byte-identical.
+    pub payload_cache_capacity: u64,
 }
 
 impl DeviceManagerConfig {
@@ -85,6 +91,7 @@ impl DeviceManagerConfig {
             channel_depth: bf_rpc::DEFAULT_DEPTH,
             max_pending_responses: 1024,
             max_queued_ops: 4096,
+            payload_cache_capacity: 0,
         }
     }
 
@@ -117,6 +124,13 @@ impl DeviceManagerConfig {
         self.max_queued_ops = limit.max(1);
         self
     }
+
+    /// Enables the content-addressed payload cache with a host-tier
+    /// budget of `capacity` bytes (`0` disables it).
+    pub fn with_payload_cache(mut self, capacity: u64) -> Self {
+        self.payload_cache_capacity = capacity;
+        self
+    }
 }
 
 pub(crate) struct Shared {
@@ -126,6 +140,8 @@ pub(crate) struct Shared {
     pub catalog: BitstreamCatalog,
     pub metrics: MetricsRegistry,
     pub connected: AtomicU64,
+    /// Content-addressed payload cache; `None` when disabled.
+    pub cache: Option<PayloadCache>,
 }
 
 /// What [`DeviceManager::connect`] hands to a client: everything the
@@ -144,6 +160,9 @@ pub struct ManagerEndpoint {
     pub shm: Option<ShmSegment>,
     /// The connection's cost profile.
     pub costs: PathCosts,
+    /// Whether the manager runs a payload cache: the client may send
+    /// `DataRef::Digest` references for content it has already shipped.
+    pub cache: bool,
 }
 
 /// A Device Manager: fronts one FPGA board, multiplexing isolated client
@@ -190,6 +209,8 @@ impl DeviceManager {
         board: Arc<Mutex<Board>>,
         catalog: BitstreamCatalog,
     ) -> (Self, impl FnOnce() + Send + 'static) {
+        let cache = (config.payload_cache_capacity > 0)
+            .then(|| PayloadCache::new(config.payload_cache_capacity));
         let shared = Arc::new(Shared {
             config,
             node,
@@ -197,6 +218,7 @@ impl DeviceManager {
             catalog,
             metrics: MetricsRegistry::new(),
             connected: AtomicU64::new(0),
+            cache,
         });
         let mut poller = Poller::new();
         let (wake_token, waker) = poller.add_waker();
@@ -281,8 +303,27 @@ impl DeviceManager {
         if board.bitstream_id() != Some(bitstream) {
             let now = board.available_at();
             board.program(image, now, "registry");
+            // Reprogramming wipes on-board DDR: forget the device tier.
+            if let Some(cache) = &self.shared.cache {
+                cache.invalidate_device();
+            }
         }
         Ok(())
+    }
+
+    /// Counters of the content-addressed payload cache, when enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared.cache.as_ref().map(PayloadCache::stats)
+    }
+
+    /// Drops every payload-cache entry in both tiers — the node-death /
+    /// migration invalidation hook. Outstanding zero-copy snapshots held
+    /// by in-flight operations remain valid. A no-op when caching is
+    /// disabled.
+    pub fn invalidate_payload_cache(&self) {
+        if let Some(cache) = &self.shared.cache {
+            cache.invalidate_all();
+        }
     }
 
     /// Opens a client session, registering it with the event loop, and
@@ -322,6 +363,7 @@ impl DeviceManager {
             channel: client_chan,
             shm,
             costs,
+            cache: self.shared.cache.is_some(),
         }
     }
 
@@ -348,6 +390,10 @@ impl DeviceManager {
             .metrics
             .gauge("bf_fpga_reconfigurations", &[("device", device.as_str())])
             .set(board.reconfigurations() as f64);
+        drop(board);
+        if let Some(cache) = &self.shared.cache {
+            cache.export_metrics(&self.shared.metrics, device.as_str());
+        }
     }
 }
 

@@ -21,10 +21,11 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
+use bf_cache::content_digest;
 use bf_fpga::{KernelArg, KernelInvocation};
 use bf_model::VirtualTime;
 use bf_rpc::{
-    ClientId, ErrorCode, PathCosts, Request, RequestEnvelope, Response, ResponseEnvelope,
+    ClientId, DataRef, ErrorCode, PathCosts, Request, RequestEnvelope, Response, ResponseEnvelope,
     ServerChannel, ShmSegment, TransportError, WireArg,
 };
 
@@ -193,6 +194,9 @@ impl Session {
         let mut board = lock_order::tracked(&self.shared.board, "board");
         for (fpga, _) in self.state.buffers.values() {
             let _ = board.free_buffer(*fpga);
+            if let Some(cache) = &self.shared.cache {
+                cache.invalidate_buffer(fpga.0);
+            }
         }
         self.state.buffers.clear();
     }
@@ -289,6 +293,11 @@ impl Session {
                 lock_order::tracked(&self.shared.board, "board")
                     .free_buffer(fpga)
                     .map_err(|e| (ErrorCode::Internal, e.to_string()))?;
+                if let Some(cache) = &self.shared.cache {
+                    // A freed id can be reissued; stale residency on it
+                    // would let a later digest hit skip a needed DMA.
+                    cache.invalidate_buffer(fpga.0);
+                }
                 Ok((Response::Ack, arrival))
             }
             Request::CreateQueue { context } => {
@@ -312,6 +321,7 @@ impl Session {
                     ErrorCode::AccessDenied,
                     format!("buffer {buffer} is not yours"),
                 ))?;
+                let data = self.resolve_write_payload(data)?;
                 let ops = self
                     .state
                     .queues
@@ -323,9 +333,7 @@ impl Session {
                         tag: env.tag,
                         buffer: fpga,
                         offset: *offset,
-                        // A refcount bump — the enqueued operation aliases
-                        // the decoded frame's bytes instead of copying them.
-                        data: data.share(),
+                        data,
                     },
                     self.shared.config.max_queued_ops,
                 )?;
@@ -430,6 +438,50 @@ impl Session {
         }
     }
 
+    /// Resolves a write payload against the payload cache at staging
+    /// time (so back-to-back identical writes hit before any flush):
+    /// digest references rewrite to the cached bytes — a refcount bump —
+    /// or NACK with [`ErrorCode::CacheMiss`] so the client resends
+    /// inline; arriving inline bytes are admitted for future hits.
+    /// Without a cache every reference passes through by refcount bump.
+    fn resolve_write_payload(&self, data: &DataRef) -> Result<DataRef, (ErrorCode, String)> {
+        let Some(cache) = &self.shared.cache else {
+            return match data {
+                DataRef::Digest { digest, .. } => Err((
+                    ErrorCode::CacheMiss,
+                    format!("no payload cache on this manager for digest {digest:#018x}"),
+                )),
+                // A refcount bump — the enqueued operation aliases the
+                // decoded frame's bytes instead of copying them.
+                _ => Ok(data.share()),
+            };
+        };
+        match data {
+            DataRef::Digest { digest, len } => match cache.get(*digest) {
+                Some(bytes) if bytes.len() as u64 == *len => Ok(DataRef::Inline(bytes.into())),
+                Some(_) => Err((
+                    ErrorCode::CacheMiss,
+                    format!("digest {digest:#018x} resident with a different length"),
+                )),
+                None => Err((
+                    ErrorCode::CacheMiss,
+                    format!("digest {digest:#018x} not resident"),
+                )),
+            },
+            DataRef::Inline(payload) => {
+                let bytes = payload.share().into_bytes();
+                // bf-lint: allow(payload_copy): `Bytes::clone` is a
+                // refcount bump on the shared payload, never a byte copy.
+                // bf-flow: allow(hot_alloc): the cache evicts clock-wise
+                // until the entry fits, so residency never exceeds the
+                // configured byte budget; duplicates are refused cheaply.
+                cache.insert(content_digest(&bytes), bytes.clone());
+                Ok(DataRef::Inline(bytes.into()))
+            }
+            _ => Ok(data.share()),
+        }
+    }
+
     fn ensure_bitstream(
         &self,
         bitstream: &str,
@@ -462,6 +514,12 @@ impl Session {
         // occupies the board itself, so queued tasks simply serialize
         // around it.
         let timing = board.program(image, arrival, &self.name);
+        if let Some(cache) = &self.shared.cache {
+            // Programming wipes on-board DDR: no tracked residency
+            // survives. ("payload_cache" ranks after "board", so taking
+            // it here is hierarchy-legal.)
+            cache.invalidate_device();
+        }
         Ok(timing.ended_at)
     }
 

@@ -95,6 +95,22 @@ fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
             ..
         } => {
             let payload = resolve_payload(task, data)?;
+            if let (Some(cache), Payload::Data(bytes)) = (&shared.cache, &payload) {
+                let digest = bf_cache::content_digest(bytes);
+                let len = bytes.len() as u64;
+                if cache.device_resident(buffer.0, *offset, digest, len) {
+                    // Identical content already occupies the target
+                    // region: skip the PCIe DMA outright. No board time
+                    // is charged; the write completes at issue.
+                    let now = task.arrival.max(board.available_at());
+                    return Ok((now, now, None));
+                }
+                let timing = board
+                    .write_buffer(*buffer, *offset, &payload, task.arrival, &task.owner)
+                    .map_err(map_fpga_err)?;
+                cache.note_device_resident(buffer.0, *offset, digest, len);
+                return Ok((timing.started_at, timing.ended_at, None));
+            }
             let timing = board
                 .write_buffer(*buffer, *offset, &payload, task.arrival, &task.owner)
                 .map_err(map_fpga_err)?;
@@ -131,6 +147,10 @@ fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
                     &task.owner,
                 )
                 .map_err(map_fpga_err)?;
+            if let Some(cache) = &shared.cache {
+                // The copy clobbered part of the destination buffer.
+                cache.invalidate_buffer(dst.0);
+            }
             Ok((timing.started_at, timing.ended_at, None))
         }
         Operation::Kernel {
@@ -139,6 +159,15 @@ fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
             let timing = board
                 .launch_kernel(name, invocation, task.arrival, &task.owner)
                 .map_err(map_fpga_err)?;
+            if let Some(cache) = &shared.cache {
+                // A kernel may write any buffer it was handed; drop
+                // residency for all of them rather than model dataflow.
+                for arg in &invocation.args {
+                    if let bf_fpga::KernelArg::Buffer(id) = arg {
+                        cache.invalidate_buffer(id.0);
+                    }
+                }
+            }
             Ok((timing.started_at, timing.ended_at, None))
         }
     }
@@ -164,6 +193,12 @@ fn resolve_payload(task: &Task, data: &DataRef) -> Result<Payload, (ErrorCode, S
                 .map_err(|e| (ErrorCode::OutOfBounds, e.to_string()))?;
             Ok(Payload::Data(bytes))
         }
+        // Digest references are resolved against the payload cache at
+        // session staging time; one reaching the worker is a bug.
+        DataRef::Digest { digest, .. } => Err((
+            ErrorCode::Internal,
+            format!("unresolved digest reference {digest:#018x} reached the worker"),
+        )),
     }
 }
 

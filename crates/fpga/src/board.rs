@@ -21,6 +21,20 @@ pub struct BoardSpec {
     pub logic_elements: u64,
     /// Time to program a full bitstream over PCIe.
     pub reconfiguration_time: VirtualDuration,
+    /// How many bitstream images the board keeps staged ("warm") in
+    /// host-side flash after programming them once. Reprogramming to a
+    /// warm image pays [`warm_reconfiguration_time`] instead of the full
+    /// PCIe transfer. `0` (the default) disables the cache entirely, so
+    /// every reprogram pays the full cost — the paper's DE5a-Net
+    /// behavior.
+    ///
+    /// [`warm_reconfiguration_time`]: BoardSpec::warm_reconfiguration_time
+    pub bitstream_cache_slots: usize,
+    /// Reconfiguration time when the target image is warm-cached.
+    /// Ignored while [`bitstream_cache_slots`] is `0`.
+    ///
+    /// [`bitstream_cache_slots`]: BoardSpec::bitstream_cache_slots
+    pub warm_reconfiguration_time: VirtualDuration,
 }
 
 impl BoardSpec {
@@ -33,7 +47,17 @@ impl BoardSpec {
             memory_bytes: 8 << 30,
             logic_elements: 1_150_000,
             reconfiguration_time: VirtualDuration::from_millis(2_200),
+            bitstream_cache_slots: 0,
+            warm_reconfiguration_time: VirtualDuration::from_millis(2_200),
         }
+    }
+
+    /// Enables the warm bitstream cache: `slots` staged images,
+    /// `warm_time` to reprogram to one of them.
+    pub fn with_bitstream_cache(mut self, slots: usize, warm_time: VirtualDuration) -> Self {
+        self.bitstream_cache_slots = slots;
+        self.warm_reconfiguration_time = warm_time;
+        self
     }
 }
 
@@ -85,6 +109,9 @@ pub struct Board {
     available_at: VirtualTime,
     busy: BusyTracker,
     reconfigurations: u64,
+    /// Warm-cached bitstream ids in LRU order (most recent at the back);
+    /// bounded by `spec.bitstream_cache_slots`, empty when disabled.
+    warm_bitstreams: Vec<String>,
 }
 
 impl Board {
@@ -99,6 +126,7 @@ impl Board {
             available_at: VirtualTime::ZERO,
             busy: BusyTracker::new(),
             reconfigurations: 0,
+            warm_bitstreams: Vec::new(),
         }
     }
 
@@ -125,6 +153,19 @@ impl Board {
     /// Number of reconfigurations performed.
     pub fn reconfigurations(&self) -> u64 {
         self.reconfigurations
+    }
+
+    /// Bitstream ids currently staged in the warm cache, least recently
+    /// programmed first. Empty when the cache is disabled.
+    pub fn warm_bitstreams(&self) -> &[String] {
+        &self.warm_bitstreams
+    }
+
+    /// Whether programming `bitstream` would hit the warm cache (pay
+    /// [`BoardSpec::warm_reconfiguration_time`] instead of the full
+    /// transfer).
+    pub fn is_warm(&self, bitstream: &str) -> bool {
+        self.spec.bitstream_cache_slots > 0 && self.warm_bitstreams.iter().any(|b| b == bitstream)
     }
 
     /// The device memory (for tests and kernels).
@@ -156,20 +197,42 @@ impl Board {
 
     /// Programs `bitstream` onto the board, wiping DDR content.
     ///
-    /// Programming blocks the board for [`BoardSpec::reconfiguration_time`];
-    /// the busy interval is attributed to `owner` (usually the registry or
-    /// the requesting function).
+    /// Programming blocks the board for [`BoardSpec::reconfiguration_time`]
+    /// — or [`BoardSpec::warm_reconfiguration_time`] when the image is
+    /// staged in the warm bitstream cache; the busy interval is attributed
+    /// to `owner` (usually the registry or the requesting function).
     pub fn program(
         &mut self,
         bitstream: Arc<Bitstream>,
         now: VirtualTime,
         owner: &str,
     ) -> OpTiming {
-        let timing = self.occupy(now, self.spec.reconfiguration_time, owner);
+        let cost = if self.is_warm(bitstream.id()) {
+            self.spec.warm_reconfiguration_time
+        } else {
+            self.spec.reconfiguration_time
+        };
+        let timing = self.occupy(now, cost, owner);
         self.memory.clear();
+        self.touch_warm(bitstream.id());
         self.bitstream = Some(bitstream);
         self.reconfigurations += 1;
         timing
+    }
+
+    /// LRU-touches `id` in the warm cache, evicting the least recently
+    /// programmed image past the slot budget. No-op while disabled.
+    fn touch_warm(&mut self, id: &str) {
+        if self.spec.bitstream_cache_slots == 0 {
+            return;
+        }
+        self.warm_bitstreams.retain(|b| b != id);
+        // bf-flow: allow(hot_alloc): bounded by bitstream_cache_slots —
+        // the loop below evicts past the slot budget.
+        self.warm_bitstreams.push(id.to_string());
+        while self.warm_bitstreams.len() > self.spec.bitstream_cache_slots {
+            self.warm_bitstreams.remove(0);
+        }
     }
 
     /// Allocates a device buffer (no board time is charged; `clCreateBuffer`
@@ -418,6 +481,45 @@ mod tests {
         assert_eq!(timing.service_time(), board.spec().reconfiguration_time);
         assert_eq!(board.buffer_len(buf), Err(FpgaError::BufferNotFound(buf.0)));
         assert_eq!(board.reconfigurations(), 2);
+    }
+
+    fn named_bitstream(id: &str) -> Arc<Bitstream> {
+        Arc::new(Bitstream::new(id, vec![]))
+    }
+
+    #[test]
+    fn warm_bitstream_cache_cuts_reprogram_cost() {
+        let warm_time = VirtualDuration::from_millis(200);
+        let spec = BoardSpec::de5a_net().with_bitstream_cache(2, warm_time);
+        let full_time = spec.reconfiguration_time;
+        let mut board = Board::new(spec, PcieLink::new(PcieGeneration::Gen3, 8));
+        let t1 = board.program(named_bitstream("a"), board.available_at(), "r");
+        assert_eq!(t1.service_time(), full_time, "first program is cold");
+        board.program(named_bitstream("b"), board.available_at(), "r");
+        assert!(board.is_warm("a") && board.is_warm("b"));
+        let t2 = board.program(named_bitstream("a"), board.available_at(), "r");
+        assert_eq!(t2.service_time(), warm_time, "staged image reprograms fast");
+    }
+
+    #[test]
+    fn warm_bitstream_cache_is_lru_bounded() {
+        let spec = BoardSpec::de5a_net().with_bitstream_cache(2, VirtualDuration::from_millis(1));
+        let mut board = Board::new(spec, PcieLink::new(PcieGeneration::Gen3, 8));
+        for id in ["a", "b", "a", "c"] {
+            board.program(named_bitstream(id), board.available_at(), "r");
+        }
+        // Touch order a, b, a, c: "b" is the LRU victim of the third slot.
+        assert_eq!(board.warm_bitstreams(), ["a".to_string(), "c".to_string()]);
+        assert!(!board.is_warm("b"));
+    }
+
+    #[test]
+    fn warm_cache_disabled_by_default_keeps_full_reprogram_cost() {
+        let mut board = test_board();
+        board.program(named_bitstream("a"), board.available_at(), "r");
+        let t = board.program(named_bitstream("a"), board.available_at(), "r");
+        assert_eq!(t.service_time(), board.spec().reconfiguration_time);
+        assert!(board.warm_bitstreams().is_empty());
     }
 
     #[test]

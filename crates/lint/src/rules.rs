@@ -39,6 +39,7 @@ pub const INSTRUMENTED_CRATES: &[&str] = &[
     "crates/remote/",
     "crates/fpga/",
     "crates/serverless/",
+    "crates/cache/",
 ];
 
 /// Where the lock hierarchy table lives; whole-program coverage findings

@@ -443,3 +443,57 @@ fn batcher_cutover_never_loses_or_duplicates_an_invocation() {
     println!("batcher_cutover: {} schedules explored", stats.schedules);
     assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
 }
+
+/// Payload-cache snapshot stability: a zero-copy snapshot handed out by
+/// `PayloadCache::get` keeps its exact bytes while a concurrent inserter
+/// overflows the host tier and the clock hand evicts the entry — on
+/// every interleaving. Eviction may only drop the cache's *own*
+/// reference; a live reader must never observe reused or cleared bytes.
+#[test]
+fn payload_cache_snapshot_survives_concurrent_insert_and_evict() {
+    let stats = explore("payload_cache_snapshot_vs_evict", || {
+        // Budget fits the original plus one filler: the second filler
+        // insert must evict.
+        let cache = Arc::new(bf_cache::PayloadCache::new(64));
+        let original = bytes::Bytes::from_static(b"original payload bytes!!");
+        let digest = bf_cache::content_digest(&original);
+        assert!(cache.insert(digest, original.clone()), "admit original");
+
+        let evictor = {
+            let cache = cache.clone();
+            thread::spawn(move || {
+                for i in 0..3u8 {
+                    let filler = bytes::Bytes::from(vec![i; 24]);
+                    cache.insert(bf_cache::content_digest(&filler), filler);
+                }
+            })
+        };
+        // Race the snapshot against the evicting inserts. `get` either
+        // misses (the entry was already evicted) or returns a refcounted
+        // snapshot that stays byte-stable past any later eviction.
+        let snapshot = cache.get(digest);
+        evictor.join();
+        if let Some(bytes) = snapshot {
+            assert_eq!(
+                bytes.as_ref(),
+                original.as_ref(),
+                "snapshot must show the inserted content, never filler"
+            );
+            // Force the entry out unconditionally: the live snapshot is
+            // its own reference and must not change underneath us.
+            cache.invalidate_all();
+            assert_eq!(bytes.as_ref(), original.as_ref());
+        }
+        // After the race, a fresh lookup is all-or-nothing: a miss, or
+        // the identical content — never a torn or recycled payload.
+        if let Some(bytes) = cache.get(digest) {
+            assert_eq!(bytes.as_ref(), original.as_ref());
+        }
+    })
+    .expect("no schedule may invalidate a live snapshot reader");
+    println!(
+        "payload_cache_snapshot_vs_evict: {} schedules explored",
+        stats.schedules
+    );
+    assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
+}

@@ -80,6 +80,10 @@ pub struct DeviceView {
     pub platform: String,
     /// Currently configured bitstream.
     pub bitstream: Option<String>,
+    /// Bitstream images staged in the board's warm cache: reprogramming
+    /// to one of these is cheap, so the allocator prefers a warm board
+    /// over a cold one when no board is already configured.
+    pub warm_bitstreams: Vec<String>,
     /// Connected function instances and the accelerator each one needs
     /// (instance name → required bitstream).
     pub connected: HashMap<String, Option<String>>,
@@ -142,13 +146,38 @@ impl fmt::Display for AllocateError {
 
 impl Error for AllocateError {}
 
+/// Warm-pool tier of a candidate: how cheaply it can serve the queried
+/// accelerator. Ordered so a plain descending sort prefers the cheaper
+/// device; with no warm caches in the cluster this collapses to the
+/// original configured-vs-not ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Warmth {
+    /// Neither configured nor staged: full bitstream transfer + program.
+    Cold = 0,
+    /// Staged in the board's warm bitstream cache: cheap reprogram.
+    Warm = 1,
+    /// Already configured: no reconfiguration at all.
+    Configured = 2,
+}
+
+/// Per-candidate sort key, computed exactly once per candidate (the sort
+/// itself compares precomputed values — no metric/compatibility/rank
+/// recomputation inside the comparator).
+struct Score {
+    /// Metric values in `policy.metrics_order` order.
+    metrics: Vec<f64>,
+    warmth: Warmth,
+    node_rank: usize,
+}
+
 /// Algorithm 1: chooses a device for an instance with the given query.
 ///
 /// 1. `filterby_compatibility` — vendor/platform hardware match;
 /// 2. `filterby_metrics` — drop over-threshold devices;
 /// 3. `orderby_metrics_and_acc` — sort by the metric priority, then prefer
 ///    devices already configured with the required accelerator (no
-///    reconfiguration), breaking remaining ties by node priority;
+///    reconfiguration) ahead of devices with the image merely staged warm
+///    ahead of cold devices, breaking remaining ties by node priority;
 /// 4. walk the order: a device whose bitstream is incompatible is only
 ///    eligible if its current workloads can be *redistributed* to other
 ///    compatible devices; the first eligible device wins and is flagged
@@ -163,7 +192,7 @@ pub fn allocate(
     policy: &AllocationPolicy,
 ) -> Result<Allocation, AllocateError> {
     // Steps 2-3: filters.
-    let mut candidates: Vec<&DeviceView> = devices
+    let candidates: Vec<&DeviceView> = devices
         .iter()
         .filter(|d| query.hardware_matches(&d.vendor, &d.platform))
         .filter(|d| {
@@ -174,8 +203,9 @@ pub fn allocate(
         })
         .collect();
 
-    // Step 4: order by metrics, then accelerator compatibility, then the
-    // deterministic node priority.
+    // Step 4: score every candidate once, then order by metrics, warmth
+    // (configured > warm-staged > cold) and the deterministic node
+    // priority.
     let node_rank = |n: &NodeId| {
         policy
             .node_priority
@@ -183,25 +213,35 @@ pub fn allocate(
             .position(|p| p == n)
             .unwrap_or(policy.node_priority.len())
     };
-    candidates.sort_by(|a, b| {
-        for key in &policy.metrics_order {
-            match a.metric(*key).partial_cmp(&b.metric(*key)) {
+    let mut scored: Vec<(&DeviceView, Score)> = candidates
+        .into_iter()
+        .map(|d| {
+            let score = Score {
+                metrics: policy.metrics_order.iter().map(|k| d.metric(*k)).collect(),
+                warmth: warmth_of(query, d),
+                node_rank: node_rank(&d.node),
+            };
+            (d, score)
+        })
+        .collect();
+    scored.sort_by(|(a, sa), (b, sb)| {
+        for (ma, mb) in sa.metrics.iter().zip(&sb.metrics) {
+            match ma.partial_cmp(mb) {
                 Some(std::cmp::Ordering::Equal) | None => continue,
                 Some(other) => return other,
             }
         }
-        let a_compat = query.accelerator_matches(a.bitstream.as_deref());
-        let b_compat = query.accelerator_matches(b.bitstream.as_deref());
-        b_compat
-            .cmp(&a_compat)
-            .then_with(|| node_rank(&a.node).cmp(&node_rank(&b.node)))
+        sb.warmth
+            .cmp(&sa.warmth)
+            .then_with(|| sa.node_rank.cmp(&sb.node_rank))
             .then_with(|| a.id.cmp(&b.id))
     });
+    let candidates: Vec<&DeviceView> = scored.iter().map(|(d, _)| *d).collect();
 
     // Steps 5-12: skip incompatible devices whose tenants cannot move.
     let survived = candidates.len();
-    for (i, dev) in candidates.iter().enumerate() {
-        let compatible = query.accelerator_matches(dev.bitstream.as_deref());
+    for (i, (dev, score)) in scored.iter().enumerate() {
+        let compatible = score.warmth == Warmth::Configured;
         if !compatible && (dev.pending_reconfiguration || !redistributable(dev, &candidates, i)) {
             continue;
         }
@@ -225,6 +265,21 @@ pub fn allocate(
         candidates: survived,
         query: format!("{query:?}"),
     })
+}
+
+/// How cheaply `dev` can serve the queried accelerator.
+fn warmth_of(query: &DeviceQuery, dev: &DeviceView) -> Warmth {
+    if query.accelerator_matches(dev.bitstream.as_deref()) {
+        Warmth::Configured
+    } else if query
+        .accelerator
+        .as_deref()
+        .is_some_and(|acc| dev.warm_bitstreams.iter().any(|w| w == acc))
+    {
+        Warmth::Warm
+    } else {
+        Warmth::Cold
+    }
 }
 
 /// Whether every workload currently on `dev` could run on some *other*
@@ -256,6 +311,7 @@ mod tests {
             vendor: "Intel".to_string(),
             platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
             bitstream: bitstream.map(str::to_string),
+            warm_bitstreams: Vec::new(),
             connected: (0..connected)
                 .map(|i| (format!("{id}-f{i}"), bitstream.map(str::to_string)))
                 .collect(),
@@ -344,6 +400,34 @@ mod tests {
         let got = allocate(&sobel_query(), &devices, &AllocationPolicy::paper()).expect("alloc");
         assert_eq!(got.device_id, "fpga-c");
         assert_eq!(got.reconfigure.as_deref(), Some("sobel"));
+    }
+
+    #[test]
+    fn warm_staged_device_beats_a_cold_one() {
+        // Neither device is configured for sobel, but fpga-c has the
+        // image staged warm; node priority alone would pick fpga-b.
+        let mut warm = dev("fpga-c", "C", Some("mm"), 0, 0.0);
+        warm.warm_bitstreams = vec!["sobel".to_string()];
+        let cold = dev("fpga-b", "B", Some("mm"), 0, 0.0);
+        let got =
+            allocate(&sobel_query(), &[cold, warm], &AllocationPolicy::paper()).expect("alloc");
+        assert_eq!(got.device_id, "fpga-c", "warm staging wins the tie");
+        assert_eq!(got.reconfigure.as_deref(), Some("sobel"));
+    }
+
+    #[test]
+    fn configured_device_beats_a_warm_staged_one() {
+        let mut warm = dev("fpga-b", "B", Some("mm"), 0, 0.0);
+        warm.warm_bitstreams = vec!["sobel".to_string()];
+        let configured = dev("fpga-c", "C", Some("sobel"), 0, 0.0);
+        let got = allocate(
+            &sobel_query(),
+            &[warm, configured],
+            &AllocationPolicy::paper(),
+        )
+        .expect("alloc");
+        assert_eq!(got.device_id, "fpga-c");
+        assert!(got.reconfigure.is_none(), "no reprogram needed");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use bf_cluster::{Cluster, WatchEvent};
 use bf_devmgr::{DeviceManager, ReconfigRequest};
+use bf_metrics::MetricsRegistry;
 use bf_model::NodeId;
 use parking_lot::Mutex;
 
@@ -89,6 +90,7 @@ impl From<AllocateError> for RegistryError {
 pub struct Registry {
     registry: Arc<Mutex<RegistryInner>>,
     cluster: Arc<Mutex<Option<Cluster>>>,
+    metrics: MetricsRegistry,
 }
 
 impl Registry {
@@ -102,7 +104,13 @@ impl Registry {
                 policy,
             })),
             cluster: Arc::new(Mutex::new(None)),
+            metrics: MetricsRegistry::default(),
         }
+    }
+
+    /// The registry's own metrics (placement outcome counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Registers a device (Devices Service).
@@ -200,12 +208,15 @@ impl Registry {
             .values()
             .map(|d| {
                 let id = d.manager.device_id().to_string();
-                let info = {
+                let (configured, warm_bitstreams) = {
                     let board = d.manager.board().lock();
-                    (board.bitstream_id().map(str::to_string),)
+                    (
+                        board.bitstream_id().map(str::to_string),
+                        board.warm_bitstreams().to_vec(),
+                    )
                 };
                 let pending = d.pending_reconfiguration.is_some();
-                let effective_bitstream = d.pending_reconfiguration.clone().or(info.0);
+                let effective_bitstream = d.pending_reconfiguration.clone().or(configured);
                 let connected = inner
                     .bindings
                     .iter()
@@ -224,6 +235,7 @@ impl Registry {
                     vendor: "Intel".to_string(),
                     platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
                     bitstream: effective_bitstream,
+                    warm_bitstreams,
                     connected,
                     utilization: d.utilization,
                     mean_op_latency_ms: d.mean_op_latency_ms,
@@ -259,6 +271,25 @@ impl Registry {
                 .clone();
             let views = Self::views(&inner);
             let decision = allocate(&query, &views, &inner.policy)?;
+            // Placement warmth accounting: did Algorithm 1 land on a
+            // configured board, a warm-staged one, or a cold reprogram?
+            let outcome = match &decision.reconfigure {
+                None => "configured",
+                Some(bitstream) => {
+                    let warm = views.iter().any(|v| {
+                        v.id == decision.device_id
+                            && v.warm_bitstreams.iter().any(|w| w == bitstream)
+                    });
+                    if warm {
+                        "warm"
+                    } else {
+                        "cold"
+                    }
+                }
+            };
+            self.metrics
+                .counter("bf_registry_placements_total", &[("outcome", outcome)])
+                .inc();
             // Bookkeeping: bind the new instance, unbind the displaced,
             // mark the pending reconfiguration so concurrent allocations
             // see the device's future bitstream.

@@ -2,15 +2,16 @@
 //! layer that lets unmodified host code drive a shared remote board.
 
 use crate::sync::Mutex;
+use bf_cache::content_digest;
 use bf_fpga::Payload;
 use bf_model::{NodeId, VirtualClock, VirtualTime};
 use bf_ocl::{
     ArgValue, Backend, ClError, ClResult, CommandType, ContextId, DeviceInfo, Event, KernelId,
     MemId, NdRange, ProgramId, QueueId,
 };
-use bf_rpc::{DataRef, Request, Response, WireArg};
+use bf_rpc::{DataRef, ErrorCode, Request, Response, WireArg};
 
-use crate::connection::Connection;
+use crate::connection::{map_error, Connection};
 
 /// OpenCL backend that remotes every call to a Device Manager over the
 /// connection's gRPC-like channel, using the shared-memory data path when
@@ -183,6 +184,60 @@ impl RemoteBackend {
     fn pipeline_now(&self) -> VirtualTime {
         self.clock.now().max(*self.staging_cursor.lock())
     }
+
+    /// Attempts an `EnqueueWrite` carrying only the payload's digest and
+    /// blocks for the manager's verdict: `Enqueued` confirms the cache
+    /// hit, `CacheMiss` asks for an inline resend. Waiting here (one
+    /// control hop) keeps queue order — nothing else can slip between the
+    /// digest attempt and its inline retry.
+    ///
+    /// # Errors
+    ///
+    /// Manager errors other than `CacheMiss` fail the event and map to
+    /// [`ClError`]; so does a vanished connection.
+    fn try_digest_write(
+        &self,
+        queue: QueueId,
+        buffer: MemId,
+        offset: u64,
+        digest: u64,
+        len: u64,
+        event: &Event,
+    ) -> ClResult<DigestOutcome> {
+        let sent = self.pipeline_now();
+        let rx = self.conn.submit_op_acked(
+            Request::EnqueueWrite {
+                queue: queue.0,
+                buffer: buffer.0,
+                offset,
+                data: DataRef::Digest { digest, len },
+            },
+            sent,
+            event.clone(),
+        )?;
+        match rx.recv() {
+            Ok(Ok(observed)) => Ok(DigestOutcome::Hit(observed)),
+            Ok(Err((ErrorCode::CacheMiss, _))) => Ok(DigestOutcome::Miss),
+            Ok(Err((code, message))) => {
+                let err = map_error(code, message);
+                event.fail(err.clone());
+                Err(err)
+            }
+            // The reactor already failed the event via `fail_pending`.
+            Err(_) => Err(ClError::TransportFailure(
+                "connection thread gone".to_string(),
+            )),
+        }
+    }
+}
+
+/// Verdict of a digest-addressed write attempt.
+enum DigestOutcome {
+    /// The manager held the content; the write is enqueued, observed at
+    /// this client-side instant.
+    Hit(VirtualTime),
+    /// The manager no longer holds the content; resend inline.
+    Miss,
 }
 
 impl std::fmt::Debug for RemoteBackend {
@@ -274,7 +329,43 @@ impl Backend for RemoteBackend {
     ) -> ClResult<Event> {
         let event = Event::new(CommandType::WriteBuffer, self.clock.now());
         event.attach_clock(self.clock.clone());
+        // Content addressing rides the inline (gRPC) data path: when the
+        // manager advertises a payload cache and is believed to hold these
+        // exact bytes, a 16-byte digest reference replaces the payload.
+        let digest = match (self.conn.digest_tracker(), self.conn.shm(), &payload) {
+            (Some(tracker), None, Payload::Data(bytes)) => {
+                Some((tracker, content_digest(bytes), bytes.len() as u64))
+            }
+            _ => None,
+        };
+        if let Some((tracker, digest, len)) = digest {
+            if tracker.holds(digest) {
+                match self.try_digest_write(queue, buffer, offset, digest, len, &event)? {
+                    DigestOutcome::Hit(observed) => {
+                        // Zero payload bytes on the wire; the caller pays
+                        // one control round trip instead of staging.
+                        self.clock.advance_to(observed);
+                        if blocking {
+                            self.conn
+                                .cast(Request::Flush { queue: queue.0 }, observed)?;
+                            event.wait()?;
+                        }
+                        return Ok(event);
+                    }
+                    DigestOutcome::Miss => {
+                        // Stale tracker entry — the manager evicted since
+                        // we last sent. Degrade to one inline (re)send.
+                        tracker.forget(digest);
+                    }
+                }
+            }
+        }
         let (data, region, ready) = self.stage_payload(payload)?;
+        if let (Some((tracker, digest, _)), DataRef::Inline(_)) = (digest, &data) {
+            // The manager admits inline payloads at staging time, so the
+            // next identical write can travel as a digest.
+            tracker.note_sent(digest);
+        }
         self.conn.submit_op(
             Request::EnqueueWrite {
                 queue: queue.0,

@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bf_cache::DigestTracker;
 use bf_fpga::Payload;
 use bf_model::{VirtualDuration, VirtualTime};
 use bf_ocl::{ClError, ClResult, Event};
@@ -16,12 +17,17 @@ use bf_rpc::{
 };
 // bf-lint: allow(raw_sync): one-shot rendezvous channels pairing a blocked
 // sync caller with its response; created fresh per call, never contended
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::reactor::Reactor;
 use crate::state_machine::OpStateMachine;
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::Mutex;
+
+/// Digests remembered per connection. Deliberately generous next to a
+/// manager cache's typical entry count: a stale tracker entry costs one
+/// `CacheMiss` round trip, a forgotten one costs a full payload send.
+const TRACKER_ENTRIES: usize = 1024;
 
 /// What the connection thread should do with a tagged response.
 enum Pending {
@@ -43,7 +49,16 @@ struct OpPending {
     write_region: Option<u64>,
     /// Expected read length (reads only), for cost accounting.
     read_len: Option<u64>,
+    /// One-shot verdict channel for acked submissions ([`Connection::
+    /// submit_op_acked`]): `Ok(observed)` on `Enqueued`, the error pair on
+    /// a NACK. While armed, a manager error is *not* applied to the event
+    /// — the blocked submitter decides (e.g. resend inline after a
+    /// `CacheMiss`).
+    ack: Option<Sender<AckVerdict>>,
 }
+
+/// First-response verdict of an acked submission.
+pub(crate) type AckVerdict = Result<VirtualTime, (ErrorCode, String)>;
 
 pub(crate) struct ConnectionInner {
     client: ClientId,
@@ -52,6 +67,9 @@ pub(crate) struct ConnectionInner {
     shm: Option<ShmSegment>,
     pending: Mutex<HashMap<u64, Pending>>,
     next_tag: AtomicU64,
+    /// Digests the manager's payload cache is believed to hold; present
+    /// only when the endpoint advertised a cache.
+    tracker: Option<DigestTracker>,
 }
 
 /// A live connection to one Device Manager.
@@ -83,6 +101,7 @@ impl Connection {
             shm: endpoint.shm,
             pending: Mutex::new(HashMap::new()),
             next_tag: AtomicU64::new(1),
+            tracker: endpoint.cache.then(|| DigestTracker::new(TRACKER_ENTRIES)),
         });
         // The reactor gets a non-owning tap plus a Weak backref, so this
         // connection's lifetime stays with its callers: dropping the last
@@ -105,6 +124,11 @@ impl Connection {
     /// The shared-memory segment, when granted.
     pub fn shm(&self) -> Option<&ShmSegment> {
         self.inner.shm.as_ref()
+    }
+
+    /// The digest tracker, when the manager advertised a payload cache.
+    pub fn digest_tracker(&self) -> Option<&DigestTracker> {
+        self.inner.tracker.as_ref()
     }
 
     fn fresh_tag(&self) -> u64 {
@@ -189,9 +213,43 @@ impl Connection {
                 machine,
                 write_region,
                 read_len,
+                ack: None,
             })),
         );
         self.send(tag, body, sent_at)
+    }
+
+    /// Like [`submit_op`](Self::submit_op), but returns a one-shot
+    /// receiver for the manager's first response: `Ok(observed_instant)`
+    /// once the operation is `Enqueued`, or the NACK pair. While the ack
+    /// is outstanding a manager error is handed to the receiver *instead
+    /// of* the event, so the caller can retry (the `CacheMiss` inline
+    /// resend) without the event ever observing a failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport failure if the manager is gone.
+    pub(crate) fn submit_op_acked(
+        &self,
+        body: Request,
+        sent_at: VirtualTime,
+        event: Event,
+    ) -> ClResult<Receiver<AckVerdict>> {
+        let tag = self.fresh_tag();
+        let machine = OpStateMachine::new(event.command());
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(
+            tag,
+            Pending::Op(Box::new(OpPending {
+                event,
+                machine,
+                write_region: None,
+                read_len: None,
+                ack: Some(tx),
+            })),
+        );
+        self.send(tag, body, sent_at)?;
+        Ok(rx)
     }
 
     fn send(&self, tag: u64, body: Request, sent_at: VirtualTime) -> ClResult<()> {
@@ -272,6 +330,9 @@ fn advance_op(inner: &Arc<ConnectionInner>, op: &mut OpPending, resp: ResponseEn
             op.machine.on_enqueued();
             // Submission instant at the manager, observed locally.
             op.event.mark_submitted(resp.sent_at);
+            if let Some(ack) = op.ack.take() {
+                let _ = ack.send(Ok(resp.sent_at + inner.costs.control_hop()));
+            }
             true
         }
         Response::Completed {
@@ -293,6 +354,14 @@ fn advance_op(inner: &Arc<ConnectionInner>, op: &mut OpPending, resp: ResponseEn
                     // The payload moves through as a refcounted view of
                     // the response frame — no copy.
                     Some(Payload::Data(bytes.into_bytes()))
+                }
+                // Managers never answer reads with digest references.
+                Some(DataRef::Digest { .. }) => {
+                    op.machine.on_error();
+                    op.event.fail(ClError::TransportFailure(
+                        "manager sent a digest reference for a read".to_string(),
+                    ));
+                    return false;
                 }
                 Some(DataRef::Shm { offset, len }) => {
                     op.machine.on_buffer();
@@ -334,6 +403,13 @@ fn advance_op(inner: &Arc<ConnectionInner>, op: &mut OpPending, resp: ResponseEn
             if let (Some(region), Some(shm)) = (op.write_region.take(), inner.shm.as_ref()) {
                 let _ = shm.free(region);
             }
+            if let Some(ack) = op.ack.take() {
+                // The blocked submitter owns the verdict: a `CacheMiss`
+                // turns into an inline resend on the same (untouched)
+                // event rather than a failure.
+                let _ = ack.send(Err((code, message)));
+                return false;
+            }
             op.machine.on_error();
             op.event.fail(map_error(code, message));
             false
@@ -354,6 +430,10 @@ pub fn map_error(code: ErrorCode, message: String) -> ClError {
         ErrorCode::InvalidLaunch => ClError::InvalidKernelLaunch(message),
         ErrorCode::ReconfigurationRefused => ClError::AccessDenied(message),
         ErrorCode::Internal => ClError::TransportFailure(message),
+        // A cache miss is normally consumed by the inline-resend path in
+        // `handle_response`; one that leaks means the retry state was
+        // already gone, which only a broken connection can cause.
+        ErrorCode::CacheMiss => ClError::TransportFailure(message),
     }
 }
 

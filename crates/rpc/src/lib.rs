@@ -94,6 +94,7 @@ mod proptests {
             arb_payload().prop_map(|v| DataRef::Inline(v.into())),
             (any::<u64>(), any::<u64>()).prop_map(|(offset, len)| DataRef::Shm { offset, len }),
             any::<u64>().prop_map(DataRef::Synthetic),
+            (any::<u64>(), any::<u64>()).prop_map(|(digest, len)| DataRef::Digest { digest, len }),
         ]
     }
 
@@ -189,6 +190,7 @@ mod proptests {
             Just(ErrorCode::InvalidLaunch),
             Just(ErrorCode::ReconfigurationRefused),
             Just(ErrorCode::Internal),
+            Just(ErrorCode::CacheMiss),
         ]
     }
 
@@ -282,6 +284,39 @@ mod proptests {
             data.encode(&mut legacy);
             let frame = DataRef::Inline(data.into()).to_bytes();
             prop_assert_eq!(frame, legacy.freeze());
+        }
+
+        /// The `DataRef::Digest` wire extension is purely additive: every
+        /// pre-extension `DataRef` form still encodes to the exact frame
+        /// bytes the pre-cache codec produced (discriminants 0/1/2 with
+        /// unchanged field layouts), so old frames decode byte-identically.
+        #[test]
+        fn pre_digest_dataref_frames_are_byte_identical(
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+            offset in any::<u64>(),
+            len in any::<u64>(),
+        ) {
+            use bytes::BufMut;
+            use crate::codec::put_varint;
+            let mut legacy_inline = bytes::BytesMut::new();
+            legacy_inline.put_u8(0);
+            data.encode(&mut legacy_inline);
+            prop_assert_eq!(
+                DataRef::Inline(data.into()).to_bytes(),
+                legacy_inline.freeze()
+            );
+            let mut legacy_shm = bytes::BytesMut::new();
+            legacy_shm.put_u8(1);
+            put_varint(&mut legacy_shm, offset);
+            put_varint(&mut legacy_shm, len);
+            prop_assert_eq!(
+                DataRef::Shm { offset, len }.to_bytes(),
+                legacy_shm.freeze()
+            );
+            let mut legacy_synth = bytes::BytesMut::new();
+            legacy_synth.put_u8(2);
+            put_varint(&mut legacy_synth, len);
+            prop_assert_eq!(DataRef::Synthetic(len).to_bytes(), legacy_synth.freeze());
         }
 
         /// Decoding arbitrary garbage never panics.

@@ -45,6 +45,16 @@ pub enum DataRef {
     },
     /// Size-only placeholder for timing-only runs.
     Synthetic(u64),
+    /// Content the receiver is believed to already hold, addressed by
+    /// its FNV-1a digest: zero payload bytes on the wire. A receiver
+    /// without the content answers `ErrorCode::CacheMiss` and the sender
+    /// retries inline.
+    Digest {
+        /// FNV-1a content digest (`bf_cache::content_digest`).
+        digest: u64,
+        /// Payload length in bytes.
+        len: u64,
+    },
 }
 
 impl DataRef {
@@ -52,7 +62,9 @@ impl DataRef {
     pub fn len(&self) -> u64 {
         match self {
             DataRef::Inline(d) => d.len() as u64,
-            DataRef::Shm { len, .. } | DataRef::Synthetic(len) => *len,
+            DataRef::Shm { len, .. } | DataRef::Synthetic(len) | DataRef::Digest { len, .. } => {
+                *len
+            }
         }
     }
 
@@ -237,6 +249,9 @@ pub enum ErrorCode {
     ReconfigurationRefused,
     /// Internal manager failure.
     Internal,
+    /// A `DataRef::Digest` named content the manager's cache does not
+    /// hold: the sender must retry with the bytes inline.
+    CacheMiss,
 }
 
 /// Response bodies of the Device Manager service.
@@ -327,6 +342,11 @@ impl WireEncode for DataRef {
                 buf.put_u8(2);
                 put_varint(buf, *len);
             }
+            DataRef::Digest { digest, len } => {
+                buf.put_u8(3);
+                put_varint(buf, *digest);
+                put_varint(buf, *len);
+            }
         }
     }
 }
@@ -343,6 +363,10 @@ impl WireDecode for DataRef {
                 len: get_varint(buf)?,
             }),
             2 => Ok(DataRef::Synthetic(get_varint(buf)?)),
+            3 => Ok(DataRef::Digest {
+                digest: get_varint(buf)?,
+                len: get_varint(buf)?,
+            }),
             value => Err(CodecError::BadDiscriminant {
                 what: "DataRef",
                 value,
@@ -592,6 +616,7 @@ impl WireEncode for ErrorCode {
             ErrorCode::InvalidLaunch => 5,
             ErrorCode::ReconfigurationRefused => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::CacheMiss => 8,
         });
     }
 }
@@ -610,6 +635,7 @@ impl WireDecode for ErrorCode {
             5 => ErrorCode::InvalidLaunch,
             6 => ErrorCode::ReconfigurationRefused,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::CacheMiss,
             value => {
                 return Err(CodecError::BadDiscriminant {
                     what: "ErrorCode",
@@ -797,6 +823,15 @@ mod tests {
                 len: 1 << 20,
             },
         });
+        round_trip_req(Request::EnqueueWrite {
+            queue: 1,
+            buffer: 2,
+            offset: 32,
+            data: DataRef::Digest {
+                digest: 0xcbf2_9ce4_8422_2325,
+                len: 1 << 20,
+            },
+        });
         round_trip_req(Request::EnqueueRead {
             queue: 1,
             buffer: 2,
@@ -846,6 +881,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::AccessDenied,
                 message: "not yours".into(),
+            },
+            Response::Error {
+                code: ErrorCode::CacheMiss,
+                message: "digest not resident".into(),
             },
         ] {
             let env = ResponseEnvelope {

@@ -95,6 +95,15 @@ fn request_corpus() -> Vec<RequestEnvelope> {
             offset: 0,
             data: DataRef::Synthetic(u64::MAX),
         },
+        Request::EnqueueWrite {
+            queue: 5,
+            buffer: 9,
+            offset: 0,
+            data: DataRef::Digest {
+                digest: u64::MAX,
+                len: LARGE as u64,
+            },
+        },
         Request::EnqueueRead {
             queue: 5,
             buffer: 9,
@@ -143,6 +152,7 @@ fn response_corpus() -> Vec<ResponseEnvelope> {
         ErrorCode::InvalidLaunch,
         ErrorCode::ReconfigurationRefused,
         ErrorCode::Internal,
+        ErrorCode::CacheMiss,
     ];
     let mut bodies = vec![
         Response::Ack,

@@ -23,6 +23,9 @@
 //!   behind Tables II–IV's processed-vs-target gaps;
 //! * [`OpenLoopPacer`] — fixed-rate arrivals decoupled from completions,
 //!   under which overload surfaces as queue growth and sheds instead;
+//! * [`route_batch`] — batch co-location: sends a drained batch to the
+//!   board that serves its accelerator most cheaply (configured >
+//!   warm-staged > cold, shortest queue as the tie-break);
 //! * [`table1_rates`] — the paper's Table I load matrix;
 //! * [`Autoscaler`] — the gateway-side replica scaler (OpenFaaS-style
 //!   per-replica load targets with scale-down hysteresis, plus
@@ -53,12 +56,14 @@
 
 mod autoscale;
 mod batch;
+mod colocate;
 mod gateway;
 mod invoke;
 mod load;
 
 pub use autoscale::{AutoscaleError, AutoscalePolicy, Autoscaler, LoadSignal, ReconcileAction};
 pub use batch::{Batch, Batcher, SubmitError, Ticket};
+pub use colocate::{route_batch, BoardSnapshot, BoardWarmth};
 pub use gateway::{
     run_closed_loop, run_open_loop, FunctionStats, Gateway, GatewayError, LoadRunResult,
     OpenLoopResult, Outcome,

@@ -58,6 +58,7 @@ fn blastfunction_placement(use_case: UseCase, count: usize) -> Vec<usize> {
             vendor: "Intel".to_string(),
             platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
             bitstream: Some(bitstream.to_string()),
+            warm_bitstreams: Vec::new(),
             connected: HashMap::new(),
             utilization: 0.0,
             mean_op_latency_ms: 0.0,

@@ -330,3 +330,125 @@ fn cross_tenant_buffers_are_unreachable() {
         }
     }
 }
+
+fn cached_manager(id: &str, node: bf_model::NodeSpec, board: Arc<Mutex<Board>>) -> DeviceManager {
+    DeviceManager::new(
+        DeviceManagerConfig::standalone(id)
+            .with_shm_capacity(1 << 24)
+            .with_payload_cache(1 << 20),
+        node,
+        board,
+        catalog(),
+    )
+}
+
+#[test]
+fn evicted_payload_digest_nack_resends_inline_without_stale_bytes() {
+    let manager = cached_manager("fpga-b", node_b(), small_board(1 << 24));
+    let device = connect(&manager, PathCosts::local_grpc());
+    let ctx = device.create_context().expect("ctx");
+    let buf = ctx.create_buffer(64).expect("buffer");
+    let queue = ctx.create_queue().expect("queue");
+
+    let old = vec![1u8; 64];
+    let new = vec![2u8; 64];
+    // First send travels inline and is admitted to the manager's cache;
+    // the repeat ships only the digest and the host tier resolves it.
+    queue.write(&buf, old.clone()).expect("inline write");
+    queue.write(&buf, old.clone()).expect("digest write");
+    let stats = manager.cache_stats().expect("cache enabled");
+    assert!(stats.hits >= 1, "repeat write must hit: {stats:?}");
+
+    // Overwrite with different content, then wipe the manager's cache —
+    // the eviction / node-restart case. The client's tracker still
+    // believes the manager holds `old`.
+    queue.write(&buf, new.clone()).expect("write new");
+    manager.invalidate_payload_cache();
+
+    // The stale digest must surface as a CacheMiss NACK and a
+    // transparent inline resend — the buffer ends up holding `old`. A
+    // broken NACK path would either fail the write or leave `new` in
+    // place (a stale "hit" skipping the transfer).
+    queue.write(&buf, old.clone()).expect("stale digest resend");
+    assert_eq!(queue.read_vec(&buf).expect("read"), old);
+    let stats = manager.cache_stats().expect("cache enabled");
+    assert!(
+        stats.misses >= 1,
+        "the stale digest must be counted as a miss: {stats:?}"
+    );
+}
+
+#[test]
+fn node_death_migration_never_reuses_stale_cache_or_bitstream() {
+    // The victim node serves a cache-hot session: payload resident on
+    // both tiers, board programmed with the function's bitstream.
+    let victim_board = small_board(1 << 24);
+    let victim = cached_manager("fpga-b", node_b(), victim_board.clone());
+    let device = connect(&victim, PathCosts::local_grpc());
+    let ctx = device.create_context().expect("ctx");
+    let buf = ctx.create_buffer(256).expect("buffer");
+    let queue = ctx.create_queue().expect("queue");
+    let payload = vec![0x5Au8; 256];
+    queue.write(&buf, payload.clone()).expect("inline write");
+    queue.write(&buf, payload.clone()).expect("digest write");
+    assert!(
+        victim.cache_stats().expect("cache enabled").hits >= 1,
+        "the victim session must be cache-hot before the loss"
+    );
+
+    // Node death: the manager's cache dies with the process. The
+    // replacement on another node shares neither tier nor tracker state.
+    victim.invalidate_payload_cache();
+    let replacement_board = small_board(1 << 24);
+    let replacement = cached_manager("fpga-c", node_c(), replacement_board.clone());
+    let rerouted = connect(&replacement, PathCosts::local_grpc());
+    let ctx2 = rerouted.create_context().expect("ctx");
+    let buf2 = ctx2.create_buffer(256).expect("buffer");
+    let queue2 = ctx2.create_queue().expect("queue");
+
+    // The re-routed invocation ships its payload inline: a fresh
+    // connection's tracker cannot claim residency the replacement does
+    // not have, so no stale digest hit is possible.
+    queue2
+        .write(&buf2, payload.clone())
+        .expect("re-routed write");
+    let stats = replacement.cache_stats().expect("cache enabled");
+    assert_eq!(
+        stats.hits, 0,
+        "no digest may hit a fresh manager: {stats:?}"
+    );
+    assert!(
+        stats.insertions >= 1,
+        "payload must be re-admitted: {stats:?}"
+    );
+    assert_eq!(queue2.read_vec(&buf2).expect("read"), payload);
+
+    // The replacement board holds no bitstream from the victim: the
+    // kernel path must program it before the first launch.
+    assert!(
+        replacement_board.lock().bitstream_id().is_none(),
+        "replacement must start unconfigured"
+    );
+    let program = ctx2.build_program(sobel::SOBEL_BITSTREAM).expect("program");
+    let kernel = program.create_kernel(sobel::SOBEL_KERNEL).expect("kernel");
+    let frame = sobel::frame_bytes(8, 8);
+    let input = ctx2.create_buffer(frame).expect("input");
+    let output = ctx2.create_buffer(frame).expect("output");
+    kernel.set_arg_buffer(0, &input).expect("arg 0");
+    kernel.set_arg_buffer(1, &output).expect("arg 1");
+    kernel.set_arg(2, ArgValue::U32(8)).expect("arg 2");
+    kernel.set_arg(3, ArgValue::U32(8)).expect("arg 3");
+    queue2
+        .write(&input, vec![9u8; frame as usize])
+        .expect("frame write");
+    let ev = queue2
+        .launch(&kernel, NdRange::d2(8, 8))
+        .expect("launch accepted");
+    queue2.flush().expect("flush");
+    ev.wait().expect("kernel must run after reprogramming");
+    assert_eq!(
+        replacement_board.lock().bitstream_id(),
+        Some(sobel::SOBEL_BITSTREAM),
+        "the replacement programmed the bitstream itself"
+    );
+}
