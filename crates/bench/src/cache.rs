@@ -6,7 +6,8 @@
 //! serverless hot-set shape (a few popular function inputs dominate the
 //! stream). With the cache off every request ships its payload inline;
 //! with it on, a repeat of content the manager still holds travels as a
-//! 16-byte digest reference and the host tier resolves it locally, so
+//! 16-byte (truncated SHA-256) digest reference and the host tier
+//! resolves it locally, so
 //! the wire carries payload bytes only for first occurrences and
 //! post-eviction resends (the `CacheMiss` NACK path).
 //!
@@ -244,7 +245,14 @@ pub fn check_cache_invariants(rows: &[CacheBenchRow]) -> Result<(), String> {
                 }
             }
             "cache" => {
-                let reduction = r.reduction.unwrap_or(0.0);
+                // `reduction` is left unset when the cache elided every
+                // wire byte (a perfect hit run): that is an infinite
+                // reduction, not a failing zero.
+                let reduction = if r.wire_bytes_per_request == 0 {
+                    f64::INFINITY
+                } else {
+                    r.reduction.unwrap_or(0.0)
+                };
                 if reduction < 5.0 {
                     return Err(format!(
                         "{}: hot-set wire-bytes reduction {reduction:.2}x under the 5x floor",

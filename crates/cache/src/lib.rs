@@ -1,6 +1,8 @@
 //! **bf-cache**: the content-addressed cache layer on the zero-copy path.
 //!
-//! Payloads are keyed by their FNV-1a content digest and held as
+//! Payloads are keyed by their content digest — SHA-256 truncated to 128
+//! bits, so a digest hit can substitute cached bytes without a
+//! collision-resistance caveat — and held as
 //! refcounted [`Bytes`], so every cache operation is a refcount bump:
 //! [`PayloadCache::get`] hands out a snapshot that stays valid after the
 //! entry is evicted or invalidated (the reader holds its own reference),
@@ -21,9 +23,14 @@
 //!   invalidated wholesale on reprogramming (the board wipes DDR) and
 //!   per-buffer on free or kernel writes.
 //!
-//! The client side mirrors admission with a [`DigestTracker`]: a bounded
-//! set of digests the peer is believed to hold. The tracker may run
-//! stale (the peer evicts independently); the wire protocol's
+//! Both ends of a connection bound their bookkeeping with a
+//! [`DigestTracker`]: the client tracks digests the peer is believed to
+//! hold, and the manager tracks, per session, digests that session
+//! itself shipped inline — cache *storage* is shared across sessions,
+//! but a hit is only authorized against content the requesting session
+//! already proved it possesses, so a guessed digest can never disclose
+//! another tenant's resident bytes (the dedup side-channel). Trackers
+//! may run stale (the peer evicts independently); the wire protocol's
 //! `CacheMiss` NACK makes that safe — a stale digest send degrades to one
 //! extra round trip, never to wrong bytes.
 //!
@@ -39,20 +46,23 @@ use serde::Serialize;
 
 use bf_race::sync::Mutex;
 
-/// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+mod sha256;
 
-/// The FNV-1a content digest of a byte string: the cache key and the
-/// value carried by `DataRef::Digest` on the wire.
-pub fn content_digest(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
+/// The content digest of a byte string: the cache key and the value
+/// carried by `DataRef::Digest` on the wire (16 fixed bytes).
+///
+/// This is the first 128 bits (big-endian) of the payload's SHA-256. A
+/// digest hit substitutes cached bytes for content the sender never
+/// shipped on that request, so the digest must be collision-resistant —
+/// a constructible (or birthday-bound accidental) collision between two
+/// same-length payloads would make the manager silently stage the wrong
+/// bytes. 128 truncated SHA-256 bits keep that probability negligible at
+/// fleet scale; a non-cryptographic hash would not.
+pub fn content_digest(bytes: &[u8]) -> u128 {
+    let d = sha256::sha256(bytes);
+    d.iter()
+        .take(16)
+        .fold(0u128, |acc, &b| (acc << 8) | u128::from(b))
 }
 
 /// A point-in-time reading of one cache's counters. Every field is
@@ -103,11 +113,11 @@ struct Entry {
 type DeviceRegion = (u64, u64);
 
 struct CacheState {
-    entries: HashMap<u64, Entry>,
+    entries: HashMap<u128, Entry>,
     /// Clock hand order over digests; second chance via `referenced`.
-    clock: VecDeque<u64>,
+    clock: VecDeque<u128>,
     resident_bytes: u64,
-    device: HashMap<DeviceRegion, (u64, u64)>,
+    device: HashMap<DeviceRegion, (u128, u64)>,
     stats: CacheStats,
 }
 
@@ -142,7 +152,7 @@ impl PayloadCache {
     /// (a refcount bump, never a copy) that stays valid even if the
     /// entry is evicted before the reader finishes, and counts the
     /// entry's length as bytes kept off the wire.
-    pub fn get(&self, digest: u64) -> Option<Bytes> {
+    pub fn get(&self, digest: u128) -> Option<Bytes> {
         let mut state = self.payload_cache.lock();
         match state.entries.get_mut(&digest) {
             Some(entry) => {
@@ -161,7 +171,7 @@ impl PayloadCache {
 
     /// Whether `digest` is resident, without touching the hit/miss
     /// counters or the clock bit.
-    pub fn holds_digest(&self, digest: u64) -> bool {
+    pub fn holds_digest(&self, digest: u128) -> bool {
         self.payload_cache.lock().entries.contains_key(&digest)
     }
 
@@ -169,7 +179,7 @@ impl PayloadCache {
     /// entry fits. Adoption is a refcount bump. Returns `false` (and
     /// admits nothing) when the payload alone exceeds the budget or the
     /// digest is already resident.
-    pub fn insert(&self, digest: u64, bytes: Bytes) -> bool {
+    pub fn insert(&self, digest: u128, bytes: Bytes) -> bool {
         let len = bytes.len() as u64;
         if len > self.capacity_bytes {
             return false;
@@ -201,7 +211,7 @@ impl PayloadCache {
     /// content `(digest, len)`. Any previously tracked region of the
     /// same buffer that overlaps the new write is dropped first (the
     /// write clobbered it).
-    pub fn note_device_resident(&self, buffer: u64, offset: u64, digest: u64, len: u64) {
+    pub fn note_device_resident(&self, buffer: u64, offset: u64, digest: u128, len: u64) {
         let mut state = self.payload_cache.lock();
         drop_overlapping(&mut state, buffer, offset, len);
         // bf-flow: allow(hot_alloc): one entry per non-overlapping
@@ -213,7 +223,7 @@ impl PayloadCache {
 
     /// Whether the device region `(buffer, offset)` already holds
     /// exactly `(digest, len)`. A hit counts the skipped PCIe bytes.
-    pub fn device_resident(&self, buffer: u64, offset: u64, digest: u64, len: u64) -> bool {
+    pub fn device_resident(&self, buffer: u64, offset: u64, digest: u128, len: u64) -> bool {
         let mut state = self.payload_cache.lock();
         let hit = state.device.get(&(buffer, offset)) == Some(&(digest, len));
         if hit {
@@ -330,8 +340,8 @@ pub struct DigestTracker {
 }
 
 struct TrackState {
-    known: HashMap<u64, bool>,
-    clock: VecDeque<u64>,
+    known: HashMap<u128, bool>,
+    clock: VecDeque<u128>,
 }
 
 impl DigestTracker {
@@ -348,7 +358,7 @@ impl DigestTracker {
 
     /// Records that the peer was just sent (and therefore admitted)
     /// this content.
-    pub fn note_sent(&self, digest: u64) {
+    pub fn note_sent(&self, digest: u128) {
         let mut state = self.digest_track.lock();
         if let Some(referenced) = state.known.get_mut(&digest) {
             *referenced = true;
@@ -361,6 +371,8 @@ impl DigestTracker {
             match state.known.get_mut(&old) {
                 Some(referenced) if *referenced => {
                     *referenced = false;
+                    // bf-flow: allow(hot_alloc): second-chance requeue of a
+                    // popped entry — the clock never exceeds `max_entries`
                     state.clock.push_back(old);
                 }
                 Some(_) => {
@@ -369,12 +381,15 @@ impl DigestTracker {
                 None => {}
             }
         }
+        // bf-flow: allow(hot_alloc): the eviction loop above just enforced
+        // `known.len() < max_entries`, so both structures stay capped
         state.known.insert(digest, false);
+        // bf-flow: allow(hot_alloc): same `max_entries` cap as the insert
         state.clock.push_back(digest);
     }
 
     /// Whether the peer is believed to hold this content.
-    pub fn holds(&self, digest: u64) -> bool {
+    pub fn holds(&self, digest: u128) -> bool {
         let mut state = self.digest_track.lock();
         match state.known.get_mut(&digest) {
             Some(referenced) => {
@@ -386,8 +401,14 @@ impl DigestTracker {
     }
 
     /// Drops one digest: the peer NACKed it (evicted or invalidated).
-    pub fn forget(&self, digest: u64) {
-        self.digest_track.lock().known.remove(&digest);
+    /// The clock entry goes too — otherwise a long-lived connection with
+    /// frequent NACKs whose tracker never refills to capacity would
+    /// accumulate stale clock entries without bound.
+    pub fn forget(&self, digest: u128) {
+        let mut state = self.digest_track.lock();
+        if state.known.remove(&digest).is_some() {
+            state.clock.retain(|d| *d != digest);
+        }
     }
 
     /// Drops everything: the connection moved to a different peer.
@@ -417,10 +438,16 @@ mod tests {
     }
 
     #[test]
-    fn digest_is_fnv1a() {
-        assert_eq!(content_digest(b""), FNV_OFFSET);
-        // Reference vector: FNV-1a 64 of "a".
-        assert_eq!(content_digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+    fn digest_is_truncated_sha256() {
+        // First 16 bytes of the FIPS 180-4 vectors (big-endian).
+        assert_eq!(
+            content_digest(b""),
+            0xe3b0_c442_98fc_1c14_9afb_f4c8_996f_b924
+        );
+        assert_eq!(
+            content_digest(b"abc"),
+            0xba78_16bf_8f01_cfea_4141_40de_5dae_2223
+        );
         assert_ne!(content_digest(b"ab"), content_digest(b"ba"));
     }
 
@@ -517,6 +544,20 @@ mod tests {
         assert!(!tracker.holds(2));
         tracker.clear();
         assert!(tracker.is_empty());
+    }
+
+    #[test]
+    fn forget_purges_the_clock_entry_too() {
+        let tracker = DigestTracker::new(8);
+        // NACK-forget every digest in a loop without ever filling the
+        // tracker to capacity: the clock must not accumulate stale
+        // entries (it is only compacted under capacity pressure).
+        for digest in 0..1_000u128 {
+            tracker.note_sent(digest);
+            tracker.forget(digest);
+        }
+        assert!(tracker.is_empty());
+        assert_eq!(tracker.digest_track.lock().clock.len(), 0);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! A minimal SHA-256 (FIPS 180-4), vendored std-only because the build
+//! environment has no crates.io access.
+//!
+//! The payload cache substitutes resident bytes for a bare digest
+//! reference, so the digest must be *collision-resistant*: with a
+//! non-cryptographic hash (the original FNV-1a design) two distinct
+//! same-length payloads with equal digests are trivially constructible,
+//! and the manager would silently write the wrong bytes into a buffer.
+//! Truncating SHA-256 to 128 bits keeps both the adversarial and the
+//! birthday-bound accidental collision probability negligible at any
+//! realistic fleet scale.
+
+/// Round constants: fractional parts of the cube roots of the first 64
+/// primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// Initial hash state: fractional parts of the square roots of the first
+/// 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// One compression round over a 64-byte block.
+fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    // The first 16 schedule words are the block itself, big-endian.
+    for (slot, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+        *slot = chunk.iter().fold(0u32, |acc, &b| (acc << 8) | u32::from(b));
+    }
+    for i in 16..64 {
+        // bf-flow: allow(hot_panic): `i` ranges over 16..64 inside the
+        // fixed 64-entry schedule — every index is in range by construction
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        // bf-flow: allow(hot_panic): same fixed-schedule bound as above
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        // bf-flow: allow(hot_panic): same fixed-schedule bound as above
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        // bf-flow: allow(hot_panic): `i < 64` indexes the 64-entry round
+        // constant table and schedule — in range by construction
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+        *slot = slot.wrapping_add(v);
+    }
+}
+
+/// SHA-256 of `data`.
+pub(crate) fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = H0;
+    let mut block = [0u8; 64];
+    let mut chunks = data.chunks_exact(64);
+    for chunk in &mut chunks {
+        block.copy_from_slice(chunk);
+        compress(&mut h, &block);
+    }
+    // Padding (§5.1.1): 0x80, zeros, then the 64-bit big-endian message
+    // bit length; spills into a second block when fewer than 9 bytes of
+    // the last one remain. Written iterator-style: the remainder is
+    // shorter than a block by construction, so nothing can go out of
+    // range — and nothing here can panic the hot path.
+    let rem = chunks.remainder();
+    block = [0u8; 64];
+    for (dst, &src) in block.iter_mut().zip(rem) {
+        *dst = src;
+    }
+    if let Some(slot) = block.get_mut(rem.len()) {
+        *slot = 0x80;
+    }
+    if rem.len() + 1 + 8 > 64 {
+        compress(&mut h, &block);
+        block = [0u8; 64];
+    }
+    let len_bits = ((data.len() as u64).wrapping_mul(8)).to_be_bytes();
+    for (dst, &src) in block.iter_mut().skip(56).zip(&len_bits) {
+        *dst = src;
+    }
+    compress(&mut h, &block);
+    let mut out = [0u8; 32];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: [u8; 32]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex(sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // 56 bytes: the padding spills into a second block.
+        assert_eq!(
+            hex(sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // One full block of zeros (the well-known Merkle zero hash).
+        assert_eq!(
+            hex(sha256(&[0u8; 64])),
+            "f5a5fd42d16a20302798ef6ed309979b43003d2320d9f0e8ea9831a92759fb4b"
+        );
+        // 63 / 64 / 65 bytes of 'a': every padding split around the
+        // block boundary.
+        assert_eq!(
+            hex(sha256(&[b'a'; 63])),
+            "7d3e74a05d7db15bce4ad9ec0658ea98e3f06eeecf16b4c6fff2da457ddc2f34"
+        );
+        assert_eq!(
+            hex(sha256(&[b'a'; 64])),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+        assert_eq!(
+            hex(sha256(&[b'a'; 65])),
+            "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0"
+        );
+    }
+}

@@ -246,6 +246,95 @@ mod tests {
         assert!(matches!(d.wait_tag(ft), Response::Completed { .. }));
     }
 
+    /// The payload cache's *storage* is shared across a manager's
+    /// sessions, but hits are authorized per session: a client naming the
+    /// digest of content only *another* tenant shipped gets a `CacheMiss`
+    /// NACK — indistinguishable from a plain miss — never that tenant's
+    /// bytes. Content addressing must not be a dedup side-channel.
+    #[test]
+    fn digest_of_another_tenants_content_never_hits() {
+        let board = Arc::new(Mutex::new(Board::new(
+            BoardSpec::de5a_net(),
+            PcieLink::new(PcieGeneration::Gen3, 8),
+        )));
+        let mgr = DeviceManager::new(
+            DeviceManagerConfig::standalone("fpga-test").with_payload_cache(1 << 20),
+            node_b(),
+            board,
+            catalog(),
+        );
+        let secret = vec![0x42u8; 64];
+        let digest = content_digest(&secret);
+
+        // Alice ships her payload inline: resident in the shared store
+        // and hit-authorized for *her* session only.
+        let mut alice = Driver::new(&mgr, PathCosts::local_grpc());
+        let a_ctx = alice.handle(Request::CreateContext);
+        let a_buf = alice.handle(Request::CreateBuffer {
+            context: a_ctx,
+            len: 64,
+        });
+        let a_queue = alice.handle(Request::CreateQueue { context: a_ctx });
+        let wt = alice.send(Request::EnqueueWrite {
+            queue: a_queue,
+            buffer: a_buf,
+            offset: 0,
+            data: DataRef::Inline(secret.clone().into()),
+        });
+        assert!(matches!(alice.wait_tag(wt), Response::Enqueued));
+
+        // Mallory guessed the (low-entropy) content and probes its digest
+        // without ever shipping the bytes: the manager must answer
+        // exactly like a miss.
+        let mut mallory = Driver::new(&mgr, PathCosts::local_grpc());
+        let m_ctx = mallory.handle(Request::CreateContext);
+        let m_buf = mallory.handle(Request::CreateBuffer {
+            context: m_ctx,
+            len: 64,
+        });
+        let m_queue = mallory.handle(Request::CreateQueue { context: m_ctx });
+        let probe = mallory.send(Request::EnqueueWrite {
+            queue: m_queue,
+            buffer: m_buf,
+            offset: 0,
+            data: DataRef::Digest { digest, len: 64 },
+        });
+        match mallory.wait_tag(probe) {
+            Response::Error {
+                code: ErrorCode::CacheMiss,
+                ..
+            } => {}
+            other => panic!("digest probe must NACK as CacheMiss, got {other:?}"),
+        }
+
+        // Alice's own digest reference still hits — authorization is
+        // per-session, not a cache disable.
+        let hit = alice.send(Request::EnqueueWrite {
+            queue: a_queue,
+            buffer: a_buf,
+            offset: 0,
+            data: DataRef::Digest { digest, len: 64 },
+        });
+        assert!(matches!(alice.wait_tag(hit), Response::Enqueued));
+
+        // Once Mallory ships the same bytes herself she is authorized too
+        // (storage stays deduplicated; authorization follows possession).
+        let m_inline = mallory.send(Request::EnqueueWrite {
+            queue: m_queue,
+            buffer: m_buf,
+            offset: 0,
+            data: DataRef::Inline(secret.clone().into()),
+        });
+        assert!(matches!(mallory.wait_tag(m_inline), Response::Enqueued));
+        let m_hit = mallory.send(Request::EnqueueWrite {
+            queue: m_queue,
+            buffer: m_buf,
+            offset: 0,
+            data: DataRef::Digest { digest, len: 64 },
+        });
+        assert!(matches!(mallory.wait_tag(m_hit), Response::Enqueued));
+    }
+
     /// Aliasing safety end-to-end: the client keeps a reference to the
     /// payload it enqueued; the kernel's in-place mutation on the device
     /// must land in a private (copy-on-write) buffer, so the client's

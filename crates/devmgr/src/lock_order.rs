@@ -62,9 +62,11 @@ pub const HIERARCHY: &[&str] = &[
     // Remote library's pending-operation map (bf-remote). Held across
     // completion dispatch, which touches shm segments and event state.
     "pending",
-    // Client-side digest tracker mirroring the peer cache's admission
-    // (bf-cache). Updated from the completion path while `pending` is
-    // held, so it ranks below it.
+    // Digest trackers (bf-cache): the client-side mirror of the peer
+    // cache's admission, and the manager's per-session hit-authorization
+    // set. The client side is updated from the completion path while
+    // `pending` is held, so it ranks below it; the session side is only
+    // touched with no other lock held.
     "digest_track",
     // Remote backend's staging write cursor (bf-remote).
     "staging_cursor",

@@ -140,7 +140,11 @@ pub(crate) struct Shared {
     pub catalog: BitstreamCatalog,
     pub metrics: MetricsRegistry,
     pub connected: AtomicU64,
-    /// Content-addressed payload cache; `None` when disabled.
+    /// Content-addressed payload cache; `None` when disabled. Storage is
+    /// shared by every session of this manager, but sessions only get
+    /// hits on digests they themselves shipped inline (each session
+    /// keeps its own admission tracker), so the shared store is not a
+    /// cross-tenant disclosure channel.
     pub cache: Option<PayloadCache>,
 }
 
@@ -162,6 +166,8 @@ pub struct ManagerEndpoint {
     pub costs: PathCosts,
     /// Whether the manager runs a payload cache: the client may send
     /// `DataRef::Digest` references for content it has already shipped.
+    /// Only content this very session shipped can hit — references to
+    /// anything else NACK as `CacheMiss` exactly like a miss.
     pub cache: bool,
 }
 

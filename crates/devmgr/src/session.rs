@@ -21,7 +21,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use bf_cache::content_digest;
+use bf_cache::{content_digest, DigestTracker};
 use bf_fpga::{KernelArg, KernelInvocation};
 use bf_model::VirtualTime;
 use bf_rpc::{
@@ -32,6 +32,12 @@ use bf_rpc::{
 use crate::lock_order;
 use crate::manager::{ReconfigPolicy, ReconfigRequest, Shared};
 use crate::task::{Operation, Task};
+
+/// Digests one session keeps hit authorization for. Matches the
+/// client-side tracker bound (`TRACKER_ENTRIES` in bf-remote), so both
+/// ends age entries in lock-step; an aged-out entry just degrades the
+/// next digest send to one `CacheMiss` round trip and an inline resend.
+const ADMITTED_ENTRIES: usize = 1024;
 
 /// Everything `DeviceManager::connect` hands to the event loop to start a
 /// session.
@@ -84,10 +90,21 @@ pub(crate) struct Session {
     closing: bool,
     /// The client can no longer receive: drop instead of flushing.
     peer_gone: bool,
+    /// Digests this session itself shipped inline, bounded like the
+    /// client-side tracker. The payload cache's *storage* is shared
+    /// across sessions, but hits are only authorized against content the
+    /// requesting session already proved it possesses — a guessed digest
+    /// must never disclose another tenant's resident bytes (the dedup
+    /// side-channel). `Some` exactly when the manager runs a cache.
+    admitted: Option<DigestTracker>,
 }
 
 impl Session {
     pub(crate) fn new(shared: Arc<Shared>, seed: SessionSeed) -> Session {
+        let admitted = shared
+            .cache
+            .as_ref()
+            .map(|_| DigestTracker::new(ADMITTED_ENTRIES));
         Session {
             shared,
             server: seed.server,
@@ -99,6 +116,7 @@ impl Session {
             outbound: VecDeque::new(),
             closing: false,
             peer_gone: false,
+            admitted,
         }
     }
 
@@ -321,7 +339,7 @@ impl Session {
                     ErrorCode::AccessDenied,
                     format!("buffer {buffer} is not yours"),
                 ))?;
-                let data = self.resolve_write_payload(data)?;
+                let (data, digest) = self.resolve_write_payload(data)?;
                 let ops = self
                     .state
                     .queues
@@ -334,6 +352,7 @@ impl Session {
                         buffer: fpga,
                         offset: *offset,
                         data,
+                        digest,
                     },
                     self.shared.config.max_queued_ops,
                 )?;
@@ -444,41 +463,68 @@ impl Session {
     /// or NACK with [`ErrorCode::CacheMiss`] so the client resends
     /// inline; arriving inline bytes are admitted for future hits.
     /// Without a cache every reference passes through by refcount bump.
-    fn resolve_write_payload(&self, data: &DataRef) -> Result<DataRef, (ErrorCode, String)> {
-        let Some(cache) = &self.shared.cache else {
+    ///
+    /// Also returns the payload's content digest when one was computed,
+    /// so the executor's device-residency tier never hashes the same
+    /// bytes a second time.
+    fn resolve_write_payload(
+        &self,
+        data: &DataRef,
+    ) -> Result<(DataRef, Option<u128>), (ErrorCode, String)> {
+        let (Some(cache), Some(admitted)) = (&self.shared.cache, &self.admitted) else {
             return match data {
                 DataRef::Digest { digest, .. } => Err((
                     ErrorCode::CacheMiss,
-                    format!("no payload cache on this manager for digest {digest:#018x}"),
+                    format!("no payload cache on this manager for digest {digest:#034x}"),
                 )),
                 // A refcount bump — the enqueued operation aliases the
                 // decoded frame's bytes instead of copying them.
-                _ => Ok(data.share()),
+                _ => Ok((data.share(), None)),
             };
         };
         match data {
-            DataRef::Digest { digest, len } => match cache.get(*digest) {
-                Some(bytes) if bytes.len() as u64 == *len => Ok(DataRef::Inline(bytes.into())),
-                Some(_) => Err((
-                    ErrorCode::CacheMiss,
-                    format!("digest {digest:#018x} resident with a different length"),
-                )),
-                None => Err((
-                    ErrorCode::CacheMiss,
-                    format!("digest {digest:#018x} not resident"),
-                )),
-            },
+            DataRef::Digest { digest, len } => {
+                // Hit authorization is per-session even though storage
+                // is shared: only content this session itself shipped
+                // inline may be substituted. Anything else NACKs exactly
+                // like a miss, so probing digests of content another
+                // tenant may have shipped discloses nothing.
+                if !admitted.holds(*digest) {
+                    return Err((
+                        ErrorCode::CacheMiss,
+                        format!("digest {digest:#034x} was not shipped by this session"),
+                    ));
+                }
+                match cache.get(*digest) {
+                    Some(bytes) if bytes.len() as u64 == *len => {
+                        Ok((DataRef::Inline(bytes.into()), Some(*digest)))
+                    }
+                    Some(_) => Err((
+                        ErrorCode::CacheMiss,
+                        format!("digest {digest:#034x} resident with a different length"),
+                    )),
+                    None => Err((
+                        ErrorCode::CacheMiss,
+                        format!("digest {digest:#034x} not resident"),
+                    )),
+                }
+            }
             DataRef::Inline(payload) => {
                 let bytes = payload.share().into_bytes();
+                // The digest is computed here, from the bytes that
+                // actually arrived — a client-claimed digest could
+                // poison the shared store for other tenants.
+                let digest = content_digest(&bytes);
                 // bf-lint: allow(payload_copy): `Bytes::clone` is a
                 // refcount bump on the shared payload, never a byte copy.
                 // bf-flow: allow(hot_alloc): the cache evicts clock-wise
                 // until the entry fits, so residency never exceeds the
                 // configured byte budget; duplicates are refused cheaply.
-                cache.insert(content_digest(&bytes), bytes.clone());
-                Ok(DataRef::Inline(bytes.into()))
+                cache.insert(digest, bytes.clone());
+                admitted.note_sent(digest);
+                Ok((DataRef::Inline(bytes.into()), Some(digest)))
             }
-            _ => Ok(data.share()),
+            _ => Ok((data.share(), None)),
         }
     }
 

@@ -25,6 +25,11 @@ pub enum Operation {
         offset: u64,
         /// Payload reference (inline, shm region, or synthetic).
         data: DataRef,
+        /// Content digest of the resolved payload when the session
+        /// already computed one at staging time (caching enabled, inline
+        /// or digest-addressed data), sparing the executor a second hash
+        /// pass for device-tier residency tracking.
+        digest: Option<u128>,
     },
     /// DMA data out of a device buffer.
     Read {
@@ -118,6 +123,7 @@ mod tests {
             buffer: BufferId(1),
             offset: 0,
             data: DataRef::Synthetic(8),
+            digest: None,
         };
         let r = Operation::Read {
             tag: 2,

@@ -92,11 +92,15 @@ fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
             buffer,
             offset,
             data,
+            digest,
             ..
         } => {
             let payload = resolve_payload(task, data)?;
             if let (Some(cache), Payload::Data(bytes)) = (&shared.cache, &payload) {
-                let digest = bf_cache::content_digest(bytes);
+                // Inline/digest payloads carry the session-computed
+                // digest; shm payloads only materialize here, so theirs
+                // is computed here.
+                let digest = digest.unwrap_or_else(|| bf_cache::content_digest(bytes));
                 let len = bytes.len() as u64;
                 if cache.device_resident(buffer.0, *offset, digest, len) {
                     // Identical content already occupies the target
@@ -197,7 +201,7 @@ fn resolve_payload(task: &Task, data: &DataRef) -> Result<Payload, (ErrorCode, S
         // session staging time; one reaching the worker is a bug.
         DataRef::Digest { digest, .. } => Err((
             ErrorCode::Internal,
-            format!("unresolved digest reference {digest:#018x} reached the worker"),
+            format!("unresolved digest reference {digest:#034x} reached the worker"),
         )),
     }
 }

@@ -200,7 +200,7 @@ impl RemoteBackend {
         queue: QueueId,
         buffer: MemId,
         offset: u64,
-        digest: u64,
+        digest: u128,
         len: u64,
         event: &Event,
     ) -> ClResult<DigestOutcome> {
@@ -331,7 +331,8 @@ impl Backend for RemoteBackend {
         event.attach_clock(self.clock.clone());
         // Content addressing rides the inline (gRPC) data path: when the
         // manager advertises a payload cache and is believed to hold these
-        // exact bytes, a 16-byte digest reference replaces the payload.
+        // exact bytes, a 16-byte (truncated SHA-256) digest reference
+        // replaces the payload.
         let digest = match (self.conn.digest_tracker(), self.conn.shm(), &payload) {
             (Some(tracker), None, Payload::Data(bytes)) => {
                 Some((tracker, content_digest(bytes), bytes.len() as u64))

@@ -135,6 +135,23 @@ impl WireDecode for u64 {
     }
 }
 
+/// Appends a fixed-width 16-byte big-endian `u128` (content digests —
+/// the full width always travels, so varint framing would only cost).
+pub(crate) fn put_u128_be(buf: &mut BytesMut, v: u128) {
+    buf.put_u64((v >> 64) as u64);
+    buf.put_u64(v as u64);
+}
+
+/// Consumes a fixed-width 16-byte big-endian `u128`.
+pub(crate) fn get_u128_be(buf: &mut Bytes) -> Result<u128, CodecError> {
+    if buf.remaining() < 16 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let hi = buf.get_u64();
+    let lo = buf.get_u64();
+    Ok((u128::from(hi) << 64) | u128::from(lo))
+}
+
 impl WireEncode for u32 {
     fn encode(&self, buf: &mut BytesMut) {
         put_varint(buf, u64::from(*self));

@@ -94,7 +94,13 @@ mod proptests {
             arb_payload().prop_map(|v| DataRef::Inline(v.into())),
             (any::<u64>(), any::<u64>()).prop_map(|(offset, len)| DataRef::Shm { offset, len }),
             any::<u64>().prop_map(DataRef::Synthetic),
-            (any::<u64>(), any::<u64>()).prop_map(|(digest, len)| DataRef::Digest { digest, len }),
+            // Full-width 128-bit digests, composed from two u64 draws.
+            (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(hi, lo, len)| {
+                DataRef::Digest {
+                    digest: (u128::from(hi) << 64) | u128::from(lo),
+                    len,
+                }
+            }),
         ]
     }
 

@@ -17,7 +17,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use bf_model::VirtualTime;
 
-use crate::codec::{get_varint, put_varint, CodecError, WireDecode, WireEncode};
+use crate::codec::{
+    get_u128_be, get_varint, put_u128_be, put_varint, CodecError, WireDecode, WireEncode,
+};
 use crate::payload::Payload;
 
 /// Identifies one client (function instance) session on a Device Manager.
@@ -46,12 +48,15 @@ pub enum DataRef {
     /// Size-only placeholder for timing-only runs.
     Synthetic(u64),
     /// Content the receiver is believed to already hold, addressed by
-    /// its FNV-1a digest: zero payload bytes on the wire. A receiver
+    /// its content digest: zero payload bytes on the wire. A receiver
     /// without the content answers `ErrorCode::CacheMiss` and the sender
     /// retries inline.
     Digest {
-        /// FNV-1a content digest (`bf_cache::content_digest`).
-        digest: u64,
+        /// Content digest (`bf_cache::content_digest`): SHA-256
+        /// truncated to 128 bits, carried as 16 fixed bytes. The
+        /// receiver substitutes cached bytes for this reference, so the
+        /// digest must be collision-resistant.
+        digest: u128,
         /// Payload length in bytes.
         len: u64,
     },
@@ -344,7 +349,7 @@ impl WireEncode for DataRef {
             }
             DataRef::Digest { digest, len } => {
                 buf.put_u8(3);
-                put_varint(buf, *digest);
+                put_u128_be(buf, *digest);
                 put_varint(buf, *len);
             }
         }
@@ -364,7 +369,7 @@ impl WireDecode for DataRef {
             }),
             2 => Ok(DataRef::Synthetic(get_varint(buf)?)),
             3 => Ok(DataRef::Digest {
-                digest: get_varint(buf)?,
+                digest: get_u128_be(buf)?,
                 len: get_varint(buf)?,
             }),
             value => Err(CodecError::BadDiscriminant {
@@ -828,7 +833,7 @@ mod tests {
             buffer: 2,
             offset: 32,
             data: DataRef::Digest {
-                digest: 0xcbf2_9ce4_8422_2325,
+                digest: 0xba78_16bf_8f01_cfea_4141_40de_5dae_2223,
                 len: 1 << 20,
             },
         });

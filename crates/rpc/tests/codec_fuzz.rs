@@ -100,7 +100,7 @@ fn request_corpus() -> Vec<RequestEnvelope> {
             buffer: 9,
             offset: 0,
             data: DataRef::Digest {
-                digest: u64::MAX,
+                digest: u128::MAX,
                 len: LARGE as u64,
             },
         },
