@@ -23,10 +23,13 @@ cargo test -q --workspace
 echo "==> cargo test (transport crates, single-threaded)"
 cargo test -q -p bf-rpc -p bf-devmgr -p bf-remote -- --test-threads=1
 
-# Conformance + interprocedural flow passes, gated on the checked-in
-# baseline: pre-existing accepted findings don't block, NEW findings fail
-# (exit 1) with call-chain witnesses; stale baseline entries only warn.
-# The JSON report is kept as a CI artifact.
+# Conformance + interprocedural flow + trust-boundary taint passes plus
+# the wire-schema drift gate, all gated on the checked-in baseline:
+# pre-existing accepted findings don't block, NEW findings fail (exit 1)
+# with call-chain witnesses (for taint: the wire-source → sink flow);
+# stale baseline entries only warn. A renumbered/removed wire tag, or a
+# new tag without a regenerated wire-schema.json, fails here too. The
+# JSON report is kept as a CI artifact.
 echo "==> bf-lint (baseline-gated, report at target/lint-report.json)"
 mkdir -p target
 cargo run -q --release -p bf-lint -- --json | tee target/lint-report.json

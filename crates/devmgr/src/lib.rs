@@ -750,6 +750,43 @@ mod tests {
         );
     }
 
+    /// Regression: the kernel-argument index arrives on the wire and
+    /// argument slots materialize positionally at launch (`0..=max`), so
+    /// an unchecked `u32::MAX` bought four billion iterations of
+    /// launch-time work for one frame. The session must reject the index
+    /// at the trust boundary, before it is stored.
+    #[test]
+    fn wire_kernel_arg_index_is_capped_at_the_trust_boundary() {
+        let mut d = Driver::new(&manager(ReconfigPolicy::Allow), PathCosts::local_grpc());
+        let (_ctx, kernel, buf, queue) = setup_pipeline(&mut d);
+        for index in [bf_fpga::MAX_KERNEL_ARGS, u32::MAX] {
+            match d.call(Request::SetKernelArg {
+                kernel,
+                index,
+                arg: bf_rpc::WireArg::U32(1),
+            }) {
+                Response::Error { code, message } => {
+                    assert_eq!(code, ErrorCode::InvalidLaunch, "index {index}");
+                    assert!(message.contains("exceeds"), "index {index}: {message}");
+                }
+                other => panic!("index {index} accepted: {other:?}"),
+            }
+        }
+        // The highest legal index is still accepted, and the session
+        // stays usable after the NACKs: a launch with the original
+        // argument binding completes.
+        assert!(matches!(
+            d.call(Request::SetKernelArg {
+                kernel,
+                index: bf_fpga::MAX_KERNEL_ARGS - 1,
+                arg: bf_rpc::WireArg::U32(1),
+            }),
+            Response::Ack
+        ));
+        let _ = buf;
+        let _ = queue;
+    }
+
     #[test]
     fn client_id_display() {
         assert_eq!(ClientId(4).to_string(), "client#4");

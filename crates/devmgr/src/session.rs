@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use bf_cache::{content_digest, DigestTracker};
-use bf_fpga::{KernelArg, KernelInvocation};
+use bf_fpga::{KernelArg, KernelInvocation, MAX_KERNEL_ARGS};
 use bf_model::VirtualTime;
 use bf_rpc::{
     ClientId, DataRef, ErrorCode, PathCosts, Request, RequestEnvelope, Response, ResponseEnvelope,
@@ -282,6 +282,19 @@ impl Session {
                 Ok((Response::Handle { id }, arrival))
             }
             Request::SetKernelArg { kernel, index, arg } => {
+                // The wire index is attacker-controlled and argument
+                // slots materialize positionally at launch: an unchecked
+                // u32::MAX here would buy four billion iterations of
+                // launch-time work for one frame (bf-taint: taint_loop).
+                if *index >= MAX_KERNEL_ARGS {
+                    return Err((
+                        ErrorCode::InvalidLaunch,
+                        format!(
+                            "kernel argument index {index} exceeds the \
+                             per-kernel limit of {MAX_KERNEL_ARGS}"
+                        ),
+                    ));
+                }
                 let slot = self.state.kernels.get_mut(kernel).ok_or((
                     ErrorCode::InvalidHandle,
                     format!("kernel {kernel} not found"),
@@ -314,6 +327,10 @@ impl Session {
                 if let Some(cache) = &self.shared.cache {
                     // A freed id can be reissued; stale residency on it
                     // would let a later digest hit skip a needed DMA.
+                    // bf-taint: allow(taint_auth): `fpga` is the
+                    // server-assigned board id read back from this
+                    // session's own handle table; the remove() above is
+                    // the ownership check on the wire handle.
                     cache.invalidate_buffer(fpga.0);
                 }
                 Ok((Response::Ack, arrival))
@@ -489,12 +506,18 @@ impl Session {
                 // inline may be substituted. Anything else NACKs exactly
                 // like a miss, so probing digests of content another
                 // tenant may have shipped discloses nothing.
+                // bf-taint: allow(taint_auth): this per-session admission
+                // check IS the authorization for the untrusted digest —
+                // only content this session itself shipped may hit.
                 if !admitted.holds(*digest) {
                     return Err((
                         ErrorCode::CacheMiss,
                         format!("digest {digest:#034x} was not shipped by this session"),
                     ));
                 }
+                // bf-taint: allow(taint_auth): gated by the holds() check
+                // above — an unadmitted digest never reaches the lookup,
+                // and a miss NACKs identically either way.
                 match cache.get(*digest) {
                     Some(bytes) if bytes.len() as u64 == *len => {
                         Ok((DataRef::Inline(bytes.into()), Some(*digest)))
@@ -520,6 +543,10 @@ impl Session {
                 // bf-flow: allow(hot_alloc): the cache evicts clock-wise
                 // until the entry fits, so residency never exceeds the
                 // configured byte budget; duplicates are refused cheaply.
+                // bf-taint: allow(taint_auth): the admission key is the
+                // digest recomputed from the arrived bytes just above;
+                // the tainted bytes are the content being admitted —
+                // storing them under their true digest is the cache.
                 cache.insert(digest, bytes.clone());
                 admitted.note_sent(digest);
                 Ok((DataRef::Inline(bytes.into()), Some(digest)))
@@ -628,8 +655,10 @@ fn resolve_invocation(
         ErrorCode::InvalidHandle,
         format!("kernel {kernel} not found"),
     ))?;
+    // bf-taint: sanitized(SetKernelArg rejects indices >= MAX_KERNEL_ARGS, so args.len() is capped at 256)
     let mut args = Vec::with_capacity(slot.args.len());
     if let Some(max) = slot.args.keys().next_back().copied() {
+        // bf-taint: sanitized(max < MAX_KERNEL_ARGS — enforced at the SetKernelArg trust boundary)
         for i in 0..=max {
             let arg = slot.args.get(&i).ok_or((
                 ErrorCode::InvalidLaunch,

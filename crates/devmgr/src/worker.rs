@@ -102,6 +102,10 @@ fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
                 // is computed here.
                 let digest = digest.unwrap_or_else(|| bf_cache::content_digest(bytes));
                 let len = bytes.len() as u64;
+                // bf-taint: allow(taint_auth): digest and len describe
+                // the *resolved* bytes measured on this side (content
+                // identity), not a client claim — the session validated
+                // or recomputed the digest before the task was staged.
                 if cache.device_resident(buffer.0, *offset, digest, len) {
                     // Identical content already occupies the target
                     // region: skip the PCIe DMA outright. No board time
@@ -112,6 +116,8 @@ fn execute_op(shared: &Arc<Shared>, task: &Task, op: &Operation) -> OpOutcome {
                 let timing = board
                     .write_buffer(*buffer, *offset, &payload, task.arrival, &task.owner)
                     .map_err(map_fpga_err)?;
+                // bf-taint: allow(taint_auth): same content-identity
+                // argument as the device_resident check above.
                 cache.note_device_resident(buffer.0, *offset, digest, len);
                 return Ok((timing.started_at, timing.ended_at, None));
             }

@@ -59,6 +59,14 @@ impl KernelArg {
     }
 }
 
+/// Highest kernel-argument index any backend accepts. Argument slots are
+/// materialized positionally at launch (`0..=max_index`), so an unchecked
+/// client-chosen index would turn one `SetKernelArg` frame into
+/// `u32::MAX` iterations of launch-time work; real OpenCL kernels on
+/// these boards take a handful of arguments. Enforced at both trust
+/// boundaries: the device-manager session (wire) and the native backend.
+pub const MAX_KERNEL_ARGS: u32 = 256;
+
 /// A kernel launch: its arguments and NDRange size.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelInvocation {

@@ -51,6 +51,7 @@ pub use bf_race::sync;
 
 pub use bitstream::{
     Bitstream, FnKernel, KernelArg, KernelBehavior, KernelDescriptor, KernelInvocation,
+    MAX_KERNEL_ARGS,
 };
 pub use board::{Board, BoardSpec, OpTiming};
 pub use error::FpgaError;

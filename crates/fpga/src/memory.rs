@@ -262,6 +262,7 @@ impl DeviceMemory {
             }
             let backing = alloc.backing_mut();
             bf_metrics::record_memcpy(len);
+            // bf-taint: sanitized(check_bounds above proves offset + len fits inside alloc.len)
             backing[offset as usize..(offset + len) as usize].copy_from_slice(data.as_ref());
         }
         Ok(())

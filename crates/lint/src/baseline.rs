@@ -1,12 +1,18 @@
 //! Baseline gating: pre-existing findings don't block CI, new ones do.
 //!
 //! `lint-baseline.json` is a checked-in list of accepted finding keys.
-//! Keys are line-drift tolerant: bf-flow findings key on
+//! Keys are line-drift tolerant: bf-flow and bf-taint findings key on
 //! `rule|file|qualified_fn|token`, per-file findings on
 //! `rule|file|line`, so reformatting elsewhere in a file does not churn
 //! the interprocedural entries. [`gate`] splits a report's findings into
 //! *new* (fail CI) and reports which baseline entries are *stale*
 //! (no longer fire — warn, then refresh with `--write-baseline`).
+//!
+//! An accepted entry is either a bare key string or an object
+//! `{"key": "...", "why": "..."}`; the object form is for findings kept
+//! deliberately (a taint flow judged unreachable, for instance) and its
+//! `why` justification is mandatory — an empty one fails the load, so
+//! nothing is ever baselined silently.
 
 use std::path::Path;
 
@@ -48,10 +54,30 @@ pub fn load(path: &Path) -> Result<Vec<String>, String> {
             )
         })?;
     keys.iter()
-        .map(|k| {
-            k.as_str()
-                .map(str::to_string)
-                .ok_or_else(|| format!("{}: non-string baseline key {k:?}", path.display()))
+        .map(|k| match k {
+            serde_json::Value::String(s) => Ok(s.clone()),
+            serde_json::Value::Object(o) => {
+                let key = o.get("key").and_then(|v| v.as_str()).ok_or_else(|| {
+                    format!(
+                        "{}: justified baseline entry is missing a string `key`",
+                        path.display()
+                    )
+                })?;
+                let why = o.get("why").and_then(|v| v.as_str()).unwrap_or("");
+                if why.trim().is_empty() {
+                    return Err(format!(
+                        "{}: baseline entry {key:?} needs a non-empty `why` \
+                         justification — findings are never accepted silently",
+                        path.display()
+                    ));
+                }
+                Ok(key.to_string())
+            }
+            other => Err(format!(
+                "{}: baseline entry {other:?} must be a key string or a \
+                 {{\"key\", \"why\"}} object",
+                path.display()
+            )),
         })
         .collect()
 }
@@ -152,6 +178,39 @@ mod tests {
     fn missing_baseline_is_empty_not_an_error() {
         let keys = load(Path::new("/nonexistent/lint-baseline.json")).expect("missing is empty");
         assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn justified_entries_need_a_why() {
+        let dir = std::env::temp_dir().join(format!("bf-lint-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("lint-baseline.json");
+
+        std::fs::write(
+            &path,
+            r#"{"accepted": ["a|f|1", {"key": "taint_index|f|X::y|index:i", "why": "bounded by construction"}]}"#,
+        )
+        .expect("write");
+        let keys = load(&path).expect("both entry forms load");
+        assert_eq!(keys, vec!["a|f|1", "taint_index|f|X::y|index:i"]);
+
+        std::fs::write(
+            &path,
+            r#"{"accepted": [{"key": "taint_index|f|X::y|index:i", "why": "  "}]}"#,
+        )
+        .expect("write");
+        let err = load(&path).expect_err("blank why is rejected");
+        assert!(err.contains("non-empty `why`"), "got: {err}");
+
+        std::fs::write(&path, r#"{"accepted": [{"why": "no key"}]}"#).expect("write");
+        let err = load(&path).expect_err("missing key is rejected");
+        assert!(err.contains("missing a string `key`"), "got: {err}");
+
+        std::fs::write(&path, r#"{"accepted": [42]}"#).expect("write");
+        let err = load(&path).expect_err("numbers are rejected");
+        assert!(err.contains("must be a key string"), "got: {err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

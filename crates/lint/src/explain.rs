@@ -137,6 +137,58 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          justify a deliberate coalescing drop with\n\
          `// bf-flow: allow(error_drop): <why dropping is correct>`.",
     ),
+    (
+        "taint_alloc",
+        "[bf-taint] A wire-derived (attacker-controlled) value reaches an\n\
+         allocation size: `with_capacity`, `reserve`, `resize`,\n\
+         `resize_with`. A declared length of 2^32 must not become a 4 GiB\n\
+         allocation before any bound check — that is a one-frame OOM on a\n\
+         shared device manager. Sanitize with `.min(CAP)` / `.clamp(..)`\n\
+         against a named cap before allocating, or justify with\n\
+         `// bf-taint: sanitized(<why the value is already bounded>)`.\n\
+         Findings carry a source→sink witness chain.",
+    ),
+    (
+        "taint_index",
+        "[bf-taint] A wire-derived value reaches slice/array indexing or\n\
+         `split_to`-style buffer math (`split_to`, `split_off`,\n\
+         `truncate`, `advance`). Unchecked indexing by an\n\
+         attacker-controlled offset is a panic (tears down every tenant on\n\
+         the event loop) or a logic corruption. Use `.get(..)`, bound the\n\
+         value first, or annotate the guard:\n\
+         `// bf-taint: sanitized(guarded by buf.remaining() check above)`.",
+    ),
+    (
+        "taint_loop",
+        "[bf-taint] A wire-derived value bounds a loop (`for _ in 0..n`,\n\
+         `while i < n`). A client-claimed count drives server-side work\n\
+         directly — u32::MAX iterations is a CPU DoS no allocation cap\n\
+         catches. Cap the trip count against a server-side constant before\n\
+         looping, or justify with `// bf-taint: sanitized(<the bound>)`.",
+    ),
+    (
+        "taint_auth",
+        "[bf-taint] A wire-derived identifier flows into a cache-admission\n\
+         or digest-authorization decision (`holds`, `note_sent`,\n\
+         `device_resident`, cache `get`/`insert`/`invalidate`, …). This is\n\
+         the PR-8 bug class: a client-claimed digest used as a cache key\n\
+         lets one tenant probe or poison another tenant's entries. Derive\n\
+         the identifier server-side (`content_digest` over the actual\n\
+         bytes clears taint) or scope the decision per-session and justify:\n\
+         `// bf-taint: allow(taint_auth): <why this check is the\n\
+         authorization, not a bypass of it>`.",
+    ),
+    (
+        "wire_schema",
+        "Wire enum tags are append-only. The decode-surface tag tables\n\
+         (`DataRef`, `WireArg`, `Request`, `Response`, `ErrorCode`) are\n\
+         snapshotted in `wire-schema.json`; renumbering or reusing a\n\
+         released tag, or removing one, fails CI because deployed peers\n\
+         still speak the released mapping. Adding a variant is fine —\n\
+         regenerate the snapshot in the same PR with\n\
+         `bf-lint --write-wire-schema` so the protocol extension is\n\
+         explicit in review.",
+    ),
 ];
 
 #[cfg(test)]
@@ -151,6 +203,10 @@ mod tests {
         for rule in crate::flow::FLOW_RULES {
             assert!(explain(rule).is_some(), "missing explanation for {rule}");
         }
+        for rule in crate::taint::TAINT_RULES {
+            assert!(explain(rule).is_some(), "missing explanation for {rule}");
+        }
+        assert!(explain(crate::wire_schema::WIRE_SCHEMA_RULE).is_some());
     }
 
     #[test]

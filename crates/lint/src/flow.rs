@@ -62,7 +62,7 @@ pub const ENTRY_CLASSES: &[(&str, &str)] = &[
 /// Crates excluded from the call-graph model: the bf-race facade *is* the
 /// synchronization layer (its internals are the primitives the passes
 /// treat as leaves at the call site), and the linter itself is tooling.
-const EXCLUDED_PREFIXES: &[&str] = &["crates/race/", "crates/lint/"];
+pub(crate) const EXCLUDED_PREFIXES: &[&str] = &["crates/race/", "crates/lint/"];
 
 /// One resolved `// bf-flow: entry(<class>)` annotation.
 #[derive(Debug, Clone)]
@@ -82,19 +82,19 @@ pub struct EntryPoint {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
-struct FnDef {
-    name: String,
-    qualified: String,
-    owner: Option<String>,
-    krate: String,
-    unit_idx: usize,
+pub(crate) struct FnDef {
+    pub(crate) name: String,
+    pub(crate) qualified: String,
+    pub(crate) owner: Option<String>,
+    pub(crate) krate: String,
+    pub(crate) unit_idx: usize,
     /// 1-based line of the `fn` keyword.
-    line: usize,
+    pub(crate) line: usize,
     /// 1-based inclusive line range of the signature + body; `None` for
     /// bodyless trait declarations.
-    body: Option<(usize, usize)>,
-    params: Vec<(String, String)>,
-    ret: String,
+    pub(crate) body: Option<(usize, usize)>,
+    pub(crate) params: Vec<(String, String)>,
+    pub(crate) ret: String,
 }
 
 /// One struct's field table: (defining crate, field name → base type).
@@ -104,8 +104,8 @@ type FieldTable = (String, HashMap<String, String>);
 type ParsedSignature = (String, Vec<(String, String)>, String);
 
 #[derive(Default)]
-struct Model {
-    fns: Vec<FnDef>,
+pub(crate) struct Model {
+    pub(crate) fns: Vec<FnDef>,
     /// (type, method) → defining fns (same name can exist per crate).
     methods: HashMap<(String, String), Vec<usize>>,
     /// method name → defining fns across all types.
@@ -130,7 +130,7 @@ fn crate_of(path: &str) -> String {
 }
 
 /// Words that look like calls but are control flow or definitions.
-fn is_keyword(word: &str) -> bool {
+pub(crate) fn is_keyword(word: &str) -> bool {
     matches!(
         word,
         "if" | "while"
@@ -169,7 +169,7 @@ fn is_keyword(word: &str) -> bool {
 /// Strips reference/smart-pointer/cell wrappers down to the base type
 /// ident: `&Arc<Mutex<Vec<u8>>>` → `Vec`, `&'a dyn BatchHandler` →
 /// `BatchHandler`, `Option<ShmSegment>` → `ShmSegment`.
-fn base_type(raw: &str) -> Option<String> {
+pub(crate) fn base_type(raw: &str) -> Option<String> {
     let mut t = raw.trim();
     loop {
         let before = t;
@@ -209,7 +209,7 @@ fn base_type(raw: &str) -> Option<String> {
 
 /// Splits `text` on top-level commas (ignoring nesting in `()`, `[]`,
 /// `<>`; `->` does not close an angle bracket).
-fn split_top_level(text: &str) -> Vec<&str> {
+pub(crate) fn split_top_level(text: &str) -> Vec<&str> {
     let mut out = Vec::new();
     let mut depth = 0i64;
     let mut start = 0usize;
@@ -403,7 +403,7 @@ struct Pending {
     line: usize,
 }
 
-fn build_model(units: &[Unit]) -> Model {
+pub(crate) fn build_model(units: &[Unit]) -> Model {
     let mut model = Model::default();
     for (unit_idx, unit) in units.iter().enumerate() {
         let file = &unit.file;
@@ -732,7 +732,7 @@ fn is_primitive_method(name: &str) -> bool {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum OffenseKind {
+pub(crate) enum OffenseKind {
     /// Acquiring the named ranked lock.
     Lock {
         name: String,
@@ -759,45 +759,45 @@ enum OffenseKind {
 }
 
 #[derive(Debug, Clone)]
-struct Offense {
-    kind: OffenseKind,
-    line: usize,
-    column: usize,
+pub(crate) struct Offense {
+    pub(crate) kind: OffenseKind,
+    pub(crate) line: usize,
+    pub(crate) column: usize,
     /// Line-stable token for baseline keys.
-    token: String,
+    pub(crate) token: String,
 }
 
 #[derive(Debug)]
-struct CallSite {
-    name: String,
+pub(crate) struct CallSite {
+    pub(crate) name: String,
     /// Receiver chain for method calls (`self.shared.board.program(..)` →
     /// `["self", "shared", "board"]`); empty when unknown.
-    chain: Vec<String>,
+    pub(crate) chain: Vec<String>,
     /// Path segments for `a::B::call(..)` forms (without the call name).
-    path: Vec<String>,
-    kind: CallKind,
-    line: usize,
-    column: usize,
+    pub(crate) path: Vec<String>,
+    pub(crate) kind: CallKind,
+    pub(crate) line: usize,
+    pub(crate) column: usize,
     /// Whether the result is discarded via `let _ =` or a terminal `.ok()`.
-    discarded: bool,
+    pub(crate) discarded: bool,
 }
 
 #[derive(Debug, PartialEq)]
-enum CallKind {
+pub(crate) enum CallKind {
     Method,
     Path,
     Free,
 }
 
 /// Per-function facts extracted in one pass over the body.
-struct FnFacts {
-    calls: Vec<CallSite>,
-    offenses: Vec<Offense>,
+pub(crate) struct FnFacts {
+    pub(crate) calls: Vec<CallSite>,
+    pub(crate) offenses: Vec<Offense>,
     /// `let`-bound locals with inferable types.
-    locals: HashMap<String, String>,
+    pub(crate) locals: HashMap<String, String>,
     /// Locals bound from `with_capacity(..)`: pushes into them are
     /// pre-sized, not unbounded growth.
-    bounded_locals: HashSet<String>,
+    pub(crate) bounded_locals: HashSet<String>,
 }
 
 fn receiver_chain(code: &str, mut end: usize) -> Vec<String> {
@@ -835,7 +835,7 @@ fn path_segments(code: &str, mut end: usize) -> Vec<String> {
     segs
 }
 
-fn extract_fn_facts(unit: &Unit, def: &FnDef) -> FnFacts {
+pub(crate) fn extract_fn_facts(unit: &Unit, def: &FnDef) -> FnFacts {
     let mut facts = FnFacts {
         calls: Vec::new(),
         offenses: Vec::new(),
@@ -1091,7 +1091,7 @@ impl Model {
 
     /// Resolves one call site to zero or more target functions, or to a
     /// primitive offense.
-    fn resolve(
+    pub(crate) fn resolve(
         &self,
         def: &FnDef,
         facts: &FnFacts,

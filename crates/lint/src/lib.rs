@@ -25,11 +25,27 @@
 //! [`baseline`] (`lint-baseline.json`): pre-existing findings warn,
 //! **new** findings fail.
 //!
+//! A third layer, [`taint`] (**bf-taint**), reuses the bf-flow call
+//! graph for trust-boundary dataflow: values produced by the wire
+//! decode surface (`// bf-taint: source(wire)` annotations plus
+//! auto-seeded `decode`/`from_bytes` fns in `bf-rpc`) are tracked
+//! through assignments, pattern bindings, and call edges into sensitive
+//! sinks — allocation sizes, slice indexing and `split_to`-style buffer
+//! math, loop bounds, and cache-admission / digest-authorization calls
+//! (`taint_alloc`, `taint_index`, `taint_loop`, `taint_auth`).
+//! Sanitizers (`.min(cap)` / `.clamp(..)`, server-side
+//! `content_digest` recomputation, or a justified
+//! `// bf-taint: sanitized(<why>)`) clear taint. The [`wire_schema`]
+//! rule additionally pins the wire enums' released tag numbers against
+//! the checked-in `wire-schema.json` snapshot (append-only evolution).
+//!
 //! Individual sites opt out with a justified directive comment:
 //!
 //! ```text
 //! // bf-lint: allow(panic): poisoning is impossible — single writer
 //! // bf-flow: allow(hot_alloc): bounded by max_pending_responses
+//! // bf-taint: allow(taint_auth): the digest check IS the authorization
+//! // bf-taint: sanitized(len is clamped to the shm segment cap)
 //! ```
 //!
 //! The engine is exposed three ways: the `bf-lint` binary
@@ -55,9 +71,13 @@ pub mod explain;
 pub mod flow;
 pub mod rules;
 pub mod scan;
+pub mod taint;
+pub mod wire_schema;
 
 pub use flow::{EntryPoint, ENTRY_CLASSES, FLOW_RULES};
 pub use rules::{Diagnostic, Hop, Unit, CLOCK_MODULE, RULES, STATUS_ENUMS};
+pub use taint::TAINT_RULES;
+pub use wire_schema::WIRE_SCHEMA_RULE;
 
 /// The declared lock-acquisition hierarchy (re-exported from the runtime
 /// tracker so the two layers can never drift apart).
@@ -209,12 +229,56 @@ pub fn run(root: &Path) -> Result<Report, String> {
     // and the bf-flow call graph.
     rules::check_program(&units, LOCK_HIERARCHY, &mut diagnostics);
     let entries = flow::check(&units, LOCK_HIERARCHY, &mut diagnostics);
+    // bf-taint rides the same parse and the bf-flow call graph; the
+    // wire-schema gate diffs the decode surface against the snapshot.
+    taint::check(&units, &mut diagnostics);
+    wire_schema::check(&units, &root.join("wire-schema.json"), &mut diagnostics);
     Ok(Report {
         diagnostics,
         files_scanned,
         wall_ms: started.elapsed().as_secs_f64() * 1000.0,
         entries,
     })
+}
+
+/// Regenerates `<root>/wire-schema.json` from the decode surface.
+/// Returns the number of wire enums captured.
+///
+/// # Errors
+///
+/// Returns an I/O description when the tree cannot be read, no wire
+/// enums are found, or the snapshot cannot be written.
+pub fn write_wire_schema(root: &Path) -> Result<usize, String> {
+    let dir = root.join("crates");
+    let mut files = Vec::new();
+    if dir.is_dir() {
+        collect_rust_files(&dir, &mut files)?;
+    }
+    files.sort();
+    let mut scratch = Vec::new();
+    let mut units = Vec::new();
+    for path in files {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = scan::parse(&rel, &text, is_test_path(&rel));
+        units.push(rules::Unit::analyze(file, &mut scratch));
+    }
+    let schema = wire_schema::extract(&units);
+    if schema.is_empty() {
+        return Err(format!(
+            "no wire enums found under {} — is this a workspace root?",
+            root.display()
+        ));
+    }
+    let out = root.join("wire-schema.json");
+    std::fs::write(&out, wire_schema::render(&schema))
+        .map_err(|e| format!("write {}: {e}", out.display()))?;
+    Ok(schema.len())
 }
 
 /// Whether every line of the file counts as test code (integration tests

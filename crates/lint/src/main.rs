@@ -8,7 +8,14 @@
 //! cargo run -p bf-lint -- --explain hot_blocking
 //! cargo run -p bf-lint -- --baseline lint-baseline.json
 //! cargo run -p bf-lint -- --write-baseline  # refresh accepted findings
+//! cargo run -p bf-lint -- --write-wire-schema  # snapshot wire enum tags
 //! ```
+//!
+//! Rule families: per-file rules (`panic`, `std_sync`, …), the bf-flow
+//! reachability passes (`hot_blocking`, `hot_alloc`, `hot_panic`,
+//! `error_drop`), the bf-taint trust-boundary dataflow passes
+//! (`taint_alloc`, `taint_index`, `taint_loop`, `taint_auth`), and the
+//! `wire_schema` drift gate. `--explain <rule>` documents each.
 //!
 //! When `<root>/lint-baseline.json` exists it is applied automatically:
 //! findings listed there are suppressed (reported as `suppressed` in the
@@ -25,6 +32,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut write_wire_schema = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,6 +52,7 @@ fn main() -> ExitCode {
                 }
             },
             "--write-baseline" => write_baseline = true,
+            "--write-wire-schema" => write_wire_schema = true,
             "--explain" => {
                 return match args.next() {
                     Some(rule) => match bf_lint::explain::explain(&rule) {
@@ -71,7 +80,12 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: bf-lint [--json] [--root <workspace>] [--baseline <file>]\n\
-                     \u{20}              [--write-baseline] [--explain <rule>]"
+                     \u{20}              [--write-baseline] [--write-wire-schema]\n\
+                     \u{20}              [--explain <rule>]\n\
+                     \n\
+                     passes: per-file rules, lock-graph, bf-flow reachability,\n\
+                     bf-taint trust-boundary dataflow (taint_alloc/taint_index/\n\
+                     taint_loop/taint_auth), wire-schema drift gate"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -101,6 +115,22 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    if write_wire_schema {
+        return match bf_lint::write_wire_schema(&root) {
+            Ok(n) => {
+                println!(
+                    "bf-lint: wrote {n} wire enum(s) to {}",
+                    root.join("wire-schema.json").display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bf-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let report = match bf_lint::run(&root) {
         Ok(r) => r,

@@ -183,6 +183,11 @@ pub(crate) struct Directives {
     pub(crate) lint: Allows,
     /// Justified `bf-flow` allow exemptions.
     pub(crate) flow: Allows,
+    /// Justified `bf-taint` allow exemptions.
+    pub(crate) taint: Allows,
+    /// Lines covered by a justified `bf-taint: sanitized(<why>)` marker:
+    /// bindings there are trusted and sinks there do not fire.
+    pub(crate) sanitized: std::collections::HashSet<usize>,
 }
 
 /// One parsed file plus its directive model: the unit every pass consumes.
@@ -199,9 +204,16 @@ impl Unit {
     pub fn analyze(file: SourceFile, out: &mut Vec<Diagnostic>) -> Unit {
         let lint = collect_allows(&file, "bf-lint: allow(", RULES, out);
         let flow = collect_allows(&file, "bf-flow: allow(", crate::flow::FLOW_RULES, out);
+        let taint = collect_allows(&file, "bf-taint: allow(", crate::taint::TAINT_RULES, out);
+        let sanitized = collect_sanitized(&file, out);
         Unit {
             file,
-            dirs: Directives { lint, flow },
+            dirs: Directives {
+                lint,
+                flow,
+                taint,
+                sanitized,
+            },
         }
     }
 }
@@ -282,41 +294,96 @@ fn collect_allows(
             );
             continue;
         }
-        // A comment-only directive exempts the next *statement*: the first
-        // code line after the directive (the justification may span further
-        // comment-only lines) plus its method-chain continuation lines, so
-        // rustfmt splitting `x.expect(..)` across lines cannot detach the
-        // exemption. A trailing directive exempts its own line.
-        if line.code.trim().is_empty() {
-            let Some(offset) = file.lines[idx + 1..]
-                .iter()
-                .position(|l| !l.code.trim().is_empty())
-            else {
-                continue; // dangling directive at EOF: nothing to exempt
-            };
-            let first = idx + 1 + offset;
+        for covered in bound_lines(file, idx) {
             by_line
-                .entry(first + 1)
+                .entry(covered)
                 .or_insert_with(Vec::new)
                 .extend(rules.iter().cloned());
-            for (l, cont) in file.lines.iter().enumerate().skip(first + 1) {
-                let code = cont.code.trim_start();
-                if !(code.starts_with('.') || code.starts_with('?')) {
-                    break;
-                }
-                by_line
-                    .entry(l + 1)
-                    .or_insert_with(Vec::new)
-                    .extend(rules.iter().cloned());
-            }
-        } else {
-            by_line
-                .entry(idx + 1)
-                .or_insert_with(Vec::new)
-                .extend(rules);
         }
     }
     Allows { by_line }
+}
+
+/// The 1-based lines a directive on (0-based) line `idx` covers.
+///
+/// A comment-only directive exempts the next *statement*: the first code
+/// line after the directive (the justification may span further
+/// comment-only lines) plus its method-chain continuation lines, so
+/// rustfmt splitting `x.expect(..)` across lines cannot detach the
+/// exemption. A trailing directive exempts its own line. A dangling
+/// directive at EOF covers nothing.
+fn bound_lines(file: &SourceFile, idx: usize) -> Vec<usize> {
+    let line = &file.lines[idx];
+    if !line.code.trim().is_empty() {
+        return vec![idx + 1];
+    }
+    let Some(offset) = file.lines[idx + 1..]
+        .iter()
+        .position(|l| !l.code.trim().is_empty())
+    else {
+        return Vec::new();
+    };
+    let first = idx + 1 + offset;
+    let mut out = vec![first + 1];
+    for (l, cont) in file.lines.iter().enumerate().skip(first + 1) {
+        let code = cont.code.trim_start();
+        if !(code.starts_with('.') || code.starts_with('?')) {
+            break;
+        }
+        out.push(l + 1);
+    }
+    out
+}
+
+/// Collects `bf-taint: sanitized(<why>)` markers: the justification lives
+/// *inside* the parentheses, and an empty one is itself a `directive`
+/// error — a trust decision with no recorded reason is unreviewable.
+fn collect_sanitized(
+    file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+) -> std::collections::HashSet<usize> {
+    const MARKER: &str = "bf-taint: sanitized(";
+    let mut lines = std::collections::HashSet::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        if pos > 0 && line.comment.as_bytes()[pos - 1] == b'`' {
+            continue;
+        }
+        let rest = &line.comment[pos + MARKER.len()..];
+        let Some(close) = rest.rfind(')') else {
+            out.push(
+                Diagnostic::new(
+                    "directive",
+                    &file.path,
+                    idx + 1,
+                    "malformed bf-taint sanitized directive: missing `)`".to_string(),
+                )
+                .at_column(pos + 1),
+            );
+            continue;
+        };
+        let why = rest[..close].trim();
+        if why.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    "directive",
+                    &file.path,
+                    idx + 1,
+                    "bf-taint: sanitized(..) needs a justification inside the parentheses, \
+                     e.g. `// bf-taint: sanitized(len is clamped to the shm segment cap)`"
+                        .to_string(),
+                )
+                .at_column(pos + 1),
+            );
+            continue;
+        }
+        // An unjustified marker must not clear taint: only the justified
+        // form reaches this point and takes effect.
+        lines.extend(bound_lines(file, idx));
+    }
+    lines
 }
 
 /// Runs every per-file rule over a parsed unit, appending findings to

@@ -1,0 +1,420 @@
+//! Wire-schema drift gate: released tag numbers are append-only.
+//!
+//! The wire enums in `crates/rpc/src/proto.rs` (`DataRef`, `WireArg`,
+//! `Request`, `ErrorCode`, `Response`) assign one u8 tag per variant.
+//! Those numbers are the protocol: a deployed client and a redeployed
+//! manager only interoperate if tag 3 still means `DataRef::Digest` and
+//! tag 8 still means `ErrorCode::CacheMiss` (both added additively in
+//! PR 8 — the discipline this gate pins).
+//!
+//! The rule extracts each `impl WireDecode for <Enum>` arm's
+//! `<tag> => <Enum>::<Variant>` mapping from the masked source and
+//! compares it against the checked-in `wire-schema.json` snapshot:
+//!
+//! * a tag whose variant *changed* is a renumber/reuse — hard failure;
+//! * a snapshot tag that vanished from the code is a removal — failure
+//!   (released peers still send it);
+//! * a code tag missing from the snapshot is a *new* variant — failure
+//!   until the snapshot is regenerated in the same PR with
+//!   `bf-lint --write-wire-schema`, which is exactly the reviewable
+//!   "I am extending the protocol" artifact.
+//!
+//! Primitive impls (`bool`, `Option<T>`, varints) carry no
+//! `Enum::Variant` arms and are skipped automatically.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::rules::{Diagnostic, Unit};
+
+/// Rule name under which drift findings are reported.
+pub const WIRE_SCHEMA_RULE: &str = "wire_schema";
+
+/// Files whose `WireDecode` impls define the wire surface.
+const WIRE_FILE_PREFIX: &str = "crates/rpc/src/";
+
+/// tag → (variant name, file, 1-based arm line).
+pub type EnumTags = BTreeMap<u64, (String, String, usize)>;
+
+/// The checked-in snapshot's shape: enum → tag → released variant name.
+pub type Snapshot = BTreeMap<String, BTreeMap<u64, String>>;
+
+/// Extracts every wire enum's tag table from the parsed units.
+pub fn extract(units: &[Unit]) -> BTreeMap<String, EnumTags> {
+    let mut out: BTreeMap<String, EnumTags> = BTreeMap::new();
+    for unit in units {
+        let path = &unit.file.path;
+        if !path.starts_with(WIRE_FILE_PREFIX) {
+            continue;
+        }
+        let mut depth = 0i64;
+        // (enum name, impl's brace depth) while inside a decode impl.
+        let mut current: Option<(String, i64)> = None;
+        for (idx, line) in unit.file.lines.iter().enumerate() {
+            let depth_before = depth;
+            depth += line.brace_delta();
+            if let Some((_, impl_depth)) = &current {
+                if depth_before <= *impl_depth && !line.code.contains("impl WireDecode for ") {
+                    current = None;
+                }
+            }
+            if let Some(rest) = line.code.trim_start().strip_prefix("impl WireDecode for ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if name.chars().next().is_some_and(char::is_uppercase) {
+                    current = Some((name, depth_before));
+                }
+                continue;
+            }
+            let Some((enum_name, _)) = &current else {
+                continue;
+            };
+            let trimmed = line.code.trim_start();
+            let digits: String = trimmed.chars().take_while(char::is_ascii_digit).collect();
+            if digits.is_empty() {
+                continue;
+            }
+            let after = trimmed[digits.len()..].trim_start();
+            let Some(arm) = after.strip_prefix("=>") else {
+                continue;
+            };
+            let marker = format!("{enum_name}::");
+            let Some(vpos) = arm.find(&marker) else {
+                continue;
+            };
+            let variant: String = arm[vpos + marker.len()..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            let Ok(tag) = digits.parse::<u64>() else {
+                continue;
+            };
+            if !variant.is_empty() {
+                out.entry(enum_name.clone())
+                    .or_default()
+                    .entry(tag)
+                    .or_insert((variant, path.clone(), idx + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the extracted schema as the checked-in snapshot text.
+pub fn render(schema: &BTreeMap<String, EnumTags>) -> String {
+    let mut enums = serde_json::Map::new();
+    for (name, tags) in schema {
+        let mut table = serde_json::Map::new();
+        for (tag, (variant, _, _)) in tags {
+            table.insert(tag.to_string(), serde_json::Value::String(variant.clone()));
+        }
+        enums.insert(name.clone(), serde_json::Value::Object(table));
+    }
+    let mut root = serde_json::Map::new();
+    root.insert(
+        "_comment".to_string(),
+        serde_json::Value::String(
+            "Released wire tags (append-only). Regenerate with `bf-lint \
+             --write-wire-schema` when ADDING a variant; never renumber or \
+             reuse a released tag — deployed peers still speak it."
+                .to_string(),
+        ),
+    );
+    root.insert("enums".to_string(), serde_json::Value::Object(enums));
+    let mut text = serde_json::to_string_pretty(&serde_json::Value::Object(root))
+        .unwrap_or_else(|_| "{}".to_string());
+    text.push('\n');
+    text
+}
+
+/// Loads the snapshot: enum → tag → variant. Missing file → `None`.
+///
+/// # Errors
+///
+/// Returns a description when the file exists but cannot be parsed.
+pub fn load(path: &Path) -> Result<Option<Snapshot>, String> {
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let enums = value
+        .get("enums")
+        .and_then(|e| e.as_object())
+        .ok_or_else(|| format!("{}: expected an object with `enums`", path.display()))?;
+    let mut out = BTreeMap::new();
+    for (name, table) in enums {
+        let table = table
+            .as_object()
+            .ok_or_else(|| format!("{}: `enums.{name}` is not an object", path.display()))?;
+        let mut tags = BTreeMap::new();
+        for (tag, variant) in table {
+            let tag: u64 = tag
+                .parse()
+                .map_err(|e| format!("{}: bad tag {tag:?} in {name}: {e}", path.display()))?;
+            let variant = variant
+                .as_str()
+                .ok_or_else(|| format!("{}: non-string variant in {name}", path.display()))?;
+            tags.insert(tag, variant.to_string());
+        }
+        out.insert(name.clone(), tags);
+    }
+    Ok(Some(out))
+}
+
+/// Compares the extracted schema against the snapshot, appending one
+/// diagnostic per drift. Keys are `wire_schema|file|Enum|tag`, so they
+/// survive line drift (and could be baselined — though drift should be
+/// fixed or regenerated, never accepted).
+pub fn diff(current: &BTreeMap<String, EnumTags>, snapshot: &Snapshot, out: &mut Vec<Diagnostic>) {
+    let mut push = |file: &str, line: usize, enum_name: &str, tag: u64, message: String| {
+        let mut diag = Diagnostic::new(WIRE_SCHEMA_RULE, file, line, message);
+        diag.key = format!("{WIRE_SCHEMA_RULE}|{file}|{enum_name}|{tag}");
+        out.push(diag);
+    };
+    for (enum_name, tags) in current {
+        let snap = snapshot.get(enum_name);
+        for (tag, (variant, file, line)) in tags {
+            match snap.and_then(|s| s.get(tag)) {
+                Some(released) if released != variant => push(
+                    file,
+                    *line,
+                    enum_name,
+                    *tag,
+                    format!(
+                        "wire tag {tag} of `{enum_name}` renumbered/reused: released \
+                         peers decode it as `{released}`, this tree says `{variant}` \
+                         — wire tags are append-only; restore the released mapping \
+                         and give the new variant a fresh tag"
+                    ),
+                ),
+                Some(_) => {}
+                None => push(
+                    file,
+                    *line,
+                    enum_name,
+                    *tag,
+                    format!(
+                        "new wire tag {tag} (`{enum_name}::{variant}`) is not in \
+                         wire-schema.json: regenerate the snapshot in this PR with \
+                         `bf-lint --write-wire-schema` so the protocol extension \
+                         is reviewed"
+                    ),
+                ),
+            }
+        }
+    }
+    for (enum_name, snap_tags) in snapshot {
+        let cur = current.get(enum_name);
+        // Anchor removals at the enum's first surviving arm (or file head).
+        let (anchor_file, anchor_line) = cur
+            .and_then(|t| t.values().next())
+            .map(|(_, f, l)| (f.clone(), *l))
+            .unwrap_or_else(|| ("crates/rpc/src/proto.rs".to_string(), 1));
+        for (tag, variant) in snap_tags {
+            let present = cur.is_some_and(|t| t.contains_key(tag));
+            if !present {
+                push(
+                    &anchor_file,
+                    anchor_line,
+                    enum_name,
+                    *tag,
+                    format!(
+                        "released wire tag {tag} (`{enum_name}::{variant}`) vanished \
+                         from the decode surface: deployed peers still send it — \
+                         tags may be deprecated but never removed"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Runs the drift gate: extract, load the snapshot at `path`, diff.
+/// A missing snapshot fails with a regenerate hint; an unparseable one
+/// fails too (CI must not silently gate on nothing).
+pub fn check(units: &[Unit], path: &Path, out: &mut Vec<Diagnostic>) {
+    let current = extract(units);
+    if current.is_empty() {
+        return; // no wire surface in this scan (e.g. single-file runs)
+    }
+    match load(path) {
+        Ok(Some(snapshot)) => diff(&current, &snapshot, out),
+        Ok(None) => {
+            let mut diag = Diagnostic::new(
+                WIRE_SCHEMA_RULE,
+                "crates/rpc/src/proto.rs",
+                1,
+                format!(
+                    "wire-schema snapshot {} is missing: generate it with \
+                     `bf-lint --write-wire-schema` and check it in",
+                    path.display()
+                ),
+            );
+            diag.key = format!("{WIRE_SCHEMA_RULE}|missing-snapshot");
+            out.push(diag);
+        }
+        Err(e) => {
+            let mut diag = Diagnostic::new(
+                WIRE_SCHEMA_RULE,
+                "crates/rpc/src/proto.rs",
+                1,
+                format!("wire-schema snapshot unreadable: {e}"),
+            );
+            diag.key = format!("{WIRE_SCHEMA_RULE}|bad-snapshot");
+            out.push(diag);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Unit;
+    use crate::scan::parse;
+
+    const PROTO: &str = r#"
+impl WireDecode for DataRef {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match buf.get_u8() {
+            0 => Ok(DataRef::Inline(Payload::decode(buf)?)),
+            1 => Ok(DataRef::Shm { region: get_varint(buf)? }),
+            3 => Ok(DataRef::Digest(get_u128_be(buf)?)),
+            value => Err(CodecError::BadDiscriminant { what: "DataRef", value }),
+        }
+    }
+}
+
+impl WireDecode for bool {
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(CodecError::BadDiscriminant { what: "bool", value }),
+        }
+    }
+}
+"#;
+
+    fn units(path: &str, src: &str) -> Vec<Unit> {
+        vec![Unit::analyze(parse(path, src, false), &mut Vec::new())]
+    }
+
+    fn snapshot(pairs: &[(u64, &str)]) -> BTreeMap<String, BTreeMap<u64, String>> {
+        let mut tags = BTreeMap::new();
+        for (tag, variant) in pairs {
+            tags.insert(*tag, (*variant).to_string());
+        }
+        let mut out = BTreeMap::new();
+        out.insert("DataRef".to_string(), tags);
+        out
+    }
+
+    #[test]
+    fn extract_reads_arm_tables_and_skips_primitives() {
+        let schema = extract(&units("crates/rpc/src/proto.rs", PROTO));
+        assert_eq!(schema.len(), 1, "bool impl has no Enum::Variant arms");
+        let tags = &schema["DataRef"];
+        assert_eq!(tags[&0].0, "Inline");
+        assert_eq!(tags[&1].0, "Shm");
+        assert_eq!(tags[&3].0, "Digest");
+        assert!(!tags.contains_key(&2));
+    }
+
+    #[test]
+    fn extract_ignores_files_outside_the_wire_surface() {
+        assert!(extract(&units("crates/devmgr/src/session.rs", PROTO)).is_empty());
+    }
+
+    #[test]
+    fn renumbering_a_released_tag_fails() {
+        let current = extract(&units("crates/rpc/src/proto.rs", PROTO));
+        // Released: tag 1 was `Inline`. The tree now says `Shm` — reuse.
+        let snap = snapshot(&[(0, "Inline"), (1, "Inline"), (3, "Digest")]);
+        let mut out = Vec::new();
+        diff(&current, &snap, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].message.contains("renumbered/reused"),
+            "{}",
+            out[0].message
+        );
+        assert_eq!(out[0].key, "wire_schema|crates/rpc/src/proto.rs|DataRef|1");
+    }
+
+    #[test]
+    fn new_tag_requires_snapshot_regeneration() {
+        let current = extract(&units("crates/rpc/src/proto.rs", PROTO));
+        let snap = snapshot(&[(0, "Inline"), (1, "Shm")]); // tag 3 is new
+        let mut out = Vec::new();
+        diff(&current, &snap, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].message.contains("--write-wire-schema"),
+            "{}",
+            out[0].message
+        );
+        assert_eq!(out[0].key, "wire_schema|crates/rpc/src/proto.rs|DataRef|3");
+    }
+
+    #[test]
+    fn removing_a_released_tag_fails() {
+        let current = extract(&units("crates/rpc/src/proto.rs", PROTO));
+        let snap = snapshot(&[(0, "Inline"), (1, "Shm"), (2, "Synthetic"), (3, "Digest")]);
+        let mut out = Vec::new();
+        diff(&current, &snap, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("vanished"), "{}", out[0].message);
+        assert_eq!(out[0].key, "wire_schema|crates/rpc/src/proto.rs|DataRef|2");
+    }
+
+    #[test]
+    fn matching_snapshot_is_clean() {
+        let current = extract(&units("crates/rpc/src/proto.rs", PROTO));
+        let snap = snapshot(&[(0, "Inline"), (1, "Shm"), (3, "Digest")]);
+        let mut out = Vec::new();
+        diff(&current, &snap, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_snapshot_fails_with_regenerate_hint() {
+        let mut out = Vec::new();
+        check(
+            &units("crates/rpc/src/proto.rs", PROTO),
+            Path::new("/nonexistent/wire-schema.json"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].message.contains("--write-wire-schema"),
+            "{}",
+            out[0].message
+        );
+        assert_eq!(out[0].key, "wire_schema|missing-snapshot");
+    }
+
+    #[test]
+    fn render_round_trips_through_load() {
+        let schema = extract(&units("crates/rpc/src/proto.rs", PROTO));
+        let text = render(&schema);
+        let dir = std::env::temp_dir().join(format!("bf-lint-wire-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("wire-schema.json");
+        std::fs::write(&path, &text).expect("write");
+        let back = load(&path).expect("parse").expect("present");
+        assert_eq!(back["DataRef"][&0], "Inline");
+        assert_eq!(back["DataRef"][&3], "Digest");
+        let mut out = Vec::new();
+        check(&units("crates/rpc/src/proto.rs", PROTO), &path, &mut out);
+        assert!(
+            out.is_empty(),
+            "freshly generated snapshot diffs clean: {out:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -139,6 +139,7 @@ impl Histogram {
             .iter()
             .position(|b| v <= *b)
             .unwrap_or(inner.bounds.len());
+        // bf-taint: sanitized(idx <= bounds.len() by construction; counts always has bounds.len() + 1 slots)
         inner.counts[idx] += 1;
         inner.sum += v;
         inner.total += 1;

@@ -119,6 +119,7 @@ impl NativeBackend {
         let max_index = k.args.keys().next_back().copied();
         let mut args = Vec::new();
         if let Some(max) = max_index {
+            // bf-taint: sanitized(set_kernel_arg rejects indices >= MAX_KERNEL_ARGS, capping the highest key at 256)
             for i in 0..=max {
                 let v = k.args.get(&i).ok_or(ClError::MissingKernelArg(i))?;
                 args.push(match *v {
@@ -225,6 +226,16 @@ impl Backend for NativeBackend {
     }
 
     fn set_kernel_arg(&self, kernel: KernelId, index: u32, arg: ArgValue) -> ClResult<()> {
+        // Same bound the device-manager session enforces on the wire:
+        // launch materializes slots positionally, so an unchecked index
+        // would buy `index` iterations of launch-time work.
+        if index >= bf_fpga::MAX_KERNEL_ARGS {
+            return Err(ClError::InvalidKernelLaunch(format!(
+                "kernel argument index {index} exceeds the per-kernel \
+                 limit of {}",
+                bf_fpga::MAX_KERNEL_ARGS
+            )));
+        }
         let mut state = self.state.lock();
         let k = state
             .kernels
@@ -511,6 +522,28 @@ mod tests {
             ev.take_payload().expect("payload"),
             Payload::Data(vec![2, 4, 6, 8].into())
         );
+    }
+
+    /// Regression: argument slots materialize positionally at launch
+    /// (`0..=max`), so an unchecked index would buy `index` iterations of
+    /// launch-time work. The backend enforces the same cap the
+    /// device-manager session enforces on the wire.
+    #[test]
+    fn kernel_arg_index_is_capped() {
+        let be = backend();
+        let ctx = be.create_context().expect("ctx");
+        let prog = be.build_program(ctx, "double").expect("program");
+        let kernel = be.create_kernel(prog, "double").expect("kernel");
+        for index in [bf_fpga::MAX_KERNEL_ARGS, u32::MAX] {
+            match be.set_kernel_arg(kernel, index, ArgValue::U32(1)) {
+                Err(ClError::InvalidKernelLaunch(msg)) => {
+                    assert!(msg.contains("exceeds"), "index {index}: {msg}");
+                }
+                other => panic!("index {index} accepted: {other:?}"),
+            }
+        }
+        be.set_kernel_arg(kernel, bf_fpga::MAX_KERNEL_ARGS - 1, ArgValue::U32(1))
+            .expect("highest legal index");
     }
 
     #[test]

@@ -365,6 +365,10 @@ impl Backend for RemoteBackend {
         if let (Some((tracker, digest, _)), DataRef::Inline(_)) = (digest, &data) {
             // The manager admits inline payloads at staging time, so the
             // next identical write can travel as a digest.
+            // bf-taint: allow(taint_auth): `digest` is recomputed locally
+            // from the payload bytes (content_digest above); the pattern
+            // binding inherits the tuple's taint only because the
+            // analysis binds destructured names coarsely.
             tracker.note_sent(digest);
         }
         self.conn.submit_op(

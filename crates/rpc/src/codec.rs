@@ -101,6 +101,7 @@ pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
+// bf-taint: source(wire)
 pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
@@ -143,6 +144,7 @@ pub(crate) fn put_u128_be(buf: &mut BytesMut, v: u128) {
 }
 
 /// Consumes a fixed-width 16-byte big-endian `u128`.
+// bf-taint: source(wire)
 pub(crate) fn get_u128_be(buf: &mut Bytes) -> Result<u128, CodecError> {
     if buf.remaining() < 16 {
         return Err(CodecError::UnexpectedEof);
@@ -228,6 +230,7 @@ impl WireDecode for String {
         if buf.remaining() < len {
             return Err(CodecError::UnexpectedEof);
         }
+        // bf-taint: sanitized(the remaining() guard above proves the declared len fits the received buffer)
         let raw = buf.split_to(len);
         // Validate on the borrowed slice first so invalid UTF-8 never
         // pays for an intermediate Vec.
@@ -255,6 +258,7 @@ impl WireDecode for Vec<u8> {
         bf_metrics::record_memcpy(len as u64);
         // bf-lint: allow(payload_copy): the legacy owned-Vec decode path —
         // zero-copy consumers decode `Payload` instead; this copy is counted.
+        // bf-taint: sanitized(the remaining() guard above proves the declared len fits the received buffer)
         Ok(buf.split_to(len).to_vec())
     }
 }

@@ -160,6 +160,7 @@ impl WireDecode for Payload {
             return Err(CodecError::UnexpectedEof);
         }
         // Zero-copy: the payload is a refcounted slice of the frame.
+        // bf-taint: sanitized(the remaining() guard above proves the declared len fits the received buffer)
         Ok(Payload(buf.split_to(len)))
     }
 }

@@ -267,6 +267,7 @@ impl ShmSegment {
                 // bf-flow: allow(hot_alloc): same region-length bound
                 // bf-flow: allow(hot_panic): the match guard just above
                 // proves old.len() > data.len(), so the slice is in range
+                // bf-taint: sanitized(same guard — data.len() < old.len())
                 v.extend_from_slice(&old[data.len()..]);
                 Bytes::from(v)
             }

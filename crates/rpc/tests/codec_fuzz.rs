@@ -333,3 +333,100 @@ fn trailing_garbage_is_rejected() {
         );
     }
 }
+
+// ---- adversarial declared lengths ---------------------------------------
+//
+// Every variable-size field travels as a varint length prefix that the
+// decoder reads off the wire and trusts only after proving it fits the
+// received frame (`buf.remaining() < len` → `UnexpectedEof`). These
+// attacks declare lengths up to `u64::MAX` over tiny frames: the decoder
+// must return the typed error WITHOUT allocating or copying anything
+// proportional to the claim — asserted through the process-wide
+// bf_metrics copy counters, which the decode paths report into.
+
+use bf_rpc::CodecError;
+use bytes::{BufMut, BytesMut};
+
+/// A frame claiming `declared` bytes of content but carrying `actual`.
+fn declared_len_frame(declared: u64, actual: &[u8]) -> Bytes {
+    let mut buf = BytesMut::new();
+    declared.encode(&mut buf);
+    buf.put_slice(actual);
+    buf.freeze()
+}
+
+/// Lengths an attacker would pick: just past the frame, huge, and the
+/// `as usize` edge cases.
+const EVIL_LENGTHS: [u64; 5] = [16, u32::MAX as u64, 1 << 40, u64::MAX - 1, u64::MAX];
+
+#[test]
+fn declared_length_attacks_error_without_proportional_work() {
+    let before = bf_metrics::copy_counters();
+    for declared in EVIL_LENGTHS {
+        let frame = declared_len_frame(declared, b"tiny");
+        assert_eq!(
+            String::decode(&mut frame.clone()),
+            Err(CodecError::UnexpectedEof),
+            "string declaring {declared} bytes"
+        );
+        assert_eq!(
+            Vec::<u8>::decode(&mut frame.clone()),
+            Err(CodecError::UnexpectedEof),
+            "vec declaring {declared} bytes"
+        );
+        assert_eq!(
+            Payload::decode(&mut frame.clone()),
+            Err(CodecError::UnexpectedEof),
+            "payload declaring {declared} bytes"
+        );
+    }
+    // 15 rejected decodes declared ~4 EiB in total. Concurrent tests in
+    // this binary legitimately copy a few hundred KB; anything remotely
+    // proportional to the declared lengths would blow past this bound.
+    let delta = bf_metrics::copy_counters().since(before);
+    assert!(
+        delta.bytes < 1 << 30,
+        "rejected decodes copied {} bytes",
+        delta.bytes
+    );
+}
+
+#[test]
+fn envelope_with_inflated_payload_length_is_rejected() {
+    let marker: &[u8] = &[0x05, 0xA1, 0xA2, 0xA3, 0xA4, 0xA5];
+    let env = RequestEnvelope {
+        tag: 9,
+        client: ClientId(3),
+        sent_at: VirtualTime::from_nanos(7),
+        body: Request::EnqueueWrite {
+            queue: 5,
+            buffer: 9,
+            offset: 0,
+            data: DataRef::Inline(vec![0xA1, 0xA2, 0xA3, 0xA4, 0xA5].into()),
+        },
+    };
+    let wire = env.to_bytes().to_vec();
+    let pos = wire
+        .windows(marker.len())
+        .position(|w| w == marker)
+        .expect("inline payload length prefix present in the frame");
+    // Splice a 10-byte varint of u64::MAX where the 1-byte length `5` sat:
+    // the envelope now claims an 16-EiB payload backed by 5 bytes.
+    let mut evil = wire[..pos].to_vec();
+    let mut prefix = BytesMut::new();
+    u64::MAX.encode(&mut prefix);
+    evil.extend_from_slice(&prefix);
+    evil.extend_from_slice(&wire[pos + 1..]);
+    let before = bf_metrics::copy_counters();
+    assert_eq!(
+        RequestEnvelope::from_bytes(Bytes::from(evil)),
+        Err(CodecError::UnexpectedEof),
+        "inflated inline payload length must be a typed decode error"
+    );
+    let delta = bf_metrics::copy_counters().since(before);
+    assert!(
+        delta.bytes < 1 << 30,
+        "rejected envelope copied {} bytes",
+        delta.bytes
+    );
+}

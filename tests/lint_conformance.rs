@@ -287,3 +287,175 @@ fn lock_hierarchy_is_declared() {
     );
     assert!(LOCK_HIERARCHY.contains(&"board"));
 }
+
+// ---- bf-taint conformance -----------------------------------------------
+
+/// Runs the trust-boundary taint pass over an in-memory multi-file
+/// fixture, exactly as `run` does for the real tree.
+fn taint_check(sources: &[(&str, &str)]) -> Vec<bf_lint::Diagnostic> {
+    let mut out = Vec::new();
+    let units: Vec<bf_lint::Unit> = sources
+        .iter()
+        .map(|(path, src)| bf_lint::Unit::analyze(bf_lint::scan::parse(path, src, false), &mut out))
+        .collect();
+    bf_lint::taint::check(&units, &mut out);
+    out
+}
+
+/// The wire side of every taint fixture: an annotated decode primitive,
+/// the same shape as `codec::get_u128_be`.
+const WIRE_DECODE: &str = "// bf-taint: source(wire)\n\
+    pub fn get_u128_be(buf: &mut Bytes) -> Result<u128, CodecError> {\n\
+        Ok(0)\n\
+    }\n";
+
+/// The acceptance scenario for the subsystem: the PR-8 digest-trust bug.
+/// A client-claimed digest decoded off the wire reaches the cache-hit
+/// authorization decision (`admitted.holds` / `cache.get`) without the
+/// server recomputing it from the arrived bytes — the exact shape the
+/// payload cache shipped with before the server-side recomputation fix.
+#[test]
+fn pr8_digest_trust_bug_fails_taint_with_a_multi_hop_witness() {
+    assert!(bf_lint::TAINT_RULES.contains(&"taint_auth"));
+    let session = "pub fn handle_request(buf: &mut Bytes) {\n\
+                       let digest = get_u128_be(buf).unwrap();\n\
+                       resolve_payload(digest);\n\
+                   }\n\
+                   fn resolve_payload(digest: u128) {\n\
+                       if !admitted.holds(digest) {\n\
+                           return;\n\
+                       }\n\
+                       match cache.get(digest) {\n\
+                           _ => {}\n\
+                       }\n\
+                   }\n";
+    let out = taint_check(&[
+        ("crates/rpc/src/codec.rs", WIRE_DECODE),
+        ("crates/devmgr/src/session.rs", session),
+    ]);
+    let holds = out
+        .iter()
+        .find(|d| d.rule == "taint_auth" && d.key.contains("holds"))
+        .unwrap_or_else(|| panic!("client-claimed digest authorization not caught: {out:?}"));
+    assert_eq!(holds.file, "crates/devmgr/src/session.rs");
+    assert!(
+        holds.witness.len() >= 3,
+        "expected a source → call → sink chain, got {:?}",
+        holds.witness
+    );
+    assert!(
+        holds.witness[0].function.contains("get_u128_be"),
+        "witness must start at the wire source: {:?}",
+        holds.witness
+    );
+    assert!(
+        holds
+            .witness
+            .iter()
+            .any(|h| h.function.contains("handle_request")),
+        "witness must pass through the request entry: {:?}",
+        holds.witness
+    );
+    assert!(
+        holds.witness.last().unwrap().function.contains("holds"),
+        "witness must end at the authorization sink: {:?}",
+        holds.witness
+    );
+    // The cache-admission lookup keyed by the same claimed digest fires too.
+    assert!(
+        out.iter()
+            .any(|d| d.rule == "taint_auth" && d.key.contains("get")),
+        "{out:?}"
+    );
+}
+
+/// The PR-8 fix: recomputing the digest from the arrived bytes is a
+/// validated constructor — the result is content identity, not a claim,
+/// and the taint clears.
+#[test]
+fn server_side_digest_recomputation_sanitizes_the_flow() {
+    let session = "pub fn handle_request(buf: &mut Bytes) {\n\
+                       let digest = get_u128_be(buf).unwrap();\n\
+                       resolve_payload(digest, buf);\n\
+                   }\n\
+                   fn resolve_payload(digest: u128, bytes: &Bytes) {\n\
+                       let digest = content_digest(bytes);\n\
+                       if !admitted.holds(digest) {\n\
+                           return;\n\
+                       }\n\
+                       match cache.get(digest) {\n\
+                           _ => {}\n\
+                       }\n\
+                   }\n";
+    let out = taint_check(&[
+        ("crates/rpc/src/codec.rs", WIRE_DECODE),
+        ("crates/devmgr/src/session.rs", session),
+    ]);
+    assert!(
+        out.iter().all(|d| !d.rule.starts_with("taint_")),
+        "recomputed digest is trusted: {out:?}"
+    );
+}
+
+/// `bf-taint: sanitized()` without a justification is itself an error,
+/// and the underlying finding still fires — an empty excuse exempts
+/// nothing.
+#[test]
+fn sanitized_without_justification_is_an_error_and_does_not_exempt() {
+    let src = "pub fn handle(buf: &mut Bytes) {\n\
+                   let len = get_u128_be(buf).unwrap();\n\
+                   // bf-taint: sanitized()\n\
+                   let v: Vec<u8> = Vec::with_capacity(len as usize);\n\
+                   drop(v);\n\
+               }\n";
+    let out = taint_check(&[
+        ("crates/rpc/src/codec.rs", WIRE_DECODE),
+        ("crates/devmgr/src/worker.rs", src),
+    ]);
+    assert!(
+        out.iter()
+            .any(|d| d.rule == "directive" && d.message.contains("justification")),
+        "{out:?}"
+    );
+    assert!(
+        out.iter().any(|d| d.rule == "taint_alloc"),
+        "empty sanitized(..) must not clear the flow: {out:?}"
+    );
+}
+
+/// One `bf-taint: allow(a, b)` directive may name several taint rules;
+/// each listed rule is exempted at the covered site.
+#[test]
+fn multi_rule_allow_covers_taint_rules() {
+    let src = "pub fn handle(buf: &mut Bytes) {\n\
+                   let len = get_u128_be(buf).unwrap();\n\
+                   // bf-taint: allow(taint_alloc, taint_auth): fixture for multi-rule coverage\n\
+                   let v: Vec<u8> = Vec::with_capacity(len as usize);\n\
+                   drop(v);\n\
+                   // bf-taint: allow(taint_auth, taint_alloc): fixture for multi-rule coverage\n\
+                   if admitted.holds(len) {}\n\
+               }\n";
+    let out = taint_check(&[
+        ("crates/rpc/src/codec.rs", WIRE_DECODE),
+        ("crates/devmgr/src/worker.rs", src),
+    ]);
+    assert!(
+        out.iter().all(|d| !d.rule.starts_with("taint_")),
+        "both rules at both sites are exempt: {out:?}"
+    );
+    assert!(
+        out.iter().all(|d| d.rule != "directive"),
+        "the directives themselves are well-formed: {out:?}"
+    );
+}
+
+/// A baselined taint finding that stops firing (the flow was fixed) is
+/// reported stale, so the baseline shrinks in the same PR as the fix.
+#[test]
+fn fixed_taint_finding_makes_its_baseline_entry_stale() {
+    let stale_key =
+        "taint_auth|crates/devmgr/src/session.rs|resolve_payload|auth:holds:digest".to_string();
+    let gated = baseline::gate(&[], std::slice::from_ref(&stale_key));
+    assert_eq!(gated.stale, vec![stale_key]);
+    assert_eq!(gated.suppressed, 0);
+}
