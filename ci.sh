@@ -67,6 +67,14 @@ cargo run -q --release -p bf-bench --bin scale -- --smoke --check experiments/BE
 echo "==> cache bench (smoke + archive check)"
 cargo run -q --release -p bf-bench --bin cache -- --smoke --check experiments/BENCH_cache.json
 
+# Federation smoke: both 100-node points (1 and 16 shards) must reproduce
+# the archived placement/outcome/contention counters and trace digests
+# exactly, keep the allocation-quality floor (configured+warm share of
+# placements), and keep the 16-shard max per-lock span at least 4x below
+# the single-registry baseline.
+echo "==> federation bench (smoke + archive check)"
+cargo run -q --release -p bf-bench --bin federation -- --smoke --check experiments/BENCH_federation.json
+
 # Virtual-time conformance: the data-path refactor must never move the
 # paper's Fig. 4(a) numbers — regenerate and require byte-identical JSON.
 echo "==> fig4a virtual-time check"

@@ -21,6 +21,7 @@
 
 mod cache;
 mod datapath;
+mod federation;
 mod gateway;
 mod scale;
 
@@ -32,6 +33,12 @@ pub use crate::cache::{
 pub use crate::datapath::{
     baseline_copied_bytes, check_against_archive, datapath_rows, parse_archive, render_datapath,
     ArchivedCopyRow, DatapathRow, LADDER, SMOKE,
+};
+pub use crate::federation::{
+    check_federation_archive, check_federation_invariants, federation_config, federation_rows,
+    parse_federation_archive, render_federation, ArchivedFederationRow, FederationBenchRow,
+    FEDERATION_LADDER, FEDERATION_QUALITY_FLOOR, FEDERATION_SMOKE, FEDERATION_SPAN_DROP,
+    FEDERATION_SPAN_RATIO,
 };
 pub use crate::gateway::{
     check_batching_wins, check_gateway_archive, gateway_duration, gateway_rows,

@@ -90,7 +90,10 @@ pub mod prelude {
         ArgValue, Backend, BitstreamCatalog, ClError, ClResult, Device, EventStatus, NativeBackend,
         NdRange,
     };
-    pub use bf_registry::{AllocationPolicy, DeviceQuery, Registry};
+    pub use bf_registry::{
+        attach_placement, AllocationPolicy, DeviceQuery, PlacementService, Registry,
+        ShardedRegistry,
+    };
     pub use bf_remote::{RemoteBackend, Router};
     pub use bf_rpc::PathCosts;
     pub use bf_serverless::{

@@ -37,6 +37,15 @@ pub const HIERARCHY: &[&str] = &[
     "batch_state",
     // Autoscaler policy table (bf-serverless).
     "policies",
+    // Federation shard membership + shard handles (bf-registry). Held
+    // across a whole federated placement or rebalance, both of which
+    // take shard registry locks (and `federation`) underneath — so it
+    // outranks everything the placement path touches.
+    "shard_map",
+    // Federation instance→shard index and function catalog
+    // (bf-registry). Acquired while `shard_map` is held, always between
+    // shard operations — never with a shard's `registry` lock live.
+    "federation",
     // Registry's cluster handle (bf-registry). Taken only for a clone;
     // ranks above `registry` because the cluster admission hook calls
     // back into `Registry::place_instance`.

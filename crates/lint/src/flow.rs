@@ -57,6 +57,7 @@ pub const ENTRY_CLASSES: &[(&str, &str)] = &[
     ("remote_reactor", "pending"),
     ("batcher", "functions"),
     ("shm", "segment"),
+    ("gatherer", "registry"),
 ];
 
 /// Crates excluded from the call-graph model: the bf-race facade *is* the

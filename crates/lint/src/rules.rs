@@ -40,6 +40,7 @@ pub const INSTRUMENTED_CRATES: &[&str] = &[
     "crates/fpga/",
     "crates/serverless/",
     "crates/cache/",
+    "crates/registry/",
 ];
 
 /// Where the lock hierarchy table lives; whole-program coverage findings

@@ -497,3 +497,72 @@ fn payload_cache_snapshot_survives_concurrent_insert_and_evict() {
     );
     assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
 }
+
+/// Federated rebalance vs placement: a shard join (HRW rebalance moving
+/// devices and their bindings) racing a concurrent `place_instance` must
+/// never double-place the instance, strand it without a binding, or lose
+/// a device — on every interleaving. The shard-map lock serializes the
+/// two paths; this model proves the serialization is complete in both
+/// orders (place-then-rebalance carries the binding to the new owner,
+/// rebalance-then-place routes against the post-join membership).
+#[test]
+fn shard_rebalance_never_double_places_or_strands() {
+    use bf_registry::{
+        AllocationPolicy, DeviceQuery, PlacementService, ShardedRegistry, StaticDevice,
+    };
+
+    let stats = explore("shard_rebalance_vs_place", || {
+        let sharded = ShardedRegistry::new(AllocationPolicy::paper(), 2);
+        for (i, node) in [bf_model::node_a(), bf_model::node_b(), bf_model::node_c()]
+            .into_iter()
+            .enumerate()
+        {
+            sharded.register_device_handle(
+                StaticDevice::new(format!("fpga-{i}"), node, Some("sobel")).handle(),
+            );
+        }
+        sharded.register_function("f", DeviceQuery::for_accelerator("sobel"));
+
+        let rebalancer = {
+            let sharded = sharded.clone();
+            thread::spawn(move || {
+                let (joined, _moved) = sharded.add_shard();
+                joined
+            })
+        };
+        let allocation = sharded
+            .place_instance("inst-0", "f")
+            .expect("three devices are registered on every schedule");
+        let joined = rebalancer.join();
+
+        // Exactly one binding for the instance, on a device that still
+        // exists exactly once in the federation.
+        assert_eq!(
+            sharded.binding("inst-0").as_deref(),
+            Some(allocation.device_id.as_str()),
+            "placement must survive the rebalance"
+        );
+        let ids = sharded.device_ids();
+        assert_eq!(ids.len(), 3, "rebalance must not duplicate or drop devices");
+        let bound: usize = sharded
+            .device_views()
+            .iter()
+            .flat_map(|v| v.connected.iter())
+            .filter(|(instance, _)| instance.as_str() == "inst-0")
+            .count();
+        assert_eq!(bound, 1, "instance must be connected exactly once");
+        assert_eq!(sharded.shard_count(), 3, "the joiner is live");
+        assert!(sharded.shard_ids().contains(&joined));
+
+        // The federation index still resolves the instance: release must
+        // actually remove the binding wherever it now lives.
+        sharded.release_instance("inst-0");
+        assert_eq!(sharded.binding("inst-0"), None, "release after rebalance");
+    })
+    .expect("no schedule may double-place or strand an instance across a rebalance");
+    println!(
+        "shard_rebalance_vs_place: {} schedules explored",
+        stats.schedules
+    );
+    assert!(stats.schedules > 1, "exploration must branch: {stats:?}");
+}

@@ -26,18 +26,27 @@
 //! ```
 
 mod allocation;
+mod device;
 mod gatherer;
 mod query;
 mod registry;
+mod service;
+mod shard;
 
 pub use allocation::{
     allocate, AllocateError, Allocation, AllocationPolicy, DeviceView, MetricFilter, MetricKey,
 };
+pub use device::{BoardState, RegistryDevice, StaticDevice};
 pub use gatherer::{gauge_for_device, parse_scrape, ScrapeSample};
 pub use query::DeviceQuery;
 pub use registry::{
-    FunctionRecord, Registry, RegistryError, ENV_DEVICE_MANAGER, SHM_VOLUME_PREFIX,
+    ContentionStats, FunctionRecord, Registry, RegistryError, ENV_DEVICE_MANAGER, SHM_VOLUME_PREFIX,
 };
+pub use service::{
+    attach_placement, reconfig_validator, ContentionReport, PlacementOutcomes, PlacementService,
+    ShardLoadSummary,
+};
+pub use shard::{hrw_owner, FederatedAllocator, ShardedRegistry};
 
 #[cfg(test)]
 mod tests {

@@ -2,20 +2,22 @@
 //! registers functions and devices, aggregates performance metrics,
 //! allocates devices to function instances and validates reconfigurations.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use bf_cluster::{Cluster, WatchEvent};
+use bf_cluster::Cluster;
 use bf_devmgr::{DeviceManager, ReconfigRequest};
 use bf_metrics::MetricsRegistry;
 use bf_model::NodeId;
-use parking_lot::Mutex;
+use bf_race::sync::Mutex;
 
 use crate::allocation::{allocate, AllocateError, Allocation, AllocationPolicy, DeviceView};
+use crate::device::RegistryDevice;
 use crate::gatherer::{gauge_for_device, parse_scrape};
 use crate::query::DeviceQuery;
+use crate::service::{ContentionReport, PlacementOutcomes, ShardLoadSummary};
 
 /// Environment variable the registry injects with the allocated manager's
 /// address.
@@ -35,10 +37,42 @@ pub struct FunctionRecord {
 }
 
 struct ManagedDevice {
-    manager: DeviceManager,
+    /// The handle the allocator reads board state from and programs
+    /// through — a [`DeviceManager`] in production, a lightweight
+    /// stand-in in simulation harnesses.
+    device: Arc<dyn RegistryDevice>,
+    /// The concrete manager, when the device was registered with one
+    /// (what function instances dial after reading
+    /// `DEVICE_MANAGER_ADDRESS`).
+    manager: Option<DeviceManager>,
     utilization: f64,
     mean_op_latency_ms: f64,
     pending_reconfiguration: Option<String>,
+}
+
+/// Work performed under single acquisitions of the registry lock.
+///
+/// `span` is the number of device/binding entries walked while the lock
+/// was held — the unit the federated ladder compares across shard counts
+/// ("max per-lock contention").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionStats {
+    /// Lock acquisitions recorded.
+    pub acquisitions: u64,
+    /// Largest single-acquisition span.
+    pub max_span: u64,
+    /// Sum of all spans.
+    pub total_span: u64,
+}
+
+impl ContentionStats {
+    fn note(&mut self, span: u64) {
+        self.acquisitions += 1;
+        self.total_span += span;
+        if span > self.max_span {
+            self.max_span = span;
+        }
+    }
 }
 
 struct RegistryInner {
@@ -47,6 +81,28 @@ struct RegistryInner {
     /// instance name → (function name, device id)
     bindings: BTreeMap<String, (String, String)>,
     policy: AllocationPolicy,
+    contention: ContentionStats,
+}
+
+impl RegistryInner {
+    /// Records one lock acquisition spanning the whole device + binding
+    /// tables (the view-materialization paths).
+    fn note_full_span(&mut self) {
+        let span = (self.devices.len() + self.bindings.len()) as u64;
+        self.contention.note(span);
+    }
+}
+
+/// A device's bindings detached for a shard-map rebalance: everything the
+/// receiving shard needs to re-home the device without re-placement.
+pub(crate) struct DeviceExport {
+    pub(crate) device: Arc<dyn RegistryDevice>,
+    pub(crate) manager: Option<DeviceManager>,
+    pub(crate) utilization: f64,
+    pub(crate) mean_op_latency_ms: f64,
+    pub(crate) pending_reconfiguration: Option<String>,
+    /// `(instance, function)` bindings that move with the device.
+    pub(crate) bindings: Vec<(String, String)>,
 }
 
 /// Errors surfaced by registry operations.
@@ -102,6 +158,7 @@ impl Registry {
                 functions: BTreeMap::new(),
                 bindings: BTreeMap::new(),
                 policy,
+                contention: ContentionStats::default(),
             })),
             cluster: Arc::new(Mutex::new(None)),
             metrics: MetricsRegistry::default(),
@@ -113,12 +170,23 @@ impl Registry {
         &self.metrics
     }
 
-    /// Registers a device (Devices Service).
+    /// Registers a device fronted by a live manager (Devices Service).
     pub fn register_device(&self, manager: DeviceManager) {
-        let id = manager.device_id().to_string();
+        self.insert_device(Arc::new(manager.clone()), Some(manager));
+    }
+
+    /// Registers a device through a bare [`RegistryDevice`] handle — the
+    /// simulation/model path, where no manager event loop exists.
+    pub fn register_device_handle(&self, device: Arc<dyn RegistryDevice>) {
+        self.insert_device(device, None);
+    }
+
+    fn insert_device(&self, device: Arc<dyn RegistryDevice>, manager: Option<DeviceManager>) {
+        let id = device.device_id().to_string();
         self.registry.lock().devices.insert(
             id,
             ManagedDevice {
+                device,
                 manager,
                 utilization: 0.0,
                 mean_op_latency_ms: 0.0,
@@ -146,18 +214,22 @@ impl Registry {
     }
 
     /// The manager handle for a device id (what a function instance dials
-    /// after reading `DEVICE_MANAGER_ADDRESS`).
+    /// after reading `DEVICE_MANAGER_ADDRESS`). `None` for devices
+    /// registered through a bare handle.
     pub fn manager(&self, device_id: &str) -> Option<DeviceManager> {
         self.registry
             .lock()
             .devices
             .get(device_id)
-            .map(|d| d.manager.clone())
+            .and_then(|d| d.manager.clone())
     }
 
-    /// All registered device ids.
+    /// All registered device ids, pre-sized off the device table.
     pub fn device_ids(&self) -> Vec<String> {
-        self.registry.lock().devices.keys().cloned().collect()
+        let inner = self.registry.lock();
+        let mut ids = Vec::with_capacity(inner.devices.len());
+        ids.extend(inner.devices.keys().cloned());
+        ids
     }
 
     /// The device an instance is bound to.
@@ -169,18 +241,34 @@ impl Registry {
             .map(|(_, d)| d.clone())
     }
 
+    /// Pre-sized snapshot of `(device id, handle)` pairs — the only thing
+    /// the gather path reads under the registry lock. Scrapes happen
+    /// against the returned handles with no registry lock held.
+    // bf-flow: entry(gatherer)
+    fn device_handles(&self) -> Vec<(String, Arc<dyn RegistryDevice>)> {
+        let mut inner = self.registry.lock();
+        let span = inner.devices.len() as u64;
+        inner.contention.note(span);
+        let mut handles = Vec::with_capacity(inner.devices.len());
+        for (id, d) in &inner.devices {
+            handles.push((id.clone(), d.device.clone()));
+        }
+        handles
+    }
+
     /// Metrics Gatherer: scrapes every manager's Prometheus text and
     /// refreshes the utilization the allocator orders by.
+    ///
+    /// Scrapes run outside the registry lock (they take each manager's
+    /// own locks): the lock is held twice for pre-sized point work — the
+    /// handle snapshot and the gauge write-back — never across a device
+    /// round-trip.
     pub fn gather_metrics(&self) {
-        // Scrape outside the lock (scrapes take the managers' locks).
-        let scrapes: Vec<(String, String)> = {
-            let inner = self.registry.lock();
-            inner
-                .devices
-                .values()
-                .map(|d| (d.manager.device_id().to_string(), d.manager.scrape()))
-                .collect()
-        };
+        let handles = self.device_handles();
+        let mut scrapes = Vec::with_capacity(handles.len());
+        for (id, device) in handles {
+            scrapes.push((id, device.scrape()));
+        }
         let mut inner = self.registry.lock();
         for (id, text) in scrapes {
             let samples = parse_scrape(&text);
@@ -202,47 +290,41 @@ impl Registry {
         }
     }
 
+    /// Materializes the allocator's device views in one pass over the
+    /// binding table and one over the devices — O(devices + bindings),
+    /// where the old per-device binding scan was O(devices × bindings)
+    /// and dominated every placement at federated-ladder scale.
     fn views(inner: &RegistryInner) -> Vec<DeviceView> {
-        inner
-            .devices
-            .values()
-            .map(|d| {
-                let id = d.manager.device_id().to_string();
-                let (configured, warm_bitstreams) = {
-                    let board = d.manager.board().lock();
-                    (
-                        board.bitstream_id().map(str::to_string),
-                        board.warm_bitstreams().to_vec(),
-                    )
-                };
-                let pending = d.pending_reconfiguration.is_some();
-                let effective_bitstream = d.pending_reconfiguration.clone().or(configured);
-                let connected = inner
-                    .bindings
-                    .iter()
-                    .filter(|(_, (_, dev))| *dev == id)
-                    .map(|(instance, (function, _))| {
-                        let needs = inner
-                            .functions
-                            .get(function)
-                            .and_then(|f| f.query.accelerator.clone());
-                        (instance.clone(), needs)
-                    })
-                    .collect();
-                DeviceView {
-                    id,
-                    node: d.manager.node().id().clone(),
-                    vendor: "Intel".to_string(),
-                    platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
-                    bitstream: effective_bitstream,
-                    warm_bitstreams,
-                    connected,
-                    utilization: d.utilization,
-                    mean_op_latency_ms: d.mean_op_latency_ms,
-                    pending_reconfiguration: pending,
-                }
-            })
-            .collect()
+        let mut connected: BTreeMap<&str, HashMap<String, Option<String>>> = BTreeMap::new();
+        for (instance, (function, device)) in &inner.bindings {
+            let needs = inner
+                .functions
+                .get(function)
+                .and_then(|f| f.query.accelerator.clone());
+            connected
+                .entry(device.as_str())
+                .or_default()
+                .insert(instance.clone(), needs);
+        }
+        let mut views = Vec::with_capacity(inner.devices.len());
+        for (id, d) in &inner.devices {
+            let state = d.device.board_state();
+            let pending = d.pending_reconfiguration.is_some();
+            let effective_bitstream = d.pending_reconfiguration.clone().or(state.configured);
+            views.push(DeviceView {
+                id: id.clone(),
+                node: d.device.node().id().clone(),
+                vendor: "Intel".to_string(),
+                platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
+                bitstream: effective_bitstream,
+                warm_bitstreams: state.warm,
+                connected: connected.remove(id.as_str()).unwrap_or_default(),
+                utilization: d.utilization,
+                mean_op_latency_ms: d.mean_op_latency_ms,
+                pending_reconfiguration: pending,
+            });
+        }
+        views
     }
 
     /// Runs Algorithm 1 for a new instance of `function` and applies the
@@ -261,8 +343,9 @@ impl Registry {
         instance: &str,
         function: &str,
     ) -> Result<Allocation, RegistryError> {
-        let (decision, manager) = {
+        let (decision, device) = {
             let mut inner = self.registry.lock();
+            inner.note_full_span();
             let query = inner
                 .functions
                 .get(function)
@@ -312,8 +395,9 @@ impl Registry {
                     dev.pending_reconfiguration = Some(bitstream.clone());
                 }
             }
-            let manager = inner.devices[&decision.device_id].manager.clone();
-            (decision, manager)
+            // bf-taint: sanitized(decision.device_id was selected by the allocator from this very map's views under the same lock)
+            let device = inner.devices[&decision.device_id].device.clone();
+            (decision, device)
         };
 
         if let Some(bitstream) = &decision.reconfigure {
@@ -328,7 +412,7 @@ impl Registry {
                     }
                 }
             }
-            manager.program(bitstream).map_err(RegistryError::Program)?;
+            device.program(bitstream).map_err(RegistryError::Program)?;
             if let Some(device) = self.registry.lock().devices.get_mut(&decision.device_id) {
                 device.pending_reconfiguration = None;
             }
@@ -358,14 +442,14 @@ impl Registry {
         device_id: &str,
         bitstream: &str,
     ) -> Result<(), RegistryError> {
-        let (manager, tenants) = {
+        let (device, tenants) = {
             let mut inner = self.registry.lock();
             let dev = inner
                 .devices
                 .get_mut(device_id)
                 .ok_or_else(|| RegistryError::UnknownDevice(device_id.to_string()))?;
             dev.pending_reconfiguration = Some(bitstream.to_string());
-            let manager = dev.manager.clone();
+            let device = dev.device.clone();
             let tenants: Vec<String> = inner
                 .bindings
                 .iter()
@@ -379,7 +463,7 @@ impl Registry {
                     }
                 }
             }
-            (manager, tenants)
+            (device, tenants)
         };
         let cluster = self.cluster.lock().clone();
         if let Some(cluster) = cluster {
@@ -391,7 +475,7 @@ impl Registry {
                 }
             }
         }
-        manager.program(bitstream).map_err(RegistryError::Program)?;
+        device.program(bitstream).map_err(RegistryError::Program)?;
         if let Some(device) = self.registry.lock().devices.get_mut(device_id) {
             device.pending_reconfiguration = None;
         }
@@ -448,10 +532,7 @@ impl Registry {
     /// reconfiguration requests: approved only when the requesting
     /// instance is actually allocated to that device.
     pub fn reconfig_validator(&self) -> Arc<dyn Fn(&ReconfigRequest) -> bool + Send + Sync> {
-        let registry = self.clone();
-        Arc::new(move |req: &ReconfigRequest| {
-            registry.binding(&req.client_name).as_deref() == Some(req.device_id.as_str())
-        })
+        crate::service::reconfig_validator(Arc::new(self.clone()))
     }
 
     /// Wires the registry into a cluster: installs the admission hook that
@@ -459,49 +540,141 @@ impl Registry {
     /// `DEVICE_MANAGER_ADDRESS` and the shm volume, forcing the host) and
     /// spawns a watcher that releases bindings on pod deletion.
     pub fn attach_cluster(&self, cluster: &Cluster) {
+        crate::service::attach_placement(cluster, Arc::new(self.clone()));
+    }
+
+    /// Stores the cluster handle used for displaced-tenant migration.
+    pub(crate) fn bind_cluster_handle(&self, cluster: &Cluster) {
         *self.cluster.lock() = Some(cluster.clone());
-        let registry = self.clone();
-        cluster.set_admission_hook(Arc::new(move |spec| {
-            let instance = spec.id.to_string();
-            let placement = registry
-                .place_instance(&instance, &spec.function)
-                .map_err(|e| e.to_string())?;
-            spec.env
-                .insert(ENV_DEVICE_MANAGER.to_string(), placement.device_id.clone());
-            spec.volumes
-                .push(format!("{SHM_VOLUME_PREFIX}{}", placement.device_id));
-            spec.node = Some(placement.node.clone());
-            Ok(())
-        }));
-        let registry = self.clone();
-        let mut watch = cluster.watch();
-        std::thread::Builder::new()
-            .name("bf-registry-watch".to_string())
-            .spawn(move || {
-                while let Some(event) = watch.next_blocking() {
-                    if let WatchEvent::Deleted(id) = event {
-                        registry.release_instance(&id.to_string());
-                    }
-                }
-            })
-            // bf-lint: allow(panic): thread-spawn failure is OS resource
-            // exhaustion at registry startup — no caller can recover.
-            .expect("spawn registry watch thread");
     }
 
     /// Snapshot of the allocator's device views (diagnostics, tests).
     pub fn device_views(&self) -> Vec<DeviceView> {
-        Self::views(&self.registry.lock())
+        let mut inner = self.registry.lock();
+        inner.note_full_span();
+        Self::views(&inner)
     }
 
     /// Nodes currently hosting at least one registered device.
     pub fn device_nodes(&self) -> Vec<NodeId> {
-        self.registry
-            .lock()
-            .devices
-            .values()
-            .map(|d| d.manager.node().id().clone())
-            .collect()
+        let inner = self.registry.lock();
+        let mut nodes = Vec::with_capacity(inner.devices.len());
+        nodes.extend(inner.devices.values().map(|d| d.device.node().id().clone()));
+        nodes
+    }
+
+    /// The aggregate load summary a federated router sees for this shard:
+    /// counts, mean utilization, and the configured/warm bitstream hint
+    /// sets — never per-device state.
+    pub fn load_summary(&self, shard: usize) -> ShardLoadSummary {
+        let mut inner = self.registry.lock();
+        inner.note_full_span();
+        let mut configured = BTreeSet::new();
+        let mut warm = BTreeSet::new();
+        let mut pending = 0usize;
+        let mut utilization_sum = 0.0f64;
+        for d in inner.devices.values() {
+            let state = d.device.board_state();
+            if let Some(b) = state.configured {
+                configured.insert(b);
+            }
+            for w in state.warm {
+                warm.insert(w);
+            }
+            if let Some(p) = &d.pending_reconfiguration {
+                // The device's future bitstream counts as configured for
+                // routing purposes — concurrent placements should chase it.
+                configured.insert(p.clone());
+                pending += 1;
+            }
+            utilization_sum += d.utilization;
+        }
+        let devices = inner.devices.len();
+        ShardLoadSummary {
+            shard,
+            devices,
+            bindings: inner.bindings.len(),
+            pending_reconfigurations: pending,
+            mean_utilization: if devices == 0 {
+                0.0
+            } else {
+                utilization_sum / devices as f64
+            },
+            configured,
+            warm,
+        }
+    }
+
+    /// Placement outcome totals from this registry's metrics.
+    pub fn placement_outcomes(&self) -> PlacementOutcomes {
+        let read = |outcome: &str| {
+            self.metrics
+                .counter_value("bf_registry_placements_total", &[("outcome", outcome)])
+                .unwrap_or(0.0) as u64
+        };
+        PlacementOutcomes {
+            configured: read("configured"),
+            warm: read("warm"),
+            cold: read("cold"),
+        }
+    }
+
+    /// Lock-contention accounting for this registry's lock.
+    pub fn contention(&self, shard: usize) -> ContentionReport {
+        let stats = self.registry.lock().contention;
+        ContentionReport { shard, stats }
+    }
+
+    /// Detaches `device_id` and its bindings for a shard-map rebalance.
+    /// Unlike [`handle_device_failure`](Self::handle_device_failure) the
+    /// bindings survive — the importing shard re-homes them unchanged.
+    pub(crate) fn export_device(&self, device_id: &str) -> Option<DeviceExport> {
+        let mut inner = self.registry.lock();
+        let d = inner.devices.remove(device_id)?;
+        let moved: Vec<(String, String)> = inner
+            .bindings
+            .iter()
+            .filter(|(_, (_, dev))| dev == device_id)
+            .map(|(i, (f, _))| (i.clone(), f.clone()))
+            .collect();
+        for (instance, function) in &moved {
+            inner.bindings.remove(instance);
+            if let Some(rec) = inner.functions.get_mut(function) {
+                rec.instances.retain(|i| i != instance);
+            }
+        }
+        Some(DeviceExport {
+            device: d.device,
+            manager: d.manager,
+            utilization: d.utilization,
+            mean_op_latency_ms: d.mean_op_latency_ms,
+            pending_reconfiguration: d.pending_reconfiguration,
+            bindings: moved,
+        })
+    }
+
+    /// Re-homes a device exported from another shard, bindings included.
+    pub(crate) fn import_device(&self, export: DeviceExport) {
+        let mut inner = self.registry.lock();
+        let id = export.device.device_id().to_string();
+        for (instance, function) in &export.bindings {
+            inner
+                .bindings
+                .insert(instance.clone(), (function.clone(), id.clone()));
+            if let Some(rec) = inner.functions.get_mut(function) {
+                rec.instances.push(instance.clone());
+            }
+        }
+        inner.devices.insert(
+            id,
+            ManagedDevice {
+                device: export.device,
+                manager: export.manager,
+                utilization: export.utilization,
+                mean_op_latency_ms: export.mean_op_latency_ms,
+                pending_reconfiguration: export.pending_reconfiguration,
+            },
+        );
     }
 }
 
@@ -518,7 +691,7 @@ impl fmt::Debug for Registry {
 
 /// Instance names produced by the cluster integration are pod ids
 /// (`pod-N`); parse the numeric part back.
-fn parse_pod_id(instance: &str) -> Option<u64> {
+pub(crate) fn parse_pod_id(instance: &str) -> Option<u64> {
     instance.strip_prefix("pod-").and_then(|s| s.parse().ok())
 }
 

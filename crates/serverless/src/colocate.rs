@@ -9,10 +9,13 @@
 //! the board's bitstream cache), then a **cold** board; within a tier the
 //! shortest queue wins, with the device id as the deterministic tie-break.
 //!
-//! The types here mirror the registry's allocator view instead of
-//! depending on `bf-registry`: the gateway sits in front of the registry
-//! in the deployment diagram and sees board state only through gathered
-//! snapshots.
+//! The types here mirror the registry's allocator view: the gateway
+//! sits in front of the registry in the deployment diagram and sees
+//! board state only through gathered snapshots. [`board_snapshots`]
+//! produces them from any [`PlacementService`] — a single registry or a
+//! sharded federation — so the batch router needs no registry type.
+
+use bf_registry::PlacementService;
 
 /// A gathered snapshot of one board as the batch router sees it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +67,24 @@ pub fn route_batch<'a>(
             .then_with(|| a.queued.cmp(&b.queued))
             .then_with(|| a.device_id.cmp(&b.device_id))
     })
+}
+
+/// Snapshots every board known to `placement`, in device-id order: the
+/// bridge between the typed placement API and [`route_batch`]. Queue
+/// depth is the instance count bound to the device — the same
+/// connected-functions signal the registry's allocator orders by.
+pub fn board_snapshots(placement: &dyn PlacementService) -> Vec<BoardSnapshot> {
+    let views = placement.device_views();
+    let mut snapshots = Vec::with_capacity(views.len());
+    for view in views {
+        snapshots.push(BoardSnapshot {
+            device_id: view.id,
+            configured: view.bitstream,
+            warm_bitstreams: view.warm_bitstreams,
+            queued: view.connected.len(),
+        });
+    }
+    snapshots
 }
 
 #[cfg(test)]
@@ -125,5 +146,24 @@ mod tests {
     #[test]
     fn empty_board_list_routes_nowhere() {
         assert_eq!(route_batch("sobel", &[]), None);
+    }
+
+    #[test]
+    fn snapshots_bridge_any_placement_service() {
+        use bf_model::node_a;
+        use bf_registry::{AllocationPolicy, DeviceQuery, Registry, StaticDevice};
+
+        let registry = Registry::new(AllocationPolicy::paper());
+        registry
+            .register_device_handle(StaticDevice::new("fpga-a", node_a(), Some("sobel")).handle());
+        registry.register_function("f", DeviceQuery::for_accelerator("sobel"));
+        registry.place_instance("inst-0", "f").expect("one device");
+        let boards = board_snapshots(&registry);
+        assert_eq!(boards.len(), 1);
+        assert_eq!(boards[0].queued, 1);
+        assert_eq!(
+            route_batch("sobel", &boards).map(|b| b.device_id.as_str()),
+            Some("fpga-a")
+        );
     }
 }

@@ -63,7 +63,7 @@ mod load;
 
 pub use autoscale::{AutoscaleError, AutoscalePolicy, Autoscaler, LoadSignal, ReconcileAction};
 pub use batch::{Batch, Batcher, SubmitError, Ticket};
-pub use colocate::{route_batch, BoardSnapshot, BoardWarmth};
+pub use colocate::{board_snapshots, route_batch, BoardSnapshot, BoardWarmth};
 pub use gateway::{
     run_closed_loop, run_open_loop, FunctionStats, Gateway, GatewayError, LoadRunResult,
     OpenLoopResult, Outcome,

@@ -1,0 +1,34 @@
+//! FNV-1a 64 trace digest — the byte-identical replay certificate shared
+//! by the scale and federation harnesses. The algorithm (offset basis,
+//! prime, little-endian u64 feeding) is frozen: archived digests in
+//! `experiments/` compare against it byte for byte.
+
+/// FNV-1a 64 over an event stream fed as `u64` words.
+pub(crate) struct Digest(u64);
+
+impl Digest {
+    pub(crate) fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Feeds a string by length + bytes (length first so `("ab","c")`
+    /// and `("a","bc")` digest differently).
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    pub(crate) fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}

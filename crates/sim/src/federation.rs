@@ -1,0 +1,422 @@
+//! Federated control-plane ladder: the production-day scale harness
+//! pointed at the sharded registry.
+//!
+//! Where `scale.rs` stresses the data/watch planes, this harness
+//! stresses *placement*: a 1000-node / 10k-function day driven entirely
+//! through the typed [`PlacementService`] API against a
+//! [`ShardedRegistry`] at 1, 4 and 16 shards. Every operation feeds the
+//! FNV-1a trace digest, so each ladder point is a byte-identical replay
+//! certificate; the per-shard registry locks report their
+//! max-span-per-acquisition, which is the "max per-lock contention"
+//! number the ladder compares against the single-registry baseline.
+//!
+//! The run has four phases, all deterministic from the seed:
+//!
+//! 1. **placement storm** — one instance per function, Zipf-popular
+//!    accelerators, counting configured/warm/cold outcomes;
+//! 2. **churn** — release-and-replace cycles that exercise the warm
+//!    bitstream caches (the PR-8 wins the federated router must keep);
+//! 3. **failures** — device deaths whose tenants are re-placed through
+//!    the federation;
+//! 4. **rebalance** — one shard joins and one leaves, moving only the
+//!    HRW-owed devices, bindings riding along.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bf_model::{MemcpyModel, NodeId, NodeSpec, PcieGeneration, PcieLink, VirtualDuration};
+use bf_registry::{
+    AllocationPolicy, BoardState, DeviceQuery, PlacementService, RegistryDevice, ShardedRegistry,
+};
+use bf_simkit::{SimRng, ZipfSampler};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::digest::Digest;
+
+/// Stream-split keys, disjoint per phase so draws in one phase cannot
+/// perturb another.
+const STREAM_ACCEL: u64 = 11;
+const STREAM_CHURN: u64 = 12;
+const STREAM_FAULTS: u64 = 13;
+
+/// One federated ladder point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationConfig {
+    /// Master seed; every stream splits off it.
+    pub seed: u64,
+    /// Registry shard count.
+    pub shards: usize,
+    /// Nodes (one FPGA device each).
+    pub nodes: usize,
+    /// Registered functions (and storm placements).
+    pub functions: usize,
+    /// Distinct accelerator bitstreams in the catalog.
+    pub catalog: usize,
+    /// Warm bitstream-cache slots per board.
+    pub warm_slots: usize,
+    /// Release-and-replace cycles after the storm.
+    pub churn: usize,
+    /// Device failures injected after churn.
+    pub failures: usize,
+    /// Zipf exponent for accelerator popularity.
+    pub zipf_exponent: f64,
+}
+
+impl FederationConfig {
+    /// The full production-day ladder point: 1000 nodes, 10k functions.
+    pub fn ladder(shards: usize) -> FederationConfig {
+        FederationConfig {
+            seed: 42,
+            shards,
+            nodes: 1000,
+            functions: 10_000,
+            catalog: 64,
+            warm_slots: 4,
+            churn: 2_000,
+            failures: 10,
+            zipf_exponent: 1.1,
+        }
+    }
+
+    /// The CI smoke point: 100 nodes, 1k functions, same phase mix.
+    pub fn smoke(shards: usize) -> FederationConfig {
+        FederationConfig {
+            seed: 42,
+            shards,
+            nodes: 100,
+            functions: 1_000,
+            catalog: 16,
+            warm_slots: 4,
+            churn: 200,
+            failures: 4,
+            zipf_exponent: 1.1,
+        }
+    }
+}
+
+/// Counters and the replay digest for one ladder point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FederationResult {
+    /// Shards the point ran with.
+    pub shards: usize,
+    /// Nodes/devices.
+    pub nodes: usize,
+    /// Functions registered.
+    pub functions: usize,
+    /// Successful placements (storm + churn + failure re-homes).
+    pub placed: u64,
+    /// Placements that landed on an already-configured board.
+    pub configured: u64,
+    /// Placements satisfied from a warm bitstream cache.
+    pub warm: u64,
+    /// Placements that forced a cold reprogram.
+    pub cold: u64,
+    /// Board reprogram operations across all devices.
+    pub reconfigurations: u64,
+    /// Reprograms satisfied from a board's warm cache.
+    pub warm_reprograms: u64,
+    /// Tenants migrated off failed devices.
+    pub migrated: u64,
+    /// Devices moved by the join+leave rebalance pair.
+    pub rebalance_moves: u64,
+    /// Max devices+bindings walked under a single registry-lock
+    /// acquisition, across all shards — the contention headline.
+    pub max_lock_span: u64,
+    /// Registry-lock acquisitions recorded across all shards.
+    pub lock_acquisitions: u64,
+    /// FNV-1a 64 digest over every control-plane event: the
+    /// byte-identical replay certificate.
+    pub trace_digest: String,
+}
+
+/// A simulated FPGA device behind the registry: a board with an LRU warm
+/// bitstream cache, no manager event loop, no transport.
+pub struct SimFpgaDevice {
+    id: String,
+    node: NodeSpec,
+    warm_slots: usize,
+    // Ranked as `board` in the lock hierarchy: taken below the shard's
+    // registry lock on the view path, with nothing else held otherwise.
+    board: Mutex<SimBoard>,
+}
+
+#[derive(Default)]
+struct SimBoard {
+    configured: Option<String>,
+    warm: VecDeque<String>,
+    programs: u64,
+    warm_hits: u64,
+}
+
+impl SimFpgaDevice {
+    /// A blank board on `node` with `warm_slots` cache slots.
+    pub fn new(id: impl Into<String>, node: NodeSpec, warm_slots: usize) -> Arc<SimFpgaDevice> {
+        Arc::new(SimFpgaDevice {
+            id: id.into(),
+            node,
+            warm_slots,
+            board: Mutex::new(SimBoard::default()),
+        })
+    }
+
+    /// `(reprograms, warm-cache hits)` this board served.
+    pub fn program_counts(&self) -> (u64, u64) {
+        let board = self.board.lock();
+        (board.programs, board.warm_hits)
+    }
+}
+
+impl RegistryDevice for SimFpgaDevice {
+    fn device_id(&self) -> &str {
+        &self.id
+    }
+
+    fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    fn board_state(&self) -> BoardState {
+        let board = self.board.lock();
+        BoardState {
+            configured: board.configured.clone(),
+            warm: board.warm.iter().cloned().collect(),
+        }
+    }
+
+    fn program(&self, bitstream: &str) -> Result<(), String> {
+        let mut board = self.board.lock();
+        if board.configured.as_deref() == Some(bitstream) {
+            return Ok(());
+        }
+        board.programs += 1;
+        if let Some(pos) = board.warm.iter().position(|w| w == bitstream) {
+            board.warm.remove(pos);
+            board.warm_hits += 1;
+        }
+        if let Some(old) = board.configured.take() {
+            board.warm.push_front(old);
+            board.warm.truncate(self.warm_slots);
+        }
+        board.configured = Some(bitstream.to_string());
+        Ok(())
+    }
+
+    fn scrape(&self) -> String {
+        String::new()
+    }
+}
+
+fn accel_name(i: usize) -> String {
+    format!("acc-{i:03}")
+}
+
+/// Runs one federated ladder point. Deterministic: the same config
+/// produces the same counters and the same trace digest, byte for byte.
+pub fn run_federation(cfg: &FederationConfig) -> FederationResult {
+    let sharded = ShardedRegistry::new(AllocationPolicy::paper(), cfg.shards);
+    // Everything below drives the `PlacementService` surface — the
+    // harness cannot tell a federation from a single registry.
+    let service: &dyn PlacementService = &sharded;
+    let mut digest = Digest::new();
+    let root = SimRng::seed_from_u64(cfg.seed);
+    let mut accel_rng = root.split(STREAM_ACCEL);
+    let mut churn_rng = root.split(STREAM_CHURN);
+    let mut fault_rng = root.split(STREAM_FAULTS);
+    let zipf = ZipfSampler::new(cfg.catalog.max(1), cfg.zipf_exponent);
+
+    // Devices: one per node, registered through the trait.
+    let mut devices = Vec::with_capacity(cfg.nodes);
+    for i in 0..cfg.nodes {
+        let node = NodeSpec::new(
+            NodeId::new(format!("n{i:04}")),
+            PcieLink::new(PcieGeneration::Gen3, 8),
+            MemcpyModel::paper(),
+            1.0,
+            VirtualDuration::from_millis_f64(3.5),
+        );
+        let device = SimFpgaDevice::new(format!("fpga-{i:04}"), node, cfg.warm_slots);
+        devices.push(device.clone());
+        service.register_device_handle(device);
+    }
+
+    // Functions: accelerator popularity is Zipf over the catalog.
+    let mut fn_names = Vec::with_capacity(cfg.functions);
+    for i in 0..cfg.functions {
+        let accel = accel_name(zipf.sample(&mut accel_rng));
+        let name = format!("fn-{i:05}");
+        service.register_function(&name, DeviceQuery::for_accelerator(&accel));
+        digest.str(&name);
+        digest.str(&accel);
+        fn_names.push(name);
+    }
+
+    // The harness's own tenancy ledger: instance -> function, kept so
+    // failure re-homes know what to re-place. BTreeMap for deterministic
+    // iteration everywhere it matters.
+    let mut tenancy: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut placed = 0u64;
+    let place = |tenancy: &mut std::collections::BTreeMap<String, String>,
+                 digest: &mut Digest,
+                 placed: &mut u64,
+                 instance: &str,
+                 function: &str| {
+        match service.place_instance(instance, function) {
+            Ok(allocation) => {
+                *placed += 1;
+                tenancy.insert(instance.to_string(), function.to_string());
+                digest.str(instance);
+                digest.str(&allocation.device_id);
+                match &allocation.reconfigure {
+                    Some(bitstream) => digest.str(bitstream),
+                    None => digest.u64(0),
+                }
+            }
+            Err(_) => digest.u64(u64::MAX),
+        }
+    };
+
+    // Phase 1: placement storm, one instance per function.
+    for (i, name) in fn_names.iter().enumerate() {
+        place(
+            &mut tenancy,
+            &mut digest,
+            &mut placed,
+            &format!("inst-{i:05}"),
+            name,
+        );
+    }
+
+    // Phase 2: churn — release an instance, replace it for the same
+    // function. Re-placements chase configured/warm boards, which is
+    // where the warm-cache outcomes come from.
+    for r in 0..cfg.churn {
+        let victim = churn_rng.index(cfg.functions);
+        let instance = format!("inst-{victim:05}");
+        service.release_instance(&instance);
+        tenancy.remove(&instance);
+        digest.str(&instance);
+        let function = fn_names[victim].clone();
+        place(
+            &mut tenancy,
+            &mut digest,
+            &mut placed,
+            &format!("churn-{r:05}"),
+            &function,
+        );
+    }
+
+    // Phase 3: device failures; every tenant is re-placed through the
+    // federation (create-before-delete is the cluster's job — here the
+    // control plane only re-homes).
+    let mut migrated = 0u64;
+    for f in 0..cfg.failures {
+        let ids = service.device_ids();
+        if ids.is_empty() {
+            break;
+        }
+        let dead = ids[fault_rng.index(ids.len())].clone();
+        digest.str(&dead);
+        if let Ok(tenants) = service.handle_device_failure(&dead) {
+            for (t, tenant) in tenants.iter().enumerate() {
+                let Some(function) = tenancy.remove(tenant) else {
+                    continue;
+                };
+                migrated += 1;
+                place(
+                    &mut tenancy,
+                    &mut digest,
+                    &mut placed,
+                    &format!("re-{f:02}-{t:03}"),
+                    &function,
+                );
+            }
+        }
+    }
+
+    // Phase 4: deterministic rebalance — one shard joins (stealing its
+    // HRW share of devices, bindings riding along), then leaves again.
+    let (joined, join_moves) = sharded.add_shard();
+    let leave_moves = sharded.remove_shard(&joined).unwrap_or(0);
+    let rebalance_moves = join_moves + leave_moves;
+    digest.u64(join_moves);
+    digest.u64(leave_moves);
+
+    let outcomes = service.placement_outcomes();
+    let contention = service.contention();
+    let max_lock_span = contention
+        .iter()
+        .map(|c| c.stats.max_span)
+        .max()
+        .unwrap_or(0);
+    let lock_acquisitions = contention.iter().map(|c| c.stats.acquisitions).sum();
+    let (mut reconfigurations, mut warm_reprograms) = (0u64, 0u64);
+    for device in &devices {
+        let (programs, warm_hits) = device.program_counts();
+        reconfigurations += programs;
+        warm_reprograms += warm_hits;
+    }
+
+    FederationResult {
+        shards: cfg.shards,
+        nodes: cfg.nodes,
+        functions: cfg.functions,
+        placed,
+        configured: outcomes.configured,
+        warm: outcomes.warm,
+        cold: outcomes.cold,
+        reconfigurations,
+        warm_reprograms,
+        migrated,
+        rebalance_moves,
+        max_lock_span,
+        lock_acquisitions,
+        trace_digest: digest.hex(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(shards: usize) -> FederationConfig {
+        FederationConfig {
+            seed: 7,
+            shards,
+            nodes: 24,
+            functions: 120,
+            catalog: 8,
+            warm_slots: 2,
+            churn: 40,
+            failures: 2,
+            zipf_exponent: 1.1,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_digest() {
+        let a = run_federation(&tiny(4));
+        let b = run_federation(&tiny(4));
+        assert_eq!(a, b);
+        assert_eq!(a.trace_digest, b.trace_digest);
+    }
+
+    #[test]
+    fn storm_places_every_function() {
+        let r = run_federation(&tiny(2));
+        assert!(r.placed >= 120, "storm should place all functions: {r:?}");
+        assert_eq!(r.configured + r.warm + r.cold, r.placed);
+    }
+
+    #[test]
+    fn sharding_cuts_the_max_lock_span() {
+        let one = run_federation(&tiny(1));
+        let four = run_federation(&tiny(4));
+        assert!(
+            four.max_lock_span * 2 <= one.max_lock_span,
+            "4 shards should at least halve the span: {} vs {}",
+            four.max_lock_span,
+            one.max_lock_span
+        );
+    }
+}

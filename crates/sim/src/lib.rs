@@ -24,6 +24,8 @@
 //! ```
 
 mod config;
+mod digest;
+mod federation;
 mod result;
 mod scale;
 mod scenario;
@@ -31,6 +33,7 @@ mod trace;
 mod world;
 
 pub use config::{Deployment, ScenarioConfig};
+pub use federation::{run_federation, FederationConfig, FederationResult, SimFpgaDevice};
 pub use result::{Aggregate, FunctionResult, ScenarioResult};
 pub use scale::{run_scale, FaultPlan, ScaleConfig, ScaleResult, ShedStorm, WatchDelay};
 pub use scenario::{request_profile, run_scenario};

@@ -36,6 +36,8 @@ use bf_simkit::{Engine, Samples, SimRng, ZipfSampler};
 use parking_lot::Mutex;
 use serde::Serialize;
 
+use crate::digest::Digest;
+
 /// Stream-split keys: one sub-stream per subsystem, so adding draws to
 /// one cannot perturb another (see the `simkit::rng` proptests).
 const STREAM_TRAFFIC: u64 = 1;
@@ -336,26 +338,6 @@ pub struct ScaleResult {
     /// The full event trace when [`ScaleConfig::record_trace`] was set.
     #[serde(skip)]
     pub trace: Vec<String>,
-}
-
-/// FNV-1a 64 over the event stream.
-struct Digest(u64);
-
-impl Digest {
-    fn new() -> Digest {
-        Digest(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    fn hex(&self) -> String {
-        format!("{:016x}", self.0)
-    }
 }
 
 /// Shared placement state between the harness and the cluster's

@@ -1,9 +1,7 @@
 //! Scenario assembly and execution.
 
-use std::collections::HashMap;
-
 use bf_model::{node_a, node_b, node_c, DataPathKind, VirtualDuration, VirtualTime};
-use bf_registry::{allocate, AllocationPolicy, DeviceQuery, DeviceView};
+use bf_registry::{AllocationPolicy, DeviceQuery, PlacementService, Registry, StaticDevice};
 use bf_rpc::PathCosts;
 use bf_serverless::{table1_rates, ClosedLoopPacer, UseCase};
 use bf_simkit::{Engine, Samples, SimRng};
@@ -42,44 +40,40 @@ fn accelerator_id(use_case: UseCase) -> &'static str {
     }
 }
 
-/// Places the BlastFunction functions onto the three devices by replaying
-/// the registry's Algorithm 1 (paper policy) as each function is created.
-/// Returns device indices (0 = A, 1 = B, 2 = C) per function.
+/// Places the BlastFunction functions onto the three devices by running
+/// the registry's Algorithm 1 (paper policy) as each function is created,
+/// through the same typed [`PlacementService`] surface the cluster uses —
+/// so the scenario exercises the production admission path, not a replay
+/// of it. Returns device indices (0 = A, 1 = B, 2 = C) per function.
 fn blastfunction_placement(use_case: UseCase, count: usize) -> Vec<usize> {
     let bitstream = accelerator_id(use_case);
     let ids = ["fpga-a", "fpga-b", "fpga-c"];
     let nodes = [node_a(), node_b(), node_c()];
-    let mut views: Vec<DeviceView> = ids
-        .iter()
-        .zip(&nodes)
-        .map(|(id, node)| DeviceView {
-            id: (*id).to_string(),
-            node: node.id().clone(),
-            vendor: "Intel".to_string(),
-            platform: "Intel(R) FPGA SDK for OpenCL(TM)".to_string(),
-            bitstream: Some(bitstream.to_string()),
-            warm_bitstreams: Vec::new(),
-            connected: HashMap::new(),
-            utilization: 0.0,
-            mean_op_latency_ms: 0.0,
-            pending_reconfiguration: false,
-        })
-        .collect();
-    let policy = AllocationPolicy::paper();
-    let query = DeviceQuery::for_accelerator(bitstream);
+    let registry = Registry::new(AllocationPolicy::paper());
+    for (id, node) in ids.iter().zip(nodes) {
+        // Each board starts with the use case's bitstream configured, as
+        // the hand-rolled views did before: placement never reprograms.
+        registry.register_device_handle(StaticDevice::new(*id, node, Some(bitstream)).handle());
+    }
+    let placement_service: &dyn PlacementService = &registry;
     let mut placement = Vec::with_capacity(count);
     for i in 0..count {
+        let function = format!("fn-{i}");
+        placement_service.register_function(&function, DeviceQuery::for_accelerator(bitstream));
         // bf-lint: allow(panic): the scenario's fixed three-device topology
         // always has capacity for the requested placements by construction.
-        let decision = allocate(&query, &views, &policy).expect("three devices always suffice");
-        // bf-lint: allow(panic): `decision.device_id` is drawn from `ids`.
+        let allocation = placement_service
+            .place_instance(&function, &function)
+            .expect("three devices always suffice");
+        assert!(
+            allocation.reconfigure.is_none(),
+            "pre-configured boards never reprogram"
+        );
+        // bf-lint: allow(panic): `allocation.device_id` is drawn from `ids`.
         let idx = ids
             .iter()
-            .position(|id| *id == decision.device_id)
+            .position(|id| *id == allocation.device_id)
             .expect("known id");
-        views[idx]
-            .connected
-            .insert(format!("fn-{i}"), Some(bitstream.to_string()));
         placement.push(idx);
     }
     placement

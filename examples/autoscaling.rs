@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             catalog.clone(),
         ));
     }
-    registry.attach_cluster(&cluster);
+    // The typed placement API: admission and release go through
+    // `dyn PlacementService`, the same surface a sharded federation
+    // implements.
+    attach_placement(&cluster, Arc::new(registry.clone()));
     registry.register_function(
         "sobel",
         DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM),

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
         registry.register_device(manager);
     }
-    registry.attach_cluster(&cluster);
+    // Wire the cluster through the typed placement API: the admission
+    // hook and deletion watcher see only `dyn PlacementService`, so a
+    // ShardedRegistry federation drops in without touching this file.
+    attach_placement(&cluster, Arc::new(registry.clone()));
 
     // Deploy five Sobel functions; the admission hook runs Algorithm 1.
     for i in 1..=5 {

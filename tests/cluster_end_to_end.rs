@@ -16,21 +16,26 @@ fn catalog() -> BitstreamCatalog {
     catalog
 }
 
+fn manager_for(node: bf_model::NodeSpec) -> DeviceManager {
+    let device_id = format!("fpga-{}", node.id().as_str().to_lowercase());
+    let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node.pcie())));
+    DeviceManager::new(
+        DeviceManagerConfig::standalone(&device_id).with_policy(ReconfigPolicy::Deny),
+        node,
+        board,
+        catalog(),
+    )
+}
+
 fn build_stack() -> (Cluster, Registry) {
     let cluster = Cluster::new(paper_cluster());
     let registry = Registry::new(AllocationPolicy::paper());
     for node in paper_cluster() {
-        let device_id = format!("fpga-{}", node.id().as_str().to_lowercase());
-        let board = Arc::new(Mutex::new(Board::new(BoardSpec::de5a_net(), *node.pcie())));
-        let manager = DeviceManager::new(
-            DeviceManagerConfig::standalone(&device_id).with_policy(ReconfigPolicy::Deny),
-            node,
-            board,
-            catalog(),
-        );
-        registry.register_device(manager);
+        registry.register_device(manager_for(node));
     }
-    registry.attach_cluster(&cluster);
+    // The cluster is wired through the typed placement API — the same
+    // call a ShardedRegistry would take.
+    attach_placement(&cluster, Arc::new(registry.clone()));
     (cluster, registry)
 }
 
@@ -236,14 +241,15 @@ fn client_initiated_reconfiguration_respects_the_validator() {
     // The manager consults the registry's validator for client-initiated
     // reconfiguration requests.
     let manager = DeviceManager::new(
-        DeviceManagerConfig::standalone("fpga-b")
-            .with_policy(ReconfigPolicy::Validate(registry.reconfig_validator())),
+        DeviceManagerConfig::standalone("fpga-b").with_policy(ReconfigPolicy::Validate(
+            blastfunction::registry::reconfig_validator(Arc::new(registry.clone())),
+        )),
         node,
         board,
         catalog(),
     );
     registry.register_device(manager.clone());
-    registry.attach_cluster(&cluster);
+    attach_placement(&cluster, Arc::new(registry.clone()));
     registry.register_function("mm-1", DeviceQuery::for_accelerator(mm::MM_BITSTREAM));
     let inst = cluster
         .create_instance(InstanceTemplate::new("mm-1"))
@@ -271,4 +277,65 @@ fn client_initiated_reconfiguration_respects_the_validator() {
         manager.bitstream_id().as_deref(),
         Some(sobel::SOBEL_BITSTREAM)
     );
+}
+
+#[test]
+fn sharded_registry_drives_the_same_cluster_admission_path() {
+    // The same end-to-end stack, but the cluster is wired to a 2-shard
+    // federation instead of a single registry — through the identical
+    // attach_placement call. Admission, device injection and node
+    // pinning must be indistinguishable from the single-registry stack.
+    let cluster = Cluster::new(paper_cluster());
+    let sharded = ShardedRegistry::new(AllocationPolicy::paper(), 2);
+    for node in paper_cluster() {
+        let manager = manager_for(node);
+        sharded.register_device_handle(Arc::new(manager.clone()));
+    }
+    attach_placement(&cluster, Arc::new(sharded.clone()));
+
+    for i in 1..=5 {
+        sharded.register_function(
+            &format!("sobel-{i}"),
+            DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM),
+        );
+    }
+    let mut instances = Vec::new();
+    for i in 1..=5 {
+        instances.push(
+            cluster
+                .create_instance(InstanceTemplate::new(format!("sobel-{i}")))
+                .expect("admission through the federation"),
+        );
+    }
+
+    // Every pod got a device and was pinned to that device's node.
+    for inst in &instances {
+        let device = &inst.env[ENV_DEVICE_MANAGER];
+        let bound = sharded.binding(&inst.id.to_string());
+        assert_eq!(bound.as_deref(), Some(device.as_str()));
+        let view_nodes: std::collections::HashMap<String, NodeId> = sharded
+            .device_views()
+            .into_iter()
+            .map(|v| (v.id, v.node))
+            .collect();
+        assert_eq!(inst.node.as_ref(), view_nodes.get(device.as_str()));
+    }
+
+    // All five instances are visible across the federation, and a
+    // deterministic join/leave rebalance preserves every binding.
+    let connected: usize = sharded
+        .device_views()
+        .iter()
+        .map(|v| v.connected.len())
+        .sum();
+    assert_eq!(connected, 5);
+    let (joined, _) = sharded.add_shard();
+    sharded.remove_shard(&joined);
+    for inst in &instances {
+        assert!(
+            sharded.binding(&inst.id.to_string()).is_some(),
+            "rebalance must not strand {}",
+            inst.id
+        );
+    }
 }

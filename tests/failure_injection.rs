@@ -331,6 +331,91 @@ fn cross_tenant_buffers_are_unreachable() {
     }
 }
 
+#[test]
+fn shard_scoped_device_failure_rehomes_tenants_without_disturbing_other_shards() {
+    use blastfunction::registry::StaticDevice;
+
+    // A four-shard federation over six boards, every board pre-configured
+    // with the Sobel bitstream. All calls go through the typed
+    // `PlacementService` surface — the same one the cluster admission
+    // hook uses.
+    let federation = ShardedRegistry::new(AllocationPolicy::paper(), 4);
+    let placement: &dyn PlacementService = &federation;
+    let nodes = [node_a(), node_b(), node_c()];
+    for i in 0..6 {
+        placement.register_device_handle(
+            StaticDevice::new(
+                format!("fpga-{i}"),
+                nodes[i % nodes.len()].clone(),
+                Some(sobel::SOBEL_BITSTREAM),
+            )
+            .handle(),
+        );
+    }
+    for i in 0..6 {
+        let function = format!("sobel-{i}");
+        placement.register_function(
+            &function,
+            DeviceQuery::for_accelerator(sobel::SOBEL_BITSTREAM),
+        );
+        placement
+            .place_instance(&format!("inst-{i}"), &function)
+            .expect("six boards absorb six instances");
+    }
+    let before: std::collections::BTreeMap<String, String> = (0..6)
+        .map(|i| {
+            let instance = format!("inst-{i}");
+            let device = placement.binding(&instance).expect("bound");
+            (instance, device)
+        })
+        .collect();
+
+    // Kill the board hosting inst-0. The failure is scoped to the owning
+    // shard: the registry drops the device, unbinds its tenants, and
+    // reports them for re-homing.
+    let victim = before["inst-0"].clone();
+    let evicted = placement
+        .handle_device_failure(&victim)
+        .expect("failure handled");
+    assert!(evicted.contains(&"inst-0".to_string()), "{evicted:?}");
+    assert!(
+        !placement.device_ids().contains(&victim),
+        "the dead board must leave the federation"
+    );
+    for instance in &evicted {
+        assert_eq!(
+            before[instance], victim,
+            "only the victim's tenants may be evicted"
+        );
+    }
+    for (instance, device) in &before {
+        if *device == victim {
+            assert!(
+                placement.binding(instance).is_none(),
+                "{instance} must be unbound after the failure"
+            );
+        } else {
+            // Bindings on the other shards' boards are untouched: the
+            // failure never escapes the owning shard.
+            assert_eq!(
+                placement.binding(instance).as_deref(),
+                Some(device.as_str()),
+                "{instance} moved although its board survived"
+            );
+        }
+    }
+
+    // Re-homing the evicted tenants through the same API lands each one
+    // on a surviving board.
+    for (round, instance) in evicted.iter().enumerate() {
+        let index = instance.strip_prefix("inst-").expect("harness naming");
+        let allocation = placement
+            .place_instance(&format!("re-{round}"), &format!("sobel-{index}"))
+            .expect("survivors absorb the evicted tenants");
+        assert_ne!(allocation.device_id, victim, "re-homed onto a dead board");
+    }
+}
+
 fn cached_manager(id: &str, node: bf_model::NodeSpec, board: Arc<Mutex<Board>>) -> DeviceManager {
     DeviceManager::new(
         DeviceManagerConfig::standalone(id)
